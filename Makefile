@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench figures examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full harness: regenerate every paper figure + micro-benchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Figure data as CSV under ./figures (for plotting).
+figures:
+	dune exec bin/hsfq_sim.exe -- csv --all --dir figures
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/video_server.exe
+	dune exec examples/multiclass.exe
+	dune exec examples/qos_manager.exe
+	dune exec examples/file_server.exe
+	dune exec examples/router.exe
+
+clean:
+	dune clean

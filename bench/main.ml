@@ -1,0 +1,210 @@
+(* The full benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation (plus
+   the extension experiments) and verifies the shape checks — the rows
+   printed here are the ones EXPERIMENTS.md records against the paper.
+
+   Part 2 micro-benchmarks the scheduling primitives with Bechamel: the
+   paper's §3 cost claim is that an SFQ scheduling decision is one
+   addition + one division + an O(log Q) priority-queue operation, and
+   that hierarchical dispatch adds only a per-level constant. *)
+
+open Bechamel
+open Toolkit
+module E = Hsfq_experiments
+module Core = Hsfq_core
+module Sched = Hsfq_sched
+module Engine = Hsfq_engine
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure regeneration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_figures () =
+  print_endline "==================================================================";
+  print_endline " Part 1: regeneration of every figure in the paper's evaluation";
+  print_endline "==================================================================";
+  let failures = ref [] in
+  List.iter
+    (fun (e : E.Registry.entry) ->
+      Printf.printf "\n=== %s: %s ===\n" e.id e.title;
+      Printf.printf "  paper: %s\n" e.paper_claim;
+      let checks = e.execute ~quiet:false in
+      E.Common.print_checks checks;
+      if not (E.Common.all_ok checks) then failures := e.id :: !failures)
+    E.Registry.all;
+  (match !failures with
+  | [] -> print_endline "\nAll experiment shape checks PASSED."
+  | l ->
+    Printf.printf "\nFAILING experiments: %s\n" (String.concat ", " (List.rev l)));
+  !failures = []
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One select+charge scheduling decision on a fair scheduler preloaded
+   with [q] runnable clients. *)
+let fair_decision_test (module F : Sched.Scheduler_intf.FAIR) ~q =
+  let t = F.create ~rng:(Engine.Prng.create 5) () in
+  for i = 0 to q - 1 do
+    F.arrive t ~id:i ~weight:(1. +. float_of_int (i mod 4))
+  done;
+  Test.make
+    ~name:(Printf.sprintf "%s/Q=%d" F.algorithm_name q)
+    (Staged.stage (fun () ->
+         match F.select t with
+         | Some id -> F.charge t ~id ~service:2e7 ~runnable:true
+         | None -> assert false))
+
+let sfq_decision_test ~q =
+  let t = Core.Sfq.create () in
+  for i = 0 to q - 1 do
+    Core.Sfq.arrive t ~id:i ~weight:(1. +. float_of_int (i mod 4))
+  done;
+  Test.make
+    ~name:(Printf.sprintf "sfq/Q=%d" q)
+    (Staged.stage (fun () ->
+         match Core.Sfq.select t with
+         | Some id -> Core.Sfq.charge t ~id ~service:2e7 ~runnable:true
+         | None -> assert false))
+
+(* A full hierarchical scheduling decision (schedule + update) through a
+   chain of [depth] intermediate nodes with a fan-out of 4 leaves. *)
+let hierarchy_decision_test ~depth =
+  let h = Core.Hierarchy.create () in
+  let parent = ref Core.Hierarchy.root in
+  for i = 1 to depth do
+    match
+      Core.Hierarchy.mknod h ~name:(Printf.sprintf "mid%d" i) ~parent:!parent
+        ~weight:1. Core.Hierarchy.Internal
+    with
+    | Ok id -> parent := id
+    | Error e -> invalid_arg e
+  done;
+  let leaves =
+    List.init 4 (fun i ->
+        match
+          Core.Hierarchy.mknod h ~name:(Printf.sprintf "leaf%d" i)
+            ~parent:!parent ~weight:(float_of_int (i + 1)) Core.Hierarchy.Leaf
+        with
+        | Ok id -> id
+        | Error e -> invalid_arg e)
+  in
+  List.iter (fun leaf -> Core.Hierarchy.setrun h leaf) leaves;
+  Test.make
+    ~name:(Printf.sprintf "hierarchy/depth=%d" depth)
+    (Staged.stage (fun () ->
+         match Core.Hierarchy.schedule h with
+         | Some leaf -> Core.Hierarchy.update h ~leaf ~service:2e7 ~leaf_runnable:true
+         | None -> assert false))
+
+(* SVR4 TS select+charge on a preloaded run queue. *)
+let svr4_decision_test ~q =
+  let t = Sched.Svr4.create () in
+  for i = 0 to q - 1 do
+    Sched.Svr4.add t ~id:i Sched.Svr4.Ts
+  done;
+  Test.make
+    ~name:(Printf.sprintf "svr4-ts/Q=%d" q)
+    (Staged.stage (fun () ->
+         match Sched.Svr4.select t with
+         | Some id ->
+           Sched.Svr4.charge t ~id ~service:(Engine.Time.milliseconds 10) ~runnable:true
+         | None -> assert false))
+
+(* Runnable-propagation walk (hsfq_setrun + hsfq_sleep) through a deep
+   chain — the cost the paper's Section 4 walk-up optimization bounds. *)
+let setrun_sleep_test ~depth =
+  let h = Core.Hierarchy.create () in
+  let parent = ref Core.Hierarchy.root in
+  for i = 1 to depth do
+    match
+      Core.Hierarchy.mknod h ~name:(Printf.sprintf "m%d" i) ~parent:!parent
+        ~weight:1. Core.Hierarchy.Internal
+    with
+    | Ok id -> parent := id
+    | Error e -> invalid_arg e
+  done;
+  let leaf =
+    match
+      Core.Hierarchy.mknod h ~name:"leaf" ~parent:!parent ~weight:1.
+        Core.Hierarchy.Leaf
+    with
+    | Ok id -> id
+    | Error e -> invalid_arg e
+  in
+  Test.make
+    ~name:(Printf.sprintf "setrun+sleep/depth=%d" depth)
+    (Staged.stage (fun () ->
+         Core.Hierarchy.setrun h leaf;
+         Core.Hierarchy.sleep h leaf))
+
+let heap_test ~n =
+  let rng = Engine.Prng.create 3 in
+  let keys = Array.init n (fun _ -> Engine.Prng.float rng 1e9) in
+  Test.make
+    ~name:(Printf.sprintf "heap/add+pop n=%d" n)
+    (Staged.stage (fun () ->
+         let h = Engine.Heap.create ~cmp:Float.compare in
+         Array.iter (Engine.Heap.add h) keys;
+         while not (Engine.Heap.is_empty h) do
+           ignore (Engine.Heap.pop h)
+         done))
+
+let micro_tests () =
+  let qs = [ 2; 8; 32; 128; 512 ] in
+  let sfq_scaling = List.map (fun q -> sfq_decision_test ~q) qs in
+  let baselines =
+    List.map
+      (fun m -> fair_decision_test m ~q:8)
+      [
+        (module Sched.Wfq : Sched.Scheduler_intf.FAIR);
+        (module Sched.Scfq);
+        (module Sched.Fqs);
+        (module Sched.Stride);
+        (module Sched.Eevdf);
+        (module Sched.Lottery);
+        (module Sched.Round_robin);
+      ]
+  in
+  let hier = List.map (fun d -> hierarchy_decision_test ~depth:d) [ 1; 4; 16; 32 ] in
+  Test.make_grouped ~name:"hsfq"
+    [
+      Test.make_grouped ~name:"sfq-scaling" sfq_scaling;
+      Test.make_grouped ~name:"baselines-Q8" baselines;
+      Test.make_grouped ~name:"hierarchy" hier;
+      Test.make_grouped ~name:"svr4" [ svr4_decision_test ~q:8 ];
+      Test.make_grouped ~name:"propagation"
+        (List.map (fun d -> setrun_sleep_test ~depth:d) [ 1; 16 ]);
+      Test.make_grouped ~name:"substrate" [ heap_test ~n:256 ];
+    ]
+
+let run_micro () =
+  print_endline "\n==================================================================";
+  print_endline " Part 2: micro-benchmarks (ns per scheduling decision)";
+  print_endline "==================================================================";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  let t = Engine.Table.create [ "benchmark"; "ns/decision" ] in
+  List.iter
+    (fun (name, est) -> Engine.Table.row t [ name; Printf.sprintf "%.1f" est ])
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
+  Engine.Table.print t
+
+let () =
+  let ok = regenerate_figures () in
+  run_micro ();
+  if not ok then exit 1

@@ -1,0 +1,176 @@
+(* hsfq_sim — command-line driver for the OSDI '96 reproduction.
+
+   `hsfq_sim list` enumerates the experiments, `hsfq_sim run fig5 xfair`
+   regenerates specific figures, `hsfq_sim run --all` does everything and
+   exits non-zero if any shape check fails. *)
+
+open Cmdliner
+module E = Hsfq_experiments
+
+let list_cmd =
+  let doc = "List the reproduction experiments." in
+  let run () =
+    let t = Hsfq_engine.Table.create [ "id"; "title"; "paper claim" ] in
+    List.iter
+      (fun (e : E.Registry.entry) ->
+        Hsfq_engine.Table.row t [ e.id; e.title; e.paper_claim ])
+      E.Registry.all;
+    Hsfq_engine.Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_experiments ids all quiet =
+  let entries =
+    if all then E.Registry.all
+    else
+      List.map
+        (fun id ->
+          match E.Registry.find id with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown experiment %S; try `hsfq_sim list`\n" id;
+            exit 2)
+        ids
+  in
+  if entries = [] then begin
+    Printf.eprintf "nothing to run; give experiment ids or --all\n";
+    exit 2
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun (e : E.Registry.entry) ->
+      Printf.printf "=== %s: %s ===\n" e.id e.title;
+      let checks = e.execute ~quiet in
+      E.Common.print_checks checks;
+      if not (E.Common.all_ok checks) then incr failures;
+      print_newline ())
+    entries;
+  if !failures > 0 then begin
+    Printf.printf "%d experiment(s) had failing checks\n" !failures;
+    exit 1
+  end
+
+let run_cmd =
+  let doc = "Run reproduction experiments and verify their shape checks." in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let all = Arg.(value & flag & info [ "all"; "a" ] ~doc:"Run every experiment.") in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the checks.")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiments $ ids $ all $ quiet)
+
+(* A small live demo: the Figure 2 classes with a handful of threads,
+   rendered as an ASCII Gantt chart. *)
+let trace_demo ms_total cell_ms =
+  let open Hsfq_engine in
+  let open Hsfq_core in
+  let open Hsfq_kernel in
+  let open Hsfq_workload in
+  let sim = Sim.create () in
+  let hier = Hierarchy.create () in
+  let k = Kernel.create sim hier in
+  let tr = Tracelog.create () in
+  Kernel.set_trace k (Some tr);
+  let must = function Ok v -> v | Error e -> failwith e in
+  let rt = must (Hierarchy.mknod hier ~name:"hard-rt" ~parent:Hierarchy.root ~weight:1. Hierarchy.Leaf) in
+  let soft = must (Hierarchy.mknod hier ~name:"soft-rt" ~parent:Hierarchy.root ~weight:3. Hierarchy.Leaf) in
+  let best = must (Hierarchy.mknod hier ~name:"best-effort" ~parent:Hierarchy.root ~weight:6. Hierarchy.Leaf) in
+  let rt_sched, rm = Leaf_sched.Rm_leaf.make ~quantum:(Time.milliseconds 5) () in
+  let soft_sched, soft_sfq = Leaf_sched.Sfq_leaf.make () in
+  let best_sched, best_sfq = Leaf_sched.Sfq_leaf.make () in
+  Kernel.install_leaf k rt rt_sched;
+  Kernel.install_leaf k soft soft_sched;
+  Kernel.install_leaf k best best_sched;
+  let ctl_wl, _ = Periodic.make ~period:(Time.milliseconds 40) ~cost:(Time.milliseconds 4) () in
+  let ctl = Kernel.spawn k ~name:"Ctl" ~leaf:rt ctl_wl in
+  Leaf_sched.Rm_leaf.add rm ~tid:ctl ~period:(Time.milliseconds 40);
+  Kernel.start k ctl;
+  let dec_wl, _ = Mpeg.decoder Mpeg.default_params ~paced:true () in
+  let dec = Kernel.spawn k ~name:"Vid" ~leaf:soft dec_wl in
+  Leaf_sched.Sfq_leaf.add soft_sfq ~tid:dec ~weight:1.;
+  Kernel.start k dec;
+  let hog_wl, _ = Dhrystone.make ~loop_cost:(Time.milliseconds 1) () in
+  let hog = Kernel.spawn k ~name:"Batch" ~leaf:best hog_wl in
+  Leaf_sched.Sfq_leaf.add best_sfq ~tid:hog ~weight:1.;
+  Kernel.start k hog;
+  Kernel.run_until k (Time.milliseconds ms_total);
+  Printf.printf
+    "Gantt over %d ms (1 cell = %d ms): Ctl = RM hard-rt (w1), Vid = paced MPEG soft-rt (w3), Batch = best-effort (w6)\n"
+    ms_total cell_ms;
+  print_string
+    (Hsfq_engine.Tracelog.render_gantt tr ~cell:(Time.milliseconds cell_ms)
+       ~until:(Time.milliseconds ms_total))
+
+let trace_cmd =
+  let doc = "Run a small Figure-2 scenario and print its execution Gantt chart." in
+  let duration =
+    Arg.(value & opt int 400 & info [ "duration"; "d" ] ~docv:"MS" ~doc:"Milliseconds to simulate.")
+  in
+  let cell =
+    Arg.(value & opt int 4 & info [ "cell"; "c" ] ~docv:"MS" ~doc:"Milliseconds per Gantt cell.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_demo $ duration $ cell)
+
+(* Build the paper's Figure 2 structure via the QoS manager and print it
+   with guaranteed shares. *)
+let tree_demo () =
+  let hier = Hsfq_core.Hierarchy.create () in
+  let m = Hsfq_qos.Manager.create hier in
+  ignore (Hsfq_qos.Manager.request_best_effort m ~user:"user1");
+  ignore (Hsfq_qos.Manager.request_best_effort m ~user:"user2");
+  print_endline "Figure 2 scheduling structure (weights 1:3:6, two best-effort users):";
+  print_string (Hsfq_core.Hierarchy.render_tree hier);
+  print_endline "guaranteed full-contention shares:";
+  List.iter
+    (fun name ->
+      match Hsfq_core.Hierarchy.parse hier name with
+      | Ok id ->
+        Printf.printf "  %-22s %.1f%%\n" name (100. *. Hsfq_qos.Manager.share_of m id)
+      | Error e -> Printf.printf "  %-22s error: %s\n" name e)
+    [ "/hard-rt"; "/soft-rt"; "/best-effort"; "/best-effort/user1"; "/best-effort/user2" ]
+
+let tree_cmd =
+  let doc = "Print the paper's Figure 2 scheduling structure and its shares." in
+  Cmd.v (Cmd.info "tree" ~doc) Term.(const tree_demo $ const ())
+
+let csv_export ids all dir =
+  let ids = if all then E.Csv_export.exportable () else ids in
+  if ids = [] then begin
+    Printf.eprintf "nothing to export; give figure ids or --all\n";
+    exit 2
+  end;
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun id ->
+      match E.Csv_export.export id with
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 2
+      | Ok files ->
+        List.iter
+          (fun (name, contents) ->
+            let path = Filename.concat dir name in
+            let oc = open_out path in
+            output_string oc contents;
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          files)
+    ids
+
+let csv_cmd =
+  let doc = "Export figure data as CSV files for plotting." in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let all = Arg.(value & flag & info [ "all"; "a" ] ~doc:"Export every figure.") in
+  let dir =
+    Arg.(value & opt string "figures" & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v (Cmd.info "csv" ~doc) Term.(const csv_export $ ids $ all $ dir)
+
+let main =
+  let doc =
+    "Reproduction of 'A Hierarchical CPU Scheduler for Multimedia Operating \
+     Systems' (OSDI '96)"
+  in
+  Cmd.group (Cmd.info "hsfq_sim" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; trace_cmd; tree_cmd; csv_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,61 @@
+(* The QoS manager workflow of §4 / Figure 4: applications ask for hard,
+   soft, or best-effort service; the manager runs class-dependent
+   admission control against each class's capacity share, places admitted
+   applications, refuses infeasible ones, and dynamically grows the
+   soft-real-time class when demand rises (the video-conference scenario
+   from §1).
+
+     dune exec examples/qos_manager.exe *)
+
+open Hsfq_core
+open Hsfq_qos
+
+let show_result name = function
+  | Ok (g : Manager.grant) ->
+    Printf.printf "  ADMIT  %-12s -> node %d (class share %.2f)\n" name g.node g.share
+  | Error e -> Printf.printf "  REJECT %-12s : %s\n" name e
+
+let () =
+  let hier = Hierarchy.create () in
+  (* Figure 2 weights: hard 1, soft 3, best-effort 6. *)
+  let m = Manager.create hier in
+
+  print_endline "Hard real-time requests (RM response-time analysis on a 10% share):";
+  show_result "sensor-a" (Manager.request_hard m ~name:"sensor-a" ~cost:0.002 ~period:0.050);
+  show_result "sensor-b" (Manager.request_hard m ~name:"sensor-b" ~cost:0.001 ~period:0.020);
+  (* This one would need 40% of the machine — far beyond the hard class. *)
+  show_result "radar" (Manager.request_hard m ~name:"radar" ~cost:0.020 ~period:0.050);
+
+  print_endline "\nSoft real-time requests (statistical admission on a 30% share):";
+  let decoder name =
+    Manager.request_soft m ~name ~mean:0.003 ~sigma:0.001 ~period:0.0333
+  in
+  show_result "decoder-1" (decoder "decoder-1");
+  show_result "decoder-2" (decoder "decoder-2");
+  Printf.printf "  soft class mean utilization now %.2f of share %.2f\n"
+    (Manager.soft_mean_utilization m)
+    (Manager.share_of m (Manager.soft_node m));
+
+  (* A video conference starts: more decoders than the share can hold. *)
+  print_endline "\nA video conference starts; demand outgrows the soft class:";
+  (match decoder "decoder-3" with
+  | Error e ->
+    Printf.printf "  REJECT decoder-3     : %s\n" e;
+    print_endline "  -> manager grows the soft class (dynamic repartitioning):";
+    Manager.grow_soft_for_demand m;
+    Printf.printf "     soft share now %.2f\n" (Manager.share_of m (Manager.soft_node m));
+    show_result "decoder-3 (retry)" (decoder "decoder-3")
+  | Ok g -> show_result "decoder-3" (Ok g));
+  show_result "decoder-4" (decoder "decoder-4");
+
+  print_endline "\nBest-effort requests are never refused:";
+  show_result "alice" (Manager.request_best_effort m ~user:"alice");
+  show_result "bob" (Manager.request_best_effort m ~user:"bob");
+  show_result "alice-again" (Manager.request_best_effort m ~user:"alice");
+
+  Printf.printf "\nScheduling structure now has %d nodes; /best-effort children: %s\n"
+    (Hierarchy.node_count hier)
+    (String.concat ", "
+       (List.map
+          (Hierarchy.name_of hier)
+          (Hierarchy.children_of hier (Manager.best_effort_node m))))

@@ -1,0 +1,70 @@
+(* A news-on-demand video server (the paper's §1 motivating scenario):
+   several MPEG decoding sessions of different importance share a
+   soft-real-time class, while a batch transcoding job runs best-effort.
+   The hierarchy guarantees the decoders their aggregate share and SFQ
+   splits it by per-session weight; the batch job soaks up what is left
+   and cannot hurt the sessions.
+
+     dune exec examples/video_server.exe *)
+
+open Hsfq_engine
+open Hsfq_core
+open Hsfq_kernel
+open Hsfq_workload
+
+let must = function Ok v -> v | Error e -> failwith e
+
+let () =
+  let sim = Sim.create () in
+  let hier = Hierarchy.create () in
+  let k = Kernel.create sim hier in
+
+  (* /video (w=3) for the decoding sessions, /batch (w=1) for the rest. *)
+  let video =
+    must (Hierarchy.mknod hier ~name:"video" ~parent:Hierarchy.root ~weight:3. Hierarchy.Leaf)
+  in
+  let batch =
+    must (Hierarchy.mknod hier ~name:"batch" ~parent:Hierarchy.root ~weight:1. Hierarchy.Leaf)
+  in
+  let video_sched, video_sfq = Leaf_sched.Sfq_leaf.make () in
+  let batch_sched, batch_sfq = Leaf_sched.Sfq_leaf.make () in
+  Kernel.install_leaf k video video_sched;
+  Kernel.install_leaf k batch batch_sched;
+
+  (* Three paced playback sessions: premium gets double weight. The clip
+     demands ~26% of the CPU each, so /video needs its full 75%. *)
+  let clip seed = { Mpeg.default_params with base_cost = Time.milliseconds 9; seed } in
+  let session name weight seed =
+    let wl, c = Mpeg.decoder (clip seed) ~paced:true () in
+    let tid = Kernel.spawn k ~name ~leaf:video wl in
+    Leaf_sched.Sfq_leaf.add video_sfq ~tid ~weight;
+    Kernel.start k tid;
+    c
+  in
+  let premium = session "premium" 2.0 1 in
+  let standard1 = session "standard-1" 1.0 2 in
+  let standard2 = session "standard-2" 1.0 3 in
+
+  (* The transcoder would eat the whole machine if allowed. *)
+  let transcoder_wl, transcoded = Dhrystone.make ~loop_cost:(Time.milliseconds 2) () in
+  let transcoder = Kernel.spawn k ~name:"transcoder" ~leaf:batch transcoder_wl in
+  Leaf_sched.Sfq_leaf.add batch_sfq ~tid:transcoder ~weight:1.;
+  Kernel.start k transcoder;
+
+  let seconds = 30 in
+  Kernel.run_until k (Time.seconds seconds);
+
+  let report name c =
+    let frames = Mpeg.decoded c in
+    Printf.printf "  %-11s %4d frames (%.1f fps of the nominal 30)\n" name frames
+      (float_of_int frames /. float_of_int seconds)
+  in
+  Printf.printf "After %d simulated seconds:\n" seconds;
+  report "premium" premium;
+  report "standard-1" standard1;
+  report "standard-2" standard2;
+  Printf.printf "  %-11s %4d work units on the remaining %.0f%% of the CPU\n"
+    "transcoder" (Dhrystone.loops transcoded)
+    (100. *. float_of_int (Kernel.cpu_time k transcoder) /. float_of_int (Time.seconds seconds));
+  print_endline
+    "The sessions hold their frame rates; the batch job only gets the residue."

@@ -1,0 +1,25 @@
+type t = {
+  rate : float;
+  mutable prev_eat : float;
+  mutable prev_len : float;
+  mutable first : bool;
+}
+
+let create ~rate () =
+  if rate <= 0. then invalid_arg "Delay_bound.create: rate <= 0";
+  { rate; prev_eat = 0.; prev_len = 0.; first = true }
+
+let on_quantum t ~arrival ~length =
+  let eat =
+    if t.first then arrival
+    else Float.max arrival (t.prev_eat +. (t.prev_len /. t.rate))
+  in
+  t.first <- false;
+  t.prev_eat <- eat;
+  t.prev_len <- length;
+  eat
+
+let bound ~eat ~delta ~c ~lmax_others_sum = eat +. ((delta +. lmax_others_sum) /. c)
+
+let wfq_vs_sfq_extra_delay ~quantum ~rate ~c ~nclients =
+  (quantum /. rate) -. (float_of_int (nclients - 1) *. quantum /. c)

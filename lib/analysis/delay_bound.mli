@@ -1,0 +1,32 @@
+(** SFQ's delay guarantee (§3, eq. 8).
+
+    Interpreting thread weights as rates, the expected arrival time of
+    thread f's quantum j is
+    [EAT(p^j) = max(A(p^j), EAT(p^{j-1}) + l^{j-1}/r_f)] — when quantum j
+    would start if f had a private CPU of capacity [r_f]. If the CPU is an
+    FC(C, delta) server and the rates are admissible (sum r <= C), SFQ
+    guarantees completion by
+    [EAT(p^j) + (delta + sum over other threads of their lmax) / C].
+
+    A [t] tracks one thread's EAT recursion; feed it each quantum's actual
+    arrival time and length, and compare the returned bound with the
+    measured completion. *)
+
+type t
+
+val create : rate:float -> unit -> t
+(** [rate] in work-per-ns (e.g. 0.3 = 30% of a dedicated CPU). *)
+
+val on_quantum : t -> arrival:float -> length:float -> float
+(** Record the next quantum (arrival time ns, length ns of work) and
+    return its EAT. Quanta must be fed in order. *)
+
+val bound :
+  eat:float -> delta:float -> c:float -> lmax_others_sum:float -> float
+(** Eq. 8's right-hand side: [eat + (delta + lmax_others_sum) / c]. *)
+
+val wfq_vs_sfq_extra_delay :
+  quantum:float -> rate:float -> c:float -> nclients:int -> float
+(** §6: the delay difference [D(WFQ) - D(SFQ)] for equal-length quanta,
+    [l/r - (Q-1) l/C]: positive (SFQ wins) iff [C/r > Q - 1] — i.e. for
+    low-throughput clients. *)

@@ -1,0 +1,50 @@
+open Hsfq_engine
+
+(* Walk the two series in merged time order, tracking the running
+   normalized difference D(t); its range over the run is the worst
+   interval discrepancy. *)
+let normalized_lag ~fa ~wa ~fb ~wb ~until =
+  if wa <= 0. || wb <= 0. then invalid_arg "Fairness.normalized_lag: weights";
+  let ta = Series.times fa and va = Series.values fa in
+  let tb = Series.times fb and vb = Series.values fb in
+  let na = Array.length ta and nb = Array.length tb in
+  let d = ref 0. and d_min = ref 0. and d_max = ref 0. in
+  let note () =
+    if !d < !d_min then d_min := !d;
+    if !d > !d_max then d_max := !d
+  in
+  let ia = ref 0 and ib = ref 0 in
+  let in_range t = Time.compare t until <= 0 in
+  while
+    (!ia < na && in_range ta.(!ia)) || (!ib < nb && in_range tb.(!ib))
+  do
+    let take_a =
+      if !ia >= na || not (in_range ta.(!ia)) then false
+      else if !ib >= nb || not (in_range tb.(!ib)) then true
+      else Time.compare ta.(!ia) tb.(!ib) <= 0
+    in
+    if take_a then begin
+      d := !d +. (va.(!ia) /. wa);
+      incr ia
+    end
+    else begin
+      d := !d -. (vb.(!ib) /. wb);
+      incr ib
+    end;
+    note ()
+  done;
+  !d_max -. !d_min
+
+let sfq_bound ~lmax_a ~wa ~lmax_b ~wb = (lmax_a /. wa) +. (lmax_b /. wb)
+
+let max_pairwise_lag clients ~until =
+  let worst = ref 0. in
+  let n = Array.length clients in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let fa, wa = clients.(i) and fb, wb = clients.(j) in
+      let lag = normalized_lag ~fa ~wa ~fb ~wb ~until in
+      if lag > !worst then worst := lag
+    done
+  done;
+  !worst

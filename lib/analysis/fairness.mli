@@ -1,0 +1,26 @@
+(** Measuring fairness the way the paper defines it (§3).
+
+    An allocation is fair over an interval [[t1, t2]] in which two clients
+    [f] and [m] are both runnable when the weight-normalized services
+    match: [W_f(t1,t2)/w_f = W_m(t1,t2)/w_m]. A scheduler's unfairness is
+    the worst [|W_f/w_f - W_m/w_m|] over all such intervals. SFQ
+    guarantees (eq. 3) this never exceeds [l_f^max/w_f + l_m^max/w_m].
+
+    Given the per-client service sample series the kernel records, the
+    worst interval discrepancy equals [max_t D(t) - min_t D(t)] where
+    [D(t) = W_f(0,t)/w_f - W_m(0,t)/w_m], evaluated at service-completion
+    instants — which is what [normalized_lag] computes. *)
+
+open Hsfq_engine
+
+val normalized_lag :
+  fa:Series.t -> wa:float -> fb:Series.t -> wb:float -> until:Time.t -> float
+(** Worst-interval normalized service discrepancy between two clients
+    that are continuously backlogged on [\[0, until\]]. Series values are
+    service amounts (ns) stamped at completion times. *)
+
+val sfq_bound : lmax_a:float -> wa:float -> lmax_b:float -> wb:float -> float
+(** The right-hand side of eq. 3: [lmax_a/wa + lmax_b/wb]. *)
+
+val max_pairwise_lag : (Series.t * float) array -> until:Time.t -> float
+(** [normalized_lag] maximized over all client pairs. *)

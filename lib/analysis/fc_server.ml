@@ -1,0 +1,63 @@
+open Hsfq_engine
+
+let deficits series ~rate ~from_ ~until =
+  let ts = Series.times series and vs = Series.values series in
+  let n = Array.length ts in
+  let acc = ref 0. in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    if Time.compare ts.(i) from_ >= 0 && Time.compare ts.(i) until <= 0 then begin
+      acc := !acc +. vs.(i);
+      let elapsed = float_of_int (Time.diff ts.(i) from_) in
+      out := ((rate *. elapsed) -. !acc) :: !out
+    end
+  done;
+  (* Also evaluate at the interval end: work may lag behind rate there. *)
+  let elapsed = float_of_int (Time.diff until from_) in
+  out := ((rate *. elapsed) -. !acc) :: !out;
+  List.rev !out
+
+let estimate_delta series ~rate ~from_ ~until =
+  List.fold_left Float.max 0. (deficits series ~rate ~from_ ~until)
+
+let is_fc series ~rate ~delta ~from_ ~until =
+  estimate_delta series ~rate ~from_ ~until <= delta
+
+let thread_fc_params ~weight ~total_weight ~c ~delta ~lmax_others_sum ~lmax_self =
+  if weight <= 0. || total_weight < weight then
+    invalid_arg "Fc_server.thread_fc_params";
+  let share = weight /. total_weight in
+  (share *. c, (share *. (delta +. lmax_others_sum)) +. lmax_self)
+
+let ebf_exceedance series ~rate ~from_ ~until ~gammas =
+  let ds = deficits series ~rate ~from_ ~until in
+  let n = float_of_int (List.length ds) in
+  Array.map
+    (fun gamma ->
+      let exceed = List.length (List.filter (fun d -> d > gamma) ds) in
+      if n = 0. then 0. else float_of_int exceed /. n)
+    gammas
+
+let windowed_exceedance series ~rate ~window ~until ~gammas =
+  if window <= 0 then invalid_arg "Fc_server.windowed_exceedance: window <= 0";
+  let nwin = until / window in
+  if nwin = 0 then Array.map (fun _ -> 0.) gammas
+  else begin
+    let work = Array.make nwin 0. in
+    let ts = Series.times series and vs = Series.values series in
+    Array.iteri
+      (fun i t ->
+        let w = t / window in
+        if w >= 0 && w < nwin then work.(w) <- work.(w) +. vs.(i))
+      ts;
+    let expected = rate *. float_of_int window in
+    Array.map
+      (fun gamma ->
+        let exceed =
+          Array.fold_left
+            (fun acc w -> if expected -. w > gamma then acc + 1 else acc)
+            0 work
+        in
+        float_of_int exceed /. float_of_int nwin)
+      gammas
+  end

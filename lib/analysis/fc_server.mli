@@ -1,0 +1,53 @@
+(** Fluctuation Constrained / Exponentially Bounded Fluctuation server
+    models (Lee 1995), used by the paper to characterize a CPU whose
+    effective bandwidth fluctuates because of interrupt processing (§3).
+
+    An FC server with parameters (C, delta) does, in any interval of any
+    busy period, at least [C * (t2 - t1) - delta] work. [estimate_delta]
+    recovers the smallest delta consistent with a recorded work trace at a
+    given rate — applied to the kernel's aggregate work series (or a
+    single thread's), it verifies the paper's throughput guarantee:
+    if the CPU is FC(C, delta), SFQ gives thread f an
+    FC(w_f/W * C, delta_f) service curve (eq. 6). *)
+
+open Hsfq_engine
+
+val estimate_delta :
+  Series.t -> rate:float -> from_:Time.t -> until:Time.t -> float
+(** Smallest [delta] such that the trace is FC(rate, delta) on the given
+    busy interval: [max over sample instants of rate*(t-from_) - W(from_,t)],
+    with the end of interval included. [rate] is work-per-ns (1.0 = a
+    fully dedicated CPU). *)
+
+val is_fc :
+  Series.t -> rate:float -> delta:float -> from_:Time.t -> until:Time.t -> bool
+
+val thread_fc_params :
+  weight:float ->
+  total_weight:float ->
+  c:float ->
+  delta:float ->
+  lmax_others_sum:float ->
+  lmax_self:float ->
+  float * float
+(** Eq. 6 (reconstruction): a thread of weight [w] among total [W] served
+    by an FC(C, delta) CPU under SFQ receives FC service with
+    rate [w/W * C] and burstiness
+    [w/W * (delta + lmax_others_sum) + lmax_self]. *)
+
+val ebf_exceedance :
+  Series.t -> rate:float -> from_:Time.t -> until:Time.t -> gammas:float array ->
+  float array
+(** For each gamma, the fraction of sampled instants at which the work
+    deficit [rate*(t-from_) - W(from_,t)] exceeds gamma — the empirical
+    tail the EBF model bounds by [A * alpha^gamma]. Measured from a
+    single origin, so long-run stochastic drift accumulates; prefer
+    {!windowed_exceedance} for stationary traces. *)
+
+val windowed_exceedance :
+  Series.t -> rate:float -> window:Time.span -> until:Time.t ->
+  gammas:float array -> float array
+(** The stationary version of the EBF tail: slide a window of the given
+    length over [\[0, until)] (one position per window, non-overlapping)
+    and report, for each gamma, the fraction of windows in which the work
+    delivered falls short of [rate * window] by more than gamma. *)

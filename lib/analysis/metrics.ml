@@ -1,0 +1,16 @@
+open Hsfq_engine
+
+let throughput_buckets s ~width ~until = Series.bucket_sum s ~width ~until
+
+let ratio a b = if b = 0. then 0. else a /. b
+
+let ratio_buckets a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Metrics.ratio_buckets: length mismatch";
+  Array.mapi (fun i x -> ratio x b.(i)) a
+
+let totals_cv = Stats.cv_of
+
+let relative_error ~measured ~expected =
+  if expected = 0. then invalid_arg "Metrics.relative_error: expected = 0";
+  Float.abs (measured -. expected) /. expected

@@ -1,0 +1,21 @@
+(** Small helpers the experiments share for turning kernel series into
+    the numbers the paper's figures report. *)
+
+open Hsfq_engine
+
+val throughput_buckets : Series.t -> width:Time.span -> until:Time.t -> float array
+(** Per-window sums of a completion-count or service series (loops per
+    second, frames per second, ...). *)
+
+val ratio : float -> float -> float
+(** [a /. b], 0 when [b = 0]. *)
+
+val ratio_buckets : float array -> float array -> float array
+(** Element-wise {!ratio} (arrays must have equal length). *)
+
+val totals_cv : float array -> float
+(** Coefficient of variation across clients — the spread measure for the
+    Figure 5 comparison. *)
+
+val relative_error : measured:float -> expected:float -> float
+(** [|measured - expected| / expected]. *)

@@ -1,0 +1,240 @@
+type id = int
+type kind = Leaf | Internal
+
+type node = {
+  nid : id;
+  comp : string; (* path component; "" for the root *)
+  parent : id option;
+  kind : kind;
+  mutable weight : float;
+  mutable runnable : bool;
+  sfq : Sfq.t option; (* child scheduler; [Some] iff internal *)
+  mutable children : id list; (* reverse creation order *)
+  by_name : (string, id) Hashtbl.t;
+}
+
+type t = { nodes : (id, node) Hashtbl.t; mutable next_id : id }
+
+let root = 0
+
+let make_node ~nid ~comp ~parent ~weight kind =
+  {
+    nid;
+    comp;
+    parent;
+    kind;
+    weight;
+    runnable = false;
+    sfq = (match kind with Internal -> Some (Sfq.create ()) | Leaf -> None);
+    children = [];
+    by_name = Hashtbl.create 4;
+  }
+
+let create () =
+  let t = { nodes = Hashtbl.create 64; next_id = 1 } in
+  Hashtbl.replace t.nodes root
+    (make_node ~nid:root ~comp:"" ~parent:None ~weight:1.0 Internal);
+  t
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Hierarchy: unknown node %d" id)
+
+let sfq_of n =
+  match n.sfq with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Hierarchy: node %d is a leaf" n.nid)
+
+let mknod t ~name ~parent ~weight kind =
+  if not (Path.is_valid_component name) then
+    Error (Printf.sprintf "invalid node name %S" name)
+  else if weight <= 0. then Error "weight must be positive"
+  else
+    match Hashtbl.find_opt t.nodes parent with
+    | None -> Error (Printf.sprintf "unknown parent %d" parent)
+    | Some p when p.kind = Leaf -> Error "parent is a leaf node"
+    | Some p when Hashtbl.mem p.by_name name ->
+      Error (Printf.sprintf "duplicate node name %S" name)
+    | Some p ->
+      let nid = t.next_id in
+      t.next_id <- t.next_id + 1;
+      let n = make_node ~nid ~comp:name ~parent:(Some parent) ~weight kind in
+      Hashtbl.replace t.nodes nid n;
+      p.children <- nid :: p.children;
+      Hashtbl.replace p.by_name name nid;
+      (* Pre-register the child in the parent's SFQ (arrive + block) so
+         weight administration works before the node first runs. *)
+      let psfq = sfq_of p in
+      Sfq.arrive psfq ~id:nid ~weight;
+      Sfq.block psfq ~id:nid;
+      Ok nid
+
+let parse t ?(hint = root) name =
+  match Path.split name with
+  | Error e -> Error e
+  | Ok parts ->
+    let start = if Path.is_absolute name then root else hint in
+    if not (Hashtbl.mem t.nodes start) then
+      Error (Printf.sprintf "unknown hint node %d" start)
+    else begin
+      let rec walk cur = function
+        | [] -> Ok cur
+        | comp :: rest ->
+          let n = node t cur in
+          (match Hashtbl.find_opt n.by_name comp with
+          | Some child -> walk child rest
+          | None ->
+            Error (Printf.sprintf "no node %S under %s" comp (Path.join [])))
+      in
+      walk start parts
+    end
+
+let rec full_path t id acc =
+  let n = node t id in
+  match n.parent with
+  | None -> acc
+  | Some p -> full_path t p (n.comp :: acc)
+
+let name_of t id = Path.join (full_path t id [])
+
+let rmnod t id =
+  if id = root then Error "cannot remove the root"
+  else
+    match Hashtbl.find_opt t.nodes id with
+    | None -> Error (Printf.sprintf "unknown node %d" id)
+    | Some n when n.children <> [] -> Error "node has children"
+    | Some n when n.runnable -> Error "node is runnable"
+    | Some n ->
+      let p = node t (Option.get n.parent) in
+      Sfq.depart (sfq_of p) ~id;
+      p.children <- List.filter (fun c -> c <> id) p.children;
+      Hashtbl.remove p.by_name n.comp;
+      Hashtbl.remove t.nodes id;
+      Ok ()
+
+let set_weight t id w =
+  if w <= 0. then invalid_arg "Hierarchy.set_weight: weight <= 0";
+  if id = root then invalid_arg "Hierarchy.set_weight: root has no weight";
+  let n = node t id in
+  n.weight <- w;
+  let p = node t (Option.get n.parent) in
+  Sfq.set_weight (sfq_of p) ~id ~weight:w
+
+let weight t id = (node t id).weight
+let kind_of t id = (node t id).kind
+let parent_of t id = (node t id).parent
+let children_of t id = List.rev (node t id).children
+
+let rec depth t id =
+  match (node t id).parent with None -> 0 | Some p -> 1 + depth t p
+
+let node_count t = Hashtbl.length t.nodes
+
+let render_tree t =
+  let buf = Buffer.create 256 in
+  let rec walk id depth =
+    let n = node t id in
+    let name = if id = root then "/" else n.comp in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-20s w=%-6g %-8s %s\n"
+         (String.make (2 * depth) ' ')
+         name n.weight
+         (match n.kind with Internal -> "internal" | Leaf -> "leaf")
+         (if n.runnable then "runnable" else "idle"));
+    List.iter (fun c -> walk c (depth + 1)) (List.rev n.children)
+  in
+  walk root 0;
+  Buffer.contents buf
+let is_runnable t id = (node t id).runnable
+let virtual_time_of t id = Sfq.virtual_time (sfq_of (node t id))
+
+let start_tag_of t id =
+  let n = node t id in
+  match n.parent with
+  | None -> invalid_arg "Hierarchy.start_tag_of: root has no tags"
+  | Some p -> Sfq.start_tag (sfq_of (node t p)) ~id
+
+(* Mark [id] runnable and walk up, stopping at the first ancestor that was
+   already runnable (paper: hsfq_setrun). *)
+let setrun t id =
+  let rec up id =
+    let n = node t id in
+    if not n.runnable then begin
+      n.runnable <- true;
+      match n.parent with
+      | None -> ()
+      | Some pid ->
+        Sfq.arrive (sfq_of (node t pid)) ~id ~weight:n.weight;
+        up pid
+    end
+  in
+  up id
+
+(* Mark [id] un-runnable and walk up while ancestors lose their last
+   runnable child (paper: hsfq_sleep). Only for nodes not in service. *)
+let sleep t id =
+  let rec up id =
+    let n = node t id in
+    if n.runnable then begin
+      n.runnable <- false;
+      match n.parent with
+      | None -> ()
+      | Some pid ->
+        let p = node t pid in
+        Sfq.block (sfq_of p) ~id;
+        if Sfq.backlogged (sfq_of p) = 0 then up pid
+    end
+  in
+  up id
+
+let schedule t =
+  let rec descend id =
+    let n = node t id in
+    match n.kind with
+    | Leaf -> Some id
+    | Internal ->
+      (match Sfq.select (sfq_of n) with
+      | Some child -> descend child
+      | None -> None)
+  in
+  let r = node t root in
+  if not r.runnable then None
+  else begin
+    match descend root with
+    | Some leaf -> Some leaf
+    | None ->
+      (* Runnable root with no selectable leaf violates the runnability
+         invariant. *)
+      assert false
+  end
+
+let update t ~leaf ~service ~leaf_runnable =
+  if service < 0. then invalid_arg "Hierarchy.update: negative service";
+  let rec up id runnable_child =
+    let n = node t id in
+    n.runnable <- runnable_child;
+    match n.parent with
+    | None -> ()
+    | Some pid ->
+      let psfq = sfq_of (node t pid) in
+      Sfq.charge psfq ~id ~service ~runnable:runnable_child;
+      up pid (Sfq.backlogged psfq > 0)
+  in
+  up leaf leaf_runnable
+
+let donate t ~blocked ~recipient =
+  if blocked = recipient then Error "donate: self-donation"
+  else
+  let b = node t blocked and r = node t recipient in
+  match (b.parent, r.parent) with
+  | Some pb, Some pr when pb = pr ->
+    Sfq.donate (sfq_of (node t pb)) ~blocked ~recipient;
+    Ok ()
+  | _ -> Error "donate: nodes must be siblings"
+
+let revoke t ~blocked =
+  let b = node t blocked in
+  match b.parent with
+  | None -> ()
+  | Some pid -> Sfq.revoke (sfq_of (node t pid)) ~blocked

@@ -1,0 +1,112 @@
+(** The scheduling structure: hierarchical partitioning of CPU bandwidth
+    (§2, §4 of the paper).
+
+    A tree of weighted nodes. Every intermediate node schedules its
+    children with its own SFQ instance; leaf nodes represent application
+    classes whose threads are scheduled by a class-specific leaf scheduler
+    (owned by the kernel — this module only tracks leaf runnability).
+
+    The operations mirror the paper's system calls:
+    [mknod]/[parse]/[rmnod]/weight administration ([hsfq_admin]), and the
+    kernel-side entry points [schedule] (paper: [hsfq_schedule]), [update]
+    ([hsfq_update]), [setrun] ([hsfq_setrun]) and [sleep] ([hsfq_sleep]).
+
+    Invariant: a node is runnable iff some leaf in its subtree is
+    runnable; [setrun]/[sleep]/[update] maintain this with the paper's
+    walk-up-until-no-change optimization. *)
+
+type t
+
+type id = int
+(** Node identifier. The root is {!root}. *)
+
+type kind = Leaf | Internal
+
+val root : id
+
+val create : unit -> t
+(** A structure containing only the (internal) root node ["/"]. *)
+
+(** {1 Structure administration (the paper's system calls)} *)
+
+val mknod :
+  t -> name:string -> parent:id -> weight:float -> kind -> (id, string) result
+(** [mknod t ~name ~parent ~weight kind] creates a child of [parent].
+    [name] is a single path component, unique among siblings; [weight]
+    must be positive; [parent] must be an internal node. *)
+
+val parse : t -> ?hint:id -> string -> (id, string) result
+(** Resolve an absolute name (["/best-effort/user1"]) or a name relative
+    to [hint] (default: root). *)
+
+val rmnod : t -> id -> (unit, string) result
+(** Remove a node. Fails on the root, on nodes with children, and on
+    runnable leaves (detach threads first). *)
+
+val set_weight : t -> id -> float -> unit
+(** Change a node's share of its parent ([hsfq_admin]). Takes effect from
+    the node's next quantum. *)
+
+val weight : t -> id -> float
+
+(** {1 Introspection} *)
+
+val name_of : t -> id -> string
+(** Full path, e.g. ["/best-effort/user1"]. *)
+
+val kind_of : t -> id -> kind
+val parent_of : t -> id -> id option
+val children_of : t -> id -> id list
+(** In creation order. *)
+
+val depth : t -> id -> int
+(** Root has depth 0. *)
+
+val node_count : t -> int
+val is_runnable : t -> id -> bool
+
+val virtual_time_of : t -> id -> float
+(** Virtual time of an internal node's SFQ (diagnostics/tests). *)
+
+val render_tree : t -> string
+(** Multi-line rendering of the structure: one node per line, indented by
+    depth, with weight, kind, and runnable flag — e.g.
+    ["  best-effort  w=6  internal  runnable"]. *)
+
+val start_tag_of : t -> id -> float
+(** The node's start tag within its parent's SFQ (diagnostics/tests).
+    Root has no tags; raises [Invalid_argument]. *)
+
+(** {1 Kernel entry points} *)
+
+val setrun : t -> id -> unit
+(** The leaf's first thread became runnable: mark the leaf and every
+    newly-eligible ancestor runnable. Walks up only until an
+    already-runnable node is found. *)
+
+val sleep : t -> id -> unit
+(** The leaf's last thread stopped being runnable while the leaf was
+    {e not} in service (e.g. its only thread was moved away). The common
+    blocked-while-running case is handled by
+    [update ~leaf_runnable:false]. *)
+
+val schedule : t -> id option
+(** Select the leaf to serve next: from the root, repeatedly pick the
+    runnable child with the smallest start tag. [None] iff no leaf is
+    runnable. Each successful [schedule] must be followed by exactly one
+    [update] for the returned leaf. *)
+
+val update : t -> leaf:id -> service:float -> leaf_runnable:bool -> unit
+(** Charge [service] (CPU nanoseconds) for the quantum just executed by a
+    thread of [leaf]: updates finish/start tags of the leaf and all its
+    ancestors, and propagates un-runnability upward when
+    [leaf_runnable = false]. *)
+
+(** {1 Priority-inversion support (§4)} *)
+
+val donate : t -> blocked:id -> recipient:id -> (unit, string) result
+(** Transfer the blocked leaf's weight to a sibling leaf (both must share
+    the same parent), so the blocking class runs with at least the blocked
+    class's share. *)
+
+val revoke : t -> blocked:id -> unit

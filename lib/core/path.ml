@@ -1,0 +1,23 @@
+let is_valid_component s =
+  String.length s > 0
+  && (not (String.equal s "."))
+  && (not (String.equal s ".."))
+  && not (String.contains s '/')
+
+let is_absolute s = String.length s > 0 && s.[0] = '/'
+
+let split s =
+  if String.length s = 0 then Error "empty name"
+  else begin
+    let body = if is_absolute s then String.sub s 1 (String.length s - 1) else s in
+    if String.length body = 0 then Ok []
+    else begin
+      let parts = String.split_on_char '/' body in
+      if List.for_all is_valid_component parts then Ok parts
+      else Error (Printf.sprintf "invalid name %S" s)
+    end
+  end
+
+let join = function
+  | [] -> "/"
+  | parts -> "/" ^ String.concat "/" parts

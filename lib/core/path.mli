@@ -1,0 +1,19 @@
+(** UNIX-filename-like names for scheduling-structure nodes (§4).
+
+    Nodes are named like files: the root is ["/"], its children
+    ["/best-effort"], grandchildren ["/best-effort/user1"], and so on.
+    Components may contain any character except ['/'], and may not be
+    empty, ["."], or [".."]. *)
+
+val is_valid_component : string -> bool
+
+val split : string -> (string list, string) result
+(** [split "/a/b"] = [Ok ["a"; "b"]]; [split "/"] = [Ok []]. Absolute and
+    relative names are both accepted ([split "a/b"] = [Ok ["a"; "b"]]);
+    use [is_absolute] to distinguish. Rejects empty strings and invalid
+    components. *)
+
+val is_absolute : string -> bool
+
+val join : string list -> string
+(** [join ["a"; "b"]] = ["/a/b"]; [join []] = ["/"]. *)

@@ -1,0 +1,162 @@
+open Hsfq_sched
+
+let algorithm_name = "sfq"
+
+type client = {
+  mutable weight : float;
+  mutable donated : float; (* extra weight received via [donate] *)
+  mutable start : float; (* start tag of the pending/in-service quantum *)
+  mutable finish : float; (* finish tag of the last completed quantum *)
+  mutable runnable : bool;
+  mutable gen : int;
+}
+
+type t = {
+  clients : (int, client) Hashtbl.t;
+  queue : Keyed_heap.t; (* runnable clients keyed by start tag *)
+  donations : (int, int * float) Hashtbl.t; (* blocked -> (recipient, amount) *)
+  mutable vt : float;
+  mutable max_finish : float;
+  mutable nrun : int;
+  mutable in_service : int option;
+}
+
+let create ?rng:_ ?quantum_hint:_ () =
+  {
+    clients = Hashtbl.create 16;
+    queue = Keyed_heap.create ();
+    donations = Hashtbl.create 4;
+    vt = 0.;
+    max_finish = 0.;
+    nrun = 0;
+    in_service = None;
+  }
+
+let get t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Sfq: unknown client %d" id)
+
+let effective_weight c = c.weight +. c.donated
+
+let enqueue t id c =
+  c.gen <- c.gen + 1;
+  Keyed_heap.push t.queue ~key:c.start ~gen:c.gen ~id
+
+(* Idle transition: "when the CPU is idle, v(t) is set to the maximum of
+   finish tags assigned to any thread" (§3, rule 2). *)
+let note_idle t = if t.nrun = 0 then t.vt <- Float.max t.vt t.max_finish
+
+let arrive t ~id ~weight =
+  match Hashtbl.find_opt t.clients id with
+  | Some c ->
+    if not c.runnable then begin
+      c.runnable <- true;
+      c.start <- Float.max t.vt c.finish;
+      t.nrun <- t.nrun + 1;
+      enqueue t id c
+    end
+  | None ->
+    if weight <= 0. then invalid_arg "Sfq.arrive: weight <= 0";
+    let c =
+      {
+        weight;
+        donated = 0.;
+        start = Float.max t.vt 0.;
+        finish = 0.;
+        runnable = true;
+        gen = 0;
+      }
+    in
+    c.start <- Float.max t.vt c.finish;
+    Hashtbl.replace t.clients id c;
+    t.nrun <- t.nrun + 1;
+    enqueue t id c
+
+let depart t ~id =
+  match Hashtbl.find_opt t.clients id with
+  | None -> ()
+  | Some c ->
+    if t.in_service = Some id then invalid_arg "Sfq.depart: client in service";
+    if c.runnable then t.nrun <- t.nrun - 1;
+    c.gen <- c.gen + 1;
+    Hashtbl.remove t.clients id;
+    Hashtbl.remove t.donations id;
+    note_idle t
+
+let set_weight t ~id ~weight =
+  if weight <= 0. then invalid_arg "Sfq.set_weight: weight <= 0";
+  (get t id).weight <- weight
+
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
+let select t =
+  assert (t.in_service = None);
+  match Keyed_heap.pop t.queue ~valid:(valid t) with
+  | None -> None
+  | Some (key, id) ->
+    t.in_service <- Some id;
+    (* Rule 2: while busy, v(t) is the start tag of the quantum in
+       service. *)
+    t.vt <- key;
+    Some id
+
+let charge t ~id ~service ~runnable =
+  (match t.in_service with
+  | Some s when s = id -> ()
+  | _ -> invalid_arg "Sfq.charge: client not in service");
+  if service < 0. then invalid_arg "Sfq.charge: negative service";
+  t.in_service <- None;
+  let c = get t id in
+  c.finish <- c.start +. (service /. effective_weight c);
+  if c.finish > t.max_finish then t.max_finish <- c.finish;
+  if runnable then begin
+    c.start <- Float.max t.vt c.finish;
+    enqueue t id c
+  end
+  else begin
+    c.runnable <- false;
+    c.gen <- c.gen + 1;
+    t.nrun <- t.nrun - 1;
+    note_idle t
+  end
+
+let block t ~id =
+  match Hashtbl.find_opt t.clients id with
+  | None -> ()
+  | Some c ->
+    if t.in_service = Some id then
+      invalid_arg "Sfq.block: client in service (use charge ~runnable:false)";
+    if c.runnable then begin
+      c.runnable <- false;
+      c.gen <- c.gen + 1;
+      t.nrun <- t.nrun - 1;
+      note_idle t
+    end
+
+let revoke t ~blocked =
+  match Hashtbl.find_opt t.donations blocked with
+  | None -> ()
+  | Some (recipient, amount) ->
+    (match Hashtbl.find_opt t.clients recipient with
+    | Some r -> r.donated <- r.donated -. amount
+    | None -> ());
+    Hashtbl.remove t.donations blocked
+
+let donate t ~blocked ~recipient =
+  if blocked = recipient then invalid_arg "Sfq.donate: self-donation";
+  revoke t ~blocked;
+  let b = get t blocked and r = get t recipient in
+  r.donated <- r.donated +. b.weight;
+  Hashtbl.replace t.donations blocked (recipient, b.weight)
+
+let mem t ~id = Hashtbl.mem t.clients id
+
+let start_tag t ~id = (get t id).start
+let finish_tag t ~id = (get t id).finish
+let is_runnable t ~id = (get t id).runnable
+let backlogged t = t.nrun
+let virtual_time t = t.vt

@@ -1,0 +1,52 @@
+(** Start-time Fair Queuing — the paper's scheduling algorithm (§3).
+
+    Each client's j-th quantum gets a start tag
+    [S = max(v(request time), F_{j-1})] and, once its actual length [l] is
+    known, a finish tag [F = S + l/w]. Clients are served in increasing
+    start-tag order (FIFO among ties). Virtual time [v(t)] is the start tag
+    of the quantum in service while the server is busy, and the maximum
+    finish tag assigned to any client while it is idle.
+
+    Key properties (all property-tested in [test/test_sfq.ml]):
+    - quantum length is needed only {e after} execution ([charge]);
+    - for any interval in which clients [f] and [m] are both continuously
+      backlogged, [|W_f/w_f - W_m/w_m| <= l_f^max/w_f + l_m^max/w_m]
+      (eq. 3) — regardless of how the available service fluctuates;
+    - O(log Q) per scheduling decision.
+
+    Implements {!Hsfq_sched.Scheduler_intf.FAIR}, plus [block] (make a
+    non-in-service client un-runnable, preserving its finish tag) and the
+    weight-donation operations the paper sketches for priority-inversion
+    avoidance (§4). *)
+
+include Hsfq_sched.Scheduler_intf.FAIR
+
+val block : t -> id:int -> unit
+(** Remove a client from the ready set without forgetting it; its finish
+    tag is retained so a later [arrive] restarts it at
+    [max(v, finish)]. Used by [hsfq_move]/[rmnod]-style operations where a
+    client stops being runnable while {e not} in service. No-op if the
+    client is unknown or already blocked. Must not be called on the
+    in-service client (use [charge ~runnable:false]). *)
+
+val donate : t -> blocked:int -> recipient:int -> unit
+(** Weight transfer for priority-inversion avoidance: add [blocked]'s
+    weight to [recipient]'s, so the blocking client runs with at least the
+    blocked client's share (§4). A client may hold donations from several
+    blockers; donating twice from the same blocker first revokes the
+    previous donation. *)
+
+val revoke : t -> blocked:int -> unit
+(** Undo [blocked]'s outstanding donation, if any. *)
+
+val start_tag : t -> id:int -> float
+(** Start tag of the client's pending/in-service quantum (diagnostics,
+    Figure 3). *)
+
+val finish_tag : t -> id:int -> float
+(** Finish tag of the client's last completed quantum. *)
+
+val is_runnable : t -> id:int -> bool
+
+val mem : t -> id:int -> bool
+(** Whether the client has ever arrived (and not departed). *)

@@ -1,0 +1,57 @@
+type handle = { mutable cancelled : bool }
+
+type entry = {
+  at : Time.t;
+  seq : int;
+  thunk : unit -> unit;
+  h : handle;
+}
+
+type t = {
+  heap : entry Heap.t;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let entry_cmp a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp:entry_cmp; next_seq = 0; live = 0 }
+
+let schedule t ~at thunk =
+  let h = { cancelled = false } in
+  Heap.add t.heap { at; seq = t.next_seq; thunk; h };
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  h
+
+let cancel h =
+  h.cancelled <- true
+
+let is_cancelled h = h.cancelled
+
+(* Drop cancelled entries sitting at the top of the heap. *)
+let rec settle t =
+  match Heap.peek t.heap with
+  | Some e when e.h.cancelled ->
+    ignore (Heap.pop t.heap);
+    settle t
+  | _ -> ()
+
+let next_time t =
+  settle t;
+  match Heap.peek t.heap with None -> None | Some e -> Some e.at
+
+let pop t =
+  settle t;
+  match Heap.pop t.heap with
+  | None -> None
+  | Some e ->
+    t.live <- t.live - 1;
+    Some (e.at, e.thunk)
+
+let pending t =
+  (* [live] counts scheduled-minus-popped; subtract cancelled-but-unpopped
+     by walking the heap (diagnostic use only, so O(n) is acceptable). *)
+  Heap.fold t.heap ~init:0 ~f:(fun acc e -> if e.h.cancelled then acc else acc + 1)

@@ -1,0 +1,31 @@
+(** Cancellable future-event queue.
+
+    Events are thunks keyed by (time, insertion sequence); popping yields
+    events in time order, FIFO among events scheduled for the same instant.
+    Cancellation is lazy: [cancel] marks the handle and the queue discards
+    the entry when it surfaces. *)
+
+type t
+
+type handle
+(** Token for a scheduled event; allows cancellation. *)
+
+val create : unit -> t
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> handle
+(** Enqueue a thunk to fire at the given time. Scheduling in the past is
+    the caller's responsibility to avoid; the queue itself only orders. *)
+
+val cancel : handle -> unit
+(** Idempotent. A cancelled event never fires. *)
+
+val is_cancelled : handle -> bool
+
+val next_time : t -> Time.t option
+(** Time of the earliest pending (non-cancelled) event, without firing. *)
+
+val pop : t -> (Time.t * (unit -> unit)) option
+(** Remove and return the earliest pending event. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) events. *)

@@ -1,0 +1,21 @@
+(** Polymorphic binary min-heap on a growable array.
+
+    Used for event queues and scheduler ready-queues. Operations are the
+    classic O(log n); [peek]/[size] are O(1). The comparator is fixed at
+    creation. The heap is *not* stable by itself — callers that need
+    deterministic tie-breaking must embed a sequence number in the key. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val add : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Heap contents in unspecified order (for diagnostics and tests). *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b

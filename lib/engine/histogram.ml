@@ -1,0 +1,61 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable n : int;
+  width : float;
+}
+
+let create ~lo ~hi ~bins =
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  {
+    lo;
+    hi;
+    bins = Array.make bins 0;
+    under = 0;
+    over = 0;
+    n = 0;
+    width = (hi -. lo) /. float_of_int bins;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = Stdlib.min i (Array.length t.bins - 1) in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let count t = t.n
+let underflow t = t.under
+let overflow t = t.over
+let bin_count t i = t.bins.(i)
+
+let bin_bounds t i =
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let iter t f =
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      f ~lo ~hi ~count:c)
+    t.bins
+
+let render t ~width =
+  let buf = Buffer.create 256 in
+  let maxc = Array.fold_left Stdlib.max 1 t.bins in
+  if t.under > 0 then Buffer.add_string buf (Printf.sprintf "  < %8.3f : %d\n" t.lo t.under);
+  iter t (fun ~lo ~hi ~count ->
+      if count > 0 then begin
+        let bar = String.make (count * width / maxc) '#' in
+        Buffer.add_string buf
+          (Printf.sprintf "  [%8.3f, %8.3f) : %6d %s\n" lo hi count bar)
+      end);
+  if t.over > 0 then Buffer.add_string buf (Printf.sprintf "  >=%8.3f : %d\n" t.hi t.over);
+  Buffer.contents buf

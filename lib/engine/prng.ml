@@ -1,0 +1,72 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create seed =
+  let t = { state = Int64.of_int seed } in
+  (* A warm-up draw decorrelates small consecutive seeds. *)
+  ignore (next_int64 t);
+  t
+
+let split t =
+  let s = next_int64 t in
+  { state = mix s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits OCaml's native int (63-bit, signed). *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+(* 53 random mantissa bits, uniform in [0, 1). *)
+let unit_float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+let exponential t ~mean =
+  assert (mean > 0.0);
+  let u = 1.0 -. unit_float t in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. unit_float t and u2 = unit_float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let pareto t ~shape ~scale =
+  assert (shape > 0.0 && scale > 0.0);
+  let u = 1.0 -. unit_float t in
+  scale *. (u ** (-1.0 /. shape))
+
+let choice t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

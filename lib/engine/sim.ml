@@ -1,0 +1,53 @@
+type t = {
+  q : Event_queue.t;
+  mutable clock : Time.t;
+  mutable fired : int;
+}
+
+let create () = { q = Event_queue.create (); clock = Time.zero; fired = 0 }
+
+let now t = t.clock
+
+let at t time f =
+  if Time.compare time t.clock < 0 then
+    invalid_arg
+      (Printf.sprintf "Sim.at: scheduling in the past (%s < %s)"
+         (Time.to_string time) (Time.to_string t.clock));
+  Event_queue.schedule t.q ~at:time f
+
+let after t d f =
+  if d < 0 then invalid_arg "Sim.after: negative delay";
+  at t (Time.add t.clock d) f
+
+let cancel = Event_queue.cancel
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.next_time t.q with
+    | Some when_ when Time.compare when_ horizon <= 0 ->
+      begin match Event_queue.pop t.q with
+      | None -> ()
+      | Some (at, thunk) ->
+        t.clock <- Time.max t.clock at;
+        t.fired <- t.fired + 1;
+        thunk ();
+        loop ()
+      end
+    | _ -> ()
+  in
+  loop ();
+  t.clock <- Time.max t.clock horizon
+
+let run t =
+  let rec loop () =
+    match Event_queue.pop t.q with
+    | None -> ()
+    | Some (at, thunk) ->
+      t.clock <- Time.max t.clock at;
+      t.fired <- t.fired + 1;
+      thunk ();
+      loop ()
+  in
+  loop ()
+
+let steps t = t.fired

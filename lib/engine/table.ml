@@ -1,0 +1,39 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let row t cells = t.rows <- cells :: t.rows
+
+let rowf t fmt = Printf.ksprintf (fun s -> row t [ s ]) fmt
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let note_widths r =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) r
+  in
+  List.iter note_widths all;
+  let buf = Buffer.create 1024 in
+  let emit r =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        (* Pad all but the final cell of the row. *)
+        if i < List.length r - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+      r;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  let rule_len =
+    Array.fold_left ( + ) 0 widths + (2 * Stdlib.max 0 (ncols - 1))
+  in
+  Buffer.add_string buf (String.make rule_len '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,19 @@
+(** Aligned plain-text tables for benchmark/experiment output. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val row : t -> string list -> unit
+(** Append a row; it may have fewer cells than there are headers. *)
+
+val rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** Append a single-cell row via printf (useful for footnotes). *)
+
+val render : t -> string
+(** Render with columns padded to their widest cell, 'header / rule /
+    rows' layout. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,44 @@
+type t = {
+  mutable segs : (string * Time.t * Time.t * string) list;
+  mutable marks : (string * Time.t * string) list;
+  mutable lanes : string list; (* in first-seen order *)
+}
+
+let create () = { segs = []; marks = []; lanes = [] }
+
+let note_lane t lane = if not (List.mem lane t.lanes) then t.lanes <- t.lanes @ [ lane ]
+
+let segment t ~lane ~start ~stop ~label =
+  note_lane t lane;
+  t.segs <- (lane, start, stop, label) :: t.segs
+
+let mark t ~lane ~at ~label =
+  note_lane t lane;
+  t.marks <- (lane, at, label) :: t.marks
+
+let segments t = List.rev t.segs
+let marks t = List.rev t.marks
+
+let render_gantt t ~cell ~until =
+  if cell <= 0 then invalid_arg "Tracelog.render_gantt: cell <= 0";
+  let ncells = (until + cell - 1) / cell in
+  let buf = Buffer.create 1024 in
+  let lane_width =
+    List.fold_left (fun acc l -> Stdlib.max acc (String.length l)) 4 t.lanes
+  in
+  List.iter
+    (fun lane ->
+      let rowbuf = Bytes.make ncells '.' in
+      List.iter
+        (fun (l, start, stop, _) ->
+          if String.equal l lane then begin
+            let c0 = start / cell and c1 = (stop - 1) / cell in
+            for c = Stdlib.max 0 c0 to Stdlib.min (ncells - 1) c1 do
+              Bytes.set rowbuf c (if String.length lane > 0 then lane.[0] else '#')
+            done
+          end)
+        t.segs;
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s|\n" lane_width lane (Bytes.to_string rowbuf)))
+    t.lanes;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Execution trace recording and ASCII Gantt rendering.
+
+    Records labelled execution segments on named lanes (one lane per
+    thread/node), used to reproduce the paper's Figure 3 timeline and to
+    debug scheduling decisions. *)
+
+type t
+
+val create : unit -> t
+
+val segment : t -> lane:string -> start:Time.t -> stop:Time.t -> label:string -> unit
+(** Record that [lane] was active on [\[start, stop)] doing [label]. *)
+
+val mark : t -> lane:string -> at:Time.t -> label:string -> unit
+(** Record an instantaneous event (rendered as a point annotation). *)
+
+val segments : t -> (string * Time.t * Time.t * string) list
+(** All segments in recording order: (lane, start, stop, label). *)
+
+val marks : t -> (string * Time.t * string) list
+
+val render_gantt : t -> cell:Time.span -> until:Time.t -> string
+(** ASCII Gantt chart: one row per lane, one character per [cell] of time.
+    A lane's cell shows the first letter of the active segment's lane name,
+    '.' when idle. *)

@@ -1,0 +1,111 @@
+open Hsfq_engine
+open Hsfq_core
+open Hsfq_kernel
+open Hsfq_workload
+
+type sys = { sim : Sim.t; hier : Hierarchy.t; k : Kernel.t }
+
+let make_sys ?config () =
+  let sim = Sim.create () in
+  let hier = Hierarchy.create () in
+  let k = Kernel.create ?config sim hier in
+  { sim; hier; k }
+
+let must where = function
+  | Ok v -> v
+  | Error e -> invalid_arg (Printf.sprintf "%s: %s" where e)
+
+let internal sys ~parent ~name ~weight =
+  must "internal"
+    (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Internal)
+
+let sfq_leaf sys ~parent ~name ~weight ?quantum () =
+  let id =
+    must "sfq_leaf" (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Leaf)
+  in
+  let lf, h = Leaf_sched.Sfq_leaf.make ?quantum () in
+  Kernel.install_leaf sys.k id lf;
+  (id, h)
+
+let svr4_leaf sys ~parent ~name ~weight ?table ?tick_accounting ?rt_quantum () =
+  let id =
+    must "svr4_leaf" (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Leaf)
+  in
+  let lf, h = Leaf_sched.Svr4_leaf.make ?table ?tick_accounting ?rt_quantum () in
+  Kernel.install_leaf sys.k id lf;
+  (id, h)
+
+let rm_leaf sys ~parent ~name ~weight ?quantum () =
+  let id =
+    must "rm_leaf" (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Leaf)
+  in
+  let lf, h = Leaf_sched.Rm_leaf.make ?quantum () in
+  Kernel.install_leaf sys.k id lf;
+  (id, h)
+
+let edf_leaf sys ~parent ~name ~weight ?quantum () =
+  let id =
+    must "edf_leaf" (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Leaf)
+  in
+  let lf, h = Leaf_sched.Edf_leaf.make ?quantum () in
+  Kernel.install_leaf sys.k id lf;
+  (id, h)
+
+let dhrystone_thread sys ~leaf ~sfq ~name ~weight ~loop_cost =
+  let wl, counter = Dhrystone.make ~loop_cost () in
+  let tid = Kernel.spawn sys.k ~name ~leaf wl in
+  Leaf_sched.Sfq_leaf.add sfq ~tid ~weight;
+  Kernel.start sys.k tid;
+  (tid, counter)
+
+let dhrystone_ts_thread sys ~leaf ~svr4 ~name ~loop_cost =
+  let wl, counter = Dhrystone.make ~loop_cost () in
+  let tid = Kernel.spawn sys.k ~name ~leaf wl in
+  Leaf_sched.Svr4_leaf.add svr4 ~tid Hsfq_sched.Svr4.Ts;
+  Kernel.start sys.k tid;
+  (tid, counter)
+
+let mpeg_thread sys ~leaf ~sfq ~name ~weight ?(params = Mpeg.default_params)
+    ?paced () =
+  let wl, counter = Mpeg.decoder params ?paced () in
+  let tid = Kernel.spawn sys.k ~name ~leaf wl in
+  Leaf_sched.Sfq_leaf.add sfq ~tid ~weight;
+  Kernel.start sys.k tid;
+  (tid, counter)
+
+let periodic_rt_thread sys ~leaf ~svr4 ~name ~rt_prio ~period ~cost =
+  let wl, counter = Periodic.make ~period ~cost () in
+  let tid = Kernel.spawn sys.k ~name ~leaf wl in
+  Leaf_sched.Svr4_leaf.add svr4 ~tid (Hsfq_sched.Svr4.Rt rt_prio);
+  Kernel.start sys.k tid;
+  (tid, counter)
+
+let background_daemons sys ~leaf ~svr4 ~n ~mean_think ~burst ~seed =
+  List.init n (fun i ->
+      let wl, _ = Interactive.make ~mean_think ~burst ~seed:(seed + i) () in
+      let tid =
+        Kernel.spawn sys.k ~name:(Printf.sprintf "daemon%d" i) ~leaf wl
+      in
+      Leaf_sched.Svr4_leaf.add svr4 ~tid Hsfq_sched.Svr4.Ts;
+      Kernel.start sys.k tid;
+      tid)
+
+type check = { label : string; ok : bool; detail : string }
+
+let check label ok fmt = Printf.ksprintf (fun detail -> { label; ok; detail }) fmt
+
+let print_checks checks =
+  List.iter
+    (fun c ->
+      Printf.printf "  [%s] %-40s %s\n" (if c.ok then "PASS" else "FAIL") c.label
+        c.detail)
+    checks
+
+let all_ok checks = List.for_all (fun c -> c.ok) checks
+
+let fmt_f v =
+  if Float.abs v >= 1000. then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 10. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3f" v
+
+let buckets_row label xs = label :: (Array.to_list xs |> List.map fmt_f)

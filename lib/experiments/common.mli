@@ -1,0 +1,73 @@
+(** Shared scaffolding for the paper-reproduction experiments.
+
+    Builds simulated systems (simulator + hierarchy + kernel), wires leaf
+    schedulers and threads with less ceremony than the raw APIs, and
+    provides the check/reporting conventions every figure module uses. *)
+
+open Hsfq_engine
+open Hsfq_core
+open Hsfq_kernel
+
+type sys = { sim : Sim.t; hier : Hierarchy.t; k : Kernel.t }
+
+val make_sys : ?config:Kernel.config -> unit -> sys
+
+val internal : sys -> parent:Hierarchy.id -> name:string -> weight:float ->
+  Hierarchy.id
+(** Create an internal node (raises on error). *)
+
+val sfq_leaf : sys -> parent:Hierarchy.id -> name:string -> weight:float ->
+  ?quantum:Time.span -> unit -> Hierarchy.id * Leaf_sched.Sfq_leaf.handle
+(** Create a leaf node with an SFQ class scheduler installed. *)
+
+val svr4_leaf : sys -> parent:Hierarchy.id -> name:string -> weight:float ->
+  ?table:Hsfq_sched.Svr4.row array -> ?tick_accounting:bool ->
+  ?rt_quantum:Time.span -> unit -> Hierarchy.id * Leaf_sched.Svr4_leaf.handle
+
+val rm_leaf : sys -> parent:Hierarchy.id -> name:string -> weight:float ->
+  ?quantum:Time.span -> unit -> Hierarchy.id * Leaf_sched.Rm_leaf.handle
+
+val edf_leaf : sys -> parent:Hierarchy.id -> name:string -> weight:float ->
+  ?quantum:Time.span -> unit -> Hierarchy.id * Leaf_sched.Edf_leaf.handle
+
+(** {1 Thread helpers} (spawn + class registration + start) *)
+
+val dhrystone_thread : sys -> leaf:Hierarchy.id ->
+  sfq:Leaf_sched.Sfq_leaf.handle -> name:string -> weight:float ->
+  loop_cost:Time.span -> Kernel.tid * Hsfq_workload.Dhrystone.counter
+
+val dhrystone_ts_thread : sys -> leaf:Hierarchy.id ->
+  svr4:Leaf_sched.Svr4_leaf.handle -> name:string ->
+  loop_cost:Time.span -> Kernel.tid * Hsfq_workload.Dhrystone.counter
+
+val mpeg_thread : sys -> leaf:Hierarchy.id ->
+  sfq:Leaf_sched.Sfq_leaf.handle -> name:string -> weight:float ->
+  ?params:Hsfq_workload.Mpeg.params -> ?paced:bool -> unit ->
+  Kernel.tid * Hsfq_workload.Mpeg.counter
+
+val periodic_rt_thread : sys -> leaf:Hierarchy.id ->
+  svr4:Leaf_sched.Svr4_leaf.handle -> name:string -> rt_prio:int ->
+  period:Time.span -> cost:Time.span ->
+  Kernel.tid * Hsfq_workload.Periodic.counter
+
+val background_daemons : sys -> leaf:Hierarchy.id ->
+  svr4:Leaf_sched.Svr4_leaf.handle -> n:int -> mean_think:Time.span ->
+  burst:Time.span -> seed:int -> Kernel.tid list
+(** Interactive TS threads standing in for "all the normal system
+    processes" of the paper's multiuser-mode testbed. *)
+
+(** {1 Reporting conventions} *)
+
+type check = { label : string; ok : bool; detail : string }
+
+val check : string -> bool -> ('a, unit, string, check) format4 -> 'a
+(** [check label ok fmt ...] builds a {!check} with a printf detail. *)
+
+val print_checks : check list -> unit
+val all_ok : check list -> bool
+
+val buckets_row : string -> float array -> string list
+(** Render a per-second bucket array as a table row (label first). *)
+
+val fmt_f : float -> string
+(** Compact float rendering for table cells. *)

@@ -1,0 +1,129 @@
+let buf_csv header rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun cells ->
+      Buffer.add_string b (String.concat "," cells);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let f = Printf.sprintf "%.6g"
+
+let fig1 () =
+  let r = Fig1.run () in
+  let p = Hsfq_workload.Mpeg.default_params in
+  [
+    ( "fig1_decode_costs.csv",
+      buf_csv "frame,cost_ms,type"
+        (List.mapi
+           (fun i c ->
+             [
+               string_of_int i;
+               f c;
+               String.make 1 (Hsfq_workload.Mpeg.frame_type p i);
+             ])
+           (Array.to_list r.Fig1.costs_ms)) );
+  ]
+
+let fig5 () =
+  let r = Fig5.run () in
+  let rows scheduler buckets =
+    List.concat
+      (List.mapi
+         (fun thread b ->
+           List.mapi
+             (fun w v ->
+               [ scheduler; string_of_int (thread + 1); string_of_int (w * 5); f v ])
+             (Array.to_list b))
+         (Array.to_list buckets))
+  in
+  [
+    ( "fig5_throughput.csv",
+      buf_csv "scheduler,thread,window_start_s,loops"
+        (rows "svr4-ts" r.Fig5.ts_buckets @ rows "sfq" r.Fig5.sfq_buckets) );
+  ]
+
+let fig7 () =
+  let r = Fig7.run () in
+  [
+    ( "fig7a_threads.csv",
+      buf_csv "threads,ratio"
+        (List.map2
+           (fun n x -> [ string_of_int n; f x ])
+           (Array.to_list r.Fig7.thread_counts)
+           (Array.to_list r.Fig7.ratio_by_threads)) );
+    ( "fig7b_depth.csv",
+      buf_csv "depth,ratio"
+        (List.map2
+           (fun d x -> [ string_of_int d; f x ])
+           (Array.to_list r.Fig7.depths)
+           (Array.to_list r.Fig7.ratio_by_depth)) );
+  ]
+
+let fig8 () =
+  let r = Fig8.run () in
+  [
+    ( "fig8a_ratio.csv",
+      buf_csv "second,sfq2_over_sfq1"
+        (List.mapi
+           (fun s x -> [ string_of_int s; f x ])
+           (Array.to_list r.Fig8.ratio_per_sec)) );
+  ]
+
+let fig9 () =
+  let r = Fig9.run () in
+  [
+    ( "fig9a_latency.csv",
+      buf_csv "round,latency_ms"
+        (List.mapi
+           (fun i x -> [ string_of_int i; f x ])
+           (Array.to_list r.Fig9.lat1_ms)) );
+    ( "fig9b_slack.csv",
+      buf_csv "round,slack_ms"
+        (List.mapi
+           (fun i x -> [ string_of_int i; f x ])
+           (Array.to_list r.Fig9.slack1_ms)) );
+  ]
+
+let fig10 () =
+  let r = Fig10.run () in
+  [
+    ( "fig10_frames.csv",
+      buf_csv "second,frames_w5,frames_w10"
+        (List.map
+           (fun (s, a, b) -> [ string_of_int s; string_of_int a; string_of_int b ])
+           r.Fig10.cum_rows) );
+  ]
+
+let fig11 () =
+  let r = Fig11.run () in
+  [
+    ( "fig11_throughput.csv",
+      buf_csv "second,thread1_loops,thread2_loops"
+        (List.mapi
+           (fun s v1 -> [ string_of_int s; f v1; f r.Fig11.t2_per_sec.(s) ])
+           (Array.to_list r.Fig11.t1_per_sec)) );
+  ]
+
+let table : (string * (unit -> (string * string) list)) list =
+  [
+    ("fig1", fig1);
+    ("fig5", fig5);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+  ]
+
+let exportable () = List.map fst table
+
+let export id =
+  match List.assoc_opt id table with
+  | Some produce -> Ok (produce ())
+  | None ->
+    Error
+      (Printf.sprintf "no CSV export for %S (available: %s)" id
+         (String.concat ", " (exportable ())))

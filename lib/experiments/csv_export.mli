@@ -1,0 +1,10 @@
+(** CSV export of the figure data, for plotting the paper's figures from
+    this reproduction (used by [hsfq_sim csv]). *)
+
+val exportable : unit -> string list
+(** The experiment ids that have plottable data (the paper figures). *)
+
+val export : string -> ((string * string) list, string) result
+(** [export id] runs the experiment and returns [(filename, csv
+    contents)] pairs, or an error for unknown/non-exportable ids. The
+    first CSV line is always a header. *)

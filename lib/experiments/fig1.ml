@@ -1,0 +1,94 @@
+open Hsfq_engine
+open Hsfq_workload
+
+type result = {
+  frames : int;
+  costs_ms : float array;
+  mean_ms : float;
+  min_ms : float;
+  max_ms : float;
+  frame_cv : float;
+  scene_cv : float;
+  mean_by_type : (char * float) list;
+}
+
+let run ?(frames = 2000) () =
+  let p = Mpeg.default_params in
+  let costs = Mpeg.trace p ~frames in
+  let costs_ms = Array.map Time.to_milliseconds_float costs in
+  let st = Stats.create () in
+  Array.iter (Stats.add st) costs_ms;
+  (* Scene-scale variation: means of one-second (30-frame) windows. *)
+  let window = 30 in
+  let nwin = frames / window in
+  let win_means =
+    Array.init nwin (fun w ->
+        let s = ref 0. in
+        for i = w * window to ((w + 1) * window) - 1 do
+          s := !s +. costs_ms.(i)
+        done;
+        !s /. float_of_int window)
+  in
+  let mean_by_type =
+    List.map
+      (fun ty ->
+        let st = Stats.create () in
+        Array.iteri
+          (fun i c -> if Mpeg.frame_type p i = ty then Stats.add st c)
+          costs_ms;
+        (ty, Stats.mean st))
+      [ 'I'; 'P'; 'B' ]
+  in
+  {
+    frames;
+    costs_ms;
+    mean_ms = Stats.mean st;
+    min_ms = Stats.min_value st;
+    max_ms = Stats.max_value st;
+    frame_cv = Stats.cv st;
+    scene_cv = Stats.cv_of win_means;
+    mean_by_type;
+  }
+
+let checks r =
+  let mean ty = List.assoc ty r.mean_by_type in
+  [
+    Common.check "frame-scale variation (CV > 0.25)" (r.frame_cv > 0.25)
+      "frame CV = %.3f" r.frame_cv;
+    Common.check "scene-scale variation (window-mean CV > 0.10)"
+      (r.scene_cv > 0.10) "scene CV = %.3f" r.scene_cv;
+    Common.check "I frames costlier than P costlier than B"
+      (mean 'I' > mean 'P' && mean 'P' > mean 'B')
+      "I=%.2fms P=%.2fms B=%.2fms" (mean 'I') (mean 'P') (mean 'B');
+    Common.check "costs span a wide range (max > 3x min)"
+      (r.max_ms > 3. *. r.min_ms)
+      "min=%.2fms max=%.2fms" r.min_ms r.max_ms;
+  ]
+
+let print r =
+  Printf.printf
+    "Fig 1 | MPEG decode cost per frame (synthetic VBR trace, %d frames)\n"
+    r.frames;
+  Printf.printf "  mean %.2f ms, min %.2f ms, max %.2f ms, frame CV %.3f, scene CV %.3f\n"
+    r.mean_ms r.min_ms r.max_ms r.frame_cv r.scene_cv;
+  List.iter
+    (fun (ty, m) -> Printf.printf "  mean %c-frame cost: %.2f ms\n" ty m)
+    r.mean_by_type;
+  (* A coarse rendition of the figure itself: per-second mean cost. *)
+  let t = Table.create [ "second"; "mean decode ms (frames i..i+29)" ] in
+  let window = 30 in
+  let nwin = Stdlib.min 20 (r.frames / window) in
+  for w = 0 to nwin - 1 do
+    let s = ref 0. in
+    for i = w * window to ((w + 1) * window) - 1 do
+      s := !s +. r.costs_ms.(i)
+    done;
+    let bar_len = int_of_float (!s /. float_of_int window) in
+    Table.row t
+      [
+        string_of_int w;
+        Printf.sprintf "%6.2f %s" (!s /. float_of_int window)
+          (String.make (Stdlib.min 60 bar_len) '#');
+      ]
+  done;
+  Table.print t

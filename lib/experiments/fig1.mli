@@ -1,0 +1,19 @@
+(** Figure 1: "Variation in decompression times of frames in an MPEG
+    compressed video sequence" — decode cost varies frame-to-frame (tens
+    of ms) and scene-to-scene (seconds). Regenerated from the synthetic
+    VBR model (see DESIGN.md substitutions). *)
+
+type result = {
+  frames : int;
+  costs_ms : float array;  (** per-frame decode cost, ms *)
+  mean_ms : float;
+  min_ms : float;
+  max_ms : float;
+  frame_cv : float;  (** frame-scale variation *)
+  scene_cv : float;  (** CV of per-second (30-frame) window means *)
+  mean_by_type : (char * float) list;  (** I/P/B mean cost *)
+}
+
+val run : ?frames:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

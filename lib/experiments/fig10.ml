@@ -1,0 +1,92 @@
+open Hsfq_engine
+open Hsfq_workload
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+
+type result = {
+  frames_w5 : int;
+  frames_w10 : int;
+  ratio : float;
+  cpu_ratio : float;
+  cum_rows : (int * int * int) list;
+  interval_ratios : float array;
+}
+
+(* The figure counts *frames*; since the two players sit at different
+   positions of the stream, heavy scene-to-scene cost variation would make
+   the frame ratio wander even though the CPU split is exactly 2:1. The
+   paper's clip is used for a scheduling claim, so we play a mildly
+   variable one and separately verify the CPU-time split. *)
+let clip = { Mpeg.default_params with complexity_sigma = 0.10; noise_sigma = 0.06 }
+
+let run ?(seconds = 60) () =
+  let sys = make_sys () in
+  let leaf, sfq = sfq_leaf sys ~parent:Hierarchy.root ~name:"SFQ-1" ~weight:1. () in
+  let t5, c5 = mpeg_thread sys ~leaf ~sfq ~name:"player-w5" ~weight:5. ~params:clip () in
+  let t10, c10 = mpeg_thread sys ~leaf ~sfq ~name:"player-w10" ~weight:10. ~params:clip () in
+  let until = Time.seconds seconds in
+  Hsfq_kernel.Kernel.run_until sys.k until;
+  let cpu_ratio =
+    float_of_int (Hsfq_kernel.Kernel.cpu_time sys.k t10)
+    /. float_of_int (Hsfq_kernel.Kernel.cpu_time sys.k t5)
+  in
+  let cum_rows =
+    List.init (seconds / 5) (fun i ->
+        let t = Time.seconds ((i + 1) * 5) in
+        ( (i + 1) * 5,
+          Mpeg.decoded_before c5 t,
+          Mpeg.decoded_before c10 t ))
+  in
+  let b5 = Series.bucket_sum (Mpeg.series c5) ~width:(Time.seconds 2) ~until in
+  let b10 = Series.bucket_sum (Mpeg.series c10) ~width:(Time.seconds 2) ~until in
+  let interval_ratios =
+    Array.init (Array.length b5) (fun i ->
+        if b5.(i) = 0. then 0. else b10.(i) /. b5.(i))
+  in
+  {
+    frames_w5 = Mpeg.decoded c5;
+    frames_w10 = Mpeg.decoded c10;
+    ratio = float_of_int (Mpeg.decoded c10) /. float_of_int (Mpeg.decoded c5);
+    cpu_ratio;
+    cum_rows;
+    interval_ratios;
+  }
+
+let checks r =
+  [
+    check "CPU time split exactly tracks the 2:1 weights"
+      (Float.abs (r.cpu_ratio -. 2.) < 0.02)
+      "cpu ratio = %.4f" r.cpu_ratio;
+    check "weight-10 player decodes 2x the frames overall"
+      (Float.abs (r.ratio -. 2.) < 0.15)
+      "ratio = %.3f" r.ratio;
+    check "cumulative 2:1 holds at every 5 s point (+-10%)"
+      (List.for_all
+         (fun (_, f5, f10) ->
+           f5 > 0 && Float.abs ((float_of_int f10 /. float_of_int f5) -. 2.) < 0.2)
+         r.cum_rows)
+      "2 s window ratios span [%.2f, %.2f] (scene-dependent)"
+      (Array.fold_left Float.min infinity r.interval_ratios)
+      (Array.fold_left Float.max neg_infinity r.interval_ratios);
+    check "both players progress continuously"
+      (r.frames_w5 > 100 && r.frames_w10 > 200)
+      "frames %d and %d" r.frames_w5 r.frames_w10;
+  ]
+
+let print r =
+  print_endline
+    "Fig 10 | frames decoded vs time, MPEG players with weights 5 and 10 (SFQ leaf)";
+  let t = Table.create [ "t (s)"; "frames w=5"; "frames w=10"; "ratio" ] in
+  List.iter
+    (fun (s, f5, f10) ->
+      Table.row t
+        [
+          string_of_int s;
+          string_of_int f5;
+          string_of_int f10;
+          (if f5 = 0 then "-" else Printf.sprintf "%.2f" (float_of_int f10 /. float_of_int f5));
+        ])
+    r.cum_rows;
+  Table.print t;
+  Printf.printf "  totals: %d vs %d frames, ratio %.3f (expect 2.0); CPU split %.4f\n"
+    r.frames_w5 r.frames_w10 r.ratio r.cpu_ratio

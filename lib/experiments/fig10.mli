@@ -1,0 +1,22 @@
+(** Figure 10: SFQ as a leaf scheduler.
+
+    "two threads with weights 5 and 10, each running the Berkeley MPEG
+    video player, were assigned to node SFQ-1 ... the thread with weight
+    10 decodes twice as many frames as compared to the other thread in
+    any time interval."
+
+    Both decoders run the same (synthetic) clip, so equal work means
+    equal frames and the frame ratio tracks the 2:1 weight ratio. *)
+
+type result = {
+  frames_w5 : int;
+  frames_w10 : int;
+  ratio : float;
+  cpu_ratio : float;  (** CPU-time ratio w10/w5 — the scheduling claim *)
+  cum_rows : (int * int * int) list;  (** (second, frames w5, frames w10) *)
+  interval_ratios : float array;  (** per-2s window ratio *)
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,35 @@
+(** Figure 11: dynamic bandwidth allocation.
+
+    Two Dhrystone threads in the SFQ-1 node; weights and sleep state are
+    changed on the paper's schedule —
+
+    {v
+    t=0   w1=4 w2=4   ratio 4:4
+    t=4   w2:=2       ratio 4:2
+    t=6   thread1 sleeps    0:2
+    t=9   thread1 resumes   4:2
+    t=12  w1:=8       ratio 8:2
+    t=16  w2:=4       ratio 8:4
+    t=22  w1:=4       ratio 4:4
+    v}
+
+    and the per-second throughputs and their ratio must track each phase
+    ("SFQ can achieve fairness even in the presence of dynamic variation
+    in weight assignments"). *)
+
+type phase = {
+  from_s : int;
+  to_s : int;
+  expected : float;  (** thread1/thread2 throughput ratio; 0 = asleep *)
+  measured : float;  (** mean per-second ratio over the phase interior *)
+}
+
+type result = {
+  t1_per_sec : float array;
+  t2_per_sec : float array;
+  phases : phase list;
+}
+
+val run : unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,24 @@
+(** Figure 5: limitation of conventional time-sharing schedulers.
+
+    "We compared the throughput of 5 threads running Dhrystone benchmark
+    under time-sharing and SFQ schedulers. ... in spite of having the same
+    user priority, the throughput received by the threads in the
+    time-sharing scheduler varies significantly ... In contrast, all the
+    threads in SFQ received the same throughput."
+
+    Both runs share the multiuser-mode conditions of the paper's testbed:
+    background daemons and interrupt load. The spread measure is the
+    coefficient of variation of per-thread loop totals. *)
+
+type result = {
+  ts_loops : int array;  (** per-thread totals under SVR4 TS *)
+  sfq_loops : int array;
+  ts_cv : float;
+  sfq_cv : float;
+  ts_buckets : float array array;  (** per-thread loops per 5 s window *)
+  sfq_buckets : float array array;
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,129 @@
+open Hsfq_engine
+open Hsfq_workload
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+
+type result = {
+  thread_counts : int array;
+  ratio_by_threads : float array;
+  depths : int array;
+  ratio_by_depth : float array;
+}
+
+let loop_cost = Time.microseconds 500
+
+let hier_config =
+  {
+    Hsfq_kernel.Kernel.default_config with
+    default_quantum = Time.milliseconds 20 (* the paper's 20 ms quantum *);
+    sched_cost_per_level = Time.nanoseconds 500;
+  }
+
+let unmodified_config =
+  {
+    Hsfq_kernel.Kernel.default_config with
+    default_quantum = Time.seconds 10 (* dispatch-table quanta govern *);
+    sched_cost_per_level = 0;
+  }
+
+let aggregate counters = Array.fold_left (fun a c -> a + Dhrystone.loops c) 0 counters
+
+(* Fig 6 structure: root -> SFQ-1 (w=2), SFQ-2 (w=6), SVR4 (w=1); the
+   benchmark threads live in SFQ-1 and the other nodes stay idle, so
+   SFQ-1 receives the whole CPU minus scheduling overheads. *)
+let run_hier ~threads ~seconds =
+  let sys = make_sys ~config:hier_config () in
+  let leaf1, sfq1 =
+    sfq_leaf sys ~parent:Hierarchy.root ~name:"SFQ-1" ~weight:2. ()
+  in
+  let _ = sfq_leaf sys ~parent:Hierarchy.root ~name:"SFQ-2" ~weight:6. () in
+  let _ = svr4_leaf sys ~parent:Hierarchy.root ~name:"SVR4" ~weight:1. () in
+  let counters =
+    Array.init threads (fun i ->
+        snd
+          (dhrystone_thread sys ~leaf:leaf1 ~sfq:sfq1
+             ~name:(Printf.sprintf "dhry%d" i) ~weight:1. ~loop_cost))
+  in
+  Hsfq_kernel.Kernel.run_until sys.k (Time.seconds seconds);
+  aggregate counters
+
+let run_unmodified ~threads ~seconds =
+  let sys = make_sys ~config:unmodified_config () in
+  let leaf, svr4 =
+    svr4_leaf sys ~parent:Hierarchy.root ~name:"ts" ~weight:1. ()
+  in
+  let counters =
+    Array.init threads (fun i ->
+        snd
+          (dhrystone_ts_thread sys ~leaf ~svr4 ~name:(Printf.sprintf "dhry%d" i)
+             ~loop_cost))
+  in
+  Hsfq_kernel.Kernel.run_until sys.k (Time.seconds seconds);
+  aggregate counters
+
+(* Depth experiment: a chain of intermediate nodes above SFQ-1. *)
+let run_depth ~depth ~seconds =
+  let sys = make_sys ~config:hier_config () in
+  let parent = ref Hierarchy.root in
+  for i = 1 to depth do
+    parent := internal sys ~parent:!parent ~name:(Printf.sprintf "mid%d" i) ~weight:1.
+  done;
+  let leaf, sfq = sfq_leaf sys ~parent:!parent ~name:"SFQ-1" ~weight:2. () in
+  let counters =
+    Array.init 5 (fun i ->
+        snd
+          (dhrystone_thread sys ~leaf ~sfq ~name:(Printf.sprintf "dhry%d" i)
+             ~weight:1. ~loop_cost))
+  in
+  Hsfq_kernel.Kernel.run_until sys.k (Time.seconds seconds);
+  aggregate counters
+
+let run ?(seconds = 10) () =
+  let thread_counts = Array.init 20 (fun i -> i + 1) in
+  let ratio_by_threads =
+    Array.map
+      (fun n ->
+        let h = run_hier ~threads:n ~seconds in
+        let u = run_unmodified ~threads:n ~seconds in
+        float_of_int h /. float_of_int u)
+      thread_counts
+  in
+  let depths = [| 0; 5; 10; 15; 20; 25; 30 |] in
+  let base = run_depth ~depth:0 ~seconds in
+  let ratio_by_depth =
+    Array.map
+      (fun d -> float_of_int (run_depth ~depth:d ~seconds) /. float_of_int base)
+      depths
+  in
+  { thread_counts; ratio_by_threads; depths; ratio_by_depth }
+
+let checks r =
+  let min_t = Array.fold_left Float.min infinity r.ratio_by_threads in
+  let max_t = Array.fold_left Float.max neg_infinity r.ratio_by_threads in
+  let min_d = Array.fold_left Float.min infinity r.ratio_by_depth in
+  let max_d = Array.fold_left Float.max neg_infinity r.ratio_by_depth in
+  [
+    check "hierarchical throughput within 1% of unmodified (all n)"
+      (min_t > 0.99 && max_t < 1.01)
+      "ratio range [%.4f, %.4f]" min_t max_t;
+    check "throughput varies < 0.2% across depth 0..30"
+      (min_d > 0.998 && max_d < 1.002)
+      "ratio range [%.4f, %.4f]" min_d max_d;
+  ]
+
+let print r =
+  print_endline
+    "Fig 7a | throughput ratio hierarchical/unmodified vs number of threads (20 ms quantum)";
+  let t = Table.create [ "threads"; "ratio" ] in
+  Array.iteri
+    (fun i n ->
+      Table.row t [ string_of_int n; Printf.sprintf "%.4f" r.ratio_by_threads.(i) ])
+    r.thread_counts;
+  Table.print t;
+  print_endline "Fig 7b | throughput vs depth of hierarchy (relative to depth 0)";
+  let t = Table.create [ "depth"; "ratio" ] in
+  Array.iteri
+    (fun i d ->
+      Table.row t [ string_of_int d; Printf.sprintf "%.4f" r.ratio_by_depth.(i) ])
+    r.depths;
+  Table.print t

@@ -1,0 +1,24 @@
+(** Figure 7: scheduling overhead of the hierarchical scheduler.
+
+    (a) "ratio of the aggregate throughput of threads in our hierarchical
+    scheduler to that in the unmodified kernel" for 1–20 Dhrystone
+    threads, 20 ms quantum — the paper reports within 1%.
+
+    (b) throughput while "the number of nodes between the root class and
+    the SFQ-1 class was varied from 0 to 30" — within 0.2%.
+
+    The unmodified kernel is the flat SVR4 time-sharing scheduler with no
+    per-level hierarchy cost; the hierarchical runs pay
+    [sched_cost_per_level] per dispatch per level (the cost of the SFQ
+    tag updates along the path). *)
+
+type result = {
+  thread_counts : int array;
+  ratio_by_threads : float array;  (** hierarchical / unmodified *)
+  depths : int array;
+  ratio_by_depth : float array;  (** relative to depth 0 *)
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,29 @@
+(** Figure 8: hierarchical CPU allocation.
+
+    (a) Fig-6 structure with SFQ-1, SFQ-2, SVR4 weights 2, 6, 1; two
+    Dhrystone threads in each of SFQ-1 and SFQ-2; fluctuating background
+    load in the SVR4 node. The aggregate throughputs of SFQ-1 and SFQ-2
+    stay in ratio 1:3 despite the fluctuation.
+
+    (b) SFQ-1 (SFQ leaf, 2 threads) and SVR4 (TS leaf, 1 thread) with
+    equal weights: heterogeneous leaf schedulers coexist, both nodes make
+    progress, and both receive the same aggregate throughput. *)
+
+type result = {
+  (* (a) *)
+  agg1 : int;  (** total SFQ-1 loops *)
+  agg2 : int;
+  ratio_overall : float;  (** agg2 / agg1, expected ~3 *)
+  ratio_per_sec : float array;
+  svr4_busy_fraction : float;  (** background actually fluctuates *)
+  (* (b) *)
+  iso_sfq_loops : int array;  (** the two SFQ-1 threads *)
+  iso_svr4_loops : int;
+  iso_node_ratio : float;  (** SFQ-1 aggregate / SVR4, expected ~1 *)
+}
+
+val run : ?seconds:int -> ?seed:int -> unit -> result
+(** [seed] varies the fluctuating background (robustness testing). *)
+
+val checks : result -> Common.check list
+val print : result -> unit

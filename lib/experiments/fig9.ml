@@ -1,0 +1,110 @@
+open Hsfq_engine
+open Hsfq_kernel
+open Hsfq_workload
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+
+type result = {
+  rounds1 : int;
+  rounds2 : int;
+  lat1_max_ms : float;
+  lat1_mean_ms : float;
+  lat2_max_ms : float;
+  slack1_min_ms : float;
+  slack1_mean_ms : float;
+  slack2_min_ms : float;
+  misses : int;
+  lat1_hist : string;
+  slack1_hist : string;
+  decoder_frames : int;
+  lat1_ms : float array;
+  slack1_ms : float array;
+}
+
+let quantum = Time.milliseconds 25
+
+let run ?(seconds = 60) () =
+  let config = { Kernel.default_config with default_quantum = quantum } in
+  let sys = make_sys ~config () in
+  let leaf1, sfq1 = sfq_leaf sys ~parent:Hierarchy.root ~name:"SFQ-1" ~weight:1. () in
+  let leaf2, svr4 =
+    svr4_leaf sys ~parent:Hierarchy.root ~name:"SVR4" ~weight:1. ~rt_quantum:quantum ()
+  in
+  (* RM priorities: thread1 (60 ms period) above thread2 (960 ms). *)
+  let t1, p1 =
+    periodic_rt_thread sys ~leaf:leaf2 ~svr4 ~name:"thread1" ~rt_prio:2
+      ~period:(Time.milliseconds 60) ~cost:(Time.milliseconds 10)
+  in
+  let t2, p2 =
+    periodic_rt_thread sys ~leaf:leaf2 ~svr4 ~name:"thread2" ~rt_prio:1
+      ~period:(Time.milliseconds 960) ~cost:(Time.milliseconds 150)
+  in
+  let _, dec = mpeg_thread sys ~leaf:leaf1 ~sfq:sfq1 ~name:"mpeg" ~weight:1. () in
+  Kernel.run_until sys.k (Time.seconds seconds);
+  let ms = Time.to_milliseconds_float in
+  let lat1 = Kernel.latency_stats sys.k t1 in
+  let lat2 = Kernel.latency_stats sys.k t2 in
+  let lat1_hist =
+    let h = Histogram.create ~lo:0. ~hi:30. ~bins:12 in
+    Array.iter
+      (fun v -> Histogram.add h (v /. 1e6))
+      (Series.values (Kernel.latency_series sys.k t1));
+    Histogram.render h ~width:40
+  in
+  let slack1_hist =
+    let h = Histogram.create ~lo:0. ~hi:60. ~bins:12 in
+    Array.iter
+      (fun v -> Histogram.add h (v /. 1e6))
+      (Series.values (Periodic.slack_series p1));
+    Histogram.render h ~width:40
+  in
+  {
+    rounds1 = Periodic.completed p1;
+    rounds2 = Periodic.completed p2;
+    lat1_max_ms = ms (int_of_float (Stats.max_value lat1));
+    lat1_mean_ms = ms (int_of_float (Stats.mean lat1));
+    lat2_max_ms = ms (int_of_float (Stats.max_value lat2));
+    slack1_min_ms = Stats.min_value (Periodic.slack_stats p1) /. 1e6;
+    slack1_mean_ms = Stats.mean (Periodic.slack_stats p1) /. 1e6;
+    slack2_min_ms = Stats.min_value (Periodic.slack_stats p2) /. 1e6;
+    misses = Periodic.misses p1 + Periodic.misses p2;
+    lat1_hist;
+    slack1_hist;
+    decoder_frames = Mpeg.decoded dec;
+    lat1_ms =
+      Array.map (fun v -> v /. 1e6) (Series.values (Kernel.latency_series sys.k t1));
+    slack1_ms =
+      Array.map (fun v -> v /. 1e6) (Series.values (Periodic.slack_series p1));
+  }
+
+let checks r =
+  let q_ms = Time.to_milliseconds_float quantum in
+  [
+    check "thread1 completes ~ once per 60 ms period"
+      (r.rounds1 > 900) "rounds = %d" r.rounds1;
+    check "thread1 scheduling latency bounded by the 25 ms quantum"
+      (r.lat1_max_ms <= q_ms +. 1.)
+      "max latency = %.2f ms (quantum %.0f ms)" r.lat1_max_ms q_ms;
+    check "slack time always positive (thread1)" (r.slack1_min_ms > 0.)
+      "min slack = %.2f ms" r.slack1_min_ms;
+    check "slack time always positive (thread2)" (r.slack2_min_ms > 0.)
+      "min slack = %.2f ms" r.slack2_min_ms;
+    check "no deadline misses" (r.misses = 0) "misses = %d" r.misses;
+    check "MPEG decoder in SFQ-1 keeps decoding" (r.decoder_frames > 1000)
+      "frames = %d" r.decoder_frames;
+  ]
+
+let print r =
+  print_endline
+    "Fig 9 | RM-scheduled RT threads in the SVR4 node + MPEG decoder in SFQ-1 (25 ms quanta)";
+  Printf.printf
+    "  thread1: %d rounds, latency mean %.2f / max %.2f ms; slack mean %.2f / min %.2f ms\n"
+    r.rounds1 r.lat1_mean_ms r.lat1_max_ms r.slack1_mean_ms r.slack1_min_ms;
+  Printf.printf "  thread2: %d rounds, latency max %.2f ms; slack min %.2f ms\n"
+    r.rounds2 r.lat2_max_ms r.slack2_min_ms;
+  Printf.printf "  deadline misses: %d; decoder frames: %d\n" r.misses
+    r.decoder_frames;
+  print_endline "  (a) thread1 scheduling latency (ms):";
+  print_string r.lat1_hist;
+  print_endline "  (b) thread1 slack time (ms):";
+  print_string r.slack1_hist

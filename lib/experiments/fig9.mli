@@ -1,0 +1,35 @@
+(** Figure 9: hard real-time applications in the hierarchical framework.
+
+    Two periodic threads run in the RT class of the SVR4 node — thread1
+    "executed for 10 ms every 60 ms", thread2 "required 150 ms of
+    computation time every 960 ms" — scheduled by rate monotonic
+    priorities, while an MPEG decoder runs in the SFQ-1 node; the SVR4
+    and SFQ-1 nodes have equal weights and "the threads were scheduled for
+    25 ms quantums".
+
+    (a) Scheduling latency — wakeup (the round's clock interrupt) to first
+    dispatch — is "within a bounded period of time (equal to the length of
+    the scheduling quantum)".
+    (b) Slack time — deadline minus round completion — "is always
+    positive" (no deadline misses). *)
+
+type result = {
+  rounds1 : int;
+  rounds2 : int;
+  lat1_max_ms : float;  (** thread1 max scheduling latency *)
+  lat1_mean_ms : float;
+  lat2_max_ms : float;
+  slack1_min_ms : float;
+  slack1_mean_ms : float;
+  slack2_min_ms : float;
+  misses : int;  (** total deadline misses, both threads *)
+  lat1_hist : string;  (** rendered latency histogram, thread1 *)
+  slack1_hist : string;
+  decoder_frames : int;  (** the MPEG decoder keeps making progress *)
+  lat1_ms : float array;  (** raw per-round latency, ms (plot data) *)
+  slack1_ms : float array;  (** raw per-round slack, ms (plot data) *)
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

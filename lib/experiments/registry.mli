@@ -1,0 +1,15 @@
+(** Uniform access to every reproduction experiment, used by the
+    [hsfq_sim] CLI and the benchmark harness. *)
+
+type entry = {
+  id : string;  (** e.g. ["fig5"], ["xfair"] *)
+  title : string;
+  paper_claim : string;  (** one line: what the paper reports *)
+  execute : quiet:bool -> Common.check list;
+      (** run the experiment; print its rows/series unless [quiet];
+          return the shape checks *)
+}
+
+val all : entry list
+val find : string -> entry option
+val ids : unit -> string list

@@ -1,0 +1,142 @@
+open Hsfq_engine
+open Hsfq_kernel
+open Hsfq_workload
+open Hsfq_analysis
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+
+type result = {
+  rounds : int;
+  violations : int;
+  max_completion_ms : float;
+  bound_ms : float;
+  worst_margin_ms : float;
+  measured_delta_ms : float;
+  analytic_delta_ms : float;
+  interrupt_util : float;
+  hog_delta_measured_ms : float;
+  hog_delta_bound_ms : float;
+}
+
+let period = Time.milliseconds 100
+let cost = Time.milliseconds 20 (* one full quantum per round *)
+let quantum = Time.milliseconds 20
+let rate_f = 0.24 (* weights as rates; sum over threads = 0.96 < C *)
+
+let irq =
+  Interrupt_source.Periodic
+    { period = Time.milliseconds 10; cost = Time.microseconds 100 }
+
+let run ?(seconds = 60) () =
+  let sys = make_sys () in
+  let leaf, sfq = sfq_leaf sys ~parent:Hierarchy.root ~name:"rt" ~weight:1. ~quantum () in
+  let wl, counter = Periodic.make ~period ~cost () in
+  let f = Kernel.spawn sys.k ~name:"periodic" ~leaf wl in
+  Leaf_sched.Sfq_leaf.add sfq ~tid:f ~weight:rate_f;
+  Kernel.start sys.k f;
+  let hogs =
+    Array.init 3 (fun i ->
+        let wl, _ = Dhrystone.make ~loop_cost:(Time.microseconds 500) () in
+        let tid = Kernel.spawn sys.k ~name:(Printf.sprintf "hog%d" i) ~leaf wl in
+        Leaf_sched.Sfq_leaf.add sfq ~tid ~weight:rate_f;
+        Kernel.start sys.k tid;
+        tid)
+  in
+  Kernel.add_interrupt_source sys.k irq;
+  let until = Time.seconds seconds in
+  Kernel.run_until sys.k until;
+  (* FC parameters of the loaded CPU, measured from the work trace. *)
+  let total_work =
+    Array.fold_left ( +. ) 0. (Series.values (Kernel.work_series sys.k))
+  in
+  let c_measured = total_work /. float_of_int until in
+  let measured_delta =
+    Fc_server.estimate_delta (Kernel.work_series sys.k) ~rate:c_measured
+      ~from_:Time.zero ~until
+  in
+  (* Eq. 8 check, round by round. Completion_i = deadline_i - slack_i. *)
+  let slacks = Series.values (Periodic.slack_series counter) in
+  let db = Delay_bound.create ~rate:rate_f () in
+  let lmax_others = 3. *. float_of_int quantum in
+  let violations = ref 0 in
+  let worst_margin = ref infinity in
+  let max_completion = ref 0. in
+  Array.iteri
+    (fun i slack ->
+      let release = float_of_int (i * period) in
+      let deadline = release +. float_of_int period in
+      let completion = deadline -. slack in
+      let eat = Delay_bound.on_quantum db ~arrival:release ~length:(float_of_int cost) in
+      let bound =
+        Delay_bound.bound ~eat ~delta:measured_delta ~c:c_measured
+          ~lmax_others_sum:lmax_others
+        +. (float_of_int cost /. rate_f)
+      in
+      let margin = bound -. completion in
+      if margin < !worst_margin then worst_margin := margin;
+      if completion -. release > !max_completion then
+        max_completion := completion -. release;
+      if margin < 0. then incr violations)
+    slacks;
+  let rel_bound =
+    (* For an on-time round (EAT = arrival) the bound relative to release. *)
+    (float_of_int cost /. rate_f)
+    +. ((measured_delta +. lmax_others) /. c_measured)
+  in
+  (* Eq. 6: a continuously backlogged thread's own service curve must be
+     at least FC with rate (w/W)C and the composed burstiness. (Here the
+     hogs also receive the periodic thread's residue, so the measured
+     burstiness at the guaranteed rate is ~0 — the guarantee is a floor.) *)
+  let hog_rate, hog_delta_bound =
+    Fc_server.thread_fc_params ~weight:rate_f ~total_weight:0.96
+      ~c:c_measured ~delta:measured_delta
+      ~lmax_others_sum:(3. *. float_of_int quantum)
+      ~lmax_self:(float_of_int quantum)
+  in
+  let hog_delta_measured =
+    Fc_server.estimate_delta (Kernel.cpu_series sys.k hogs.(0)) ~rate:hog_rate
+      ~from_:Time.zero ~until
+  in
+  {
+    rounds = Array.length slacks;
+    violations = !violations;
+    max_completion_ms = !max_completion /. 1e6;
+    bound_ms = rel_bound /. 1e6;
+    worst_margin_ms = !worst_margin /. 1e6;
+    measured_delta_ms = measured_delta /. 1e6;
+    analytic_delta_ms = Time.to_milliseconds_float (Interrupt_source.fc_burstiness irq);
+    interrupt_util = Interrupt_source.utilization irq;
+    hog_delta_measured_ms = hog_delta_measured /. 1e6;
+    hog_delta_bound_ms = hog_delta_bound /. 1e6;
+  }
+
+let checks r =
+  [
+    check "every round completes within the eq. 8 bound" (r.violations = 0)
+      "%d violations over %d rounds (worst margin %.2f ms)" r.violations
+      r.rounds r.worst_margin_ms;
+    check "measured completion comfortably below the bound"
+      (r.max_completion_ms < r.bound_ms)
+      "max %.1f ms vs bound %.1f ms" r.max_completion_ms r.bound_ms;
+    check "CPU behaves as an FC server with small burstiness"
+      (r.measured_delta_ms < 25.)
+      "measured delta = %.2f ms (interrupt cost envelope %.2f ms)"
+      r.measured_delta_ms r.analytic_delta_ms;
+    check "a backlogged thread's service is FC within the eq. 6 parameters"
+      (r.hog_delta_measured_ms <= r.hog_delta_bound_ms)
+      "measured %.2f ms <= predicted %.2f ms" r.hog_delta_measured_ms
+      r.hog_delta_bound_ms;
+  ]
+
+let print r =
+  print_endline
+    "X-delay | SFQ delay guarantee (eq. 8) under periodic interrupt load";
+  Printf.printf
+    "  %d rounds; interrupt utilization %.1f%%; measured FC delta %.2f ms\n"
+    r.rounds (100. *. r.interrupt_util) r.measured_delta_ms;
+  Printf.printf
+    "  completion (release-relative): max %.1f ms; eq. 8 bound %.1f ms; worst margin %.1f ms; violations %d\n"
+    r.max_completion_ms r.bound_ms r.worst_margin_ms r.violations;
+  Printf.printf
+    "  eq. 6 check on a backlogged hog: measured burstiness %.2f ms <= predicted %.2f ms\n"
+    r.hog_delta_measured_ms r.hog_delta_bound_ms

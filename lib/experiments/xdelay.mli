@@ -1,0 +1,32 @@
+(** Verifying SFQ's delay guarantee (§3, eq. 8) on an interrupt-loaded
+    (Fluctuation Constrained) CPU.
+
+    A periodic thread (20 ms of work every 100 ms, weight 0.25 —
+    "weights interpreted as rates") shares an SFQ leaf with three
+    weight-0.25 hogs while a periodic interrupt source steals CPU at the
+    highest priority. Each round is a single 20 ms quantum, so its
+    completion must satisfy
+
+    [L <= EAT + l/r_f + (delta + sum of other threads' lmax) / C]
+
+    with (C, delta) the FC parameters measured from the kernel's work
+    trace. The FC model itself is validated by checking the measured
+    burstiness against the interrupt source's analytical envelope. *)
+
+type result = {
+  rounds : int;
+  violations : int;  (** rounds completing after the bound *)
+  max_completion_ms : float;
+  bound_ms : float;  (** the (arrival-relative) eq. 8 bound *)
+  worst_margin_ms : float;  (** min (bound - completion) over rounds *)
+  measured_delta_ms : float;  (** FC burstiness of the loaded CPU *)
+  analytic_delta_ms : float;
+  interrupt_util : float;
+  hog_delta_measured_ms : float;
+      (** burstiness of one backlogged thread's own service curve *)
+  hog_delta_bound_ms : float;  (** eq. 6's predicted FC parameter *)
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,26 @@
+(** Exponentially Bounded Fluctuation server analysis (§3, definition 2
+    and eq. 7).
+
+    When interrupt processing times are known only in distribution, the
+    paper models the CPU as an EBF server: the probability that delivered
+    work lags the average rate by more than gamma "decreases
+    exponentially with gamma". Under a Poisson interrupt source, this
+    experiment measures the empirical deficit tail of (a) the whole CPU's
+    work trace and (b) a single SFQ client's service trace (eq. 7: an EBF
+    CPU under SFQ yields EBF per-thread service), and checks the
+    exponential shape: each doubling of gamma at least halves the tail
+    until it hits zero. *)
+
+type result = {
+  interrupt_util : float;
+  gammas_ms : float array;
+  cpu_tail : float array;  (** P(deficit > gamma) for the CPU trace *)
+  thread_tail : float array;  (** same for one weight-1/3 client *)
+  cpu_monotone : bool;
+  cpu_decays : bool;  (** tail(2g) <= tail(g)/2 wherever tail(g) > 2% *)
+  thread_monotone : bool;
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

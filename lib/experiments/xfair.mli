@@ -1,0 +1,28 @@
+(** Fairness comparison under fluctuating available bandwidth (§3
+    property 1 and the §6 related-work claims).
+
+    A test leaf holding three continuously-backlogged Dhrystone clients
+    with weights 1, 2 and 4 shares the CPU with a sibling node whose hog
+    thread alternates 500 ms of work with 500 ms of sleep — so the
+    bandwidth available to the test leaf fluctuates between 50% and 100%.
+    For each scheduling algorithm the worst pairwise normalized service
+    lag [max |W_f/w_f - W_m/w_m|] is measured and compared with SFQ's
+    analytical bound (eq. 3).
+
+    Expected shape: SFQ (and the other deterministic virtual-time
+    algorithms) stay within a few quanta of lag; lottery's randomized lag
+    is an order of magnitude larger; round-robin ignores weights and
+    diverges linearly. *)
+
+type row = {
+  algorithm : string;
+  max_lag_ms : float;  (** worst pairwise normalized lag, ms *)
+  bound_ms : float;  (** SFQ's bound for the worst pair, ms *)
+  within_bound : bool;
+}
+
+type result = { rows : row list }
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,130 @@
+open Hsfq_engine
+open Hsfq_kernel
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+module W = Workload_intf
+
+type result = {
+  donation_mean_ms : float;
+  donation_max_ms : float;
+  no_donation_mean_ms : float;
+  no_donation_max_ms : float;
+  rounds_donation : int;
+  rounds_no_donation : int;
+}
+
+module Stride_leaf = Leaf_sched.Fair_leaf (Hsfq_sched.Stride)
+
+(* L: long critical sections at weight 1. *)
+let low_workload m =
+  let stage = ref 0 in
+  fun ~now:_ ->
+    incr stage;
+    match !stage mod 4 with
+    | 1 -> W.Lock m
+    | 2 -> W.Compute (Time.milliseconds 50)
+    | 3 -> W.Unlock m
+    | _ -> W.Sleep_for (Time.milliseconds 10)
+
+(* H: short, latency-sensitive critical sections at weight 10; the delay
+   from requesting the lock to finishing the critical section is the
+   inversion measure. *)
+let high_workload m stats =
+  let stage = ref 0 in
+  let requested = ref Time.zero in
+  fun ~now ->
+    incr stage;
+    match !stage mod 4 with
+    | 1 ->
+      requested := now;
+      W.Lock m
+    | 2 -> W.Compute (Time.milliseconds 1)
+    | 3 -> W.Unlock m
+    | _ ->
+      Stats.add stats (float_of_int (Time.diff now !requested));
+      W.Sleep_for (Time.milliseconds 60)
+
+let run_one ~donation ~seconds =
+  let sys = make_sys () in
+  let leaf =
+    match
+      Hierarchy.mknod sys.hier ~name:"apps" ~parent:Hierarchy.root ~weight:1.
+        Hierarchy.Leaf
+    with
+    | Ok id -> id
+    | Error e -> invalid_arg e
+  in
+  let add =
+    if donation then begin
+      let lf, h = Leaf_sched.Sfq_leaf.make () in
+      Kernel.install_leaf sys.k leaf lf;
+      fun ~tid ~weight -> Leaf_sched.Sfq_leaf.add h ~tid ~weight
+    end
+    else begin
+      (* Stride is an equally proportional leaf whose donate hook is a
+         no-op: the same scenario with inversion unmitigated. *)
+      let lf, h = Stride_leaf.make () in
+      Kernel.install_leaf sys.k leaf lf;
+      fun ~tid ~weight -> Stride_leaf.add h ~tid ~weight
+    end
+  in
+  let m = Kernel.create_mutex sys.k in
+  let stats = Stats.create () in
+  let l = Kernel.spawn sys.k ~name:"L" ~leaf (low_workload m) in
+  add ~tid:l ~weight:1.;
+  Kernel.start sys.k l;
+  let hog = Kernel.spawn sys.k ~name:"hog" ~leaf (W.forever_compute (Time.seconds 100)) in
+  add ~tid:hog ~weight:9.;
+  Kernel.start sys.k hog;
+  let h = Kernel.spawn sys.k ~name:"H" ~leaf (high_workload m stats) in
+  add ~tid:h ~weight:10.;
+  Kernel.start sys.k h;
+  Kernel.run_until sys.k (Time.seconds seconds);
+  stats
+
+let run ?(seconds = 60) () =
+  let d = run_one ~donation:true ~seconds in
+  let n = run_one ~donation:false ~seconds in
+  {
+    donation_mean_ms = Stats.mean d /. 1e6;
+    donation_max_ms = Stats.max_value d /. 1e6;
+    no_donation_mean_ms = Stats.mean n /. 1e6;
+    no_donation_max_ms = Stats.max_value n /. 1e6;
+    rounds_donation = Stats.count d;
+    rounds_no_donation = Stats.count n;
+  }
+
+let checks r =
+  [
+    check "donation bounds H's delay (mean < 150 ms)"
+      (r.donation_mean_ms < 150.) "mean %.1f ms over %d rounds"
+      r.donation_mean_ms r.rounds_donation;
+    check "without donation the inversion is >= 3x worse"
+      (r.no_donation_mean_ms > 3. *. r.donation_mean_ms)
+      "no-donation mean %.1f ms vs donation %.1f ms" r.no_donation_mean_ms
+      r.donation_mean_ms;
+    check "H keeps making rounds even without donation"
+      (r.rounds_no_donation > 10) "%d rounds" r.rounds_no_donation;
+  ]
+
+let print r =
+  print_endline
+    "X-inversion | H (w=10) blocks on L's (w=1) mutex while a w=9 hog competes";
+  let t =
+    Table.create [ "leaf class"; "H delay mean (ms)"; "max (ms)"; "rounds" ]
+  in
+  Table.row t
+    [
+      "sfq (weight donation)";
+      Printf.sprintf "%.1f" r.donation_mean_ms;
+      Printf.sprintf "%.1f" r.donation_max_ms;
+      string_of_int r.rounds_donation;
+    ];
+  Table.row t
+    [
+      "stride (no donation)";
+      Printf.sprintf "%.1f" r.no_donation_mean_ms;
+      Printf.sprintf "%.1f" r.no_donation_max_ms;
+      string_of_int r.rounds_no_donation;
+    ];
+  Table.print t

@@ -1,0 +1,29 @@
+(** §4's priority-inversion avoidance by weight transfer.
+
+    "when the leaf scheduler is SFQ, priority inversion can be avoided by
+    transferring the weight of the blocked thread to the thread that is
+    blocking it. Such a transfer will ensure that the blocking thread
+    will have a weight (and hence, the CPU allocation) that is at least
+    as large as the weight of the blocked thread."
+
+    Setup: a high-importance thread H (weight 10) periodically takes a
+    mutex that a low-importance thread L (weight 1) holds through long
+    critical sections, while a weight-9 hog soaks up CPU. With donation
+    (the SFQ leaf's native behaviour) L runs its critical section at
+    effective weight 11 and H's acquisition delay stays near the critical
+    section length; without donation (same scenario on a stride leaf,
+    which ignores the donate hook) L crawls at weight 1/20th and H's
+    delay balloons by an order of magnitude. *)
+
+type result = {
+  donation_mean_ms : float;  (** H's mean lock-acquisition+use delay *)
+  donation_max_ms : float;
+  no_donation_mean_ms : float;
+  no_donation_max_ms : float;
+  rounds_donation : int;
+  rounds_no_donation : int;
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

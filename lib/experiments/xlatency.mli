@@ -1,0 +1,24 @@
+(** §6 claim: "SFQ provides lower delay to low throughput applications"
+    than WFQ (and SCFQ is worse still by [(Q-1) l^max/C]).
+
+    One interactive client with a very small weight (an editor: 5 ms
+    bursts after exponential think times) shares a leaf with four
+    CPU-bound hogs of weight 1. Schedulers ordering by {e finish} tags
+    (WFQ, SCFQ) stamp the tiny-weight client's quantum [l/w] into the
+    future and delay it by hundreds of ms; schedulers ordering by
+    {e start} tags (SFQ, FQS) run it within about a quantum. *)
+
+type row = {
+  algorithm : string;
+  mean_ms : float;
+  p99_ms : float;
+  responses : int;
+}
+
+type result = { rows : row list; burst_ms : float }
+
+val run : ?seconds:int -> ?seed:int -> unit -> result
+(** [seed] varies the editor's think-time pattern (robustness testing). *)
+
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,32 @@
+(** SFQ on its original resource — a packet link (reference [6], from
+    which §3 imports every guarantee).
+
+    A 10 Mb/s link carries three flows with weights equal to their
+    nominal rates (64 kb/s voice CBR, ~2 Mb/s VBR video modeled on the
+    MPEG generator, plus bulk Poisson cross-traffic demanding more than
+    the residue):
+
+    - goodput: demand-limited flows get their demand, the greedy flow
+      gets exactly the residue (work conservation + weighted fairness);
+    - delay: every voice packet completes within the eq. 8 bound computed
+      from its own arrival trace (delta = 0 on a constant-rate link);
+    - the §6 comparison: under WFQ the same voice flow — whose packets
+      are far smaller than the assumed quantum — sees several times
+      SFQ's delay. *)
+
+type result = {
+  voice_goodput_bps : float;
+  video_goodput_bps : float;
+  bulk_goodput_bps : float;
+  voice_delay_mean_ms : float;
+  voice_delay_max_ms : float;
+  bound_violations : int;  (** eq. 8 violations for voice under SFQ *)
+  voice_packets : int;
+  wfq_voice_delay_mean_ms : float;
+  voice_drops : int;
+  video_drops : int;
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,127 @@
+open Hsfq_engine
+open Hsfq_kernel
+open Hsfq_workload
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+
+type result = {
+  sfq_frames : int array;
+  sfq_ratios : float array;
+  edf_frames : int array;
+  edf_min_max_ratio : float;
+  demand_fraction : float;
+}
+
+(* Four instances of the same demanding clip (~42% of the CPU per
+   decoder at 30 fps), so equal shares mean equal frames. *)
+let clip _i =
+  {
+    Mpeg.default_params with
+    base_cost = Time.milliseconds 15;
+    complexity_sigma = 0.15;
+    seed = 100;
+  }
+
+let weights = [| 2.; 1.; 1.; 1. |]
+let n = Array.length weights
+
+let mean_frame_cost p =
+  let costs = Mpeg.trace p ~frames:600 in
+  Array.fold_left (fun a c -> a +. float_of_int c) 0. costs /. 600.
+
+let run_sfq ~seconds =
+  let sys = make_sys () in
+  let leaf, sfq = sfq_leaf sys ~parent:Hierarchy.root ~name:"video" ~weight:1. () in
+  let counters =
+    Array.init n (fun i ->
+        snd
+          (mpeg_thread sys ~leaf ~sfq ~name:(Printf.sprintf "dec%d" i)
+             ~weight:weights.(i) ~params:(clip (100 + i)) ~paced:true ()))
+  in
+  Kernel.run_until sys.k (Time.seconds seconds);
+  Array.map Mpeg.decoded counters
+
+let run_edf ~seconds =
+  let sys = make_sys () in
+  let leaf, edf = edf_leaf sys ~parent:Hierarchy.root ~name:"video" ~weight:1. () in
+  let counters =
+    Array.init n (fun i ->
+        let wl, c = Mpeg.decoder (clip (100 + i)) ~paced:true () in
+        let tid = Kernel.spawn sys.k ~name:(Printf.sprintf "dec%d" i) ~leaf wl in
+        Leaf_sched.Edf_leaf.add edf ~tid
+          ~relative_deadline:(Time.of_seconds_float (1. /. 30.));
+        Kernel.start sys.k tid;
+        c)
+  in
+  Kernel.run_until sys.k (Time.seconds seconds);
+  Array.map Mpeg.decoded counters
+
+let run ?(seconds = 30) () =
+  let demand =
+    Array.fold_left
+      (fun acc i -> acc +. (mean_frame_cost (clip (100 + i)) *. 30. /. 1e9))
+      0.
+      (Array.init n (fun i -> i))
+  in
+  let sfq_frames = run_sfq ~seconds in
+  let edf_frames = run_edf ~seconds in
+  let base = float_of_int sfq_frames.(1) in
+  let sfq_ratios = Array.map (fun f -> float_of_int f /. base) sfq_frames in
+  let fmin = Array.fold_left Stdlib.min max_int edf_frames in
+  let fmax = Array.fold_left Stdlib.max 0 edf_frames in
+  {
+    sfq_frames;
+    sfq_ratios;
+    edf_frames;
+    edf_min_max_ratio = (if fmax = 0 then 0. else float_of_int fmin /. float_of_int fmax);
+    demand_fraction = demand;
+  }
+
+let checks r =
+  [
+    check "the workload really overloads the CPU (demand > 1.2)"
+      (r.demand_fraction > 1.2) "aggregate demand = %.2f" r.demand_fraction;
+    check "SFQ degrades proportionally: weight-2 decoder gets ~2x frames"
+      (Float.abs (r.sfq_ratios.(0) -. 2.) < 0.3)
+      "ratios %s"
+      (String.concat ":"
+         (Array.to_list (Array.map (Printf.sprintf "%.2f") r.sfq_ratios)));
+    check "SFQ starves no decoder"
+      (Array.for_all (fun f -> f > 100) r.sfq_frames)
+      "min frames %d"
+      (Array.fold_left Stdlib.min max_int r.sfq_frames);
+    (* The four decoders are identical; any spread under EDF is pure
+       arbitrariness of stale-deadline ordering. SFQ's equal-weight trio
+       stays within a frame of each other. *)
+    check "EDF under overload treats identical decoders arbitrarily"
+      (r.edf_min_max_ratio < 0.6)
+      "min/max = %.2f (frames %s)" r.edf_min_max_ratio
+      (String.concat "/"
+         (Array.to_list (Array.map string_of_int r.edf_frames)));
+    check "SFQ keeps identical decoders identical even overloaded"
+      (let lo = Stdlib.min r.sfq_frames.(1) (Stdlib.min r.sfq_frames.(2) r.sfq_frames.(3))
+       and hi = Stdlib.max r.sfq_frames.(1) (Stdlib.max r.sfq_frames.(2) r.sfq_frames.(3)) in
+       float_of_int lo /. float_of_int hi > 0.95)
+      "equal-weight frames %d/%d/%d" r.sfq_frames.(1) r.sfq_frames.(2)
+      r.sfq_frames.(3);
+  ]
+
+let print r =
+  Printf.printf
+    "X-overload | 4 paced decoders, aggregate demand %.2fx CPU, weights 2:1:1:1\n"
+    r.demand_fraction;
+  let t = Table.create [ "decoder"; "weight"; "SFQ frames"; "SFQ ratio"; "EDF frames" ] in
+  Array.iteri
+    (fun i f ->
+      Table.row t
+        [
+          string_of_int i;
+          Printf.sprintf "%.0f" weights.(i);
+          string_of_int f;
+          Printf.sprintf "%.2f" r.sfq_ratios.(i);
+          string_of_int r.edf_frames.(i);
+        ])
+    r.sfq_frames;
+  Table.print t;
+  Printf.printf "  EDF min/max frame ratio: %.2f (SFQ shares degrade gracefully)\n"
+    r.edf_min_max_ratio

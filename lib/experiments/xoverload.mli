@@ -1,0 +1,22 @@
+(** §1 claim: a scheduler for soft real-time video "must provide some QoS
+    guarantees even in the presence of overload" — SFQ degrades every
+    client proportionally to its weight, whereas EDF under overload
+    provides no guarantee at all.
+
+    Four paced MPEG decoders whose aggregate demand is ~140% of the CPU
+    run under (a) an SFQ leaf with importance weights 2:1:1:1 and (b) an
+    EDF leaf with per-frame deadlines. Under SFQ the achieved frame rates
+    track the weights; under EDF the stale-deadline client monopolizes the
+    CPU and the rest starve ("domino effect"). *)
+
+type result = {
+  sfq_frames : int array;
+  sfq_ratios : float array;  (** frames relative to client 1 (weight 1) *)
+  edf_frames : int array;
+  edf_min_max_ratio : float;  (** min/max frames under EDF — near 0 = starvation *)
+  demand_fraction : float;  (** aggregate demand / capacity (>1 = overload) *)
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

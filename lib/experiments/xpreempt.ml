@@ -1,0 +1,93 @@
+open Hsfq_engine
+open Hsfq_kernel
+open Hsfq_workload
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+
+type row = {
+  policy : string;
+  lat_max_ms : float;
+  lat_mean_ms : float;
+  misses : int;
+  decoder_dispatches : int;
+}
+
+type result = { boundary : row; on_wake : row }
+
+let quantum = Time.milliseconds 25
+
+let run_policy ~policy ~name ~seconds =
+  let config =
+    { Kernel.default_config with default_quantum = quantum; preemption = policy }
+  in
+  let sys = make_sys ~config () in
+  let leaf1, sfq1 = sfq_leaf sys ~parent:Hierarchy.root ~name:"SFQ-1" ~weight:1. () in
+  let leaf2, svr4 =
+    svr4_leaf sys ~parent:Hierarchy.root ~name:"SVR4" ~weight:1. ~rt_quantum:quantum ()
+  in
+  let t1, p1 =
+    periodic_rt_thread sys ~leaf:leaf2 ~svr4 ~name:"thread1" ~rt_prio:2
+      ~period:(Time.milliseconds 60) ~cost:(Time.milliseconds 10)
+  in
+  let _ =
+    periodic_rt_thread sys ~leaf:leaf2 ~svr4 ~name:"thread2" ~rt_prio:1
+      ~period:(Time.milliseconds 960) ~cost:(Time.milliseconds 150)
+  in
+  let dec_tid, _ = mpeg_thread sys ~leaf:leaf1 ~sfq:sfq1 ~name:"mpeg" ~weight:1. () in
+  Kernel.run_until sys.k (Time.seconds seconds);
+  let lat = Kernel.latency_stats sys.k t1 in
+  {
+    policy = name;
+    lat_max_ms = Stats.max_value lat /. 1e6;
+    lat_mean_ms = Stats.mean lat /. 1e6;
+    misses = Periodic.misses p1;
+    decoder_dispatches = Kernel.dispatch_count sys.k dec_tid;
+  }
+
+let run ?(seconds = 60) () =
+  {
+    boundary =
+      run_policy ~policy:Kernel.Quantum_boundary ~name:"quantum-boundary" ~seconds;
+    on_wake = run_policy ~policy:Kernel.Preempt_on_wake ~name:"preempt-on-wake" ~seconds;
+  }
+
+let checks r =
+  let q_ms = Time.to_milliseconds_float quantum in
+  [
+    check "boundary policy: latency bounded by the quantum (Fig 9)"
+      (r.boundary.lat_max_ms <= q_ms +. 1. && r.boundary.lat_max_ms > 2.)
+      "max %.2f ms" r.boundary.lat_max_ms;
+    check "preempt-on-wake lowers the mean latency by >= 20%"
+      (r.on_wake.lat_mean_ms < 0.8 *. r.boundary.lat_mean_ms)
+      "mean %.2f ms vs %.2f ms" r.on_wake.lat_mean_ms r.boundary.lat_mean_ms;
+    check "...but the worst case stays quantum-bound (fairness wins ties)"
+      (r.on_wake.lat_max_ms > q_ms -. 1. && r.on_wake.lat_max_ms <= q_ms +. 1.)
+      "max %.2f ms" r.on_wake.lat_max_ms;
+    check "neither policy misses deadlines"
+      (r.boundary.misses = 0 && r.on_wake.misses = 0)
+      "misses %d / %d" r.boundary.misses r.on_wake.misses;
+    check "immediacy costs context switches (decoder preempted more)"
+      (r.on_wake.decoder_dispatches > r.boundary.decoder_dispatches)
+      "dispatches %d vs %d" r.on_wake.decoder_dispatches
+      r.boundary.decoder_dispatches;
+  ]
+
+let print r =
+  print_endline
+    "X-preempt | dispatch policy ablation on the Figure 9 scenario (25 ms quanta)";
+  let t =
+    Table.create
+      [ "policy"; "lat max (ms)"; "lat mean (ms)"; "misses"; "decoder dispatches" ]
+  in
+  List.iter
+    (fun row ->
+      Table.row t
+        [
+          row.policy;
+          Printf.sprintf "%.2f" row.lat_max_ms;
+          Printf.sprintf "%.2f" row.lat_mean_ms;
+          string_of_int row.misses;
+          string_of_int row.decoder_dispatches;
+        ])
+    [ r.boundary; r.on_wake ];
+  Table.print t

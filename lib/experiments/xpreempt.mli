@@ -1,0 +1,30 @@
+(** Ablation of the dispatch/preemption policy (DESIGN.md §5).
+
+    The paper's implementation dispatches across classes at quantum
+    boundaries — which is why Figure 9's scheduling latency is "equal to
+    the length of the scheduling quantum" — while the SVR4 RT class
+    preempts immediately within its node. This ablation reruns the
+    Figure 9 scenario under both kernel policies:
+
+    - [`Quantum_boundary] (the paper's): thread1's worst latency is the
+      25 ms quantum; dispatch count stays low;
+    - [`Preempt_on_wake] (cross-class immediate preemption): the *mean*
+      latency drops — but the tail does not, because preemption merely
+      re-runs the SFQ decision, and when the RT node has already used its
+      share the decoder's start tag wins the tie. Immediate cross-class
+      preemption buys extra context switches without improving the
+      worst case — evidence for the paper's quantum-boundary choice. *)
+
+type row = {
+  policy : string;
+  lat_max_ms : float;
+  lat_mean_ms : float;
+  misses : int;
+  decoder_dispatches : int;  (** MPEG decoder context switches *)
+}
+
+type result = { boundary : row; on_wake : row }
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,82 @@
+open Hsfq_engine
+open Hsfq_kernel
+open Hsfq_workload
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+
+type result = {
+  flat_ts_loops : int;
+  flat_rt_cpu_fraction : float;
+  hier_sfq_loops : int;
+  hier_sfq_cpu_fraction : float;
+}
+
+let loop_cost = Time.microseconds 500
+
+let rt_hog sys ~leaf ~svr4 =
+  let wl = Workload_intf.forever_compute (Time.milliseconds 100) in
+  let tid = Kernel.spawn sys.k ~name:"rt-hog" ~leaf wl in
+  Leaf_sched.Svr4_leaf.add svr4 ~tid (Hsfq_sched.Svr4.Rt 5);
+  Kernel.start sys.k tid;
+  tid
+
+let run_flat ~seconds =
+  let config = { Kernel.default_config with default_quantum = Time.seconds 10 } in
+  let sys = make_sys ~config () in
+  let leaf, svr4 = svr4_leaf sys ~parent:Hierarchy.root ~name:"svr4" ~weight:1. () in
+  let counters =
+    Array.init 3 (fun i ->
+        snd
+          (dhrystone_ts_thread sys ~leaf ~svr4 ~name:(Printf.sprintf "ts%d" i)
+             ~loop_cost))
+  in
+  let hog = rt_hog sys ~leaf ~svr4 in
+  let until = Time.seconds seconds in
+  Kernel.run_until sys.k until;
+  let ts = Array.fold_left (fun a c -> a + Dhrystone.loops c) 0 counters in
+  (ts, float_of_int (Kernel.cpu_time sys.k hog) /. float_of_int until)
+
+let run_hier ~seconds =
+  let sys = make_sys () in
+  let sfq_node, sfq = sfq_leaf sys ~parent:Hierarchy.root ~name:"SFQ-1" ~weight:1. () in
+  let svr4_node, svr4 = svr4_leaf sys ~parent:Hierarchy.root ~name:"SVR4" ~weight:1. () in
+  ignore svr4_node;
+  let counters =
+    Array.init 3 (fun i ->
+        snd
+          (dhrystone_thread sys ~leaf:sfq_node ~sfq
+             ~name:(Printf.sprintf "ts%d" i) ~weight:1. ~loop_cost))
+  in
+  let _ = rt_hog sys ~leaf:svr4_node ~svr4 in
+  let until = Time.seconds seconds in
+  Kernel.run_until sys.k until;
+  let loops = Array.fold_left (fun a c -> a + Dhrystone.loops c) 0 counters in
+  let work = float_of_int loops *. float_of_int loop_cost in
+  (loops, work /. float_of_int until)
+
+let run ?(seconds = 30) () =
+  let flat_ts_loops, flat_rt_cpu_fraction = run_flat ~seconds in
+  let hier_sfq_loops, hier_sfq_cpu_fraction = run_hier ~seconds in
+  { flat_ts_loops; flat_rt_cpu_fraction; hier_sfq_loops; hier_sfq_cpu_fraction }
+
+let checks r =
+  [
+    check "flat SVR4: the RT class monopolizes the CPU"
+      (r.flat_rt_cpu_fraction > 0.97)
+      "RT hog got %.1f%% of the CPU" (100. *. r.flat_rt_cpu_fraction);
+    check "flat SVR4: TS threads starve (make ~no progress)"
+      (r.flat_ts_loops < 100) "TS loops = %d" r.flat_ts_loops;
+    check "hierarchical: the SFQ node is protected (gets ~50%)"
+      (Float.abs (r.hier_sfq_cpu_fraction -. 0.5) < 0.02)
+      "SFQ node got %.1f%% of the CPU" (100. *. r.hier_sfq_cpu_fraction);
+  ]
+
+let print r =
+  print_endline
+    "X-protect | RT-class hog: flat SVR4 monopolization vs hierarchical protection";
+  Printf.printf
+    "  flat SVR4: RT hog %.1f%% CPU, 3 TS threads total %d loops (starved)\n"
+    (100. *. r.flat_rt_cpu_fraction) r.flat_ts_loops;
+  Printf.printf
+    "  hierarchical: SFQ-1 node %.1f%% CPU, %d loops despite the RT hog next door\n"
+    (100. *. r.hier_sfq_cpu_fraction) r.hier_sfq_loops

@@ -1,0 +1,20 @@
+(** §5.3 contrast: "This is in contrast to the standard SVR4 scheduler
+    where a higher priority class, such as the real-time class, can
+    monopolize the CPU" (the [15] failure mode).
+
+    (a) Flat (unmodified) SVR4: a CPU-bound RT-class thread plus three TS
+    Dhrystone threads — the TS threads starve.
+    (b) Hierarchical: the same RT hog inside an SVR4 node (weight 1) with
+    the Dhrystone threads in a sibling SFQ node (weight 1) — the SFQ node
+    still receives half the CPU. *)
+
+type result = {
+  flat_ts_loops : int;  (** aggregate TS loops under flat SVR4 *)
+  flat_rt_cpu_fraction : float;
+  hier_sfq_loops : int;
+  hier_sfq_cpu_fraction : float;  (** ~0.5 expected *)
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

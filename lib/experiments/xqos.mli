@@ -1,0 +1,39 @@
+(** The §4 / Figure 4 QoS-manager workflow, end to end.
+
+    The paper sketches (and defers the policies of) a manager that
+    receives QoS requirements, runs class-dependent admission control
+    against each class's capacity share, places applications, and
+    "dynamically change[s] the relative allocations of different
+    classes" — e.g. growing the soft real-time class "when many video
+    decoders requesting soft real-time services are started (possibly as
+    a part of a video conference)".
+
+    This experiment runs that scenario live: a hard-RT control loop and
+    two best-effort users execute throughout; every 2 s another video
+    decoder asks for soft-RT service with its measured demand statistics
+    ({!Hsfq_workload.Mpeg.demand_stats}); rejected requests trigger the
+    manager's growth policy and are retried. Admitted decoders must then
+    actually deliver their nominal frame rate, the control loop must
+    never miss, and best effort must keep progressing. *)
+
+type admission_event = {
+  at_s : int;
+  decoder : int;
+  outcome : [ `Admitted | `Rejected_then_grown | `Rejected ];
+}
+
+type result = {
+  events : admission_event list;
+  admitted : int;
+  fps : float array;  (** achieved fps of each admitted decoder *)
+  hard_misses : int;
+  hard_rounds : int;
+  best_effort_loops : int;
+  final_soft_share : float;
+  late_frames : int;  (** playback glitches, summed over decoders *)
+  total_frames : int;
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,101 @@
+open Hsfq_engine
+open Hsfq_kernel
+open Hsfq_workload
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+
+type result = {
+  r1_share : float;
+  r2_share : float;
+  r1_misses : int;
+  r2_misses : int;
+  u_misses : int;
+  u_rounds : int;
+  hog_shares : float array;
+}
+
+let run ?(seconds = 30) () =
+  let sys = make_sys () in
+  let leaf =
+    match
+      Hierarchy.mknod sys.hier ~name:"media" ~parent:Hierarchy.root ~weight:1.
+        Hierarchy.Leaf
+    with
+    | Ok id -> id
+    | Error e -> invalid_arg e
+  in
+  let lf, rh = Leaf_sched.Reserve_leaf.make ~sim:sys.sim () in
+  Kernel.install_leaf sys.k leaf lf;
+  let reserved_periodic name ~period ~cost =
+    let wl, c = Periodic.make ~period ~cost () in
+    let tid = Kernel.spawn sys.k ~name ~leaf wl in
+    Leaf_sched.Reserve_leaf.add rh ~tid ~reserve:(cost, period) ();
+    Kernel.start sys.k tid;
+    (tid, c)
+  in
+  let r1, c1 =
+    reserved_periodic "R1" ~period:(Time.milliseconds 100) ~cost:(Time.milliseconds 20)
+  in
+  let r2, c2 =
+    reserved_periodic "R2" ~period:(Time.milliseconds 300) ~cost:(Time.milliseconds 30)
+  in
+  (* The unreserved control: same demand as R1, background band. *)
+  let u_wl, cu =
+    Periodic.make ~period:(Time.milliseconds 100) ~cost:(Time.milliseconds 20) ()
+  in
+  let u = Kernel.spawn sys.k ~name:"U" ~leaf u_wl in
+  Leaf_sched.Reserve_leaf.add rh ~tid:u ();
+  Kernel.start sys.k u;
+  let hogs =
+    Array.init 3 (fun i ->
+        let wl, _ = Dhrystone.make ~loop_cost:(Time.microseconds 500) () in
+        let tid = Kernel.spawn sys.k ~name:(Printf.sprintf "hog%d" i) ~leaf wl in
+        Leaf_sched.Reserve_leaf.add rh ~tid ();
+        Kernel.start sys.k tid;
+        tid)
+  in
+  let until = Time.seconds seconds in
+  Kernel.run_until sys.k until;
+  let share tid = float_of_int (Kernel.cpu_time sys.k tid) /. float_of_int until in
+  {
+    r1_share = share r1;
+    r2_share = share r2;
+    r1_misses = Periodic.misses c1;
+    r2_misses = Periodic.misses c2;
+    u_misses = Periodic.misses cu;
+    u_rounds = Periodic.completed cu;
+    hog_shares = Array.map share hogs;
+  }
+
+let checks r =
+  [
+    check "R1 receives its 20% reserve (+-1%)"
+      (Float.abs (r.r1_share -. 0.20) < 0.01)
+      "share = %.3f" r.r1_share;
+    check "R2 receives its 10% reserve (+-1%)"
+      (Float.abs (r.r2_share -. 0.10) < 0.01)
+      "share = %.3f" r.r2_share;
+    check "reserved tasks never miss" (r.r1_misses = 0 && r.r2_misses = 0)
+      "misses %d / %d" r.r1_misses r.r2_misses;
+    check "the unreserved control misses deadlines"
+      (r.u_misses > r.u_rounds / 4)
+      "%d misses in %d rounds" r.u_misses r.u_rounds;
+    check "background hogs share the residue and starve nobody"
+      (Array.for_all (fun s -> s > 0.10) r.hog_shares)
+      "hog shares %s"
+      (String.concat "/"
+         (Array.to_list (Array.map (Printf.sprintf "%.2f") r.hog_shares)));
+  ]
+
+let print r =
+  print_endline
+    "X-reserve | processor capacity reserves (Mercer et al. [13]) as a leaf class";
+  Printf.printf
+    "  R1 (20 ms/100 ms): share %.3f, %d misses; R2 (30 ms/300 ms): share %.3f, %d misses\n"
+    r.r1_share r.r1_misses r.r2_share r.r2_misses;
+  Printf.printf
+    "  U (same task as R1, no reserve): %d/%d rounds missed their deadline\n"
+    r.u_misses r.u_rounds;
+  Printf.printf "  background hog shares: %s\n"
+    (String.concat " "
+       (Array.to_list (Array.map (Printf.sprintf "%.3f") r.hog_shares)))

@@ -1,0 +1,28 @@
+(** Processor capacity reserves as a leaf class.
+
+    §6: schedulers like Mercer et al.'s processor capacity reserves [13]
+    "are complementary to our hierarchical scheduler and can be employed
+    as leaf class scheduler in our framework". This experiment runs the
+    {!Hsfq_kernel.Leaf_sched.Reserve_leaf} class inside the hierarchy:
+
+    - R1 reserves 20 ms per 100 ms and runs a matching periodic task;
+    - R2 reserves 30 ms per 300 ms likewise;
+    - three background hogs compete for the residue;
+    - U, an {e unreserved} copy of R1's task, runs among the hogs.
+
+    The reserves must deliver their fractions and keep R1/R2 from ever
+    missing, while U — identical work, no reserve — misses deadlines. *)
+
+type result = {
+  r1_share : float;  (** measured CPU fraction; reserved 0.20 *)
+  r2_share : float;  (** reserved 0.10 *)
+  r1_misses : int;
+  r2_misses : int;
+  u_misses : int;  (** the unreserved control *)
+  u_rounds : int;
+  hog_shares : float array;
+}
+
+val run : ?seconds:int -> unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

@@ -1,0 +1,34 @@
+(** Interrupt load generators.
+
+    The paper models a CPU whose effective bandwidth fluctuates because
+    "processing of hardware interrupts occurs at the highest priority"
+    (§3, property 3), abstracted as a Fluctuation Constrained or
+    Exponentially Bounded Fluctuation server. These generators produce
+    exactly such load: arrivals either strictly periodic with fixed cost
+    (FC-style — burstiness is bounded deterministically) or Poisson with
+    exponential cost (EBF-style).
+
+    A source is started once against a kernel; it then self-schedules via
+    the kernel's simulator for the whole run. *)
+
+open Hsfq_engine
+
+type spec =
+  | Periodic of { period : Time.span; cost : Time.span }
+      (** e.g. a 10 ms clock interrupt costing 50 µs. *)
+  | Poisson of { rate_hz : float; mean_cost : Time.span; seed : int }
+      (** Exponential inter-arrivals at [rate_hz], exponential costs. *)
+
+val utilization : spec -> float
+(** Long-run fraction of the CPU consumed by the source. *)
+
+val fc_burstiness : spec -> Time.span
+(** For [Periodic]: the delta parameter of the FC model of the
+    {e remaining} CPU — the largest instantaneous shortfall, [cost] per
+    outstanding burst. For [Poisson] there is no deterministic bound; a
+    3-sigma-style estimate over one second is returned. *)
+
+val start : spec -> sim:Sim.t -> fire:(duration:Time.span -> unit) -> unit
+(** Begin generating: [fire ~duration] is invoked at each arrival instant
+    with the interrupt's processing cost (the kernel routes it to
+    top-priority execution). *)

@@ -1,0 +1,727 @@
+open Hsfq_engine
+module Hierarchy = Hsfq_core.Hierarchy
+
+type tid = int
+
+type preemption = Quantum_boundary | Preempt_on_wake
+
+type config = {
+  default_quantum : Time.span;
+  context_switch_cost : Time.span;
+  sched_cost_per_level : Time.span;
+  preemption : preemption;
+  housekeeping_period : Time.span;
+}
+
+let default_config =
+  {
+    default_quantum = Time.milliseconds 20;
+    context_switch_cost = Time.microseconds 2;
+    sched_cost_per_level = Time.nanoseconds 200;
+    preemption = Quantum_boundary;
+    housekeeping_period = Time.seconds 1;
+  }
+
+type thread_state = Created | Runnable | Running | Blocked | Exited
+
+type thread = {
+  tid : tid;
+  tname : string;
+  mutable leaf : Hierarchy.id;
+  workload : Workload_intf.t;
+  mutable state : thread_state;
+  mutable work_left : Time.span; (* of the current Compute segment *)
+  mutable waiting_mutex : int option; (* blocked on this mutex *)
+  mutable wake_handle : Event_queue.handle option;
+  mutable last_wake : Time.t;
+  mutable awaiting_dispatch : bool;
+  mutable total_cpu : Time.span;
+  mutable dispatches : int;
+  cpu : Series.t;
+  latency : Stats.t;
+  lat_series : Series.t;
+}
+
+type dispatch = {
+  d_tid : tid;
+  d_leaf : Hierarchy.id;
+  d_quantum : Time.span; (* total work budget for this dispatch *)
+  mutable overhead_left : Time.span;
+  mutable seg_left : Time.span; (* work scheduled in the current slice *)
+  mutable used : Time.span; (* work completed so far in this dispatch *)
+  mutable resume_at : Time.t;
+  mutable paused : bool;
+  mutable completion : Event_queue.handle option;
+}
+
+(* A simulated blocking mutex. Ownership is granted FIFO; while a
+   thread waits, its weight is donated to the holder when both belong to
+   the same weighted leaf class (the paper's §4 priority-inversion
+   avoidance). *)
+type mutex = { mutable holder : tid option; waiters : tid Queue.t }
+
+type device_model =
+  | Fixed_service of Time.span (* per unit *)
+  | Exponential_service of { mean : Time.span; seed : int }
+
+(* A FIFO I/O device running concurrently with the CPU. *)
+type device = {
+  model : device_model;
+  rng : Prng.t;
+  dqueue : (tid * Time.span) Queue.t; (* waiting requests *)
+  mutable dbusy : bool;
+  mutable completed : int;
+  mutable busy_time : Time.span;
+}
+
+type t = {
+  sim : Sim.t;
+  hier : Hierarchy.t;
+  cfg : config;
+  leaves : (Hierarchy.id, Leaf_sched.t) Hashtbl.t;
+  threads : (tid, thread) Hashtbl.t;
+  mutexes : (int, mutex) Hashtbl.t;
+  mutable next_mutex : int;
+  devices : (int, device) Hashtbl.t;
+  mutable next_device : int;
+  mutable next_tid : tid;
+  mutable current : dispatch option;
+  mutable interrupt_until : Time.t;
+  mutable interrupt_done : Event_queue.handle option;
+  mutable idle_since : Time.t option;
+  mutable idle_total : Time.span;
+  mutable interrupt_total : Time.span;
+  mutable overhead_total : Time.span;
+  wseries : Series.t;
+  mutable trace : Tracelog.t option;
+}
+
+(* A runaway workload returning only zero-length/past actions would
+   otherwise spin the activation loop forever. *)
+let max_consecutive_null_actions = 1_000_000
+
+let create ?(config = default_config) sim hier =
+  let t =
+    {
+      sim;
+      hier;
+      cfg = config;
+      leaves = Hashtbl.create 8;
+      threads = Hashtbl.create 32;
+      mutexes = Hashtbl.create 4;
+      next_mutex = 1;
+      devices = Hashtbl.create 4;
+      next_device = 1;
+      next_tid = 1;
+      current = None;
+      interrupt_until = Time.zero;
+      interrupt_done = None;
+      (* The machine is idle until the first dispatch or interrupt. *)
+      idle_since = Some Time.zero;
+      idle_total = 0;
+      interrupt_total = 0;
+      overhead_total = 0;
+      wseries = Series.create ~name:"kernel-work" ();
+      trace = None;
+    }
+  in
+  (* Periodic housekeeping (SVR4 starvation boosts). *)
+  let rec housekeeping () =
+    Hashtbl.iter (fun _ (lf : Leaf_sched.t) -> lf.second_tick ()) t.leaves;
+    ignore (Sim.after t.sim t.cfg.housekeeping_period housekeeping)
+  in
+  ignore (Sim.after t.sim t.cfg.housekeeping_period housekeeping);
+  t
+
+let config t = t.cfg
+let sim t = t.sim
+let hierarchy t = t.hier
+
+let thread t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th -> th
+  | None -> invalid_arg (Printf.sprintf "Kernel: unknown thread %d" tid)
+
+let leaf_sched t leaf =
+  match Hashtbl.find_opt t.leaves leaf with
+  | Some lf -> lf
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Kernel: no leaf scheduler installed on node %d" leaf)
+
+let mutex t m =
+  match Hashtbl.find_opt t.mutexes m with
+  | Some mu -> mu
+  | None -> invalid_arg (Printf.sprintf "Kernel: unknown mutex %d" m)
+
+let create_mutex t =
+  let m = t.next_mutex in
+  t.next_mutex <- t.next_mutex + 1;
+  Hashtbl.replace t.mutexes m { holder = None; waiters = Queue.create () };
+  m
+
+let mutex_holder t m = (mutex t m).holder
+
+let device t d =
+  match Hashtbl.find_opt t.devices d with
+  | Some dev -> dev
+  | None -> invalid_arg (Printf.sprintf "Kernel: unknown device %d" d)
+
+let create_device t model =
+  (match model with
+  | Fixed_service s when s <= 0 -> invalid_arg "Kernel.create_device: bad service time"
+  | Exponential_service { mean; _ } when mean <= 0 ->
+    invalid_arg "Kernel.create_device: bad service time"
+  | _ -> ());
+  let d = t.next_device in
+  t.next_device <- t.next_device + 1;
+  let rng =
+    match model with
+    | Exponential_service { seed; _ } -> Prng.create seed
+    | Fixed_service _ -> Prng.create 0
+  in
+  Hashtbl.replace t.devices d
+    { model; rng; dqueue = Queue.create (); dbusy = false; completed = 0; busy_time = 0 };
+  d
+
+let device_completed t d = (device t d).completed
+let device_busy_time t d = (device t d).busy_time
+let device_queue_length t d = Queue.length (device t d).dqueue
+
+let request_duration dev units =
+  let unit_time =
+    match dev.model with
+    | Fixed_service s -> s
+    | Exponential_service { mean; _ } ->
+      Stdlib.max 1
+        (Time.of_seconds_float
+           (Prng.exponential dev.rng ~mean:(Time.to_seconds_float mean)))
+  in
+  units * unit_time
+
+let install_leaf t leaf lf =
+  (match Hierarchy.kind_of t.hier leaf with
+  | Hierarchy.Leaf -> ()
+  | Hierarchy.Internal ->
+    invalid_arg "Kernel.install_leaf: node is not a leaf");
+  if Hashtbl.mem t.leaves leaf then
+    invalid_arg "Kernel.install_leaf: leaf already has a scheduler";
+  Hashtbl.replace t.leaves leaf lf
+
+let spawn t ~name ~leaf workload =
+  ignore (leaf_sched t leaf);
+  let tid = t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  let th =
+    {
+      tid;
+      tname = name;
+      leaf;
+      workload;
+      state = Created;
+      work_left = 0;
+      waiting_mutex = None;
+      wake_handle = None;
+      last_wake = Time.zero;
+      awaiting_dispatch = false;
+      total_cpu = 0;
+      dispatches = 0;
+      cpu = Series.create ~name ();
+      latency = Stats.create ();
+      lat_series = Series.create ~name:(name ^ "-latency") ();
+    }
+  in
+  Hashtbl.replace t.threads tid th;
+  tid
+
+let interrupt_active t = t.interrupt_done <> None
+
+let close_idle t now =
+  match t.idle_since with
+  | None -> ()
+  | Some t0 ->
+    t.idle_total <- t.idle_total + Time.diff now t0;
+    t.idle_since <- None
+
+let trace_slice t th ~start ~stop =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    if stop > start then
+      Tracelog.segment tr ~lane:th.tname ~start ~stop ~label:"run"
+
+(* Stop the clock on a running dispatch: split the elapsed wall time into
+   scheduler overhead and thread work, and cancel its completion event. *)
+let pause_dispatch t d now =
+  assert (not d.paused);
+  (match d.completion with
+  | Some h ->
+    Sim.cancel h;
+    d.completion <- None
+  | None -> ());
+  let elapsed = Time.diff now d.resume_at in
+  if elapsed <= d.overhead_left then d.overhead_left <- d.overhead_left - elapsed
+  else begin
+    let work = elapsed - d.overhead_left in
+    d.overhead_left <- 0;
+    (* [work <= seg_left] because the completion event would have fired
+       otherwise. *)
+    d.seg_left <- d.seg_left - work;
+    d.used <- d.used + work;
+    let th = thread t d.d_tid in
+    th.work_left <- th.work_left - work;
+    trace_slice t th ~start:(Time.add d.resume_at d.overhead_left) ~stop:now
+  end;
+  d.paused <- true
+
+type disposition =
+  | Requeue (* quantum expired / preempted: thread stays runnable *)
+  | Block_until of Time.t (* sleeping with a wakeup timer *)
+  | Block_external (* suspended; no timer *)
+  | Die
+
+let rec end_dispatch t d now disposition =
+  let th = thread t d.d_tid in
+  let lf = leaf_sched t d.d_leaf in
+  let service = d.used in
+  let runnable = match disposition with Requeue -> true | _ -> false in
+  lf.charge ~now d.d_tid ~service ~runnable;
+  if disposition = Die then lf.detach d.d_tid;
+  let leaf_runnable = lf.backlogged () > 0 in
+  Hierarchy.update t.hier ~leaf:d.d_leaf ~service:(float_of_int service)
+    ~leaf_runnable;
+  th.total_cpu <- th.total_cpu + service;
+  if service > 0 then begin
+    Series.add th.cpu now (float_of_int service);
+    Series.add t.wseries now (float_of_int service)
+  end;
+  t.current <- None;
+  (match disposition with
+  | Requeue -> th.state <- Runnable
+  | Block_until at ->
+    th.state <- Blocked;
+    th.wake_handle <- Some (Sim.at t.sim at (fun () -> do_wake t th.tid))
+  | Block_external -> th.state <- Blocked
+  | Die -> th.state <- Exited);
+  if not (interrupt_active t) then maybe_dispatch t
+
+(* Fetch workload actions until one takes effect. Returns the resulting
+   pseudo-action: [`Work] (work_left set), [`Sleep at], [`Lock_wait m]
+   (must block on the mutex), or [`Exit]. Free-mutex acquisition and
+   unlocking are zero-cost and the loop continues past them. *)
+and next_effective_action t th now =
+  let rec loop budget =
+    if budget = 0 then
+      failwith
+        (Printf.sprintf "Kernel: workload of %s yields no effective action" th.tname)
+    else
+      match th.workload ~now with
+      | Workload_intf.Compute w when w > 0 ->
+        th.work_left <- w;
+        `Work
+      | Workload_intf.Compute _ -> loop (budget - 1)
+      | Workload_intf.Sleep_for d when d > 0 -> `Sleep (Time.add now d)
+      | Workload_intf.Sleep_for _ -> loop (budget - 1)
+      | Workload_intf.Sleep_until at when Time.compare at now > 0 -> `Sleep at
+      | Workload_intf.Sleep_until _ -> loop (budget - 1)
+      | Workload_intf.Lock m ->
+        let mu = mutex t m in
+        (match mu.holder with
+        | None ->
+          mu.holder <- Some th.tid;
+          loop (budget - 1)
+        | Some h when h = th.tid ->
+          invalid_arg (Printf.sprintf "Kernel: recursive lock of mutex %d" m)
+        | Some _ -> `Lock_wait m)
+      | Workload_intf.Unlock m ->
+        unlock_mutex t th m;
+        loop (budget - 1)
+      | Workload_intf.Io (d, units) ->
+        if units <= 0 then loop (budget - 1) else `Io (d, units)
+      | Workload_intf.Exit -> `Exit
+  in
+  loop max_consecutive_null_actions
+
+(* Submit an I/O request: start service now if the device is idle, else
+   queue FIFO. The caller blocks the thread. *)
+and submit_io t th d units =
+  let dev = device t d in
+  let dur = request_duration dev units in
+  if dev.dbusy then Queue.push (th.tid, dur) dev.dqueue
+  else begin
+    dev.dbusy <- true;
+    ignore (Sim.after t.sim dur (fun () -> io_complete t d th.tid dur))
+  end
+
+and io_complete t d tid dur =
+  let dev = device t d in
+  dev.completed <- dev.completed + 1;
+  dev.busy_time <- dev.busy_time + dur;
+  (match Queue.take_opt dev.dqueue with
+  | Some (next_tid, next_dur) ->
+    ignore (Sim.after t.sim next_dur (fun () -> io_complete t d next_tid next_dur))
+  | None -> dev.dbusy <- false);
+  let th = thread t tid in
+  match th.state with
+  | Blocked -> activate t th (Sim.now t.sim)
+  | Created | Runnable | Running | Exited -> ()
+
+(* Record that [th] now waits on mutex [m]: queue it and donate its
+   weight to the holder when they share a leaf class. The caller is
+   responsible for the thread-state transition. *)
+and enqueue_mutex_waiter t th m =
+  let mu = mutex t m in
+  th.waiting_mutex <- Some m;
+  Queue.push th.tid mu.waiters;
+  match mu.holder with
+  | Some h when (thread t h).leaf = th.leaf ->
+    (leaf_sched t th.leaf).donate ~blocked:th.tid ~recipient:h
+  | Some _ | None -> ()
+
+and unlock_mutex t th m =
+  let mu = mutex t m in
+  (match mu.holder with
+  | Some h when h = th.tid -> ()
+  | _ -> invalid_arg (Printf.sprintf "Kernel: unlock of mutex %d by non-holder" m));
+  (* Skip waiters that were killed while queued. *)
+  let rec next_live () =
+    match Queue.take_opt mu.waiters with
+    | None -> None
+    | Some w -> if (thread t w).state = Blocked then Some w else next_live ()
+  in
+  match next_live () with
+  | None -> mu.holder <- None
+  | Some w ->
+    mu.holder <- Some w;
+    let wth = thread t w in
+    (leaf_sched t wth.leaf).revoke ~blocked:w;
+    (* Remaining waiters now wait on the new holder: re-target their
+       donations. *)
+    Queue.iter
+      (fun x ->
+        let xth = thread t x in
+        let lf = leaf_sched t xth.leaf in
+        lf.revoke ~blocked:x;
+        if xth.leaf = wth.leaf then lf.donate ~blocked:x ~recipient:w)
+      mu.waiters;
+    (* Wake the grantee once the current event finishes. *)
+    ignore (Sim.after t.sim 0 (fun () -> grant_wake t w))
+
+and grant_wake t w =
+  let th = thread t w in
+  th.waiting_mutex <- None;
+  match th.state with
+  | Blocked -> activate t th (Sim.now t.sim)
+  | Created | Runnable | Running | Exited -> ()
+
+(* The completion event: the current slice's overhead+work has fully
+   executed. Either the quantum is exhausted, or the workload segment
+   finished and we pull the next action. *)
+and complete_slice t d () =
+  let now = Sim.now t.sim in
+  let th = thread t d.d_tid in
+  d.completion <- None;
+  trace_slice t th ~start:(Time.add d.resume_at d.overhead_left) ~stop:now;
+  d.used <- d.used + d.seg_left;
+  th.work_left <- th.work_left - d.seg_left;
+  d.seg_left <- 0;
+  d.overhead_left <- 0;
+  if th.work_left > 0 then
+    (* seg was bounded by the quantum: budget exhausted. *)
+    end_dispatch t d now Requeue
+  else begin
+    let budget = d.d_quantum - d.used in
+    match next_effective_action t th now with
+    | `Work ->
+      if budget > 0 then begin
+        d.seg_left <- Stdlib.min budget th.work_left;
+        d.resume_at <- now;
+        d.completion <- Some (Sim.after t.sim d.seg_left (complete_slice t d))
+      end
+      else end_dispatch t d now Requeue
+    | `Sleep at -> end_dispatch t d now (Block_until at)
+    | `Lock_wait m ->
+      enqueue_mutex_waiter t th m;
+      end_dispatch t d now Block_external
+    | `Io (dev, units) ->
+      submit_io t th dev units;
+      end_dispatch t d now Block_external
+    | `Exit -> end_dispatch t d now Die
+  end
+
+and maybe_dispatch t =
+  if t.current = None && not (interrupt_active t) then begin
+    let now = Sim.now t.sim in
+    match Hierarchy.schedule t.hier with
+    | None -> if t.idle_since = None then t.idle_since <- Some now
+    | Some leaf ->
+      close_idle t now;
+      let lf = leaf_sched t leaf in
+      let tid =
+        match lf.select ~now with
+        | Some tid -> tid
+        | None ->
+          failwith
+            (Printf.sprintf
+               "Kernel: leaf %s marked runnable but its scheduler is empty"
+               (Hierarchy.name_of t.hier leaf))
+      in
+      let th = thread t tid in
+      assert (th.state = Runnable);
+      assert (th.work_left > 0);
+      if th.awaiting_dispatch then begin
+        let lat = Time.diff now th.last_wake in
+        Stats.add th.latency (float_of_int lat);
+        Series.add th.lat_series now (float_of_int lat);
+        th.awaiting_dispatch <- false
+      end;
+      let quantum =
+        match lf.quantum_of tid with
+        | Some q -> Stdlib.min q t.cfg.default_quantum
+        | None -> t.cfg.default_quantum
+      in
+      let overhead =
+        t.cfg.context_switch_cost
+        + (t.cfg.sched_cost_per_level * Hierarchy.depth t.hier leaf)
+      in
+      t.overhead_total <- t.overhead_total + overhead;
+      let seg = Stdlib.min quantum th.work_left in
+      let d =
+        {
+          d_tid = tid;
+          d_leaf = leaf;
+          d_quantum = quantum;
+          overhead_left = overhead;
+          seg_left = seg;
+          used = 0;
+          resume_at = now;
+          paused = false;
+          completion = None;
+        }
+      in
+      d.completion <- Some (Sim.after t.sim (overhead + seg) (complete_slice t d));
+      t.current <- Some d;
+      th.state <- Running;
+      th.dispatches <- th.dispatches + 1
+  end
+
+and preempt_current t =
+  match t.current with
+  | None -> ()
+  | Some d ->
+    let now = Sim.now t.sim in
+    if not d.paused then pause_dispatch t d now;
+    end_dispatch t d now Requeue
+
+and make_runnable t th now =
+  th.state <- Runnable;
+  th.last_wake <- now;
+  th.awaiting_dispatch <- true;
+  let lf = leaf_sched t th.leaf in
+  lf.enqueue ~now th.tid;
+  if not (Hierarchy.is_runnable t.hier th.leaf) then Hierarchy.setrun t.hier th.leaf;
+  (match t.current with
+  | Some d when d.d_tid <> th.tid ->
+    let cross = t.cfg.preemption = Preempt_on_wake in
+    let within =
+      (thread t d.d_tid).leaf = th.leaf
+      && lf.preempts ~waker:th.tid ~running:d.d_tid
+    in
+    if cross || within then preempt_current t
+  | _ -> ());
+  if t.current = None && not (interrupt_active t) then maybe_dispatch t
+
+and activate t th now =
+  if th.work_left > 0 then make_runnable t th now
+  else begin
+    match next_effective_action t th now with
+    | `Work -> make_runnable t th now
+    | `Sleep at ->
+      th.state <- Blocked;
+      th.wake_handle <- Some (Sim.at t.sim at (fun () -> do_wake t th.tid))
+    | `Lock_wait m ->
+      enqueue_mutex_waiter t th m;
+      th.state <- Blocked
+    | `Io (dev, units) ->
+      submit_io t th dev units;
+      th.state <- Blocked
+    | `Exit ->
+      th.state <- Exited;
+      (leaf_sched t th.leaf).detach th.tid
+  end
+
+and do_wake t tid =
+  let th = thread t tid in
+  th.wake_handle <- None;
+  match th.state with
+  | Blocked -> activate t th (Sim.now t.sim)
+  | Created | Runnable | Running | Exited -> ()
+
+let start t tid =
+  let th = thread t tid in
+  if th.state <> Created then invalid_arg "Kernel.start: thread already started";
+  activate t th (Sim.now t.sim)
+
+let cancel_wake th =
+  match th.wake_handle with
+  | Some h ->
+    Sim.cancel h;
+    th.wake_handle <- None
+  | None -> ()
+
+let detach_runnable t th =
+  (* Remove a Runnable (not Running) thread from its leaf's ready set and
+     propagate leaf sleep if it was the last one. *)
+  let now = Sim.now t.sim in
+  let lf = leaf_sched t th.leaf in
+  lf.dequeue ~now th.tid;
+  if lf.backlogged () = 0 && Hierarchy.is_runnable t.hier th.leaf then
+    Hierarchy.sleep t.hier th.leaf
+
+let kill t tid =
+  let th = thread t tid in
+  (match th.state with
+  | Running -> invalid_arg "Kernel.kill: cannot kill the running thread"
+  | Runnable -> detach_runnable t th
+  | Blocked -> cancel_wake th
+  | Created | Exited -> ());
+  if th.state <> Exited then begin
+    (leaf_sched t th.leaf).detach tid;
+    th.state <- Exited
+  end
+
+let move t tid ~to_leaf =
+  let th = thread t tid in
+  ignore (leaf_sched t to_leaf);
+  (match th.state with
+  | Running -> invalid_arg "Kernel.move: cannot move the running thread"
+  | Exited -> invalid_arg "Kernel.move: thread has exited"
+  | Created | Blocked ->
+    (leaf_sched t th.leaf).detach tid;
+    th.leaf <- to_leaf
+  | Runnable ->
+    detach_runnable t th;
+    (leaf_sched t th.leaf).detach tid;
+    th.leaf <- to_leaf;
+    let now = Sim.now t.sim in
+    (leaf_sched t to_leaf).enqueue ~now tid;
+    if not (Hierarchy.is_runnable t.hier to_leaf) then
+      Hierarchy.setrun t.hier to_leaf)
+
+let suspend t tid =
+  let th = thread t tid in
+  match th.state with
+  | Exited -> invalid_arg "Kernel.suspend: thread has exited"
+  | Blocked -> cancel_wake th (* stays blocked until [resume] *)
+  | Created -> ()
+  | Runnable ->
+    detach_runnable t th;
+    th.state <- Blocked
+  | Running ->
+    (match t.current with
+    | Some d when d.d_tid = tid ->
+      let now = Sim.now t.sim in
+      if not d.paused then pause_dispatch t d now;
+      end_dispatch t d now Block_external
+    | _ -> assert false)
+
+let resume t tid =
+  let th = thread t tid in
+  match th.state with
+  | Blocked ->
+    (* A thread waiting on a mutex is only woken by the grant — resuming
+       it here would run its critical section without the lock. *)
+    if th.waiting_mutex = None then activate t th (Sim.now t.sim)
+  | Created | Runnable | Running | Exited -> ()
+
+(* Interrupts execute at the highest priority: they pause the running
+   thread (whose quantum does not advance) and extend any interrupt
+   processing already in progress. *)
+let rec interrupts_done t () =
+  let now = Sim.now t.sim in
+  if Time.compare now t.interrupt_until < 0 then
+    (* Extended while we were queued; re-arm. *)
+    t.interrupt_done <-
+      Some (Sim.at t.sim t.interrupt_until (interrupts_done t))
+  else begin
+    t.interrupt_done <- None;
+    match t.current with
+    | Some d ->
+      assert d.paused;
+      d.paused <- false;
+      d.resume_at <- now;
+      d.completion <-
+        Some (Sim.after t.sim (d.overhead_left + d.seg_left) (complete_slice t d))
+    | None -> maybe_dispatch t
+  end
+
+let interrupt t ~duration =
+  if duration <= 0 then ()
+  else begin
+    let now = Sim.now t.sim in
+    t.interrupt_total <- t.interrupt_total + duration;
+    if interrupt_active t then t.interrupt_until <- t.interrupt_until + duration
+    else begin
+      close_idle t now;
+      (match t.current with
+      | Some d when not d.paused -> pause_dispatch t d now
+      | _ -> ());
+      t.interrupt_until <- Time.add now duration;
+      t.interrupt_done <- Some (Sim.at t.sim t.interrupt_until (interrupts_done t))
+    end
+  end
+
+let add_interrupt_source t spec =
+  Interrupt_source.start spec ~sim:t.sim ~fire:(fun ~duration ->
+      interrupt t ~duration)
+
+let run_until t horizon = Sim.run_until t.sim horizon
+
+let state t tid = (thread t tid).state
+let thread_name t tid = (thread t tid).tname
+let leaf_of t tid = (thread t tid).leaf
+let cpu_time t tid = (thread t tid).total_cpu
+let cpu_series t tid = (thread t tid).cpu
+let dispatch_count t tid = (thread t tid).dispatches
+let latency_stats t tid = (thread t tid).latency
+let latency_series t tid = (thread t tid).lat_series
+
+let idle_time t =
+  t.idle_total
+  + (match t.idle_since with Some t0 -> Time.diff (Sim.now t.sim) t0 | None -> 0)
+
+let interrupt_time t = t.interrupt_total
+let overhead_time t = t.overhead_total
+let work_series t = t.wseries
+let set_trace t tr = t.trace <- tr
+
+let render_summary t =
+  let tbl =
+    Table.create
+      [ "thread"; "state"; "cpu"; "dispatches"; "mean latency"; "class" ]
+  in
+  let tids = Hashtbl.fold (fun tid _ acc -> tid :: acc) t.threads [] in
+  List.iter
+    (fun tid ->
+      let th = thread t tid in
+      Table.row tbl
+        [
+          th.tname;
+          (match th.state with
+          | Created -> "created"
+          | Runnable -> "runnable"
+          | Running -> "running"
+          | Blocked -> "blocked"
+          | Exited -> "exited");
+          Time.to_string th.total_cpu;
+          string_of_int th.dispatches;
+          (if Stats.count th.latency = 0 then "-"
+           else Time.to_string (int_of_float (Stats.mean th.latency)));
+          Hierarchy.name_of t.hier th.leaf;
+        ])
+    (List.sort Int.compare tids);
+  Table.render tbl
+  ^ Printf.sprintf "idle %s | interrupts %s | overhead %s\n"
+      (Time.to_string (idle_time t))
+      (Time.to_string t.interrupt_total)
+      (Time.to_string t.overhead_total)

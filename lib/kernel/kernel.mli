@@ -1,0 +1,169 @@
+(** The simulated operating-system kernel.
+
+    Substitutes for the paper's Solaris 2.4 substrate: owns the threads,
+    drives the hierarchical scheduling structure ({!Hsfq_core.Hierarchy})
+    and the per-leaf class schedulers ({!Leaf_sched}), executes workloads
+    under quantum-based preemptive dispatch, runs interrupts at the
+    highest priority, and keeps the accounting the experiments report
+    (per-thread CPU series, scheduling latency, kernel overheads).
+
+    Cost model: each dispatch consumes [context_switch_cost] plus
+    [sched_cost_per_level * (depth of the chosen leaf)] of wall-clock CPU
+    before the thread's work proceeds — this is what the Figure 7
+    overhead experiments measure. Interrupts pause the running thread
+    without consuming its quantum (the thread resumes its remaining
+    slice), exactly the fluctuation the FC server model captures.
+
+    Preemption: by default threads run to the end of their quantum
+    ([`Quantum_boundary]) — cross-class scheduling latency is therefore
+    bounded by the quantum, as in the paper's Figure 9 — but a wakeup
+    preempts immediately when the waking and running threads share a leaf
+    whose class is preemptive (SVR4 RT, RM, EDF). [`Preempt_on_wake]
+    additionally preempts across classes (ablation). *)
+
+open Hsfq_engine
+
+type t
+
+type tid = int
+
+type preemption = Quantum_boundary | Preempt_on_wake
+
+type config = {
+  default_quantum : Time.span;  (** node-level quantum (paper: 10–25 ms) *)
+  context_switch_cost : Time.span;
+  sched_cost_per_level : Time.span;
+  preemption : preemption;
+  housekeeping_period : Time.span;
+      (** period of the [second_tick] housekeeping call (SVR4 starvation
+          boosts); the paper's kernel runs it every second *)
+}
+
+val default_config : config
+(** 20 ms quantum, 2 µs context switch, 200 ns per hierarchy level,
+    quantum-boundary preemption, 1 s housekeeping. *)
+
+type thread_state = Created | Runnable | Running | Blocked | Exited
+
+val create : ?config:config -> Sim.t -> Hsfq_core.Hierarchy.t -> t
+
+val config : t -> config
+val sim : t -> Sim.t
+val hierarchy : t -> Hsfq_core.Hierarchy.t
+
+(** {1 Classes and threads} *)
+
+val install_leaf : t -> Hsfq_core.Hierarchy.id -> Leaf_sched.t -> unit
+(** Attach a class scheduler to a leaf node. Required before any thread
+    of that leaf starts. *)
+
+val leaf_sched : t -> Hsfq_core.Hierarchy.id -> Leaf_sched.t
+
+val spawn :
+  t -> name:string -> leaf:Hsfq_core.Hierarchy.id -> Workload_intf.t -> tid
+(** Create a thread in the given leaf class, initially [Created] (not
+    runnable). Register it with the leaf's adapter (e.g.
+    {!Leaf_sched.Sfq_leaf.add}) before calling [start]. *)
+
+val start : t -> tid -> unit
+(** Activate a [Created] thread at the current simulated time: its first
+    workload action is fetched and it becomes [Runnable] (or [Blocked] if
+    the workload begins by sleeping). *)
+
+val kill : t -> tid -> unit
+(** Terminate a non-[Running] thread immediately. *)
+
+val move : t -> tid -> to_leaf:Hsfq_core.Hierarchy.id -> unit
+(** The paper's [hsfq_move]: reassign a non-[Running] thread to another
+    leaf class. The destination adapter must already know the thread. *)
+
+val suspend : t -> tid -> unit
+(** Forcibly block a [Runnable] (not [Running]) thread until [resume] —
+    used by the dynamic-allocation experiment (Figure 11) to "put a
+    thread to sleep" externally. *)
+
+val resume : t -> tid -> unit
+(** Undo [suspend]. A no-op on threads blocked waiting for a mutex: those
+    wake only when the mutex is granted. *)
+
+val state : t -> tid -> thread_state
+val thread_name : t -> tid -> string
+val leaf_of : t -> tid -> Hsfq_core.Hierarchy.id
+
+(** {1 Mutexes and priority inversion (§4)} *)
+
+val create_mutex : t -> int
+(** A simulated blocking mutex, usable from workloads via
+    {!Workload_intf.action.Lock}/[Unlock]. Acquisition and release are
+    zero-cost; contended acquisition blocks the thread and ownership is
+    granted FIFO. While a thread waits on a holder in the {e same} leaf
+    class, the leaf's [donate] hook transfers the waiter's weight to the
+    holder — SFQ leaves thereby avoid priority inversion exactly as §4
+    prescribes ("such a transfer will ensure that the blocking thread
+    will have a weight ... at least as large as the weight of the
+    blocked thread"); classes without weights ignore it. *)
+
+val mutex_holder : t -> int -> tid option
+
+(** {1 I/O devices} *)
+
+type device_model =
+  | Fixed_service of Time.span  (** deterministic time per request unit *)
+  | Exponential_service of { mean : Time.span; seed : int }
+      (** exponential per-unit service (seeded; deterministic) *)
+
+val create_device : t -> device_model -> int
+(** A FIFO-served device (disk, NIC, ...) running concurrently with the
+    CPU. Workloads issue requests via {!Workload_intf.action.Io} and
+    block until completion — producing the unpredictable early quantum
+    ends that SFQ (unlike WFQ) handles without knowing lengths a
+    priori. *)
+
+val device_completed : t -> int -> int
+val device_busy_time : t -> int -> Time.span
+val device_queue_length : t -> int -> int
+
+(** {1 Interrupts} *)
+
+val interrupt : t -> duration:Time.span -> unit
+(** Process an interrupt of the given cost starting now, at the highest
+    priority (pausing any running thread). Overlapping interrupts
+    queue. *)
+
+val add_interrupt_source : t -> Interrupt_source.spec -> unit
+
+(** {1 Running} *)
+
+val run_until : t -> Time.t -> unit
+(** Advance the simulation to the horizon. *)
+
+(** {1 Accounting} *)
+
+val cpu_time : t -> tid -> Time.span
+(** Total CPU work executed for the thread. *)
+
+val cpu_series : t -> tid -> Series.t
+(** (time, service ns) sample per charge — bucket for throughput plots. *)
+
+val dispatch_count : t -> tid -> int
+
+val latency_stats : t -> tid -> Stats.t
+(** Scheduling latency: wakeup-to-first-dispatch, in ns. *)
+
+val latency_series : t -> tid -> Series.t
+
+val idle_time : t -> Time.span
+val interrupt_time : t -> Time.span
+val overhead_time : t -> Time.span
+
+val work_series : t -> Series.t
+(** Aggregate (time, service) samples — input to FC-server estimation. *)
+
+val set_trace : t -> Tracelog.t option -> unit
+(** When set, every executed slice is recorded as a Gantt segment on the
+    thread's name lane. *)
+
+val render_summary : t -> string
+(** A human-readable per-thread table (state, CPU, dispatches, mean
+    scheduling latency, class) plus the kernel totals — for examples and
+    debugging sessions. *)

@@ -1,0 +1,417 @@
+open Hsfq_engine
+
+type t = {
+  name : string;
+  enqueue : now:Time.t -> int -> unit;
+  dequeue : now:Time.t -> int -> unit;
+  select : now:Time.t -> int option;
+  charge : now:Time.t -> int -> service:Time.span -> runnable:bool -> unit;
+  quantum_of : int -> Time.span option;
+  preempts : waker:int -> running:int -> bool;
+  backlogged : unit -> int;
+  detach : int -> unit;
+  second_tick : unit -> unit;
+  donate : blocked:int -> recipient:int -> unit;
+  revoke : blocked:int -> unit;
+}
+
+let no_donation =
+  ((fun ~blocked:_ ~recipient:_ -> ()), fun ~blocked:_ -> ())
+
+module Sfq_leaf = struct
+  type handle = {
+    sfq : Hsfq_core.Sfq.t;
+    weights : (int, float) Hashtbl.t;
+    quantum : Time.span option;
+  }
+
+  let weight_of h tid =
+    match Hashtbl.find_opt h.weights tid with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "Sfq_leaf: unregistered thread %d" tid)
+
+  let make ?quantum () =
+    let h = { sfq = Hsfq_core.Sfq.create (); weights = Hashtbl.create 8; quantum } in
+    let lf =
+      {
+        name = "sfq";
+        enqueue =
+          (fun ~now:_ tid -> Hsfq_core.Sfq.arrive h.sfq ~id:tid ~weight:(weight_of h tid));
+        dequeue = (fun ~now:_ tid -> Hsfq_core.Sfq.block h.sfq ~id:tid);
+        select = (fun ~now:_ -> Hsfq_core.Sfq.select h.sfq);
+        charge =
+          (fun ~now:_ tid ~service ~runnable ->
+            Hsfq_core.Sfq.charge h.sfq ~id:tid ~service:(float_of_int service) ~runnable);
+        quantum_of = (fun _ -> h.quantum);
+        preempts = (fun ~waker:_ ~running:_ -> false);
+        backlogged = (fun () -> Hsfq_core.Sfq.backlogged h.sfq);
+        detach =
+          (fun tid ->
+            Hsfq_core.Sfq.depart h.sfq ~id:tid;
+            Hashtbl.remove h.weights tid);
+        second_tick = (fun () -> ());
+        donate =
+          (fun ~blocked ~recipient ->
+            (* A thread may block on a mutex before its first quantum, in
+               which case the SFQ has no record of it yet: register it
+               (blocked) so its weight is known for the transfer. *)
+            let ensure tid =
+              if not (Hsfq_core.Sfq.mem h.sfq ~id:tid) then begin
+                Hsfq_core.Sfq.arrive h.sfq ~id:tid ~weight:(weight_of h tid);
+                Hsfq_core.Sfq.block h.sfq ~id:tid
+              end
+            in
+            ensure blocked;
+            ensure recipient;
+            Hsfq_core.Sfq.donate h.sfq ~blocked ~recipient);
+        revoke = (fun ~blocked -> Hsfq_core.Sfq.revoke h.sfq ~blocked);
+      }
+    in
+    (lf, h)
+
+  let add h ~tid ~weight =
+    if weight <= 0. then invalid_arg "Sfq_leaf.add: weight <= 0";
+    Hashtbl.replace h.weights tid weight
+
+  let set_weight h ~tid ~weight =
+    if weight <= 0. then invalid_arg "Sfq_leaf.set_weight: weight <= 0";
+    Hashtbl.replace h.weights tid weight;
+    if Hsfq_core.Sfq.is_runnable h.sfq ~id:tid then
+      Hsfq_core.Sfq.set_weight h.sfq ~id:tid ~weight
+    else
+      (* Not currently known to the SFQ or blocked: the new weight takes
+         effect at the next enqueue. Update if the client exists. *)
+      (try Hsfq_core.Sfq.set_weight h.sfq ~id:tid ~weight with Invalid_argument _ -> ())
+
+  let donate h ~blocked ~recipient = Hsfq_core.Sfq.donate h.sfq ~blocked ~recipient
+  let revoke h ~blocked = Hsfq_core.Sfq.revoke h.sfq ~blocked
+  let sfq h = h.sfq
+end
+
+module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) = struct
+  type handle = {
+    sched : F.t;
+    weights : (int, float) Hashtbl.t;
+    quantum : Time.span option;
+  }
+
+  let weight_of h tid =
+    match Hashtbl.find_opt h.weights tid with
+    | Some w -> w
+    | None ->
+      invalid_arg (Printf.sprintf "%s leaf: unregistered thread %d" F.algorithm_name tid)
+
+  let make ?rng ?quantum_hint ?quantum () =
+    let h =
+      { sched = F.create ?rng ?quantum_hint (); weights = Hashtbl.create 8; quantum }
+    in
+    let lf =
+      {
+        name = F.algorithm_name;
+        enqueue = (fun ~now:_ tid -> F.arrive h.sched ~id:tid ~weight:(weight_of h tid));
+        dequeue = (fun ~now:_ tid -> F.depart h.sched ~id:tid);
+        select = (fun ~now:_ -> F.select h.sched);
+        charge =
+          (fun ~now:_ tid ~service ~runnable ->
+            F.charge h.sched ~id:tid ~service:(float_of_int service) ~runnable);
+        quantum_of = (fun _ -> h.quantum);
+        preempts = (fun ~waker:_ ~running:_ -> false);
+        backlogged = (fun () -> F.backlogged h.sched);
+        detach =
+          (fun tid ->
+            F.depart h.sched ~id:tid;
+            Hashtbl.remove h.weights tid);
+        second_tick = (fun () -> ());
+        donate = fst no_donation;
+        revoke = snd no_donation;
+      }
+    in
+    (lf, h)
+
+  let add h ~tid ~weight =
+    if weight <= 0. then invalid_arg "Fair_leaf.add: weight <= 0";
+    Hashtbl.replace h.weights tid weight
+
+  let set_weight h ~tid ~weight =
+    if weight <= 0. then invalid_arg "Fair_leaf.set_weight: weight <= 0";
+    Hashtbl.replace h.weights tid weight;
+    (try F.set_weight h.sched ~id:tid ~weight with Invalid_argument _ -> ())
+
+  let scheduler h = h.sched
+end
+
+module Svr4_leaf = struct
+  open Hsfq_sched
+
+  type handle = { svr4 : Svr4.t; fresh : (int, unit) Hashtbl.t }
+
+  let make ?table ?tick ?tick_accounting ?rt_quantum () =
+    let h =
+      {
+        svr4 = Svr4.create ?table ?tick ?tick_accounting ?rt_quantum ();
+        fresh = Hashtbl.create 8;
+      }
+    in
+    let lf =
+      {
+        name = "svr4";
+        enqueue =
+          (fun ~now:_ tid ->
+            (* The first enqueue admits the thread without the sleep-return
+               boost; subsequent ones are real wakeups. *)
+            let boost = not (Hashtbl.mem h.fresh tid) in
+            Hashtbl.remove h.fresh tid;
+            Svr4.wake ~boost h.svr4 ~id:tid);
+        dequeue = (fun ~now:_ tid -> Svr4.block h.svr4 ~id:tid);
+        select = (fun ~now:_ -> Svr4.select h.svr4);
+        charge =
+          (fun ~now:_ tid ~service ~runnable ->
+            Svr4.charge h.svr4 ~id:tid ~service ~runnable);
+        quantum_of = (fun tid -> Some (Svr4.quantum_of h.svr4 ~id:tid));
+        preempts = (fun ~waker ~running -> Svr4.preempts h.svr4 ~waker ~running);
+        backlogged = (fun () -> Svr4.backlogged h.svr4);
+        detach =
+          (fun tid ->
+            Svr4.remove h.svr4 ~id:tid;
+            Hashtbl.remove h.fresh tid);
+        second_tick = (fun () -> Svr4.second_tick h.svr4);
+        donate = fst no_donation;
+        revoke = snd no_donation;
+      }
+    in
+    (lf, h)
+
+  let add h ~tid ?prio cls =
+    Svr4.add h.svr4 ~id:tid ?prio cls;
+    (* Threads are admitted blocked; the kernel's first enqueue wakes
+       them. *)
+    Svr4.block h.svr4 ~id:tid;
+    Hashtbl.replace h.fresh tid ()
+
+  let svr4 h = h.svr4
+end
+
+module Rm_leaf = struct
+  open Hsfq_sched
+
+  type handle = { rm : Rm.t; quantum : Time.span option }
+
+  let make ?quantum () =
+    let h = { rm = Rm.create (); quantum } in
+    let lf =
+      {
+        name = "rm";
+        enqueue = (fun ~now:_ tid -> Rm.wake h.rm ~id:tid);
+        dequeue = (fun ~now:_ tid -> Rm.block h.rm ~id:tid);
+        select = (fun ~now:_ -> Rm.select h.rm);
+        charge =
+          (fun ~now:_ tid ~service:_ ~runnable ->
+            if not runnable then Rm.block h.rm ~id:tid);
+        quantum_of = (fun _ -> h.quantum);
+        preempts =
+          (fun ~waker ~running -> Rm.higher_priority h.rm waker ~than:running);
+        backlogged = (fun () -> Rm.backlogged h.rm);
+        detach = (fun tid -> Rm.unregister h.rm ~id:tid);
+        second_tick = (fun () -> ());
+        donate = fst no_donation;
+        revoke = snd no_donation;
+      }
+    in
+    (lf, h)
+
+  let add h ~tid ~period =
+    Rm.register h.rm ~id:tid ~period:(Time.to_seconds_float period)
+end
+
+module Edf_leaf = struct
+  open Hsfq_sched
+
+  type handle = {
+    edf : Edf.t;
+    rel : (int, Time.span) Hashtbl.t;
+    quantum : Time.span option;
+  }
+
+  let make ?quantum () =
+    let h = { edf = Edf.create (); rel = Hashtbl.create 8; quantum } in
+    let lf =
+      {
+        name = "edf";
+        enqueue =
+          (fun ~now tid ->
+            let d =
+              match Hashtbl.find_opt h.rel tid with
+              | Some d -> d
+              | None -> invalid_arg (Printf.sprintf "Edf_leaf: unregistered thread %d" tid)
+            in
+            Edf.release h.edf ~id:tid ~deadline:(float_of_int (Time.add now d)));
+        dequeue = (fun ~now:_ tid -> Edf.withdraw h.edf ~id:tid);
+        select = (fun ~now:_ -> Edf.select h.edf);
+        charge =
+          (fun ~now:_ tid ~service:_ ~runnable ->
+            if not runnable then Edf.withdraw h.edf ~id:tid);
+        quantum_of = (fun _ -> h.quantum);
+        preempts =
+          (fun ~waker ~running ->
+            match (Edf.deadline_of h.edf ~id:waker, Edf.deadline_of h.edf ~id:running) with
+            | Some dw, Some dr -> dw < dr
+            | _ -> false);
+        backlogged = (fun () -> Edf.backlogged h.edf);
+        detach =
+          (fun tid ->
+            Edf.withdraw h.edf ~id:tid;
+            Hashtbl.remove h.rel tid);
+        second_tick = (fun () -> ());
+        donate = fst no_donation;
+        revoke = snd no_donation;
+      }
+    in
+    (lf, h)
+
+  let add h ~tid ~relative_deadline = Hashtbl.replace h.rel tid relative_deadline
+end
+
+module Gps_leaf = struct
+  open Hsfq_sched
+
+  type handle = {
+    gps : Gps_vt.t;
+    weights : (int, float) Hashtbl.t;
+    quantum : Time.span option;
+  }
+
+  let weight_of h tid =
+    match Hashtbl.find_opt h.weights tid with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "Gps_leaf: unregistered thread %d" tid)
+
+  let make ~order ?capacity ?quantum_hint ?quantum () =
+    let h =
+      {
+        gps = Gps_vt.create ~order ?capacity ?quantum_hint ();
+        weights = Hashtbl.create 8;
+        quantum;
+      }
+    in
+    let lf =
+      {
+        name =
+          (match order with
+          | Gps_vt.Finish_tags -> "wfq-rt"
+          | Gps_vt.Start_tags -> "fqs-rt");
+        enqueue =
+          (fun ~now tid -> Gps_vt.arrive h.gps ~now ~id:tid ~weight:(weight_of h tid));
+        dequeue = (fun ~now:_ tid -> Gps_vt.depart h.gps ~id:tid);
+        select = (fun ~now -> Gps_vt.select h.gps ~now);
+        charge =
+          (fun ~now tid ~service ~runnable ->
+            Gps_vt.charge h.gps ~now ~id:tid ~service:(float_of_int service) ~runnable);
+        quantum_of = (fun _ -> h.quantum);
+        preempts = (fun ~waker:_ ~running:_ -> false);
+        backlogged = (fun () -> Gps_vt.backlogged h.gps);
+        detach =
+          (fun tid ->
+            Gps_vt.depart h.gps ~id:tid;
+            Hashtbl.remove h.weights tid);
+        second_tick = (fun () -> ());
+        donate = fst no_donation;
+        revoke = snd no_donation;
+      }
+    in
+    (lf, h)
+
+  let add h ~tid ~weight =
+    if weight <= 0. then invalid_arg "Gps_leaf.add: weight <= 0";
+    Hashtbl.replace h.weights tid weight
+end
+
+module Reserve_leaf = struct
+  type member = {
+    mutable capacity : Time.span; (* 0 = background-only *)
+    mutable budget : Time.span;
+    mutable runnable : bool;
+  }
+
+  type handle = {
+    sim : Sim.t;
+    members : (int, member) Hashtbl.t;
+    mutable order : int list; (* FIFO dispatch order, rotated on charge *)
+  }
+
+  let get h tid =
+    match Hashtbl.find_opt h.members tid with
+    | Some m -> m
+    | None -> invalid_arg (Printf.sprintf "Reserve_leaf: unregistered thread %d" tid)
+
+  let reserved m = m.capacity > 0 && m.budget > 0
+
+  (* First runnable reserved thread in FIFO order, else first runnable. *)
+  let pick h =
+    let candidates = List.filter (fun tid -> (get h tid).runnable) h.order in
+    match List.find_opt (fun tid -> reserved (get h tid)) candidates with
+    | Some tid -> Some tid
+    | None -> (match candidates with [] -> None | tid :: _ -> Some tid)
+
+  let rotate h tid = h.order <- List.filter (fun x -> x <> tid) h.order @ [ tid ]
+
+  let make ~sim () =
+    let h = { sim; members = Hashtbl.create 8; order = [] } in
+    let lf =
+      {
+        name = "reserve";
+        enqueue = (fun ~now:_ tid -> (get h tid).runnable <- true);
+        dequeue = (fun ~now:_ tid -> (get h tid).runnable <- false);
+        select = (fun ~now:_ -> pick h);
+        charge =
+          (fun ~now:_ tid ~service ~runnable ->
+            let m = get h tid in
+            if m.capacity > 0 then m.budget <- Stdlib.max 0 (m.budget - service);
+            m.runnable <- runnable;
+            rotate h tid);
+        quantum_of =
+          (fun tid ->
+            let m = get h tid in
+            if reserved m then Some m.budget else None);
+        preempts =
+          (fun ~waker ~running ->
+            reserved (get h waker) && not (reserved (get h running)));
+        backlogged =
+          (fun () ->
+            List.length (List.filter (fun tid -> (get h tid).runnable) h.order));
+        detach =
+          (fun tid ->
+            Hashtbl.remove h.members tid;
+            h.order <- List.filter (fun x -> x <> tid) h.order);
+        second_tick = (fun () -> ());
+        donate = fst no_donation;
+        revoke = snd no_donation;
+      }
+    in
+    (lf, h)
+
+  let add h ~tid ?reserve () =
+    if Hashtbl.mem h.members tid then invalid_arg "Reserve_leaf.add: duplicate";
+    (match reserve with
+    | Some (c, p) when c <= 0 || p <= 0 || c > p ->
+      invalid_arg "Reserve_leaf.add: need 0 < capacity <= period"
+    | _ -> ());
+    let capacity = match reserve with Some (c, _) -> c | None -> 0 in
+    let m = { capacity; budget = capacity; runnable = false } in
+    Hashtbl.replace h.members tid m;
+    h.order <- h.order @ [ tid ];
+    match reserve with
+    | None -> ()
+    | Some (_, period) ->
+      let rec replenish () =
+        (* The thread may have exited; replenishing a ghost is harmless
+           and the chain stops once it is detached. *)
+        match Hashtbl.find_opt h.members tid with
+        | None -> ()
+        | Some m ->
+          m.budget <- m.capacity;
+          ignore (Sim.after h.sim period replenish)
+      in
+      ignore (Sim.after h.sim period replenish)
+
+  let budget_left h ~tid = (get h tid).budget
+end

@@ -1,0 +1,150 @@
+(** Leaf-class schedulers, as plugged into the hierarchical framework.
+
+    The paper's leaf nodes hold "a pointer to a function that is invoked,
+    when it is scheduled by its parent node, to select one of its threads"
+    (§4); any algorithm qualifies provided it also participates in the
+    runnable/charge protocol. [t] is the OCaml rendering of that function
+    table. Adapters are provided for every scheduler in this repository:
+    {!Sfq_leaf} (SFQ among threads), {!Svr4_leaf} (TS + RT classes),
+    {!Rm_leaf}, {!Edf_leaf}, and {!Fair_leaf} over any
+    {!Hsfq_sched.Scheduler_intf.FAIR} baseline.
+
+    Thread membership is registered on the adapter handle ({e before} the
+    kernel first marks the thread runnable), because each class needs
+    different per-thread parameters (weight, RT priority, period, ...). *)
+
+open Hsfq_engine
+
+type t = {
+  name : string;
+  enqueue : now:Time.t -> int -> unit;  (** thread became runnable *)
+  dequeue : now:Time.t -> int -> unit;
+      (** a runnable but not-running thread leaves the ready set *)
+  select : now:Time.t -> int option;  (** pick the next thread to run *)
+  charge : now:Time.t -> int -> service:Time.span -> runnable:bool -> unit;
+      (** account actual CPU consumed by the selected thread *)
+  quantum_of : int -> Time.span option;
+      (** class-specific quantum ([None] = kernel default) *)
+  preempts : waker:int -> running:int -> bool;
+      (** should a wakeup preempt the running thread of this class
+          immediately (e.g. SVR4 RT)? *)
+  backlogged : unit -> int;  (** number of runnable member threads *)
+  detach : int -> unit;  (** thread exits or moves away *)
+  second_tick : unit -> unit;  (** once-per-second housekeeping *)
+  donate : blocked:int -> recipient:int -> unit;
+      (** weight transfer when [blocked] waits on a resource held by
+          [recipient] (§4 priority-inversion avoidance); a no-op for
+          classes without weights *)
+  revoke : blocked:int -> unit;  (** undo [blocked]'s donation *)
+}
+
+(** SFQ as a leaf scheduler (used by the paper's SFQ-1/SFQ-2 nodes and the
+    Figure 10/11 experiments). *)
+module Sfq_leaf : sig
+  type handle
+
+  val make : ?quantum:Time.span -> unit -> t * handle
+  val add : handle -> tid:int -> weight:float -> unit
+  val set_weight : handle -> tid:int -> weight:float -> unit
+
+  val donate : handle -> blocked:int -> recipient:int -> unit
+  (** Weight transfer between member threads (priority-inversion
+      avoidance, §4). *)
+
+  val revoke : handle -> blocked:int -> unit
+  val sfq : handle -> Hsfq_core.Sfq.t  (** the underlying SFQ (tests) *)
+end
+
+(** Any {!Hsfq_sched.Scheduler_intf.FAIR} baseline as a leaf scheduler
+    (used for scheduler-comparison experiments). Departing the ready set
+    other than by blocking loses the client's virtual-time state. *)
+module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) : sig
+  type handle
+
+  val make :
+    ?rng:Prng.t -> ?quantum_hint:float -> ?quantum:Time.span -> unit -> t * handle
+
+  val add : handle -> tid:int -> weight:float -> unit
+  val set_weight : handle -> tid:int -> weight:float -> unit
+  val scheduler : handle -> F.t
+end
+
+(** The SVR4 scheduler (TS dispatch table + preemptive RT class) as a leaf
+    — the paper's modified "SVR4 leaf scheduler" (§4), with RT used in
+    Figure 9. *)
+module Svr4_leaf : sig
+  type handle
+
+  val make :
+    ?table:Hsfq_sched.Svr4.row array ->
+    ?tick:Time.span ->
+    ?tick_accounting:bool ->
+    ?rt_quantum:Time.span ->
+    unit ->
+    t * handle
+
+  val add : handle -> tid:int -> ?prio:int -> Hsfq_sched.Svr4.cls -> unit
+  val svr4 : handle -> Hsfq_sched.Svr4.t
+end
+
+(** Rate-monotonic leaf: static priorities from periods; preemptive
+    within the class. *)
+module Rm_leaf : sig
+  type handle
+
+  val make : ?quantum:Time.span -> unit -> t * handle
+  val add : handle -> tid:int -> period:Time.span -> unit
+end
+
+(** EDF leaf: a member's deadline for each activation is
+    [wake time + relative deadline]; preemptive within the class. *)
+module Edf_leaf : sig
+  type handle
+
+  val make : ?quantum:Time.span -> unit -> t * handle
+  val add : handle -> tid:int -> relative_deadline:Time.span -> unit
+end
+
+(** WFQ/FQS with the real-time GPS virtual clock ({!Hsfq_sched.Gps_vt}) —
+    the textbook variants whose fairness breaks when available bandwidth
+    fluctuates (the [xfair] comparison). *)
+module Gps_leaf : sig
+  type handle
+
+  val make :
+    order:Hsfq_sched.Gps_vt.order ->
+    ?capacity:float ->
+    ?quantum_hint:float ->
+    ?quantum:Time.span ->
+    unit ->
+    t * handle
+
+  val add : handle -> tid:int -> weight:float -> unit
+end
+
+(** Processor capacity reserves (Mercer, Savage & Tokuda 1994, the
+    paper's reference [13]) as a leaf class — §6 notes such schedulers "can be
+    employed as leaf class scheduler in our framework".
+
+    Each member thread holds a reserve (capacity C per period T): while
+    its budget lasts it runs in the {e reserved} band (FIFO among
+    reserved threads, preempting unreserved ones on wake); once depleted
+    it falls to the {e background} band until the periodic replenishment
+    restores the budget — i.e. reserves are {e soft} (the guaranteed
+    minimum, plus whatever the background round-robin grants). Dispatch
+    slices are capped at the remaining budget, so the reserved band can
+    never overrun. Threads added without a reserve are always
+    background. *)
+module Reserve_leaf : sig
+  type handle
+
+  val make : sim:Hsfq_engine.Sim.t -> unit -> t * handle
+  (** The leaf schedules its own replenishment events on [sim]. *)
+
+  val add :
+    handle -> tid:int -> ?reserve:Time.span * Time.span -> unit -> unit
+  (** [~reserve:(capacity, period)] — omit for a background-only
+      thread. Replenishment is periodic from the moment of [add]. *)
+
+  val budget_left : handle -> tid:int -> Time.span
+end

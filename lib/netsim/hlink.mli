@@ -1,0 +1,37 @@
+(** Hierarchical link sharing: the paper's scheduling structure driving a
+    packet link.
+
+    This is the framework of §2 applied to the resource SFQ came from —
+    an ISP-style class tree ("/video w=3, /data w=1, /data/tenant-a ...")
+    partitioning link bandwidth, every internal node scheduled by SFQ
+    over its children and every leaf class scheduling its own flows with
+    SFQ. Exactly the same {!Hsfq_core.Hierarchy} instance the CPU kernel
+    uses, charged with packet lengths instead of quanta.
+
+    Build the class tree on {!hierarchy} with [Hierarchy.mknod], attach
+    flows to leaf classes, feed packets (e.g. with {!Traffic}
+    generators pointed at {!enqueue}). *)
+
+open Hsfq_engine
+
+type t
+
+val create : sim:Sim.t -> rate_bps:float -> ?queue_cap:int -> unit -> t
+
+val hierarchy : t -> Hsfq_core.Hierarchy.t
+(** The class tree; create leaf/internal nodes directly on it. *)
+
+val attach_flow :
+  t -> leaf:Hsfq_core.Hierarchy.id -> flow:int -> weight:float -> unit
+(** Register a flow (globally unique id) in a leaf class; within the
+    class, flows share by SFQ with the given weights. *)
+
+val enqueue : t -> flow:int -> bits:int -> unit
+(** A packet arrives for the flow now (drops when its queue is full). *)
+
+val delivered_bits : t -> flow:int -> float
+val delay_stats : t -> flow:int -> Stats.t
+val drops : t -> flow:int -> int
+
+val class_delivered_bits : t -> Hsfq_core.Hierarchy.id -> float
+(** Aggregate over the leaf's flows. *)

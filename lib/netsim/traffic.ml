@@ -1,0 +1,61 @@
+open Hsfq_engine
+
+let cbr link ~sim ~flow ~rate_bps ~packet_bits ?(start = Time.zero) () =
+  if rate_bps <= 0. || packet_bits <= 0 then invalid_arg "Traffic.cbr: bad parameters";
+  let gap =
+    Stdlib.max 1 (int_of_float (Float.round (float_of_int packet_bits /. rate_bps *. 1e9)))
+  in
+  let rec send () =
+    Link.enqueue link ~flow ~bits:packet_bits;
+    ignore (Sim.after sim gap send)
+  in
+  ignore (Sim.at sim (Time.max start (Sim.now sim)) send)
+
+let poisson link ~sim ~flow ~rate_bps ~mean_packet_bits ~seed ?(start = Time.zero) () =
+  if rate_bps <= 0. || mean_packet_bits <= 0 then
+    invalid_arg "Traffic.poisson: bad parameters";
+  let rng = Prng.create seed in
+  let pkts_per_sec = rate_bps /. float_of_int mean_packet_bits in
+  let next_gap () =
+    Stdlib.max 1 (Time.of_seconds_float (Prng.exponential rng ~mean:(1. /. pkts_per_sec)))
+  in
+  let next_size () =
+    Stdlib.max 64
+      (int_of_float (Prng.exponential rng ~mean:(float_of_int mean_packet_bits)))
+  in
+  let rec send () =
+    Link.enqueue link ~flow ~bits:(next_size ());
+    ignore (Sim.after sim (next_gap ()) send)
+  in
+  ignore (Sim.at sim (Time.max start (Sim.now sim)) send)
+
+let video link ~sim ~flow ~params ~bits_per_cost_ms ?(start = Time.zero) () =
+  if bits_per_cost_ms <= 0. then invalid_arg "Traffic.video: bad parameters";
+  let frame_gap = Time.of_seconds_float (1. /. params.Hsfq_workload.Mpeg.fps) in
+  (* Reuse the decode-cost model as a frame-size model: cost in ms maps
+     linearly to bits, preserving the I/P/B and scene structure. *)
+  let costs = ref [] and produced = ref 0 in
+  let next_cost () =
+    (* Generate lazily in chunks to keep the trace deterministic. *)
+    if !costs = [] then begin
+      let chunk =
+        Hsfq_workload.Mpeg.trace
+          { params with Hsfq_workload.Mpeg.seed = params.Hsfq_workload.Mpeg.seed + !produced }
+          ~frames:256
+      in
+      produced := !produced + 256;
+      costs := Array.to_list chunk
+    end;
+    match !costs with
+    | c :: rest ->
+      costs := rest;
+      c
+    | [] -> assert false
+  in
+  let rec send () =
+    let cost_ms = Time.to_milliseconds_float (next_cost ()) in
+    let bits = Stdlib.max 64 (int_of_float (cost_ms *. bits_per_cost_ms)) in
+    Link.enqueue link ~flow ~bits;
+    ignore (Sim.after sim frame_gap send)
+  in
+  ignore (Sim.at sim (Time.max start (Sim.now sim)) send)

@@ -1,0 +1,32 @@
+(** Packet arrival processes for {!Link}.
+
+    Each generator self-schedules on the link's simulator and enqueues
+    packets for one flow:
+
+    - {!cbr}: constant bit rate, fixed-size packets at fixed intervals —
+      the analytically clean source for delay-bound checks;
+    - {!poisson}: Poisson arrivals with exponential sizes — the greedy /
+      bursty cross-traffic;
+    - {!video}: one packet per frame of the synthetic VBR MPEG model at
+      its frame rate, sized proportionally to the frame's cost — the
+      multimedia source the paper's introduction is about. *)
+
+open Hsfq_engine
+
+val cbr :
+  Link.t -> sim:Sim.t -> flow:int -> rate_bps:float -> packet_bits:int ->
+  ?start:Time.t -> unit -> unit
+(** Packets of [packet_bits] every [packet_bits/rate_bps] seconds. *)
+
+val poisson :
+  Link.t -> sim:Sim.t -> flow:int -> rate_bps:float -> mean_packet_bits:int ->
+  seed:int -> ?start:Time.t -> unit -> unit
+(** Exponential inter-arrivals and sizes with the given means; the
+    arrival rate is [rate_bps / mean_packet_bits] packets per second. *)
+
+val video :
+  Link.t -> sim:Sim.t -> flow:int -> params:Hsfq_workload.Mpeg.params ->
+  bits_per_cost_ms:float -> ?start:Time.t -> unit -> unit
+(** Frame [i] is sent at [start + i/fps], sized
+    [bits_per_cost_ms * decode cost in ms] (VBR: I-frames are large,
+    B-frames small, scenes modulate). *)

@@ -1,0 +1,67 @@
+type task = { cost : float; period : float }
+
+let check_task t =
+  if t.cost < 0. || t.period <= 0. then invalid_arg "Admission: bad task"
+
+let utilization tasks =
+  List.iter check_task tasks;
+  List.fold_left (fun acc t -> acc +. (t.cost /. t.period)) 0. tasks
+
+let edf_admissible ~capacity tasks = utilization tasks <= capacity +. 1e-12
+
+let rm_utilization_bound n =
+  if n <= 0 then invalid_arg "Admission.rm_utilization_bound: n <= 0";
+  let nf = float_of_int n in
+  nf *. ((2. ** (1. /. nf)) -. 1.)
+
+let rm_admissible_utilization ~capacity tasks =
+  match tasks with
+  | [] -> true
+  | _ ->
+    utilization tasks
+    <= (capacity *. rm_utilization_bound (List.length tasks)) +. 1e-12
+
+let rm_admissible_rta ~capacity tasks =
+  if capacity <= 0. then invalid_arg "Admission.rm_admissible_rta: capacity <= 0";
+  List.iter check_task tasks;
+  (* Rate-monotonic priority order: shorter period first. On a
+     fractional-speed CPU every cost inflates by 1/capacity. *)
+  let sorted =
+    List.sort (fun a b -> Float.compare a.period b.period) tasks
+    |> List.map (fun t -> { t with cost = t.cost /. capacity })
+  in
+  let rec check_all prefix = function
+    | [] -> true
+    | t :: rest ->
+      let rec iterate r =
+        let demand =
+          t.cost
+          +. List.fold_left
+               (fun acc h -> acc +. (Float.of_int (int_of_float (ceil (r /. h.period))) *. h.cost))
+               0. prefix
+        in
+        if demand > t.period +. 1e-9 then None
+        else if Float.abs (demand -. r) <= 1e-9 then Some demand
+        else iterate demand
+      in
+      (match iterate t.cost with
+      | None -> false
+      | Some _ -> check_all (prefix @ [ t ]) rest)
+  in
+  check_all [] sorted
+
+type soft_task = { mean : float; sigma : float; speriod : float }
+
+let statistical_admissible ~capacity ~quantile tasks =
+  if quantile < 0. then invalid_arg "Admission.statistical_admissible: quantile";
+  let mean_rate =
+    List.fold_left (fun acc t -> acc +. (t.mean /. t.speriod)) 0. tasks
+  in
+  let var_rate =
+    List.fold_left
+      (fun acc t ->
+        let s = t.sigma /. t.speriod in
+        acc +. (s *. s))
+      0. tasks
+  in
+  mean_rate +. (quantile *. sqrt var_rate) <= capacity +. 1e-12

@@ -1,0 +1,38 @@
+(** Admission control procedures for the QoS manager (§1, §4, Fig. 4).
+
+    The paper's QoS manager uses "a deterministic (statistical) admission
+    control algorithm which utilizes the capacity allocated to hard (soft)
+    real-time classes". All capacities and demands are expressed as
+    fractions of the full CPU in [0, 1]; a class with share [s] admits
+    against capacity [s]. *)
+
+type task = { cost : float; period : float }
+(** Worst-case (or mean) cost and period, in consistent units. *)
+
+val utilization : task list -> float
+
+val edf_admissible : capacity:float -> task list -> bool
+(** Exact for preemptive EDF with deadlines = periods: [U <= capacity]. *)
+
+val rm_utilization_bound : int -> float
+(** Liu & Layland's sufficient bound [n (2^{1/n} - 1)]. *)
+
+val rm_admissible_utilization : capacity:float -> task list -> bool
+(** Sufficient test: [U <= capacity * rm_utilization_bound n]. *)
+
+val rm_admissible_rta : capacity:float -> task list -> bool
+(** Exact test via response-time analysis on a CPU of speed [capacity]
+    (costs are divided by [capacity]); priorities are rate monotonic.
+    Necessary and sufficient for synchronous releases. *)
+
+type soft_task = { mean : float; sigma : float; speriod : float }
+(** Per-period demand as mean and standard deviation (fractions again are
+    obtained by dividing by the period). *)
+
+val statistical_admissible :
+  capacity:float -> quantile:float -> soft_task list -> bool
+(** Normal-approximation test: admit while
+    [sum of mean rates + quantile * sqrt(sum of rate variances) <= capacity].
+    [quantile] is the one-sided z-value (e.g. 2.33 for ~1% overload
+    probability). Deliberately allows over-booking relative to worst-case
+    demand — the soft real-time design point of §1. *)

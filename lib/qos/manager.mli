@@ -1,0 +1,75 @@
+(** The QoS manager sketched in §4 / Figure 4 of the paper.
+
+    Sits on top of a scheduling structure and implements the paper's
+    workflow: applications specify QoS requirements; the manager
+    (1) determines the resources needed, (2) decides / creates the class,
+    (3) runs class-dependent admission control against the class's
+    capacity share, and (4) reports the leaf the application should be
+    placed in. It can also dynamically re-weight classes ("initially soft
+    real-time applications may be allocated a very small fraction of the
+    CPU, but when many video decoders ... are started, the allocation ...
+    may be increased significantly").
+
+    The manager owns three top-level classes — [/hard-rt] (admission:
+    exact RM response-time analysis), [/soft-rt] (statistical), and
+    [/best-effort] (never refused; one equal-weight sub-node per user).
+    Thread placement/spawning stays with the caller: the manager returns
+    node ids. *)
+
+open Hsfq_core
+
+type t
+
+type grant = { node : Hierarchy.id; share : float }
+(** Where to place the application and the CPU fraction its class holds
+    at grant time. *)
+
+val create :
+  ?hard_weight:float ->
+  ?soft_weight:float ->
+  ?best_effort_weight:float ->
+  ?quantile:float ->
+  Hierarchy.t ->
+  t
+(** Builds the three class nodes under the root (default weights 1/3/6,
+    the paper's Figure 2; [quantile] — default 2.33 — is the statistical
+    admission z-value). The hierarchy must still be otherwise empty at
+    the root, or at least have no nodes with those names. *)
+
+val hard_node : t -> Hierarchy.id
+val soft_node : t -> Hierarchy.id
+val best_effort_node : t -> Hierarchy.id
+
+val share_of : t -> Hierarchy.id -> float
+(** Fraction of the whole CPU a node commands: the product of
+    weight-fractions along its path. Reflects current runnable-agnostic
+    weights (full-contention share). *)
+
+val request_hard : t -> name:string -> cost:float -> period:float ->
+  (grant, string) result
+(** Deterministic admission (RM response-time analysis on the hard class's
+    share). [cost]/[period] in seconds (any consistent unit). *)
+
+val request_soft : t -> name:string -> mean:float -> sigma:float ->
+  period:float -> (grant, string) result
+(** Statistical admission against the soft class's share. *)
+
+val request_best_effort : t -> user:string -> (grant, string) result
+(** Never refused; creates (or reuses) [/best-effort/<user>] with weight
+    1. *)
+
+val release : t -> name:string -> unit
+(** Forget an admitted hard or soft application, freeing its demand. *)
+
+val set_class_weight : t -> [ `Hard | `Soft | `Best_effort ] -> float -> unit
+(** Dynamic repartitioning. Re-admission of existing tasks is not
+    revisited (shrinking a class keeps its current tasks, as the paper's
+    manager would negotiate out-of-band). *)
+
+val grow_soft_for_demand : t -> unit
+(** Example policy from §1: if the soft class's current demand exceeds
+    half of its share, double the class's weight (capped at 10x the
+    other classes combined). *)
+
+val hard_utilization : t -> float
+val soft_mean_utilization : t -> float

@@ -1,0 +1,51 @@
+type job = { mutable deadline : float; mutable live : bool; mutable gen : int }
+
+type t = {
+  jobs : (int, job) Hashtbl.t;
+  queue : Keyed_heap.t;
+  mutable nlive : int;
+}
+
+let create () = { jobs = Hashtbl.create 16; queue = Keyed_heap.create (); nlive = 0 }
+
+let release t ~id ~deadline =
+  let j =
+    match Hashtbl.find_opt t.jobs id with
+    | Some j -> j
+    | None ->
+      let j = { deadline; live = false; gen = 0 } in
+      Hashtbl.replace t.jobs id j;
+      j
+  in
+  if not j.live then t.nlive <- t.nlive + 1;
+  j.live <- true;
+  j.deadline <- deadline;
+  j.gen <- j.gen + 1;
+  Keyed_heap.push t.queue ~key:deadline ~gen:j.gen ~id
+
+let withdraw t ~id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> ()
+  | Some j ->
+    if j.live then begin
+      j.live <- false;
+      j.gen <- j.gen + 1;
+      t.nlive <- t.nlive - 1
+    end
+
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> false
+  | Some j -> j.live && j.gen = gen
+
+let select t =
+  match Keyed_heap.peek t.queue ~valid:(valid t) with
+  | None -> None
+  | Some (_, id) -> Some id
+
+let deadline_of t ~id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some j when j.live -> Some j.deadline
+  | _ -> None
+
+let backlogged t = t.nlive

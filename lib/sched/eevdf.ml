@@ -1,0 +1,141 @@
+let algorithm_name = "eevdf"
+
+type client = {
+  mutable weight : float;
+  mutable ve : float;
+  mutable vd : float;
+  mutable runnable : bool;
+  mutable gen : int;
+}
+
+type t = {
+  clients : (int, client) Hashtbl.t;
+  (* Two ready queues with lazy invalidation: clients whose eligible time
+     has been reached, keyed by virtual deadline, and not-yet-eligible
+     clients keyed by eligible time. [select] migrates entries as the
+     system virtual time advances. *)
+  eligible : Keyed_heap.t;
+  future : Keyed_heap.t;
+  mutable vt : float;
+  mutable total_weight : float;
+  mutable nrun : int;
+  mutable in_service : int option;
+  q : float;
+}
+
+let create ?rng:_ ?(quantum_hint = 1e7) () =
+  {
+    clients = Hashtbl.create 16;
+    eligible = Keyed_heap.create ();
+    future = Keyed_heap.create ();
+    vt = 0.;
+    total_weight = 0.;
+    nrun = 0;
+    in_service = None;
+    q = quantum_hint;
+  }
+
+let get t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "%s: unknown client %d" algorithm_name id)
+
+let enqueue t id c =
+  c.gen <- c.gen + 1;
+  if c.ve <= t.vt then Keyed_heap.push t.eligible ~key:c.vd ~gen:c.gen ~id
+  else Keyed_heap.push t.future ~key:c.ve ~gen:c.gen ~id
+
+let arrive t ~id ~weight =
+  match Hashtbl.find_opt t.clients id with
+  | Some c ->
+    if not c.runnable then begin
+      c.runnable <- true;
+      (* A waking client resumes no earlier than the current virtual
+         time: it must not reclaim service "owed" from its sleep. *)
+      c.ve <- Float.max c.ve t.vt;
+      c.vd <- c.ve +. (t.q /. c.weight);
+      t.total_weight <- t.total_weight +. c.weight;
+      t.nrun <- t.nrun + 1;
+      enqueue t id c
+    end
+  | None ->
+    if weight <= 0. then invalid_arg "Eevdf.arrive: weight <= 0";
+    let c =
+      { weight; ve = t.vt; vd = t.vt +. (t.q /. weight); runnable = true; gen = 0 }
+    in
+    Hashtbl.replace t.clients id c;
+    t.total_weight <- t.total_weight +. c.weight;
+    t.nrun <- t.nrun + 1;
+    enqueue t id c
+
+let depart t ~id =
+  match Hashtbl.find_opt t.clients id with
+  | None -> ()
+  | Some c ->
+    if c.runnable then begin
+      t.total_weight <- t.total_weight -. c.weight;
+      t.nrun <- t.nrun - 1
+    end;
+    c.gen <- c.gen + 1;
+    Hashtbl.remove t.clients id
+
+let set_weight t ~id ~weight =
+  if weight <= 0. then invalid_arg "Eevdf.set_weight: weight <= 0";
+  let c = get t id in
+  if c.runnable then t.total_weight <- t.total_weight -. c.weight +. weight;
+  c.weight <- weight
+
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
+(* Move every future client whose eligible time has been reached into the
+   eligible queue. *)
+let rec promote t =
+  match Keyed_heap.peek t.future ~valid:(valid t) with
+  | Some (ve, id) when ve <= t.vt ->
+    ignore (Keyed_heap.pop t.future ~valid:(valid t));
+    let c = get t id in
+    c.gen <- c.gen + 1;
+    Keyed_heap.push t.eligible ~key:c.vd ~gen:c.gen ~id;
+    promote t
+  | _ -> ()
+
+let select t =
+  assert (t.in_service = None);
+  if t.nrun = 0 then None
+  else begin
+    promote t;
+    let picked =
+      match Keyed_heap.pop t.eligible ~valid:(valid t) with
+      | Some (_, id) -> Some id
+      | None ->
+        (* No eligible client: run the earliest-eligible one (work
+           conservation); virtual time will catch up as it is charged. *)
+        (match Keyed_heap.pop t.future ~valid:(valid t) with
+        | Some (_, id) -> Some id
+        | None -> None)
+    in
+    t.in_service <- picked;
+    picked
+  end
+
+let charge t ~id ~service ~runnable =
+  (match t.in_service with
+  | Some s when s = id -> ()
+  | _ -> invalid_arg "Eevdf.charge: client not in service");
+  t.in_service <- None;
+  let c = get t id in
+  if t.total_weight > 0. then t.vt <- t.vt +. (service /. t.total_weight);
+  c.ve <- c.ve +. (service /. c.weight);
+  c.vd <- c.ve +. (t.q /. c.weight);
+  if runnable then enqueue t id c
+  else begin
+    c.runnable <- false;
+    t.total_weight <- t.total_weight -. c.weight;
+    t.nrun <- t.nrun - 1
+  end
+
+let backlogged t = t.nrun
+let virtual_time t = t.vt

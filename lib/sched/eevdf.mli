@@ -1,0 +1,13 @@
+(** Earliest Eligible Virtual Deadline First (Stoica, Abdel-Wahab &
+    Jeffay 1996), cited by the paper as contemporaneous related work.
+
+    Each client has a virtual eligible time [ve] and virtual deadline
+    [vd = ve + q/w], where [q] is the standard quantum ([quantum_hint]).
+    System virtual time advances by [service / total weight]. Among clients
+    whose [ve] has been reached, the one with the earliest [vd] runs; after
+    receiving [l] units, [ve += l/w]. If no client is eligible the minimum
+    [vd] client runs (work conservation).
+
+    Implements {!Scheduler_intf.FAIR}. *)
+
+include Scheduler_intf.FAIR

@@ -1,0 +1,84 @@
+let algorithm_name = "fifo"
+
+type client = { mutable runnable : bool; mutable gen : int; mutable key : float }
+
+type t = {
+  clients : (int, client) Hashtbl.t;
+  queue : Keyed_heap.t;
+  mutable next_key : float;
+  mutable nrun : int;
+  mutable in_service : int option;
+}
+
+let create ?rng:_ ?quantum_hint:_ () =
+  {
+    clients = Hashtbl.create 16;
+    queue = Keyed_heap.create ();
+    next_key = 0.;
+    nrun = 0;
+    in_service = None;
+  }
+
+let enqueue t id c =
+  c.gen <- c.gen + 1;
+  Keyed_heap.push t.queue ~key:c.key ~gen:c.gen ~id
+
+let arrive t ~id ~weight:_ =
+  match Hashtbl.find_opt t.clients id with
+  | Some c ->
+    if not c.runnable then begin
+      c.runnable <- true;
+      t.nrun <- t.nrun + 1;
+      (* Re-arrival goes to the back of the line. *)
+      t.next_key <- t.next_key +. 1.;
+      c.key <- t.next_key;
+      enqueue t id c
+    end
+  | None ->
+    t.next_key <- t.next_key +. 1.;
+    let c = { runnable = true; gen = 0; key = t.next_key } in
+    Hashtbl.replace t.clients id c;
+    t.nrun <- t.nrun + 1;
+    enqueue t id c
+
+let depart t ~id =
+  match Hashtbl.find_opt t.clients id with
+  | None -> ()
+  | Some c ->
+    if c.runnable then t.nrun <- t.nrun - 1;
+    c.gen <- c.gen + 1;
+    Hashtbl.remove t.clients id
+
+let set_weight _ ~id:_ ~weight:_ = ()
+
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
+let select t =
+  assert (t.in_service = None);
+  match Keyed_heap.pop t.queue ~valid:(valid t) with
+  | None -> None
+  | Some (_, id) ->
+    t.in_service <- Some id;
+    Some id
+
+let charge t ~id ~service:_ ~runnable =
+  (match t.in_service with
+  | Some s when s = id -> ()
+  | _ -> invalid_arg "Fifo_sched.charge: client not in service");
+  t.in_service <- None;
+  let c =
+    match Hashtbl.find_opt t.clients id with
+    | Some c -> c
+    | None -> invalid_arg "Fifo_sched.charge: unknown client"
+  in
+  if runnable then enqueue t id c (* same key: stays at the head *)
+  else begin
+    c.runnable <- false;
+    t.nrun <- t.nrun - 1
+  end
+
+let backlogged t = t.nrun
+let virtual_time _ = 0.

@@ -1,0 +1,7 @@
+(** First-come-first-served: the earliest-arrived runnable client keeps
+    being selected until it blocks or departs (run-to-completion when the
+    kernel grants it unbounded quanta). Baseline and test scaffolding.
+
+    Implements {!Scheduler_intf.FAIR}; weights are accepted and ignored. *)
+
+include Scheduler_intf.FAIR

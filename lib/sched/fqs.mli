@@ -1,0 +1,13 @@
+(** Fair Queuing based on Start-time (Greenberg & Madras 1992).
+
+    FQS computes start and finish tags exactly as WFQ but schedules in
+    increasing {e start}-tag order, so quantum lengths are only needed
+    after execution — making it usable for CPU scheduling (finish tags use
+    the {e actual} service here). Its remaining drawbacks, which the
+    paper's §6 comparison exercises, are the expensive GPS virtual time
+    (approximated as in {!Wfq}) and unfairness when available bandwidth
+    fluctuates.
+
+    Implements {!Scheduler_intf.FAIR}. *)
+
+include Scheduler_intf.FAIR

@@ -1,0 +1,140 @@
+open Hsfq_engine
+
+type order = Finish_tags | Start_tags
+
+type client = {
+  mutable weight : float;
+  mutable finish : float; (* finish tag of the last completed quantum *)
+  mutable pend_s : float;
+  mutable pend_f : float;
+  mutable runnable : bool;
+  mutable gen : int;
+}
+
+type t = {
+  order : order;
+  capacity : float;
+  lhat : float;
+  clients : (int, client) Hashtbl.t;
+  queue : Keyed_heap.t;
+  mutable vt : float;
+  mutable vt_as_of : Time.t; (* wall instant [vt] corresponds to *)
+  mutable total_weight : float;
+  mutable nrun : int;
+  mutable in_service : int option;
+}
+
+let create ~order ?(capacity = 1.0) ?(quantum_hint = 2e7) () =
+  if capacity <= 0. then invalid_arg "Gps_vt.create: capacity <= 0";
+  {
+    order;
+    capacity;
+    lhat = quantum_hint;
+    clients = Hashtbl.create 16;
+    queue = Keyed_heap.create ();
+    vt = 0.;
+    vt_as_of = Time.zero;
+    total_weight = 0.;
+    nrun = 0;
+    in_service = None;
+  }
+
+let get t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Gps_vt: unknown client %d" id)
+
+(* Eq. 12: v grows with wall time at rate C / (sum of backlogged
+   weights); it stands still while no client is backlogged. *)
+let advance_vt t now =
+  let dt = Time.diff now t.vt_as_of in
+  if dt > 0 then begin
+    if t.total_weight > 0. then
+      t.vt <- t.vt +. (t.capacity *. float_of_int dt /. t.total_weight);
+    t.vt_as_of <- now
+  end
+
+let enqueue t id c =
+  c.pend_s <- Float.max t.vt c.finish;
+  c.pend_f <- c.pend_s +. (t.lhat /. c.weight);
+  c.gen <- c.gen + 1;
+  let key = match t.order with Finish_tags -> c.pend_f | Start_tags -> c.pend_s in
+  Keyed_heap.push t.queue ~key ~gen:c.gen ~id
+
+let arrive t ~now ~id ~weight =
+  advance_vt t now;
+  match Hashtbl.find_opt t.clients id with
+  | Some c ->
+    if not c.runnable then begin
+      c.runnable <- true;
+      t.total_weight <- t.total_weight +. c.weight;
+      t.nrun <- t.nrun + 1;
+      enqueue t id c
+    end
+  | None ->
+    if weight <= 0. then invalid_arg "Gps_vt.arrive: weight <= 0";
+    let c =
+      { weight; finish = 0.; pend_s = 0.; pend_f = 0.; runnable = true; gen = 0 }
+    in
+    Hashtbl.replace t.clients id c;
+    t.total_weight <- t.total_weight +. c.weight;
+    t.nrun <- t.nrun + 1;
+    enqueue t id c
+
+let depart t ~id =
+  match Hashtbl.find_opt t.clients id with
+  | None -> ()
+  | Some c ->
+    if c.runnable then begin
+      t.total_weight <- t.total_weight -. c.weight;
+      t.nrun <- t.nrun - 1
+    end;
+    c.gen <- c.gen + 1;
+    Hashtbl.remove t.clients id
+
+let set_weight t ~id ~weight =
+  if weight <= 0. then invalid_arg "Gps_vt.set_weight: weight <= 0";
+  let c = get t id in
+  if c.runnable then t.total_weight <- t.total_weight -. c.weight +. weight;
+  c.weight <- weight
+
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
+let select t ~now =
+  advance_vt t now;
+  assert (t.in_service = None);
+  match Keyed_heap.pop t.queue ~valid:(valid t) with
+  | None -> None
+  | Some (_, id) ->
+    t.in_service <- Some id;
+    Some id
+
+let charge t ~now ~id ~service ~runnable =
+  (match t.in_service with
+  | Some s when s = id -> ()
+  | _ -> invalid_arg "Gps_vt.charge: client not in service");
+  advance_vt t now;
+  t.in_service <- None;
+  let c = get t id in
+  (match t.order with
+  | Finish_tags ->
+    (* WFQ: the assumed length was charged when the tag was computed. *)
+    c.finish <- c.pend_f
+  | Start_tags ->
+    (* FQS: finish tags use the actual length. *)
+    c.finish <- c.pend_s +. (service /. c.weight));
+  if runnable then enqueue t id c
+  else begin
+    c.runnable <- false;
+    t.total_weight <- t.total_weight -. c.weight;
+    t.nrun <- t.nrun - 1
+  end
+
+let backlogged t = t.nrun
+
+let virtual_time t ~now =
+  advance_vt t now;
+  t.vt

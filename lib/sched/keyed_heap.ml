@@ -1,0 +1,33 @@
+open Hsfq_engine
+
+type entry = { key : float; seq : int; gen : int; id : int }
+
+type t = { heap : entry Heap.t; mutable next_seq : int }
+
+let entry_cmp a b =
+  let c = Float.compare a.key b.key in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp:entry_cmp; next_seq = 0 }
+
+let push t ~key ~gen ~id =
+  Heap.add t.heap { key; seq = t.next_seq; gen; id };
+  t.next_seq <- t.next_seq + 1
+
+let rec pop t ~valid =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some e -> if valid ~id:e.id ~gen:e.gen then Some (e.key, e.id) else pop t ~valid
+
+let rec peek t ~valid =
+  match Heap.peek t.heap with
+  | None -> None
+  | Some e ->
+    if valid ~id:e.id ~gen:e.gen then Some (e.key, e.id)
+    else begin
+      ignore (Heap.pop t.heap);
+      peek t ~valid
+    end
+
+let clear t = Heap.clear t.heap
+let size t = Heap.length t.heap

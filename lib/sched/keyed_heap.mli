@@ -1,0 +1,26 @@
+(** Min-heap of (key, id) with lazy invalidation.
+
+    Scheduler ready-queues re-key clients every quantum. Instead of
+    supporting decrease-key we push a fresh entry with a per-client
+    generation number and discard stale entries when they surface, which
+    keeps each operation O(log n) amortized. Ties on the key break by
+    insertion order (FIFO), making runs deterministic — the paper's
+    "ties are broken arbitrarily". *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> key:float -> gen:int -> id:int -> unit
+
+val pop : t -> valid:(id:int -> gen:int -> bool) -> (float * int) option
+(** Pop the minimum-key entry for which [valid] holds, discarding stale
+    entries along the way. *)
+
+val peek : t -> valid:(id:int -> gen:int -> bool) -> (float * int) option
+(** Like [pop] but leaves the entry in place (stale prefix is still
+    discarded). *)
+
+val clear : t -> unit
+val size : t -> int
+(** Includes stale entries. *)

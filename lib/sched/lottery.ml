@@ -1,0 +1,90 @@
+open Hsfq_engine
+
+let algorithm_name = "lottery"
+
+type client = { mutable weight : float; mutable runnable : bool }
+
+type t = {
+  clients : (int, client) Hashtbl.t;
+  rng : Prng.t;
+  mutable total_weight : float;
+  mutable nrun : int;
+  mutable in_service : int option;
+}
+
+let create ?rng ?quantum_hint:_ () =
+  let rng = match rng with Some r -> r | None -> Prng.create 0x10773E in
+  { clients = Hashtbl.create 16; rng; total_weight = 0.; nrun = 0; in_service = None }
+
+let get t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "%s: unknown client %d" algorithm_name id)
+
+let arrive t ~id ~weight =
+  match Hashtbl.find_opt t.clients id with
+  | Some c ->
+    if not c.runnable then begin
+      c.runnable <- true;
+      t.total_weight <- t.total_weight +. c.weight;
+      t.nrun <- t.nrun + 1
+    end
+  | None ->
+    if weight <= 0. then invalid_arg "Lottery.arrive: weight <= 0";
+    Hashtbl.replace t.clients id { weight; runnable = true };
+    t.total_weight <- t.total_weight +. weight;
+    t.nrun <- t.nrun + 1
+
+let depart t ~id =
+  match Hashtbl.find_opt t.clients id with
+  | None -> ()
+  | Some c ->
+    if c.runnable then begin
+      t.total_weight <- t.total_weight -. c.weight;
+      t.nrun <- t.nrun - 1
+    end;
+    Hashtbl.remove t.clients id
+
+let set_weight t ~id ~weight =
+  if weight <= 0. then invalid_arg "Lottery.set_weight: weight <= 0";
+  let c = get t id in
+  if c.runnable then t.total_weight <- t.total_weight -. c.weight +. weight;
+  c.weight <- weight
+
+let select t =
+  assert (t.in_service = None);
+  if t.nrun = 0 then None
+  else begin
+    (* Draw a ticket in [0, total_weight) and walk the runnable clients.
+       Iteration order over the hash table is arbitrary but fixed for a
+       given table state, and the draw itself is uniform, so the winner is
+       distributed proportionally to weights regardless of order. *)
+    let ticket = Prng.float t.rng t.total_weight in
+    let acc = ref 0. and winner = ref None and fallback = ref None in
+    Hashtbl.iter
+      (fun id c ->
+        if c.runnable && !winner = None then begin
+          if !fallback = None then fallback := Some id;
+          acc := !acc +. c.weight;
+          if ticket < !acc then winner := Some id
+        end)
+      t.clients;
+    let w = match !winner with Some _ as w -> w | None -> !fallback in
+    t.in_service <- w;
+    w
+  end
+
+let charge t ~id ~service:_ ~runnable =
+  (match t.in_service with
+  | Some s when s = id -> ()
+  | _ -> invalid_arg "Lottery.charge: client not in service");
+  t.in_service <- None;
+  let c = get t id in
+  if not runnable then begin
+    c.runnable <- false;
+    t.total_weight <- t.total_weight -. c.weight;
+    t.nrun <- t.nrun - 1
+  end
+
+let backlogged t = t.nrun
+let virtual_time _ = 0.

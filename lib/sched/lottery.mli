@@ -1,0 +1,12 @@
+(** Lottery scheduling (Waldspurger & Weihl, OSDI 1994).
+
+    Randomized proportional share: each quantum is awarded to a runnable
+    client with probability proportional to its ticket count (weight).
+    The paper (§6) notes lottery achieves fairness only over large time
+    intervals; the fairness-comparison experiment quantifies its lag
+    against SFQ's deterministic bound.
+
+    Implements {!Scheduler_intf.FAIR}. The [rng] argument of [create] is
+    the draw source (a default deterministic seed is used if omitted). *)
+
+include Scheduler_intf.FAIR

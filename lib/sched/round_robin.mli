@@ -1,0 +1,8 @@
+(** Weight-oblivious round robin: clients take fixed turns in FIFO order.
+    Serves as a simple leaf scheduler and as a degenerate baseline in
+    tests (every runnable client gets the same share regardless of
+    weight).
+
+    Implements {!Scheduler_intf.FAIR}; weights are accepted and ignored. *)
+
+include Scheduler_intf.FAIR

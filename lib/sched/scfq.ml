@@ -1,0 +1,95 @@
+let algorithm_name = "scfq"
+
+type client = {
+  mutable weight : float;
+  mutable finish : float; (* finish tag of last completed quantum *)
+  mutable pend_f : float; (* finish tag of the queued quantum *)
+  mutable runnable : bool;
+  mutable gen : int;
+}
+
+type t = {
+  clients : (int, client) Hashtbl.t;
+  queue : Keyed_heap.t;
+  mutable vt : float; (* finish tag of quantum in service *)
+  mutable nrun : int;
+  mutable in_service : int option;
+  lhat : float;
+}
+
+let create ?rng:_ ?(quantum_hint = 1e7) () =
+  {
+    clients = Hashtbl.create 16;
+    queue = Keyed_heap.create ();
+    vt = 0.;
+    nrun = 0;
+    in_service = None;
+    lhat = quantum_hint;
+  }
+
+let get t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "%s: unknown client %d" algorithm_name id)
+
+let enqueue t id c =
+  c.pend_f <- Float.max t.vt c.finish +. (t.lhat /. c.weight);
+  c.gen <- c.gen + 1;
+  Keyed_heap.push t.queue ~key:c.pend_f ~gen:c.gen ~id
+
+let arrive t ~id ~weight =
+  match Hashtbl.find_opt t.clients id with
+  | Some c ->
+    if not c.runnable then begin
+      c.runnable <- true;
+      t.nrun <- t.nrun + 1;
+      enqueue t id c
+    end
+  | None ->
+    if weight <= 0. then invalid_arg "Scfq.arrive: weight <= 0";
+    let c = { weight; finish = 0.; pend_f = 0.; runnable = true; gen = 0 } in
+    Hashtbl.replace t.clients id c;
+    t.nrun <- t.nrun + 1;
+    enqueue t id c
+
+let depart t ~id =
+  match Hashtbl.find_opt t.clients id with
+  | None -> ()
+  | Some c ->
+    if c.runnable then t.nrun <- t.nrun - 1;
+    c.gen <- c.gen + 1;
+    Hashtbl.remove t.clients id
+
+let set_weight t ~id ~weight =
+  if weight <= 0. then invalid_arg "Scfq.set_weight: weight <= 0";
+  (get t id).weight <- weight
+
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
+let select t =
+  assert (t.in_service = None);
+  match Keyed_heap.pop t.queue ~valid:(valid t) with
+  | None -> None
+  | Some (key, id) ->
+    t.in_service <- Some id;
+    t.vt <- key;
+    Some id
+
+let charge t ~id ~service:_ ~runnable =
+  (match t.in_service with
+  | Some s when s = id -> ()
+  | _ -> invalid_arg "Scfq.charge: client not in service");
+  t.in_service <- None;
+  let c = get t id in
+  c.finish <- c.pend_f;
+  if runnable then enqueue t id c
+  else begin
+    c.runnable <- false;
+    t.nrun <- t.nrun - 1
+  end
+
+let backlogged t = t.nrun
+let virtual_time t = t.vt

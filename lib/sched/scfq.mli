@@ -1,0 +1,12 @@
+(** Self-Clocked Fair Queuing (Davin & Heybey 1990; Golestani 1994).
+
+    SCFQ avoids WFQ's expensive GPS simulation by approximating virtual
+    time with the finish tag of the quantum in service, but — like WFQ —
+    it schedules in increasing finish-tag order and therefore still needs
+    quantum lengths a priori (we use [quantum_hint], as for {!Wfq}). The
+    paper (§6) notes SCFQ matches SFQ's fairness and cost but gives a
+    delay bound larger by [(Q-1)·l^max/C].
+
+    Implements {!Scheduler_intf.FAIR}. *)
+
+include Scheduler_intf.FAIR

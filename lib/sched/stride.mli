@@ -1,0 +1,14 @@
+(** Stride scheduling (Waldspurger & Weihl 1995).
+
+    Deterministic proportional share: each client advances a per-client
+    *pass* value by [service / weight] whenever it runs; the client with
+    the minimum pass runs next. A *global pass* advances at the aggregate
+    rate [service / total weight]; a client that blocks saves its
+    [pass - global_pass] remainder and resumes from [global_pass +
+    remainder], preserving relative position. The paper (§6) classifies
+    stride as a WFQ variant with WFQ's drawbacks under fluctuating
+    bandwidth; the comparison experiments measure that.
+
+    Implements {!Scheduler_intf.FAIR}. *)
+
+include Scheduler_intf.FAIR

@@ -1,0 +1,112 @@
+let algorithm_name = "wfq"
+
+type client = {
+  mutable weight : float;
+  mutable finish : float; (* finish tag of the last *completed* quantum *)
+  mutable pend_s : float; (* tags of the pending (queued) quantum *)
+  mutable pend_f : float;
+  mutable runnable : bool;
+  mutable gen : int;
+}
+
+type t = {
+  clients : (int, client) Hashtbl.t;
+  queue : Keyed_heap.t;
+  mutable vt : float;
+  mutable total_weight : float; (* over runnable clients *)
+  mutable nrun : int;
+  mutable in_service : int option;
+  lhat : float; (* assumed quantum length *)
+}
+
+let create ?rng:_ ?(quantum_hint = 1e7) () =
+  {
+    clients = Hashtbl.create 16;
+    queue = Keyed_heap.create ();
+    vt = 0.;
+    total_weight = 0.;
+    nrun = 0;
+    in_service = None;
+    lhat = quantum_hint;
+  }
+
+let get t id =
+  match Hashtbl.find_opt t.clients id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "%s: unknown client %d" algorithm_name id)
+
+let enqueue t id c =
+  c.pend_s <- Float.max t.vt c.finish;
+  c.pend_f <- c.pend_s +. (t.lhat /. c.weight);
+  c.gen <- c.gen + 1;
+  Keyed_heap.push t.queue ~key:c.pend_f ~gen:c.gen ~id
+
+let arrive t ~id ~weight =
+  match Hashtbl.find_opt t.clients id with
+  | Some c ->
+    if not c.runnable then begin
+      c.runnable <- true;
+      t.total_weight <- t.total_weight +. c.weight;
+      t.nrun <- t.nrun + 1;
+      enqueue t id c
+    end
+  | None ->
+    if weight <= 0. then invalid_arg "Wfq.arrive: weight <= 0";
+    let c =
+      { weight; finish = 0.; pend_s = 0.; pend_f = 0.; runnable = true; gen = 0 }
+    in
+    Hashtbl.replace t.clients id c;
+    t.total_weight <- t.total_weight +. c.weight;
+    t.nrun <- t.nrun + 1;
+    enqueue t id c
+
+let depart t ~id =
+  match Hashtbl.find_opt t.clients id with
+  | None -> ()
+  | Some c ->
+    if c.runnable then begin
+      t.total_weight <- t.total_weight -. c.weight;
+      t.nrun <- t.nrun - 1
+    end;
+    c.gen <- c.gen + 1;
+    Hashtbl.remove t.clients id
+
+let set_weight t ~id ~weight =
+  if weight <= 0. then invalid_arg "Wfq.set_weight: weight <= 0";
+  let c = get t id in
+  if c.runnable then t.total_weight <- t.total_weight -. c.weight +. weight;
+  c.weight <- weight
+
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
+let select t =
+  assert (t.in_service = None);
+  match Keyed_heap.pop t.queue ~valid:(valid t) with
+  | None -> None
+  | Some (_, id) ->
+    t.in_service <- Some id;
+    Some id
+
+let charge t ~id ~service ~runnable =
+  (match t.in_service with
+  | Some s when s = id -> ()
+  | _ -> invalid_arg "Wfq.charge: client not in service");
+  t.in_service <- None;
+  let c = get t id in
+  (* GPS virtual time advances at rate 1/total weight of the backlogged
+     set, which still includes the client we just served. *)
+  if t.total_weight > 0. then t.vt <- t.vt +. (service /. t.total_weight);
+  (* WFQ charges the assumed length, not the actual one. *)
+  c.finish <- c.pend_f;
+  if runnable then enqueue t id c
+  else begin
+    c.runnable <- false;
+    t.total_weight <- t.total_weight -. c.weight;
+    t.nrun <- t.nrun - 1
+  end
+
+let backlogged t = t.nrun
+let virtual_time t = t.vt

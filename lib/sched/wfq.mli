@@ -1,0 +1,19 @@
+(** Weighted Fair Queuing (Demers, Keshav & Shenker 1989), CPU variant.
+
+    WFQ emulates a hypothetical GPS server: each quantum gets a start tag
+    [S = max(v(A), F_prev)] and finish tag [F = S + l/w], and quanta are
+    scheduled in increasing {e finish}-tag order. Two properties matter for
+    the paper's comparison (§6):
+
+    - WFQ needs the quantum length [l] {e a priori}. For CPU scheduling the
+      length is unknown (a thread may block early), so this implementation
+      uses the [quantum_hint] as the assumed length — exactly the
+      work-around the paper criticises: a thread that blocks before using
+      its assumed quantum is over-charged and loses its fair share.
+    - [v(t)] is the GPS round number. We advance it incrementally by
+      [service / total backlogged weight] at every charge, the standard
+      quantum-granularity approximation of eq. (12) of the paper.
+
+    Implements {!Scheduler_intf.FAIR}. *)
+
+include Scheduler_intf.FAIR

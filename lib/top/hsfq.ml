@@ -1,0 +1,39 @@
+(** Umbrella module: one [open Hsfq] (or [Hsfq.] prefix) reaches the whole
+    reproduction. The sub-libraries remain independently usable
+    ([hsfq.core], [hsfq.kernel], ...); this module only re-exports them
+    under short names.
+
+    {ul
+    {- {!Sfq}, {!Hierarchy}, {!Path} — the paper's contribution}
+    {- {!Kernel}, {!Leaf_sched}, {!Workload_intf}, {!Interrupt_source} —
+       the simulated OS}
+    {- {!Sched} — the related-work scheduler zoo}
+    {- {!Workload} — Dhrystone / MPEG / periodic / interactive / on-off}
+    {- {!Qos} — admission control and the Figure 4 manager}
+    {- {!Analysis} — the paper's bounds, executable}
+    {- {!Netsim} — SFQ's original packet-link setting}
+    {- {!Engine} — the discrete-event substrate}
+    {- {!Experiments} — every figure and extension experiment}} *)
+
+module Engine = Hsfq_engine
+module Time = Hsfq_engine.Time
+module Sim = Hsfq_engine.Sim
+module Prng = Hsfq_engine.Prng
+module Stats = Hsfq_engine.Stats
+module Series = Hsfq_engine.Series
+
+module Sfq = Hsfq_core.Sfq
+module Hierarchy = Hsfq_core.Hierarchy
+module Path = Hsfq_core.Path
+
+module Kernel = Hsfq_kernel.Kernel
+module Leaf_sched = Hsfq_kernel.Leaf_sched
+module Workload_intf = Hsfq_kernel.Workload_intf
+module Interrupt_source = Hsfq_kernel.Interrupt_source
+
+module Sched = Hsfq_sched
+module Workload = Hsfq_workload
+module Qos = Hsfq_qos
+module Analysis = Hsfq_analysis
+module Netsim = Hsfq_netsim
+module Experiments = Hsfq_experiments

@@ -1,0 +1,24 @@
+(** Dhrystone-like synthetic benchmark.
+
+    The paper's primary workload: "a CPU intensive application that
+    executes a number of operations in a loop. The number of loops
+    completed in a fixed duration was used as the performance metric"
+    (§5). Here a loop is a fixed amount of CPU work; the counter records
+    one sample per completed loop, so throughput over any window is the
+    bucketed sum of the series. *)
+
+open Hsfq_engine
+
+type counter
+
+val make : loop_cost:Time.span -> unit -> Hsfq_kernel.Workload_intf.t * counter
+(** An endless loop of [loop_cost] CPU work per iteration. *)
+
+val loops : counter -> int
+(** Loops completed so far. *)
+
+val series : counter -> Series.t
+(** One (completion time, 1.0) sample per loop. *)
+
+val loops_before : counter -> Time.t -> int
+(** Loops completed no later than the given time. *)

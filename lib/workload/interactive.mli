@@ -1,0 +1,25 @@
+(** Interactive (low-throughput, latency-sensitive) workload.
+
+    Alternates an exponentially distributed think time with a short CPU
+    burst — the "interactive applications are low throughput in nature"
+    class for which §6 argues SFQ gives lower delay than WFQ. The counter
+    records the {e response time} of each burst: from the instant the
+    burst is requested (wakeup) to its completion. *)
+
+open Hsfq_engine
+
+type counter
+
+val make :
+  mean_think:Time.span ->
+  burst:Time.span ->
+  ?seed:int ->
+  ?requests:int ->
+  unit ->
+  Hsfq_kernel.Workload_intf.t * counter
+
+val responses : counter -> int
+val response_stats : counter -> Stats.t
+(** Response time per burst, ns. *)
+
+val response_series : counter -> Series.t

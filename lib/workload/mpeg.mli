@@ -1,0 +1,78 @@
+(** Synthetic MPEG variable-bit-rate decode workload.
+
+    The paper's Figure 1 shows that MPEG decompression cost varies
+    "from frame-to-frame (i.e., at the time scale of tens of
+    milliseconds) as well as from scene-to-scene (i.e., at the time scale
+    of seconds)", and Figures 9/10 run Berkeley MPEG players as threads.
+    Since no real video is available in this environment, the generator
+    reproduces both time scales:
+
+    - {e frame scale}: a GOP pattern of I/P/B frames with very different
+      per-type costs plus small lognormal per-frame noise;
+    - {e scene scale}: scene changes with geometric lengths, each scene
+      drawing a lognormal complexity factor that multiplies every frame
+      cost until the next scene change.
+
+    Everything is deterministic under [seed]. *)
+
+open Hsfq_engine
+
+type params = {
+  fps : float;  (** nominal playback rate (paced mode) *)
+  gop : string;  (** frame-type pattern, e.g. ["IBBPBBPBBPBB"] *)
+  base_cost : Time.span;  (** mean P-frame decode cost at complexity 1 *)
+  i_factor : float;  (** I-frame cost multiplier *)
+  p_factor : float;
+  b_factor : float;
+  scene_mean_frames : float;  (** mean scene length, frames *)
+  complexity_sigma : float;  (** lognormal sigma of scene complexity *)
+  noise_sigma : float;  (** lognormal sigma of per-frame noise *)
+  seed : int;
+}
+
+val default_params : params
+(** 30 fps, GOP [IBBPBBPBBPBB], 8 ms base cost, I/P/B factors 2.2/1.0/0.6,
+    90-frame scenes, sigma 0.35/0.12, seed 7. *)
+
+val trace : params -> frames:int -> Time.span array
+(** Per-frame decode cost — the data behind Figure 1. *)
+
+val frame_type : params -> int -> char
+(** ['I'], ['P'] or ['B'] for the given frame index. *)
+
+type counter
+
+val decoder :
+  params -> ?paced:bool -> ?frames:int -> unit ->
+  Hsfq_kernel.Workload_intf.t * counter
+(** A decoder thread workload. Unpaced (default) decodes back-to-back as
+    fast as it is scheduled (the Figure 10 setup: "number of frames
+    decoded as a function of time"); paced sleeps until each frame's
+    nominal display time — anchored at the thread's first activation —
+    before decoding it. [frames] bounds the clip length (default:
+    endless). *)
+
+val decoded : counter -> int
+
+val late_frames : counter -> int
+(** Paced decoders only: frames that completed after the next frame's
+    display instant (playback glitches). Always 0 when unpaced. *)
+
+val series : counter -> Series.t
+(** One (completion time, 1.0) sample per decoded frame. *)
+
+val decoded_before : counter -> Time.t -> int
+
+val decoder_of_costs :
+  Time.span array -> fps:float -> ?paced:bool -> ?loop:bool -> unit ->
+  Hsfq_kernel.Workload_intf.t * counter
+(** A decoder driven by an externally supplied per-frame cost trace
+    (e.g. measured on real video and loaded from a file) instead of the
+    synthetic model. [loop] (default true) replays the trace endlessly;
+    otherwise the thread exits after the last frame. *)
+
+val demand_stats : params -> frames:int -> float * float * float
+(** [(mean, sigma, period)] of the per-frame decode demand in seconds,
+    estimated from a trace of the given length — the numbers a QoS
+    manager's statistical admission test needs
+    ({!Hsfq_qos.Admission.statistical_admissible}). *)

@@ -1,0 +1,31 @@
+open Hsfq_engine
+
+type counter = { mutable bursts : int; duty : float }
+
+let make ~on ~off ?(jitter = false) ?(seed = 19) () =
+  if on <= 0 || off <= 0 then invalid_arg "Onoff.make: bad durations";
+  let c =
+    { bursts = 0; duty = float_of_int on /. float_of_int (on + off) }
+  in
+  let rng = Prng.create seed in
+  let draw mean =
+    if jitter then
+      Stdlib.max 1
+        (Time.of_seconds_float (Prng.exponential rng ~mean:(Time.to_seconds_float mean)))
+    else mean
+  in
+  let phase = ref `Off in
+  let next ~now:_ =
+    match !phase with
+    | `Off ->
+      phase := `On;
+      Hsfq_kernel.Workload_intf.Compute (draw on)
+    | `On ->
+      phase := `Off;
+      c.bursts <- c.bursts + 1;
+      Hsfq_kernel.Workload_intf.Sleep_for (draw off)
+  in
+  (next, c)
+
+let bursts c = c.bursts
+let duty_cycle c = c.duty

@@ -1,0 +1,28 @@
+(** On/off (bursty) workload: alternating CPU bursts and sleeps.
+
+    Used wherever an experiment needs fluctuating background load — the
+    sibling hog that halves a leaf's available bandwidth in the fairness
+    comparison, or the "normal system processes" of the paper's multiuser
+    testbed. Durations are fixed or exponentially distributed around the
+    given means. *)
+
+open Hsfq_engine
+
+type counter
+
+val make :
+  on:Time.span ->
+  off:Time.span ->
+  ?jitter:bool ->
+  ?seed:int ->
+  unit ->
+  Hsfq_kernel.Workload_intf.t * counter
+(** Alternates [Compute on] with [Sleep_for off] forever. With
+    [~jitter:true] each burst/sleep is exponentially distributed with the
+    given mean (seeded; deterministic). *)
+
+val bursts : counter -> int
+(** Completed bursts. *)
+
+val duty_cycle : counter -> float
+(** Requested on/(on+off) fraction — the demand this workload places. *)

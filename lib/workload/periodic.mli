@@ -1,0 +1,39 @@
+(** Periodic real-time task workload.
+
+    Models the Figure 9 threads: "thread1 executed for 10 ms every 60 ms,
+    thread2 required 150 ms of computation time every 960 ms. ... For each
+    thread, a clock interrupt was used to announce the deadline for the
+    current round and the start of a new round of computation."
+
+    Round [i] is released at [phase + i*period] (the thread sleeps until
+    then, so the kernel's wake-to-dispatch latency statistic {e is} the
+    paper's "scheduling latency"); it computes for [cost] and its deadline
+    is [release + deadline] (default: the period). On completing a round
+    the counter records the {e slack time} — "the difference in time
+    between the deadline and the time at which the current round of
+    computation completes" — negative slack is a deadline miss. A round
+    that overruns its period starts the next round immediately (late
+    release), as the paper's RM setup would. *)
+
+open Hsfq_engine
+
+type counter
+
+val make :
+  period:Time.span ->
+  cost:Time.span ->
+  ?phase:Time.span ->
+  ?deadline:Time.span ->
+  ?rounds:int ->
+  unit ->
+  Hsfq_kernel.Workload_intf.t * counter
+(** [rounds] bounds the number of rounds (default endless). *)
+
+val completed : counter -> int
+val misses : counter -> int
+(** Rounds that finished after their deadline. *)
+
+val slack_stats : counter -> Stats.t
+(** Slack per round, in ns (negative = miss). *)
+
+val slack_series : counter -> Series.t

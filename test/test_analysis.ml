@@ -1,0 +1,188 @@
+(* Tests for the measurement/analysis library (lib/analysis). *)
+
+open Hsfq_engine
+open Hsfq_analysis
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let series_of samples =
+  let s = Series.create () in
+  List.iter (fun (t, v) -> Series.add s t v) samples;
+  s
+
+(* --------------------------- fairness -------------------------------- *)
+
+let test_lag_perfectly_fair () =
+  (* Alternating unit service to equal-weight clients: lag is one unit. *)
+  let fa = series_of [ (1, 1.); (3, 1.); (5, 1.) ] in
+  let fb = series_of [ (2, 1.); (4, 1.); (6, 1.) ] in
+  check_float "lag = one quantum" 1.
+    (Fairness.normalized_lag ~fa ~wa:1. ~fb ~wb:1. ~until:6)
+
+let test_lag_weighted () =
+  (* b gets 2 units per a's 1, weights 1:2 -> normalized equal. *)
+  let fa = series_of [ (1, 1.); (4, 1.) ] in
+  let fb = series_of [ (2, 2.); (5, 2.) ] in
+  check_float "weighted lag = one normalized quantum" 1.
+    (Fairness.normalized_lag ~fa ~wa:1. ~fb ~wb:2. ~until:5)
+
+let test_lag_detects_unfairness () =
+  (* a is starved: lag grows with b's total service. *)
+  let fa = series_of [] in
+  let fb = series_of [ (1, 5.); (2, 5.) ] in
+  check_float "starvation lag" 10.
+    (Fairness.normalized_lag ~fa ~wa:1. ~fb ~wb:1. ~until:2)
+
+let test_lag_interval_sensitivity () =
+  (* Unfair burst in the middle even though totals balance out. *)
+  let fa = series_of [ (1, 4.); (10, 0.) ] in
+  let fb = series_of [ (5, 4.) ] in
+  check_float "captures worst interval" 4.
+    (Fairness.normalized_lag ~fa ~wa:1. ~fb ~wb:1. ~until:10)
+
+let test_lag_respects_until () =
+  let fa = series_of [ (1, 1.); (100, 50.) ] in
+  let fb = series_of [ (2, 1.) ] in
+  check_float "samples beyond until ignored" 1.
+    (Fairness.normalized_lag ~fa ~wa:1. ~fb ~wb:1. ~until:10)
+
+let test_sfq_bound_and_pairs () =
+  check_float "bound formula" 30. (Fairness.sfq_bound ~lmax_a:20. ~wa:1. ~lmax_b:20. ~wb:2.);
+  let clients =
+    [|
+      (series_of [ (1, 1.) ], 1.);
+      (series_of [ (2, 4.) ], 1.);
+      (series_of [ (3, 1.) ], 1.);
+    |]
+  in
+  (* Worst pair is (1 unit) vs (4 units). *)
+  check_float "max pairwise" 4. (Fairness.max_pairwise_lag clients ~until:3)
+
+(* --------------------------- fc_server ------------------------------- *)
+
+let test_fc_constant_rate () =
+  (* Work delivered exactly at rate 0.5: one sample of 5 at t=10, etc.
+     The deficit peaks just before each delivery. *)
+  let w = series_of [ (10, 5.); (20, 5.); (30, 5.) ] in
+  check_float "delta of a periodic server" 0.
+    (Fc_server.estimate_delta w ~rate:0.5 ~from_:0 ~until:30);
+  check_bool "is_fc with zero delta" true
+    (Fc_server.is_fc w ~rate:0.5 ~delta:0.001 ~from_:0 ~until:30)
+
+let test_fc_detects_gap () =
+  (* A 10-unit service gap: at full rate 1.0 the deficit reaches 10. *)
+  let w = series_of [ (10, 10.); (30, 10.) ] in
+  check_float "delta = gap" 10.
+    (Fc_server.estimate_delta w ~rate:1.0 ~from_:0 ~until:30);
+  check_bool "not FC with small delta" false
+    (Fc_server.is_fc w ~rate:1.0 ~delta:5. ~from_:0 ~until:30)
+
+let test_fc_endpoint_counts () =
+  (* No work at all: the deficit at the interval end must be seen. *)
+  let w = series_of [] in
+  check_float "pure gap" 100.
+    (Fc_server.estimate_delta w ~rate:1.0 ~from_:0 ~until:100)
+
+let test_thread_fc_params () =
+  let rate, delta =
+    Fc_server.thread_fc_params ~weight:1. ~total_weight:4. ~c:1. ~delta:8.
+      ~lmax_others_sum:60. ~lmax_self:20.
+  in
+  check_float "thread rate = share" 0.25 rate;
+  check_float "thread burstiness" ((0.25 *. 68.) +. 20.) delta
+
+let test_ebf_exceedance () =
+  let w = series_of [ (10, 10.); (30, 10.) ] in
+  let tails =
+    Fc_server.ebf_exceedance w ~rate:1.0 ~from_:0 ~until:30 ~gammas:[| 0.; 5.; 50. |]
+  in
+  check_bool "tail decreasing in gamma" true
+    (tails.(0) >= tails.(1) && tails.(1) >= tails.(2));
+  check_float "nothing exceeds 50" 0. tails.(2)
+
+let test_windowed_exceedance () =
+  (* Three 10-unit windows delivering 10 / 4 / 10 of work at rate 1:
+     deficits 0 / 6 / 0. *)
+  let w = series_of [ (2, 10.); (15, 4.); (22, 10.) ] in
+  let tails =
+    Fc_server.windowed_exceedance w ~rate:1.0 ~window:10 ~until:30
+      ~gammas:[| 0.; 5.; 7. |]
+  in
+  Alcotest.(check (array (float 1e-9))) "per-window deficit tail"
+    [| 1. /. 3.; 1. /. 3.; 0. |] tails;
+  (* Degenerate cases. *)
+  let empty =
+    Fc_server.windowed_exceedance (series_of []) ~rate:1.0 ~window:10 ~until:5
+      ~gammas:[| 0. |]
+  in
+  Alcotest.(check (array (float 0.))) "no full window" [| 0. |] empty
+
+(* -------------------------- delay_bound ------------------------------ *)
+
+let test_eat_recursion () =
+  let t = Delay_bound.create ~rate:0.5 () in
+  (* Quantum 1: arrives at 0, length 10 -> EAT 0. *)
+  check_float "first EAT = arrival" 0. (Delay_bound.on_quantum t ~arrival:0. ~length:10.);
+  (* Quantum 2 arrives early (t=5): EAT = max(5, 0 + 10/0.5) = 20. *)
+  check_float "backlogged EAT" 20. (Delay_bound.on_quantum t ~arrival:5. ~length:10.);
+  (* Quantum 3 arrives late (t=100): EAT = its arrival. *)
+  check_float "late arrival EAT" 100.
+    (Delay_bound.on_quantum t ~arrival:100. ~length:10.)
+
+let test_bound_formula () =
+  check_float "eq. 8 shape" 170.
+    (Delay_bound.bound ~eat:100. ~delta:10. ~c:1. ~lmax_others_sum:60.)
+
+let test_wfq_delay_comparison () =
+  (* Low-throughput client: C/r = 20 > Q-1 = 4, so SFQ wins (positive). *)
+  check_bool "SFQ wins for low-rate clients" true
+    (Delay_bound.wfq_vs_sfq_extra_delay ~quantum:20. ~rate:0.05 ~c:1. ~nclients:5 > 0.);
+  (* High-throughput client: C/r = 1.25 < Q-1, WFQ wins. *)
+  check_bool "WFQ wins for high-rate clients" true
+    (Delay_bound.wfq_vs_sfq_extra_delay ~quantum:20. ~rate:0.8 ~c:1. ~nclients:5 < 0.)
+
+(* ---------------------------- metrics -------------------------------- *)
+
+let test_metrics () =
+  let s = series_of [ (5, 1.); (15, 2.); (25, 3.) ] in
+  Alcotest.(check (array (float 0.))) "throughput buckets" [| 1.; 2.; 3. |]
+    (Metrics.throughput_buckets s ~width:10 ~until:30);
+  check_float "ratio" 2. (Metrics.ratio 4. 2.);
+  check_float "ratio by zero" 0. (Metrics.ratio 4. 0.);
+  Alcotest.(check (array (float 0.))) "ratio buckets" [| 2.; 0.5 |]
+    (Metrics.ratio_buckets [| 4.; 1. |] [| 2.; 2. |]);
+  check_float "relative error" 0.1 (Metrics.relative_error ~measured:0.9 ~expected:1.);
+  check_float "cv of equal values" 0. (Metrics.totals_cv [| 5.; 5.; 5. |])
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "fairness",
+        [
+          Alcotest.test_case "fair alternation" `Quick test_lag_perfectly_fair;
+          Alcotest.test_case "weighted normalization" `Quick test_lag_weighted;
+          Alcotest.test_case "detects starvation" `Quick test_lag_detects_unfairness;
+          Alcotest.test_case "worst interval, not totals" `Quick
+            test_lag_interval_sensitivity;
+          Alcotest.test_case "until horizon respected" `Quick test_lag_respects_until;
+          Alcotest.test_case "bound and pairwise max" `Quick test_sfq_bound_and_pairs;
+        ] );
+      ( "fc-server",
+        [
+          Alcotest.test_case "constant-rate trace" `Quick test_fc_constant_rate;
+          Alcotest.test_case "detects service gaps" `Quick test_fc_detects_gap;
+          Alcotest.test_case "interval endpoint counted" `Quick test_fc_endpoint_counts;
+          Alcotest.test_case "thread FC parameters (eq. 6)" `Quick test_thread_fc_params;
+          Alcotest.test_case "EBF exceedance tail" `Quick test_ebf_exceedance;
+          Alcotest.test_case "windowed exceedance" `Quick test_windowed_exceedance;
+        ] );
+      ( "delay-bound",
+        [
+          Alcotest.test_case "EAT recursion" `Quick test_eat_recursion;
+          Alcotest.test_case "eq. 8 formula" `Quick test_bound_formula;
+          Alcotest.test_case "WFQ vs SFQ delay crossover" `Quick
+            test_wfq_delay_comparison;
+        ] );
+      ("metrics", [ Alcotest.test_case "helpers" `Quick test_metrics ]);
+    ]

@@ -1,0 +1,498 @@
+(* Unit and property tests for the simulation substrate (lib/engine). *)
+
+open Hsfq_engine
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------------------- Time ---------------------------------- *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time.microseconds 1);
+  check_int "ms" 1_000_000 (Time.milliseconds 1);
+  check_int "s" 1_000_000_000 (Time.seconds 1);
+  check_int "min" 60_000_000_000 (Time.minutes 1);
+  check_int "of_seconds_float" 1_500_000_000 (Time.of_seconds_float 1.5);
+  check_float "to_seconds" 0.02 (Time.to_seconds_float (Time.milliseconds 20));
+  check_float "to_ms" 2.5 (Time.to_milliseconds_float (Time.microseconds 2500))
+
+let test_time_arith () =
+  let t = Time.add (Time.seconds 1) (Time.milliseconds 500) in
+  check_int "add" 1_500_000_000 t;
+  check_int "diff" (Time.milliseconds 500) (Time.diff t (Time.seconds 1));
+  check_int "scale" (Time.milliseconds 10) (Time.scale (Time.milliseconds 20) 0.5);
+  check_int "min" (Time.seconds 1) (Time.min (Time.seconds 1) (Time.seconds 2));
+  check_int "max" (Time.seconds 2) (Time.max (Time.seconds 1) (Time.seconds 2))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "5ns" (Time.to_string 5);
+  Alcotest.(check string) "ms" "12ms" (Time.to_string (Time.milliseconds 12));
+  Alcotest.(check string) "s" "3s" (Time.to_string (Time.seconds 3))
+
+(* ---------------------------- Prng ---------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  check_bool "different streams" false (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_prng_split_independent () =
+  let a = Prng.create 7 in
+  let c = Prng.split a in
+  let x = Prng.next_int64 a and y = Prng.next_int64 c in
+  check_bool "split streams differ" false (x = y)
+
+let test_prng_copy () =
+  let a = Prng.create 9 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let test_prng_bounds () =
+  let r = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 10 in
+    check_bool "int in range" true (v >= 0 && v < 10);
+    let f = Prng.float r 2.5 in
+    check_bool "float in range" true (f >= 0. && f < 2.5);
+    let i = Prng.int_in r (-5) 5 in
+    check_bool "int_in range" true (i >= -5 && i <= 5)
+  done
+
+let test_prng_uniform_mean () =
+  let r = Prng.create 4 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float r 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "uniform mean ~ 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_prng_exponential_mean () =
+  let r = Prng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential r ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "exp mean ~ 3" true (Float.abs (mean -. 3.0) < 0.15)
+
+let test_prng_gaussian_moments () =
+  let r = Prng.create 6 in
+  let st = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add st (Prng.gaussian r ~mu:10. ~sigma:2.)
+  done;
+  check_bool "gaussian mean" true (Float.abs (Stats.mean st -. 10.) < 0.1);
+  check_bool "gaussian sd" true (Float.abs (Stats.stddev st -. 2.) < 0.1)
+
+let test_prng_bernoulli () =
+  let r = Prng.create 8 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bernoulli r 0.3 then incr hits
+  done;
+  check_bool "bernoulli p=0.3" true
+    (Float.abs ((float_of_int !hits /. 10_000.) -. 0.3) < 0.03)
+
+let test_prng_pareto_and_choice () =
+  let r = Prng.create 12 in
+  for _ = 1 to 1000 do
+    let v = Prng.pareto r ~shape:2. ~scale:3. in
+    check_bool "pareto >= scale" true (v >= 3.)
+  done;
+  let arr = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    check_bool "choice from array" true (Array.mem (Prng.choice r arr) arr)
+  done
+
+let test_prng_shuffle_permutes () =
+  let r = Prng.create 10 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted;
+  check_bool "actually shuffled" true (a <> Array.init 50 Fun.id)
+
+(* ---------------------------- Heap ---------------------------------- *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare in
+  check_bool "empty" true (Heap.is_empty h);
+  List.iter (Heap.add h) [ 5; 1; 4; 2; 3 ];
+  check_int "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  let out = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "sorted pops" [ 1; 2; 3; 4; 5 ] out;
+  Alcotest.(check (option int)) "empty pop" None (Heap.pop h)
+
+let test_heap_clear_fold () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.add h) [ 3; 1; 2 ];
+  check_int "fold sum" 6 (Heap.fold h ~init:0 ~f:( + ));
+  check_int "to_list length" 3 (List.length (Heap.to_list h));
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.add h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* ------------------------- Event queue ------------------------------ *)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  let out = ref [] in
+  let ev tag = fun () -> out := tag :: !out in
+  ignore (Event_queue.schedule q ~at:30 (ev "c"));
+  ignore (Event_queue.schedule q ~at:10 (ev "a"));
+  ignore (Event_queue.schedule q ~at:20 (ev "b"));
+  Alcotest.(check (option int)) "next_time" (Some 10) (Event_queue.next_time q);
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (_, f) ->
+      f ();
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !out)
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  let out = ref [] in
+  List.iter
+    (fun tag -> ignore (Event_queue.schedule q ~at:5 (fun () -> out := tag :: !out)))
+    [ "first"; "second"; "third" ];
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (_, f) ->
+      f ();
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "FIFO among equal times"
+    [ "first"; "second"; "third" ] (List.rev !out)
+
+let test_event_queue_cancel () =
+  let q = Event_queue.create () in
+  let fired = ref false in
+  let h = Event_queue.schedule q ~at:1 (fun () -> fired := true) in
+  Event_queue.cancel h;
+  check_bool "is_cancelled" true (Event_queue.is_cancelled h);
+  Alcotest.(check (option int)) "no next" None (Event_queue.next_time q);
+  check_bool "nothing fires" true (Event_queue.pop q = None && not !fired);
+  check_int "pending" 0 (Event_queue.pending q)
+
+(* ----------------------------- Sim ---------------------------------- *)
+
+let test_sim_ordering_and_clock () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.at sim 100 (fun () -> log := (100, Sim.now sim) :: !log));
+  ignore (Sim.at sim 50 (fun () -> log := (50, Sim.now sim) :: !log));
+  Sim.run sim;
+  Alcotest.(check (list (pair int int)))
+    "events run at their times" [ (50, 50); (100, 100) ] (List.rev !log)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore (Sim.at sim 10 (fun () -> fired := 10 :: !fired));
+  ignore (Sim.at sim 20 (fun () -> fired := 20 :: !fired));
+  Sim.run_until sim 15;
+  Alcotest.(check (list int)) "only up to horizon" [ 10 ] (List.rev !fired);
+  check_int "clock at horizon" 15 (Sim.now sim);
+  Sim.run_until sim 25;
+  Alcotest.(check (list int)) "rest runs later" [ 10; 20 ] (List.rev !fired)
+
+let test_sim_cascade () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n () =
+    incr count;
+    if n > 0 then ignore (Sim.after sim 5 (chain (n - 1)))
+  in
+  ignore (Sim.after sim 5 (chain 9));
+  Sim.run sim;
+  check_int "cascaded events" 10 !count;
+  check_int "clock" 50 (Sim.now sim);
+  check_int "steps" 10 (Sim.steps sim)
+
+let test_sim_rejects_past () =
+  let sim = Sim.create () in
+  ignore (Sim.at sim 10 (fun () -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "scheduling in the past"
+    (Invalid_argument "Sim.at: scheduling in the past (5ns < 10ns)") (fun () ->
+      ignore (Sim.at sim 5 (fun () -> ())))
+
+let test_sim_cancel_pending () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.at sim 100 (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  check_bool "cancelled event never fires" false !fired;
+  check_int "clock unchanged without events" 0 (Sim.now sim)
+
+let test_sim_cancel_from_handler () =
+  (* An event cancels a later one while running. *)
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let h2 = Sim.at sim 20 (fun () -> fired := 2 :: !fired) in
+  ignore (Sim.at sim 10 (fun () ->
+      fired := 1 :: !fired;
+      Sim.cancel h2));
+  Sim.run sim;
+  Alcotest.(check (list int)) "only the first fires" [ 1 ] (List.rev !fired)
+
+(* ---------------------------- Stats --------------------------------- *)
+
+let test_stats_known_values () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_int "count" 8 (Stats.count s);
+  check_float "mean" 5.0 (Stats.mean s);
+  check_float "variance (unbiased)" (32. /. 7.) (Stats.variance s);
+  check_float "min" 2. (Stats.min_value s);
+  check_float "max" 9. (Stats.max_value s);
+  check_float "total" 40. (Stats.total s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_float "mean of empty" 0. (Stats.mean s);
+  check_float "variance of empty" 0. (Stats.variance s);
+  check_float "cv of empty" 0. (Stats.cv s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.; 5.; 2.; 8.; 3. ] and ys = [ 9.; 4.; 7. ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let m = Stats.merge a b in
+  check_int "merged count" (Stats.count whole) (Stats.count m);
+  check_float "merged mean" (Stats.mean whole) (Stats.mean m);
+  Alcotest.(check (float 1e-9)) "merged variance" (Stats.variance whole)
+    (Stats.variance m)
+
+let test_percentile () =
+  let xs = [| 15.; 20.; 35.; 40.; 50. |] in
+  check_float "p0" 15. (Stats.percentile xs 0.);
+  check_float "p100" 50. (Stats.percentile xs 100.);
+  check_float "p50" 35. (Stats.percentile xs 50.);
+  check_float "p25 interpolated" 20. (Stats.percentile xs 25.)
+
+let test_jain () =
+  check_float "perfectly fair" 1.0 (Stats.jain_index [| 3.; 3.; 3. |]);
+  check_float "one hog of four" 0.25 (Stats.jain_index [| 1.; 0.; 0.; 0. |])
+
+let prop_stats_matches_naive =
+  QCheck.Test.make ~name:"Welford matches naive mean/variance" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+      in
+      Float.abs (Stats.mean s -. mean) < 1e-6 *. (1. +. Float.abs mean)
+      && Float.abs (Stats.variance s -. var) < 1e-6 *. (1. +. var))
+
+(* -------------------------- Histogram ------------------------------- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Histogram.add h) [ -1.; 0.; 1.9; 2.; 9.9; 10.; 11. ];
+  check_int "count" 7 (Histogram.count h);
+  check_int "underflow" 1 (Histogram.underflow h);
+  check_int "overflow" 2 (Histogram.overflow h);
+  check_int "bin0 [0,2)" 2 (Histogram.bin_count h 0);
+  check_int "bin1 [2,4)" 1 (Histogram.bin_count h 1);
+  check_int "bin4 [8,10)" 1 (Histogram.bin_count h 4);
+  let lo, hi = Histogram.bin_bounds h 1 in
+  check_float "bin1 lo" 2. lo;
+  check_float "bin1 hi" 4. hi
+
+let test_histogram_render () =
+  let h = Histogram.create ~lo:0. ~hi:4. ~bins:2 in
+  List.iter (Histogram.add h) [ 1.; 1.; 3. ];
+  let s = Histogram.render h ~width:10 in
+  check_bool "render mentions both bins" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.length >= 2)
+
+(* ---------------------------- Series -------------------------------- *)
+
+let test_series_basics () =
+  let s = Series.create ~name:"x" () in
+  Alcotest.(check string) "name" "x" (Series.name s);
+  Alcotest.(check (option (pair int (float 0.)))) "empty last" None (Series.last s);
+  Series.add s 10 1.;
+  Series.add s 20 2.;
+  Series.add s 30 3.;
+  check_int "length" 3 (Series.length s);
+  Alcotest.(check (option (pair int (float 0.)))) "last" (Some (30, 3.)) (Series.last s);
+  Alcotest.(check (array (float 0.))) "cumulative" [| 1.; 3.; 6. |] (Series.cumulative s)
+
+let test_series_buckets () =
+  let s = Series.create () in
+  List.iter (fun (t, v) -> Series.add s t v) [ (5, 1.); (15, 2.); (16, 3.); (25, 4.) ];
+  Alcotest.(check (array (float 0.)))
+    "bucket_sum width 10" [| 1.; 5.; 4. |]
+    (Series.bucket_sum s ~width:10 ~until:30);
+  Alcotest.(check (array (float 0.)))
+    "bucket_mean width 10" [| 1.; 2.5; 4. |]
+    (Series.bucket_mean s ~width:10 ~until:30)
+
+let test_series_value_at () =
+  let s = Series.create () in
+  List.iter (fun (t, v) -> Series.add s t v) [ (5, 1.); (15, 2.); (25, 4.) ];
+  check_float "value_at 4" 0. (Series.value_at s 4);
+  check_float "value_at 15 (inclusive)" 3. (Series.value_at s 15);
+  check_float "value_at end" 7. (Series.value_at s 100)
+
+let prop_series_bucket_total =
+  QCheck.Test.make ~name:"bucket sums preserve total in range" ~count:100
+    QCheck.(list (pair (int_bound 999) (float_range 0. 10.)))
+    (fun samples ->
+      let s = Series.create () in
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) samples in
+      List.iter (fun (t, v) -> Series.add s t v) sorted;
+      let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. sorted in
+      let buckets = Series.bucket_sum s ~width:100 ~until:1000 in
+      let bucket_total = Array.fold_left ( +. ) 0. buckets in
+      Float.abs (total -. bucket_total) < 1e-6 *. (1. +. total))
+
+(* ---------------------------- Table --------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.row t [ "1"; "2" ];
+  Table.row t [ "333"; "4" ];
+  Table.rowf t "note %d" 5;
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  check_bool "has header + rule + 3 rows" true (List.length lines >= 5);
+  check_bool "contains rule" true (String.contains (List.nth lines 1) '-')
+
+(* --------------------------- Tracelog ------------------------------- *)
+
+let test_tracelog () =
+  let tr = Tracelog.create () in
+  Tracelog.segment tr ~lane:"A" ~start:0 ~stop:10 ~label:"run";
+  Tracelog.segment tr ~lane:"B" ~start:10 ~stop:20 ~label:"run";
+  Tracelog.mark tr ~lane:"A" ~at:5 ~label:"wake";
+  check_int "segments" 2 (List.length (Tracelog.segments tr));
+  check_int "marks" 1 (List.length (Tracelog.marks tr));
+  let g = Tracelog.render_gantt tr ~cell:5 ~until:20 in
+  let lines = String.split_on_char '\n' g |> List.filter (fun l -> l <> "") in
+  check_int "one row per lane" 2 (List.length lines);
+  check_bool "A active then idle" true
+    (String.length (List.nth lines 0) > 0)
+
+let prop_event_queue_total_order =
+  QCheck.Test.make ~name:"event queue pops in (time, insertion) order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i at -> ignore (Event_queue.schedule q ~at (fun () -> ignore i))) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (at, _) -> drain (at :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "uniform mean" `Quick test_prng_uniform_mean;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "bernoulli" `Quick test_prng_bernoulli;
+          Alcotest.test_case "pareto and choice" `Quick test_prng_pareto_and_choice;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "clear and fold" `Quick test_heap_clear_fold;
+          qc prop_heap_sorts;
+        ] );
+      ( "event-queue",
+        [
+          Alcotest.test_case "time order" `Quick test_event_queue_order;
+          Alcotest.test_case "FIFO ties" `Quick test_event_queue_fifo_ties;
+          Alcotest.test_case "cancellation" `Quick test_event_queue_cancel;
+          qc prop_event_queue_total_order;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "ordering and clock" `Quick test_sim_ordering_and_clock;
+          Alcotest.test_case "run_until horizon" `Quick test_sim_run_until;
+          Alcotest.test_case "cascading events" `Quick test_sim_cascade;
+          Alcotest.test_case "rejects past scheduling" `Quick test_sim_rejects_past;
+          Alcotest.test_case "cancel pending" `Quick test_sim_cancel_pending;
+          Alcotest.test_case "cancel from handler" `Quick test_sim_cancel_from_handler;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "jain index" `Quick test_jain;
+          qc prop_stats_matches_naive;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "render" `Quick test_histogram_render;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "basics" `Quick test_series_basics;
+          Alcotest.test_case "buckets" `Quick test_series_buckets;
+          Alcotest.test_case "value_at" `Quick test_series_value_at;
+          qc prop_series_bucket_total;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ("tracelog", [ Alcotest.test_case "segments and gantt" `Quick test_tracelog ]);
+    ]

@@ -1,0 +1,185 @@
+(* Tests for admission control and the QoS manager (lib/qos). *)
+
+open Hsfq_core
+open Hsfq_qos
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let task cost period = Admission.{ cost; period }
+
+(* --------------------------- admission ------------------------------- *)
+
+let test_utilization () =
+  check_float "sum of c/p" 0.75
+    (Admission.utilization [ task 1. 4.; task 1. 2. ]);
+  check_float "empty" 0. (Admission.utilization [])
+
+let test_edf_admission () =
+  check_bool "under capacity" true
+    (Admission.edf_admissible ~capacity:1. [ task 1. 2.; task 1. 4. ]);
+  check_bool "exactly full" true
+    (Admission.edf_admissible ~capacity:1. [ task 1. 2.; task 2. 4. ]);
+  check_bool "overloaded" false
+    (Admission.edf_admissible ~capacity:1. [ task 1. 2.; task 2.1 4. ]);
+  check_bool "fractional capacity" false
+    (Admission.edf_admissible ~capacity:0.5 [ task 1. 2.; task 0.1 4. ])
+
+let test_rm_utilization_bound () =
+  check_float "n=1" 1.0 (Admission.rm_utilization_bound 1);
+  check_float "n=2" (2. *. (sqrt 2. -. 1.)) (Admission.rm_utilization_bound 2);
+  check_bool "decreasing towards ln 2" true
+    (Admission.rm_utilization_bound 10 > 0.69
+    && Admission.rm_utilization_bound 10 < Admission.rm_utilization_bound 2)
+
+let test_rm_utilization_test () =
+  check_bool "well under bound" true
+    (Admission.rm_admissible_utilization ~capacity:1. [ task 1. 10.; task 1. 20. ]);
+  check_bool "above bound" false
+    (Admission.rm_admissible_utilization ~capacity:1. [ task 5. 10.; task 8. 20. ])
+
+let test_rm_rta_exact () =
+  (* The classic example where utilization (0.9) is above the n=2 bound
+     (0.828) but the set is still RM-schedulable: RTA accepts it. *)
+  let tasks = [ task 2. 4.; task 2. 5. ] in
+  check_bool "utilization test rejects" false
+    (Admission.rm_admissible_utilization ~capacity:1. tasks);
+  check_bool "RTA accepts" true (Admission.rm_admissible_rta ~capacity:1. tasks);
+  (* Push it over: c2 = 3 makes the response of task 2 exceed 5. *)
+  check_bool "RTA rejects infeasible" false
+    (Admission.rm_admissible_rta ~capacity:1. [ task 2. 4.; task 3. 5. ]);
+  (* The same set on a half-speed CPU is infeasible. *)
+  check_bool "fractional capacity scales costs" false
+    (Admission.rm_admissible_rta ~capacity:0.5 tasks)
+
+let test_statistical_admission () =
+  let soft mean sigma speriod = Admission.{ mean; sigma; speriod } in
+  (* Mean rate 0.3, no variance: admitted at capacity 0.3. *)
+  check_bool "deterministic fits" true
+    (Admission.statistical_admissible ~capacity:0.3 ~quantile:2.33
+       [ soft 0.3 0. 1. ]);
+  (* Adding variance pushes it over the same capacity. *)
+  check_bool "variance pushes over" false
+    (Admission.statistical_admissible ~capacity:0.3 ~quantile:2.33
+       [ soft 0.3 0.05 1. ]);
+  (* A higher quantile (stricter guarantee) admits less. *)
+  let tasks = [ soft 0.2 0.03 1.; soft 0.2 0.03 1. ] in
+  check_bool "loose quantile admits" true
+    (Admission.statistical_admissible ~capacity:0.5 ~quantile:1. tasks);
+  check_bool "strict quantile rejects" false
+    (Admission.statistical_admissible ~capacity:0.5 ~quantile:3. tasks)
+
+(* ---------------------------- manager -------------------------------- *)
+
+let test_manager_structure () =
+  let h = Hierarchy.create () in
+  let m = Manager.create h in
+  Alcotest.(check string) "hard node" "/hard-rt" (Hierarchy.name_of h (Manager.hard_node m));
+  Alcotest.(check string) "soft node" "/soft-rt" (Hierarchy.name_of h (Manager.soft_node m));
+  Alcotest.(check string) "best-effort node" "/best-effort"
+    (Hierarchy.name_of h (Manager.best_effort_node m));
+  (* Figure 2 weights 1:3:6. *)
+  check_float "hard share" 0.1 (Manager.share_of m (Manager.hard_node m));
+  check_float "soft share" 0.3 (Manager.share_of m (Manager.soft_node m));
+  check_float "best share" 0.6 (Manager.share_of m (Manager.best_effort_node m))
+
+let test_manager_hard_admission () =
+  let h = Hierarchy.create () in
+  let m = Manager.create h in
+  (match Manager.request_hard m ~name:"a" ~cost:0.002 ~period:0.05 with
+  | Ok g -> check_float "grant share" 0.1 g.Manager.share
+  | Error e -> Alcotest.failf "should admit: %s" e);
+  check_bool "too big rejected" true
+    (Result.is_error (Manager.request_hard m ~name:"big" ~cost:0.04 ~period:0.05));
+  check_bool "duplicate rejected" true
+    (Result.is_error (Manager.request_hard m ~name:"a" ~cost:0.001 ~period:0.05));
+  check_float "utilization tracked" 0.04 (Manager.hard_utilization m);
+  Manager.release m ~name:"a";
+  check_float "released" 0. (Manager.hard_utilization m);
+  check_bool "admits again after release" true
+    (Result.is_ok (Manager.request_hard m ~name:"a2" ~cost:0.002 ~period:0.05))
+
+let test_manager_soft_admission_and_growth () =
+  let h = Hierarchy.create () in
+  let m = Manager.create h in
+  let req name = Manager.request_soft m ~name ~mean:0.003 ~sigma:0.001 ~period:0.0333 in
+  check_bool "first decoder admitted" true (Result.is_ok (req "d1"));
+  check_bool "second decoder admitted" true (Result.is_ok (req "d2"));
+  check_bool "third rejected at weight 3" true (Result.is_error (req "d3"));
+  let before = Manager.share_of m (Manager.soft_node m) in
+  Manager.grow_soft_for_demand m;
+  let after = Manager.share_of m (Manager.soft_node m) in
+  check_bool "share grew" true (after > before);
+  check_bool "third admitted after growth" true (Result.is_ok (req "d3"))
+
+let test_manager_best_effort () =
+  let h = Hierarchy.create () in
+  let m = Manager.create h in
+  let g1 = Result.get_ok (Manager.request_best_effort m ~user:"alice") in
+  let g2 = Result.get_ok (Manager.request_best_effort m ~user:"bob") in
+  let g1' = Result.get_ok (Manager.request_best_effort m ~user:"alice") in
+  check_bool "same node for same user" true (g1.Manager.node = g1'.Manager.node);
+  check_bool "distinct users distinct nodes" true (g1.Manager.node <> g2.Manager.node);
+  (* Two equal-weight users under the 0.6 class: 0.3 each. *)
+  check_float "per-user share" 0.3 (Manager.share_of m g2.Manager.node);
+  Alcotest.(check string) "named like the paper" "/best-effort/alice"
+    (Hierarchy.name_of h g1.Manager.node)
+
+let test_manager_soft_release () =
+  let h = Hierarchy.create () in
+  let m = Manager.create h in
+  let req name = Manager.request_soft m ~name ~mean:0.003 ~sigma:0.001 ~period:0.0333 in
+  check_bool "d1" true (Result.is_ok (req "d1"));
+  check_bool "d2" true (Result.is_ok (req "d2"));
+  check_bool "d3 rejected" true (Result.is_error (req "d3"));
+  Manager.release m ~name:"d1";
+  check_bool "capacity freed for d3" true (Result.is_ok (req "d3"));
+  Alcotest.(check (float 1e-9)) "utilization reflects release"
+    (2. *. (0.003 /. 0.0333))
+    (Manager.soft_mean_utilization m)
+
+let test_manager_bad_username () =
+  let h = Hierarchy.create () in
+  let m = Manager.create h in
+  check_bool "slash in username rejected" true
+    (Result.is_error (Manager.request_best_effort m ~user:"a/b"));
+  check_bool "empty username rejected" true
+    (Result.is_error (Manager.request_best_effort m ~user:""))
+
+let test_manager_set_class_weight () =
+  let h = Hierarchy.create () in
+  let m = Manager.create h in
+  Manager.set_class_weight m `Hard 10.;
+  (* Weights now 10:3:6. *)
+  check_float "hard share raised" (10. /. 19.)
+    (Manager.share_of m (Manager.hard_node m))
+
+let () =
+  Alcotest.run "qos"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "utilization" `Quick test_utilization;
+          Alcotest.test_case "EDF test" `Quick test_edf_admission;
+          Alcotest.test_case "RM utilization bound values" `Quick
+            test_rm_utilization_bound;
+          Alcotest.test_case "RM utilization test" `Quick test_rm_utilization_test;
+          Alcotest.test_case "RM response-time analysis" `Quick test_rm_rta_exact;
+          Alcotest.test_case "statistical admission" `Quick test_statistical_admission;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "Figure 2 structure" `Quick test_manager_structure;
+          Alcotest.test_case "hard admission lifecycle" `Quick
+            test_manager_hard_admission;
+          Alcotest.test_case "soft admission and growth" `Quick
+            test_manager_soft_admission_and_growth;
+          Alcotest.test_case "best effort users" `Quick test_manager_best_effort;
+          Alcotest.test_case "dynamic class weights" `Quick
+            test_manager_set_class_weight;
+          Alcotest.test_case "soft release frees capacity" `Quick
+            test_manager_soft_release;
+          Alcotest.test_case "invalid usernames rejected" `Quick
+            test_manager_bad_username;
+        ] );
+    ]

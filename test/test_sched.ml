@@ -1,0 +1,743 @@
+(* Tests for the scheduler substrate (lib/sched): the related-work
+   baselines behind the common FAIR interface, the real-time leaf
+   schedulers (EDF, RM), and the SVR4 TS/RT model. *)
+
+open Hsfq_sched
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------- generic FAIR battery ---------------------------- *)
+
+(* Shares of two always-backlogged clients with weights 1 and 3 after
+   many unit quanta. *)
+let measured_ratio (module F : Scheduler_intf.FAIR) ~rounds =
+  let t = F.create ~rng:(Hsfq_engine.Prng.create 11) ~quantum_hint:1. () in
+  F.arrive t ~id:1 ~weight:1.;
+  F.arrive t ~id:2 ~weight:3.;
+  let work = [| 0.; 0. |] in
+  for _ = 1 to rounds do
+    match F.select t with
+    | Some id ->
+      F.charge t ~id ~service:1. ~runnable:true;
+      work.(id - 1) <- work.(id - 1) +. 1.
+    | None -> Alcotest.fail "work conservation violated"
+  done;
+  work.(1) /. work.(0)
+
+let fair_battery name (module F : Scheduler_intf.FAIR) =
+  let basic () =
+    let t = F.create ~rng:(Hsfq_engine.Prng.create 1) () in
+    check_int "empty backlog" 0 (F.backlogged t);
+    Alcotest.(check (option int)) "empty select" None (F.select t);
+    F.arrive t ~id:7 ~weight:2.;
+    F.arrive t ~id:7 ~weight:5.;
+    check_int "arrive idempotent" 1 (F.backlogged t);
+    (match F.select t with
+    | Some 7 -> F.charge t ~id:7 ~service:1. ~runnable:false
+    | _ -> Alcotest.fail "expected client 7");
+    check_int "blocked" 0 (F.backlogged t);
+    F.arrive t ~id:7 ~weight:2.;
+    check_int "woke" 1 (F.backlogged t);
+    F.depart t ~id:7;
+    check_int "departed" 0 (F.backlogged t)
+  in
+  let conservation () =
+    let t = F.create ~rng:(Hsfq_engine.Prng.create 2) () in
+    for i = 1 to 4 do
+      F.arrive t ~id:i ~weight:(float_of_int i)
+    done;
+    for _ = 1 to 200 do
+      match F.select t with
+      | Some id -> F.charge t ~id ~service:0.5 ~runnable:true
+      | None -> Alcotest.fail "no selection with backlog"
+    done;
+    check_int "all still backlogged" 4 (F.backlogged t)
+  in
+  [
+    Alcotest.test_case (name ^ " lifecycle") `Quick basic;
+    Alcotest.test_case (name ^ " work conservation") `Quick conservation;
+  ]
+
+let test_proportional name (module F : Scheduler_intf.FAIR) ~tol () =
+  let r = measured_ratio (module F) ~rounds:8000 in
+  check_bool
+    (Printf.sprintf "%s ratio ~3 (got %.3f)" name r)
+    true
+    (Float.abs (r -. 3.) < tol)
+
+(* ----------------------- algorithm-specifics ------------------------- *)
+
+let test_wfq_overcharges_short_quanta () =
+  (* The §6 drawback: WFQ charges the assumed quantum, so a client that
+     blocks early (uses 0.2 of its assumed 1.0) loses its fair share. *)
+  let t = Wfq.create ~quantum_hint:1. () in
+  Wfq.arrive t ~id:1 ~weight:1.;
+  Wfq.arrive t ~id:2 ~weight:1.;
+  let work = [| 0.; 0. |] in
+  for _ = 1 to 600 do
+    match Wfq.select t with
+    | Some 1 ->
+      Wfq.charge t ~id:1 ~service:1. ~runnable:true;
+      work.(0) <- work.(0) +. 1.
+    | Some 2 ->
+      (* Blocks immediately after a short burst, returns right away. *)
+      Wfq.charge t ~id:2 ~service:0.2 ~runnable:false;
+      work.(1) <- work.(1) +. 0.2;
+      Wfq.arrive t ~id:2 ~weight:1.
+    | _ -> Alcotest.fail "selection expected"
+  done;
+  check_bool "short-quantum client far below its half" true
+    (work.(1) /. work.(0) < 0.4)
+
+let test_fqs_charges_actual_length () =
+  (* FQS fixes the WFQ problem: the same bursty client keeps pace. *)
+  let t = Fqs.create () in
+  Fqs.arrive t ~id:1 ~weight:1.;
+  Fqs.arrive t ~id:2 ~weight:1.;
+  let work = [| 0.; 0. |] in
+  for _ = 1 to 600 do
+    match Fqs.select t with
+    | Some 1 ->
+      Fqs.charge t ~id:1 ~service:1. ~runnable:true;
+      work.(0) <- work.(0) +. 1.
+    | Some 2 ->
+      Fqs.charge t ~id:2 ~service:0.2 ~runnable:false;
+      work.(1) <- work.(1) +. 0.2;
+      Fqs.arrive t ~id:2 ~weight:1.
+    | _ -> Alcotest.fail "selection expected"
+  done;
+  (* The bursty client is demand-limited, but per unit of virtual time it
+     is not penalized: it runs 5x as often as the hog. *)
+  check_bool "bursty client runs much more often under FQS" true
+    (work.(1) /. work.(0) > 0.8)
+
+let test_scfq_virtual_time_is_finish_tag () =
+  let t = Scfq.create ~quantum_hint:2. () in
+  Scfq.arrive t ~id:1 ~weight:1.;
+  (match Scfq.select t with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "client 1");
+  (* F = max(v=0, 0) + 2/1 = 2 — v(t) is the in-service finish tag. *)
+  check_float "v = finish of in-service" 2. (Scfq.virtual_time t);
+  Scfq.charge t ~id:1 ~service:2. ~runnable:true
+
+let test_stride_deterministic_sequence () =
+  let t = Stride.create () in
+  Stride.arrive t ~id:1 ~weight:1.;
+  Stride.arrive t ~id:2 ~weight:3.;
+  let seq =
+    List.init 8 (fun _ ->
+        match Stride.select t with
+        | Some id ->
+          Stride.charge t ~id ~service:1. ~runnable:true;
+          id
+        | None -> Alcotest.fail "selection")
+  in
+  (* Passes: c1 strides 1, c2 strides 1/3 — c2 runs 3 of every 4. *)
+  check_int "client 1 runs twice in 8" 2
+    (List.length (List.filter (fun i -> i = 1) seq))
+
+let test_stride_remain_preserved () =
+  let t = Stride.create () in
+  Stride.arrive t ~id:1 ~weight:1.;
+  Stride.arrive t ~id:2 ~weight:1.;
+  (* Let 1 run ahead, then block it mid-stride; on wake it must not be
+     owed the whole sleep. *)
+  (match Stride.select t with
+  | Some id -> Stride.charge t ~id ~service:4. ~runnable:(id <> 1)
+  | None -> Alcotest.fail "sel");
+  for _ = 1 to 10 do
+    match Stride.select t with
+    | Some id -> Stride.charge t ~id ~service:1. ~runnable:true
+    | None -> Alcotest.fail "sel"
+  done;
+  Stride.arrive t ~id:1 ~weight:1.;
+  let counts = [| 0; 0 |] in
+  for _ = 1 to 100 do
+    match Stride.select t with
+    | Some id ->
+      Stride.charge t ~id ~service:1. ~runnable:true;
+      counts.(id - 1) <- counts.(id - 1) + 1
+    | None -> Alcotest.fail "sel"
+  done;
+  check_bool "no catch-up flood after wake" true
+    (abs (counts.(0) - counts.(1)) <= 6)
+
+let test_lottery_statistical_ratio () =
+  let r = measured_ratio (module Lottery) ~rounds:30_000 in
+  check_bool (Printf.sprintf "lottery ratio ~3 (got %.2f)" r) true
+    (Float.abs (r -. 3.) < 0.25)
+
+let test_lottery_deterministic_under_seed () =
+  let run () =
+    let t = Lottery.create ~rng:(Hsfq_engine.Prng.create 77) () in
+    Lottery.arrive t ~id:1 ~weight:1.;
+    Lottery.arrive t ~id:2 ~weight:2.;
+    List.init 50 (fun _ ->
+        match Lottery.select t with
+        | Some id ->
+          Lottery.charge t ~id ~service:1. ~runnable:true;
+          id
+        | None -> 0)
+  in
+  Alcotest.(check (list int)) "same seed, same draws" (run ()) (run ())
+
+let test_eevdf_eligibility () =
+  let t = Eevdf.create ~quantum_hint:1. () in
+  Eevdf.arrive t ~id:1 ~weight:1.;
+  Eevdf.arrive t ~id:2 ~weight:1.;
+  (* Client 1 runs a big quantum: its eligible time moves far ahead, so
+     client 2 must run the next several quanta. *)
+  (match Eevdf.select t with
+  | Some id -> Eevdf.charge t ~id ~service:4. ~runnable:true
+  | None -> Alcotest.fail "sel");
+  let next3 =
+    List.init 3 (fun _ ->
+        match Eevdf.select t with
+        | Some id ->
+          Eevdf.charge t ~id ~service:1. ~runnable:true;
+          id
+        | None -> 0)
+  in
+  check_bool "lagging client catches up" true (List.for_all (fun i -> i = 2) next3)
+
+let test_round_robin_ignores_weights () =
+  let t = Round_robin.create () in
+  Round_robin.arrive t ~id:1 ~weight:1.;
+  Round_robin.arrive t ~id:2 ~weight:100.;
+  let seq =
+    List.init 6 (fun _ ->
+        match Round_robin.select t with
+        | Some id ->
+          Round_robin.charge t ~id ~service:1. ~runnable:true;
+          id
+        | None -> 0)
+  in
+  Alcotest.(check (list int)) "alternates regardless of weight"
+    [ 1; 2; 1; 2; 1; 2 ] seq
+
+let test_fifo_runs_to_completion () =
+  let t = Fifo_sched.create () in
+  Fifo_sched.arrive t ~id:1 ~weight:1.;
+  Fifo_sched.arrive t ~id:2 ~weight:1.;
+  (* Head keeps being selected until it blocks. *)
+  for _ = 1 to 3 do
+    match Fifo_sched.select t with
+    | Some 1 -> Fifo_sched.charge t ~id:1 ~service:1. ~runnable:true
+    | _ -> Alcotest.fail "head should keep running"
+  done;
+  (match Fifo_sched.select t with
+  | Some 1 -> Fifo_sched.charge t ~id:1 ~service:1. ~runnable:false
+  | _ -> Alcotest.fail "head");
+  (match Fifo_sched.select t with
+  | Some 2 -> Fifo_sched.charge t ~id:2 ~service:1. ~runnable:true
+  | _ -> Alcotest.fail "next in line");
+  (* A re-arrival goes to the back. *)
+  Fifo_sched.arrive t ~id:1 ~weight:1.;
+  match Fifo_sched.select t with
+  | Some 2 -> Fifo_sched.charge t ~id:2 ~service:1. ~runnable:true
+  | _ -> Alcotest.fail "2 still ahead of re-arrived 1"
+
+(* ------------------------- GPS real-time clock ----------------------- *)
+
+let ms = Hsfq_engine.Time.milliseconds
+
+let test_gps_vt_advances_with_wall_time () =
+  let t = Gps_vt.create ~order:Gps_vt.Finish_tags ~capacity:1.0 ~quantum_hint:10. () in
+  Gps_vt.arrive t ~now:0 ~id:1 ~weight:2.;
+  (* 10 ns of wall time at capacity 1 with total weight 2: v += 5. *)
+  Alcotest.(check (float 1e-9)) "v tracks wall clock" 5.
+    (Gps_vt.virtual_time t ~now:10);
+  (* While nothing is backlogged the clock stands still. *)
+  (match Gps_vt.select t ~now:10 with
+  | Some 1 -> Gps_vt.charge t ~now:12 ~id:1 ~service:2. ~runnable:false
+  | _ -> Alcotest.fail "select");
+  let v = Gps_vt.virtual_time t ~now:12 in
+  Alcotest.(check (float 1e-9)) "idle clock frozen" v
+    (Gps_vt.virtual_time t ~now:1000)
+
+let test_gps_vt_proportional_at_full_capacity () =
+  (* With steady full-capacity service, both orders are weight-fair. *)
+  List.iter
+    (fun order ->
+      let t = Gps_vt.create ~order ~capacity:1.0 ~quantum_hint:(float_of_int (ms 20)) () in
+      Gps_vt.arrive t ~now:0 ~id:1 ~weight:1.;
+      Gps_vt.arrive t ~now:0 ~id:2 ~weight:3.;
+      let now = ref 0 and work = [| 0; 0 |] in
+      for _ = 1 to 4000 do
+        match Gps_vt.select t ~now:!now with
+        | Some id ->
+          now := !now + ms 20;
+          work.(id - 1) <- work.(id - 1) + ms 20;
+          Gps_vt.charge t ~now:!now ~id ~service:(float_of_int (ms 20)) ~runnable:true
+        | None -> Alcotest.fail "work conservation"
+      done;
+      let ratio = float_of_int work.(1) /. float_of_int work.(0) in
+      check_bool "ratio ~3 at full capacity" true (Float.abs (ratio -. 3.) < 0.05))
+    [ Gps_vt.Finish_tags; Gps_vt.Start_tags ]
+
+let test_gps_vt_unfair_at_reduced_capacity () =
+  (* Serve only every other quantum (50% capacity): v races ahead of the
+     delivered service and the allocation collapses toward round-robin. *)
+  let t =
+    Gps_vt.create ~order:Gps_vt.Finish_tags ~capacity:1.0
+      ~quantum_hint:(float_of_int (ms 20)) ()
+  in
+  Gps_vt.arrive t ~now:0 ~id:1 ~weight:1.;
+  Gps_vt.arrive t ~now:0 ~id:2 ~weight:3.;
+  let now = ref 0 and work = [| 0; 0 |] in
+  for _ = 1 to 2000 do
+    match Gps_vt.select t ~now:!now with
+    | Some id ->
+      (* each 20 ms of service takes 40 ms of wall time *)
+      now := !now + (2 * ms 20);
+      work.(id - 1) <- work.(id - 1) + ms 20;
+      Gps_vt.charge t ~now:!now ~id ~service:(float_of_int (ms 20)) ~runnable:true
+    | None -> Alcotest.fail "work conservation"
+  done;
+  let ratio = float_of_int work.(1) /. float_of_int work.(0) in
+  (* Full capacity gives 3.0; at half capacity the 1:3 weights visibly
+     erode (2.0 here; longer starvation bursts erode further — xfair). *)
+  check_bool
+    (Printf.sprintf "weights eroded toward equal shares (ratio %.2f)" ratio)
+    true (ratio < 2.5)
+
+let test_gps_vt_admin () =
+  let t = Gps_vt.create ~order:Gps_vt.Start_tags ~quantum_hint:10. () in
+  Gps_vt.arrive t ~now:0 ~id:1 ~weight:1.;
+  Gps_vt.arrive t ~now:0 ~id:2 ~weight:1.;
+  check_int "backlogged" 2 (Gps_vt.backlogged t);
+  Gps_vt.set_weight t ~id:2 ~weight:4.;
+  (match Gps_vt.select t ~now:0 with
+  | Some id -> Gps_vt.charge t ~now:(ms 1) ~id ~service:10. ~runnable:false
+  | None -> Alcotest.fail "sel");
+  check_int "one left" 1 (Gps_vt.backlogged t);
+  Gps_vt.depart t ~id:1;
+  Gps_vt.depart t ~id:2;
+  check_int "empty" 0 (Gps_vt.backlogged t);
+  Alcotest.check_raises "unknown after depart"
+    (Invalid_argument "Gps_vt: unknown client 1") (fun () ->
+      Gps_vt.set_weight t ~id:1 ~weight:1.)
+
+(* ------------------------------ EDF ---------------------------------- *)
+
+let test_edf_ordering () =
+  let t = Edf.create () in
+  Edf.release t ~id:1 ~deadline:30.;
+  Edf.release t ~id:2 ~deadline:10.;
+  Edf.release t ~id:3 ~deadline:20.;
+  Alcotest.(check (option int)) "earliest deadline" (Some 2) (Edf.select t);
+  Edf.withdraw t ~id:2;
+  Alcotest.(check (option int)) "next earliest" (Some 3) (Edf.select t);
+  check_int "backlog" 2 (Edf.backlogged t);
+  Alcotest.(check (option (float 0.))) "deadline_of" (Some 30.)
+    (Edf.deadline_of t ~id:1);
+  Alcotest.(check (option (float 0.))) "withdrawn has none" None
+    (Edf.deadline_of t ~id:2)
+
+let test_edf_rerelease_updates () =
+  let t = Edf.create () in
+  Edf.release t ~id:1 ~deadline:50.;
+  Edf.release t ~id:2 ~deadline:40.;
+  Edf.release t ~id:1 ~deadline:10.;
+  Alcotest.(check (option int)) "re-release re-orders" (Some 1) (Edf.select t)
+
+let test_edf_fifo_ties () =
+  let t = Edf.create () in
+  Edf.release t ~id:5 ~deadline:10.;
+  Edf.release t ~id:3 ~deadline:10.;
+  Alcotest.(check (option int)) "FIFO among equal deadlines" (Some 5) (Edf.select t)
+
+(* ------------------------------- RM ---------------------------------- *)
+
+let test_rm_priority_order () =
+  let t = Rm.create () in
+  Rm.register t ~id:1 ~period:100.;
+  Rm.register t ~id:2 ~period:20.;
+  Rm.register t ~id:3 ~period:50.;
+  Alcotest.(check (option int)) "nothing ready" None (Rm.select t);
+  Rm.wake t ~id:1;
+  Rm.wake t ~id:3;
+  Alcotest.(check (option int)) "shortest ready period" (Some 3) (Rm.select t);
+  Rm.wake t ~id:2;
+  Alcotest.(check (option int)) "new shortest" (Some 2) (Rm.select t);
+  Rm.block t ~id:2;
+  Alcotest.(check (option int)) "back to 3" (Some 3) (Rm.select t);
+  check_bool "higher_priority" true (Rm.higher_priority t 2 ~than:1);
+  check_bool "not higher" false (Rm.higher_priority t 1 ~than:3)
+
+let test_rm_tie_by_registration () =
+  let t = Rm.create () in
+  Rm.register t ~id:9 ~period:10.;
+  Rm.register t ~id:4 ~period:10.;
+  Rm.wake t ~id:9;
+  Rm.wake t ~id:4;
+  Alcotest.(check (option int)) "registration order breaks ties" (Some 9)
+    (Rm.select t);
+  check_bool "tie: earlier registration wins" true (Rm.higher_priority t 9 ~than:4)
+
+let test_rm_unregister () =
+  let t = Rm.create () in
+  Rm.register t ~id:1 ~period:10.;
+  Rm.wake t ~id:1;
+  Rm.unregister t ~id:1;
+  check_int "gone" 0 (Rm.backlogged t);
+  Alcotest.(check (option (float 0.))) "no period" None (Rm.period_of t ~id:1)
+
+(* ------------------------------ SVR4 --------------------------------- *)
+
+let tick = Hsfq_engine.Time.milliseconds 10
+
+let test_svr4_ts_quantum_expiry_demotes () =
+  let t = Svr4.create () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  check_int "initial user priority" 29 (Svr4.prio_of t ~id:1);
+  let q = Svr4.quantum_of t ~id:1 in
+  check_int "prio-29 quantum = 12 ticks" (12 * tick) q;
+  (match Svr4.select t with
+  | Some 1 -> Svr4.charge t ~id:1 ~service:q ~runnable:true
+  | _ -> Alcotest.fail "select");
+  check_int "tqexp demotion" 19 (Svr4.prio_of t ~id:1)
+
+let test_svr4_partial_use_keeps_priority () =
+  let t = Svr4.create () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  (match Svr4.select t with
+  | Some 1 -> Svr4.charge t ~id:1 ~service:tick ~runnable:true
+  | _ -> Alcotest.fail "select");
+  check_int "no demotion before expiry" 29 (Svr4.prio_of t ~id:1);
+  check_int "remaining quantum shrank" (11 * tick) (Svr4.quantum_of t ~id:1)
+
+let test_svr4_sleep_return_boost () =
+  let t = Svr4.create () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  (match Svr4.select t with
+  | Some 1 -> Svr4.charge t ~id:1 ~service:tick ~runnable:false
+  | _ -> Alcotest.fail "select");
+  Svr4.wake t ~id:1;
+  check_int "slpret boost" 54 (Svr4.prio_of t ~id:1)
+
+let test_svr4_wake_without_boost () =
+  let t = Svr4.create () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  Svr4.block t ~id:1;
+  Svr4.wake ~boost:false t ~id:1;
+  check_int "admission wake keeps priority" 29 (Svr4.prio_of t ~id:1)
+
+let test_svr4_starvation_boost () =
+  let t = Svr4.create () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  Svr4.add t ~id:2 Svr4.Ts;
+  (* 1 runs; 2 waits through a second_tick: maxwait 0 -> lwait boost
+     (prio 29's lwait is 50 + 29/6 = 54). *)
+  (match Svr4.select t with
+  | Some 1 -> Svr4.charge t ~id:1 ~service:tick ~runnable:true
+  | _ -> Alcotest.fail "expected 1 first (FIFO)");
+  Svr4.second_tick t;
+  check_int "waiting thread boosted to lwait" 54 (Svr4.prio_of t ~id:2);
+  (* A freshly added prio-29 thread must lose to the boosted ones. *)
+  Svr4.add t ~id:3 Svr4.Ts;
+  match Svr4.select t with
+  | Some id when id <> 3 -> Svr4.charge t ~id ~service:tick ~runnable:true
+  | _ -> Alcotest.fail "boosted thread should be selected first"
+
+let test_svr4_tick_accounting_overcharges () =
+  let t = Svr4.create () (* tick accounting on *) in
+  Svr4.add t ~id:1 Svr4.Ts;
+  let q = Svr4.quantum_of t ~id:1 in
+  (* Twelve 1 ms slices are billed as twelve full ticks: the quantum is
+     exhausted after 12 runs even though only 12 ms of CPU were used. *)
+  let runs = ref 0 in
+  while Svr4.prio_of t ~id:1 = 29 && !runs < 100 do
+    (match Svr4.select t with
+    | Some 1 -> Svr4.charge t ~id:1 ~service:(Hsfq_engine.Time.milliseconds 1) ~runnable:true
+    | _ -> Alcotest.fail "select");
+    incr runs
+  done;
+  check_int "overcharged: expired after quantum_ticks short runs" (q / tick) !runs
+
+let test_svr4_exact_accounting () =
+  let t = Svr4.create ~tick_accounting:false () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  for _ = 1 to 12 do
+    match Svr4.select t with
+    | Some 1 -> Svr4.charge t ~id:1 ~service:(Hsfq_engine.Time.milliseconds 1) ~runnable:true
+    | _ -> Alcotest.fail "select"
+  done;
+  check_int "12 ms of exact use never expires a 120 ms quantum" 29
+    (Svr4.prio_of t ~id:1)
+
+let test_svr4_rt_above_ts () =
+  let t = Svr4.create () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  Svr4.add t ~id:2 (Svr4.Rt 3);
+  Svr4.add t ~id:3 (Svr4.Rt 7);
+  Alcotest.(check (option int)) "highest RT first" (Some 3) (Svr4.select t);
+  Svr4.charge t ~id:3 ~service:tick ~runnable:false;
+  Alcotest.(check (option int)) "then lower RT" (Some 2) (Svr4.select t);
+  Svr4.charge t ~id:2 ~service:tick ~runnable:false;
+  Alcotest.(check (option int)) "then TS" (Some 1) (Svr4.select t);
+  Svr4.charge t ~id:1 ~service:tick ~runnable:true;
+  check_bool "RT preempts TS" true (Svr4.preempts t ~waker:2 ~running:1);
+  check_bool "higher RT preempts lower" true (Svr4.preempts t ~waker:3 ~running:2);
+  check_bool "TS never preempts" false (Svr4.preempts t ~waker:1 ~running:2)
+
+let test_svr4_rt_fifo_within_priority () =
+  let t = Svr4.create () in
+  Svr4.add t ~id:1 (Svr4.Rt 5);
+  Svr4.add t ~id:2 (Svr4.Rt 5);
+  Alcotest.(check (option int)) "FIFO within RT priority" (Some 1) (Svr4.select t);
+  Svr4.charge t ~id:1 ~service:(Svr4.quantum_of t ~id:1) ~runnable:true;
+  Alcotest.(check (option int)) "round robin after full quantum" (Some 2)
+    (Svr4.select t);
+  Svr4.charge t ~id:2 ~service:tick ~runnable:true
+
+let test_svr4_remove_and_errors () =
+  let t = Svr4.create () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  check_bool "is_rt false" false (Svr4.is_rt t ~id:1);
+  Svr4.remove t ~id:1;
+  check_int "removed" 0 (Svr4.backlogged t);
+  Alcotest.check_raises "unknown thread" (Invalid_argument "Svr4: unknown thread 1")
+    (fun () -> ignore (Svr4.prio_of t ~id:1));
+  Alcotest.check_raises "duplicate add" (Invalid_argument "Svr4.add: duplicate id")
+    (fun () ->
+      Svr4.add t ~id:2 Svr4.Ts;
+      Svr4.add t ~id:2 Svr4.Ts)
+
+let test_svr4_default_table_shape () =
+  let table = Svr4.default_table () in
+  check_int "60 levels" 60 (Array.length table);
+  check_bool "low prio has long quanta" true
+    (table.(0).Svr4.quantum_ticks > table.(59).Svr4.quantum_ticks);
+  Array.iteri
+    (fun p row ->
+      check_bool "tqexp demotes" true (row.Svr4.tqexp <= p);
+      check_bool "slpret boosts" true (row.Svr4.slpret >= 50);
+      check_bool "lwait boosts" true (row.Svr4.lwait >= 50))
+    table
+
+let test_svr4_custom_maxwait () =
+  (* With maxwait = 2, a waiting thread is boosted only after the third
+     housekeeping tick. *)
+  let table =
+    Array.map (fun r -> { r with Svr4.maxwait_s = 2 }) (Svr4.default_table ())
+  in
+  let t = Svr4.create ~table () in
+  Svr4.add t ~id:1 Svr4.Ts;
+  Svr4.add t ~id:2 Svr4.Ts;
+  (match Svr4.select t with
+  | Some 1 -> Svr4.charge t ~id:1 ~service:tick ~runnable:true
+  | _ -> Alcotest.fail "select");
+  Svr4.second_tick t;
+  check_int "no boost after 1 tick" 29 (Svr4.prio_of t ~id:2);
+  Svr4.second_tick t;
+  check_int "no boost after 2 ticks" 29 (Svr4.prio_of t ~id:2);
+  Svr4.second_tick t;
+  check_int "boosted after exceeding maxwait" 54 (Svr4.prio_of t ~id:2)
+
+let test_svr4_table_round_trip () =
+  let t = Svr4.default_table () in
+  match Svr4.table_of_string (Svr4.table_to_string t) with
+  | Ok t' -> check_bool "round trip" true (t = t')
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+
+let test_svr4_table_parse_errors () =
+  let expect_error what text =
+    match Svr4.table_of_string text with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+    | Error _ -> ()
+  in
+  expect_error "too few rows" "10 0 50 0 50\n";
+  expect_error "bad arity" (String.concat "" (List.init 60 (fun _ -> "1 2 3\n")));
+  expect_error "non-integers" (String.concat "" (List.init 60 (fun _ -> "a b c d e\n")));
+  expect_error "priority out of range"
+    (String.concat "" (List.init 60 (fun _ -> "10 0 99 0 50\n")));
+  expect_error "zero quantum"
+    (String.concat "" (List.init 60 (fun _ -> "0 0 50 0 50\n")));
+  (* Comments and blank lines are fine. *)
+  let good =
+    "# header\n\n" ^ String.concat "" (List.init 60 (fun _ -> "10 0 50 0 50 # row\n"))
+  in
+  match Svr4.table_of_string good with
+  | Ok t -> check_int "parsed rows" 60 (Array.length t)
+  | Error e -> Alcotest.failf "should parse: %s" e
+
+(* --------------------------- keyed heap ------------------------------- *)
+
+let test_keyed_heap_lazy_invalidation () =
+  let h = Keyed_heap.create () in
+  let gens = Hashtbl.create 4 in
+  let push id key =
+    let g = 1 + Option.value ~default:0 (Hashtbl.find_opt gens id) in
+    Hashtbl.replace gens id g;
+    Keyed_heap.push h ~key ~gen:g ~id
+  in
+  let valid ~id ~gen = Hashtbl.find_opt gens id = Some gen in
+  push 1 5.;
+  push 2 3.;
+  push 1 1.; (* re-keys client 1; the old (5.) entry is now stale *)
+  (match Keyed_heap.pop h ~valid with
+  | Some (k, 1) -> Alcotest.(check (float 1e-9)) "fresh key" 1. k
+  | _ -> Alcotest.fail "expected client 1 at key 1");
+  (match Keyed_heap.pop h ~valid with
+  | Some (_, 2) -> ()
+  | _ -> Alcotest.fail "expected client 2");
+  (* Only the stale entry remains. *)
+  Alcotest.(check (option (pair (float 0.) int))) "stale entry skipped" None
+    (Keyed_heap.pop h ~valid)
+
+let test_keyed_heap_fifo_ties () =
+  let h = Keyed_heap.create () in
+  Keyed_heap.push h ~key:7. ~gen:0 ~id:10;
+  Keyed_heap.push h ~key:7. ~gen:0 ~id:20;
+  let valid ~id:_ ~gen:_ = true in
+  (match Keyed_heap.peek h ~valid with
+  | Some (_, 10) -> ()
+  | _ -> Alcotest.fail "FIFO tie: first push wins");
+  (match Keyed_heap.pop h ~valid with Some (_, 10) -> () | _ -> Alcotest.fail "pop 10");
+  match Keyed_heap.pop h ~valid with Some (_, 20) -> () | _ -> Alcotest.fail "pop 20"
+
+(* ------------------------ interrupt sources --------------------------- *)
+
+let test_interrupt_source_math () =
+  let open Hsfq_kernel.Interrupt_source in
+  let p = Periodic { period = Hsfq_engine.Time.milliseconds 10; cost = Hsfq_engine.Time.microseconds 100 } in
+  Alcotest.(check (float 1e-9)) "periodic utilization" 0.01 (utilization p);
+  check_int "periodic burstiness = cost" (Hsfq_engine.Time.microseconds 100) (fc_burstiness p);
+  let q = Poisson { rate_hz = 100.; mean_cost = Hsfq_engine.Time.microseconds 500; seed = 1 } in
+  Alcotest.(check (float 1e-9)) "poisson utilization" 0.05 (utilization q);
+  check_bool "poisson burstiness envelope > periodic" true
+    (fc_burstiness q > Hsfq_engine.Time.microseconds 500)
+
+let test_interrupt_source_fires () =
+  let open Hsfq_engine in
+  let sim = Sim.create () in
+  let count = ref 0 and total = ref 0 in
+  Hsfq_kernel.Interrupt_source.start
+    (Hsfq_kernel.Interrupt_source.Periodic
+       { period = Time.milliseconds 10; cost = Time.microseconds 200 })
+    ~sim
+    ~fire:(fun ~duration ->
+      incr count;
+      total := !total + duration);
+  Sim.run_until sim (Time.milliseconds 100);
+  check_int "ten arrivals in 100 ms" 10 !count;
+  check_int "costs accumulate" (Time.milliseconds 2) !total
+
+(* ----------------------------- runner -------------------------------- *)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ("wfq battery", fair_battery "wfq" (module Wfq));
+      ("scfq battery", fair_battery "scfq" (module Scfq));
+      ("fqs battery", fair_battery "fqs" (module Fqs));
+      ("stride battery", fair_battery "stride" (module Stride));
+      ("lottery battery", fair_battery "lottery" (module Lottery));
+      ("eevdf battery", fair_battery "eevdf" (module Eevdf));
+      ("round-robin battery", fair_battery "rr" (module Round_robin));
+      ("fifo battery", fair_battery "fifo" (module Fifo_sched));
+      ( "proportionality",
+        [
+          Alcotest.test_case "wfq 1:3" `Quick
+            (test_proportional "wfq" (module Wfq) ~tol:0.05);
+          Alcotest.test_case "scfq 1:3" `Quick
+            (test_proportional "scfq" (module Scfq) ~tol:0.05);
+          Alcotest.test_case "fqs 1:3" `Quick
+            (test_proportional "fqs" (module Fqs) ~tol:0.05);
+          Alcotest.test_case "stride 1:3" `Quick
+            (test_proportional "stride" (module Stride) ~tol:0.05);
+          Alcotest.test_case "eevdf 1:3" `Quick
+            (test_proportional "eevdf" (module Eevdf) ~tol:0.05);
+        ] );
+      ( "algorithm specifics",
+        [
+          Alcotest.test_case "wfq overcharges early blockers" `Quick
+            test_wfq_overcharges_short_quanta;
+          Alcotest.test_case "fqs charges actual lengths" `Quick
+            test_fqs_charges_actual_length;
+          Alcotest.test_case "scfq virtual time" `Quick
+            test_scfq_virtual_time_is_finish_tag;
+          Alcotest.test_case "stride deterministic sequence" `Quick
+            test_stride_deterministic_sequence;
+          Alcotest.test_case "stride remain across sleep" `Quick
+            test_stride_remain_preserved;
+          Alcotest.test_case "lottery statistical ratio" `Slow
+            test_lottery_statistical_ratio;
+          Alcotest.test_case "lottery seed determinism" `Quick
+            test_lottery_deterministic_under_seed;
+          Alcotest.test_case "eevdf eligibility gating" `Quick test_eevdf_eligibility;
+          Alcotest.test_case "round robin ignores weights" `Quick
+            test_round_robin_ignores_weights;
+          Alcotest.test_case "fifo run to completion" `Quick
+            test_fifo_runs_to_completion;
+        ] );
+      ( "gps-rt-clock",
+        [
+          Alcotest.test_case "wall-clock virtual time" `Quick
+            test_gps_vt_advances_with_wall_time;
+          Alcotest.test_case "fair at full capacity" `Quick
+            test_gps_vt_proportional_at_full_capacity;
+          Alcotest.test_case "unfair at reduced capacity" `Quick
+            test_gps_vt_unfair_at_reduced_capacity;
+          Alcotest.test_case "administration" `Quick test_gps_vt_admin;
+        ] );
+      ( "edf",
+        [
+          Alcotest.test_case "deadline ordering" `Quick test_edf_ordering;
+          Alcotest.test_case "re-release updates deadline" `Quick
+            test_edf_rerelease_updates;
+          Alcotest.test_case "FIFO ties" `Quick test_edf_fifo_ties;
+        ] );
+      ( "rm",
+        [
+          Alcotest.test_case "priority by period" `Quick test_rm_priority_order;
+          Alcotest.test_case "registration-order ties" `Quick
+            test_rm_tie_by_registration;
+          Alcotest.test_case "unregister" `Quick test_rm_unregister;
+        ] );
+      ( "keyed-heap",
+        [
+          Alcotest.test_case "lazy invalidation" `Quick
+            test_keyed_heap_lazy_invalidation;
+          Alcotest.test_case "FIFO ties" `Quick test_keyed_heap_fifo_ties;
+        ] );
+      ( "interrupt-source",
+        [
+          Alcotest.test_case "utilization and burstiness" `Quick
+            test_interrupt_source_math;
+          Alcotest.test_case "periodic generation" `Quick test_interrupt_source_fires;
+        ] );
+      ( "svr4",
+        [
+          Alcotest.test_case "quantum expiry demotes (tqexp)" `Quick
+            test_svr4_ts_quantum_expiry_demotes;
+          Alcotest.test_case "partial use keeps priority" `Quick
+            test_svr4_partial_use_keeps_priority;
+          Alcotest.test_case "sleep-return boost (slpret)" `Quick
+            test_svr4_sleep_return_boost;
+          Alcotest.test_case "admission wake without boost" `Quick
+            test_svr4_wake_without_boost;
+          Alcotest.test_case "starvation boost (maxwait/lwait)" `Quick
+            test_svr4_starvation_boost;
+          Alcotest.test_case "tick accounting overcharges" `Quick
+            test_svr4_tick_accounting_overcharges;
+          Alcotest.test_case "exact accounting does not" `Quick
+            test_svr4_exact_accounting;
+          Alcotest.test_case "RT above TS, priority order" `Quick test_svr4_rt_above_ts;
+          Alcotest.test_case "RT FIFO within a priority" `Quick
+            test_svr4_rt_fifo_within_priority;
+          Alcotest.test_case "remove and errors" `Quick test_svr4_remove_and_errors;
+          Alcotest.test_case "dispatch table shape" `Quick
+            test_svr4_default_table_shape;
+          Alcotest.test_case "custom maxwait threshold" `Quick
+            test_svr4_custom_maxwait;
+          Alcotest.test_case "table text round trip" `Quick
+            test_svr4_table_round_trip;
+          Alcotest.test_case "table parse errors" `Quick
+            test_svr4_table_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,442 @@
+(* Unit and property tests for the paper's core algorithm (lib/core/sfq).
+
+   The property tests check the paper's central claims directly:
+   - eq. 3 fairness bound for continuously backlogged clients, under
+     arbitrary (adversarial) quantum lengths — i.e. fluctuating service;
+   - proportional sharing in the long run;
+   - virtual-time rules (busy: start tag in service; idle: max finish
+     tag);
+   - work conservation. *)
+
+open Hsfq_core
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Drive one full quantum: select, assert it is [expect], charge [l]. *)
+let step ?(runnable = true) sfq ~expect ~l =
+  match Sfq.select sfq with
+  | Some id when id = expect -> Sfq.charge sfq ~id ~service:l ~runnable
+  | Some id -> Alcotest.failf "expected client %d, got %d" expect id
+  | None -> Alcotest.fail "expected a selection"
+
+(* ------------------------- unit tests ------------------------------- *)
+
+let test_single_client () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:2.;
+  check_int "backlogged" 1 (Sfq.backlogged s);
+  step s ~expect:1 ~l:10.;
+  check_float "finish = l/w" 5. (Sfq.finish_tag s ~id:1);
+  check_float "next start = finish" 5. (Sfq.start_tag s ~id:1);
+  step s ~expect:1 ~l:10.;
+  check_float "finish accumulates" 10. (Sfq.finish_tag s ~id:1)
+
+let test_worked_example_tags () =
+  (* §3: threads A (w=1) and B (w=2), 10 ms quanta. *)
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.arrive s ~id:2 ~weight:2.;
+  check_float "S_A = 0" 0. (Sfq.start_tag s ~id:1);
+  check_float "S_B = 0" 0. (Sfq.start_tag s ~id:2);
+  (* FIFO tie-break: A (inserted first) runs first. *)
+  step s ~expect:1 ~l:10.;
+  check_float "F_A = 10" 10. (Sfq.finish_tag s ~id:1);
+  check_float "S_A = 10" 10. (Sfq.start_tag s ~id:1);
+  step s ~expect:2 ~l:10.;
+  check_float "F_B = 5" 5. (Sfq.finish_tag s ~id:2);
+  check_float "S_B = 5" 5. (Sfq.start_tag s ~id:2);
+  step s ~expect:2 ~l:10.;
+  check_float "F_B = 10" 10. (Sfq.finish_tag s ~id:2);
+  (* Tie at 10: A's entry is older. *)
+  step s ~expect:1 ~l:10.;
+  step s ~expect:2 ~l:10.;
+  step s ~expect:2 ~l:10.;
+  (* After 60 ms: A has run 20, B 40 — exactly the paper's 1:2. *)
+  check_float "F_A" 20. (Sfq.finish_tag s ~id:1);
+  check_float "F_B" 20. (Sfq.finish_tag s ~id:2)
+
+let test_virtual_time_busy () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.arrive s ~id:2 ~weight:1.;
+  check_float "initial vt" 0. (Sfq.virtual_time s);
+  match Sfq.select s with
+  | Some id ->
+    check_float "vt = start tag in service" (Sfq.start_tag s ~id)
+      (Sfq.virtual_time s);
+    Sfq.charge s ~id ~service:4. ~runnable:true
+  | None -> Alcotest.fail "selection expected"
+
+let test_virtual_time_idle () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  step s ~runnable:false ~expect:1 ~l:30.;
+  (* System idle: v = max finish tag. *)
+  check_float "vt = max finish on idle" 30. (Sfq.virtual_time s);
+  Sfq.arrive s ~id:2 ~weight:1.;
+  check_float "newcomer starts at vt" 30. (Sfq.start_tag s ~id:2)
+
+let test_blocked_retains_finish_tag () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.arrive s ~id:2 ~weight:1.;
+  step s ~expect:1 ~l:10. ~runnable:false;
+  (* 2 runs alone for a while. *)
+  step s ~expect:2 ~l:10.;
+  step s ~expect:2 ~l:10.;
+  step s ~expect:2 ~l:10.;
+  (* 1 returns: S = max(v, F_1) = max(20, 10) = 20 (no credit for sleep,
+     no penalty either). *)
+  Sfq.arrive s ~id:1 ~weight:1.;
+  check_float "resume start tag" 20. (Sfq.start_tag s ~id:1)
+
+let test_arrive_idempotent () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.arrive s ~id:1 ~weight:999.;
+  check_int "still one client" 1 (Sfq.backlogged s);
+  step s ~expect:1 ~l:10.;
+  check_float "original weight used" 10. (Sfq.finish_tag s ~id:1)
+
+let test_weight_change_future_only () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  step s ~expect:1 ~l:10.;
+  Sfq.set_weight s ~id:1 ~weight:2.;
+  step s ~expect:1 ~l:10.;
+  check_float "second quantum at new weight" 15. (Sfq.finish_tag s ~id:1)
+
+let test_select_requires_charge () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  ignore (Sfq.select s);
+  Alcotest.check_raises "charge of wrong client"
+    (Invalid_argument "Sfq.charge: client not in service") (fun () ->
+      Sfq.charge s ~id:99 ~service:1. ~runnable:true)
+
+let test_depart_in_service_rejected () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  ignore (Sfq.select s);
+  Alcotest.check_raises "depart while in service"
+    (Invalid_argument "Sfq.depart: client in service") (fun () ->
+      Sfq.depart s ~id:1)
+
+let test_block_api () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.arrive s ~id:2 ~weight:1.;
+  Sfq.block s ~id:2;
+  check_int "blocked leaves ready set" 1 (Sfq.backlogged s);
+  check_bool "not runnable" false (Sfq.is_runnable s ~id:2);
+  step s ~expect:1 ~l:10.;
+  step s ~expect:1 ~l:10.;
+  Sfq.arrive s ~id:2 ~weight:1.;
+  (* Finish tag was preserved (0), so S = max(v, 0) = v. *)
+  check_float "rejoin at current vt" 10. (Sfq.start_tag s ~id:2)
+
+let test_depart_forgets () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.depart s ~id:1;
+  check_int "gone" 0 (Sfq.backlogged s);
+  Alcotest.check_raises "tags of unknown client"
+    (Invalid_argument "Sfq: unknown client 1") (fun () ->
+      ignore (Sfq.start_tag s ~id:1))
+
+let test_invalid_arguments () =
+  let s = Sfq.create () in
+  Alcotest.check_raises "zero weight" (Invalid_argument "Sfq.arrive: weight <= 0")
+    (fun () -> Sfq.arrive s ~id:1 ~weight:0.);
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Sfq.set_weight: weight <= 0") (fun () ->
+      Sfq.set_weight s ~id:1 ~weight:(-1.));
+  ignore (Sfq.select s);
+  Alcotest.check_raises "negative service"
+    (Invalid_argument "Sfq.charge: negative service") (fun () ->
+      Sfq.charge s ~id:1 ~service:(-5.) ~runnable:true)
+
+let test_donation () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:3.;
+  Sfq.arrive s ~id:2 ~weight:1.;
+  (* 1 blocks on a resource held by 2: donate 1's weight to 2. *)
+  Sfq.donate s ~blocked:1 ~recipient:2;
+  step s ~expect:1 ~l:12.;
+  step s ~expect:2 ~l:12.;
+  (* 2 was charged at effective weight 1 + 3 = 4. *)
+  check_float "donated weight" 3. (Sfq.finish_tag s ~id:2);
+  Sfq.revoke s ~blocked:1;
+  step s ~expect:2 ~l:12.;
+  check_float "after revoke, back to own weight" 15. (Sfq.finish_tag s ~id:2)
+
+let test_donation_replaced () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:2.;
+  Sfq.arrive s ~id:2 ~weight:1.;
+  Sfq.arrive s ~id:3 ~weight:1.;
+  Sfq.donate s ~blocked:1 ~recipient:2;
+  (* Re-donating from the same blocker moves the donation. *)
+  Sfq.donate s ~blocked:1 ~recipient:3;
+  step s ~expect:1 ~l:4.;
+  step s ~expect:2 ~l:4.;
+  check_float "2 back to weight 1" 4. (Sfq.finish_tag s ~id:2);
+  step s ~expect:3 ~l:3.;
+  check_float "3 has 1+2" 1. (Sfq.finish_tag s ~id:3)
+
+let test_self_donation_rejected () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Alcotest.check_raises "self donation" (Invalid_argument "Sfq.donate: self-donation")
+    (fun () -> Sfq.donate s ~blocked:1 ~recipient:1)
+
+let test_fifo_tie_break_deterministic () =
+  let s = Sfq.create () in
+  for i = 1 to 5 do
+    Sfq.arrive s ~id:i ~weight:1.
+  done;
+  let order =
+    List.init 5 (fun _ ->
+        match Sfq.select s with
+        | Some id ->
+          Sfq.charge s ~id ~service:1. ~runnable:true;
+          id
+        | None -> Alcotest.fail "selection expected")
+  in
+  Alcotest.(check (list int)) "FIFO among equal tags" [ 1; 2; 3; 4; 5 ] order
+
+(* ----------------------- property tests ----------------------------- *)
+
+(* Random quantum lengths model fluctuating service: the eq. 3 bound must
+   hold at every prefix for two continuously backlogged clients. *)
+let prop_fairness_bound =
+  QCheck.Test.make ~name:"eq. 3 fairness bound (2 clients, adversarial quanta)"
+    ~count:300
+    QCheck.(
+      pair
+        (pair (float_range 0.1 10.) (float_range 0.1 10.))
+        (list_of_size (Gen.int_range 10 200) (float_range 0.1 5.)))
+    (fun ((w1, w2), quanta) ->
+      let s = Sfq.create () in
+      Sfq.arrive s ~id:1 ~weight:w1;
+      Sfq.arrive s ~id:2 ~weight:w2;
+      let work = [| 0.; 0. |] in
+      let lmax = [| 0.; 0. |] in
+      List.for_all
+        (fun l ->
+          match Sfq.select s with
+          | None -> false
+          | Some id ->
+            Sfq.charge s ~id ~service:l ~runnable:true;
+            work.(id - 1) <- work.(id - 1) +. l;
+            if l > lmax.(id - 1) then lmax.(id - 1) <- l;
+            let lag = Float.abs ((work.(0) /. w1) -. (work.(1) /. w2)) in
+            (* Before a client has run, credit it with the largest
+               quantum seen so far. *)
+            let m = Float.max lmax.(0) lmax.(1) in
+            let l1 = if lmax.(0) = 0. then m else lmax.(0) in
+            let l2 = if lmax.(1) = 0. then m else lmax.(1) in
+            lag <= (l1 /. w1) +. (l2 /. w2) +. 1e-9)
+        quanta)
+
+(* The pairwise bound must hold between EVERY pair of continuously
+   backlogged clients, not just two. *)
+let prop_fairness_bound_n_clients =
+  QCheck.Test.make ~name:"eq. 3 bound pairwise over 5 clients" ~count:100
+    QCheck.(list_of_size (Gen.int_range 50 300) (float_range 0.2 4.))
+    (fun quanta ->
+      let n = 5 in
+      let s = Sfq.create () in
+      let weights = Array.init n (fun i -> 0.5 +. float_of_int i) in
+      Array.iteri (fun i w -> Sfq.arrive s ~id:i ~weight:w) weights;
+      let work = Array.make n 0. in
+      let lmax = Array.make n 0. in
+      let bound_ok () =
+        let m = Array.fold_left Float.max 0. lmax in
+        let l i = if lmax.(i) = 0. then m else lmax.(i) in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            let lag = Float.abs ((work.(i) /. weights.(i)) -. (work.(j) /. weights.(j))) in
+            if lag > (l i /. weights.(i)) +. (l j /. weights.(j)) +. 1e-9 then ok := false
+          done
+        done;
+        !ok
+      in
+      List.for_all
+        (fun q ->
+          match Sfq.select s with
+          | None -> false
+          | Some id ->
+            Sfq.charge s ~id ~service:q ~runnable:true;
+            work.(id) <- work.(id) +. q;
+            if q > lmax.(id) then lmax.(id) <- q;
+            bound_ok ())
+        quanta)
+
+let prop_proportional_share =
+  QCheck.Test.make ~name:"long-run shares proportional to weights" ~count:100
+    QCheck.(pair (float_range 0.5 8.) (float_range 0.5 8.))
+    (fun (w1, w2) ->
+      let s = Sfq.create () in
+      Sfq.arrive s ~id:1 ~weight:w1;
+      Sfq.arrive s ~id:2 ~weight:w2;
+      let work = [| 0.; 0. |] in
+      for _ = 1 to 5000 do
+        match Sfq.select s with
+        | Some id ->
+          Sfq.charge s ~id ~service:1. ~runnable:true;
+          work.(id - 1) <- work.(id - 1) +. 1.
+        | None -> ()
+      done;
+      let expected = w1 /. w2 in
+      let actual = work.(0) /. work.(1) in
+      Float.abs (actual -. expected) /. expected < 0.02)
+
+let prop_virtual_time_monotonic =
+  QCheck.Test.make ~name:"virtual time never decreases" ~count:200
+    QCheck.(list_of_size (Gen.int_range 20 150) (int_bound 3))
+    (fun ops ->
+      let s = Sfq.create () in
+      for i = 0 to 3 do
+        Sfq.arrive s ~id:i ~weight:(float_of_int (i + 1))
+      done;
+      let prev = ref (-1.) in
+      List.for_all
+        (fun op ->
+          (* [op] names the client that blocks after the next quantum
+             and is then woken again — exercising idle transitions. *)
+          (match Sfq.select s with
+          | Some id -> Sfq.charge s ~id ~service:2. ~runnable:(id <> op)
+          | None -> ());
+          Sfq.arrive s ~id:op ~weight:1.;
+          let vt = Sfq.virtual_time s in
+          let ok = vt >= !prev in
+          prev := vt;
+          ok)
+        ops)
+
+let prop_work_conserving =
+  QCheck.Test.make ~name:"select succeeds iff backlogged" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (pair (int_bound 4) bool))
+    (fun ops ->
+      let s = Sfq.create () in
+      let runnable = Array.make 5 false in
+      List.for_all
+        (fun (i, wake) ->
+          if wake then begin
+            Sfq.arrive s ~id:i ~weight:1.;
+            runnable.(i) <- true
+          end;
+          let n = Array.fold_left (fun a b -> if b then a + 1 else a) 0 runnable in
+          if Sfq.backlogged s <> n then false
+          else begin
+            match Sfq.select s with
+            | Some id ->
+              (* The selected client blocks when it matches [i] and the
+                 coin came up tails. *)
+              let still = wake || i <> id in
+              Sfq.charge s ~id ~service:1. ~runnable:still;
+              if not still then runnable.(id) <- false;
+              true
+            | None -> n = 0
+          end)
+        ops)
+
+(* Float64 tags against a long horizon: after a million 20 ms quanta
+   (~5.5 simulated hours) the ratio must still be exact and the lag
+   within the bound — no cumulative floating-point drift. *)
+let test_long_run_no_drift () =
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.arrive s ~id:2 ~weight:3.;
+  let q = 2e7 (* 20 ms in ns *) in
+  let work = [| 0.; 0. |] in
+  for _ = 1 to 1_000_000 do
+    match Sfq.select s with
+    | Some id ->
+      Sfq.charge s ~id ~service:q ~runnable:true;
+      work.(id - 1) <- work.(id - 1) +. q
+    | None -> Alcotest.fail "selection expected"
+  done;
+  let ratio = work.(1) /. work.(0) in
+  check_bool "exact 1:3 after 1M quanta" true (Float.abs (ratio -. 3.) < 1e-6);
+  let lag = Float.abs (work.(0) -. (work.(1) /. 3.)) in
+  check_bool "lag within bound at the horizon" true (lag <= (q +. (q /. 3.)) +. 1.);
+  check_bool "virtual time finite and sane" true
+    (Float.is_finite (Sfq.virtual_time s) && Sfq.virtual_time s > 0.)
+
+(* Donations compose and revoke cleanly: after arbitrary donate/revoke
+   sequences, revoking every blocker restores base-weight charging. *)
+let prop_donations_revocable =
+  QCheck.Test.make ~name:"donations always fully revocable" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 60) (pair (int_bound 3) (int_bound 3)))
+    (fun ops ->
+      let s = Sfq.create () in
+      for i = 0 to 3 do
+        Sfq.arrive s ~id:i ~weight:(float_of_int (i + 1))
+      done;
+      List.iter
+        (fun (b, r) -> if b <> r then Sfq.donate s ~blocked:b ~recipient:r)
+        ops;
+      for b = 0 to 3 do
+        Sfq.revoke s ~blocked:b
+      done;
+      (* Every client now charges at its base weight again. *)
+      List.for_all
+        (fun _ ->
+          match Sfq.select s with
+          | Some id ->
+            let start = Sfq.start_tag s ~id in
+            Sfq.charge s ~id ~service:(float_of_int (id + 1)) ~runnable:true;
+            (* service = weight, so the finish tag moves exactly 1. *)
+            Float.abs (Sfq.finish_tag s ~id -. (start +. 1.)) < 1e-9
+          | None -> false)
+        [ (); (); (); (); (); (); (); () ])
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sfq"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single client tags" `Quick test_single_client;
+          Alcotest.test_case "paper's worked example" `Quick test_worked_example_tags;
+          Alcotest.test_case "vt while busy" `Quick test_virtual_time_busy;
+          Alcotest.test_case "vt while idle" `Quick test_virtual_time_idle;
+          Alcotest.test_case "blocked client keeps finish tag" `Quick
+            test_blocked_retains_finish_tag;
+          Alcotest.test_case "arrive is idempotent" `Quick test_arrive_idempotent;
+          Alcotest.test_case "weight change affects future quanta" `Quick
+            test_weight_change_future_only;
+          Alcotest.test_case "charge must match selection" `Quick
+            test_select_requires_charge;
+          Alcotest.test_case "depart of in-service client rejected" `Quick
+            test_depart_in_service_rejected;
+          Alcotest.test_case "block of non-in-service client" `Quick test_block_api;
+          Alcotest.test_case "depart forgets the client" `Quick test_depart_forgets;
+          Alcotest.test_case "invalid arguments rejected" `Quick
+            test_invalid_arguments;
+          Alcotest.test_case "weight donation (priority inversion)" `Quick
+            test_donation;
+          Alcotest.test_case "donation replacement" `Quick test_donation_replaced;
+          Alcotest.test_case "self-donation rejected" `Quick
+            test_self_donation_rejected;
+          Alcotest.test_case "deterministic FIFO tie-break" `Quick
+            test_fifo_tie_break_deterministic;
+          Alcotest.test_case "no drift over a million quanta" `Slow
+            test_long_run_no_drift;
+        ] );
+      ( "properties",
+        [
+          qc prop_fairness_bound;
+          qc prop_fairness_bound_n_clients;
+          qc prop_proportional_share;
+          qc prop_virtual_time_monotonic;
+          qc prop_work_conserving;
+          qc prop_donations_revocable;
+        ] );
+    ]
