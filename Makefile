@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples clean
+.PHONY: all build test lint check bench figures examples clean
 
 all: build
 
@@ -9,6 +9,14 @@ build:
 
 test:
 	dune runtest
+
+# Custom source lint (bin/hsfq_lint) under the strict-warning build.
+# Also runs as part of `dune runtest`.
+lint:
+	dune build @lint
+
+# Tier-1 verification: strict build + tests + lint.
+check: build test lint
 
 # Full harness: regenerate every paper figure + micro-benchmarks.
 bench:

@@ -1,0 +1,388 @@
+(* hsfq_lint: project-specific source lint for the scheduler stack.
+
+   Scans [.ml]/[.mli] sources under the given directories (default
+   [lib bin examples]) for patterns banned in this codebase:
+
+   - [poly-compare]: unqualified [compare] (or [Stdlib.compare]).
+     Polymorphic compare on float-bearing scheduler state (virtual
+     times, start/finish tags) orders NaN inconsistently and walks
+     whole records; use [Int.compare] / [Float.compare] /
+     [String.compare].
+   - [stdlib-minmax]: [Stdlib.min] / [Stdlib.max] or the bare
+     polymorphic [min] / [max] — polymorphic compare in disguise; use
+     [Int.min], [Float.max], ...
+   - [nan-compare]: [=] / [<>] / [<] / [>] / [<=] / [>=] against
+     [nan] — vacuously false (or true); use [Float.is_nan].
+   - [obj-magic]: [Obj.magic] — never.
+   - [hashtbl-find-exn]: [Hashtbl.find] raises [Not_found] far from
+     the call site; use [Hashtbl.find_opt] and handle [None].
+   - [assert-validation]: [assert] on anything but [false] — asserts
+     vanish under [-noassert], so they must not guard caller input;
+     use [invalid_arg] and keep [assert] for unreachable branches.
+   - [missing-mli]: a [.ml] under [lib/] without a companion [.mli] —
+     every library module must state its interface.
+
+   Comments, string literals and character literals are stripped
+   before matching, so documentation may mention the banned forms
+   freely.
+
+   Findings are suppressed by a whitelist file of lines
+
+     <rule> <path> <justification...>
+
+   where <path> is the file path as reported (e.g.
+   [lib/kernel/kernel.ml]) and the justification is mandatory.  Stale
+   whitelist entries are reported on stderr but do not fail the run.
+
+   Exit codes: 0 clean (every finding whitelisted), 1 findings,
+   2 usage or I/O error. *)
+
+type finding = { rule : string; file : string; line : int; msg : string }
+
+let findings : finding list ref = ref []
+let flag rule file line msg = findings := { rule; file; line; msg } :: !findings
+
+(* ------------------------------------------------------------------ *)
+(* A tiny OCaml surface lexer: emits identifier-ish tokens (with
+   dot-qualified paths glued into one token, so [Stdlib.min] and
+   [h.audit] each arrive whole) together with the run of symbolic
+   characters seen since the previous token.  Comments (nested, with
+   embedded string literals), ["..."] strings, [{id|...|id}] quoted
+   strings and character literals are skipped. *)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || Char.equal c '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || Char.equal c '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let scan src ~f =
+  let n = String.length src in
+  let line = ref 1 in
+  let i = ref 0 in
+  let op = Buffer.create 16 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  let advance () =
+    if Char.equal src.[!i] '\n' then incr line;
+    incr i
+  in
+  let rec skip_string () =
+    (* positioned just after the opening quote *)
+    if !i < n then
+      match src.[!i] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !i < n then advance ();
+        skip_string ()
+      | _ ->
+        advance ();
+        skip_string ()
+  in
+  let skip_quoted_string () =
+    (* at '{': consume a {id|...|id} literal if one starts here *)
+    let j = ref (!i + 1) in
+    while
+      !j < n && (Char.equal src.[!j] '_' || (src.[!j] >= 'a' && src.[!j] <= 'z'))
+    do
+      incr j
+    done;
+    if !j < n && Char.equal src.[!j] '|' then begin
+      let id = String.sub src (!i + 1) (!j - !i - 1) in
+      let close = "|" ^ id ^ "}" in
+      let cn = String.length close in
+      while !i <= !j do
+        advance ()
+      done;
+      let rec find () =
+        if !i >= n then ()
+        else if !i + cn <= n && String.equal (String.sub src !i cn) close then
+          for _ = 1 to cn do
+            advance ()
+          done
+        else begin
+          advance ();
+          find ()
+        end
+      in
+      find ();
+      true
+    end
+    else false
+  in
+  let rec skip_comment depth =
+    if !i >= n || depth = 0 then ()
+    else if Char.equal src.[!i] '(' && Char.equal (peek 1) '*' then begin
+      advance ();
+      advance ();
+      skip_comment (depth + 1)
+    end
+    else if Char.equal src.[!i] '*' && Char.equal (peek 1) ')' then begin
+      advance ();
+      advance ();
+      skip_comment (depth - 1)
+    end
+    else if Char.equal src.[!i] '"' then begin
+      advance ();
+      skip_string ();
+      skip_comment depth
+    end
+    else begin
+      advance ();
+      skip_comment depth
+    end
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if Char.equal c '(' && Char.equal (peek 1) '*' then begin
+      advance ();
+      advance ();
+      skip_comment 1
+    end
+    else if Char.equal c '"' then begin
+      advance ();
+      skip_string ()
+    end
+    else if Char.equal c '{' && skip_quoted_string () then ()
+    else if Char.equal c '\'' then
+      if Char.equal (peek 1) '\\' then begin
+        (* escaped character literal: skip to the closing quote *)
+        advance ();
+        advance ();
+        while !i < n && not (Char.equal src.[!i] '\'') do
+          advance ()
+        done;
+        if !i < n then advance ()
+      end
+      else if Char.equal (peek 2) '\'' && not (Char.equal (peek 1) '\'') then begin
+        advance ();
+        advance ();
+        advance ()
+      end
+      else (* a type variable's quote *)
+        advance ()
+    else if is_ident_start c then begin
+      let start = !i in
+      let tline = !line in
+      let continue = ref true in
+      while !continue do
+        while !i < n && is_ident_char src.[!i] do
+          incr i
+        done;
+        if !i + 1 < n && Char.equal src.[!i] '.' && is_ident_start src.[!i + 1]
+        then incr i
+        else continue := false
+      done;
+      f ~line:tline ~op:(Buffer.contents op) (String.sub src start (!i - start));
+      Buffer.clear op
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let tline = !line in
+      while !i < n && (is_ident_char src.[!i] || Char.equal src.[!i] '.') do
+        incr i
+      done;
+      f ~line:tline ~op:(Buffer.contents op) (String.sub src start (!i - start));
+      Buffer.clear op
+    end
+    else begin
+      if
+        not
+          (Char.equal c ' ' || Char.equal c '\t' || Char.equal c '\n'
+         || Char.equal c '\r')
+      then Buffer.add_char op c;
+      advance ()
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Rules over the token stream. *)
+
+let has_suffix s suf =
+  let ls = String.length s and lf = String.length suf in
+  ls >= lf && String.equal (String.sub s (ls - lf) lf) suf
+
+(* Keywords that introduce a binding: an identifier right after one is
+   being *defined*, not used, so [let compare = Int.compare] and
+   [val min : span -> span -> span] are fine. *)
+let defn_head = function
+  | "let" | "and" | "val" | "external" | "method" | "type" -> true
+  | _ -> false
+
+let comparison_op = function
+  | "=" | "<>" | "==" | "!=" | "<" | ">" | "<=" | ">=" -> true
+  | _ -> false
+
+let check_tokens file src =
+  let prev = ref "" in
+  let prev2 = ref "" in
+  let pending_assert = ref (-1) in
+  let handle ~line ~op tok =
+    (match !pending_assert with
+    | -1 -> ()
+    | aline ->
+      if not (String.equal tok "false") then
+        flag "assert-validation" file aline
+          "assert guards more than an unreachable branch; use invalid_arg \
+           for input validation (asserts vanish under -noassert)";
+      pending_assert := -1);
+    (* [~min:] / [?max:] label arguments are names, not the Stdlib
+       functions. *)
+    let labeled = has_suffix op "~" || has_suffix op "?" in
+    (if String.equal !prev "nan" && comparison_op op then
+       flag "nan-compare" file line
+         "comparison against nan is vacuous; use Float.is_nan");
+    (match tok with
+    | "assert" -> pending_assert := line
+    | "min" | "max" when not (defn_head !prev || labeled) ->
+      flag "stdlib-minmax" file line
+        (Printf.sprintf
+           "bare polymorphic [%s]; use Int.%s / Float.%s / Time.%s" tok tok tok
+           tok)
+    | "compare" when not (defn_head !prev || labeled) ->
+      flag "poly-compare" file line
+        "unqualified polymorphic [compare]; use Int.compare / Float.compare \
+         / String.compare"
+    | "Stdlib.min" | "Stdlib.max" ->
+      flag "stdlib-minmax" file line
+        (Printf.sprintf "[%s] is polymorphic compare in disguise; qualify \
+                         with the element type (Int, Float, Time)" tok)
+    | "Stdlib.compare" ->
+      flag "poly-compare" file line
+        "[Stdlib.compare] is polymorphic; use the element type's compare"
+    | "nan" when comparison_op op && not (defn_head !prev2) ->
+      flag "nan-compare" file line
+        "comparison against nan is vacuous; use Float.is_nan"
+    | _ ->
+      if String.equal tok "Obj.magic" || has_suffix tok ".Obj.magic" then
+        flag "obj-magic" file line "Obj.magic defeats the type system"
+      else if String.equal tok "Hashtbl.find" || has_suffix tok ".Hashtbl.find"
+      then
+        flag "hashtbl-find-exn" file line
+          "Hashtbl.find raises Not_found; use Hashtbl.find_opt");
+    prev2 := !prev;
+    prev := tok
+  in
+  scan src ~f:handle;
+  match !pending_assert with
+  | -1 -> ()
+  | aline ->
+    flag "assert-validation" file aline
+      "assert guards more than an unreachable branch; use invalid_arg for \
+       input validation (asserts vanish under -noassert)"
+
+let check_missing_mli file =
+  let in_lib =
+    String.length file >= 4 && String.equal (String.sub file 0 4) "lib/"
+  in
+  if in_lib && has_suffix file ".ml" && not (Sys.file_exists (file ^ "i")) then
+    flag "missing-mli" file 1
+      "library module without an interface; add a companion .mli"
+
+(* ------------------------------------------------------------------ *)
+(* File walking, whitelist, reporting. *)
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc e ->
+        if
+          String.length e = 0
+          || Char.equal e.[0] '.'
+          || String.equal e "_build"
+        then acc
+        else walk acc (Filename.concat path e))
+      acc entries
+  else if has_suffix path ".ml" || has_suffix path ".mli" then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let usage = "hsfq_lint [--whitelist FILE] [DIR...]"
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+(* Whitelist lines: [<rule> <path> <justification...>]; '#' comments
+   and blank lines are skipped.  Returns (rule, path) -> justification,
+   with a used-flag per entry for stale reporting. *)
+let load_whitelist path =
+  let entries = Hashtbl.create 16 in
+  if not (String.equal path "") then begin
+    let src = try read_file path with Sys_error e -> die "hsfq_lint: %s" e in
+    List.iteri
+      (fun lineno raw ->
+        let l = String.trim raw in
+        if not (String.equal l "" || Char.equal l.[0] '#') then
+          match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+          | rule :: file :: (_ :: _ as _justification) ->
+            Hashtbl.replace entries (rule, file) (lineno + 1, ref false)
+          | _ ->
+            die "hsfq_lint: %s:%d: malformed whitelist line (want: <rule> \
+                 <path> <justification...>)" path (lineno + 1))
+      (String.split_on_char '\n' src)
+  end;
+  entries
+
+let () =
+  let whitelist_file = ref "" in
+  let dirs = ref [] in
+  let spec =
+    [
+      ( "--whitelist",
+        Arg.Set_string whitelist_file,
+        "FILE suppressions: lines of <rule> <path> <justification...>" );
+    ]
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  let dirs =
+    match List.rev !dirs with [] -> [ "lib"; "bin"; "examples" ] | ds -> ds
+  in
+  List.iter
+    (fun d -> if not (Sys.file_exists d) then die "hsfq_lint: no such directory: %s" d)
+    dirs;
+  let files = List.concat_map (fun d -> List.rev (walk [] d)) dirs in
+  List.iter
+    (fun file ->
+      check_missing_mli file;
+      check_tokens file (read_file file))
+    files;
+  let whitelist = load_whitelist !whitelist_file in
+  let live, suppressed =
+    List.partition
+      (fun f ->
+        match Hashtbl.find_opt whitelist (f.rule, f.file) with
+        | Some (_, used) ->
+          used := true;
+          false
+        | None -> true)
+      (List.rev !findings)
+  in
+  let live =
+    List.sort
+      (fun a b ->
+        match String.compare a.file b.file with
+        | 0 -> Int.compare a.line b.line
+        | c -> c)
+      live
+  in
+  List.iter
+    (fun f -> Printf.printf "%s:%d: [%s] %s\n" f.file f.line f.rule f.msg)
+    live;
+  Hashtbl.iter
+    (fun (rule, file) (lineno, used) ->
+      if not !used then
+        Printf.eprintf
+          "hsfq_lint: %s:%d: stale whitelist entry (%s %s) matched nothing\n"
+          !whitelist_file lineno rule file)
+    whitelist;
+  Printf.printf "hsfq_lint: %d file(s), %d finding(s), %d suppressed\n"
+    (List.length files) (List.length live) (List.length suppressed);
+  if live <> [] then exit 1

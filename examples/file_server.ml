@@ -30,7 +30,7 @@ let worker_workload disk stats seed =
     | _ ->
       Stats.add stats (float_of_int (Time.diff now !started));
       W.Sleep_for
-        (Stdlib.max 1
+        (Int.max 1
            (Time.of_seconds_float (Prng.exponential rng ~mean:0.02)))
 
 let () =

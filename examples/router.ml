@@ -44,10 +44,10 @@ let () =
   let rng = Prng.create 99 in
   let rec poisson ~flow ~mean_gap ~mean_bits () =
     Hlink.enqueue hl ~flow
-      ~bits:(Stdlib.max 64 (int_of_float (Prng.exponential rng ~mean:mean_bits)));
+      ~bits:(Int.max 64 (int_of_float (Prng.exponential rng ~mean:mean_bits)));
     ignore
       (Sim.after sim
-         (Stdlib.max 1 (Time.of_seconds_float (Prng.exponential rng ~mean:mean_gap)))
+         (Int.max 1 (Time.of_seconds_float (Prng.exponential rng ~mean:mean_gap)))
          (poisson ~flow ~mean_gap ~mean_bits))
   in
   cbr ~flow:voice ~gap:(Time.milliseconds 20) ~bits:1280 ();

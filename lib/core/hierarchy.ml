@@ -13,9 +13,23 @@ type node = {
   by_name : (string, id) Hashtbl.t;
 }
 
-type t = { nodes : (id, node) Hashtbl.t; mutable next_id : id }
+type t = {
+  nodes : (id, node) Hashtbl.t;
+  mutable next_id : id;
+  (* Observation point for the invariant audit (Hsfq_check): called after
+     every transition of an internal node's SFQ, with that node's id.
+     Must not mutate the hierarchy. *)
+  mutable audit_hook : (node:id -> event:string -> unit) option;
+}
 
 let root = 0
+
+let audited t ~node ~event =
+  match t.audit_hook with
+  | None -> ()
+  | Some hook -> hook ~node ~event
+
+let set_audit_hook t hook = t.audit_hook <- hook
 
 let make_node ~nid ~comp ~parent ~weight kind =
   {
@@ -31,7 +45,7 @@ let make_node ~nid ~comp ~parent ~weight kind =
   }
 
 let create () =
-  let t = { nodes = Hashtbl.create 64; next_id = 1 } in
+  let t = { nodes = Hashtbl.create 64; next_id = 1; audit_hook = None } in
   Hashtbl.replace t.nodes root
     (make_node ~nid:root ~comp:"" ~parent:None ~weight:1.0 Internal);
   t
@@ -68,6 +82,7 @@ let mknod t ~name ~parent ~weight kind =
       let psfq = sfq_of p in
       Sfq.arrive psfq ~id:nid ~weight;
       Sfq.block psfq ~id:nid;
+      audited t ~node:parent ~event:"mknod";
       Ok nid
 
 let parse t ?(hint = root) name =
@@ -111,6 +126,7 @@ let rmnod t id =
       p.children <- List.filter (fun c -> c <> id) p.children;
       Hashtbl.remove p.by_name n.comp;
       Hashtbl.remove t.nodes id;
+      audited t ~node:p.nid ~event:"rmnod";
       Ok ()
 
 let set_weight t id w =
@@ -119,7 +135,8 @@ let set_weight t id w =
   let n = node t id in
   n.weight <- w;
   let p = node t (Option.get n.parent) in
-  Sfq.set_weight (sfq_of p) ~id ~weight:w
+  Sfq.set_weight (sfq_of p) ~id ~weight:w;
+  audited t ~node:p.nid ~event:"set_weight"
 
 let weight t id = (node t id).weight
 let kind_of t id = (node t id).kind
@@ -148,6 +165,7 @@ let render_tree t =
   Buffer.contents buf
 let is_runnable t id = (node t id).runnable
 let virtual_time_of t id = Sfq.virtual_time (sfq_of (node t id))
+let internal_sfq t id = sfq_of (node t id)
 
 let start_tag_of t id =
   let n = node t id in
@@ -166,6 +184,7 @@ let setrun t id =
       | None -> ()
       | Some pid ->
         Sfq.arrive (sfq_of (node t pid)) ~id ~weight:n.weight;
+        audited t ~node:pid ~event:"setrun";
         up pid
     end
   in
@@ -183,6 +202,7 @@ let sleep t id =
       | Some pid ->
         let p = node t pid in
         Sfq.block (sfq_of p) ~id;
+        audited t ~node:pid ~event:"sleep";
         if Sfq.backlogged (sfq_of p) = 0 then up pid
     end
   in
@@ -195,7 +215,9 @@ let schedule t =
     | Leaf -> Some id
     | Internal ->
       (match Sfq.select (sfq_of n) with
-      | Some child -> descend child
+      | Some child ->
+        audited t ~node:id ~event:"select";
+        descend child
       | None -> None)
   in
   let r = node t root in
@@ -219,6 +241,7 @@ let update t ~leaf ~service ~leaf_runnable =
     | Some pid ->
       let psfq = sfq_of (node t pid) in
       Sfq.charge psfq ~id ~service ~runnable:runnable_child;
+      audited t ~node:pid ~event:"charge";
       up pid (Sfq.backlogged psfq > 0)
   in
   up leaf leaf_runnable
@@ -230,6 +253,7 @@ let donate t ~blocked ~recipient =
   match (b.parent, r.parent) with
   | Some pb, Some pr when pb = pr ->
     Sfq.donate (sfq_of (node t pb)) ~blocked ~recipient;
+    audited t ~node:pb ~event:"donate";
     Ok ()
   | _ -> Error "donate: nodes must be siblings"
 
@@ -237,4 +261,6 @@ let revoke t ~blocked =
   let b = node t blocked in
   match b.parent with
   | None -> ()
-  | Some pid -> Sfq.revoke (sfq_of (node t pid)) ~blocked
+  | Some pid ->
+    Sfq.revoke (sfq_of (node t pid)) ~blocked;
+    audited t ~node:pid ~event:"revoke"

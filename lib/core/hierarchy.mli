@@ -68,6 +68,19 @@ val is_runnable : t -> id -> bool
 val virtual_time_of : t -> id -> float
 (** Virtual time of an internal node's SFQ (diagnostics/tests). *)
 
+val internal_sfq : t -> id -> Sfq.t
+(** Read-only view of an internal node's child scheduler, for the
+    invariant audit ({!Hsfq_check}) and diagnostics. Mutating it directly
+    voids every guarantee. Raises [Invalid_argument] on leaves. *)
+
+val set_audit_hook : t -> (node:id -> event:string -> unit) option -> unit
+(** Install (or clear) an observation hook, called after every transition
+    of an internal node's SFQ with that node's id and the event name
+    (["mknod"], ["rmnod"], ["set_weight"], ["setrun"], ["sleep"],
+    ["select"], ["charge"], ["donate"], ["revoke"]). The hook must not
+    mutate the hierarchy; it is meant for the {!Hsfq_check} invariant
+    audit. *)
+
 val render_tree : t -> string
 (** Multi-line rendering of the structure: one node per line, indented by
     depth, with weight, kind, and runnable flag — e.g.

@@ -19,6 +19,12 @@ type t = {
   mutable max_finish : float;
   mutable nrun : int;
   mutable in_service : int option;
+  mutable next_gen : int;
+      (* global generation counter for heap entries: per-client counters
+         would restart at 0 when a departed id re-arrives, making the
+         reincarnation's entries collide with stale ones still queued
+         under the same id (select would then pop an obsolete start tag
+         and drag v(t) backwards) *)
 }
 
 let create ?rng:_ ?quantum_hint:_ () =
@@ -30,6 +36,7 @@ let create ?rng:_ ?quantum_hint:_ () =
     max_finish = 0.;
     nrun = 0;
     in_service = None;
+    next_gen = 0;
   }
 
 let get t id =
@@ -39,8 +46,13 @@ let get t id =
 
 let effective_weight c = c.weight +. c.donated
 
+let fresh_gen t =
+  let g = t.next_gen in
+  t.next_gen <- t.next_gen + 1;
+  g
+
 let enqueue t id c =
-  c.gen <- c.gen + 1;
+  c.gen <- fresh_gen t;
   Keyed_heap.push t.queue ~key:c.start ~gen:c.gen ~id
 
 (* Idle transition: "when the CPU is idle, v(t) is set to the maximum of
@@ -48,30 +60,43 @@ let enqueue t id c =
 let note_idle t = if t.nrun = 0 then t.vt <- Float.max t.vt t.max_finish
 
 let arrive t ~id ~weight =
+  if weight <= 0. then invalid_arg "Sfq.arrive: weight <= 0";
   match Hashtbl.find_opt t.clients id with
   | Some c ->
     if not c.runnable then begin
+      (* A blocked client may return with a different share (e.g. its
+         class weight was re-administered while it slept): the new weight
+         governs the quantum it is about to request. *)
+      c.weight <- weight;
       c.runnable <- true;
       c.start <- Float.max t.vt c.finish;
       t.nrun <- t.nrun + 1;
       enqueue t id c
     end
   | None ->
-    if weight <= 0. then invalid_arg "Sfq.arrive: weight <= 0";
     let c =
       {
         weight;
         donated = 0.;
+        (* F_0 = 0, so S_1 = max(v(t), 0) — rule 1 with j = 1. *)
         start = Float.max t.vt 0.;
         finish = 0.;
         runnable = true;
         gen = 0;
       }
     in
-    c.start <- Float.max t.vt c.finish;
     Hashtbl.replace t.clients id c;
     t.nrun <- t.nrun + 1;
     enqueue t id c
+
+let revoke t ~blocked =
+  match Hashtbl.find_opt t.donations blocked with
+  | None -> ()
+  | Some (recipient, amount) ->
+    (match Hashtbl.find_opt t.clients recipient with
+    | Some r -> r.donated <- r.donated -. amount
+    | None -> ());
+    Hashtbl.remove t.donations blocked
 
 let depart t ~id =
   match Hashtbl.find_opt t.clients id with
@@ -79,9 +104,14 @@ let depart t ~id =
   | Some c ->
     if t.in_service = Some id then invalid_arg "Sfq.depart: client in service";
     if c.runnable then t.nrun <- t.nrun - 1;
-    c.gen <- c.gen + 1;
+    c.gen <- fresh_gen t;
+    (* Weight conservation: give back any weight this client donated, and
+       drop donations aimed at it (their blockers re-donate on the next
+       ownership change, see Kernel.unlock_mutex). *)
+    revoke t ~blocked:id;
+    Hashtbl.fold (fun b (r, _) acc -> if r = id then b :: acc else acc) t.donations []
+    |> List.iter (fun b -> revoke t ~blocked:b);
     Hashtbl.remove t.clients id;
-    Hashtbl.remove t.donations id;
     note_idle t
 
 let set_weight t ~id ~weight =
@@ -94,7 +124,8 @@ let valid t ~id ~gen =
   | Some c -> c.runnable && c.gen = gen
 
 let select t =
-  assert (t.in_service = None);
+  if t.in_service <> None then
+    invalid_arg "Sfq.select: previous selection not yet charged";
   match Keyed_heap.pop t.queue ~valid:(valid t) with
   | None -> None
   | Some (key, id) ->
@@ -119,7 +150,7 @@ let charge t ~id ~service ~runnable =
   end
   else begin
     c.runnable <- false;
-    c.gen <- c.gen + 1;
+    c.gen <- fresh_gen t;
     t.nrun <- t.nrun - 1;
     note_idle t
   end
@@ -132,20 +163,17 @@ let block t ~id =
       invalid_arg "Sfq.block: client in service (use charge ~runnable:false)";
     if c.runnable then begin
       c.runnable <- false;
-      c.gen <- c.gen + 1;
+      c.gen <- fresh_gen t;
       t.nrun <- t.nrun - 1;
       note_idle t
     end
 
-let revoke t ~blocked =
-  match Hashtbl.find_opt t.donations blocked with
-  | None -> ()
-  | Some (recipient, amount) ->
-    (match Hashtbl.find_opt t.clients recipient with
-    | Some r -> r.donated <- r.donated -. amount
-    | None -> ());
-    Hashtbl.remove t.donations blocked
-
+(* No re-key of an already-queued recipient is needed: the ready queue is
+   ordered by start tags, and a start tag never depends on the weight —
+   [S = max(v, F)] (rule 1). The donated weight only changes the divisor
+   of the *next* finish-tag computation in [charge], matching the
+   weight-change semantics ([set_weight] also takes effect on the next
+   quantum). So the queued key stays equal to [c.start] at all times. *)
 let donate t ~blocked ~recipient =
   if blocked = recipient then invalid_arg "Sfq.donate: self-donation";
   revoke t ~blocked;
@@ -160,3 +188,16 @@ let finish_tag t ~id = (get t id).finish
 let is_runnable t ~id = (get t id).runnable
 let backlogged t = t.nrun
 let virtual_time t = t.vt
+
+(* ------- diagnostics / audit probes (lib/check, doc/INVARIANTS.md) ------- *)
+
+let clients t = Hashtbl.fold (fun id _ acc -> id :: acc) t.clients []
+let weight t ~id = (get t id).weight
+let effective_weight_of t ~id = effective_weight (get t id)
+let in_service t = t.in_service
+let max_finish_tag t = t.max_finish
+
+let donations t =
+  Hashtbl.fold
+    (fun blocked (recipient, amount) acc -> (blocked, recipient, amount) :: acc)
+    t.donations []

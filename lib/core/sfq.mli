@@ -21,6 +21,12 @@
 
 include Hsfq_sched.Scheduler_intf.FAIR
 
+(** Note on [arrive]: in addition to the generic contract, an [arrive]
+    that wakes a {e blocked} client applies [~weight] as the client's new
+    weight (it governs the quantum being requested). Only an arrive on an
+    already-runnable client ignores the argument. [weight <= 0] is
+    rejected in every case. *)
+
 val block : t -> id:int -> unit
 (** Remove a client from the ready set without forgetting it; its finish
     tag is retained so a later [arrive] restarts it at
@@ -50,3 +56,28 @@ val is_runnable : t -> id:int -> bool
 
 val mem : t -> id:int -> bool
 (** Whether the client has ever arrived (and not departed). *)
+
+(** {1 Diagnostics and audit probes}
+
+    Read-only visibility into the scheduler state, used by the invariant
+    audit ({!Hsfq_check}) and by tests. See [doc/INVARIANTS.md] for the
+    properties these make checkable. *)
+
+val clients : t -> int list
+(** All known clients (runnable or blocked), in no particular order. *)
+
+val weight : t -> id:int -> float
+(** The client's own (administered) weight, excluding donations. *)
+
+val effective_weight_of : t -> id:int -> float
+(** [weight + donated] — the divisor the next [charge] will use. *)
+
+val in_service : t -> int option
+(** The client selected but not yet charged, if any. *)
+
+val max_finish_tag : t -> float
+(** Largest finish tag ever assigned (the idle-transition value of
+    [v(t)], §3 rule 2). *)
+
+val donations : t -> (int * int * float) list
+(** Outstanding donations as [(blocked, recipient, amount)] triples. *)

@@ -27,7 +27,7 @@ let add t x =
   else if x >= t.hi then t.over <- t.over + 1
   else begin
     let i = int_of_float ((x -. t.lo) /. t.width) in
-    let i = Stdlib.min i (Array.length t.bins - 1) in
+    let i = Int.min i (Array.length t.bins - 1) in
     t.bins.(i) <- t.bins.(i) + 1
   end
 
@@ -49,7 +49,7 @@ let iter t f =
 
 let render t ~width =
   let buf = Buffer.create 256 in
-  let maxc = Array.fold_left Stdlib.max 1 t.bins in
+  let maxc = Array.fold_left Int.max 1 t.bins in
   if t.under > 0 then Buffer.add_string buf (Printf.sprintf "  < %8.3f : %d\n" t.lo t.under);
   iter t (fun ~lo ~hi ~count ->
       if count > 0 then begin

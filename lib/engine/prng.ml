@@ -24,13 +24,13 @@ let split t =
 let copy t = { state = t.state }
 
 let int t bound =
-  assert (bound > 0);
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Keep 62 bits so the value fits OCaml's native int (63-bit, signed). *)
   let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
   r mod bound
 
 let int_in t lo hi =
-  assert (hi >= lo);
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
   lo + int t (hi - lo + 1)
 
 (* 53 random mantissa bits, uniform in [0, 1). *)
@@ -45,7 +45,7 @@ let bool t = Int64.logand (next_int64 t) 1L = 1L
 let bernoulli t p = unit_float t < p
 
 let exponential t ~mean =
-  assert (mean > 0.0);
+  if not (mean > 0.0) then invalid_arg "Prng.exponential: mean must be positive";
   let u = 1.0 -. unit_float t in
   -.mean *. log u
 
@@ -55,12 +55,13 @@ let gaussian t ~mu ~sigma =
   mu +. (sigma *. z)
 
 let pareto t ~shape ~scale =
-  assert (shape > 0.0 && scale > 0.0);
+  if not (shape > 0.0 && scale > 0.0) then
+    invalid_arg "Prng.pareto: shape and scale must be positive";
   let u = 1.0 -. unit_float t in
   scale *. (u ** (-1.0 /. shape))
 
 let choice t a =
-  assert (Array.length a > 0);
+  if Array.length a = 0 then invalid_arg "Prng.choice: empty array";
   a.(int t (Array.length a))
 
 let shuffle t a =

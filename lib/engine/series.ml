@@ -31,7 +31,7 @@ let last t = if t.n = 0 then None else Some (t.ts.(t.n - 1), t.vs.(t.n - 1))
 let bucket_sum t ~width ~until =
   if width <= 0 then invalid_arg "Series.bucket_sum: width <= 0";
   let nb = (until + width - 1) / width in
-  let out = Array.make (Stdlib.max nb 0) 0. in
+  let out = Array.make (Int.max nb 0) 0. in
   for i = 0 to t.n - 1 do
     let b = t.ts.(i) / width in
     if b >= 0 && b < nb then out.(b) <- out.(b) +. t.vs.(i)
@@ -41,8 +41,8 @@ let bucket_sum t ~width ~until =
 let bucket_mean t ~width ~until =
   if width <= 0 then invalid_arg "Series.bucket_mean: width <= 0";
   let nb = (until + width - 1) / width in
-  let sums = Array.make (Stdlib.max nb 0) 0. in
-  let counts = Array.make (Stdlib.max nb 0) 0 in
+  let sums = Array.make (Int.max nb 0) 0. in
+  let counts = Array.make (Int.max nb 0) 0 in
   for i = 0 to t.n - 1 do
     let b = t.ts.(i) / width in
     if b >= 0 && b < nb then begin

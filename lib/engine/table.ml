@@ -9,7 +9,7 @@ let rowf t fmt = Printf.ksprintf (fun s -> row t [ s ]) fmt
 let render t =
   let rows = List.rev t.rows in
   let all = t.headers :: rows in
-  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let ncols = List.fold_left (fun acc r -> Int.max acc (List.length r)) 0 all in
   let widths = Array.make ncols 0 in
   let note_widths r =
     List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) r
@@ -29,7 +29,7 @@ let render t =
   in
   emit t.headers;
   let rule_len =
-    Array.fold_left ( + ) 0 widths + (2 * Stdlib.max 0 (ncols - 1))
+    Array.fold_left ( + ) 0 widths + (2 * Int.max 0 (ncols - 1))
   in
   Buffer.add_string buf (String.make rule_len '-');
   Buffer.add_char buf '\n';

@@ -17,8 +17,8 @@ let add t d = t + d
 let diff later earlier = later - earlier
 let scale d f = int_of_float (Float.round (float_of_int d *. f))
 
-let min = Stdlib.min
-let max = Stdlib.max
+let min = Int.min
+let max = Int.max
 let compare = Int.compare
 
 let pp ppf t =

@@ -24,7 +24,7 @@ let render_gantt t ~cell ~until =
   let ncells = (until + cell - 1) / cell in
   let buf = Buffer.create 1024 in
   let lane_width =
-    List.fold_left (fun acc l -> Stdlib.max acc (String.length l)) 4 t.lanes
+    List.fold_left (fun acc l -> Int.max acc (String.length l)) 4 t.lanes
   in
   List.iter
     (fun lane ->
@@ -33,7 +33,7 @@ let render_gantt t ~cell ~until =
         (fun (l, start, stop, _) ->
           if String.equal l lane then begin
             let c0 = start / cell and c1 = (stop - 1) / cell in
-            for c = Stdlib.max 0 c0 to Stdlib.min (ncells - 1) c1 do
+            for c = Int.max 0 c0 to Int.min (ncells - 1) c1 do
               Bytes.set rowbuf c (if String.length lane > 0 then lane.[0] else '#')
             done
           end)

@@ -3,13 +3,28 @@ open Hsfq_core
 open Hsfq_kernel
 open Hsfq_workload
 
-type sys = { sim : Sim.t; hier : Hierarchy.t; k : Kernel.t }
+type sys = {
+  sim : Sim.t;
+  hier : Hierarchy.t;
+  k : Kernel.t;
+  audit : Hsfq_check.Invariant.sink option;
+}
 
-let make_sys ?config () =
+let make_sys ?config ?(audit = true) () =
   let sim = Sim.create () in
   let hier = Hierarchy.create () in
   let k = Kernel.create ?config sim hier in
-  { sim; hier; k }
+  (* Collect-policy sink: experiments run to completion and report the
+     audit verdict as an ordinary check instead of dying mid-figure. *)
+  let sink =
+    if audit then begin
+      let s = Hsfq_check.Invariant.create ~policy:Collect () in
+      Hsfq_check.Hierarchy_audit.attach s hier;
+      Some s
+    end
+    else None
+  in
+  { sim; hier; k; audit = sink }
 
 let must where = function
   | Ok v -> v
@@ -23,7 +38,9 @@ let sfq_leaf sys ~parent ~name ~weight ?quantum () =
   let id =
     must "sfq_leaf" (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Leaf)
   in
-  let lf, h = Leaf_sched.Sfq_leaf.make ?quantum () in
+  let lf, h =
+    Leaf_sched.Sfq_leaf.make ?quantum ?audit:sys.audit ~audit_label:name ()
+  in
   Kernel.install_leaf sys.k id lf;
   (id, h)
 
@@ -93,6 +110,22 @@ let background_daemons sys ~leaf ~svr4 ~n ~mean_think ~burst ~seed =
 type check = { label : string; ok : bool; detail : string }
 
 let check label ok fmt = Printf.ksprintf (fun detail -> { label; ok; detail }) fmt
+
+let audit_check sys =
+  match sys.audit with
+  | None -> check "invariant audit" true "disabled for this run"
+  | Some sink ->
+    (* Final quiescent sweep on top of the per-transition hooks. *)
+    Hsfq_check.Hierarchy_audit.check_all sink sys.hier;
+    check "invariant audit"
+      (Hsfq_check.Invariant.count sink = 0)
+      "%s"
+      (Hsfq_check.Invariant.summary sink)
+
+let merge_audits label cs =
+  match List.find_opt (fun c -> not c.ok) cs with
+  | Some bad -> { bad with label }
+  | None -> check label true "%d runs clean" (List.length cs)
 
 let print_checks checks =
   List.iter

@@ -8,9 +8,19 @@ open Hsfq_engine
 open Hsfq_core
 open Hsfq_kernel
 
-type sys = { sim : Sim.t; hier : Hierarchy.t; k : Kernel.t }
+type sys = {
+  sim : Sim.t;
+  hier : Hierarchy.t;
+  k : Kernel.t;
+  audit : Hsfq_check.Invariant.sink option;
+      (** collects violations from the hierarchy audit and every audited
+          leaf; [None] when built with [~audit:false] *)
+}
 
-val make_sys : ?config:Kernel.config -> unit -> sys
+val make_sys : ?config:Kernel.config -> ?audit:bool -> unit -> sys
+(** [audit] (default [true]) attaches {!Hsfq_check.Hierarchy_audit} to the
+    scheduling structure and audits every {!sfq_leaf}, collecting
+    violations in [sys.audit] for {!audit_check} to report. *)
 
 val internal : sys -> parent:Hierarchy.id -> name:string -> weight:float ->
   Hierarchy.id
@@ -62,6 +72,16 @@ type check = { label : string; ok : bool; detail : string }
 
 val check : string -> bool -> ('a, unit, string, check) format4 -> 'a
 (** [check label ok fmt ...] builds a {!check} with a printf detail. *)
+
+val audit_check : sys -> check
+(** Run the final quiescent sweep ({!Hsfq_check.Hierarchy_audit.check_all})
+    and fold the whole run's audit verdict into one {!check}: PASS iff no
+    scheduler invariant was violated. *)
+
+val merge_audits : string -> check list -> check
+(** Collapse many {!audit_check} verdicts (experiments that build dozens
+    of systems) into one: the first failing verdict relabelled, or a
+    clean summary. *)
 
 val print_checks : check list -> unit
 val all_ok : check list -> bool

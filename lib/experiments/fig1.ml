@@ -77,7 +77,7 @@ let print r =
   (* A coarse rendition of the figure itself: per-second mean cost. *)
   let t = Table.create [ "second"; "mean decode ms (frames i..i+29)" ] in
   let window = 30 in
-  let nwin = Stdlib.min 20 (r.frames / window) in
+  let nwin = Int.min 20 (r.frames / window) in
   for w = 0 to nwin - 1 do
     let s = ref 0. in
     for i = w * window to ((w + 1) * window) - 1 do
@@ -88,7 +88,7 @@ let print r =
       [
         string_of_int w;
         Printf.sprintf "%6.2f %s" (!s /. float_of_int window)
-          (String.make (Stdlib.min 60 bar_len) '#');
+          (String.make (Int.min 60 bar_len) '#');
       ]
   done;
   Table.print t

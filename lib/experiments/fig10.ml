@@ -10,6 +10,7 @@ type result = {
   cpu_ratio : float;
   cum_rows : (int * int * int) list;
   interval_ratios : float array;
+  audit : check;
 }
 
 (* The figure counts *frames*; since the two players sit at different
@@ -50,6 +51,7 @@ let run ?(seconds = 60) () =
     cpu_ratio;
     cum_rows;
     interval_ratios;
+    audit = audit_check sys;
   }
 
 let checks r =
@@ -71,6 +73,7 @@ let checks r =
     check "both players progress continuously"
       (r.frames_w5 > 100 && r.frames_w10 > 200)
       "frames %d and %d" r.frames_w5 r.frames_w10;
+    r.audit;
   ]
 
 let print r =

@@ -15,6 +15,7 @@ type result = {
   cpu_ratio : float;  (** CPU-time ratio w10/w5 — the scheduling claim *)
   cum_rows : (int * int * int) list;  (** (second, frames w5, frames w10) *)
   interval_ratios : float array;  (** per-2s window ratio *)
+  audit : Common.check;  (** invariant-audit verdict *)
 }
 
 val run : ?seconds:int -> unit -> result

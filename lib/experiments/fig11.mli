@@ -28,6 +28,7 @@ type result = {
   t1_per_sec : float array;
   t2_per_sec : float array;
   phases : phase list;
+  audit : Common.check;  (** invariant-audit verdict *)
 }
 
 val run : unit -> result

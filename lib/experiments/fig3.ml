@@ -1,5 +1,6 @@
-open Hsfq_core
 module Table = Hsfq_engine.Table
+module Sfq = Hsfq_check.Audited.Sfq
+module Invariant = Hsfq_check.Invariant
 
 type step = {
   time_ms : int;
@@ -18,6 +19,7 @@ type result = {
   s_b_rearrival : float;
   work_a_after : int;
   work_b_after : int;
+  audit : Common.check;
 }
 
 let quantum = 10 (* ms; tags are then in "ms of work / weight" units *)
@@ -34,14 +36,17 @@ let name = function 1 -> "A" | 2 -> "B" | _ -> assert false
 let weight = function 1 -> 1.0 | 2 -> 2.0 | _ -> assert false
 
 let run () =
-  let sfq = Sfq.create () in
+  (* The worked example doubles as an audit fixture: every transition of
+     the replay is checked against the paper's rules. *)
+  let sink = Invariant.create ~policy:Collect () in
+  let sfq = Sfq.create ~node:"fig3" ~sink () in
   Sfq.arrive sfq ~id:a ~weight:(weight a);
   Sfq.arrive sfq ~id:b ~weight:(weight b);
   let steps = ref [] in
   let work = Hashtbl.create 4 in
   let add_work ~id ~from_ ~until ~lo ~hi =
     (* Credit the quantum [from_, until) clipped to the window [lo, hi). *)
-    let got = Stdlib.max 0 (Stdlib.min until hi - Stdlib.max from_ lo) in
+    let got = Int.max 0 (Int.min until hi - Int.max from_ lo) in
     let key = (id, lo) in
     Hashtbl.replace work key (got + Option.value ~default:0 (Hashtbl.find_opt work key))
   in
@@ -90,10 +95,13 @@ let run () =
     work_a_60 = w a 0;
     work_b_60 = w b 0;
     v_during_idle = !v_idle;
-    s_a_rearrival = (try Hashtbl.find rearrival a with Not_found -> nan);
-    s_b_rearrival = (try Hashtbl.find rearrival b with Not_found -> nan);
+    s_a_rearrival = Option.value ~default:nan (Hashtbl.find_opt rearrival a);
+    s_b_rearrival = Option.value ~default:nan (Hashtbl.find_opt rearrival b);
     work_a_after = w a 120;
     work_b_after = w b 120;
+    audit =
+      Common.check "invariant audit" (Invariant.count sink = 0) "%s"
+        (Invariant.summary sink);
   }
 
 let checks r =
@@ -114,6 +122,7 @@ let checks r =
     Common.check "allocation returns to 1:2 after re-arrival"
       (r.work_b_after = 2 * r.work_a_after)
       "A %d ms : B %d ms over [120,150)" r.work_a_after r.work_b_after;
+    r.audit;
   ]
 
 let render_gantt r =

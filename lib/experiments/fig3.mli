@@ -26,6 +26,7 @@ type result = {
   s_b_rearrival : float;
   work_a_after : int;  (** ms received by A in [115, 145) *)
   work_b_after : int;
+  audit : Common.check;  (** every replayed transition passes the audit *)
 }
 
 val run : unit -> result

@@ -10,6 +10,7 @@ type result = {
   sfq_cv : float;
   ts_buckets : float array array;
   sfq_buckets : float array array;
+  audits : check list;
 }
 
 let nthreads = 5
@@ -55,7 +56,8 @@ let run_ts ~seconds =
   let until = Time.seconds seconds in
   Kernel.run_until sys.k until;
   ( Array.map Dhrystone.loops counters,
-    buckets_of until counters )
+    buckets_of until counters,
+    audit_check sys )
 
 let run_sfq ~seconds =
   let sys = make_sys () in
@@ -82,11 +84,12 @@ let run_sfq ~seconds =
   let until = Time.seconds seconds in
   Kernel.run_until sys.k until;
   ( Array.map Dhrystone.loops counters,
-    buckets_of until counters )
+    buckets_of until counters,
+    audit_check sys )
 
 let run ?(seconds = 30) () =
-  let ts_loops, ts_buckets = run_ts ~seconds in
-  let sfq_loops, sfq_buckets = run_sfq ~seconds in
+  let ts_loops, ts_buckets, ts_audit = run_ts ~seconds in
+  let sfq_loops, sfq_buckets, sfq_audit = run_sfq ~seconds in
   {
     ts_loops;
     sfq_loops;
@@ -94,6 +97,7 @@ let run ?(seconds = 30) () =
     sfq_cv = Stats.cv_of (Array.map float_of_int sfq_loops);
     ts_buckets;
     sfq_buckets;
+    audits = [ ts_audit; sfq_audit ];
   }
 
 let checks r =
@@ -101,13 +105,14 @@ let checks r =
     check "all TS threads make progress"
       (Array.for_all (fun l -> l > 0) r.ts_loops)
       "min loops %d"
-      (Array.fold_left Stdlib.min max_int r.ts_loops);
+      (Array.fold_left Int.min max_int r.ts_loops);
     check "SFQ throughput is uniform (CV < 2%)" (r.sfq_cv < 0.02) "CV = %.4f"
       r.sfq_cv;
     check "TS throughput varies significantly (CV > 5x SFQ's)"
       (r.ts_cv > 5. *. r.sfq_cv)
       "TS CV = %.4f vs SFQ CV = %.4f" r.ts_cv r.sfq_cv;
   ]
+  @ r.audits
 
 let print r =
   print_endline

@@ -17,6 +17,7 @@ type result = {
   sfq_cv : float;
   ts_buckets : float array array;  (** per-thread loops per 5 s window *)
   sfq_buckets : float array array;
+  audits : Common.check list;  (** invariant-audit verdict per run *)
 }
 
 val run : ?seconds:int -> unit -> result

@@ -8,6 +8,7 @@ type result = {
   ratio_by_threads : float array;
   depths : int array;
   ratio_by_depth : float array;
+  audit : check;
 }
 
 let loop_cost = Time.microseconds 500
@@ -45,7 +46,7 @@ let run_hier ~threads ~seconds =
              ~name:(Printf.sprintf "dhry%d" i) ~weight:1. ~loop_cost))
   in
   Hsfq_kernel.Kernel.run_until sys.k (Time.seconds seconds);
-  aggregate counters
+  (aggregate counters, audit_check sys)
 
 let run_unmodified ~threads ~seconds =
   let sys = make_sys ~config:unmodified_config () in
@@ -59,7 +60,7 @@ let run_unmodified ~threads ~seconds =
              ~loop_cost))
   in
   Hsfq_kernel.Kernel.run_until sys.k (Time.seconds seconds);
-  aggregate counters
+  (aggregate counters, audit_check sys)
 
 (* Depth experiment: a chain of intermediate nodes above SFQ-1. *)
 let run_depth ~depth ~seconds =
@@ -76,26 +77,38 @@ let run_depth ~depth ~seconds =
              ~weight:1. ~loop_cost))
   in
   Hsfq_kernel.Kernel.run_until sys.k (Time.seconds seconds);
-  aggregate counters
+  (aggregate counters, audit_check sys)
 
 let run ?(seconds = 10) () =
+  let audits = ref [] in
+  let noted (v, a) =
+    audits := a :: !audits;
+    v
+  in
   let thread_counts = Array.init 20 (fun i -> i + 1) in
   let ratio_by_threads =
     Array.map
       (fun n ->
-        let h = run_hier ~threads:n ~seconds in
-        let u = run_unmodified ~threads:n ~seconds in
+        let h = noted (run_hier ~threads:n ~seconds) in
+        let u = noted (run_unmodified ~threads:n ~seconds) in
         float_of_int h /. float_of_int u)
       thread_counts
   in
   let depths = [| 0; 5; 10; 15; 20; 25; 30 |] in
-  let base = run_depth ~depth:0 ~seconds in
+  let base = noted (run_depth ~depth:0 ~seconds) in
   let ratio_by_depth =
     Array.map
-      (fun d -> float_of_int (run_depth ~depth:d ~seconds) /. float_of_int base)
+      (fun d ->
+        float_of_int (noted (run_depth ~depth:d ~seconds)) /. float_of_int base)
       depths
   in
-  { thread_counts; ratio_by_threads; depths; ratio_by_depth }
+  {
+    thread_counts;
+    ratio_by_threads;
+    depths;
+    ratio_by_depth;
+    audit = merge_audits "invariant audit" (List.rev !audits);
+  }
 
 let checks r =
   let min_t = Array.fold_left Float.min infinity r.ratio_by_threads in
@@ -109,6 +122,7 @@ let checks r =
     check "throughput varies < 0.2% across depth 0..30"
       (min_d > 0.998 && max_d < 1.002)
       "ratio range [%.4f, %.4f]" min_d max_d;
+    r.audit;
   ]
 
 let print r =

@@ -17,6 +17,7 @@ type result = {
   ratio_by_threads : float array;  (** hierarchical / unmodified *)
   depths : int array;
   ratio_by_depth : float array;  (** relative to depth 0 *)
+  audit : Common.check;  (** invariant audit over all ~50 runs *)
 }
 
 val run : ?seconds:int -> unit -> result

@@ -13,6 +13,7 @@ type result = {
   iso_sfq_loops : int array;
   iso_svr4_loops : int;
   iso_node_ratio : float;
+  audits : check list;
 }
 
 let loop_cost = Time.microseconds 500
@@ -64,7 +65,8 @@ let run_a ?(seed = 51) ~seconds () =
   ( agg c1,
     agg c2,
     ratio_per_sec,
-    float_of_int svr4_cpu /. float_of_int until )
+    float_of_int svr4_cpu /. float_of_int until,
+    audit_check sys )
 
 let run_b ~seconds =
   let sys = make_sys () in
@@ -81,11 +83,14 @@ let run_b ~seconds =
   let sfq_loops = Array.map Dhrystone.loops c1 in
   let svr4_loops = Dhrystone.loops c2 in
   let agg1 = Array.fold_left ( + ) 0 sfq_loops in
-  (sfq_loops, svr4_loops, float_of_int agg1 /. float_of_int svr4_loops)
+  ( sfq_loops,
+    svr4_loops,
+    float_of_int agg1 /. float_of_int svr4_loops,
+    audit_check sys )
 
 let run ?(seconds = 30) ?seed () =
-  let agg1, agg2, ratio_per_sec, busy = run_a ?seed ~seconds () in
-  let iso_sfq_loops, iso_svr4_loops, iso_node_ratio = run_b ~seconds in
+  let agg1, agg2, ratio_per_sec, busy, audit_a = run_a ?seed ~seconds () in
+  let iso_sfq_loops, iso_svr4_loops, iso_node_ratio, audit_b = run_b ~seconds in
   {
     agg1;
     agg2;
@@ -95,6 +100,7 @@ let run ?(seconds = 30) ?seed () =
     iso_sfq_loops;
     iso_svr4_loops;
     iso_node_ratio;
+    audits = [ audit_a; audit_b ];
   }
 
 let checks r =
@@ -120,6 +126,7 @@ let checks r =
       (String.concat "/" (Array.to_list (Array.map string_of_int r.iso_sfq_loops)))
       r.iso_svr4_loops;
   ]
+  @ r.audits
 
 let print r =
   print_endline

@@ -20,6 +20,7 @@ type result = {
   iso_sfq_loops : int array;  (** the two SFQ-1 threads *)
   iso_svr4_loops : int;
   iso_node_ratio : float;  (** SFQ-1 aggregate / SVR4, expected ~1 *)
+  audits : Common.check list;  (** invariant-audit verdict per run *)
 }
 
 val run : ?seconds:int -> ?seed:int -> unit -> result

@@ -19,6 +19,7 @@ type result = {
   decoder_frames : int;
   lat1_ms : float array;
   slack1_ms : float array;
+  audit : check;
 }
 
 let quantum = Time.milliseconds 25
@@ -75,6 +76,7 @@ let run ?(seconds = 60) () =
       Array.map (fun v -> v /. 1e6) (Series.values (Kernel.latency_series sys.k t1));
     slack1_ms =
       Array.map (fun v -> v /. 1e6) (Series.values (Periodic.slack_series p1));
+    audit = audit_check sys;
   }
 
 let checks r =
@@ -92,6 +94,7 @@ let checks r =
     check "no deadline misses" (r.misses = 0) "misses = %d" r.misses;
     check "MPEG decoder in SFQ-1 keeps decoding" (r.decoder_frames > 1000)
       "frames = %d" r.decoder_frames;
+    r.audit;
   ]
 
 let print r =

@@ -28,6 +28,7 @@ type result = {
   decoder_frames : int;  (** the MPEG decoder keeps making progress *)
   lat1_ms : float array;  (** raw per-round latency, ms (plot data) *)
   slack1_ms : float array;  (** raw per-round slack, ms (plot data) *)
+  audit : Common.check;  (** invariant-audit verdict *)
 }
 
 val run : ?seconds:int -> unit -> result

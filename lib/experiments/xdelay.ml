@@ -16,6 +16,7 @@ type result = {
   interrupt_util : float;
   hog_delta_measured_ms : float;
   hog_delta_bound_ms : float;
+  audit : check;
 }
 
 let period = Time.milliseconds 100
@@ -108,6 +109,7 @@ let run ?(seconds = 60) () =
     interrupt_util = Interrupt_source.utilization irq;
     hog_delta_measured_ms = hog_delta_measured /. 1e6;
     hog_delta_bound_ms = hog_delta_bound /. 1e6;
+    audit = audit_check sys;
   }
 
 let checks r =
@@ -126,6 +128,7 @@ let checks r =
       (r.hog_delta_measured_ms <= r.hog_delta_bound_ms)
       "measured %.2f ms <= predicted %.2f ms" r.hog_delta_measured_ms
       r.hog_delta_bound_ms;
+    r.audit;
   ]
 
 let print r =

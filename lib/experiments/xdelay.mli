@@ -25,6 +25,7 @@ type result = {
   hog_delta_measured_ms : float;
       (** burstiness of one backlogged thread's own service curve *)
   hog_delta_bound_ms : float;  (** eq. 6's predicted FC parameter *)
+  audit : Common.check;  (** invariant-audit verdict *)
 }
 
 val run : ?seconds:int -> unit -> result

@@ -13,6 +13,7 @@ type result = {
   cpu_monotone : bool;
   cpu_decays : bool;
   thread_monotone : bool;
+  audit : check;
 }
 
 let irq =
@@ -77,6 +78,7 @@ let run ?(seconds = 180) () =
     cpu_monotone = monotone cpu_tail;
     cpu_decays = decays cpu_tail;
     thread_monotone = monotone thread_tail;
+    audit = audit_check sys;
   }
 
 let checks r =
@@ -93,6 +95,7 @@ let checks r =
       "tails %s"
       (String.concat " "
          (Array.to_list (Array.map (Printf.sprintf "%.3f") r.thread_tail)));
+    r.audit;
   ]
 
 let print r =

@@ -19,6 +19,7 @@ type result = {
   cpu_monotone : bool;
   cpu_decays : bool;  (** tail(2g) <= tail(g)/2 wherever tail(g) > 2% *)
   thread_monotone : bool;
+  audit : Common.check;  (** invariant-audit verdict *)
 }
 
 val run : ?seconds:int -> unit -> result

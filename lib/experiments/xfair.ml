@@ -13,11 +13,14 @@ type row = {
   within_bound : bool;
 }
 
-type result = { rows : row list }
+type result = { rows : row list; audits : check list }
 
 type leaf_maker = {
   lname : string;
-  mk : unit -> Leaf_sched.t * (tid:int -> weight:float -> unit);
+  mk :
+    ?audit:Hsfq_check.Invariant.sink ->
+    unit ->
+    Leaf_sched.t * (tid:int -> weight:float -> unit);
 }
 
 module Wfq_leaf = Leaf_sched.Fair_leaf (Sched.Wfq)
@@ -35,7 +38,8 @@ module type FAIR_LEAF_MAKER = sig
   type handle
 
   val make :
-    ?rng:Prng.t -> ?quantum_hint:float -> ?quantum:Time.span -> unit ->
+    ?rng:Prng.t -> ?quantum_hint:float -> ?quantum:Time.span ->
+    ?audit:Hsfq_check.Invariant.sink -> ?audit_label:string -> unit ->
     Leaf_sched.t * handle
 
   val add : handle -> tid:int -> weight:float -> unit
@@ -45,8 +49,10 @@ let fair_maker name (module M : FAIR_LEAF_MAKER) =
   {
     lname = name;
     mk =
-      (fun () ->
-        let lf, h = M.make ~rng:(Prng.create 17) ~quantum_hint ~quantum () in
+      (fun ?audit () ->
+        let lf, h =
+          M.make ~rng:(Prng.create 17) ~quantum_hint ~quantum ?audit ()
+        in
         (lf, fun ~tid ~weight -> M.add h ~tid ~weight));
   }
 
@@ -55,8 +61,8 @@ let makers =
     {
       lname = "sfq";
       mk =
-        (fun () ->
-          let lf, h = Leaf_sched.Sfq_leaf.make ~quantum () in
+        (fun ?audit () ->
+          let lf, h = Leaf_sched.Sfq_leaf.make ~quantum ?audit () in
           (lf, fun ~tid ~weight -> Leaf_sched.Sfq_leaf.add h ~tid ~weight));
     };
     fair_maker "fqs" (module Fqs_leaf);
@@ -68,11 +74,12 @@ let makers =
     fair_maker "round-robin" (module Rr_leaf);
     (* The textbook real-time GPS clock variants (eq. 12): virtual time
        races ahead when the leaf's available bandwidth drops, degrading
-       the allocation toward round-robin. *)
+       the allocation toward round-robin. They take no audit — the Gps_vt
+       interface is time-indexed, outside the FAIR audit decorator. *)
     {
       lname = "wfq-rt";
       mk =
-        (fun () ->
+        (fun ?audit:_ () ->
           let lf, h =
             Leaf_sched.Gps_leaf.make ~order:Sched.Gps_vt.Finish_tags
               ~quantum_hint ~quantum ()
@@ -82,7 +89,7 @@ let makers =
     {
       lname = "fqs-rt";
       mk =
-        (fun () ->
+        (fun ?audit:_ () ->
           let lf, h =
             Leaf_sched.Gps_leaf.make ~order:Sched.Gps_vt.Start_tags
               ~quantum_hint ~quantum ()
@@ -101,7 +108,7 @@ let run_one maker ~seconds =
     | Ok id -> id
     | Error e -> invalid_arg e
   in
-  let lf, add = maker.mk () in
+  let lf, add = maker.mk ?audit:sys.audit () in
   Kernel.install_leaf sys.k test_leaf lf;
   let hog_leaf, hog_sfq =
     sfq_leaf sys ~parent:Hierarchy.root ~name:"hog" ~weight:1. ()
@@ -134,15 +141,19 @@ let run_one maker ~seconds =
     Fairness.sfq_bound ~lmax_a:(float_of_int quantum) ~wa:1.
       ~lmax_b:(float_of_int quantum) ~wb:2.
   in
-  {
-    algorithm = maker.lname;
-    max_lag_ms = lag /. 1e6;
-    bound_ms = bound /. 1e6;
-    within_bound = lag <= bound *. 1.001;
-  }
+  ( {
+      algorithm = maker.lname;
+      max_lag_ms = lag /. 1e6;
+      bound_ms = bound /. 1e6;
+      within_bound = lag <= bound *. 1.001;
+    },
+    audit_check sys )
 
 let run ?(seconds = 30) () =
-  { rows = List.map (fun m -> run_one m ~seconds) makers }
+  let rows, audits =
+    List.split (List.map (fun m -> run_one m ~seconds) makers)
+  in
+  { rows; audits = [ merge_audits "invariant audit" audits ] }
 
 let find r name = List.find (fun row -> String.equal row.algorithm name) r.rows
 
@@ -174,6 +185,7 @@ let checks r =
       "fqs-rt %.2f ms vs sfq %.2f ms" (find r "fqs-rt").max_lag_ms
       sfq.max_lag_ms;
   ]
+  @ r.audits
 
 let print r =
   print_endline

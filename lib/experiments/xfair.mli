@@ -21,7 +21,10 @@ type row = {
   within_bound : bool;
 }
 
-type result = { rows : row list }
+type result = {
+  rows : row list;
+  audits : Common.check list;  (** invariant-audit verdict over all runs *)
+}
 
 val run : ?seconds:int -> unit -> result
 val checks : result -> Common.check list

@@ -11,6 +11,7 @@ type result = {
   no_donation_max_ms : float;
   rounds_donation : int;
   rounds_no_donation : int;
+  audits : check list;
 }
 
 module Stride_leaf = Leaf_sched.Fair_leaf (Hsfq_sched.Stride)
@@ -56,14 +57,16 @@ let run_one ~donation ~seconds =
   in
   let add =
     if donation then begin
-      let lf, h = Leaf_sched.Sfq_leaf.make () in
+      let lf, h =
+        Leaf_sched.Sfq_leaf.make ?audit:sys.audit ~audit_label:"apps" ()
+      in
       Kernel.install_leaf sys.k leaf lf;
       fun ~tid ~weight -> Leaf_sched.Sfq_leaf.add h ~tid ~weight
     end
     else begin
       (* Stride is an equally proportional leaf whose donate hook is a
          no-op: the same scenario with inversion unmitigated. *)
-      let lf, h = Stride_leaf.make () in
+      let lf, h = Stride_leaf.make ?audit:sys.audit () in
       Kernel.install_leaf sys.k leaf lf;
       fun ~tid ~weight -> Stride_leaf.add h ~tid ~weight
     end
@@ -80,11 +83,11 @@ let run_one ~donation ~seconds =
   add ~tid:h ~weight:10.;
   Kernel.start sys.k h;
   Kernel.run_until sys.k (Time.seconds seconds);
-  stats
+  (stats, audit_check sys)
 
 let run ?(seconds = 60) () =
-  let d = run_one ~donation:true ~seconds in
-  let n = run_one ~donation:false ~seconds in
+  let d, audit_d = run_one ~donation:true ~seconds in
+  let n, audit_n = run_one ~donation:false ~seconds in
   {
     donation_mean_ms = Stats.mean d /. 1e6;
     donation_max_ms = Stats.max_value d /. 1e6;
@@ -92,6 +95,7 @@ let run ?(seconds = 60) () =
     no_donation_max_ms = Stats.max_value n /. 1e6;
     rounds_donation = Stats.count d;
     rounds_no_donation = Stats.count n;
+    audits = [ audit_d; audit_n ];
   }
 
 let checks r =
@@ -106,6 +110,7 @@ let checks r =
     check "H keeps making rounds even without donation"
       (r.rounds_no_donation > 10) "%d rounds" r.rounds_no_donation;
   ]
+  @ r.audits
 
 let print r =
   print_endline

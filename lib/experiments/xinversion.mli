@@ -22,6 +22,7 @@ type result = {
   no_donation_max_ms : float;
   rounds_donation : int;
   rounds_no_donation : int;
+  audits : Common.check list;  (** invariant-audit verdict per run *)
 }
 
 val run : ?seconds:int -> unit -> result

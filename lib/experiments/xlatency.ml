@@ -6,7 +6,7 @@ module Hierarchy = Hsfq_core.Hierarchy
 module Sched = Hsfq_sched
 
 type row = { algorithm : string; mean_ms : float; p99_ms : float; responses : int }
-type result = { rows : row list; burst_ms : float }
+type result = { rows : row list; burst_ms : float; audits : check list }
 
 module Wfq_leaf = Leaf_sched.Fair_leaf (Sched.Wfq)
 module Scfq_leaf = Leaf_sched.Fair_leaf (Sched.Scfq)
@@ -18,29 +18,41 @@ let small_weight = 0.05
 
 type maker = {
   lname : string;
-  mk : unit -> Leaf_sched.t * (tid:int -> weight:float -> unit);
+  mk :
+    ?audit:Hsfq_check.Invariant.sink ->
+    unit ->
+    Leaf_sched.t * (tid:int -> weight:float -> unit);
 }
 
 let makers =
   let fair name make add =
-    { lname = name; mk = (fun () -> let lf, h = make () in (lf, add h)) }
+    {
+      lname = name;
+      mk =
+        (fun ?audit () ->
+          let lf, h = make ?audit () in
+          (lf, add h));
+    }
   in
   [
     {
       lname = "sfq";
       mk =
-        (fun () ->
-          let lf, h = Leaf_sched.Sfq_leaf.make ~quantum () in
+        (fun ?audit () ->
+          let lf, h = Leaf_sched.Sfq_leaf.make ~quantum ?audit () in
           (lf, fun ~tid ~weight -> Leaf_sched.Sfq_leaf.add h ~tid ~weight));
     };
     fair "fqs"
-      (fun () -> Fqs_leaf.make ~quantum_hint:(float_of_int quantum) ~quantum ())
+      (fun ?audit () ->
+        Fqs_leaf.make ~quantum_hint:(float_of_int quantum) ~quantum ?audit ())
       (fun h ~tid ~weight -> Fqs_leaf.add h ~tid ~weight);
     fair "wfq"
-      (fun () -> Wfq_leaf.make ~quantum_hint:(float_of_int quantum) ~quantum ())
+      (fun ?audit () ->
+        Wfq_leaf.make ~quantum_hint:(float_of_int quantum) ~quantum ?audit ())
       (fun h ~tid ~weight -> Wfq_leaf.add h ~tid ~weight);
     fair "scfq"
-      (fun () -> Scfq_leaf.make ~quantum_hint:(float_of_int quantum) ~quantum ())
+      (fun ?audit () ->
+        Scfq_leaf.make ~quantum_hint:(float_of_int quantum) ~quantum ?audit ())
       (fun h ~tid ~weight -> Scfq_leaf.add h ~tid ~weight);
   ]
 
@@ -54,7 +66,7 @@ let run_one ?(seed = 23) m ~seconds =
     | Ok id -> id
     | Error e -> invalid_arg e
   in
-  let lf, add = m.mk () in
+  let lf, add = m.mk ?audit:sys.audit () in
   Kernel.install_leaf sys.k leaf lf;
   for i = 0 to 3 do
     let wl, _ = Dhrystone.make ~loop_cost:(Time.microseconds 500) () in
@@ -75,17 +87,23 @@ let run_one ?(seed = 23) m ~seconds =
   Kernel.run_until sys.k (Time.seconds seconds);
   let stats = Interactive.response_stats counter in
   let values = Series.values (Interactive.response_series counter) in
-  {
-    algorithm = m.lname;
-    mean_ms = Stats.mean stats /. 1e6;
-    p99_ms = (if Array.length values = 0 then nan else Stats.percentile values 99. /. 1e6);
-    responses = Interactive.responses counter;
-  }
+  ( {
+      algorithm = m.lname;
+      mean_ms = Stats.mean stats /. 1e6;
+      p99_ms =
+        (if Array.length values = 0 then nan else Stats.percentile values 99. /. 1e6);
+      responses = Interactive.responses counter;
+    },
+    audit_check sys )
 
 let run ?(seconds = 120) ?seed () =
+  let rows, audits =
+    List.split (List.map (fun m -> run_one ?seed m ~seconds) makers)
+  in
   {
-    rows = List.map (fun m -> run_one ?seed m ~seconds) makers;
+    rows;
     burst_ms = Time.to_milliseconds_float burst;
+    audits = [ merge_audits "invariant audit" audits ];
   }
 
 let find r name = List.find (fun row -> String.equal row.algorithm name) r.rows
@@ -110,6 +128,7 @@ let checks r =
       (fqs.mean_ms < 3. *. sfq.mean_ms)
       "fqs %.1f ms vs sfq %.1f ms" fqs.mean_ms sfq.mean_ms;
   ]
+  @ r.audits
 
 let print r =
   Printf.printf

@@ -15,7 +15,11 @@ type row = {
   responses : int;
 }
 
-type result = { rows : row list; burst_ms : float }
+type result = {
+  rows : row list;
+  burst_ms : float;
+  audits : Common.check list;  (** invariant-audit verdict over all runs *)
+}
 
 val run : ?seconds:int -> ?seed:int -> unit -> result
 (** [seed] varies the editor's think-time pattern (robustness testing). *)

@@ -10,6 +10,7 @@ type result = {
   edf_frames : int array;
   edf_min_max_ratio : float;
   demand_fraction : float;
+  audits : check list;
 }
 
 (* Four instances of the same demanding clip (~42% of the CPU per
@@ -39,7 +40,7 @@ let run_sfq ~seconds =
              ~weight:weights.(i) ~params:(clip (100 + i)) ~paced:true ()))
   in
   Kernel.run_until sys.k (Time.seconds seconds);
-  Array.map Mpeg.decoded counters
+  (Array.map Mpeg.decoded counters, audit_check sys)
 
 let run_edf ~seconds =
   let sys = make_sys () in
@@ -54,7 +55,7 @@ let run_edf ~seconds =
         c)
   in
   Kernel.run_until sys.k (Time.seconds seconds);
-  Array.map Mpeg.decoded counters
+  (Array.map Mpeg.decoded counters, audit_check sys)
 
 let run ?(seconds = 30) () =
   let demand =
@@ -63,18 +64,19 @@ let run ?(seconds = 30) () =
       0.
       (Array.init n (fun i -> i))
   in
-  let sfq_frames = run_sfq ~seconds in
-  let edf_frames = run_edf ~seconds in
+  let sfq_frames, audit_sfq = run_sfq ~seconds in
+  let edf_frames, audit_edf = run_edf ~seconds in
   let base = float_of_int sfq_frames.(1) in
   let sfq_ratios = Array.map (fun f -> float_of_int f /. base) sfq_frames in
-  let fmin = Array.fold_left Stdlib.min max_int edf_frames in
-  let fmax = Array.fold_left Stdlib.max 0 edf_frames in
+  let fmin = Array.fold_left Int.min max_int edf_frames in
+  let fmax = Array.fold_left Int.max 0 edf_frames in
   {
     sfq_frames;
     sfq_ratios;
     edf_frames;
     edf_min_max_ratio = (if fmax = 0 then 0. else float_of_int fmin /. float_of_int fmax);
     demand_fraction = demand;
+    audits = [ audit_sfq; audit_edf ];
   }
 
 let checks r =
@@ -89,7 +91,7 @@ let checks r =
     check "SFQ starves no decoder"
       (Array.for_all (fun f -> f > 100) r.sfq_frames)
       "min frames %d"
-      (Array.fold_left Stdlib.min max_int r.sfq_frames);
+      (Array.fold_left Int.min max_int r.sfq_frames);
     (* The four decoders are identical; any spread under EDF is pure
        arbitrariness of stale-deadline ordering. SFQ's equal-weight trio
        stays within a frame of each other. *)
@@ -99,12 +101,13 @@ let checks r =
       (String.concat "/"
          (Array.to_list (Array.map string_of_int r.edf_frames)));
     check "SFQ keeps identical decoders identical even overloaded"
-      (let lo = Stdlib.min r.sfq_frames.(1) (Stdlib.min r.sfq_frames.(2) r.sfq_frames.(3))
-       and hi = Stdlib.max r.sfq_frames.(1) (Stdlib.max r.sfq_frames.(2) r.sfq_frames.(3)) in
+      (let lo = Int.min r.sfq_frames.(1) (Int.min r.sfq_frames.(2) r.sfq_frames.(3))
+       and hi = Int.max r.sfq_frames.(1) (Int.max r.sfq_frames.(2) r.sfq_frames.(3)) in
        float_of_int lo /. float_of_int hi > 0.95)
       "equal-weight frames %d/%d/%d" r.sfq_frames.(1) r.sfq_frames.(2)
       r.sfq_frames.(3);
   ]
+  @ r.audits
 
 let print r =
   Printf.printf

@@ -15,6 +15,7 @@ type result = {
   edf_frames : int array;
   edf_min_max_ratio : float;  (** min/max frames under EDF — near 0 = starvation *)
   demand_fraction : float;  (** aggregate demand / capacity (>1 = overload) *)
+  audits : Common.check list;  (** invariant-audit verdict per run *)
 }
 
 val run : ?seconds:int -> unit -> result

@@ -12,7 +12,7 @@ type row = {
   decoder_dispatches : int;
 }
 
-type result = { boundary : row; on_wake : row }
+type result = { boundary : row; on_wake : row; audits : check list }
 
 let quantum = Time.milliseconds 25
 
@@ -36,20 +36,23 @@ let run_policy ~policy ~name ~seconds =
   let dec_tid, _ = mpeg_thread sys ~leaf:leaf1 ~sfq:sfq1 ~name:"mpeg" ~weight:1. () in
   Kernel.run_until sys.k (Time.seconds seconds);
   let lat = Kernel.latency_stats sys.k t1 in
-  {
-    policy = name;
-    lat_max_ms = Stats.max_value lat /. 1e6;
-    lat_mean_ms = Stats.mean lat /. 1e6;
-    misses = Periodic.misses p1;
-    decoder_dispatches = Kernel.dispatch_count sys.k dec_tid;
-  }
+  ( {
+      policy = name;
+      lat_max_ms = Stats.max_value lat /. 1e6;
+      lat_mean_ms = Stats.mean lat /. 1e6;
+      misses = Periodic.misses p1;
+      decoder_dispatches = Kernel.dispatch_count sys.k dec_tid;
+    },
+    audit_check sys )
 
 let run ?(seconds = 60) () =
-  {
-    boundary =
-      run_policy ~policy:Kernel.Quantum_boundary ~name:"quantum-boundary" ~seconds;
-    on_wake = run_policy ~policy:Kernel.Preempt_on_wake ~name:"preempt-on-wake" ~seconds;
-  }
+  let boundary, audit_b =
+    run_policy ~policy:Kernel.Quantum_boundary ~name:"quantum-boundary" ~seconds
+  in
+  let on_wake, audit_w =
+    run_policy ~policy:Kernel.Preempt_on_wake ~name:"preempt-on-wake" ~seconds
+  in
+  { boundary; on_wake; audits = [ audit_b; audit_w ] }
 
 let checks r =
   let q_ms = Time.to_milliseconds_float quantum in
@@ -71,6 +74,7 @@ let checks r =
       "dispatches %d vs %d" r.on_wake.decoder_dispatches
       r.boundary.decoder_dispatches;
   ]
+  @ r.audits
 
 let print r =
   print_endline

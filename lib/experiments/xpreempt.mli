@@ -23,7 +23,11 @@ type row = {
   decoder_dispatches : int;  (** MPEG decoder context switches *)
 }
 
-type result = { boundary : row; on_wake : row }
+type result = {
+  boundary : row;
+  on_wake : row;
+  audits : Common.check list;  (** invariant-audit verdict per run *)
+}
 
 val run : ?seconds:int -> unit -> result
 val checks : result -> Common.check list

@@ -9,6 +9,7 @@ type result = {
   flat_rt_cpu_fraction : float;
   hier_sfq_loops : int;
   hier_sfq_cpu_fraction : float;
+  audits : check list;
 }
 
 let loop_cost = Time.microseconds 500
@@ -34,7 +35,9 @@ let run_flat ~seconds =
   let until = Time.seconds seconds in
   Kernel.run_until sys.k until;
   let ts = Array.fold_left (fun a c -> a + Dhrystone.loops c) 0 counters in
-  (ts, float_of_int (Kernel.cpu_time sys.k hog) /. float_of_int until)
+  ( ts,
+    float_of_int (Kernel.cpu_time sys.k hog) /. float_of_int until,
+    audit_check sys )
 
 let run_hier ~seconds =
   let sys = make_sys () in
@@ -52,12 +55,18 @@ let run_hier ~seconds =
   Kernel.run_until sys.k until;
   let loops = Array.fold_left (fun a c -> a + Dhrystone.loops c) 0 counters in
   let work = float_of_int loops *. float_of_int loop_cost in
-  (loops, work /. float_of_int until)
+  (loops, work /. float_of_int until, audit_check sys)
 
 let run ?(seconds = 30) () =
-  let flat_ts_loops, flat_rt_cpu_fraction = run_flat ~seconds in
-  let hier_sfq_loops, hier_sfq_cpu_fraction = run_hier ~seconds in
-  { flat_ts_loops; flat_rt_cpu_fraction; hier_sfq_loops; hier_sfq_cpu_fraction }
+  let flat_ts_loops, flat_rt_cpu_fraction, audit_flat = run_flat ~seconds in
+  let hier_sfq_loops, hier_sfq_cpu_fraction, audit_hier = run_hier ~seconds in
+  {
+    flat_ts_loops;
+    flat_rt_cpu_fraction;
+    hier_sfq_loops;
+    hier_sfq_cpu_fraction;
+    audits = [ audit_flat; audit_hier ];
+  }
 
 let checks r =
   [
@@ -70,6 +79,7 @@ let checks r =
       (Float.abs (r.hier_sfq_cpu_fraction -. 0.5) < 0.02)
       "SFQ node got %.1f%% of the CPU" (100. *. r.hier_sfq_cpu_fraction);
   ]
+  @ r.audits
 
 let print r =
   print_endline

@@ -13,6 +13,7 @@ type result = {
   flat_rt_cpu_fraction : float;
   hier_sfq_loops : int;
   hier_sfq_cpu_fraction : float;  (** ~0.5 expected *)
+  audits : Common.check list;  (** invariant-audit verdict per run *)
 }
 
 val run : ?seconds:int -> unit -> result

@@ -2,7 +2,6 @@ open Hsfq_engine
 open Hsfq_kernel
 open Hsfq_workload
 open Common
-module Hierarchy = Hsfq_core.Hierarchy
 module Manager = Hsfq_qos.Manager
 
 type admission_event = {
@@ -21,6 +20,7 @@ type result = {
   final_soft_share : float;
   late_frames : int;
   total_frames : int;
+  audit : check;
 }
 
 (* A light clip (~5% of the CPU per decoder at 30 fps). *)
@@ -33,7 +33,9 @@ let run ?(seconds = 30) () =
   (* Class schedulers: RM for hard real-time, SFQ for soft real-time. *)
   let hard_sched, rm = Leaf_sched.Rm_leaf.make ~quantum:(Time.milliseconds 5) () in
   Kernel.install_leaf sys.k (Manager.hard_node m) hard_sched;
-  let soft_sched, soft_sfq = Leaf_sched.Sfq_leaf.make () in
+  let soft_sched, soft_sfq =
+    Leaf_sched.Sfq_leaf.make ?audit:sys.audit ~audit_label:"soft" ()
+  in
   Kernel.install_leaf sys.k (Manager.soft_node m) soft_sched;
   (* The hard-RT control loop, admitted through the manager. *)
   (match Manager.request_hard m ~name:"control" ~cost:0.002 ~period:0.04 with
@@ -50,7 +52,7 @@ let run ?(seconds = 30) () =
     match Manager.request_best_effort m ~user with
     | Error e -> invalid_arg e
     | Ok g ->
-      let lf, sfq = Leaf_sched.Sfq_leaf.make () in
+      let lf, sfq = Leaf_sched.Sfq_leaf.make ?audit:sys.audit ~audit_label:user () in
       Kernel.install_leaf sys.k g.Manager.node lf;
       let wl, c = Dhrystone.make ~loop_cost:(Time.microseconds 500) () in
       let tid = Kernel.spawn sys.k ~name:user ~leaf:g.Manager.node wl in
@@ -120,6 +122,7 @@ let run ?(seconds = 30) () =
     final_soft_share = Manager.share_of m (Manager.soft_node m);
     late_frames = late;
     total_frames;
+    audit = audit_check sys;
   }
 
 let checks r =
@@ -156,6 +159,7 @@ let checks r =
     check "late frames stay below 5% of all frames"
       (float_of_int r.late_frames < 0.05 *. float_of_int r.total_frames)
       "%d late of %d" r.late_frames r.total_frames;
+    r.audit;
   ]
 
 let print r =

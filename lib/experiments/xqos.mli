@@ -32,6 +32,7 @@ type result = {
   final_soft_share : float;
   late_frames : int;  (** playback glitches, summed over decoders *)
   total_frames : int;
+  audit : Common.check;  (** invariant-audit verdict *)
 }
 
 val run : ?seconds:int -> unit -> result

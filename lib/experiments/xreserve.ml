@@ -12,6 +12,7 @@ type result = {
   u_misses : int;
   u_rounds : int;
   hog_shares : float array;
+  audit : check;
 }
 
 let run ?(seconds = 30) () =
@@ -65,6 +66,7 @@ let run ?(seconds = 30) () =
     u_misses = Periodic.misses cu;
     u_rounds = Periodic.completed cu;
     hog_shares = Array.map share hogs;
+    audit = audit_check sys;
   }
 
 let checks r =
@@ -85,6 +87,7 @@ let checks r =
       "hog shares %s"
       (String.concat "/"
          (Array.to_list (Array.map (Printf.sprintf "%.2f") r.hog_shares)));
+    r.audit;
   ]
 
 let print r =

@@ -21,6 +21,7 @@ type result = {
   u_misses : int;  (** the unreserved control *)
   u_rounds : int;
   hog_shares : float array;
+  audit : Common.check;  (** invariant-audit verdict *)
 }
 
 val run : ?seconds:int -> unit -> result

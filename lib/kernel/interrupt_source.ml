@@ -36,10 +36,10 @@ let start spec ~sim ~fire =
     in
     let rec arrival () =
       let cost =
-        Stdlib.max 1
+        Int.max 1
           (int_of_float (Prng.exponential rng ~mean:(float_of_int mean_cost)))
       in
       fire ~duration:cost;
-      ignore (Sim.after sim (Stdlib.max 1 (next_gap ())) arrival)
+      ignore (Sim.after sim (Int.max 1 (next_gap ())) arrival)
     in
-    ignore (Sim.after sim (Stdlib.max 1 (next_gap ())) arrival)
+    ignore (Sim.after sim (Int.max 1 (next_gap ())) arrival)

@@ -193,7 +193,7 @@ let request_duration dev units =
     match dev.model with
     | Fixed_service s -> s
     | Exponential_service { mean; _ } ->
-      Stdlib.max 1
+      Int.max 1
         (Time.of_seconds_float
            (Prng.exponential dev.rng ~mean:(Time.to_seconds_float mean)))
   in
@@ -434,7 +434,7 @@ and complete_slice t d () =
     match next_effective_action t th now with
     | `Work ->
       if budget > 0 then begin
-        d.seg_left <- Stdlib.min budget th.work_left;
+        d.seg_left <- Int.min budget th.work_left;
         d.resume_at <- now;
         d.completion <- Some (Sim.after t.sim d.seg_left (complete_slice t d))
       end
@@ -477,7 +477,7 @@ and maybe_dispatch t =
       end;
       let quantum =
         match lf.quantum_of tid with
-        | Some q -> Stdlib.min q t.cfg.default_quantum
+        | Some q -> Int.min q t.cfg.default_quantum
         | None -> t.cfg.default_quantum
       in
       let overhead =
@@ -485,7 +485,7 @@ and maybe_dispatch t =
         + (t.cfg.sched_cost_per_level * Hierarchy.depth t.hier leaf)
       in
       t.overhead_total <- t.overhead_total + overhead;
-      let seg = Stdlib.min quantum th.work_left in
+      let seg = Int.min quantum th.work_left in
       let d =
         {
           d_tid = tid;

@@ -23,6 +23,7 @@ module Sfq_leaf = struct
     sfq : Hsfq_core.Sfq.t;
     weights : (int, float) Hashtbl.t;
     quantum : Time.span option;
+    audit : (Hsfq_check.Invariant.sink * string) option;
   }
 
   let weight_of h tid =
@@ -30,24 +31,57 @@ module Sfq_leaf = struct
     | Some w -> w
     | None -> invalid_arg (Printf.sprintf "Sfq_leaf: unregistered thread %d" tid)
 
-  let make ?quantum () =
-    let h = { sfq = Hsfq_core.Sfq.create (); weights = Hashtbl.create 8; quantum } in
+  (* Run [f] on the SFQ; when auditing, capture the pre-state and check
+     the transition semantics of [ev f-result] afterwards. *)
+  let guarded h ev f =
+    match h.audit with
+    | None -> f h.sfq
+    | Some (sink, node) ->
+      let pre = Hsfq_check.Sfq_rules.snapshot h.sfq in
+      let r = f h.sfq in
+      Hsfq_check.Sfq_rules.check_transition ~node sink ~pre h.sfq (ev r);
+      r
+
+  let make ?quantum ?audit ?(audit_label = "sfq-leaf") () =
+    let h =
+      {
+        sfq = Hsfq_core.Sfq.create ();
+        weights = Hashtbl.create 8;
+        quantum;
+        audit = Option.map (fun sink -> (sink, audit_label)) audit;
+      }
+    in
+    let module R = Hsfq_check.Sfq_rules in
+    let arrive tid =
+      let weight = weight_of h tid in
+      guarded h
+        (fun () -> R.Arrive { id = tid; weight })
+        (fun s -> Hsfq_core.Sfq.arrive s ~id:tid ~weight)
+    in
+    let block tid =
+      guarded h (fun () -> R.Block tid) (fun s -> Hsfq_core.Sfq.block s ~id:tid)
+    in
     let lf =
       {
         name = "sfq";
-        enqueue =
-          (fun ~now:_ tid -> Hsfq_core.Sfq.arrive h.sfq ~id:tid ~weight:(weight_of h tid));
-        dequeue = (fun ~now:_ tid -> Hsfq_core.Sfq.block h.sfq ~id:tid);
-        select = (fun ~now:_ -> Hsfq_core.Sfq.select h.sfq);
+        enqueue = (fun ~now:_ tid -> arrive tid);
+        dequeue = (fun ~now:_ tid -> block tid);
+        select =
+          (fun ~now:_ -> guarded h (fun r -> R.Select r) Hsfq_core.Sfq.select);
         charge =
           (fun ~now:_ tid ~service ~runnable ->
-            Hsfq_core.Sfq.charge h.sfq ~id:tid ~service:(float_of_int service) ~runnable);
+            let service = float_of_int service in
+            guarded h
+              (fun () -> R.Charge { id = tid; service; runnable })
+              (fun s -> Hsfq_core.Sfq.charge s ~id:tid ~service ~runnable));
         quantum_of = (fun _ -> h.quantum);
         preempts = (fun ~waker:_ ~running:_ -> false);
         backlogged = (fun () -> Hsfq_core.Sfq.backlogged h.sfq);
         detach =
           (fun tid ->
-            Hsfq_core.Sfq.depart h.sfq ~id:tid;
+            guarded h
+              (fun () -> R.Depart tid)
+              (fun s -> Hsfq_core.Sfq.depart s ~id:tid);
             Hashtbl.remove h.weights tid);
         second_tick = (fun () -> ());
         donate =
@@ -57,14 +91,20 @@ module Sfq_leaf = struct
                (blocked) so its weight is known for the transfer. *)
             let ensure tid =
               if not (Hsfq_core.Sfq.mem h.sfq ~id:tid) then begin
-                Hsfq_core.Sfq.arrive h.sfq ~id:tid ~weight:(weight_of h tid);
-                Hsfq_core.Sfq.block h.sfq ~id:tid
+                arrive tid;
+                block tid
               end
             in
             ensure blocked;
             ensure recipient;
-            Hsfq_core.Sfq.donate h.sfq ~blocked ~recipient);
-        revoke = (fun ~blocked -> Hsfq_core.Sfq.revoke h.sfq ~blocked);
+            guarded h
+              (fun () -> R.Donate { blocked; recipient })
+              (fun s -> Hsfq_core.Sfq.donate s ~blocked ~recipient));
+        revoke =
+          (fun ~blocked ->
+            guarded h
+              (fun () -> R.Revoke blocked)
+              (fun s -> Hsfq_core.Sfq.revoke s ~blocked));
       }
     in
     (lf, h)
@@ -89,8 +129,11 @@ module Sfq_leaf = struct
 end
 
 module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) = struct
+  module A = Hsfq_check.Audited.Make (F)
+
   type handle = {
     sched : F.t;
+    audited : A.t option; (* shares [sched]; checks every transition *)
     weights : (int, float) Hashtbl.t;
     quantum : Time.span option;
   }
@@ -101,25 +144,49 @@ module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) = struct
     | None ->
       invalid_arg (Printf.sprintf "%s leaf: unregistered thread %d" F.algorithm_name tid)
 
-  let make ?rng ?quantum_hint ?quantum () =
+  let make ?rng ?quantum_hint ?quantum ?audit ?(audit_label = F.algorithm_name) () =
+    let sched = F.create ?rng ?quantum_hint () in
     let h =
-      { sched = F.create ?rng ?quantum_hint (); weights = Hashtbl.create 8; quantum }
+      {
+        sched;
+        audited =
+          Option.map (fun sink -> A.wrap ~node:audit_label ~sink sched) audit;
+        weights = Hashtbl.create 8;
+        quantum;
+      }
+    in
+    let arrive tid ~weight =
+      match h.audited with
+      | Some a -> A.arrive a ~id:tid ~weight
+      | None -> F.arrive h.sched ~id:tid ~weight
+    in
+    let depart tid =
+      match h.audited with
+      | Some a -> A.depart a ~id:tid
+      | None -> F.depart h.sched ~id:tid
     in
     let lf =
       {
         name = F.algorithm_name;
-        enqueue = (fun ~now:_ tid -> F.arrive h.sched ~id:tid ~weight:(weight_of h tid));
-        dequeue = (fun ~now:_ tid -> F.depart h.sched ~id:tid);
-        select = (fun ~now:_ -> F.select h.sched);
+        enqueue = (fun ~now:_ tid -> arrive tid ~weight:(weight_of h tid));
+        dequeue = (fun ~now:_ tid -> depart tid);
+        select =
+          (fun ~now:_ ->
+            match h.audited with
+            | Some a -> A.select a
+            | None -> F.select h.sched);
         charge =
           (fun ~now:_ tid ~service ~runnable ->
-            F.charge h.sched ~id:tid ~service:(float_of_int service) ~runnable);
+            let service = float_of_int service in
+            match h.audited with
+            | Some a -> A.charge a ~id:tid ~service ~runnable
+            | None -> F.charge h.sched ~id:tid ~service ~runnable);
         quantum_of = (fun _ -> h.quantum);
         preempts = (fun ~waker:_ ~running:_ -> false);
         backlogged = (fun () -> F.backlogged h.sched);
         detach =
           (fun tid ->
-            F.depart h.sched ~id:tid;
+            depart tid;
             Hashtbl.remove h.weights tid);
         second_tick = (fun () -> ());
         donate = fst no_donation;
@@ -135,7 +202,11 @@ module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) = struct
   let set_weight h ~tid ~weight =
     if weight <= 0. then invalid_arg "Fair_leaf.set_weight: weight <= 0";
     Hashtbl.replace h.weights tid weight;
-    (try F.set_weight h.sched ~id:tid ~weight with Invalid_argument _ -> ())
+    try
+      match h.audited with
+      | Some a -> A.set_weight a ~id:tid ~weight
+      | None -> F.set_weight h.sched ~id:tid ~weight
+    with Invalid_argument _ -> ()
 
   let scheduler h = h.sched
 end
@@ -327,7 +398,7 @@ end
 
 module Reserve_leaf = struct
   type member = {
-    mutable capacity : Time.span; (* 0 = background-only *)
+    capacity : Time.span; (* 0 = background-only *)
     mutable budget : Time.span;
     mutable runnable : bool;
   }
@@ -365,7 +436,7 @@ module Reserve_leaf = struct
         charge =
           (fun ~now:_ tid ~service ~runnable ->
             let m = get h tid in
-            if m.capacity > 0 then m.budget <- Stdlib.max 0 (m.budget - service);
+            if m.capacity > 0 then m.budget <- Int.max 0 (m.budget - service);
             m.runnable <- runnable;
             rotate h tid);
         quantum_of =

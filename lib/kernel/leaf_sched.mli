@@ -43,7 +43,18 @@ type t = {
 module Sfq_leaf : sig
   type handle
 
-  val make : ?quantum:Time.span -> unit -> t * handle
+  val make :
+    ?quantum:Time.span ->
+    ?audit:Hsfq_check.Invariant.sink ->
+    ?audit_label:string ->
+    unit ->
+    t * handle
+  (** [?audit] turns on the full {!Hsfq_check.Sfq_rules} transition audit:
+      every enqueue/dequeue/select/charge/detach/donate/revoke is verified
+      against the pre-state and reported into the sink, labelled
+      [audit_label] (default ["sfq-leaf"]). Auditing is pay-per-use —
+      omitting [?audit] leaves the fast path untouched. *)
+
   val add : handle -> tid:int -> weight:float -> unit
   val set_weight : handle -> tid:int -> weight:float -> unit
 
@@ -62,7 +73,18 @@ module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) : sig
   type handle
 
   val make :
-    ?rng:Prng.t -> ?quantum_hint:float -> ?quantum:Time.span -> unit -> t * handle
+    ?rng:Prng.t ->
+    ?quantum_hint:float ->
+    ?quantum:Time.span ->
+    ?audit:Hsfq_check.Invariant.sink ->
+    ?audit_label:string ->
+    unit ->
+    t * handle
+  (** [?audit] wraps the baseline in {!Hsfq_check.Audited.Make}[(F)]: the
+      algorithm-independent invariants (virtual-time monotonicity,
+      ready-set bookkeeping, select/charge protocol, work conservation)
+      are checked on every transition and reported into the sink,
+      labelled [audit_label] (default [F.algorithm_name]). *)
 
   val add : handle -> tid:int -> weight:float -> unit
   val set_weight : handle -> tid:int -> weight:float -> unit

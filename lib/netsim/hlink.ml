@@ -81,7 +81,7 @@ let rec start_transmission t =
     let f = get t flow in
     let pkt = Queue.pop f.queue in
     let duration =
-      Stdlib.max 1 (int_of_float (Float.round (float_of_int pkt.bits /. t.rate)))
+      Int.max 1 (int_of_float (Float.round (float_of_int pkt.bits /. t.rate)))
     in
     ignore
       (Sim.after t.sim duration (fun () ->

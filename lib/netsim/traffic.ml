@@ -3,7 +3,7 @@ open Hsfq_engine
 let cbr link ~sim ~flow ~rate_bps ~packet_bits ?(start = Time.zero) () =
   if rate_bps <= 0. || packet_bits <= 0 then invalid_arg "Traffic.cbr: bad parameters";
   let gap =
-    Stdlib.max 1 (int_of_float (Float.round (float_of_int packet_bits /. rate_bps *. 1e9)))
+    Int.max 1 (int_of_float (Float.round (float_of_int packet_bits /. rate_bps *. 1e9)))
   in
   let rec send () =
     Link.enqueue link ~flow ~bits:packet_bits;
@@ -17,10 +17,10 @@ let poisson link ~sim ~flow ~rate_bps ~mean_packet_bits ~seed ?(start = Time.zer
   let rng = Prng.create seed in
   let pkts_per_sec = rate_bps /. float_of_int mean_packet_bits in
   let next_gap () =
-    Stdlib.max 1 (Time.of_seconds_float (Prng.exponential rng ~mean:(1. /. pkts_per_sec)))
+    Int.max 1 (Time.of_seconds_float (Prng.exponential rng ~mean:(1. /. pkts_per_sec)))
   in
   let next_size () =
-    Stdlib.max 64
+    Int.max 64
       (int_of_float (Prng.exponential rng ~mean:(float_of_int mean_packet_bits)))
   in
   let rec send () =
@@ -54,7 +54,7 @@ let video link ~sim ~flow ~params ~bits_per_cost_ms ?(start = Time.zero) () =
   in
   let rec send () =
     let cost_ms = Time.to_milliseconds_float (next_cost ()) in
-    let bits = Stdlib.max 64 (int_of_float (cost_ms *. bits_per_cost_ms)) in
+    let bits = Int.max 64 (int_of_float (cost_ms *. bits_per_cost_ms)) in
     Link.enqueue link ~flow ~bits;
     ignore (Sim.after sim frame_gap send)
   in

@@ -103,7 +103,8 @@ let rec promote t =
   | _ -> ()
 
 let select t =
-  assert (t.in_service = None);
+  if Option.is_some t.in_service then
+    invalid_arg "select: a selection is already in service";
   if t.nrun = 0 then None
   else begin
     promote t;

@@ -105,7 +105,8 @@ let valid t ~id ~gen =
 
 let select t ~now =
   advance_vt t now;
-  assert (t.in_service = None);
+  if Option.is_some t.in_service then
+    invalid_arg "select: a selection is already in service";
   match Keyed_heap.pop t.queue ~valid:(valid t) with
   | None -> None
   | Some (_, id) ->

@@ -52,7 +52,8 @@ let set_weight t ~id ~weight =
   c.weight <- weight
 
 let select t =
-  assert (t.in_service = None);
+  if Option.is_some t.in_service then
+    invalid_arg "select: a selection is already in service";
   if t.nrun = 0 then None
   else begin
     (* Draw a ticket in [0, total_weight) and walk the runnable clients.

@@ -54,7 +54,8 @@ let valid t ~id ~gen =
   | Some c -> c.runnable && c.gen = gen
 
 let select t =
-  assert (t.in_service = None);
+  if Option.is_some t.in_service then
+    invalid_arg "select: a selection is already in service";
   match Keyed_heap.pop t.ring ~valid:(valid t) with
   | None -> None
   | Some (_, id) ->

@@ -24,10 +24,10 @@ let default_table () =
       in
       {
         quantum_ticks;
-        tqexp = Stdlib.max 0 (p - 10);
-        slpret = Stdlib.min (nlevels - 1) (50 + (p / 6));
+        tqexp = Int.max 0 (p - 10);
+        slpret = Int.min (nlevels - 1) (50 + (p / 6));
         maxwait_s = 0;
-        lwait = Stdlib.min (nlevels - 1) (50 + (p / 6));
+        lwait = Int.min (nlevels - 1) (50 + (p / 6));
       })
 
 let table_of_string text =
@@ -226,7 +226,8 @@ let rec pop_valid t d =
     | _ -> pop_valid t d)
 
 let select t =
-  assert (t.in_service = None);
+  if Option.is_some t.in_service then
+    invalid_arg "select: a selection is already in service";
   let rec try_rt = function
     | [] -> None
     | prio :: rest ->
@@ -292,8 +293,8 @@ let charge t ~id ~service ~runnable =
 let quantum_of t ~id =
   let s = get t id in
   match s.cls with
-  | Rt _ -> Stdlib.max t.tick (t.rt_quantum - s.used)
-  | Ts -> Stdlib.max t.tick (ts_quantum t s - s.used)
+  | Rt _ -> Int.max t.tick (t.rt_quantum - s.used)
+  | Ts -> Int.max t.tick (ts_quantum t s - s.used)
 
 let preempts t ~waker ~running =
   let w = get t waker and r = get t running in

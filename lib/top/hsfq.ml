@@ -8,6 +8,7 @@
     {- {!Kernel}, {!Leaf_sched}, {!Workload_intf}, {!Interrupt_source} —
        the simulated OS}
     {- {!Sched} — the related-work scheduler zoo}
+    {- {!Check} — runtime invariant audit (the paper's rules, executable)}
     {- {!Workload} — Dhrystone / MPEG / periodic / interactive / on-off}
     {- {!Qos} — admission control and the Figure 4 manager}
     {- {!Analysis} — the paper's bounds, executable}
@@ -32,6 +33,7 @@ module Workload_intf = Hsfq_kernel.Workload_intf
 module Interrupt_source = Hsfq_kernel.Interrupt_source
 
 module Sched = Hsfq_sched
+module Check = Hsfq_check
 module Workload = Hsfq_workload
 module Qos = Hsfq_qos
 module Analysis = Hsfq_analysis

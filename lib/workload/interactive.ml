@@ -26,7 +26,7 @@ let make ~mean_think ~burst ?(seed = 11) ?requests () =
       else begin
         state := `Thinking;
         let think =
-          Stdlib.max 1
+          Int.max 1
             (Time.of_seconds_float
                (Prng.exponential rng
                   ~mean:(Time.to_seconds_float mean_think)))

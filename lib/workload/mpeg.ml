@@ -60,7 +60,7 @@ let cost_stream p =
     let cost =
       float_of_int p.base_cost *. type_factor p ty *. !complexity *. noise
     in
-    Stdlib.max 1 (int_of_float cost)
+    Int.max 1 (int_of_float cost)
 
 let trace p ~frames =
   let stream = cost_stream p in

@@ -10,7 +10,7 @@ let make ~on ~off ?(jitter = false) ?(seed = 19) () =
   let rng = Prng.create seed in
   let draw mean =
     if jitter then
-      Stdlib.max 1
+      Int.max 1
         (Time.of_seconds_float (Prng.exponential rng ~mean:(Time.to_seconds_float mean)))
     else mean
   in

@@ -92,6 +92,22 @@ let test_blocked_retains_finish_tag () =
   Sfq.arrive s ~id:1 ~weight:1.;
   check_float "resume start tag" 20. (Sfq.start_tag s ~id:1)
 
+let test_blocked_arrive_applies_weight () =
+  (* Regression: a blocked client returning with a different weight must
+     be charged at that weight from its next quantum on (its class may
+     have been re-administered while it slept). *)
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.arrive s ~id:2 ~weight:1.;
+  step s ~expect:1 ~l:10. ~runnable:false;
+  step s ~expect:2 ~l:10.;
+  Sfq.arrive s ~id:1 ~weight:4.;
+  check_float "new weight recorded" 4. (Sfq.weight s ~id:1);
+  (* Both re-queued at S=10; FIFO favours 2 (enqueued first). *)
+  step s ~expect:2 ~l:10.;
+  step s ~expect:1 ~l:8.;
+  check_float "charged at the new weight" 12. (Sfq.finish_tag s ~id:1)
+
 let test_arrive_idempotent () =
   let s = Sfq.create () in
   Sfq.arrive s ~id:1 ~weight:1.;
@@ -145,6 +161,23 @@ let test_depart_forgets () =
   Alcotest.check_raises "tags of unknown client"
     (Invalid_argument "Sfq: unknown client 1") (fun () ->
       ignore (Sfq.start_tag s ~id:1))
+
+let test_reincarnated_id_ignores_stale_entries () =
+  (* Regression (found by the lib/check audit): depart leaves stale heap
+     entries; a new client reusing the id must not validate them, or a
+     select would pop an obsolete start tag and drag v(t) backwards. *)
+  let s = Sfq.create () in
+  Sfq.arrive s ~id:1 ~weight:1.;
+  Sfq.arrive s ~id:2 ~weight:1.;
+  (* 1 blocks mid-queue; 2 departs while its S=0 entry is queued. *)
+  step s ~expect:1 ~l:2. ~runnable:false;
+  Sfq.depart s ~id:2;
+  (* System idle: v = max finish = 2. Id 2 is reborn, S = max(2, 0). *)
+  Sfq.arrive s ~id:2 ~weight:1.;
+  check_float "reborn start tag" 2. (Sfq.start_tag s ~id:2);
+  step s ~expect:2 ~l:2.;
+  check_float "vt never regressed" 2. (Sfq.virtual_time s);
+  check_float "finish from the fresh tag" 4. (Sfq.finish_tag s ~id:2)
 
 let test_invalid_arguments () =
   let s = Sfq.create () in
@@ -397,6 +430,85 @@ let prop_donations_revocable =
           | None -> false)
         [ (); (); (); (); (); (); (); () ])
 
+(* Theorem 1 proper: the unfairness bound holds over EVERY window in
+   which both clients are continuously backlogged, not just prefixes
+   from time zero. Cumulative work is sampled at each quantum boundary
+   and all O(n^2) windows are checked against l1/w1 + l2/w2 (with the
+   per-client maximum quantum relaxed to the global maximum, which only
+   loosens the bound). *)
+let prop_windowed_unfairness =
+  QCheck.Test.make
+    ~name:"Theorem 1 bound over every backlogged window" ~count:100
+    QCheck.(
+      pair
+        (pair (float_range 0.5 4.) (float_range 0.5 4.))
+        (list_of_size (Gen.int_range 20 150) (float_range 0.1 2.)))
+    (fun ((w1, w2), quanta) ->
+      let s = Sfq.create () in
+      Sfq.arrive s ~id:1 ~weight:w1;
+      Sfq.arrive s ~id:2 ~weight:w2;
+      let work = [| 0.; 0. |] in
+      let lmax = ref 0. in
+      let hist = ref [ (0., 0.) ] in
+      List.iter
+        (fun l ->
+          (match Sfq.select s with
+          | Some id ->
+            Sfq.charge s ~id ~service:l ~runnable:true;
+            work.(id - 1) <- work.(id - 1) +. l;
+            if l > !lmax then lmax := l
+          | None -> ());
+          hist := (work.(0), work.(1)) :: !hist)
+        quanta;
+      let pts = Array.of_list (List.rev !hist) in
+      let bound = (!lmax /. w1) +. (!lmax /. w2) +. 1e-9 in
+      let n = Array.length pts in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a1, a2 = pts.(i) and b1, b2 = pts.(j) in
+          let lag = Float.abs (((b1 -. a1) /. w1) -. ((b2 -. a2) /. w2)) in
+          if lag > bound then ok := false
+        done
+      done;
+      !ok)
+
+(* Random legal op sequences through the audited wrapper: whatever the
+   interleaving of arrivals, quanta, blocking, weight changes, donation
+   and departure, the lib/check invariants must never fire. *)
+let prop_audited_never_trips =
+  QCheck.Test.make
+    ~name:"random op sequences trip no lib/check invariant" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 120) (pair (int_bound 5) (int_bound 6)))
+    (fun ops ->
+      let module A = Hsfq_check.Audited.Sfq in
+      let sink = Hsfq_check.Invariant.create () in
+      let s = A.create ~node:"prop" ~sink () in
+      List.iter
+        (fun (id, op) ->
+          let id = id + 1 in
+          match op with
+          | 0 | 1 -> A.arrive s ~id ~weight:(float_of_int (1 + (id mod 4)))
+          | 2 -> (
+            match A.select s with
+            | Some sel ->
+              A.charge s ~id:sel
+                ~service:(float_of_int (1 + id))
+                ~runnable:(id mod 2 = 0)
+            | None -> ())
+          | 3 -> if A.mem s ~id then A.block s ~id
+          | 4 -> if A.mem s ~id then A.set_weight s ~id ~weight:(float_of_int id)
+          | 5 ->
+            let r = 1 + (id mod 6) in
+            if r <> id && A.mem s ~id && A.mem s ~id:r then
+              A.donate s ~blocked:id ~recipient:r
+          | _ ->
+            A.revoke s ~blocked:id;
+            if A.mem s ~id then A.depart s ~id)
+        ops;
+      Hsfq_check.Invariant.count sink = 0)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "sfq"
@@ -409,6 +521,8 @@ let () =
           Alcotest.test_case "vt while idle" `Quick test_virtual_time_idle;
           Alcotest.test_case "blocked client keeps finish tag" `Quick
             test_blocked_retains_finish_tag;
+          Alcotest.test_case "blocked arrive applies the new weight" `Quick
+            test_blocked_arrive_applies_weight;
           Alcotest.test_case "arrive is idempotent" `Quick test_arrive_idempotent;
           Alcotest.test_case "weight change affects future quanta" `Quick
             test_weight_change_future_only;
@@ -418,6 +532,8 @@ let () =
             test_depart_in_service_rejected;
           Alcotest.test_case "block of non-in-service client" `Quick test_block_api;
           Alcotest.test_case "depart forgets the client" `Quick test_depart_forgets;
+          Alcotest.test_case "reincarnated id ignores stale queue entries" `Quick
+            test_reincarnated_id_ignores_stale_entries;
           Alcotest.test_case "invalid arguments rejected" `Quick
             test_invalid_arguments;
           Alcotest.test_case "weight donation (priority inversion)" `Quick
@@ -438,5 +554,7 @@ let () =
           qc prop_virtual_time_monotonic;
           qc prop_work_conserving;
           qc prop_donations_revocable;
+          qc prop_windowed_unfairness;
+          qc prop_audited_never_trips;
         ] );
     ]
