@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench figures examples clean
+.PHONY: all build test lint check bench bench-smoke figures examples clean
 
 all: build
 
@@ -15,12 +15,17 @@ test:
 lint:
 	dune build @lint
 
-# Tier-1 verification: strict build + tests + lint.
-check: build test lint
+# Tier-1 verification: strict build + tests + lint + bench smoke pass.
+check: build test lint bench-smoke
 
 # Full harness: regenerate every paper figure + micro-benchmarks.
 bench:
 	dune exec bench/main.exe
+
+# Figures + one iteration of every micro-benchmark, no Bechamel quota:
+# catches hot-path crashes/invariant trips without paying for timings.
+bench-smoke:
+	dune build @bench-smoke
 
 # Figure data as CSV under ./figures (for plotting).
 figures:

@@ -7,7 +7,21 @@
    Part 2 micro-benchmarks the scheduling primitives with Bechamel: the
    paper's §3 cost claim is that an SFQ scheduling decision is one
    addition + one division + an O(log Q) priority-queue operation, and
-   that hierarchical dispatch adds only a per-level constant. *)
+   that hierarchical dispatch adds only a per-level constant.  Each
+   benchmark is measured against two instances — wall-clock nanoseconds
+   and minor-heap words allocated — because the flat-array hot path
+   claims *both* a small constant and steady-state allocation freedom.
+
+   Results are emitted to BENCH_sched.json (override with --json PATH)
+   so the performance trajectory is recorded across PRs; the before/after
+   history lives in doc/PERFORMANCE.md.
+
+   Modes:
+     (default)      figures + Bechamel micro-benchmarks + JSON
+     --smoke        figures + one hand-rolled iteration of every micro
+                    benchmark (no Bechamel quota) — the @bench-smoke
+                    dune alias runs this so the harness cannot bit-rot
+     --micro-only   skip Part 1 (used when iterating on the hot path) *)
 
 open Bechamel
 open Toolkit
@@ -43,35 +57,45 @@ let regenerate_figures () =
 (* Part 2: micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Each micro benchmark is a named closure over a preloaded scheduler, so
+   the Bechamel run and the --smoke sanity pass exercise the same code. *)
+type micro = { group : string; name : string; fn : unit -> unit }
+
 (* One select+charge scheduling decision on a fair scheduler preloaded
    with [q] runnable clients. *)
-let fair_decision_test (module F : Sched.Scheduler_intf.FAIR) ~q =
+let fair_decision_micro (module F : Sched.Scheduler_intf.FAIR) ~group ~q =
   let t = F.create ~rng:(Engine.Prng.create 5) () in
   for i = 0 to q - 1 do
     F.arrive t ~id:i ~weight:(1. +. float_of_int (i mod 4))
   done;
-  Test.make
-    ~name:(Printf.sprintf "%s/Q=%d" F.algorithm_name q)
-    (Staged.stage (fun () ->
-         match F.select t with
-         | Some id -> F.charge t ~id ~service:2e7 ~runnable:true
-         | None -> assert false))
+  {
+    group;
+    name = Printf.sprintf "%s/Q=%d" F.algorithm_name q;
+    fn =
+      (fun () ->
+        match F.select t with
+        | Some id -> F.charge t ~id ~service:2e7 ~runnable:true
+        | None -> invalid_arg "bench: empty ready set");
+  }
 
-let sfq_decision_test ~q =
+let sfq_decision_micro ~q =
   let t = Core.Sfq.create () in
   for i = 0 to q - 1 do
     Core.Sfq.arrive t ~id:i ~weight:(1. +. float_of_int (i mod 4))
   done;
-  Test.make
-    ~name:(Printf.sprintf "sfq/Q=%d" q)
-    (Staged.stage (fun () ->
-         match Core.Sfq.select t with
-         | Some id -> Core.Sfq.charge t ~id ~service:2e7 ~runnable:true
-         | None -> assert false))
+  {
+    group = "sfq-scaling";
+    name = Printf.sprintf "sfq/Q=%d" q;
+    fn =
+      (fun () ->
+        match Core.Sfq.select t with
+        | Some id -> Core.Sfq.charge t ~id ~service:2e7 ~runnable:true
+        | None -> invalid_arg "bench: empty ready set");
+  }
 
 (* A full hierarchical scheduling decision (schedule + update) through a
    chain of [depth] intermediate nodes with a fan-out of 4 leaves. *)
-let hierarchy_decision_test ~depth =
+let hierarchy_decision_micro ~depth =
   let h = Core.Hierarchy.create () in
   let parent = ref Core.Hierarchy.root in
   for i = 1 to depth do
@@ -92,30 +116,38 @@ let hierarchy_decision_test ~depth =
         | Error e -> invalid_arg e)
   in
   List.iter (fun leaf -> Core.Hierarchy.setrun h leaf) leaves;
-  Test.make
-    ~name:(Printf.sprintf "hierarchy/depth=%d" depth)
-    (Staged.stage (fun () ->
-         match Core.Hierarchy.schedule h with
-         | Some leaf -> Core.Hierarchy.update h ~leaf ~service:2e7 ~leaf_runnable:true
-         | None -> assert false))
+  {
+    group = "hierarchy";
+    name = Printf.sprintf "hierarchy/depth=%d" depth;
+    fn =
+      (fun () ->
+        match Core.Hierarchy.schedule h with
+        | Some leaf ->
+          Core.Hierarchy.update h ~leaf ~service:2e7 ~leaf_runnable:true
+        | None -> invalid_arg "bench: no runnable leaf");
+  }
 
 (* SVR4 TS select+charge on a preloaded run queue. *)
-let svr4_decision_test ~q =
+let svr4_decision_micro ~q =
   let t = Sched.Svr4.create () in
   for i = 0 to q - 1 do
     Sched.Svr4.add t ~id:i Sched.Svr4.Ts
   done;
-  Test.make
-    ~name:(Printf.sprintf "svr4-ts/Q=%d" q)
-    (Staged.stage (fun () ->
-         match Sched.Svr4.select t with
-         | Some id ->
-           Sched.Svr4.charge t ~id ~service:(Engine.Time.milliseconds 10) ~runnable:true
-         | None -> assert false))
+  {
+    group = "svr4";
+    name = Printf.sprintf "svr4-ts/Q=%d" q;
+    fn =
+      (fun () ->
+        match Sched.Svr4.select t with
+        | Some id ->
+          Sched.Svr4.charge t ~id ~service:(Engine.Time.milliseconds 10)
+            ~runnable:true
+        | None -> invalid_arg "bench: empty run queue");
+  }
 
 (* Runnable-propagation walk (hsfq_setrun + hsfq_sleep) through a deep
    chain — the cost the paper's Section 4 walk-up optimization bounds. *)
-let setrun_sleep_test ~depth =
+let setrun_sleep_micro ~depth =
   let h = Core.Hierarchy.create () in
   let parent = ref Core.Hierarchy.root in
   for i = 1 to depth do
@@ -134,77 +166,239 @@ let setrun_sleep_test ~depth =
     | Ok id -> id
     | Error e -> invalid_arg e
   in
-  Test.make
-    ~name:(Printf.sprintf "setrun+sleep/depth=%d" depth)
-    (Staged.stage (fun () ->
-         Core.Hierarchy.setrun h leaf;
-         Core.Hierarchy.sleep h leaf))
+  {
+    group = "propagation";
+    name = Printf.sprintf "setrun+sleep/depth=%d" depth;
+    fn =
+      (fun () ->
+        Core.Hierarchy.setrun h leaf;
+        Core.Hierarchy.sleep h leaf);
+  }
 
-let heap_test ~n =
+let heap_micro ~n =
   let rng = Engine.Prng.create 3 in
   let keys = Array.init n (fun _ -> Engine.Prng.float rng 1e9) in
-  Test.make
-    ~name:(Printf.sprintf "heap/add+pop n=%d" n)
-    (Staged.stage (fun () ->
-         let h = Engine.Heap.create ~cmp:Float.compare in
-         Array.iter (Engine.Heap.add h) keys;
-         while not (Engine.Heap.is_empty h) do
-           ignore (Engine.Heap.pop h)
-         done))
+  {
+    group = "substrate";
+    name = Printf.sprintf "heap/add+pop n=%d" n;
+    fn =
+      (fun () ->
+        let h = Engine.Heap.create ~cmp:Float.compare in
+        Array.iter (Engine.Heap.add h) keys;
+        while not (Engine.Heap.is_empty h) do
+          ignore (Engine.Heap.pop h)
+        done);
+  }
 
-let micro_tests () =
+(* Event-queue churn: schedule, cancel half, drain — the simulation
+   substrate every experiment runs on. *)
+let event_queue_micro ~n =
+  {
+    group = "substrate";
+    name = Printf.sprintf "event-queue/churn n=%d" n;
+    fn =
+      (fun () ->
+        let q = Engine.Event_queue.create () in
+        let handles =
+          Array.init n (fun i ->
+              Engine.Event_queue.schedule q ~at:((i * 7919) mod n) ignore)
+        in
+        Array.iteri
+          (fun i h -> if i mod 2 = 0 then Engine.Event_queue.cancel h)
+          handles;
+        let rec drain () =
+          match Engine.Event_queue.pop q with
+          | Some _ -> drain ()
+          | None -> ()
+        in
+        drain ());
+  }
+
+let all_micros () =
   let qs = [ 2; 8; 32; 128; 512 ] in
-  let sfq_scaling = List.map (fun q -> sfq_decision_test ~q) qs in
-  let baselines =
-    List.map
-      (fun m -> fair_decision_test m ~q:8)
-      [
-        (module Sched.Wfq : Sched.Scheduler_intf.FAIR);
-        (module Sched.Scfq);
-        (module Sched.Fqs);
-        (module Sched.Stride);
-        (module Sched.Eevdf);
-        (module Sched.Lottery);
-        (module Sched.Round_robin);
-      ]
-  in
-  let hier = List.map (fun d -> hierarchy_decision_test ~depth:d) [ 1; 4; 16; 32 ] in
-  Test.make_grouped ~name:"hsfq"
+  List.concat
     [
-      Test.make_grouped ~name:"sfq-scaling" sfq_scaling;
-      Test.make_grouped ~name:"baselines-Q8" baselines;
-      Test.make_grouped ~name:"hierarchy" hier;
-      Test.make_grouped ~name:"svr4" [ svr4_decision_test ~q:8 ];
-      Test.make_grouped ~name:"propagation"
-        (List.map (fun d -> setrun_sleep_test ~depth:d) [ 1; 16 ]);
-      Test.make_grouped ~name:"substrate" [ heap_test ~n:256 ];
+      List.map (fun q -> sfq_decision_micro ~q) qs;
+      List.map
+        (fun m -> fair_decision_micro m ~group:"baselines-Q8" ~q:8)
+        [
+          (module Sched.Wfq : Sched.Scheduler_intf.FAIR);
+          (module Sched.Scfq);
+          (module Sched.Fqs);
+          (module Sched.Stride);
+          (module Sched.Eevdf);
+          (module Sched.Lottery);
+          (module Sched.Round_robin);
+        ];
+      List.map (fun d -> hierarchy_decision_micro ~depth:d) [ 1; 4; 16; 32 ];
+      [ svr4_decision_micro ~q:8 ];
+      List.map (fun d -> setrun_sleep_micro ~depth:d) [ 1; 16 ];
+      [ heap_micro ~n:256; event_queue_micro ~n:256 ];
     ]
 
-let run_micro () =
-  print_endline "\n==================================================================";
-  print_endline " Part 2: micro-benchmarks (ns per scheduling decision)";
-  print_endline "==================================================================";
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
-  let instances = Instance.[ monotonic_clock ] in
-  let raw = Benchmark.all cfg instances (micro_tests ()) in
+(* ------------------------------------------------------------------ *)
+(* Bechamel run: ns/decision and minor words/decision per benchmark.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Toolkit.Instance.minor_allocated reads [Gc.quick_stat], which on
+   OCaml 5 only advances at collection boundaries — low-allocation
+   benchmarks would read as zero between minor GCs. [Gc.minor_words]
+   reads the domain's allocation pointer and is exact, so register a
+   precise measure instead. *)
+module Minor_words = struct
+  type witness = unit
+
+  let label () = "minor-words"
+  let unit () = "mnw"
+  let make () = ()
+  let load () = ()
+  let unload () = ()
+  let get () = Gc.minor_words ()
+end
+
+let minor_words : Measure.witness =
+  Measure.instance (module Minor_words) (Measure.register (module Minor_words))
+
+let micro_tests micros =
+  let groups =
+    List.fold_left
+      (fun acc m ->
+        if List.mem_assoc m.group acc then acc else acc @ [ (m.group, ()) ])
+      [] micros
+  in
+  Test.make_grouped ~name:"hsfq"
+    (List.map
+       (fun (g, ()) ->
+         Test.make_grouped ~name:g
+           (List.filter_map
+              (fun m ->
+                if String.equal m.group g then
+                  Some (Test.make ~name:m.name (Staged.stage m.fn))
+                else None)
+              micros))
+       groups)
+
+let estimates_of witness raw =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
+  let results = Analyze.all ols witness raw in
+  let out = Hashtbl.create 32 in
   Hashtbl.iter
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
-      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some [ est ] -> Hashtbl.replace out name est
       | _ -> ())
     results;
-  let t = Engine.Table.create [ "benchmark"; "ns/decision" ] in
+  out
+
+(* Strip Bechamel's group prefix ("hsfq/sfq-scaling/sfq/Q=512" ->
+   "sfq/Q=512") by removing the two leading groups; benchmark names
+   themselves may contain '/'. *)
+let display_name name =
+  match String.index_opt name '/' with
+  | None -> name
+  | Some i -> (
+    match String.index_from_opt name (i + 1) '/' with
+    | None -> name
+    | Some j -> String.sub name (j + 1) (String.length name - j - 1))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path rows =
+  let n = List.length rows in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"schema\": \"hsfq-bench/1\",\n";
+      Printf.fprintf oc "  \"unit\": { \"time\": \"ns/decision\", \"alloc\": \"minor words/decision\" },\n";
+      Printf.fprintf oc "  \"benchmarks\": {\n";
+      List.iteri
+        (fun i (name, ns, words) ->
+          Printf.fprintf oc
+            "    \"%s\": { \"ns_per_decision\": %.3f, \"minor_words_per_decision\": %.3f }%s\n"
+            (json_escape name) ns words
+            (if i = n - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  }\n";
+      Printf.fprintf oc "}\n");
+  Printf.printf "\nwrote %s (%d benchmarks)\n" path n
+
+let run_micro ~json_path =
+  print_endline "\n==================================================================";
+  print_endline " Part 2: micro-benchmarks (ns and minor words per decision)";
+  print_endline "==================================================================";
+  let micros = all_micros () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = [ Instance.monotonic_clock; minor_words ] in
+  let raw = Benchmark.all cfg instances (micro_tests micros) in
+  let ns = estimates_of Instance.monotonic_clock raw in
+  let words = estimates_of minor_words raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let w =
+        match Hashtbl.find_opt words name with Some w -> w | None -> 0.
+      in
+      rows := (display_name name, est, w) :: !rows)
+    ns;
+  let rows =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+  in
+  let t =
+    Engine.Table.create [ "benchmark"; "ns/decision"; "minor words/decision" ]
+  in
   List.iter
-    (fun (name, est) -> Engine.Table.row t [ name; Printf.sprintf "%.1f" est ])
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
-  Engine.Table.print t
+    (fun (name, est, w) ->
+      Engine.Table.row t
+        [ name; Printf.sprintf "%.1f" est; Printf.sprintf "%.2f" w ])
+    rows;
+  Engine.Table.print t;
+  write_json ~path:json_path rows
+
+(* --smoke: every micro closure must run without raising — one iteration,
+   no Bechamel quota, so `make check` can afford it. *)
+let run_smoke () =
+  print_endline "\n==================================================================";
+  print_endline " Part 2 (smoke): one iteration of every micro-benchmark";
+  print_endline "==================================================================";
+  List.iter
+    (fun m ->
+      m.fn ();
+      Printf.printf "  ok %s/%s\n" m.group m.name)
+    (all_micros ());
+  print_endline "bench smoke PASSED."
 
 let () =
-  let ok = regenerate_figures () in
-  run_micro ();
+  let smoke = ref false in
+  let micro_only = ref false in
+  let json_path = ref "BENCH_sched.json" in
+  let spec =
+    [
+      ("--smoke", Arg.Set smoke, " figures + 1-iteration micro sanity pass");
+      ("--micro-only", Arg.Set micro_only, " skip figure regeneration");
+      ( "--json",
+        Arg.Set_string json_path,
+        "PATH output path for benchmark estimates (default BENCH_sched.json)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/main.exe [--smoke] [--micro-only] [--json PATH]";
+  let ok = if !micro_only then true else regenerate_figures () in
+  if !smoke then run_smoke () else run_micro ~json_path:!json_path;
   if not ok then exit 1

@@ -21,6 +21,12 @@
      use [invalid_arg] and keep [assert] for unreachable branches.
    - [missing-mli]: a [.ml] under [lib/] without a companion [.mli] —
      every library module must state its interface.
+   - [hot-path-hashtbl]: any [Hashtbl] use inside a hot-path module
+     (the per-decision code: Sfq, Hierarchy, Keyed_heap, Event_queue,
+     Heap). Scheduling decisions must stay zero-hash; state keyed by
+     small dense ids belongs in flat arrays. A hashtable that is
+     genuinely cold (touched only by administrative operations) may be
+     whitelisted with a justification.
 
    Comments, string literals and character literals are stripped
    before matching, so documentation may mention the banned forms
@@ -215,7 +221,22 @@ let comparison_op = function
   | "=" | "<>" | "==" | "!=" | "<" | ">" | "<=" | ">=" -> true
   | _ -> false
 
+(* Modules on the per-scheduling-decision path: no hashing allowed. *)
+let hot_path_modules =
+  [
+    "lib/core/sfq.ml";
+    "lib/core/hierarchy.ml";
+    "lib/sched/keyed_heap.ml";
+    "lib/engine/event_queue.ml";
+    "lib/engine/heap.ml";
+  ]
+
+let has_prefix s pre =
+  let ls = String.length s and lp = String.length pre in
+  ls >= lp && String.equal (String.sub s 0 lp) pre
+
 let check_tokens file src =
+  let hot = List.exists (String.equal file) hot_path_modules in
   let prev = ref "" in
   let prev2 = ref "" in
   let pending_assert = ref (-1) in
@@ -261,7 +282,12 @@ let check_tokens file src =
       else if String.equal tok "Hashtbl.find" || has_suffix tok ".Hashtbl.find"
       then
         flag "hashtbl-find-exn" file line
-          "Hashtbl.find raises Not_found; use Hashtbl.find_opt");
+          "Hashtbl.find raises Not_found; use Hashtbl.find_opt";
+      if hot && (String.equal tok "Hashtbl" || has_prefix tok "Hashtbl.") then
+        flag "hot-path-hashtbl" file line
+          "hashtable in a hot-path module; scheduling decisions must stay \
+           zero-hash — use a dense array keyed by id (whitelist only \
+           genuinely cold tables, with a justification)");
     prev2 := !prev;
     prev := tok
   in

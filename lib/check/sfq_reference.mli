@@ -1,0 +1,37 @@
+(** Naive reference implementation of the paper's SFQ (§3).
+
+    Same observable semantics as the optimized {!Hsfq_core.Sfq} — tags,
+    virtual time, FIFO tie-break, blocking, weight donation — but
+    implemented the slow, obvious way: boxed per-client records in a
+    hashtable and an O(n) linear scan per selection. It exists purely as
+    a differential-testing oracle: the qcheck property in
+    [test/test_sfq.ml] drives both implementations through identical
+    random op sequences and requires tag-for-tag agreement, so any
+    representation bug in the flat-array hot path (dense tables, lazy
+    heap deletion, generation validation, compaction) shows up as a
+    divergence from this specification. Never use it for scheduling. *)
+
+type t
+
+val create : unit -> t
+val arrive : t -> id:int -> weight:float -> unit
+val depart : t -> id:int -> unit
+val set_weight : t -> id:int -> weight:float -> unit
+
+val select : t -> int option
+(** Linear scan for the least (start tag, enqueue order) runnable
+    client. Must be followed by exactly one {!charge}. *)
+
+val charge : t -> id:int -> service:float -> runnable:bool -> unit
+val block : t -> id:int -> unit
+val donate : t -> blocked:int -> recipient:int -> unit
+val revoke : t -> blocked:int -> unit
+val backlogged : t -> int
+
+val virtual_time : t -> float
+val max_finish_tag : t -> float
+val start_tag : t -> id:int -> float
+val finish_tag : t -> id:int -> float
+val effective_weight_of : t -> id:int -> float
+val is_runnable : t -> id:int -> bool
+val mem : t -> id:int -> bool

@@ -1,21 +1,29 @@
 type id = int
 type kind = Leaf | Internal
 
+(* Nodes cache a direct reference to their parent (and every internal
+   node owns its SFQ directly), so the kernel entry points — [schedule],
+   [update], [setrun], [sleep] — walk the tree through pointers: no
+   hashing, and no allocation in steady state. The id -> node map is a
+   dense array indexed by id (ids are allocated sequentially and never
+   reused), used only where the API hands us a bare id. *)
+
 type node = {
   nid : id;
   comp : string; (* path component; "" for the root *)
-  parent : id option;
+  parent : node option; (* cached direct reference; [None] for the root *)
   kind : kind;
   mutable weight : float;
   mutable runnable : bool;
   sfq : Sfq.t option; (* child scheduler; [Some] iff internal *)
   mutable children : id list; (* reverse creation order *)
-  by_name : (string, id) Hashtbl.t;
+  by_name : (string, id) Hashtbl.t; (* [parse]/[mknod] only, never hot *)
 }
 
 type t = {
-  nodes : (id, node) Hashtbl.t;
+  mutable nodes : node option array; (* slot = id; [None] after rmnod *)
   mutable next_id : id;
+  mutable count : int;
   (* Observation point for the invariant audit (Hsfq_check): called after
      every transition of an internal node's SFQ, with that node's id.
      Must not mutate the hierarchy. *)
@@ -45,27 +53,43 @@ let make_node ~nid ~comp ~parent ~weight kind =
   }
 
 let create () =
-  let t = { nodes = Hashtbl.create 64; next_id = 1; audit_hook = None } in
-  Hashtbl.replace t.nodes root
-    (make_node ~nid:root ~comp:"" ~parent:None ~weight:1.0 Internal);
-  t
+  let nodes = Array.make 16 None in
+  nodes.(root) <-
+    Some (make_node ~nid:root ~comp:"" ~parent:None ~weight:1.0 Internal);
+  { nodes; next_id = 1; count = 1; audit_hook = None }
+
+let unknown id = invalid_arg (Printf.sprintf "Hierarchy: unknown node %d" id)
 
 let node t id =
-  match Hashtbl.find_opt t.nodes id with
-  | Some n -> n
-  | None -> invalid_arg (Printf.sprintf "Hierarchy: unknown node %d" id)
+  if id >= 0 && id < Array.length t.nodes then
+    match t.nodes.(id) with Some n -> n | None -> unknown id
+  else unknown id
+
+let node_opt t id =
+  if id >= 0 && id < Array.length t.nodes then t.nodes.(id) else None
 
 let sfq_of n =
   match n.sfq with
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Hierarchy: node %d is a leaf" n.nid)
 
+let rec pow2_above c n = if c >= n then c else pow2_above (2 * c) n
+
+let grow t needed =
+  let cap = Array.length t.nodes in
+  if needed >= cap then begin
+    let ncap = pow2_above (2 * cap) (needed + 1) in
+    let nn = Array.make ncap None in
+    Array.blit t.nodes 0 nn 0 cap;
+    t.nodes <- nn
+  end
+
 let mknod t ~name ~parent ~weight kind =
   if not (Path.is_valid_component name) then
     Error (Printf.sprintf "invalid node name %S" name)
   else if weight <= 0. then Error "weight must be positive"
   else
-    match Hashtbl.find_opt t.nodes parent with
+    match node_opt t parent with
     | None -> Error (Printf.sprintf "unknown parent %d" parent)
     | Some p when p.kind = Leaf -> Error "parent is a leaf node"
     | Some p when Hashtbl.mem p.by_name name ->
@@ -73,8 +97,10 @@ let mknod t ~name ~parent ~weight kind =
     | Some p ->
       let nid = t.next_id in
       t.next_id <- t.next_id + 1;
-      let n = make_node ~nid ~comp:name ~parent:(Some parent) ~weight kind in
-      Hashtbl.replace t.nodes nid n;
+      grow t nid;
+      let n = make_node ~nid ~comp:name ~parent:(Some p) ~weight kind in
+      t.nodes.(nid) <- Some n;
+      t.count <- t.count + 1;
       p.children <- nid :: p.children;
       Hashtbl.replace p.by_name name nid;
       (* Pre-register the child in the parent's SFQ (arrive + block) so
@@ -85,14 +111,19 @@ let mknod t ~name ~parent ~weight kind =
       audited t ~node:parent ~event:"mknod";
       Ok nid
 
+let rec rev_path n acc =
+  match n.parent with None -> acc | Some p -> rev_path p (n.comp :: acc)
+
+let name_of t id = Path.join (rev_path (node t id) [])
+
 let parse t ?(hint = root) name =
   match Path.split name with
   | Error e -> Error e
   | Ok parts ->
     let start = if Path.is_absolute name then root else hint in
-    if not (Hashtbl.mem t.nodes start) then
-      Error (Printf.sprintf "unknown hint node %d" start)
-    else begin
+    (match node_opt t start with
+    | None -> Error (Printf.sprintf "unknown hint node %d" start)
+    | Some _ ->
       let rec walk cur = function
         | [] -> Ok cur
         | comp :: rest ->
@@ -100,32 +131,26 @@ let parse t ?(hint = root) name =
           (match Hashtbl.find_opt n.by_name comp with
           | Some child -> walk child rest
           | None ->
-            Error (Printf.sprintf "no node %S under %s" comp (Path.join [])))
+            (* Report the prefix actually walked so far, not the root. *)
+            Error
+              (Printf.sprintf "no node %S under %s" comp (name_of t cur)))
       in
-      walk start parts
-    end
-
-let rec full_path t id acc =
-  let n = node t id in
-  match n.parent with
-  | None -> acc
-  | Some p -> full_path t p (n.comp :: acc)
-
-let name_of t id = Path.join (full_path t id [])
+      walk start parts)
 
 let rmnod t id =
   if id = root then Error "cannot remove the root"
   else
-    match Hashtbl.find_opt t.nodes id with
+    match node_opt t id with
     | None -> Error (Printf.sprintf "unknown node %d" id)
     | Some n when n.children <> [] -> Error "node has children"
     | Some n when n.runnable -> Error "node is runnable"
     | Some n ->
-      let p = node t (Option.get n.parent) in
+      let p = match n.parent with Some p -> p | None -> assert false in
       Sfq.depart (sfq_of p) ~id;
       p.children <- List.filter (fun c -> c <> id) p.children;
       Hashtbl.remove p.by_name n.comp;
-      Hashtbl.remove t.nodes id;
+      t.nodes.(id) <- None;
+      t.count <- t.count - 1;
       audited t ~node:p.nid ~event:"rmnod";
       Ok ()
 
@@ -134,19 +159,25 @@ let set_weight t id w =
   if id = root then invalid_arg "Hierarchy.set_weight: root has no weight";
   let n = node t id in
   n.weight <- w;
-  let p = node t (Option.get n.parent) in
+  let p = match n.parent with Some p -> p | None -> assert false in
   Sfq.set_weight (sfq_of p) ~id ~weight:w;
   audited t ~node:p.nid ~event:"set_weight"
 
 let weight t id = (node t id).weight
 let kind_of t id = (node t id).kind
-let parent_of t id = (node t id).parent
+
+let parent_of t id =
+  match (node t id).parent with None -> None | Some p -> Some p.nid
+
 let children_of t id = List.rev (node t id).children
 
-let rec depth t id =
-  match (node t id).parent with None -> 0 | Some p -> 1 + depth t p
+let depth t id =
+  let rec up n acc =
+    match n.parent with None -> acc | Some p -> up p (acc + 1)
+  in
+  up (node t id) 0
 
-let node_count t = Hashtbl.length t.nodes
+let node_count t = t.count
 
 let render_tree t =
   let buf = Buffer.create 256 in
@@ -163,6 +194,7 @@ let render_tree t =
   in
   walk root 0;
   Buffer.contents buf
+
 let is_runnable t id = (node t id).runnable
 let virtual_time_of t id = Sfq.virtual_time (sfq_of (node t id))
 let internal_sfq t id = sfq_of (node t id)
@@ -171,96 +203,88 @@ let start_tag_of t id =
   let n = node t id in
   match n.parent with
   | None -> invalid_arg "Hierarchy.start_tag_of: root has no tags"
-  | Some p -> Sfq.start_tag (sfq_of (node t p)) ~id
+  | Some p -> Sfq.start_tag (sfq_of p) ~id
 
 (* Mark [id] runnable and walk up, stopping at the first ancestor that was
    already runnable (paper: hsfq_setrun). *)
 let setrun t id =
-  let rec up id =
-    let n = node t id in
+  let rec up n =
     if not n.runnable then begin
       n.runnable <- true;
       match n.parent with
       | None -> ()
-      | Some pid ->
-        Sfq.arrive (sfq_of (node t pid)) ~id ~weight:n.weight;
-        audited t ~node:pid ~event:"setrun";
-        up pid
+      | Some p ->
+        Sfq.arrive (sfq_of p) ~id:n.nid ~weight:n.weight;
+        audited t ~node:p.nid ~event:"setrun";
+        up p
     end
   in
-  up id
+  up (node t id)
 
 (* Mark [id] un-runnable and walk up while ancestors lose their last
    runnable child (paper: hsfq_sleep). Only for nodes not in service. *)
 let sleep t id =
-  let rec up id =
-    let n = node t id in
+  let rec up n =
     if n.runnable then begin
       n.runnable <- false;
       match n.parent with
       | None -> ()
-      | Some pid ->
-        let p = node t pid in
-        Sfq.block (sfq_of p) ~id;
-        audited t ~node:pid ~event:"sleep";
-        if Sfq.backlogged (sfq_of p) = 0 then up pid
+      | Some p ->
+        let psfq = sfq_of p in
+        Sfq.block psfq ~id:n.nid;
+        audited t ~node:p.nid ~event:"sleep";
+        if Sfq.backlogged psfq = 0 then up p
     end
   in
-  up id
+  up (node t id)
 
 let schedule t =
-  let rec descend id =
-    let n = node t id in
+  let rec descend n =
     match n.kind with
-    | Leaf -> Some id
+    | Leaf -> n.nid
     | Internal ->
-      (match Sfq.select (sfq_of n) with
-      | Some child ->
-        audited t ~node:id ~event:"select";
-        descend child
-      | None -> None)
+      let child = Sfq.select_id (sfq_of n) in
+      if child >= 0 then begin
+        audited t ~node:n.nid ~event:"select";
+        descend (node t child)
+      end
+      else
+        (* A runnable node with no selectable child violates the
+           runnability invariant. *)
+        assert false
   in
   let r = node t root in
-  if not r.runnable then None
-  else begin
-    match descend root with
-    | Some leaf -> Some leaf
-    | None ->
-      (* Runnable root with no selectable leaf violates the runnability
-         invariant. *)
-      assert false
-  end
+  if not r.runnable then None else Some (descend r)
 
 let update t ~leaf ~service ~leaf_runnable =
   if service < 0. then invalid_arg "Hierarchy.update: negative service";
-  let rec up id runnable_child =
-    let n = node t id in
+  let rec up n runnable_child =
     n.runnable <- runnable_child;
     match n.parent with
     | None -> ()
-    | Some pid ->
-      let psfq = sfq_of (node t pid) in
-      Sfq.charge psfq ~id ~service ~runnable:runnable_child;
-      audited t ~node:pid ~event:"charge";
-      up pid (Sfq.backlogged psfq > 0)
+    | Some p ->
+      let psfq = sfq_of p in
+      Sfq.charge psfq ~id:n.nid ~service ~runnable:runnable_child;
+      audited t ~node:p.nid ~event:"charge";
+      up p (Sfq.backlogged psfq > 0)
   in
-  up leaf leaf_runnable
+  up (node t leaf) leaf_runnable
 
 let donate t ~blocked ~recipient =
   if blocked = recipient then Error "donate: self-donation"
   else
-  let b = node t blocked and r = node t recipient in
-  match (b.parent, r.parent) with
-  | Some pb, Some pr when pb = pr ->
-    Sfq.donate (sfq_of (node t pb)) ~blocked ~recipient;
-    audited t ~node:pb ~event:"donate";
-    Ok ()
-  | _ -> Error "donate: nodes must be siblings"
+    let b = node t blocked and r = node t recipient in
+    match (b.parent, r.parent) with
+    | Some pb, Some pr when pb.nid = pr.nid ->
+      Sfq.donate (sfq_of pb) ~blocked ~recipient;
+      audited t ~node:pb.nid ~event:"donate";
+      Ok ()
+    | _ -> Error "donate: nodes must be siblings"
 
 let revoke t ~blocked =
   let b = node t blocked in
   match b.parent with
   | None -> ()
-  | Some pid ->
-    Sfq.revoke (sfq_of (node t pid)) ~blocked;
-    audited t ~node:pid ~event:"revoke"
+  | Some p ->
+    Sfq.revoke (sfq_of p) ~blocked;
+    audited t ~node:p.nid ~event:"revoke"

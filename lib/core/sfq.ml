@@ -2,23 +2,53 @@ open Hsfq_sched
 
 let algorithm_name = "sfq"
 
-type client = {
-  mutable weight : float;
-  mutable donated : float; (* extra weight received via [donate] *)
-  mutable start : float; (* start tag of the pending/in-service quantum *)
-  mutable finish : float; (* finish tag of the last completed quantum *)
-  mutable runnable : bool;
-  mutable gen : int;
-}
+(* Client state lives in a dense table of parallel arrays indexed by the
+   client id, not in a hashtable of records: a scheduling decision
+   (select + charge) then touches only flat float/int/byte arrays — no
+   hashing, and no allocation, because float-array writes store unboxed
+   (a [mutable float] field in a mixed record would box on every write).
+
+   Ids are expected to be small non-negative integers (thread ids and
+   hierarchy node ids are allocated densely by their owners); the table
+   grows by doubling to cover the largest id seen. *)
+
+(* Per-client lifecycle, one byte per client. *)
+let st_absent = '\000'
+let st_blocked = '\001'
+let st_runnable = '\002'
+
+(* Growing to cover an id costs O(id) words, so an absurd id would be a
+   memory bomb; 2^22 clients is far beyond any simulated workload. *)
+let max_clients = 1 lsl 22
+
+(* Stdlib.Float.max handles NaN and, being a cross-module call, boxes
+   its arguments and result. Tags and weights are never NaN here
+   (weights > 0, service >= 0 are enforced), so a bare compare — which
+   inlines with no boxing — is equivalent on every reachable input. *)
+let[@inline always] fmax (a : float) (b : float) = if a < b then b else a
 
 type t = {
-  clients : (int, client) Hashtbl.t;
+  mutable cap : int; (* length of every per-client array *)
+  mutable weightv : float array; (* administered weight *)
+  mutable donatedv : float array; (* extra weight received via [donate] *)
+  mutable startv : float array; (* start tag of the pending quantum *)
+  mutable finishv : float array; (* finish tag of the last quantum *)
+  mutable statev : Bytes.t; (* st_absent / st_blocked / st_runnable *)
+  mutable genv : int array; (* generation of the queued heap entry *)
   queue : Keyed_heap.t; (* runnable clients keyed by start tag *)
-  donations : (int, int * float) Hashtbl.t; (* blocked -> (recipient, amount) *)
-  mutable vt : float;
-  mutable max_finish : float;
+  kstage : float array;
+      (* the queue's staging cell: enqueue writes the key here and calls
+         [push_staged] — passing the key as a float argument would box
+         it (no cross-module inlining under dune's dev -opaque) *)
+  klast : float array;
+      (* the queue's last-popped-key cell, read directly for the same
+         reason ([last_key]'s float return would box) *)
+  donations : (int, int * float) Hashtbl.t;
+      (* blocked -> (recipient, amount); cold path only (donate / revoke /
+         depart), never touched by a scheduling decision *)
+  clock : clock;
   mutable nrun : int;
-  mutable in_service : int option;
+  mutable in_service : int; (* -1 = none *)
   mutable next_gen : int;
       (* global generation counter for heap entries: per-client counters
          would restart at 0 when a departed id re-arrives, making the
@@ -27,175 +57,256 @@ type t = {
          and drag v(t) backwards) *)
 }
 
+(* All-float record: flat representation, so [vt <- ...] writes unboxed. *)
+and clock = { mutable vt : float; mutable max_finish : float }
+
 let create ?rng:_ ?quantum_hint:_ () =
-  {
-    clients = Hashtbl.create 16;
-    queue = Keyed_heap.create ();
-    donations = Hashtbl.create 4;
-    vt = 0.;
-    max_finish = 0.;
-    nrun = 0;
-    in_service = None;
-    next_gen = 0;
-  }
+  let queue = Keyed_heap.create () in
+  let t =
+    {
+      cap = 0;
+      weightv = [||];
+      donatedv = [||];
+      startv = [||];
+      finishv = [||];
+      statev = Bytes.empty;
+      genv = [||];
+      queue;
+      kstage = Keyed_heap.stage_cell queue;
+      klast = Keyed_heap.last_key_cell queue;
+      donations = Hashtbl.create 4;
+      clock = { vt = 0.; max_finish = 0. };
+      nrun = 0;
+      in_service = -1;
+      next_gen = 0;
+    }
+  in
+  (* One closure for the heap's compaction/pop validity checks, built
+     once: a queued entry is live iff its client is still runnable under
+     the same generation. *)
+  Keyed_heap.set_validator t.queue (fun ~id ~gen ->
+      id < t.cap
+      && Char.equal (Bytes.get t.statev id) st_runnable
+      && t.genv.(id) = gen);
+  t
 
-let get t id =
-  match Hashtbl.find_opt t.clients id with
-  | Some c -> c
-  | None -> invalid_arg (Printf.sprintf "Sfq: unknown client %d" id)
+let state t id =
+  if id >= 0 && id < t.cap then Bytes.get t.statev id else st_absent
 
-let effective_weight c = c.weight +. c.donated
+let known t id = not (Char.equal (state t id) st_absent)
+
+let check_known t id =
+  if not (known t id) then
+    invalid_arg (Printf.sprintf "Sfq: unknown client %d" id)
+
+let rec pow2_above c n = if c >= n then c else pow2_above (2 * c) n
+
+let grow t id =
+  let ncap = pow2_above (Int.max 16 (2 * t.cap)) (id + 1) in
+  let nw = Array.make ncap 0. in
+  Array.blit t.weightv 0 nw 0 t.cap;
+  t.weightv <- nw;
+  let nd = Array.make ncap 0. in
+  Array.blit t.donatedv 0 nd 0 t.cap;
+  t.donatedv <- nd;
+  let ns = Array.make ncap 0. in
+  Array.blit t.startv 0 ns 0 t.cap;
+  t.startv <- ns;
+  let nf = Array.make ncap 0. in
+  Array.blit t.finishv 0 nf 0 t.cap;
+  t.finishv <- nf;
+  let nst = Bytes.make ncap st_absent in
+  Bytes.blit t.statev 0 nst 0 t.cap;
+  t.statev <- nst;
+  let ng = Array.make ncap 0 in
+  Array.blit t.genv 0 ng 0 t.cap;
+  t.genv <- ng;
+  t.cap <- ncap
+
+let[@inline always] effective_weight t id = t.weightv.(id) +. t.donatedv.(id)
 
 let fresh_gen t =
   let g = t.next_gen in
   t.next_gen <- t.next_gen + 1;
   g
 
-let enqueue t id c =
-  c.gen <- fresh_gen t;
-  Keyed_heap.push t.queue ~key:c.start ~gen:c.gen ~id
+let enqueue t id =
+  let g = fresh_gen t in
+  t.genv.(id) <- g;
+  t.kstage.(0) <- t.startv.(id);
+  Keyed_heap.push_staged t.queue ~gen:g ~id
 
 (* Idle transition: "when the CPU is idle, v(t) is set to the maximum of
    finish tags assigned to any thread" (§3, rule 2). *)
-let note_idle t = if t.nrun = 0 then t.vt <- Float.max t.vt t.max_finish
+let note_idle t =
+  if t.nrun = 0 then t.clock.vt <- fmax t.clock.vt t.clock.max_finish
 
 let arrive t ~id ~weight =
   if weight <= 0. then invalid_arg "Sfq.arrive: weight <= 0";
-  match Hashtbl.find_opt t.clients id with
-  | Some c ->
-    if not c.runnable then begin
-      (* A blocked client may return with a different share (e.g. its
-         class weight was re-administered while it slept): the new weight
-         governs the quantum it is about to request. *)
-      c.weight <- weight;
-      c.runnable <- true;
-      c.start <- Float.max t.vt c.finish;
-      t.nrun <- t.nrun + 1;
-      enqueue t id c
-    end
-  | None ->
-    let c =
-      {
-        weight;
-        donated = 0.;
-        (* F_0 = 0, so S_1 = max(v(t), 0) — rule 1 with j = 1. *)
-        start = Float.max t.vt 0.;
-        finish = 0.;
-        runnable = true;
-        gen = 0;
-      }
-    in
-    Hashtbl.replace t.clients id c;
+  if id < 0 then invalid_arg "Sfq.arrive: negative client id";
+  if id >= max_clients then
+    invalid_arg
+      (Printf.sprintf "Sfq.arrive: client id %d exceeds the dense-table limit"
+         id);
+  if id >= t.cap then grow t id;
+  let st = Bytes.get t.statev id in
+  if Char.equal st st_absent then begin
+    t.weightv.(id) <- weight;
+    t.donatedv.(id) <- 0.;
+    (* F_0 = 0, so S_1 = max(v(t), 0) — rule 1 with j = 1. *)
+    t.startv.(id) <- fmax t.clock.vt 0.;
+    t.finishv.(id) <- 0.;
+    Bytes.set t.statev id st_runnable;
     t.nrun <- t.nrun + 1;
-    enqueue t id c
+    enqueue t id
+  end
+  else if Char.equal st st_blocked then begin
+    (* A blocked client may return with a different share (e.g. its
+       class weight was re-administered while it slept): the new weight
+       governs the quantum it is about to request. *)
+    t.weightv.(id) <- weight;
+    t.startv.(id) <- fmax t.clock.vt t.finishv.(id);
+    Bytes.set t.statev id st_runnable;
+    t.nrun <- t.nrun + 1;
+    enqueue t id
+  end
+(* already runnable: idempotent, the weight argument is ignored *)
 
 let revoke t ~blocked =
   match Hashtbl.find_opt t.donations blocked with
   | None -> ()
   | Some (recipient, amount) ->
-    (match Hashtbl.find_opt t.clients recipient with
-    | Some r -> r.donated <- r.donated -. amount
-    | None -> ());
+    if known t recipient then
+      t.donatedv.(recipient) <- t.donatedv.(recipient) -. amount;
     Hashtbl.remove t.donations blocked
 
 let depart t ~id =
-  match Hashtbl.find_opt t.clients id with
-  | None -> ()
-  | Some c ->
-    if t.in_service = Some id then invalid_arg "Sfq.depart: client in service";
-    if c.runnable then t.nrun <- t.nrun - 1;
-    c.gen <- fresh_gen t;
+  if known t id then begin
+    if t.in_service = id then invalid_arg "Sfq.depart: client in service";
+    if Char.equal (Bytes.get t.statev id) st_runnable then begin
+      t.nrun <- t.nrun - 1;
+      (* A runnable, not-in-service client has exactly one queued heap
+         entry; it just went stale. *)
+      Keyed_heap.invalidate t.queue
+    end;
+    t.genv.(id) <- fresh_gen t;
     (* Weight conservation: give back any weight this client donated, and
        drop donations aimed at it (their blockers re-donate on the next
        ownership change, see Kernel.unlock_mutex). *)
     revoke t ~blocked:id;
-    Hashtbl.fold (fun b (r, _) acc -> if r = id then b :: acc else acc) t.donations []
+    Hashtbl.fold
+      (fun b (r, _) acc -> if r = id then b :: acc else acc)
+      t.donations []
     |> List.iter (fun b -> revoke t ~blocked:b);
-    Hashtbl.remove t.clients id;
+    Bytes.set t.statev id st_absent;
     note_idle t
+  end
 
 let set_weight t ~id ~weight =
   if weight <= 0. then invalid_arg "Sfq.set_weight: weight <= 0";
-  (get t id).weight <- weight
+  check_known t id;
+  t.weightv.(id) <- weight
 
-let valid t ~id ~gen =
-  match Hashtbl.find_opt t.clients id with
-  | None -> false
-  | Some c -> c.runnable && c.gen = gen
-
-let select t =
-  if t.in_service <> None then
+let select_id t =
+  if t.in_service >= 0 then
     invalid_arg "Sfq.select: previous selection not yet charged";
-  match Keyed_heap.pop t.queue ~valid:(valid t) with
-  | None -> None
-  | Some (key, id) ->
-    t.in_service <- Some id;
+  let id = Keyed_heap.pop_valid t.queue in
+  if id >= 0 then begin
+    t.in_service <- id;
     (* Rule 2: while busy, v(t) is the start tag of the quantum in
        service. *)
-    t.vt <- key;
-    Some id
+    t.clock.vt <- t.klast.(0)
+  end;
+  id
+
+let select t =
+  let id = select_id t in
+  if id < 0 then None else Some id
 
 let charge t ~id ~service ~runnable =
-  (match t.in_service with
-  | Some s when s = id -> ()
-  | _ -> invalid_arg "Sfq.charge: client not in service");
+  if id < 0 || t.in_service <> id then
+    invalid_arg "Sfq.charge: client not in service";
   if service < 0. then invalid_arg "Sfq.charge: negative service";
-  t.in_service <- None;
-  let c = get t id in
-  c.finish <- c.start +. (service /. effective_weight c);
-  if c.finish > t.max_finish then t.max_finish <- c.finish;
+  t.in_service <- -1;
+  let finish = t.startv.(id) +. (service /. effective_weight t id) in
+  t.finishv.(id) <- finish;
+  if finish > t.clock.max_finish then t.clock.max_finish <- finish;
   if runnable then begin
-    c.start <- Float.max t.vt c.finish;
-    enqueue t id c
+    t.startv.(id) <- fmax t.clock.vt finish;
+    enqueue t id
   end
   else begin
-    c.runnable <- false;
-    c.gen <- fresh_gen t;
+    Bytes.set t.statev id st_blocked;
+    t.genv.(id) <- fresh_gen t;
     t.nrun <- t.nrun - 1;
     note_idle t
   end
 
 let block t ~id =
-  match Hashtbl.find_opt t.clients id with
-  | None -> ()
-  | Some c ->
-    if t.in_service = Some id then
+  if known t id then begin
+    if t.in_service = id then
       invalid_arg "Sfq.block: client in service (use charge ~runnable:false)";
-    if c.runnable then begin
-      c.runnable <- false;
-      c.gen <- fresh_gen t;
+    if Char.equal (Bytes.get t.statev id) st_runnable then begin
+      Bytes.set t.statev id st_blocked;
+      t.genv.(id) <- fresh_gen t;
       t.nrun <- t.nrun - 1;
+      Keyed_heap.invalidate t.queue;
       note_idle t
     end
+  end
 
 (* No re-key of an already-queued recipient is needed: the ready queue is
    ordered by start tags, and a start tag never depends on the weight —
    [S = max(v, F)] (rule 1). The donated weight only changes the divisor
    of the *next* finish-tag computation in [charge], matching the
    weight-change semantics ([set_weight] also takes effect on the next
-   quantum). So the queued key stays equal to [c.start] at all times. *)
+   quantum). So the queued key stays equal to the start tag at all
+   times. *)
 let donate t ~blocked ~recipient =
   if blocked = recipient then invalid_arg "Sfq.donate: self-donation";
+  check_known t blocked;
+  check_known t recipient;
   revoke t ~blocked;
-  let b = get t blocked and r = get t recipient in
-  r.donated <- r.donated +. b.weight;
-  Hashtbl.replace t.donations blocked (recipient, b.weight)
+  let amount = t.weightv.(blocked) in
+  t.donatedv.(recipient) <- t.donatedv.(recipient) +. amount;
+  Hashtbl.replace t.donations blocked (recipient, amount)
 
-let mem t ~id = Hashtbl.mem t.clients id
+let mem t ~id = known t id
 
-let start_tag t ~id = (get t id).start
-let finish_tag t ~id = (get t id).finish
-let is_runnable t ~id = (get t id).runnable
+let start_tag t ~id =
+  check_known t id;
+  t.startv.(id)
+
+let finish_tag t ~id =
+  check_known t id;
+  t.finishv.(id)
+
+let is_runnable t ~id =
+  check_known t id;
+  Char.equal (Bytes.get t.statev id) st_runnable
+
 let backlogged t = t.nrun
-let virtual_time t = t.vt
+let virtual_time t = t.clock.vt
 
 (* ------- diagnostics / audit probes (lib/check, doc/INVARIANTS.md) ------- *)
 
-let clients t = Hashtbl.fold (fun id _ acc -> id :: acc) t.clients []
-let weight t ~id = (get t id).weight
-let effective_weight_of t ~id = effective_weight (get t id)
-let in_service t = t.in_service
-let max_finish_tag t = t.max_finish
+let clients t =
+  let acc = ref [] in
+  for id = t.cap - 1 downto 0 do
+    if known t id then acc := id :: !acc
+  done;
+  !acc
+
+let weight t ~id =
+  check_known t id;
+  t.weightv.(id)
+
+let effective_weight_of t ~id =
+  check_known t id;
+  effective_weight t id
+
+let in_service t = if t.in_service < 0 then None else Some t.in_service
+let max_finish_tag t = t.clock.max_finish
 
 let donations t =
   Hashtbl.fold

@@ -25,7 +25,20 @@ include Hsfq_sched.Scheduler_intf.FAIR
     that wakes a {e blocked} client applies [~weight] as the client's new
     weight (it governs the quantum being requested). Only an arrive on an
     already-runnable client ignores the argument. [weight <= 0] is
-    rejected in every case. *)
+    rejected in every case.
+
+    Client state lives in a dense flat table indexed by id, so a
+    scheduling decision performs no hashing and no allocation. Ids must
+    be small non-negative integers (they are everywhere in this
+    repository: thread ids and hierarchy node ids are allocated densely);
+    [arrive] rejects negative ids and ids beyond the dense-table limit
+    (2^22). *)
+
+val select_id : t -> int
+(** Allocation-free [select]: the selected client's id, or [-1] iff no
+    client is runnable. Same contract otherwise — each successful
+    [select_id] must be followed by exactly one [charge]. Used by
+    {!Hierarchy.schedule} to keep hierarchical dispatch allocation-free. *)
 
 val block : t -> id:int -> unit
 (** Remove a client from the ready set without forgetting it; its finish

@@ -1,57 +1,196 @@
-type handle = { mutable cancelled : bool }
+(* Structure-of-arrays binary min-heap on (time, seq), with thunks and
+   handles in parallel arrays. Scheduling and firing an event moves array
+   cells around — the only allocation per event is its handle (required
+   by the API) — and cancellation accounting is O(1): the handle carries
+   a reference to the queue's shared counters, so [cancel] maintains
+   [live] directly instead of [pending] re-counting the heap.
 
-type entry = {
-  at : Time.t;
-  seq : int;
-  thunk : unit -> unit;
-  h : handle;
+   Cancellation stays lazy (a cancelled entry is dropped when it surfaces
+   at the top), with the same backstop as [Keyed_heap]: once cancelled
+   entries outnumber live ones in a non-trivially-sized heap, the next
+   [schedule] compacts in place and re-heapifies. *)
+
+(* Shared mutable counters; referenced by both the queue and every handle
+   so [cancel : handle -> unit] can update them without a queue arg. *)
+type stats = {
+  mutable live : int; (* scheduled, not cancelled, not fired *)
+  mutable stale : int; (* cancelled but still occupying a heap slot *)
 }
+
+let pending_st = 0
+let cancelled_st = 1
+let fired_st = 2
+
+type handle = { mutable hstate : int; stats : stats }
 
 type t = {
-  heap : entry Heap.t;
+  mutable times : int array; (* Time.t is int (nanoseconds) *)
+  mutable seqs : int array;
+  mutable thunks : (unit -> unit) array;
+  mutable handles : handle array;
+  mutable size : int;
   mutable next_seq : int;
-  mutable live : int;
+  stats : stats;
 }
 
-let entry_cmp a b =
-  let c = Time.compare a.at b.at in
-  if c <> 0 then c else Int.compare a.seq b.seq
+let dummy_stats = { live = 0; stale = 0 }
+let dummy_handle = { hstate = fired_st; stats = dummy_stats }
+let nothing () = ()
 
-let create () = { heap = Heap.create ~cmp:entry_cmp; next_seq = 0; live = 0 }
+let create () =
+  {
+    times = [||];
+    seqs = [||];
+    thunks = [||];
+    handles = [||];
+    size = 0;
+    next_seq = 0;
+    stats = { live = 0; stale = 0 };
+  }
+
+(* Strict ordering: earlier time first, FIFO (schedule order) among
+   events set for the same instant. *)
+let lt t i j =
+  let ti = t.times.(i) and tj = t.times.(j) in
+  if ti < tj then true else if tj < ti then false else t.seqs.(i) < t.seqs.(j)
+
+let swap t i j =
+  let x = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- x;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let f = t.thunks.(i) in
+  t.thunks.(i) <- t.thunks.(j);
+  t.thunks.(j) <- f;
+  let h = t.handles.(i) in
+  t.handles.(i) <- t.handles.(j);
+  t.handles.(j) <- h
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+(* No [ref] for the running minimum: a ref cell is a heap allocation per
+   recursion level, and this runs on every pop. *)
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let s = if l < t.size && lt t l i then l else i in
+  let s = if r < t.size && lt t r s then r else s in
+  if s <> i then begin
+    swap t i s;
+    sift_down t s
+  end
+
+let grow t =
+  let cap = Array.length t.times in
+  if t.size >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nt = Array.make ncap Time.zero in
+    Array.blit t.times 0 nt 0 t.size;
+    t.times <- nt;
+    let ns = Array.make ncap 0 in
+    Array.blit t.seqs 0 ns 0 t.size;
+    t.seqs <- ns;
+    let nf = Array.make ncap nothing in
+    Array.blit t.thunks 0 nf 0 t.size;
+    t.thunks <- nf;
+    let nh = Array.make ncap dummy_handle in
+    Array.blit t.handles 0 nh 0 t.size;
+    t.handles <- nh
+  end
+
+let keep t ~src ~dst =
+  if dst <> src then begin
+    t.times.(dst) <- t.times.(src);
+    t.seqs.(dst) <- t.seqs.(src);
+    t.thunks.(dst) <- t.thunks.(src);
+    t.handles.(dst) <- t.handles.(src)
+  end
+
+(* Release slot [i]'s heap references so a fired/cancelled event's thunk
+   and handle don't leak through the arrays. *)
+let release t i =
+  t.thunks.(i) <- nothing;
+  t.handles.(i) <- dummy_handle
+
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.handles.(i).hstate = pending_st then begin
+      keep t ~src:i ~dst:!j;
+      incr j
+    end
+  done;
+  for i = !j to t.size - 1 do
+    release t i
+  done;
+  t.size <- !j;
+  t.stats.stale <- 0;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let needs_compaction t = t.size >= 64 && 2 * t.stats.stale > t.size
 
 let schedule t ~at thunk =
-  let h = { cancelled = false } in
-  Heap.add t.heap { at; seq = t.next_seq; thunk; h };
+  if needs_compaction t then compact t;
+  grow t;
+  let h = { hstate = pending_st; stats = t.stats } in
+  let i = t.size in
+  t.times.(i) <- at;
+  t.seqs.(i) <- t.next_seq;
+  t.thunks.(i) <- thunk;
+  t.handles.(i) <- h;
   t.next_seq <- t.next_seq + 1;
-  t.live <- t.live + 1;
+  t.size <- t.size + 1;
+  t.stats.live <- t.stats.live + 1;
+  sift_up t i;
   h
 
 let cancel h =
-  h.cancelled <- true
+  if h.hstate = pending_st then begin
+    h.hstate <- cancelled_st;
+    h.stats.live <- h.stats.live - 1;
+    h.stats.stale <- h.stats.stale + 1
+  end
 
-let is_cancelled h = h.cancelled
+let is_cancelled h = h.hstate = cancelled_st
+
+let remove_top t =
+  t.size <- t.size - 1;
+  if t.size > 0 then keep t ~src:t.size ~dst:0;
+  release t t.size;
+  if t.size > 0 then sift_down t 0
 
 (* Drop cancelled entries sitting at the top of the heap. *)
 let rec settle t =
-  match Heap.peek t.heap with
-  | Some e when e.h.cancelled ->
-    ignore (Heap.pop t.heap);
+  if t.size > 0 && t.handles.(0).hstate <> pending_st then begin
+    if t.handles.(0).hstate = cancelled_st then
+      t.stats.stale <- t.stats.stale - 1;
+    remove_top t;
     settle t
-  | _ -> ()
+  end
 
 let next_time t =
   settle t;
-  match Heap.peek t.heap with None -> None | Some e -> Some e.at
+  if t.size = 0 then None else Some t.times.(0)
 
 let pop t =
   settle t;
-  match Heap.pop t.heap with
-  | None -> None
-  | Some e ->
-    t.live <- t.live - 1;
-    Some (e.at, e.thunk)
+  if t.size = 0 then None
+  else begin
+    let at = t.times.(0) and thunk = t.thunks.(0) and h = t.handles.(0) in
+    h.hstate <- fired_st;
+    t.stats.live <- t.stats.live - 1;
+    remove_top t;
+    Some (at, thunk)
+  end
 
-let pending t =
-  (* [live] counts scheduled-minus-popped; subtract cancelled-but-unpopped
-     by walking the heap (diagnostic use only, so O(n) is acceptable). *)
-  Heap.fold t.heap ~init:0 ~f:(fun acc e -> if e.h.cancelled then acc else acc + 1)
+let pending t = t.stats.live

@@ -28,4 +28,4 @@ val pop : t -> (Time.t * (unit -> unit)) option
 (** Remove and return the earliest pending event. *)
 
 val pending : t -> int
-(** Number of live (non-cancelled) events. *)
+(** Number of live (non-cancelled, not yet fired) events. O(1). *)

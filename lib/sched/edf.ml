@@ -6,7 +6,16 @@ type t = {
   mutable nlive : int;
 }
 
-let create () = { jobs = Hashtbl.create 16; queue = Keyed_heap.create (); nlive = 0 }
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> false
+  | Some j -> j.live && j.gen = gen
+
+let create () =
+  let t = { jobs = Hashtbl.create 16; queue = Keyed_heap.create (); nlive = 0 } in
+  (* Enables compaction once stale entries dominate (see Keyed_heap). *)
+  Keyed_heap.set_validator t.queue (valid t);
+  t
 
 let release t ~id ~deadline =
   let j =
@@ -17,7 +26,10 @@ let release t ~id ~deadline =
       Hashtbl.replace t.jobs id j;
       j
   in
-  if not j.live then t.nlive <- t.nlive + 1;
+  if not j.live then t.nlive <- t.nlive + 1
+  else
+    (* Re-release while still queued: the previous entry goes stale. *)
+    Keyed_heap.invalidate t.queue;
   j.live <- true;
   j.deadline <- deadline;
   j.gen <- j.gen + 1;
@@ -30,13 +42,9 @@ let withdraw t ~id =
     if j.live then begin
       j.live <- false;
       j.gen <- j.gen + 1;
-      t.nlive <- t.nlive - 1
+      t.nlive <- t.nlive - 1;
+      Keyed_heap.invalidate t.queue
     end
-
-let valid t ~id ~gen =
-  match Hashtbl.find_opt t.jobs id with
-  | None -> false
-  | Some j -> j.live && j.gen = gen
 
 let select t =
   match Keyed_heap.peek t.queue ~valid:(valid t) with

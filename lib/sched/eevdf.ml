@@ -23,17 +23,28 @@ type t = {
   q : float;
 }
 
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
 let create ?rng:_ ?(quantum_hint = 1e7) () =
-  {
-    clients = Hashtbl.create 16;
-    eligible = Keyed_heap.create ();
-    future = Keyed_heap.create ();
-    vt = 0.;
-    total_weight = 0.;
-    nrun = 0;
-    in_service = None;
-    q = quantum_hint;
-  }
+  let t =
+    {
+      clients = Hashtbl.create 16;
+      eligible = Keyed_heap.create ();
+      future = Keyed_heap.create ();
+      vt = 0.;
+      total_weight = 0.;
+      nrun = 0;
+      in_service = None;
+      q = quantum_hint;
+    }
+  in
+  (* Enables compaction once stale entries dominate (see Keyed_heap). *)
+  Keyed_heap.set_validator t.eligible (valid t);
+  Keyed_heap.set_validator t.future (valid t);
+  t
 
 let get t id =
   match Hashtbl.find_opt t.clients id with
@@ -74,7 +85,15 @@ let depart t ~id =
   | Some c ->
     if c.runnable then begin
       t.total_weight <- t.total_weight -. c.weight;
-      t.nrun <- t.nrun - 1
+      t.nrun <- t.nrun - 1;
+      (* The queued entry just went stale. Guessing which queue holds it
+         from [ve] is only a heuristic (promotion may have moved it);
+         a misattributed report merely shifts when each queue compacts. *)
+      (match t.in_service with
+      | Some s when s = id -> ()
+      | _ ->
+        if c.ve <= t.vt then Keyed_heap.invalidate t.eligible
+        else Keyed_heap.invalidate t.future)
     end;
     c.gen <- c.gen + 1;
     Hashtbl.remove t.clients id
@@ -84,11 +103,6 @@ let set_weight t ~id ~weight =
   let c = get t id in
   if c.runnable then t.total_weight <- t.total_weight -. c.weight +. weight;
   c.weight <- weight
-
-let valid t ~id ~gen =
-  match Hashtbl.find_opt t.clients id with
-  | None -> false
-  | Some c -> c.runnable && c.gen = gen
 
 (* Move every future client whose eligible time has been reached into the
    eligible queue. *)

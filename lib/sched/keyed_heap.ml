@@ -1,33 +1,227 @@
-open Hsfq_engine
+(* Structure-of-arrays binary min-heap on (key, seq), carrying (gen, id).
 
-type entry = { key : float; seq : int; gen : int; id : int }
+   The hot path of every scheduler in this repository is push/pop on this
+   heap, so the representation is four parallel flat arrays instead of a
+   boxed entry record behind a polymorphic comparator: a push writes one
+   float and three ints, a pop swaps array cells — no per-entry
+   allocation, no closure call per comparison.
 
-type t = { heap : entry Heap.t; mutable next_seq : int }
+   Lazy deletion needs a backstop: a client that cycles
+   arrive -> block without ever being selected leaves one stale entry per
+   cycle and never pops, so the heap would grow without bound. Callers
+   report invalidations ([invalidate]) and install a validity predicate
+   ([set_validator]); when more than half the entries are stale the next
+   push compacts the arrays in place and re-heapifies (O(n), amortized
+   O(1) per stale entry). *)
 
-let entry_cmp a b =
-  let c = Float.compare a.key b.key in
-  if c <> 0 then c else Int.compare a.seq b.seq
+type t = {
+  mutable keys : float array;
+  mutable seqs : int array;
+  mutable gens : int array;
+  mutable ids : int array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable stale : int; (* caller-reported invalidations still queued *)
+  mutable validator : (id:int -> gen:int -> bool) option;
+  last : float array; (* key of the most recently popped entry *)
+  stage : float array; (* key for the next [push_staged] *)
+}
 
-let create () = { heap = Heap.create ~cmp:entry_cmp; next_seq = 0 }
+let create () =
+  {
+    keys = [||];
+    seqs = [||];
+    gens = [||];
+    ids = [||];
+    size = 0;
+    next_seq = 0;
+    stale = 0;
+    validator = None;
+    last = [| 0. |];
+    stage = [| 0. |];
+  }
+
+let set_validator t valid = t.validator <- Some valid
+let invalidate t = t.stale <- t.stale + 1
+
+let size t = t.size
+let last_key t = t.last.(0)
+
+(* The cells are exposed directly because, under dune's dev profile
+   (-opaque, no cross-module inlining), a [float]-returning or
+   [float]-taking function boxes at every call. Callers on a
+   per-decision path cache the array once and read/write [.(0)] — an
+   unboxed float-array access. *)
+let last_key_cell t = t.last
+let stage_cell t = t.stage
+
+let clear t =
+  t.size <- 0;
+  t.stale <- 0
+
+(* Strict ordering: smaller key first, FIFO (push sequence) among ties. *)
+let lt t i j =
+  let ki = t.keys.(i) and kj = t.keys.(j) in
+  if ki < kj then true else if kj < ki then false else t.seqs.(i) < t.seqs.(j)
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let s = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- s;
+  let g = t.gens.(i) in
+  t.gens.(i) <- t.gens.(j);
+  t.gens.(j) <- g;
+  let d = t.ids.(i) in
+  t.ids.(i) <- t.ids.(j);
+  t.ids.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+(* No [ref] for the running minimum: a ref cell is a heap allocation per
+   recursion level, and this runs on every pop. *)
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let s = if l < t.size && lt t l i then l else i in
+  let s = if r < t.size && lt t r s then r else s in
+  if s <> i then begin
+    swap t i s;
+    sift_down t s
+  end
+
+let grow t =
+  let cap = Array.length t.keys in
+  if t.size >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nk = Array.make ncap 0. in
+    Array.blit t.keys 0 nk 0 t.size;
+    t.keys <- nk;
+    let ns = Array.make ncap 0 in
+    Array.blit t.seqs 0 ns 0 t.size;
+    t.seqs <- ns;
+    let ng = Array.make ncap 0 in
+    Array.blit t.gens 0 ng 0 t.size;
+    t.gens <- ng;
+    let ni = Array.make ncap 0 in
+    Array.blit t.ids 0 ni 0 t.size;
+    t.ids <- ni
+  end
+
+(* Keep [i]'s entry, moving it down to slot [j] (j <= i). *)
+let keep t ~src ~dst =
+  if dst <> src then begin
+    t.keys.(dst) <- t.keys.(src);
+    t.seqs.(dst) <- t.seqs.(src);
+    t.gens.(dst) <- t.gens.(src);
+    t.ids.(dst) <- t.ids.(src)
+  end
+
+let compact t =
+  match t.validator with
+  | None -> ()
+  | Some valid ->
+    let j = ref 0 in
+    for i = 0 to t.size - 1 do
+      if valid ~id:t.ids.(i) ~gen:t.gens.(i) then begin
+        keep t ~src:i ~dst:!j;
+        incr j
+      end
+    done;
+    t.size <- !j;
+    t.stale <- 0;
+    (* Floyd heapify: O(n). *)
+    for i = (t.size / 2) - 1 downto 0 do
+      sift_down t i
+    done
+
+(* Compaction pays off only once stale entries dominate and the heap is
+   big enough for the O(n) rebuild to beat their log-factor drag. *)
+let needs_compaction t = t.size >= 64 && 2 * t.stale > t.size
+
+(* The key is read from [t.stage] rather than passed as an argument:
+   under -opaque a float argument to a cross-module call is boxed. *)
+let push_staged t ~gen ~id =
+  if needs_compaction t then compact t;
+  grow t;
+  let i = t.size in
+  t.keys.(i) <- t.stage.(0);
+  t.seqs.(i) <- t.next_seq;
+  t.gens.(i) <- gen;
+  t.ids.(i) <- id;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t i
 
 let push t ~key ~gen ~id =
-  Heap.add t.heap { key; seq = t.next_seq; gen; id };
-  t.next_seq <- t.next_seq + 1
+  t.stage.(0) <- key;
+  push_staged t ~gen ~id
+
+let remove_top t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    keep t ~src:t.size ~dst:0;
+    sift_down t 0
+  end
+
+let dropped_stale t = if t.stale > 0 then t.stale <- t.stale - 1
 
 let rec pop t ~valid =
-  match Heap.pop t.heap with
-  | None -> None
-  | Some e -> if valid ~id:e.id ~gen:e.gen then Some (e.key, e.id) else pop t ~valid
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) and gen = t.gens.(0) and id = t.ids.(0) in
+    remove_top t;
+    if valid ~id ~gen then begin
+      t.last.(0) <- key;
+      Some (key, id)
+    end
+    else begin
+      dropped_stale t;
+      pop t ~valid
+    end
+  end
 
 let rec peek t ~valid =
-  match Heap.peek t.heap with
-  | None -> None
-  | Some e ->
-    if valid ~id:e.id ~gen:e.gen then Some (e.key, e.id)
+  if t.size = 0 then None
+  else
+    let gen = t.gens.(0) and id = t.ids.(0) in
+    if valid ~id ~gen then Some (t.keys.(0), id)
     else begin
-      ignore (Heap.pop t.heap);
+      remove_top t;
+      dropped_stale t;
       peek t ~valid
     end
 
-let clear t = Heap.clear t.heap
-let size t = Heap.length t.heap
+(* Allocation-free variants against the installed validator: the popped
+   entry's id (or -1 on empty), its key readable via [last_key]. The
+   loop is a top-level function — a local [let rec] would allocate a
+   closure over [t] and [valid] on every call. *)
+let rec pop_valid_loop t valid =
+  if t.size = 0 then -1
+  else begin
+    let key = t.keys.(0) and gen = t.gens.(0) and id = t.ids.(0) in
+    remove_top t;
+    if valid ~id ~gen then begin
+      t.last.(0) <- key;
+      id
+    end
+    else begin
+      dropped_stale t;
+      pop_valid_loop t valid
+    end
+  end
+
+let pop_valid t =
+  match t.validator with
+  | None -> invalid_arg "Keyed_heap.pop_valid: no validator installed"
+  | Some valid -> pop_valid_loop t valid
+
+let stale_bound t = t.stale

@@ -1,17 +1,46 @@
-(** Min-heap of (key, id) with lazy invalidation.
+(** Min-heap of (key, id) with lazy invalidation, on flat arrays.
 
     Scheduler ready-queues re-key clients every quantum. Instead of
     supporting decrease-key we push a fresh entry with a per-client
     generation number and discard stale entries when they surface, which
     keeps each operation O(log n) amortized. Ties on the key break by
     insertion order (FIFO), making runs deterministic — the paper's
-    "ties are broken arbitrarily". *)
+    "ties are broken arbitrarily".
+
+    The representation is structure-of-arrays ([float array] keys plus
+    [int array] seq/gen/id): pushes and pops allocate nothing in steady
+    state, and comparisons are inlined rather than dispatched through a
+    closure.
+
+    Lazy deletion alone lets a heap grow without bound (a client cycling
+    arrive -> block without being selected adds one stale entry per
+    cycle). Callers that bump generations while an entry may still be
+    queued should report it with {!invalidate} and install a validity
+    predicate with {!set_validator}; once more than half the queued
+    entries are stale (and the heap is non-trivially sized), the next
+    {!push} compacts in place and re-heapifies. *)
 
 type t
 
 val create : unit -> t
 
+val set_validator : t -> (id:int -> gen:int -> bool) -> unit
+(** Install the predicate used by compaction and {!pop_valid}. Typically
+    a single closure built once at scheduler creation. *)
+
+val invalidate : t -> unit
+(** Note that one queued entry just went stale (its client's generation
+    was bumped while queued). Drives the compaction trigger; harmless to
+    under-report (compaction then triggers later, via pops). *)
+
 val push : t -> key:float -> gen:int -> id:int -> unit
+
+val push_staged : t -> gen:int -> id:int -> unit
+(** [push] with the key read from {!stage_cell}. Under dune's dev
+    profile ([-opaque], no cross-module inlining) a [float] argument to
+    a cross-module call is boxed; writing the key into the staging cell
+    (an unboxed float-array store) and calling this instead keeps a
+    re-enqueue allocation-free. *)
 
 val pop : t -> valid:(id:int -> gen:int -> bool) -> (float * int) option
 (** Pop the minimum-key entry for which [valid] holds, discarding stale
@@ -21,6 +50,33 @@ val peek : t -> valid:(id:int -> gen:int -> bool) -> (float * int) option
 (** Like [pop] but leaves the entry in place (stale prefix is still
     discarded). *)
 
+val pop_valid : t -> int
+(** Allocation-free [pop] against the installed validator: returns the
+    popped id, or [-1] if no valid entry remains. The popped entry's key
+    is readable via {!last_key}. Raises [Invalid_argument] if no
+    validator was installed. *)
+
+val last_key : t -> float
+(** Key of the most recently popped entry ({!pop} or {!pop_valid}). *)
+
+val last_key_cell : t -> float array
+(** One-cell buffer backing {!last_key}. Hot-path callers cache it once
+    and read [.(0)] directly: a [float]-returning cross-module call
+    boxes its result under [-opaque], an array read does not. *)
+
+val stage_cell : t -> float array
+(** One-cell buffer read by {!push_staged}; write the key to [.(0)]
+    before calling. *)
+
+val compact : t -> unit
+(** Drop every stale entry now (needs an installed validator; no-op
+    otherwise). Normally triggered automatically by {!push}. *)
+
 val clear : t -> unit
+
 val size : t -> int
 (** Includes stale entries. *)
+
+val stale_bound : t -> int
+(** Number of reported-but-still-queued invalidations (diagnostics; an
+    upper bound on how early compaction will trigger). *)

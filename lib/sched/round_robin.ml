@@ -10,14 +10,24 @@ type t = {
   mutable in_service : int option;
 }
 
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
 let create ?rng:_ ?quantum_hint:_ () =
-  {
-    clients = Hashtbl.create 16;
-    ring = Keyed_heap.create ();
-    next_key = 0.;
-    nrun = 0;
-    in_service = None;
-  }
+  let t =
+    {
+      clients = Hashtbl.create 16;
+      ring = Keyed_heap.create ();
+      next_key = 0.;
+      nrun = 0;
+      in_service = None;
+    }
+  in
+  (* Enables compaction once stale entries dominate (see Keyed_heap). *)
+  Keyed_heap.set_validator t.ring (valid t);
+  t
 
 let enqueue t id c =
   c.gen <- c.gen + 1;
@@ -42,16 +52,16 @@ let depart t ~id =
   match Hashtbl.find_opt t.clients id with
   | None -> ()
   | Some c ->
-    if c.runnable then t.nrun <- t.nrun - 1;
+    if c.runnable then begin
+      t.nrun <- t.nrun - 1;
+      (match t.in_service with
+      | Some s when s = id -> ()
+      | _ -> Keyed_heap.invalidate t.ring)
+    end;
     c.gen <- c.gen + 1;
     Hashtbl.remove t.clients id
 
 let set_weight _ ~id:_ ~weight:_ = ()
-
-let valid t ~id ~gen =
-  match Hashtbl.find_opt t.clients id with
-  | None -> false
-  | Some c -> c.runnable && c.gen = gen
 
 let select t =
   if Option.is_some t.in_service then

@@ -17,15 +17,25 @@ type t = {
   lhat : float;
 }
 
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
 let create ?rng:_ ?(quantum_hint = 1e7) () =
-  {
-    clients = Hashtbl.create 16;
-    queue = Keyed_heap.create ();
-    vt = 0.;
-    nrun = 0;
-    in_service = None;
-    lhat = quantum_hint;
-  }
+  let t =
+    {
+      clients = Hashtbl.create 16;
+      queue = Keyed_heap.create ();
+      vt = 0.;
+      nrun = 0;
+      in_service = None;
+      lhat = quantum_hint;
+    }
+  in
+  (* Enables compaction once stale entries dominate (see Keyed_heap). *)
+  Keyed_heap.set_validator t.queue (valid t);
+  t
 
 let get t id =
   match Hashtbl.find_opt t.clients id with
@@ -56,18 +66,18 @@ let depart t ~id =
   match Hashtbl.find_opt t.clients id with
   | None -> ()
   | Some c ->
-    if c.runnable then t.nrun <- t.nrun - 1;
+    if c.runnable then begin
+      t.nrun <- t.nrun - 1;
+      (match t.in_service with
+      | Some s when s = id -> ()
+      | _ -> Keyed_heap.invalidate t.queue)
+    end;
     c.gen <- c.gen + 1;
     Hashtbl.remove t.clients id
 
 let set_weight t ~id ~weight =
   if weight <= 0. then invalid_arg "Scfq.set_weight: weight <= 0";
   (get t id).weight <- weight
-
-let valid t ~id ~gen =
-  match Hashtbl.find_opt t.clients id with
-  | None -> false
-  | Some c -> c.runnable && c.gen = gen
 
 let select t =
   if Option.is_some t.in_service then

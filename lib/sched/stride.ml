@@ -17,15 +17,25 @@ type t = {
   mutable in_service : int option;
 }
 
+let valid t ~id ~gen =
+  match Hashtbl.find_opt t.clients id with
+  | None -> false
+  | Some c -> c.runnable && c.gen = gen
+
 let create ?rng:_ ?quantum_hint:_ () =
-  {
-    clients = Hashtbl.create 16;
-    queue = Keyed_heap.create ();
-    global_pass = 0.;
-    total_weight = 0.;
-    nrun = 0;
-    in_service = None;
-  }
+  let t =
+    {
+      clients = Hashtbl.create 16;
+      queue = Keyed_heap.create ();
+      global_pass = 0.;
+      total_weight = 0.;
+      nrun = 0;
+      in_service = None;
+    }
+  in
+  (* Enables compaction once stale entries dominate (see Keyed_heap). *)
+  Keyed_heap.set_validator t.queue (valid t);
+  t
 
 let get t id =
   match Hashtbl.find_opt t.clients id with
@@ -62,7 +72,10 @@ let depart t ~id =
   | Some c ->
     if c.runnable then begin
       t.total_weight <- t.total_weight -. c.weight;
-      t.nrun <- t.nrun - 1
+      t.nrun <- t.nrun - 1;
+      (match t.in_service with
+      | Some s when s = id -> ()
+      | _ -> Keyed_heap.invalidate t.queue)
     end;
     c.gen <- c.gen + 1;
     Hashtbl.remove t.clients id
@@ -72,11 +85,6 @@ let set_weight t ~id ~weight =
   let c = get t id in
   if c.runnable then t.total_weight <- t.total_weight -. c.weight +. weight;
   c.weight <- weight
-
-let valid t ~id ~gen =
-  match Hashtbl.find_opt t.clients id with
-  | None -> false
-  | Some c -> c.runnable && c.gen = gen
 
 let select t =
   if Option.is_some t.in_service then

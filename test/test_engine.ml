@@ -202,6 +202,36 @@ let test_event_queue_cancel () =
   check_bool "nothing fires" true (Event_queue.pop q = None && not !fired);
   check_int "pending" 0 (Event_queue.pending q)
 
+(* [pending] is O(1) bookkeeping, not a heap walk: it must track
+   schedule/cancel/pop exactly, including cancellations deep in the heap,
+   double cancels, and cancels after the event already fired. *)
+let test_event_queue_live_accounting () =
+  let q = Event_queue.create () in
+  let hs =
+    Array.init 100 (fun i -> Event_queue.schedule q ~at:i (fun () -> ()))
+  in
+  check_int "all live" 100 (Event_queue.pending q);
+  Array.iteri (fun i h -> if i mod 2 = 1 then Event_queue.cancel h) hs;
+  check_int "half live after deep cancels" 50 (Event_queue.pending q);
+  Event_queue.cancel hs.(1);
+  check_int "cancel is idempotent" 50 (Event_queue.pending q);
+  let fired = ref 0 in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some _ ->
+      incr fired;
+      check_int "pending tracks pops" (50 - !fired) (Event_queue.pending q);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "every live event fired" 50 !fired;
+  let h = Event_queue.schedule q ~at:0 (fun () -> ()) in
+  check_bool "fires" true (Event_queue.pop q <> None);
+  Event_queue.cancel h;
+  check_int "cancel after firing is a no-op" 0 (Event_queue.pending q);
+  check_bool "handle not reported cancelled" false (Event_queue.is_cancelled h)
+
 (* ----------------------------- Sim ---------------------------------- *)
 
 let test_sim_ordering_and_clock () =
@@ -461,6 +491,8 @@ let () =
           Alcotest.test_case "time order" `Quick test_event_queue_order;
           Alcotest.test_case "FIFO ties" `Quick test_event_queue_fifo_ties;
           Alcotest.test_case "cancellation" `Quick test_event_queue_cancel;
+          Alcotest.test_case "O(1) live accounting" `Quick
+            test_event_queue_live_accounting;
           qc prop_event_queue_total_order;
         ] );
       ( "sim",

@@ -600,6 +600,37 @@ let test_keyed_heap_fifo_ties () =
   (match Keyed_heap.pop h ~valid with Some (_, 10) -> () | _ -> Alcotest.fail "pop 10");
   match Keyed_heap.pop h ~valid with Some (_, 20) -> () | _ -> Alcotest.fail "pop 20"
 
+(* Lazy deletion's backstop: once reported-stale entries outnumber live
+   ones (and the heap is non-trivially sized), the next push compacts in
+   place — and the survivors still pop in exact key order. *)
+let test_keyed_heap_compaction () =
+  let h = Keyed_heap.create () in
+  let live = Hashtbl.create 16 in
+  Keyed_heap.set_validator h (fun ~id ~gen ->
+      Hashtbl.find_opt live id = Some gen);
+  for id = 0 to 99 do
+    Hashtbl.replace live id 1;
+    Keyed_heap.push h ~key:(float_of_int id) ~gen:1 ~id
+  done;
+  check_int "size before" 100 (Keyed_heap.size h);
+  for id = 10 to 99 do
+    Hashtbl.remove live id;
+    Keyed_heap.invalidate h
+  done;
+  check_int "stale reported" 90 (Keyed_heap.stale_bound h);
+  (* 2 * 90 > 100 and size >= 64: this push must compact first. *)
+  Hashtbl.replace live 100 1;
+  Keyed_heap.push h ~key:100.5 ~gen:1 ~id:100;
+  check_int "compacted down to live entries" 11 (Keyed_heap.size h);
+  check_int "stale counter reset" 0 (Keyed_heap.stale_bound h);
+  for id = 0 to 9 do
+    check_int "pop order after compaction" id (Keyed_heap.pop_valid h);
+    Alcotest.(check (float 1e-9))
+      "popped key" (float_of_int id) (Keyed_heap.last_key h)
+  done;
+  check_int "late pushed entry survives" 100 (Keyed_heap.pop_valid h);
+  check_int "drained" (-1) (Keyed_heap.pop_valid h)
+
 (* ------------------------ interrupt sources --------------------------- *)
 
 let test_interrupt_source_math () =
@@ -704,6 +735,8 @@ let () =
           Alcotest.test_case "lazy invalidation" `Quick
             test_keyed_heap_lazy_invalidation;
           Alcotest.test_case "FIFO ties" `Quick test_keyed_heap_fifo_ties;
+          Alcotest.test_case "stale-majority compaction" `Quick
+            test_keyed_heap_compaction;
         ] );
       ( "interrupt-source",
         [

@@ -509,6 +509,93 @@ let prop_audited_never_trips =
         ops;
       Hsfq_check.Invariant.count sink = 0)
 
+(* Differential oracle: drive the optimized implementation (under the
+   full lib/check audit) and the naive reference (lib/check/sfq_reference)
+   through identical random op sequences and require tag-for-tag
+   agreement after every step. This pins the flat-array representation
+   (dense tables, lazy heap deletion, generation validation, compaction)
+   to the paper's specification: any divergence in selection order,
+   tags, virtual time or bookkeeping fails immediately. *)
+let prop_matches_naive_reference =
+  QCheck.Test.make
+    ~name:"optimized Sfq agrees with the naive reference, tag for tag"
+    ~count:400
+    QCheck.(
+      list_of_size (Gen.int_range 1 150) (pair (int_bound 5) (int_bound 6)))
+    (fun ops ->
+      let module A = Hsfq_check.Audited.Sfq in
+      let module R = Hsfq_check.Sfq_reference in
+      let s = A.create ~node:"diff" () in
+      let r = R.create () in
+      let feq a b = Float.abs (a -. b) < 1e-9 in
+      let agree () =
+        A.backlogged s = R.backlogged r
+        && feq (A.virtual_time s) (R.virtual_time r)
+        && feq (Sfq.max_finish_tag (A.inner s)) (R.max_finish_tag r)
+        && List.for_all
+             (fun id ->
+               A.mem s ~id = R.mem r ~id
+               && (not (A.mem s ~id)
+                  || feq (A.start_tag s ~id) (R.start_tag r ~id)
+                     && feq (A.finish_tag s ~id) (R.finish_tag r ~id)
+                     && feq
+                          (Sfq.effective_weight_of (A.inner s) ~id)
+                          (R.effective_weight_of r ~id)
+                     && A.is_runnable s ~id = R.is_runnable r ~id))
+             [ 1; 2; 3; 4; 5; 6 ]
+      in
+      List.for_all
+        (fun (id, op) ->
+          let id = id + 1 in
+          let stepped =
+            match op with
+            | 0 | 1 ->
+              let weight = float_of_int (1 + (id mod 4)) in
+              A.arrive s ~id ~weight;
+              R.arrive r ~id ~weight;
+              true
+            | 2 -> (
+              match (A.select s, R.select r) with
+              | Some a, Some b when a = b ->
+                let service = float_of_int (1 + id) in
+                let runnable = id mod 2 = 0 in
+                A.charge s ~id:a ~service ~runnable;
+                R.charge r ~id:b ~service ~runnable;
+                true
+              | None, None -> true
+              | _ -> false (* selections diverged *))
+            | 3 ->
+              if A.mem s ~id then begin
+                A.block s ~id;
+                R.block r ~id
+              end;
+              true
+            | 4 ->
+              if A.mem s ~id then begin
+                let weight = float_of_int id in
+                A.set_weight s ~id ~weight;
+                R.set_weight r ~id ~weight
+              end;
+              true
+            | 5 ->
+              let recipient = 1 + (id mod 6) in
+              if recipient <> id && A.mem s ~id && A.mem s ~id:recipient then begin
+                A.donate s ~blocked:id ~recipient;
+                R.donate r ~blocked:id ~recipient
+              end;
+              true
+            | _ ->
+              A.revoke s ~blocked:id;
+              R.revoke r ~blocked:id;
+              if A.mem s ~id then begin
+                A.depart s ~id;
+                R.depart r ~id
+              end;
+              true
+          in
+          stepped && agree ())
+        ops)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "sfq"
@@ -556,5 +643,6 @@ let () =
           qc prop_donations_revocable;
           qc prop_windowed_unfairness;
           qc prop_audited_never_trips;
+          qc prop_matches_naive_reference;
         ] );
     ]
