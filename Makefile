@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench bench-smoke figures examples clean
+.PHONY: all build test lint check bench bench-smoke torture-smoke figures examples clean
 
 all: build
 
@@ -15,8 +15,9 @@ test:
 lint:
 	dune build @lint
 
-# Tier-1 verification: strict build + tests + lint + bench smoke pass.
-check: build test lint bench-smoke
+# Tier-1 verification: strict build + tests + lint + bench and torture
+# smoke passes.
+check: build test lint bench-smoke torture-smoke
 
 # Full harness: regenerate every paper figure + micro-benchmarks.
 bench:
@@ -26,6 +27,12 @@ bench:
 # catches hot-path crashes/invariant trips without paying for timings.
 bench-smoke:
 	dune build @bench-smoke
+
+# Lifecycle torture, quick slice: 8 seeds x 2000 ops with per-op
+# audits.  The full acceptance sweep is
+# `dune exec bin/hsfq_sim.exe -- torture --seeds 100 -n 50000`.
+torture-smoke:
+	dune build @torture-smoke
 
 # Figure data as CSV under ./figures (for plotting).
 figures:

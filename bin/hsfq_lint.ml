@@ -27,6 +27,12 @@
      small dense ids belongs in flat arrays. A hashtable that is
      genuinely cold (touched only by administrative operations) may be
      whitelisted with a justification.
+   - [leaf-retarget]: assignment through a [.leaf] field
+     ([th.leaf <- ...]). Retargeting a thread's leaf without migrating
+     its adapter registration and donations corrupts the donation
+     ledger; all retargeting must go through the kernel's audited
+     helper ([Kernel.retarget_leaf]), whose single assignment site is
+     whitelisted.
 
    Comments, string literals and character literals are stripped
    before matching, so documentation may mention the banned forms
@@ -239,6 +245,7 @@ let check_tokens file src =
   let hot = List.exists (String.equal file) hot_path_modules in
   let prev = ref "" in
   let prev2 = ref "" in
+  let prev_line = ref 0 in
   let pending_assert = ref (-1) in
   let handle ~line ~op tok =
     (match !pending_assert with
@@ -255,6 +262,15 @@ let check_tokens file src =
     (if String.equal !prev "nan" && comparison_op op then
        flag "nan-compare" file line
          "comparison against nan is vacuous; use Float.is_nan");
+    (* [th.leaf <- x]: the "<-" arrives as the symbol run before the
+       token following it, so the assigned field is [prev]. *)
+    (if
+       has_prefix op "<-"
+       && (has_suffix !prev ".leaf" || String.equal !prev "leaf")
+     then
+       flag "leaf-retarget" file !prev_line
+         "direct [.leaf <- ...] retarget bypasses donation migration; go \
+          through the kernel's audited retarget helper");
     (match tok with
     | "assert" -> pending_assert := line
     | "min" | "max" when not (defn_head !prev || labeled) ->
@@ -289,7 +305,8 @@ let check_tokens file src =
            zero-hash — use a dense array keyed by id (whitelist only \
            genuinely cold tables, with a justification)");
     prev2 := !prev;
-    prev := tok
+    prev := tok;
+    prev_line := line
   in
   scan src ~f:handle;
   match !pending_assert with

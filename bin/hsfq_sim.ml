@@ -166,11 +166,68 @@ let csv_cmd =
   in
   Cmd.v (Cmd.info "csv" ~doc) Term.(const csv_export $ ids $ all $ dir)
 
+(* Lifecycle torture: run the seeded stress driver, report, and shrink
+   failing traces to a minimal reproducer. *)
+let torture_run seed seeds ops audit_period do_shrink quiet =
+  let module T = Hsfq_torture.Torture in
+  let failures = ref 0 in
+  let last = seed + Int.max 0 (seeds - 1) in
+  for s = seed to last do
+    let cfg = T.config ~ops ~audit_period s in
+    let o = T.run cfg in
+    if T.failed o then begin
+      incr failures;
+      Printf.printf "seed %d: FAIL — %s\n" s (T.outcome_summary o);
+      if do_shrink then begin
+        let small = T.shrink cfg o.trace in
+        Printf.printf "shrunk to %d op(s) (from %d):\n%s\n"
+          (List.length small) (List.length o.trace)
+          (T.trace_to_string small);
+        let r = T.replay cfg small in
+        Printf.printf "replay of shrunk trace: %s\n" (T.outcome_summary r)
+      end
+      else Printf.printf "(re-run with --shrink for a minimal trace)\n"
+    end
+    else if not quiet then
+      Printf.printf "seed %d: ok (%s)\n" s (T.outcome_summary o)
+  done;
+  if !failures > 0 then begin
+    Printf.printf "%d/%d seed(s) failed\n" !failures (last - seed + 1);
+    exit 1
+  end
+
+let torture_cmd =
+  let doc =
+    "Stress the kernel's thread lifecycle with random operations, auditing \
+     the donation/runnability/virtual-time invariants after every step."
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"N" ~doc:"First PRNG seed.")
+  in
+  let seeds =
+    Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"K" ~doc:"Number of consecutive seeds to run.")
+  in
+  let ops =
+    Arg.(value & opt int 10_000 & info [ "ops"; "n" ] ~docv:"OPS" ~doc:"Operations per seed.")
+  in
+  let audit_period =
+    Arg.(value & opt int 1 & info [ "audit-period" ] ~docv:"P" ~doc:"Audit every P ops (1 = every op).")
+  in
+  let do_shrink =
+    Arg.(value & flag & info [ "shrink" ] ~doc:"Delta-debug failing traces to a minimal reproducer.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only failures.")
+  in
+  Cmd.v (Cmd.info "torture" ~doc)
+    Term.(const torture_run $ seed $ seeds $ ops $ audit_period $ do_shrink $ quiet)
+
 let main =
   let doc =
     "Reproduction of 'A Hierarchical CPU Scheduler for Multimedia Operating \
      Systems' (OSDI '96)"
   in
-  Cmd.group (Cmd.info "hsfq_sim" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; trace_cmd; tree_cmd; csv_cmd ]
+  Cmd.group (Cmd.info "hsfq_sim" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; trace_cmd; tree_cmd; csv_cmd; torture_cmd ]
 
 let () = exit (Cmd.eval main)

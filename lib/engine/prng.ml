@@ -21,6 +21,15 @@ let split t =
   let s = next_int64 t in
   { state = mix s }
 
+(* Weyl-sequence offset per stream index, then the usual finalizer:
+   stream 0, 1, 2, ... are decorrelated from each other and from the
+   parent's own output sequence, and the parent is left untouched, so a
+   consumer can re-derive any stream at any time. *)
+let stream t i =
+  if i < 0 then invalid_arg "Prng.stream: negative stream index";
+  let s = Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1))) in
+  { state = mix (Int64.logxor s 0x5851F42D4C957F2DL) }
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -13,6 +13,14 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 
+val stream : t -> int -> t
+(** [stream t i] derives the [i]-th of a family of independent generators
+    from [t]'s current state {e without} advancing [t]: equal [(t, i)]
+    give equal streams, distinct [i] give decorrelated ones. This is the
+    multi-stream split used by subsystems that must each see a stable
+    stream regardless of how much randomness their siblings consume
+    (e.g. the torture driver's structure / op / workload streams). *)
+
 val copy : t -> t
 
 val next_int64 : t -> int64

@@ -33,6 +33,10 @@ type thread = {
   mutable work_left : Time.span; (* of the current Compute segment *)
   mutable waiting_mutex : int option; (* blocked on this mutex *)
   mutable wake_handle : Event_queue.handle option;
+  mutable suspended : bool;
+  (* A wake (timer, mutex grant, I/O completion) arrived while suspended:
+     banked, delivered by [resume]. Implies [suspended]. *)
+  mutable wake_pending : bool;
   mutable last_wake : Time.t;
   mutable awaiting_dispatch : bool;
   mutable total_cpu : Time.span;
@@ -222,6 +226,8 @@ let spawn t ~name ~leaf workload =
       work_left = 0;
       waiting_mutex = None;
       wake_handle = None;
+      suspended = false;
+      wake_pending = false;
       last_wake = Time.zero;
       awaiting_dispatch = false;
       total_cpu = 0;
@@ -283,6 +289,26 @@ type disposition =
 let rec end_dispatch t d now disposition =
   let th = thread t d.d_tid in
   let lf = leaf_sched t d.d_leaf in
+  let disposition =
+    match disposition with
+    | Requeue when th.work_left = 0 ->
+      (* A preemption (or an external wake under Preempt_on_wake) landed
+         exactly on the segment boundary and beat the completion event:
+         the slice is in fact finished, so resolve the next action as
+         [complete_slice] would have instead of requeueing a thread with
+         nothing left to run. *)
+      (match next_effective_action t th now with
+      | `Work -> Requeue
+      | `Sleep at -> Block_until at
+      | `Lock_wait m ->
+        enqueue_mutex_waiter t th m;
+        Block_external
+      | `Io (dev, units) ->
+        submit_io t th dev units;
+        Block_external
+      | `Exit -> Die)
+    | other -> other
+  in
   let service = d.used in
   let runnable = match disposition with Requeue -> true | _ -> false in
   lf.charge ~now d.d_tid ~service ~runnable;
@@ -302,7 +328,9 @@ let rec end_dispatch t d now disposition =
     th.state <- Blocked;
     th.wake_handle <- Some (Sim.at t.sim at (fun () -> do_wake t th.tid))
   | Block_external -> th.state <- Blocked
-  | Die -> th.state <- Exited);
+  | Die ->
+    th.state <- Exited;
+    release_mutex_links t th);
   if not (interrupt_active t) then maybe_dispatch t
 
 (* Fetch workload actions until one takes effect. Returns the resulting
@@ -363,7 +391,11 @@ and io_complete t d tid dur =
   | None -> dev.dbusy <- false);
   let th = thread t tid in
   match th.state with
-  | Blocked -> activate t th (Sim.now t.sim)
+  | Blocked ->
+    (* The requester may have been suspended (bank the wake for [resume])
+       or killed (nothing to deliver) while the device worked. *)
+    if th.suspended then th.wake_pending <- true
+    else activate t th (Sim.now t.sim)
   | Created | Runnable | Running | Exited -> ()
 
 (* Record that [th] now waits on mutex [m]: queue it and donate its
@@ -378,12 +410,14 @@ and enqueue_mutex_waiter t th m =
     (leaf_sched t th.leaf).donate ~blocked:th.tid ~recipient:h
   | Some _ | None -> ()
 
-and unlock_mutex t th m =
-  let mu = mutex t m in
-  (match mu.holder with
-  | Some h when h = th.tid -> ()
-  | _ -> invalid_arg (Printf.sprintf "Kernel: unlock of mutex %d by non-holder" m));
-  (* Skip waiters that were killed while queued. *)
+(* Pass ownership of the mutex to its first live waiter, or leave it
+   free. The grant is eager — the grantee leaves the wait queue, its
+   donation is returned and the remaining waiters' donations re-target
+   the new holder immediately, so the ledger is consistent as soon as the
+   current event finishes — but the wakeup itself is deferred to a
+   zero-delay event so the grantee activates outside the caller's
+   dispatch bookkeeping. *)
+and hand_off t mu =
   let rec next_live () =
     match Queue.take_opt mu.waiters with
     | None -> None
@@ -394,6 +428,7 @@ and unlock_mutex t th m =
   | Some w ->
     mu.holder <- Some w;
     let wth = thread t w in
+    wth.waiting_mutex <- None;
     (leaf_sched t wth.leaf).revoke ~blocked:w;
     (* Remaining waiters now wait on the new holder: re-target their
        donations. *)
@@ -404,14 +439,40 @@ and unlock_mutex t th m =
         lf.revoke ~blocked:x;
         if xth.leaf = wth.leaf then lf.donate ~blocked:x ~recipient:w)
       mu.waiters;
-    (* Wake the grantee once the current event finishes. *)
     ignore (Sim.after t.sim 0 (fun () -> grant_wake t w))
 
+and unlock_mutex t th m =
+  let mu = mutex t m in
+  (match mu.holder with
+  | Some h when h = th.tid -> ()
+  | _ -> invalid_arg (Printf.sprintf "Kernel: unlock of mutex %d by non-holder" m));
+  hand_off t mu
+
+(* Undo a dying thread's mutex entanglements: leave any wait queue
+   (taking the donated weight back with it) and hand off every mutex it
+   still holds, so no waiter is ever stranded behind an Exited holder and
+   no donation outlives the wait that justified it. *)
+and release_mutex_links t th =
+  (match th.waiting_mutex with
+  | None -> ()
+  | Some m ->
+    let mu = mutex t m in
+    let keep = Queue.create () in
+    Queue.iter (fun w -> if w <> th.tid then Queue.push w keep) mu.waiters;
+    Queue.clear mu.waiters;
+    Queue.transfer keep mu.waiters;
+    (leaf_sched t th.leaf).revoke ~blocked:th.tid;
+    th.waiting_mutex <- None);
+  Hashtbl.iter (fun _ mu -> if mu.holder = Some th.tid then hand_off t mu) t.mutexes
+
 and grant_wake t w =
+  (* The grantee may have been killed or suspended between grant and
+     wake; only a live, un-suspended Blocked thread activates. *)
   let th = thread t w in
-  th.waiting_mutex <- None;
   match th.state with
-  | Blocked -> activate t th (Sim.now t.sim)
+  | Blocked ->
+    if th.suspended then th.wake_pending <- true
+    else activate t th (Sim.now t.sim)
   | Created | Runnable | Running | Exited -> ()
 
 (* The completion event: the current slice's overhead+work has fully
@@ -547,20 +608,29 @@ and activate t th now =
       th.state <- Blocked
     | `Exit ->
       th.state <- Exited;
-      (leaf_sched t th.leaf).detach th.tid
+      (leaf_sched t th.leaf).detach th.tid;
+      release_mutex_links t th
   end
 
 and do_wake t tid =
   let th = thread t tid in
   th.wake_handle <- None;
   match th.state with
-  | Blocked -> activate t th (Sim.now t.sim)
+  | Blocked ->
+    if th.suspended then th.wake_pending <- true
+    else activate t th (Sim.now t.sim)
   | Created | Runnable | Running | Exited -> ()
 
 let start t tid =
   let th = thread t tid in
   if th.state <> Created then invalid_arg "Kernel.start: thread already started";
-  activate t th (Sim.now t.sim)
+  if th.suspended then begin
+    (* Started while suspended: park it Blocked with the activation
+       banked; [resume] delivers it. *)
+    th.state <- Blocked;
+    th.wake_pending <- true
+  end
+  else activate t th (Sim.now t.sim)
 
 let cancel_wake th =
   match th.wake_handle with
@@ -586,9 +656,35 @@ let kill t tid =
   | Blocked -> cancel_wake th
   | Created | Exited -> ());
   if th.state <> Exited then begin
+    (* Leave wait queues / hand off held mutexes while the leaf still
+       knows the thread, so the donation revoke finds its record. *)
+    release_mutex_links t th;
     (leaf_sched t th.leaf).detach tid;
-    th.state <- Exited
+    th.state <- Exited;
+    th.suspended <- false;
+    th.wake_pending <- false
   end
+
+(* The only sanctioned [th.leaf <- _] site: every retarget must come
+   through [move], which also migrates ready-set membership and
+   donations (the source lint's [leaf-retarget] rule enforces this). *)
+let retarget_leaf th ~to_leaf = th.leaf <- to_leaf
+
+(* After a thread changes leaf, the donations aimed at it are stale:
+   every waiter on a mutex it holds must re-donate iff it now shares the
+   holder's (new) leaf. *)
+let refresh_held_donations t th =
+  Hashtbl.iter
+    (fun _ mu ->
+      if mu.holder = Some th.tid then
+        Queue.iter
+          (fun w ->
+            let wth = thread t w in
+            let lf = leaf_sched t wth.leaf in
+            lf.revoke ~blocked:w;
+            if wth.leaf = th.leaf then lf.donate ~blocked:w ~recipient:th.tid)
+          mu.waiters)
+    t.mutexes
 
 let move t tid ~to_leaf =
   let th = thread t tid in
@@ -596,30 +692,62 @@ let move t tid ~to_leaf =
   (match th.state with
   | Running -> invalid_arg "Kernel.move: cannot move the running thread"
   | Exited -> invalid_arg "Kernel.move: thread has exited"
-  | Created | Blocked ->
-    (leaf_sched t th.leaf).detach tid;
-    th.leaf <- to_leaf
-  | Runnable ->
-    detach_runnable t th;
-    (leaf_sched t th.leaf).detach tid;
-    th.leaf <- to_leaf;
-    let now = Sim.now t.sim in
-    (leaf_sched t to_leaf).enqueue ~now tid;
-    if not (Hierarchy.is_runnable t.hier to_leaf) then
-      Hierarchy.setrun t.hier to_leaf)
+  | Created | Runnable | Blocked -> ());
+  if to_leaf <> th.leaf then begin
+    (match th.state with
+    | Running | Exited -> assert false
+    | Created | Blocked ->
+      (* Detaching departs the old leaf's scheduler, which also revokes
+         any outstanding donation there — before the retarget, so the
+         revoke hits the scheduler actually holding the donated weight. *)
+      (leaf_sched t th.leaf).detach tid;
+      retarget_leaf th ~to_leaf;
+      (match th.waiting_mutex with
+      | Some m -> (
+        (* Still waiting: re-donate in the new leaf iff it is now the
+           holder's. *)
+        match (mutex t m).holder with
+        | Some h when (thread t h).leaf = to_leaf ->
+          (leaf_sched t to_leaf).donate ~blocked:tid ~recipient:h
+        | Some _ | None -> ())
+      | None -> ())
+    | Runnable ->
+      detach_runnable t th;
+      (leaf_sched t th.leaf).detach tid;
+      retarget_leaf th ~to_leaf;
+      let now = Sim.now t.sim in
+      (leaf_sched t to_leaf).enqueue ~now tid;
+      if not (Hierarchy.is_runnable t.hier to_leaf) then
+        Hierarchy.setrun t.hier to_leaf);
+    refresh_held_donations t th
+  end
 
 let suspend t tid =
   let th = thread t tid in
   match th.state with
   | Exited -> invalid_arg "Kernel.suspend: thread has exited"
-  | Blocked -> cancel_wake th (* stays blocked until [resume] *)
-  | Created -> ()
+  | _ when th.suspended -> ()
+  | Created -> th.suspended <- true
+  | Blocked -> (
+    th.suspended <- true;
+    (* A sleeper's timer is cancelled and the wake banked for [resume];
+       mutex grants and I/O completions bank theirs on arrival. *)
+    match th.wake_handle with
+    | Some h ->
+      Sim.cancel h;
+      th.wake_handle <- None;
+      th.wake_pending <- true
+    | None -> ())
   | Runnable ->
     detach_runnable t th;
-    th.state <- Blocked
+    th.state <- Blocked;
+    th.suspended <- true;
+    th.wake_pending <- true
   | Running ->
     (match t.current with
     | Some d when d.d_tid = tid ->
+      th.suspended <- true;
+      th.wake_pending <- true;
       let now = Sim.now t.sim in
       if not d.paused then pause_dispatch t d now;
       end_dispatch t d now Block_external
@@ -627,12 +755,17 @@ let suspend t tid =
 
 let resume t tid =
   let th = thread t tid in
-  match th.state with
-  | Blocked ->
-    (* A thread waiting on a mutex is only woken by the grant — resuming
-       it here would run its critical section without the lock. *)
-    if th.waiting_mutex = None then activate t th (Sim.now t.sim)
-  | Created | Runnable | Running | Exited -> ()
+  if th.suspended then begin
+    th.suspended <- false;
+    (* Deliver the banked wake, if any; a mutex or I/O waiter whose wake
+       has not arrived stays Blocked until the grant/completion. *)
+    if th.state = Blocked && th.wake_pending then begin
+      th.wake_pending <- false;
+      activate t th (Sim.now t.sim)
+    end
+  end
+
+let is_suspended t tid = (thread t tid).suspended
 
 (* Interrupts execute at the highest priority: they pause the running
    thread (whose quantum does not advance) and extend any interrupt
@@ -694,6 +827,74 @@ let interrupt_time t = t.interrupt_total
 let overhead_time t = t.overhead_total
 let work_series t = t.wseries
 let set_trace t tr = t.trace <- tr
+
+let tids t =
+  List.sort Int.compare (Hashtbl.fold (fun tid _ acc -> tid :: acc) t.threads [])
+
+let uninstall_leaf t leaf =
+  let lf = leaf_sched t leaf in
+  if lf.backlogged () > 0 then
+    invalid_arg "Kernel.uninstall_leaf: leaf still has runnable threads";
+  Hashtbl.iter
+    (fun _ th ->
+      if th.leaf = leaf && th.state <> Exited then
+        invalid_arg "Kernel.uninstall_leaf: a live thread still belongs to the leaf")
+    t.threads;
+  Hashtbl.remove t.leaves leaf
+
+let dump t =
+  let module V = Hsfq_check.Kernel_audit in
+  let conv = function
+    | Created -> V.Created
+    | Runnable -> V.Runnable
+    | Running -> V.Running
+    | Blocked -> V.Blocked
+    | Exited -> V.Exited
+  in
+  let threads =
+    List.map
+      (fun tid ->
+        let th = thread t tid in
+        {
+          V.tid;
+          tname = th.tname;
+          leaf = th.leaf;
+          state = conv th.state;
+          waiting_mutex = th.waiting_mutex;
+          has_wake_handle = th.wake_handle <> None;
+          suspended = th.suspended;
+          wake_pending = th.wake_pending;
+        })
+      (tids t)
+  in
+  let mutexes =
+    Hashtbl.fold
+      (fun mid mu acc ->
+        { V.mid; holder = mu.holder; waiters = List.of_seq (Queue.to_seq mu.waiters) }
+        :: acc)
+      t.mutexes []
+    |> List.sort (fun (a : V.mutex_view) b -> Int.compare a.mid b.mid)
+  in
+  let leaves =
+    Hashtbl.fold
+      (fun node (lf : Leaf_sched.t) acc ->
+        {
+          V.node;
+          label = Hierarchy.name_of t.hier node;
+          sfq = lf.sfq_probe;
+          backlogged = lf.backlogged ();
+          leaf_runnable = Hierarchy.is_runnable t.hier node;
+        }
+        :: acc)
+      t.leaves []
+    |> List.sort (fun (a : V.leaf_view) b -> Int.compare a.node b.node)
+  in
+  {
+    V.threads;
+    mutexes;
+    leaves;
+    running = (match t.current with Some d -> Some d.d_tid | None -> None);
+  }
 
 let render_summary t =
   let tbl =

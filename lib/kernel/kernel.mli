@@ -71,24 +71,52 @@ val start : t -> tid -> unit
     the workload begins by sleeping). *)
 
 val kill : t -> tid -> unit
-(** Terminate a non-[Running] thread immediately. *)
+(** Terminate a non-[Running] thread immediately. A killed mutex waiter
+    leaves the wait queue and takes its donated weight back; a killed
+    holder hands each held mutex to its first live waiter, so waiters are
+    never stranded behind an [Exited] holder. *)
 
 val move : t -> tid -> to_leaf:Hsfq_core.Hierarchy.id -> unit
 (** The paper's [hsfq_move]: reassign a non-[Running] thread to another
-    leaf class. The destination adapter must already know the thread. *)
+    leaf class. The destination adapter must already know the thread.
+    Donations migrate with it: an outstanding donation is revoked against
+    the old leaf before the retarget and re-established in the new leaf
+    iff waiter and holder are co-located again; donations aimed {e at}
+    the moved thread are refreshed the same way. Moving a thread to the
+    leaf it is already in is a no-op. *)
 
 val suspend : t -> tid -> unit
-(** Forcibly block a [Runnable] (not [Running]) thread until [resume] —
-    used by the dynamic-allocation experiment (Figure 11) to "put a
-    thread to sleep" externally. *)
+(** Forcibly block a thread until [resume] — used by the
+    dynamic-allocation experiment (Figure 11) to "put a thread to sleep"
+    externally. Any lifecycle state except [Exited] (and [Running], which
+    is first un-dispatched) is legal: a sleeper's timer is cancelled and
+    its wake banked; a mutex/I/O waiter stays queued, and a grant or
+    completion arriving meanwhile is banked rather than delivered.
+    Suspending an already-suspended thread is a no-op. *)
 
 val resume : t -> tid -> unit
-(** Undo [suspend]. A no-op on threads blocked waiting for a mutex: those
-    wake only when the mutex is granted. *)
+(** Undo [suspend], delivering any wake banked while suspended. A no-op
+    on threads that are not suspended — in particular a thread blocked
+    waiting for a mutex wakes only when the mutex is granted. *)
+
+val is_suspended : t -> tid -> bool
 
 val state : t -> tid -> thread_state
 val thread_name : t -> tid -> string
 val leaf_of : t -> tid -> Hsfq_core.Hierarchy.id
+
+val tids : t -> tid list
+(** All threads ever spawned (including [Exited] ones), ascending. *)
+
+val uninstall_leaf : t -> Hsfq_core.Hierarchy.id -> unit
+(** Detach the class scheduler from a leaf that no live thread belongs
+    to (counterpart of {!install_leaf}, for [hsfq_rmnod]-style churn).
+    Raises [Invalid_argument] if a live thread still references it. *)
+
+val dump : t -> Hsfq_check.Kernel_audit.view
+(** A structural snapshot — thread lifecycle states, mutex ownership and
+    wait queues, per-leaf scheduler probes — for
+    {!Hsfq_check.Kernel_audit.check}. *)
 
 (** {1 Mutexes and priority inversion (§4)} *)
 

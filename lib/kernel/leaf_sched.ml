@@ -13,6 +13,7 @@ type t = {
   second_tick : unit -> unit;
   donate : blocked:int -> recipient:int -> unit;
   revoke : blocked:int -> unit;
+  sfq_probe : Hsfq_core.Sfq.t option;
 }
 
 let no_donation =
@@ -105,6 +106,7 @@ module Sfq_leaf = struct
             guarded h
               (fun () -> R.Revoke blocked)
               (fun s -> Hsfq_core.Sfq.revoke s ~blocked));
+        sfq_probe = Some h.sfq;
       }
     in
     (lf, h)
@@ -191,6 +193,7 @@ module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) = struct
         second_tick = (fun () -> ());
         donate = fst no_donation;
         revoke = snd no_donation;
+        sfq_probe = None;
       }
     in
     (lf, h)
@@ -248,6 +251,7 @@ module Svr4_leaf = struct
         second_tick = (fun () -> Svr4.second_tick h.svr4);
         donate = fst no_donation;
         revoke = snd no_donation;
+        sfq_probe = None;
       }
     in
     (lf, h)
@@ -286,6 +290,7 @@ module Rm_leaf = struct
         second_tick = (fun () -> ());
         donate = fst no_donation;
         revoke = snd no_donation;
+        sfq_probe = None;
       }
     in
     (lf, h)
@@ -335,6 +340,7 @@ module Edf_leaf = struct
         second_tick = (fun () -> ());
         donate = fst no_donation;
         revoke = snd no_donation;
+        sfq_probe = None;
       }
     in
     (lf, h)
@@ -387,6 +393,7 @@ module Gps_leaf = struct
         second_tick = (fun () -> ());
         donate = fst no_donation;
         revoke = snd no_donation;
+        sfq_probe = None;
       }
     in
     (lf, h)
@@ -456,6 +463,7 @@ module Reserve_leaf = struct
         second_tick = (fun () -> ());
         donate = fst no_donation;
         revoke = snd no_donation;
+        sfq_probe = None;
       }
     in
     (lf, h)

@@ -36,6 +36,10 @@ type t = {
           [recipient] (§4 priority-inversion avoidance); a no-op for
           classes without weights *)
   revoke : blocked:int -> unit;  (** undo [blocked]'s donation *)
+  sfq_probe : Hsfq_core.Sfq.t option;
+      (** the underlying SFQ when the class is SFQ-backed ([None]
+          otherwise) — a read-only probe for the kernel-wide audit
+          ({!Hsfq_check.Kernel_audit} via [Kernel.dump]) *)
 }
 
 (** SFQ as a leaf scheduler (used by the paper's SFQ-1/SFQ-2 nodes and the

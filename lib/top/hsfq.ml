@@ -10,6 +10,7 @@
     {- {!Sched} — the related-work scheduler zoo}
     {- {!Check} — runtime invariant audit (the paper's rules, executable)}
     {- {!Workload} — Dhrystone / MPEG / periodic / interactive / on-off}
+    {- {!Torture} — the seeded thread-lifecycle stress driver}
     {- {!Qos} — admission control and the Figure 4 manager}
     {- {!Analysis} — the paper's bounds, executable}
     {- {!Netsim} — SFQ's original packet-link setting}
@@ -34,6 +35,7 @@ module Interrupt_source = Hsfq_kernel.Interrupt_source
 
 module Sched = Hsfq_sched
 module Check = Hsfq_check
+module Torture = Hsfq_torture.Torture
 module Workload = Hsfq_workload
 module Qos = Hsfq_qos
 module Analysis = Hsfq_analysis

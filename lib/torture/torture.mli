@@ -1,0 +1,71 @@
+(** Seeded, deterministic lifecycle torture driver.
+
+    Composes random kernel operations — spawn/start/kill/move/suspend/
+    resume, mutex lock/unlock chains (via the generated workloads), I/O
+    submissions, interrupt bursts, and [hsfq_mknod]/[rmnod] leaf churn —
+    against a randomly built hierarchy, and after every step cross-checks
+    the conserved quantities through {!Hsfq_check.Kernel_audit} and
+    {!Hsfq_check.Hierarchy_audit}: effective weight = live weight +
+    outstanding donations, the donation ledger drains to zero when all
+    mutexes are free, every Runnable thread is enqueued in exactly its
+    leaf, virtual time is monotone, and no wake timer outlives its
+    thread.
+
+    Everything is derived from one integer seed through independent
+    {!Hsfq_engine.Prng.stream}s (structure / op generation / per-thread
+    workloads), so a run is exactly reproducible and an executed trace
+    can be {!replay}ed — or any subsequence of it, which is what
+    {!shrink} exploits to minimise a failing trace. Thread and leaf
+    operands in an {!op} are {e slot indices} (creation order, taken
+    modulo the population at interpretation time), never raw kernel ids,
+    so every op list is interpretable against every intermediate state. *)
+
+open Hsfq_engine
+
+type config = {
+  seed : int;
+  ops : int;  (** operations to generate (a replay runs its whole list) *)
+  audit_period : int;  (** audit every n ops; 1 = after every op *)
+}
+
+val config : ?ops:int -> ?audit_period:int -> int -> config
+(** [config seed] — defaults: [ops = 10_000], [audit_period = 1]. *)
+
+type op =
+  | Advance of Time.span  (** run the simulation forward *)
+  | Spawn of { leaf : int; weight : int; profile : int }
+  | Start of int
+  | Kill of int
+  | Move of { th : int; leaf : int }
+  | Suspend of int
+  | Resume of int
+  | Interrupt of Time.span
+  | Mknod of { group : int; weight : int }  (** add a leaf under a group *)
+  | Rmnod of int  (** retire an (empty) leaf *)
+
+type outcome = {
+  ops_run : int;
+  trace : op list;  (** the executed ops, in order *)
+  violations : Hsfq_check.Invariant.violation list;
+  crash : string option;  (** exception escaping an op, if any *)
+}
+
+val failed : outcome -> bool
+
+val run : config -> outcome
+(** Generate-and-execute [cfg.ops] operations from [cfg.seed]. Stops at
+    the first audit failure or crash; the trace up to and including the
+    offending op is in [trace]. *)
+
+val replay : config -> op list -> outcome
+(** Re-execute an explicit op list against the same seed-derived system
+    (structure, devices, workload streams). [cfg.ops] is ignored. *)
+
+val shrink : config -> op list -> op list
+(** Greedy delta-debugging: repeatedly drop chunks of the trace while
+    {!replay} still fails, halving the chunk size down to single ops.
+    Returns the input unchanged if it does not fail. *)
+
+val op_to_string : op -> string
+val trace_to_string : op list -> string
+val outcome_summary : outcome -> string

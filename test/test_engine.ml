@@ -124,6 +124,29 @@ let test_prng_shuffle_permutes () =
   Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted;
   check_bool "actually shuffled" true (a <> Array.init 50 Fun.id)
 
+let test_prng_stream_reproducible () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let sa = Prng.stream a 3 and sb = Prng.stream b 3 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same (t, i) gives the same stream"
+      (Prng.next_int64 sa) (Prng.next_int64 sb)
+  done
+
+let test_prng_stream_independent () =
+  let t = Prng.create 42 in
+  let s0 = Prng.stream t 0 and s1 = Prng.stream t 1 in
+  check_bool "distinct indices decorrelate" false
+    (Prng.next_int64 s0 = Prng.next_int64 s1)
+
+let test_prng_stream_preserves_parent () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  (* Deriving (and consuming) streams must not advance the parent. *)
+  let s = Prng.stream a 5 in
+  ignore (Prng.next_int64 s);
+  ignore (Prng.stream a 9);
+  Alcotest.(check int64) "parent untouched" (Prng.next_int64 b)
+    (Prng.next_int64 a)
+
 (* ---------------------------- Heap ---------------------------------- *)
 
 let test_heap_basic () =
@@ -479,6 +502,12 @@ let () =
           Alcotest.test_case "bernoulli" `Quick test_prng_bernoulli;
           Alcotest.test_case "pareto and choice" `Quick test_prng_pareto_and_choice;
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "stream reproducible" `Quick
+            test_prng_stream_reproducible;
+          Alcotest.test_case "stream independence" `Quick
+            test_prng_stream_independent;
+          Alcotest.test_case "stream preserves parent" `Quick
+            test_prng_stream_preserves_parent;
         ] );
       ( "heap",
         [

@@ -895,6 +895,273 @@ let test_reserve_add_errors () =
       Leaf_sched.Reserve_leaf.add rh ~tid:1
         ~reserve:(Time.milliseconds 200, Time.milliseconds 100) ())
 
+(* ------------------- lifecycle audit & regressions ------------------- *)
+
+module C = Hsfq_check
+
+(* Run the kernel-wide audit with a raising sink; any broken
+   lifecycle/donation invariant fails the test with the evidence. *)
+let audit_clean what k =
+  let sink = C.Invariant.create ~policy:C.Invariant.Raise () in
+  let ctx = C.Kernel_audit.create sink in
+  try C.Kernel_audit.check ~event:what ctx (Kernel.dump k)
+  with C.Invariant.Violation v ->
+    Alcotest.failf "%s: %s" what (C.Invariant.violation_to_string v)
+
+(* A two-leaf system for the move/donation tests. *)
+let make2 () =
+  let sim = Sim.create () in
+  let hier = Hierarchy.create () in
+  let k = Kernel.create ~config:zero_cost_config sim hier in
+  let mk name =
+    match Hierarchy.mknod hier ~name ~parent:Hierarchy.root ~weight:1. Hierarchy.Leaf with
+    | Ok id -> id
+    | Error e -> failwith e
+  in
+  let l1 = mk "l1" and l2 = mk "l2" in
+  let lf1, sfq1 = Leaf_sched.Sfq_leaf.make () in
+  let lf2, sfq2 = Leaf_sched.Sfq_leaf.make () in
+  Kernel.install_leaf k l1 lf1;
+  Kernel.install_leaf k l2 lf2;
+  (k, l1, sfq1, l2, sfq2)
+
+(* Killing a waiter parked mid-queue must drop its queue entry and revoke
+   its donation on the spot; a stale entry used to crash the grant path
+   (donating on behalf of a departed client) when the holder released. *)
+let test_kill_middle_waiter () =
+  let k, leaf, sfq = make () in
+  let m = Kernel.create_mutex k in
+  let cs ms =
+    W.of_list [ W.Lock m; W.Compute (Time.milliseconds ms); W.Unlock m; W.Exit ]
+  in
+  let _holder = spawn_started k leaf sfq ~name:"holder" (cs 50) in
+  let w1 = spawn_started k leaf sfq ~name:"w1" (cs 5) in
+  let w2 = spawn_started k leaf sfq ~name:"w2" (cs 5) in
+  let w3 = spawn_started k leaf sfq ~name:"w3" (cs 5) in
+  Kernel.run_until k (Time.milliseconds 10);
+  check_bool "w2 queued" true (Kernel.state k w2 = Kernel.Blocked);
+  Kernel.kill k w2;
+  audit_clean "after killing the middle waiter" k;
+  let h = Leaf_sched.Sfq_leaf.sfq sfq in
+  check_bool "ledger no longer counts w2" true
+    (List.for_all (fun (b, _, _) -> b <> w2) (Sfq.donations h));
+  Kernel.run_until k (Time.milliseconds 300);
+  check_bool "surviving waiters finished" true
+    (Kernel.state k w1 = Kernel.Exited && Kernel.state k w3 = Kernel.Exited);
+  Alcotest.(check (option int)) "mutex free" None (Kernel.mutex_holder k m);
+  audit_clean "after drain" k
+
+(* Killing a holder must hand the lock to the next live waiter; it used
+   to leave the mutex owned by an Exited thread, stranding the queue. *)
+let test_kill_holder_hands_off () =
+  let k, leaf, sfq = make () in
+  let m = Kernel.create_mutex k in
+  let holder =
+    spawn_started k leaf sfq ~name:"holder"
+      (W.of_list
+         [ W.Lock m; W.Sleep_for (Time.milliseconds 100); W.Unlock m; W.Exit ])
+  in
+  let waiter =
+    spawn_started k leaf sfq ~name:"waiter"
+      (W.of_list [ W.Lock m; W.Compute (Time.milliseconds 5); W.Unlock m; W.Exit ])
+  in
+  Kernel.run_until k (Time.milliseconds 10);
+  check_bool "holder asleep with the lock" true
+    (Kernel.state k holder = Kernel.Blocked);
+  Alcotest.(check (option int)) "held" (Some holder) (Kernel.mutex_holder k m);
+  Kernel.kill k holder;
+  audit_clean "after killing the holder" k;
+  check_bool "not owned by a corpse" true (Kernel.mutex_holder k m <> Some holder);
+  Kernel.run_until k (Time.milliseconds 300);
+  check_bool "waiter got the lock and finished" true
+    (Kernel.state k waiter = Kernel.Exited);
+  Alcotest.(check (option int)) "free at the end" None (Kernel.mutex_holder k m);
+  audit_clean "after drain" k
+
+(* Moving a blocked waiter across leaves must migrate its donation: into
+   the holder's leaf it appears, out of it it is revoked. *)
+let test_move_waiter_donation_follows () =
+  let k, l1, sfq1, l2, sfq2 = make2 () in
+  let m = Kernel.create_mutex k in
+  let holder =
+    Kernel.spawn k ~name:"holder" ~leaf:l1
+      (W.of_list
+         [ W.Lock m; W.Compute (Time.milliseconds 300); W.Unlock m; W.Exit ])
+  in
+  Leaf_sched.Sfq_leaf.add sfq1 ~tid:holder ~weight:2.;
+  Kernel.start k holder;
+  let waiter =
+    Kernel.spawn k ~name:"waiter" ~leaf:l2
+      (W.of_list [ W.Lock m; W.Compute (Time.milliseconds 5); W.Unlock m; W.Exit ])
+  in
+  Leaf_sched.Sfq_leaf.add sfq2 ~tid:waiter ~weight:3.;
+  Kernel.start k waiter;
+  Kernel.run_until k (Time.milliseconds 5);
+  check_bool "waiter parked on the mutex" true
+    (Kernel.state k waiter = Kernel.Blocked);
+  let h1 = Leaf_sched.Sfq_leaf.sfq sfq1 in
+  check_bool "no cross-leaf donation" true
+    (Sfq.effective_weight_of h1 ~id:holder = 2.);
+  Leaf_sched.Sfq_leaf.add sfq1 ~tid:waiter ~weight:3.;
+  Kernel.move k waiter ~to_leaf:l1;
+  audit_clean "after moving the waiter in" k;
+  check_bool "waiter's weight donated to the holder" true
+    (Sfq.effective_weight_of h1 ~id:holder = 5.);
+  Leaf_sched.Sfq_leaf.add sfq2 ~tid:waiter ~weight:3.;
+  Kernel.move k waiter ~to_leaf:l2;
+  audit_clean "after moving the waiter back out" k;
+  check_bool "donation revoked on the way out" true
+    (Sfq.effective_weight_of h1 ~id:holder = 2.);
+  Kernel.run_until k (Time.seconds 1);
+  check_bool "both finish" true
+    (Kernel.state k holder = Kernel.Exited
+    && Kernel.state k waiter = Kernel.Exited)
+
+(* A mutex grant arriving while the grantee is suspended must be banked
+   for resume, not delivered — a suspended thread must never run. *)
+let test_suspended_waiter_grant_banked () =
+  let k, leaf, sfq = make () in
+  let m = Kernel.create_mutex k in
+  let _holder =
+    spawn_started k leaf sfq ~name:"holder"
+      (W.of_list
+         [ W.Lock m; W.Compute (Time.milliseconds 20); W.Unlock m; W.Exit ])
+  in
+  let waiter =
+    spawn_started k leaf sfq ~name:"waiter"
+      (W.of_list [ W.Lock m; W.Compute (Time.milliseconds 5); W.Unlock m; W.Exit ])
+  in
+  Kernel.run_until k (Time.milliseconds 10);
+  check_bool "waiter parked" true (Kernel.state k waiter = Kernel.Blocked);
+  Kernel.suspend k waiter;
+  Kernel.run_until k (Time.milliseconds 100);
+  Alcotest.(check (option int)) "grant landed while suspended" (Some waiter)
+    (Kernel.mutex_holder k m);
+  check_bool "still parked" true (Kernel.state k waiter = Kernel.Blocked);
+  check_int "no CPU while suspended" 0 (Kernel.cpu_time k waiter);
+  audit_clean "suspended grantee" k;
+  Kernel.resume k waiter;
+  Kernel.run_until k (Time.milliseconds 300);
+  check_bool "finished after resume" true (Kernel.state k waiter = Kernel.Exited);
+  Alcotest.(check (option int)) "free" None (Kernel.mutex_holder k m)
+
+(* Same for an I/O completion. *)
+let test_suspended_io_completion_banked () =
+  let k, leaf, sfq = make () in
+  let d = Kernel.create_device k (Kernel.Fixed_service (Time.milliseconds 30)) in
+  let t =
+    spawn_started k leaf sfq ~name:"t"
+      (W.of_list [ W.Io (d, 1); W.Compute (Time.milliseconds 5); W.Exit ])
+  in
+  Kernel.run_until k (Time.milliseconds 5);
+  check_bool "blocked on the device" true (Kernel.state k t = Kernel.Blocked);
+  Kernel.suspend k t;
+  Kernel.run_until k (Time.milliseconds 100);
+  check_int "completion banked, no CPU" 0 (Kernel.cpu_time k t);
+  check_bool "still parked" true (Kernel.state k t = Kernel.Blocked);
+  audit_clean "suspended io waiter" k;
+  Kernel.resume k t;
+  Kernel.run_until k (Time.milliseconds 200);
+  check_bool "finished after resume" true (Kernel.state k t = Kernel.Exited)
+
+(* {kill, move, suspend, resume} x every non-running state, each cell on
+   a fresh two-leaf system, audited right after the operation and again
+   once the system settles. *)
+let test_lifecycle_matrix () =
+  let states =
+    [ "created"; "runnable"; "blocked-sleep"; "blocked-mutex"; "blocked-io" ]
+  in
+  let ops = [ "kill"; "move"; "suspend"; "resume" ] in
+  let cell state op =
+    let name = Printf.sprintf "%s x %s" op state in
+    let k, l1, sfq1, l2, sfq2 = make2 () in
+    let m = Kernel.create_mutex k in
+    let d = Kernel.create_device k (Kernel.Fixed_service (Time.milliseconds 30)) in
+    let spawn1 ?(run = true) wl =
+      let tid = Kernel.spawn k ~name:"t" ~leaf:l1 wl in
+      Leaf_sched.Sfq_leaf.add sfq1 ~tid ~weight:1.;
+      if run then Kernel.start k tid;
+      tid
+    in
+    let target =
+      match state with
+      | "created" -> spawn1 ~run:false (W.forever_compute (Time.seconds 1))
+      | "runnable" ->
+        let hog =
+          Kernel.spawn k ~name:"hog" ~leaf:l1 (W.forever_compute (Time.seconds 10))
+        in
+        Leaf_sched.Sfq_leaf.add sfq1 ~tid:hog ~weight:1.;
+        Kernel.start k hog;
+        Kernel.run_until k (Time.milliseconds 1);
+        spawn1 (W.forever_compute (Time.seconds 1))
+      | "blocked-sleep" ->
+        spawn1
+          (W.of_list
+             [
+               W.Sleep_for (Time.milliseconds 50);
+               W.Compute (Time.milliseconds 5);
+               W.Exit;
+             ])
+      | "blocked-mutex" ->
+        let holder =
+          Kernel.spawn k ~name:"holder" ~leaf:l1
+            (W.of_list
+               [ W.Lock m; W.Compute (Time.milliseconds 40); W.Unlock m; W.Exit ])
+        in
+        Leaf_sched.Sfq_leaf.add sfq1 ~tid:holder ~weight:1.;
+        Kernel.start k holder;
+        spawn1
+          (W.of_list
+             [ W.Lock m; W.Compute (Time.milliseconds 5); W.Unlock m; W.Exit ])
+      | "blocked-io" ->
+        spawn1 (W.of_list [ W.Io (d, 1); W.Compute (Time.milliseconds 5); W.Exit ])
+      | _ -> assert false
+    in
+    let expected =
+      match state with
+      | "created" -> Kernel.Created
+      | "runnable" -> Kernel.Runnable
+      | _ -> Kernel.Blocked
+    in
+    check_bool (name ^ ": precondition") true (Kernel.state k target = expected);
+    (match op with
+    | "kill" -> Kernel.kill k target
+    | "move" ->
+      Leaf_sched.Sfq_leaf.add sfq2 ~tid:target ~weight:1.;
+      Kernel.move k target ~to_leaf:l2
+    | "suspend" -> Kernel.suspend k target
+    | "resume" -> Kernel.resume k target (* not suspended: a no-op *)
+    | _ -> assert false);
+    audit_clean (name ^ ": after op") k;
+    (match op with
+    | "kill" ->
+      check_bool (name ^ ": exited") true (Kernel.state k target = Kernel.Exited)
+    | "move" -> check_int (name ^ ": relabeled") l2 (Kernel.leaf_of k target)
+    | _ -> ());
+    Kernel.run_until k (Time.milliseconds 400);
+    audit_clean (name ^ ": settled") k;
+    if op = "suspend" then
+      check_int (name ^ ": no cpu while suspended") 0 (Kernel.cpu_time k target)
+  in
+  List.iter (fun s -> List.iter (cell s) ops) states
+
+(* Guardrails on the new surface: same-leaf moves are no-ops and the
+   running thread cannot be moved. *)
+let test_move_validation () =
+  let k, l1, sfq1, _, _ = make2 () in
+  let t = Kernel.spawn k ~name:"t" ~leaf:l1 (W.forever_compute (Time.seconds 1)) in
+  Leaf_sched.Sfq_leaf.add sfq1 ~tid:t ~weight:1.;
+  Kernel.start k t;
+  Kernel.run_until k (Time.milliseconds 5);
+  check_bool "running" true (Kernel.state k t = Kernel.Running);
+  Alcotest.check_raises "cannot move the running thread"
+    (Invalid_argument "Kernel.move: cannot move the running thread") (fun () ->
+      Kernel.move k t ~to_leaf:l1);
+  Kernel.suspend k t;
+  Kernel.move k t ~to_leaf:l1;
+  check_int "same-leaf move is a no-op" l1 (Kernel.leaf_of k t);
+  audit_clean "after same-leaf move" k
+
 (* ------------------------- stress property --------------------------- *)
 
 (* Random scripted workloads across two leaves; whatever the interleaving
@@ -1091,6 +1358,20 @@ let () =
           Alcotest.test_case "reserved wake preempts" `Quick
             test_reserve_wake_preempts_background;
           Alcotest.test_case "add validation" `Quick test_reserve_add_errors;
+        ] );
+      ( "lifecycle regressions",
+        [
+          Alcotest.test_case "kill mid-queue waiter" `Quick test_kill_middle_waiter;
+          Alcotest.test_case "kill holder hands off" `Quick
+            test_kill_holder_hands_off;
+          Alcotest.test_case "move migrates donation" `Quick
+            test_move_waiter_donation_follows;
+          Alcotest.test_case "suspended grant banked" `Quick
+            test_suspended_waiter_grant_banked;
+          Alcotest.test_case "suspended io completion banked" `Quick
+            test_suspended_io_completion_banked;
+          Alcotest.test_case "lifecycle matrix" `Quick test_lifecycle_matrix;
+          Alcotest.test_case "move validation" `Quick test_move_validation;
         ] );
       ( "properties",
         [

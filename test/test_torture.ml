@@ -1,0 +1,118 @@
+(* Tests for the lifecycle torture driver (lib/torture): determinism,
+   replay, shrinking, and clean audited runs across seeds. *)
+
+open Hsfq_engine
+module T = Hsfq_torture.Torture
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_run_clean () =
+  let o = T.run (T.config ~ops:2000 7) in
+  check_bool "clean" false (T.failed o);
+  check_int "ran everything" 2000 o.T.ops_run;
+  check_int "trace covers every op" 2000 (List.length o.T.trace)
+
+let test_deterministic_and_replayable () =
+  let cfg = T.config ~ops:1500 11 in
+  let a = T.run cfg in
+  let b = T.run cfg in
+  check_bool "same config gives the same trace" true (a.T.trace = b.T.trace);
+  let r = T.replay cfg a.T.trace in
+  check_bool "replay clean" false (T.failed r);
+  check_int "replay runs the whole trace" (List.length a.T.trace) r.T.ops_run
+
+let test_shrink_of_passing_trace_is_identity () =
+  let cfg = T.config ~ops:300 3 in
+  let o = T.run cfg in
+  check_bool "clean" false (T.failed o);
+  check_bool "passing traces shrink to themselves" true
+    (T.shrink cfg o.T.trace = o.T.trace)
+
+(* A hand-written trace exercising every op constructor, including the
+   slot-index interpretation of thread/leaf operands. *)
+let test_handwritten_trace () =
+  let cfg = T.config 5 in
+  let ops =
+    [
+      T.Spawn { leaf = 0; weight = 3; profile = 0 };
+      T.Start 0;
+      T.Advance (Time.milliseconds 5);
+      T.Spawn { leaf = 1; weight = 2; profile = 1 };
+      T.Start 1;
+      T.Suspend 0;
+      T.Advance (Time.milliseconds 3);
+      T.Resume 0;
+      T.Move { th = 0; leaf = 1 };
+      T.Interrupt (Time.microseconds 80);
+      T.Mknod { group = 0; weight = 4 };
+      T.Advance (Time.milliseconds 2);
+      T.Kill 1;
+      T.Rmnod 99;
+      T.Advance (Time.milliseconds 2);
+    ]
+  in
+  let o = T.replay cfg ops in
+  check_bool "clean" false (T.failed o);
+  check_int "all ops applied" (List.length ops) o.T.ops_run
+
+let test_op_printers_total () =
+  let ops =
+    [
+      T.Advance (Time.milliseconds 1);
+      T.Spawn { leaf = 0; weight = 1; profile = 2 };
+      T.Start 4;
+      T.Kill 4;
+      T.Move { th = 1; leaf = 2 };
+      T.Suspend 1;
+      T.Resume 1;
+      T.Interrupt (Time.microseconds 10);
+      T.Mknod { group = 1; weight = 2 };
+      T.Rmnod 3;
+    ]
+  in
+  List.iter (fun op -> check_bool "printable" true (T.op_to_string op <> "")) ops;
+  check_bool "trace printer newline-joins" true
+    (String.contains (T.trace_to_string ops) '\n');
+  let o = T.run (T.config ~ops:50 1) in
+  check_bool "summary non-empty" true (T.outcome_summary o <> "")
+
+(* The audit machinery is live even under sparse auditing. *)
+let test_audit_period () =
+  let o = T.run (T.config ~ops:2000 ~audit_period:64 13) in
+  check_bool "clean under sparse audits" false (T.failed o)
+
+(* Seeds that once crashed the kernel, kept as fixed regressions.  Seed
+   2007 found the boundary race where a preempting wake lands exactly on
+   a thread's final segment completion and beats the completion event,
+   requeueing a thread with no work left. *)
+let test_regression_seeds () =
+  List.iter
+    (fun seed ->
+      let o = T.run (T.config ~ops:800 seed) in
+      if T.failed o then
+        Alcotest.failf "seed %d regressed: %s" seed (T.outcome_summary o))
+    [ 31; 422; 2007 ]
+
+let prop_random_seeds_clean =
+  QCheck.Test.make ~name:"torture: random seeds run clean" ~count:12
+    QCheck.(int_range 0 10_000)
+    (fun seed -> not (T.failed (T.run (T.config ~ops:800 seed))))
+
+let () =
+  Alcotest.run "torture"
+    [
+      ( "driver",
+        [
+          Alcotest.test_case "clean seeded run" `Quick test_run_clean;
+          Alcotest.test_case "deterministic and replayable" `Quick
+            test_deterministic_and_replayable;
+          Alcotest.test_case "shrink keeps passing traces" `Quick
+            test_shrink_of_passing_trace_is_identity;
+          Alcotest.test_case "hand-written trace" `Quick test_handwritten_trace;
+          Alcotest.test_case "printers" `Quick test_op_printers_total;
+          Alcotest.test_case "sparse audit period" `Quick test_audit_period;
+          Alcotest.test_case "once-crashing seeds" `Quick test_regression_seeds;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_seeds_clean ]);
+    ]
