@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench bench-smoke torture-smoke figures examples clean
+.PHONY: all build test lint check bench bench-smoke bench-diff torture-smoke figures examples clean
 
 all: build
 
@@ -27,6 +27,14 @@ bench:
 # catches hot-path crashes/invariant trips without paying for timings.
 bench-smoke:
 	dune build @bench-smoke
+
+# Advisory perf-regression gate: fresh micro timings diffed against the
+# committed BENCH_sched.json, flagging rows outside ±25%.  Never fails
+# the build (timing noise), but read the report before merging hot-path
+# changes — and re-run `make bench` to refresh the baseline when a
+# change is real.
+bench-diff:
+	dune build @bench-diff
 
 # Lifecycle torture, quick slice: 8 seeds x 2000 ops with per-op
 # audits.  The full acceptance sweep is

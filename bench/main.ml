@@ -12,16 +12,24 @@
    and minor-heap words allocated — because the flat-array hot path
    claims *both* a small constant and steady-state allocation freedom.
 
+   Part 3 times the domain-pool sweep (Par.sweep) against the serial
+   run on two multi-second fan-outs — a torture seed sweep and the full
+   experiment suite — and records serial/parallel wall-clock under the
+   JSON's "sweeps" section.  The verdicts of both runs are compared on
+   the spot: a speedup that changed the answer is a bug, not a result.
+
    Results are emitted to BENCH_sched.json (override with --json PATH)
    so the performance trajectory is recorded across PRs; the before/after
    history lives in doc/PERFORMANCE.md.
 
    Modes:
-     (default)      figures + Bechamel micro-benchmarks + JSON
+     (default)      figures + Bechamel micro-benchmarks + sweeps + JSON
      --smoke        figures + one hand-rolled iteration of every micro
-                    benchmark (no Bechamel quota) — the @bench-smoke
-                    dune alias runs this so the harness cannot bit-rot
-     --micro-only   skip Part 1 (used when iterating on the hot path) *)
+                    benchmark (no Bechamel quota) and a 2-seed sweep
+                    determinism check — the @bench-smoke dune alias runs
+                    this so the harness cannot bit-rot
+     --micro-only   skip Parts 1 and 3 (used when iterating on the hot
+                    path) *)
 
 open Bechamel
 open Toolkit
@@ -29,6 +37,8 @@ module E = Hsfq_experiments
 module Core = Hsfq_core
 module Sched = Hsfq_sched
 module Engine = Hsfq_engine
+module Par = Hsfq_par.Par
+module T = Hsfq_torture.Torture
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: figure regeneration                                         *)
@@ -175,37 +185,51 @@ let setrun_sleep_micro ~depth =
         Core.Hierarchy.sleep h leaf);
   }
 
-let heap_micro ~n =
+(* The priority-queue substrate every scheduler runs on: push n keys
+   into a persistent [Keyed_heap] and pop them all back out, via the
+   staged-key/installed-validator entry points the schedulers use on
+   their hot paths (the plain [push ~key] boxes its float argument
+   under dune's -opaque dev profile).  The heap's arrays are warm after
+   the first iteration, so this measures the steady-state flat-array
+   cost, not allocation. *)
+let keyed_heap_micro ~n =
   let rng = Engine.Prng.create 3 in
   let keys = Array.init n (fun _ -> Engine.Prng.float rng 1e9) in
+  let h = Sched.Keyed_heap.create () in
+  Sched.Keyed_heap.set_validator h (fun ~id:_ ~gen:_ -> true);
+  let stage = Sched.Keyed_heap.stage_cell h in
   {
     group = "substrate";
-    name = Printf.sprintf "heap/add+pop n=%d" n;
+    name = Printf.sprintf "keyed-heap/push+pop n=%d" n;
     fn =
       (fun () ->
-        let h = Engine.Heap.create ~cmp:Float.compare in
-        Array.iter (Engine.Heap.add h) keys;
-        while not (Engine.Heap.is_empty h) do
-          ignore (Engine.Heap.pop h)
+        (* explicit loop: Array.iteri would box every float it hands
+           the polymorphic closure, charging 2 words per push to the
+           harness rather than the heap *)
+        for i = 0 to n - 1 do
+          stage.(0) <- keys.(i);
+          Sched.Keyed_heap.push_staged h ~gen:0 ~id:i
+        done;
+        while Sched.Keyed_heap.pop_valid h >= 0 do
+          ()
         done);
   }
 
 (* Event-queue churn: schedule, cancel half, drain — the simulation
-   substrate every experiment runs on. *)
+   substrate every experiment runs on.  The queue persists across
+   iterations so the steady state (warm arrays, handle free list) is
+   what gets measured, mirroring a long-running simulation. *)
 let event_queue_micro ~n =
+  let q = Engine.Event_queue.create () in
   {
     group = "substrate";
     name = Printf.sprintf "event-queue/churn n=%d" n;
     fn =
       (fun () ->
-        let q = Engine.Event_queue.create () in
-        let handles =
-          Array.init n (fun i ->
-              Engine.Event_queue.schedule q ~at:((i * 7919) mod n) ignore)
-        in
-        Array.iteri
-          (fun i h -> if i mod 2 = 0 then Engine.Event_queue.cancel h)
-          handles;
+        for i = 0 to n - 1 do
+          let h = Engine.Event_queue.schedule q ~at:((i * 7919) mod n) ignore in
+          if i mod 2 = 0 then Engine.Event_queue.cancel h
+        done;
         let rec drain () =
           match Engine.Event_queue.pop q with
           | Some _ -> drain ()
@@ -233,8 +257,86 @@ let all_micros () =
       List.map (fun d -> hierarchy_decision_micro ~depth:d) [ 1; 4; 16; 32 ];
       [ svr4_decision_micro ~q:8 ];
       List.map (fun d -> setrun_sleep_micro ~depth:d) [ 1; 16 ];
-      [ heap_micro ~n:256; event_queue_micro ~n:256 ];
+      [ keyed_heap_micro ~n:256; event_queue_micro ~n:256 ];
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: serial vs domain-pool wall-clock on the big fan-outs.       *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_row = {
+  sweep_name : string;
+  jobs : int;
+  serial_s : float;
+  parallel_s : float;
+}
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Torture seed sweep: [seeds] independent lifecycle-stress runs. *)
+let torture_sweep_row ~jobs ~seeds ~ops =
+  let seed_arr = Array.init seeds (fun i -> i + 1) in
+  let cfg = T.config ~ops ~audit_period:1 1 in
+  let serial, serial_s = wall (fun () -> T.sweep ~jobs:1 cfg ~seeds:seed_arr) in
+  let par, parallel_s = wall (fun () -> T.sweep ~jobs cfg ~seeds:seed_arr) in
+  let same =
+    Array.for_all2
+      (fun a b -> String.equal (T.outcome_summary a) (T.outcome_summary b))
+      serial par
+    && Array.for_all2 (fun a b -> Bool.equal (T.failed a) (T.failed b)) serial par
+  in
+  if not same then failwith "bench: torture sweep verdicts differ across jobs";
+  {
+    sweep_name = Printf.sprintf "torture/seeds=%d ops=%d" seeds ops;
+    jobs;
+    serial_s;
+    parallel_s;
+  }
+
+(* Full experiment suite: every figure computed once. *)
+let experiments_sweep_row ~jobs =
+  let tasks = Array.of_list E.Registry.all in
+  let compute n =
+    Par.sweep ~jobs:n ~tasks ~f:(fun (e : E.Registry.entry) ->
+        E.Common.all_ok (e.compute ()).checks)
+  in
+  let serial, serial_s = wall (fun () -> compute 1) in
+  let par, parallel_s = wall (fun () -> compute jobs) in
+  if not (Array.for_all2 Bool.equal serial par) then
+    failwith "bench: experiment check verdicts differ across jobs";
+  { sweep_name = "experiments/all"; jobs; serial_s; parallel_s }
+
+let run_sweeps () =
+  print_endline "\n==================================================================";
+  print_endline " Part 3: domain-pool sweep, serial vs parallel wall-clock";
+  print_endline "==================================================================";
+  (* At least two domains, even on a single-core box: a 1-vs-1 "sweep"
+     would measure nothing.  On one core the honest expectation is
+     ~1.0x (pool overhead included); the speedup column only becomes a
+     throughput claim on multi-core hardware. *)
+  let jobs = Int.max 2 (Par.default_jobs ()) in
+  let rows =
+    [ torture_sweep_row ~jobs ~seeds:16 ~ops:20_000; experiments_sweep_row ~jobs ]
+  in
+  let t =
+    Engine.Table.create [ "sweep"; "jobs"; "serial s"; "parallel s"; "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Engine.Table.row t
+        [
+          r.sweep_name;
+          string_of_int r.jobs;
+          Printf.sprintf "%.2f" r.serial_s;
+          Printf.sprintf "%.2f" r.parallel_s;
+          Printf.sprintf "%.2fx" (r.serial_s /. r.parallel_s);
+        ])
+    rows;
+  Engine.Table.print t;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel run: ns/decision and minor words/decision per benchmark.   *)
@@ -317,8 +419,9 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path rows =
+let write_json ~path ~sweeps rows =
   let n = List.length rows in
+  let nsweeps = List.length sweeps in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -334,11 +437,25 @@ let write_json ~path rows =
             (json_escape name) ns words
             (if i = n - 1 then "" else ","))
         rows;
+      Printf.fprintf oc "  },\n";
+      (* Wall-clock of the Par.sweep fan-outs; key names deliberately
+         share no fields with "benchmarks" so hsfq_bench_diff's line
+         parser never mistakes a sweep row for a micro-benchmark. *)
+      Printf.fprintf oc "  \"sweeps\": {\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    \"%s\": { \"jobs\": %d, \"serial_wall_s\": %.3f, \
+             \"parallel_wall_s\": %.3f, \"speedup\": %.3f }%s\n"
+            (json_escape r.sweep_name) r.jobs r.serial_s r.parallel_s
+            (r.serial_s /. r.parallel_s)
+            (if i = nsweeps - 1 then "" else ","))
+        sweeps;
       Printf.fprintf oc "  }\n";
       Printf.fprintf oc "}\n");
-  Printf.printf "\nwrote %s (%d benchmarks)\n" path n
+  Printf.printf "\nwrote %s (%d benchmarks, %d sweeps)\n" path n nsweeps
 
-let run_micro ~json_path =
+let run_micro ~json_path ~sweeps =
   print_endline "\n==================================================================";
   print_endline " Part 2: micro-benchmarks (ns and minor words per decision)";
   print_endline "==================================================================";
@@ -368,7 +485,7 @@ let run_micro ~json_path =
         [ name; Printf.sprintf "%.1f" est; Printf.sprintf "%.2f" w ])
     rows;
   Engine.Table.print t;
-  write_json ~path:json_path rows
+  write_json ~path:json_path ~sweeps rows
 
 (* --smoke: every micro closure must run without raising — one iteration,
    no Bechamel quota, so `make check` can afford it. *)
@@ -381,6 +498,10 @@ let run_smoke () =
       m.fn ();
       Printf.printf "  ok %s/%s\n" m.group m.name)
     (all_micros ());
+  (* One cheap pass through the Par.sweep path: 2 torture seeds, serial
+     vs 2 domains, verdicts compared inside. *)
+  ignore (torture_sweep_row ~jobs:2 ~seeds:2 ~ops:1_000);
+  print_endline "  ok sweep/torture determinism (jobs 1 vs 2)";
   print_endline "bench smoke PASSED."
 
 let () =
@@ -400,5 +521,9 @@ let () =
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "bench/main.exe [--smoke] [--micro-only] [--json PATH]";
   let ok = if !micro_only then true else regenerate_figures () in
-  if !smoke then run_smoke () else run_micro ~json_path:!json_path;
+  if !smoke then run_smoke ()
+  else begin
+    let sweeps = if !micro_only then [] else run_sweeps () in
+    run_micro ~json_path:!json_path ~sweeps
+  end;
   if not ok then exit 1

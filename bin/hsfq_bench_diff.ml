@@ -1,0 +1,141 @@
+(* hsfq_bench_diff — advisory regression gate over BENCH_sched.json.
+
+   Usage: hsfq_bench_diff BASELINE.json FRESH.json
+
+   Compares every benchmark row present in both files and flags entries
+   whose fresh/baseline ratio falls outside [0.75, 1.33] (±25-ish percent,
+   symmetric in log space).  The gate is advisory: it always exits 0 so a
+   noisy CI box cannot fail the build, but the report makes drift visible
+   next to the committed numbers.
+
+   The parser only understands the repo's own stable format (schema
+   "hsfq-bench/1", one benchmark per line inside the "benchmarks" object)
+   — deliberately, so the tool needs no JSON library. *)
+
+let tolerance_lo = 0.75
+let tolerance_hi = 1.33
+
+type row = { ns : float; words : float }
+
+(* Extract the float following [key] on [line], if present. *)
+let field line key =
+  let needle = "\"" ^ key ^ "\":" in
+  match
+    let nlen = String.length needle in
+    let limit = String.length line - nlen in
+    let rec find i =
+      if i > limit then None
+      else if String.sub line i nlen = needle then Some (i + nlen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+    let len = String.length line in
+    let stop = ref start in
+    while
+      !stop < len
+      && (match line.[!stop] with
+         | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' | ' ' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.trim (String.sub line start (!stop - start)))
+
+(* The benchmark name is the first double-quoted token on the line. *)
+let name_of line =
+  match String.index_opt line '"' with
+  | None -> None
+  | Some i -> (
+    match String.index_from_opt line (i + 1) '"' with
+    | None -> None
+    | Some j -> Some (String.sub line (i + 1) (j - i - 1)))
+
+let load path =
+  let ic = open_in path in
+  let rows = Hashtbl.create 32 in
+  (try
+     while true do
+       let line = input_line ic in
+       match (field line "ns_per_decision", field line "minor_words_per_decision") with
+       | Some ns, Some words -> (
+         match name_of line with
+         | Some name -> Hashtbl.replace rows name { ns; words }
+         | None -> ())
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  rows
+
+let classify ratio =
+  if ratio < tolerance_lo then `Faster
+  else if ratio > tolerance_hi then `Slower
+  else `Ok
+
+let () =
+  let baseline_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+      prerr_endline "usage: hsfq_bench_diff BASELINE.json FRESH.json";
+      exit 2
+  in
+  let baseline = load baseline_path in
+  let fresh = load fresh_path in
+  if Hashtbl.length baseline = 0 then begin
+    Printf.eprintf "no benchmark rows found in %s\n" baseline_path;
+    exit 2
+  end;
+  if Hashtbl.length fresh = 0 then begin
+    Printf.eprintf "no benchmark rows found in %s\n" fresh_path;
+    exit 2
+  end;
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) baseline []
+    |> List.sort String.compare
+  in
+  let drifted = ref 0 in
+  Printf.printf "%-28s %12s %12s %8s  %s\n" "benchmark" "base ns" "fresh ns"
+    "ratio" "verdict";
+  List.iter
+    (fun name ->
+      match (Hashtbl.find_opt fresh name, Hashtbl.find_opt baseline name) with
+      | None, _ ->
+        Printf.printf "%-28s %12s %12s %8s  missing from fresh run\n" name "-"
+          "-" "-"
+      | _, None -> ()
+      | Some f, Some b ->
+        let ratio = f.ns /. b.ns in
+        let verdict =
+          match classify ratio with
+          | `Ok -> "ok"
+          | `Faster ->
+            incr drifted;
+            "FASTER (update baseline?)"
+          | `Slower ->
+            incr drifted;
+            "SLOWER"
+        in
+        Printf.printf "%-28s %12.1f %12.1f %8.2f  %s\n" name b.ns f.ns ratio
+          verdict;
+        (* Allocation counts are near-deterministic, so drift there is a
+           stronger signal than time drift on a noisy box. *)
+        if b.words > 0.5 && Float.abs ((f.words /. b.words) -. 1.) > 0.25 then begin
+          incr drifted;
+          Printf.printf "%-28s %12.1f %12.1f %8.2f  ALLOC DRIFT (minor words)\n"
+            "" b.words f.words (f.words /. b.words)
+        end)
+    names;
+  Hashtbl.iter
+    (fun name _ ->
+      if not (Hashtbl.mem baseline name) then
+        Printf.printf "%-28s %12s %12s %8s  new (not in baseline)\n" name "-" "-" "-")
+    fresh;
+  if !drifted > 0 then
+    Printf.printf
+      "\n%d row(s) outside the [%.2f, %.2f] tolerance band — advisory only.\n"
+      !drifted tolerance_lo tolerance_hi
+  else Printf.printf "\nall rows within tolerance.\n"

@@ -22,11 +22,18 @@
    - [missing-mli]: a [.ml] under [lib/] without a companion [.mli] —
      every library module must state its interface.
    - [hot-path-hashtbl]: any [Hashtbl] use inside a hot-path module
-     (the per-decision code: Sfq, Hierarchy, Keyed_heap, Event_queue,
-     Heap). Scheduling decisions must stay zero-hash; state keyed by
+     (the per-decision code: Sfq, Hierarchy, Keyed_heap, Event_queue).
+     Scheduling decisions must stay zero-hash; state keyed by
      small dense ids belongs in flat arrays. A hashtable that is
      genuinely cold (touched only by administrative operations) may be
      whitelisted with a justification.
+   - [toplevel-mutable]: a module-top-level [let x = ref ...] or
+     [let x = Hashtbl.create ...] in [lib/engine/] or [lib/torture/].
+     Those libraries run on worker domains under [Par.sweep]; global
+     mutable state is a data race and breaks the byte-identical
+     determinism contract. Keep state inside instance records passed
+     explicitly (whitelist genuinely domain-safe exceptions with a
+     justification).
    - [leaf-retarget]: assignment through a [.leaf] field
      ([th.leaf <- ...]). Retargeting a thread's leaf without migrating
      its adapter registration and donations corrupts the donation
@@ -73,11 +80,15 @@ let is_digit c = c >= '0' && c <= '9'
 let scan src ~f =
   let n = String.length src in
   let line = ref 1 in
+  let bol = ref 0 in (* index just after the last newline *)
   let i = ref 0 in
   let op = Buffer.create 16 in
   let peek k = if !i + k < n then src.[!i + k] else '\000' in
   let advance () =
-    if Char.equal src.[!i] '\n' then incr line;
+    if Char.equal src.[!i] '\n' then begin
+      incr line;
+      bol := !i + 1
+    end;
     incr i
   in
   let rec skip_string () =
@@ -178,6 +189,7 @@ let scan src ~f =
     else if is_ident_start c then begin
       let start = !i in
       let tline = !line in
+      let tcol = start - !bol in
       let continue = ref true in
       while !continue do
         while !i < n && is_ident_char src.[!i] do
@@ -187,16 +199,19 @@ let scan src ~f =
         then incr i
         else continue := false
       done;
-      f ~line:tline ~op:(Buffer.contents op) (String.sub src start (!i - start));
+      f ~line:tline ~col:tcol ~op:(Buffer.contents op)
+        (String.sub src start (!i - start));
       Buffer.clear op
     end
     else if is_digit c then begin
       let start = !i in
       let tline = !line in
+      let tcol = start - !bol in
       while !i < n && (is_ident_char src.[!i] || Char.equal src.[!i] '.') do
         incr i
       done;
-      f ~line:tline ~op:(Buffer.contents op) (String.sub src start (!i - start));
+      f ~line:tline ~col:tcol ~op:(Buffer.contents op)
+        (String.sub src start (!i - start));
       Buffer.clear op
     end
     else begin
@@ -234,20 +249,33 @@ let hot_path_modules =
     "lib/core/hierarchy.ml";
     "lib/sched/keyed_heap.ml";
     "lib/engine/event_queue.ml";
-    "lib/engine/heap.ml";
   ]
 
 let has_prefix s pre =
   let ls = String.length s and lp = String.length pre in
   ls >= lp && String.equal (String.sub s 0 lp) pre
 
+(* Libraries whose code must stay domain-safe: they run on worker
+   domains under [Par.sweep], so module-level mutable globals there are
+   data races (and break run-to-run determinism). *)
+let domain_safe_scope file =
+  has_suffix file ".ml"
+  && (has_prefix file "lib/engine/" || has_prefix file "lib/torture/")
+
 let check_tokens file src =
   let hot = List.exists (String.equal file) hot_path_modules in
+  let check_toplevel_mutable = domain_safe_scope file in
   let prev = ref "" in
   let prev2 = ref "" in
   let prev_line = ref 0 in
   let pending_assert = ref (-1) in
-  let handle ~line ~op tok =
+  (* toplevel-mutable state machine: 0 idle / 1 just saw a column-0
+     [let]/[and] / 2 saw the bound name / 3 inside a type annotation,
+     waiting for the [=]. The token arriving with [=] in its leading
+     symbol run is the head of the right-hand side. *)
+  let tl_state = ref 0 in
+  let tl_line = ref 0 in
+  let handle ~line ~col ~op tok =
     (match !pending_assert with
     | -1 -> ()
     | aline ->
@@ -271,6 +299,35 @@ let check_tokens file src =
        flag "leaf-retarget" file !prev_line
          "direct [.leaf <- ...] retarget bypasses donation migration; go \
           through the kernel's audited retarget helper");
+    (if check_toplevel_mutable then begin
+       (match !tl_state with
+       | 1 -> if not (String.equal tok "rec") then tl_state := 2
+       | (2 | 3) as s ->
+         if String.contains op '=' then begin
+           (* exactly "=": a parameter list or pattern in between would
+              leave its symbols in the run ("()=", ")="), and those
+              bindings define functions, not global cells *)
+           (if
+              String.equal op "="
+              && (String.equal tok "ref"
+                 || String.equal tok "Hashtbl.create"
+                 || has_suffix tok ".Hashtbl.create")
+            then
+              flag "toplevel-mutable" file !tl_line
+                "module-top-level mutable global; this library runs on \
+                 worker domains (Par.sweep), so shared mutable state is a \
+                 data race — keep state in instance records (whitelist \
+                 only with a domain-safety justification)");
+           tl_state := 0
+         end
+         else if s = 2 then
+           if has_prefix op ":" then tl_state := 3 else tl_state := 0
+       | _ -> ());
+       if col = 0 && (String.equal tok "let" || String.equal tok "and") then begin
+         tl_state := 1;
+         tl_line := line
+       end
+     end);
     (match tok with
     | "assert" -> pending_assert := line
     | "min" | "max" when not (defn_head !prev || labeled) ->

@@ -6,6 +6,20 @@
 
 open Cmdliner
 module E = Hsfq_experiments
+module Par = Hsfq_par.Par
+
+(* Shared --jobs flag: parallelism of the seed/experiment sweep.
+   1 = serial (default), 0 = one job per available core. All output is
+   rendered at the join point in task order, so results and bytes are
+   identical whatever the value. *)
+let jobs_arg =
+  let doc =
+    "Run the sweep on $(docv) domains (0 = one per core). Output and \
+     verdicts are byte-identical for every value."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let resolve_jobs j = if j = 0 then Par.default_jobs () else j
 
 let list_cmd =
   let doc = "List the reproduction experiments." in
@@ -19,7 +33,7 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_experiments ids all quiet =
+let run_experiments ids all quiet jobs =
   let entries =
     if all then E.Registry.all
     else
@@ -36,13 +50,21 @@ let run_experiments ids all quiet =
     Printf.eprintf "nothing to run; give experiment ids or --all\n";
     exit 2
   end;
+  (* Simulate on the sweep (workers print nothing), render at the join
+     in entry order: the bytes match the serial run exactly. *)
+  let computed =
+    Par.sweep ~jobs:(resolve_jobs jobs)
+      ~tasks:(Array.of_list entries)
+      ~f:(fun (e : E.Registry.entry) -> e.compute ())
+  in
   let failures = ref 0 in
-  List.iter
-    (fun (e : E.Registry.entry) ->
+  List.iteri
+    (fun i (e : E.Registry.entry) ->
+      let c : E.Registry.computed = computed.(i) in
       Printf.printf "=== %s: %s ===\n" e.id e.title;
-      let checks = e.execute ~quiet in
-      E.Common.print_checks checks;
-      if not (E.Common.all_ok checks) then incr failures;
+      if not quiet then c.render ();
+      E.Common.print_checks c.checks;
+      if not (E.Common.all_ok c.checks) then incr failures;
       print_newline ())
     entries;
   if !failures > 0 then begin
@@ -57,7 +79,8 @@ let run_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the checks.")
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiments $ ids $ all $ quiet)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_experiments $ ids $ all $ quiet $ jobs_arg)
 
 (* A small live demo: the Figure 2 classes with a handful of threads,
    rendered as an ASCII Gantt chart. *)
@@ -133,16 +156,22 @@ let tree_cmd =
   let doc = "Print the paper's Figure 2 scheduling structure and its shares." in
   Cmd.v (Cmd.info "tree" ~doc) Term.(const tree_demo $ const ())
 
-let csv_export ids all dir =
+let csv_export ids all dir jobs =
   let ids = if all then E.Csv_export.exportable () else ids in
   if ids = [] then begin
     Printf.eprintf "nothing to export; give figure ids or --all\n";
     exit 2
   end;
   (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  List.iter
-    (fun id ->
-      match E.Csv_export.export id with
+  (* Simulations run on the sweep; all file writes happen at the join,
+     in figure order, so the CSV bytes on disk match a serial export. *)
+  let exported =
+    Par.sweep ~jobs:(resolve_jobs jobs) ~tasks:(Array.of_list ids)
+      ~f:E.Csv_export.export
+  in
+  Array.iter
+    (fun result ->
+      match result with
       | Error e ->
         Printf.eprintf "%s\n" e;
         exit 2
@@ -155,7 +184,7 @@ let csv_export ids all dir =
             close_out oc;
             Printf.printf "wrote %s\n" path)
           files)
-    ids
+    exported
 
 let csv_cmd =
   let doc = "Export figure data as CSV files for plotting." in
@@ -164,33 +193,40 @@ let csv_cmd =
   let dir =
     Arg.(value & opt string "figures" & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  Cmd.v (Cmd.info "csv" ~doc) Term.(const csv_export $ ids $ all $ dir)
+  Cmd.v (Cmd.info "csv" ~doc) Term.(const csv_export $ ids $ all $ dir $ jobs_arg)
 
 (* Lifecycle torture: run the seeded stress driver, report, and shrink
    failing traces to a minimal reproducer. *)
-let torture_run seed seeds ops audit_period do_shrink quiet =
+let torture_run seed seeds ops audit_period do_shrink quiet jobs =
   let module T = Hsfq_torture.Torture in
   let failures = ref 0 in
   let last = seed + Int.max 0 (seeds - 1) in
-  for s = seed to last do
-    let cfg = T.config ~ops ~audit_period s in
-    let o = T.run cfg in
-    if T.failed o then begin
-      incr failures;
-      Printf.printf "seed %d: FAIL — %s\n" s (T.outcome_summary o);
-      if do_shrink then begin
-        let small = T.shrink cfg o.trace in
-        Printf.printf "shrunk to %d op(s) (from %d):\n%s\n"
-          (List.length small) (List.length o.trace)
-          (T.trace_to_string small);
-        let r = T.replay cfg small in
-        Printf.printf "replay of shrunk trace: %s\n" (T.outcome_summary r)
+  let seed_array = Array.init (last - seed + 1) (fun i -> seed + i) in
+  let cfg = T.config ~ops ~audit_period seed in
+  (* The seeds run on the sweep; reporting (and any shrinking, which is
+     itself seed-deterministic) happens at the join in seed order, so
+     the transcript is byte-identical for every --jobs value. *)
+  let outcomes = T.sweep ~jobs:(resolve_jobs jobs) cfg ~seeds:seed_array in
+  Array.iteri
+    (fun i (o : T.outcome) ->
+      let s = seed_array.(i) in
+      if T.failed o then begin
+        incr failures;
+        Printf.printf "seed %d: FAIL — %s\n" s (T.outcome_summary o);
+        if do_shrink then begin
+          let cfg = T.config ~ops ~audit_period s in
+          let small = T.shrink cfg o.trace in
+          Printf.printf "shrunk to %d op(s) (from %d):\n%s\n"
+            (List.length small) (List.length o.trace)
+            (T.trace_to_string small);
+          let r = T.replay cfg small in
+          Printf.printf "replay of shrunk trace: %s\n" (T.outcome_summary r)
+        end
+        else Printf.printf "(re-run with --shrink for a minimal trace)\n"
       end
-      else Printf.printf "(re-run with --shrink for a minimal trace)\n"
-    end
-    else if not quiet then
-      Printf.printf "seed %d: ok (%s)\n" s (T.outcome_summary o)
-  done;
+      else if not quiet then
+        Printf.printf "seed %d: ok (%s)\n" s (T.outcome_summary o))
+    outcomes;
   if !failures > 0 then begin
     Printf.printf "%d/%d seed(s) failed\n" !failures (last - seed + 1);
     exit 1
@@ -220,7 +256,9 @@ let torture_cmd =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only failures.")
   in
   Cmd.v (Cmd.info "torture" ~doc)
-    Term.(const torture_run $ seed $ seeds $ ops $ audit_period $ do_shrink $ quiet)
+    Term.(
+      const torture_run $ seed $ seeds $ ops $ audit_period $ do_shrink $ quiet
+      $ jobs_arg)
 
 let main =
   let doc =

@@ -8,7 +8,16 @@
    Cancellation stays lazy (a cancelled entry is dropped when it surfaces
    at the top), with the same backstop as [Keyed_heap]: once cancelled
    entries outnumber live ones in a non-trivially-sized heap, the next
-   [schedule] compacts in place and re-heapifies. *)
+   [schedule] compacts in place and re-heapifies.
+
+   Even the per-event handle allocation disappears in steady state for
+   churny workloads (timeouts that are usually cancelled): when a
+   cancelled entry leaves the heap — at the top in [settle], or skipped
+   by [compact] — its record goes onto a per-queue free list and the
+   next [schedule] reuses it. Only cancelled handles are recycled; a
+   fired handle may still be observed by its caller ([is_cancelled]
+   must keep answering [false] for it), whereas cancellation is the
+   caller's own declaration that it is done with the handle. *)
 
 (* Shared mutable counters; referenced by both the queue and every handle
    so [cancel : handle -> unit] can update them without a queue arg. *)
@@ -31,6 +40,8 @@ type t = {
   mutable size : int;
   mutable next_seq : int;
   stats : stats;
+  mutable free : handle array; (* recycled cancelled handles (a stack) *)
+  mutable nfree : int;
 }
 
 let dummy_stats = { live = 0; stale = 0 }
@@ -46,7 +57,30 @@ let create () =
     size = 0;
     next_seq = 0;
     stats = { live = 0; stale = 0 };
+    free = [||];
+    nfree = 0;
   }
+
+(* Park a cancelled handle for reuse, once its heap slot is gone. *)
+let recycle t h =
+  let cap = Array.length t.free in
+  if t.nfree >= cap then begin
+    let nf = Array.make (if cap = 0 then 16 else cap * 2) dummy_handle in
+    Array.blit t.free 0 nf 0 t.nfree;
+    t.free <- nf
+  end;
+  t.free.(t.nfree) <- h;
+  t.nfree <- t.nfree + 1
+
+let alloc_handle t =
+  if t.nfree > 0 then begin
+    t.nfree <- t.nfree - 1;
+    let h = t.free.(t.nfree) in
+    t.free.(t.nfree) <- dummy_handle;
+    h.hstate <- pending_st;
+    h
+  end
+  else { hstate = pending_st; stats = t.stats }
 
 (* Strict ordering: earlier time first, FIFO (schedule order) among
    events set for the same instant. *)
@@ -123,10 +157,12 @@ let release t i =
 let compact t =
   let j = ref 0 in
   for i = 0 to t.size - 1 do
-    if t.handles.(i).hstate = pending_st then begin
+    let h = t.handles.(i) in
+    if h.hstate = pending_st then begin
       keep t ~src:i ~dst:!j;
       incr j
     end
+    else recycle t h (* only cancelled entries linger in the heap *)
   done;
   for i = !j to t.size - 1 do
     release t i
@@ -142,7 +178,7 @@ let needs_compaction t = t.size >= 64 && 2 * t.stats.stale > t.size
 let schedule t ~at thunk =
   if needs_compaction t then compact t;
   grow t;
-  let h = { hstate = pending_st; stats = t.stats } in
+  let h = alloc_handle t in
   let i = t.size in
   t.times.(i) <- at;
   t.seqs.(i) <- t.next_seq;
@@ -172,8 +208,11 @@ let remove_top t =
 (* Drop cancelled entries sitting at the top of the heap. *)
 let rec settle t =
   if t.size > 0 && t.handles.(0).hstate <> pending_st then begin
-    if t.handles.(0).hstate = cancelled_st then
+    let h = t.handles.(0) in
+    if h.hstate = cancelled_st then begin
       t.stats.stale <- t.stats.stale - 1;
+      recycle t h
+    end;
     remove_top t;
     settle t
   end

@@ -8,7 +8,13 @@
 type t
 
 type handle
-(** Token for a scheduled event; allows cancellation. *)
+(** Token for a scheduled event; allows cancellation.
+
+    A handle you have cancelled is dead: the queue recycles cancelled
+    handle records for later {!schedule} calls, so touching one after
+    {!cancel} returns may observe (or cancel!) an unrelated event. A
+    {e fired} handle is never recycled — calling {!cancel} on it stays
+    a no-op and {!is_cancelled} keeps answering [false]. *)
 
 val create : unit -> t
 
@@ -17,7 +23,10 @@ val schedule : t -> at:Time.t -> (unit -> unit) -> handle
     the caller's responsibility to avoid; the queue itself only orders. *)
 
 val cancel : handle -> unit
-(** Idempotent. A cancelled event never fires. *)
+(** A cancelled event never fires. Cancelling a fired handle is a no-op;
+    cancelling an already-cancelled handle is a no-op only until the
+    queue recycles it (see {!type:handle}) — treat the first [cancel]
+    as the last use of a handle. *)
 
 val is_cancelled : handle -> bool
 

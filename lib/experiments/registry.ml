@@ -1,20 +1,28 @@
+type computed = { render : unit -> unit; checks : Common.check list }
+
 type entry = {
   id : string;
   title : string;
   paper_claim : string;
   execute : quiet:bool -> Common.check list;
+  compute : unit -> computed;
 }
 
 let entry id title paper_claim ~run ~print ~checks =
+  let compute () =
+    let r = run () in
+    { render = (fun () -> print r); checks = checks r }
+  in
   {
     id;
     title;
     paper_claim;
     execute =
       (fun ~quiet ->
-        let r = run () in
-        if not quiet then print r;
-        checks r);
+        let c = compute () in
+        if not quiet then c.render ();
+        c.checks);
+    compute;
   }
 
 let all =

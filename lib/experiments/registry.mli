@@ -1,6 +1,11 @@
 (** Uniform access to every reproduction experiment, used by the
     [hsfq_sim] CLI and the benchmark harness. *)
 
+type computed = {
+  render : unit -> unit;  (** print the captured rows/series *)
+  checks : Common.check list;
+}
+
 type entry = {
   id : string;  (** e.g. ["fig5"], ["xfair"] *)
   title : string;
@@ -8,6 +13,12 @@ type entry = {
   execute : quiet:bool -> Common.check list;
       (** run the experiment; print its rows/series unless [quiet];
           return the shape checks *)
+  compute : unit -> computed;
+      (** the same run with rendering deferred: all simulation happens
+          inside [compute] (which prints nothing and touches no shared
+          state, so entries may be computed on worker domains), and the
+          caller invokes [render] afterwards — in entry order, on the
+          main domain — for output identical to [execute]'s *)
 }
 
 val all : entry list

@@ -1,0 +1,159 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+module Pool = struct
+  (* Workers block on [work] until the submitter publishes a new epoch's
+     job (a self-scheduling chunk loop over an Atomic index — the
+     "deque" is a bump counter, which is all a sweep of independent
+     tasks needs). The submitting domain runs the same job itself, then
+     waits on [done_] until every worker has retired the epoch. *)
+  type t = {
+    lock : Mutex.t;
+    work : Condition.t;
+    done_ : Condition.t;
+    mutable epoch : int;
+    mutable job : (unit -> unit) option; (* never raises *)
+    mutable left : int; (* workers still inside the current epoch *)
+    mutable stop : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let worker t =
+    let my_epoch = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.lock;
+      while (not t.stop) && t.epoch = !my_epoch do
+        Condition.wait t.work t.lock
+      done;
+      if t.stop then begin
+        Mutex.unlock t.lock;
+        running := false
+      end
+      else begin
+        my_epoch := t.epoch;
+        let job = t.job in
+        Mutex.unlock t.lock;
+        (match job with Some f -> f () | None -> ());
+        Mutex.lock t.lock;
+        t.left <- t.left - 1;
+        if t.left = 0 then Condition.broadcast t.done_;
+        Mutex.unlock t.lock
+      end
+    done
+
+  let create ~workers =
+    if workers < 0 then invalid_arg "Par.Pool.create: negative workers";
+    let t =
+      {
+        lock = Mutex.create ();
+        work = Condition.create ();
+        done_ = Condition.create ();
+        epoch = 0;
+        job = None;
+        left = 0;
+        stop = false;
+        domains = [||];
+      }
+    in
+    t.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let workers t = Array.length t.domains
+
+  let run_job t job =
+    Mutex.lock t.lock;
+    t.job <- Some job;
+    t.epoch <- t.epoch + 1;
+    t.left <- Array.length t.domains;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    job ();
+    Mutex.lock t.lock;
+    while t.left > 0 do
+      Condition.wait t.done_ t.lock
+    done;
+    t.job <- None;
+    Mutex.unlock t.lock
+
+  let shutdown t =
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+
+  let with_pool ~workers f =
+    let t = create ~workers in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+  let serial tasks f = Array.map f tasks
+
+  let sweep ?chunk t ~tasks ~f =
+    let n = Array.length tasks in
+    if n <= 1 || workers t = 0 then serial tasks f
+    else begin
+      let parallelism = workers t + 1 in
+      let chunk =
+        match chunk with
+        | Some c ->
+          if c < 1 then invalid_arg "Par.Pool.sweep: chunk < 1";
+          c
+        | None -> Int.max 1 (n / (8 * parallelism))
+      in
+      let next = Atomic.make 0 in
+      (* Option slots keep ['b] boxed, so concurrent stores to distinct
+         indices are plain pointer writes (no float-array flattening),
+         and the mutex hand-off at epoch end publishes them. *)
+      let results = Array.make n None in
+      let exns = Array.make n None in
+      let first_failed = Atomic.make max_int in
+      let record_failure i =
+        let rec go () =
+          let cur = Atomic.get first_failed in
+          if i < cur && not (Atomic.compare_and_set first_failed cur i) then
+            go ()
+        in
+        go ()
+      in
+      let job () =
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n || Atomic.get first_failed < max_int then
+            continue := false
+          else
+            for i = start to Int.min n (start + chunk) - 1 do
+              match f tasks.(i) with
+              | r -> results.(i) <- Some r
+              | exception e ->
+                exns.(i) <- Some (e, Printexc.get_raw_backtrace ());
+                record_failure i
+            done
+        done
+      in
+      run_job t job;
+      match Atomic.get first_failed with
+      | i when i = max_int ->
+        Array.map
+          (function Some r -> r | None -> assert false (* all tasks ran *))
+          results
+      | i -> (
+        match exns.(i) with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* first_failed only set with exns.(i) *))
+    end
+end
+
+let sweep ~jobs ~tasks ~f =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Pool.serial tasks f
+  else
+    Pool.with_pool
+      ~workers:(Int.min (jobs - 1) (n - 1))
+      (fun pool -> Pool.sweep pool ~tasks ~f)
+
+let sweep_seeded ~jobs ~rng ~tasks ~f =
+  let tasks = Array.mapi (fun i task -> (i, task)) tasks in
+  sweep ~jobs ~tasks ~f:(fun (i, task) ->
+      f ~rng:(Hsfq_engine.Prng.stream rng i) task)

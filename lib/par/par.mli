@@ -1,0 +1,79 @@
+(** Domain-pool parallelism for whole-simulation sweeps.
+
+    Everything this repository fans out — torture seed sweeps, figure
+    regeneration, CSV export, differential-oracle batches, benchmark
+    harness runs — is a set of {e independent} simulations. {!sweep}
+    runs such a set across OCaml 5 domains while guaranteeing that the
+    merged result array is {e exactly} the one the serial run produces:
+    tasks carry no shared mutable state (each builds its own [Sim.t],
+    [Invariant.sink], [Tracelog.t], ...), randomness comes from
+    {!Hsfq_engine.Prng.stream} substreams keyed by task index (see
+    {!sweep_seeded}), and results are merged in task-index order. Any
+    output a task would print must instead be returned as data and
+    rendered at the join point, in index order, by the caller.
+
+    Domain-safety rules for task functions (enforced by convention and
+    by the [toplevel-mutable] lint on [lib/engine] / [lib/torture]):
+    a task must not touch module-level mutable state, must not print,
+    and must not share simulator objects with any other task. All of
+    [lib/engine], [lib/core], [lib/kernel] and [lib/torture] keep their
+    state inside instances created per run, so a task that builds its
+    own world is safe by construction. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
+
+module Pool : sig
+  (** A fixed pool of worker domains fed from a chunked task queue.
+
+      One pool may be reused across many {!sweep} calls (the benchmark
+      harness does), amortizing domain spawn cost. Sweeps on a single
+      pool must not overlap: one submitter at a time. *)
+
+  type t
+
+  val create : workers:int -> t
+  (** Spawn [workers] (>= 0) worker domains. [workers = 0] is a valid
+      degenerate pool: every sweep on it runs serially in the caller. *)
+
+  val workers : t -> int
+
+  val sweep : ?chunk:int -> t -> tasks:'a array -> f:('a -> 'b) -> 'b array
+  (** Apply [f] to every task, on the pool's workers plus the calling
+      domain, and return the results in task order. [chunk] (default
+      [max 1 (n / (8 * parallelism))]) is the number of consecutive
+      task indices a worker claims per fetch. If any [f tasks.(i)]
+      raises, the whole sweep raises — after all in-flight work has
+      drained — the exception of the {e lowest} failing task index
+      (with its backtrace), so failure is as deterministic as success. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the workers. Idempotent. Sweeps after shutdown run
+      serially in the caller. *)
+
+  val with_pool : workers:int -> (t -> 'a) -> 'a
+  (** [create], run, and always [shutdown] (even on exceptions). *)
+end
+
+val sweep : jobs:int -> tasks:'a array -> f:('a -> 'b) -> 'b array
+(** One-shot sweep at a parallelism of [jobs] (total domains doing
+    work, including the caller; values below 2 — and task counts below
+    2 — take the plain serial path, with no domains, atomics or pool
+    involved). The contract is the one that matters everywhere in this
+    repo: for a task-pure [f],
+
+    {[ sweep ~jobs ~tasks ~f = Array.map f tasks ]}
+
+    byte for byte, whatever [jobs] is. *)
+
+val sweep_seeded :
+  jobs:int ->
+  rng:Hsfq_engine.Prng.t ->
+  tasks:'a array ->
+  f:(rng:Hsfq_engine.Prng.t -> 'a -> 'b) ->
+  'b array
+(** {!sweep} for stochastic tasks: task [i] receives
+    [Prng.stream rng i], the [i]-th independent substream of [rng]
+    (derived without advancing [rng]), so the randomness each task sees
+    depends only on [(rng, i)] — never on how tasks were interleaved
+    across domains. *)

@@ -403,6 +403,14 @@ let exec cfg next =
 let run cfg =
   exec cfg (fun sys i -> if i >= cfg.ops then None else Some (gen_op sys))
 
+(* A torture run touches no state outside its [sys] (built from the seed
+   alone), so a seed sweep is embarrassingly parallel; Par.sweep merges
+   outcomes in seed order, keeping the result independent of [jobs]. *)
+let sweep ?(jobs = 1) cfg ~seeds =
+  let jobs = if jobs = 0 then Hsfq_par.Par.default_jobs () else jobs in
+  Hsfq_par.Par.sweep ~jobs ~tasks:seeds ~f:(fun seed ->
+      run { cfg with seed })
+
 let replay cfg ops =
   let arr = Array.of_list ops in
   exec cfg (fun _ i -> if i >= Array.length arr then None else Some arr.(i))

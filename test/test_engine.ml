@@ -147,37 +147,6 @@ let test_prng_stream_preserves_parent () =
   Alcotest.(check int64) "parent untouched" (Prng.next_int64 b)
     (Prng.next_int64 a)
 
-(* ---------------------------- Heap ---------------------------------- *)
-
-let test_heap_basic () =
-  let h = Heap.create ~cmp:Int.compare in
-  check_bool "empty" true (Heap.is_empty h);
-  List.iter (Heap.add h) [ 5; 1; 4; 2; 3 ];
-  check_int "length" 5 (Heap.length h);
-  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
-  let out = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
-  Alcotest.(check (list int)) "sorted pops" [ 1; 2; 3; 4; 5 ] out;
-  Alcotest.(check (option int)) "empty pop" None (Heap.pop h)
-
-let test_heap_clear_fold () =
-  let h = Heap.create ~cmp:Int.compare in
-  List.iter (Heap.add h) [ 3; 1; 2 ];
-  check_int "fold sum" 6 (Heap.fold h ~init:0 ~f:( + ));
-  check_int "to_list length" 3 (List.length (Heap.to_list h));
-  Heap.clear h;
-  check_bool "cleared" true (Heap.is_empty h)
-
-let prop_heap_sorts =
-  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
-    QCheck.(list int)
-    (fun xs ->
-      let h = Heap.create ~cmp:Int.compare in
-      List.iter (Heap.add h) xs;
-      let rec drain acc =
-        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
-      in
-      drain [] = List.sort Int.compare xs)
-
 (* ------------------------- Event queue ------------------------------ *)
 
 let test_event_queue_order () =
@@ -254,6 +223,57 @@ let test_event_queue_live_accounting () =
   Event_queue.cancel h;
   check_int "cancel after firing is a no-op" 0 (Event_queue.pending q);
   check_bool "handle not reported cancelled" false (Event_queue.is_cancelled h)
+
+(* The queue recycles handle records of settled-out cancellations; the
+   observable contract must survive many schedule/cancel/drain rounds
+   (no event lost, none fired twice, accounting exact) whether the
+   cancelled entries leave via the top of the heap or via compaction. *)
+let test_event_queue_handle_recycling () =
+  let q = Event_queue.create () in
+  for round = 0 to 9 do
+    let n = 200 in
+    let fired = Array.make n false in
+    let hs =
+      Array.init n (fun i ->
+          Event_queue.schedule q ~at:((i * 7919) mod n) (fun () ->
+              fired.(i) <- true))
+    in
+    Array.iteri (fun i h -> if i mod 2 = 0 then Event_queue.cancel h) hs;
+    check_int
+      (Printf.sprintf "round %d: live after cancels" round)
+      (n / 2) (Event_queue.pending q);
+    let pops = ref 0 in
+    let rec drain () =
+      match Event_queue.pop q with
+      | Some (_, f) ->
+        f ();
+        incr pops;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    check_int (Printf.sprintf "round %d: pops" round) (n / 2) !pops;
+    Array.iteri
+      (fun i f ->
+        check_bool
+          (Printf.sprintf "round %d: event %d %s" round i
+             (if i mod 2 = 0 then "cancelled" else "fired"))
+          (i mod 2 <> 0) f)
+      fired;
+    check_int (Printf.sprintf "round %d: drained" round) 0 (Event_queue.pending q)
+  done;
+  (* Compaction path: enough deep cancels that the next [schedule]
+     compacts (recycling the skipped entries) instead of settling. *)
+  let m = 100 in
+  let hs = Array.init m (fun i -> Event_queue.schedule q ~at:i (fun () -> ())) in
+  Array.iteri (fun i h -> if i < 60 then Event_queue.cancel h) hs;
+  let h = Event_queue.schedule q ~at:0 (fun () -> ()) in
+  check_int "live through compaction" 41 (Event_queue.pending q);
+  Event_queue.cancel h;
+  let rec count acc =
+    match Event_queue.pop q with Some _ -> count (acc + 1) | None -> acc
+  in
+  check_int "survivors fire after compaction" 40 (count 0)
 
 (* ----------------------------- Sim ---------------------------------- *)
 
@@ -509,12 +529,6 @@ let () =
           Alcotest.test_case "stream preserves parent" `Quick
             test_prng_stream_preserves_parent;
         ] );
-      ( "heap",
-        [
-          Alcotest.test_case "basic" `Quick test_heap_basic;
-          Alcotest.test_case "clear and fold" `Quick test_heap_clear_fold;
-          qc prop_heap_sorts;
-        ] );
       ( "event-queue",
         [
           Alcotest.test_case "time order" `Quick test_event_queue_order;
@@ -522,6 +536,8 @@ let () =
           Alcotest.test_case "cancellation" `Quick test_event_queue_cancel;
           Alcotest.test_case "O(1) live accounting" `Quick
             test_event_queue_live_accounting;
+          Alcotest.test_case "handle recycling" `Quick
+            test_event_queue_handle_recycling;
           qc prop_event_queue_total_order;
         ] );
       ( "sim",

@@ -516,17 +516,14 @@ let prop_audited_never_trips =
    (dense tables, lazy heap deletion, generation validation, compaction)
    to the paper's specification: any divergence in selection order,
    tags, virtual time or bookkeeping fails immediately. *)
-let prop_matches_naive_reference =
-  QCheck.Test.make
-    ~name:"optimized Sfq agrees with the naive reference, tag for tag"
-    ~count:400
-    QCheck.(
-      list_of_size (Gen.int_range 1 150) (pair (int_bound 5) (int_bound 6)))
-    (fun ops ->
-      let module A = Hsfq_check.Audited.Sfq in
-      let module R = Hsfq_check.Sfq_reference in
-      let s = A.create ~node:"diff" () in
-      let r = R.create () in
+(* Interpret one random op sequence against both implementations,
+   true iff they agree after every step.  Shared by the QCheck property
+   and the Par.sweep batch below. *)
+let differential_agrees ops =
+  let module A = Hsfq_check.Audited.Sfq in
+  let module R = Hsfq_check.Sfq_reference in
+  let s = A.create ~node:"diff" () in
+  let r = R.create () in
       let feq a b = Float.abs (a -. b) < 1e-9 in
       let agree () =
         A.backlogged s = R.backlogged r
@@ -594,7 +591,37 @@ let prop_matches_naive_reference =
               true
           in
           stepped && agree ())
-        ops)
+        ops
+
+let prop_matches_naive_reference =
+  QCheck.Test.make
+    ~name:"optimized Sfq agrees with the naive reference, tag for tag"
+    ~count:400
+    QCheck.(
+      list_of_size (Gen.int_range 1 150) (pair (int_bound 5) (int_bound 6)))
+    differential_agrees
+
+(* The same differential driven as a seeded batch through the domain
+   pool: each task's op sequence comes from its own Prng substream, so
+   every verdict is a pure function of (seed, task index) — jobs=1 and
+   jobs=4 must agree entry for entry, and every sequence must pass. *)
+let test_differential_parallel_batch () =
+  let module Prng = Hsfq_engine.Prng in
+  let gen_ops rng =
+    let n = 1 + Prng.int rng 150 in
+    List.init n (fun _ -> (Prng.int rng 6, Prng.int rng 7))
+  in
+  let run jobs =
+    Hsfq_par.Par.sweep_seeded ~jobs ~rng:(Prng.create 2026)
+      ~tasks:(Array.init 64 (fun i -> i))
+      ~f:(fun ~rng _i -> differential_agrees (gen_ops rng))
+  in
+  let serial = run 1 in
+  Array.iteri
+    (fun i ok ->
+      Alcotest.(check bool) (Printf.sprintf "sequence %d agrees" i) true ok)
+    serial;
+  Alcotest.(check (array bool)) "jobs 1 = jobs 4" serial (run 4)
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in
@@ -644,5 +671,7 @@ let () =
           qc prop_windowed_unfairness;
           qc prop_audited_never_trips;
           qc prop_matches_naive_reference;
+          Alcotest.test_case "differential batch across domains" `Quick
+            test_differential_parallel_batch;
         ] );
     ]
