@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench bench-smoke bench-diff torture-smoke figures examples clean
+.PHONY: all build test lint check bench bench-smoke bench-diff torture-smoke figures examples regen-golden clean
 
 all: build
 
@@ -41,6 +41,15 @@ bench-diff:
 # `dune exec bin/hsfq_sim.exe -- torture --seeds 100 -n 50000`.
 torture-smoke:
 	dune build @torture-smoke
+
+# Regenerate the golden trace dumps (test/golden/*.trace) after an
+# intentional change to the event schema, the exporters or the traced
+# experiments' scheduling.  test/test_obs.ml requires byte-equality
+# with these files; review the diff before committing.
+regen-golden:
+	dune build bin/hsfq_sim.exe
+	dune exec bin/hsfq_sim.exe -- trace fig1 --text > test/golden/fig1.trace
+	dune exec bin/hsfq_sim.exe -- trace fig5 --text --capacity 1024 > test/golden/fig5.trace
 
 # Figure data as CSV under ./figures (for plotting).
 figures:

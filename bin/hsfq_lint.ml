@@ -262,8 +262,16 @@ let domain_safe_scope file =
   has_suffix file ".ml"
   && (has_prefix file "lib/engine/" || has_prefix file "lib/torture/")
 
+(* lib/obs record paths must stay allocation-free: a tracepoint fires on
+   every scheduling decision, so closures, lists and formatting there
+   turn "one branch when disabled" into per-event garbage.  Exporters
+   (text_dump, chrome_trace) run after the fact and are whitelisted. *)
+let obs_record_scope file =
+  has_prefix file "lib/obs/" && has_suffix file ".ml"
+
 let check_tokens file src =
   let hot = List.exists (String.equal file) hot_path_modules in
+  let obs_path = obs_record_scope file in
   let check_toplevel_mutable = domain_safe_scope file in
   let prev = ref "" in
   let prev2 = ref "" in
@@ -360,7 +368,19 @@ let check_tokens file src =
         flag "hot-path-hashtbl" file line
           "hashtable in a hot-path module; scheduling decisions must stay \
            zero-hash — use a dense array keyed by id (whitelist only \
-           genuinely cold tables, with a justification)");
+           genuinely cold tables, with a justification)";
+      if
+        obs_path
+        && (String.equal tok "fun" || String.equal tok "function"
+           || String.equal tok "List" || has_prefix tok "List."
+           || has_prefix tok "Printf" || has_prefix tok "Format"
+           || has_prefix tok "Buffer" || String.equal tok "String.concat")
+      then
+        flag "obs-alloc" file line
+          (Printf.sprintf
+             "[%s] on a tracepoint record path; lib/obs must not allocate \
+              per event — use named top-level functions, while loops and \
+              preallocated arrays (whitelist only the exporters)" tok));
     prev2 := !prev;
     prev := tok;
     prev_line := line

@@ -33,7 +33,7 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_experiments ids all quiet jobs =
+let run_experiments ids all quiet metrics jobs =
   let entries =
     if all then E.Registry.all
     else
@@ -51,19 +51,29 @@ let run_experiments ids all quiet jobs =
     exit 2
   end;
   (* Simulate on the sweep (workers print nothing), render at the join
-     in entry order: the bytes match the serial run exactly. *)
+     in entry order: the bytes match the serial run exactly.  With
+     --metrics each worker runs its entry under a private tracer
+     (Domain.DLS keeps them independent) and ships back the rendered
+     per-node table. *)
   let computed =
     Par.sweep ~jobs:(resolve_jobs jobs)
       ~tasks:(Array.of_list entries)
-      ~f:(fun (e : E.Registry.entry) -> e.compute ())
+      ~f:(fun (e : E.Registry.entry) ->
+        if metrics then begin
+          let c, tr = E.Obs_run.capture (fun () -> e.compute ()) in
+          (c, Some (Hsfq_obs.Text_dump.metrics_report tr))
+        end
+        else (e.compute (), None))
   in
   let failures = ref 0 in
   List.iteri
     (fun i (e : E.Registry.entry) ->
-      let c : E.Registry.computed = computed.(i) in
+      let c, report = computed.(i) in
+      let c : E.Registry.computed = c in
       Printf.printf "=== %s: %s ===\n" e.id e.title;
       if not quiet then c.render ();
       E.Common.print_checks c.checks;
+      (match report with None -> () | Some r -> print_string r);
       if not (E.Common.all_ok c.checks) then incr failures;
       print_newline ())
     entries;
@@ -79,8 +89,17 @@ let run_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only the checks.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics"; "m" ]
+          ~doc:
+            "Run each experiment under the tracepoint system and print its \
+             per-node scheduler metrics (service, quanta, preemptions, \
+             virtual-time lag, dispatch waits) after the checks.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids $ all $ quiet $ jobs_arg)
+    Term.(const run_experiments $ ids $ all $ quiet $ metrics $ jobs_arg)
 
 (* A small live demo: the Figure 2 classes with a handful of threads,
    rendered as an ASCII Gantt chart. *)
@@ -124,15 +143,82 @@ let trace_demo ms_total cell_ms =
     (Hsfq_engine.Tracelog.render_gantt tr ~cell:(Time.milliseconds cell_ms)
        ~until:(Time.milliseconds ms_total))
 
+(* Structured tracing: run one experiment under the tracepoint system
+   and export the recorded events.  The same Obs_run path backs the
+   golden-trace tests, so CLI output and goldens agree byte-for-byte. *)
+let trace_run experiment out text metrics capacity duration cell =
+  match experiment with
+  | None -> trace_demo duration cell
+  | Some id ->
+    (match E.Obs_run.traced_compute ~capacity id with
+    | None ->
+      Printf.eprintf "unknown experiment %S; try `hsfq_sim list`\n" id;
+      exit 2
+    | Some (_, tr) ->
+      let payload =
+        if text then Hsfq_obs.Text_dump.dump tr
+        else Hsfq_obs.Chrome_trace.export tr
+      in
+      (match out with
+      | None -> print_string payload
+      | Some path ->
+        let oc = open_out path in
+        output_string oc payload;
+        close_out oc;
+        Printf.eprintf "wrote %s (%d events recorded, %d total)\n" path
+          (Hsfq_obs.Ring.length (Hsfq_obs.Trace.ring tr))
+          (Hsfq_obs.Ring.total (Hsfq_obs.Trace.ring tr)));
+      if metrics then print_string (Hsfq_obs.Text_dump.metrics_report tr))
+
 let trace_cmd =
-  let doc = "Run a small Figure-2 scenario and print its execution Gantt chart." in
+  let doc =
+    "Trace an experiment through the ring-buffer tracepoint system and \
+     export Chrome trace_event JSON (open in Perfetto or chrome://tracing); \
+     with no experiment, print the legacy Figure-2 Gantt demo."
+  in
+  let experiment =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiment id to trace (see `hsfq_sim list`).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the export to $(docv) instead of stdout.")
+  in
+  let text =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:"Export the canonical text dump (the golden-trace format) instead of Chrome JSON.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics"; "m" ] ~doc:"Also print the per-node metrics table to stdout.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int E.Obs_run.default_capacity
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Ring-buffer capacity in events (rounded up to a power of two); \
+             when the run emits more, only the last $(docv) are kept.")
+  in
   let duration =
-    Arg.(value & opt int 400 & info [ "duration"; "d" ] ~docv:"MS" ~doc:"Milliseconds to simulate.")
+    Arg.(value & opt int 400 & info [ "duration"; "d" ] ~docv:"MS" ~doc:"(demo) Milliseconds to simulate.")
   in
   let cell =
-    Arg.(value & opt int 4 & info [ "cell"; "c" ] ~docv:"MS" ~doc:"Milliseconds per Gantt cell.")
+    Arg.(value & opt int 4 & info [ "cell"; "c" ] ~docv:"MS" ~doc:"(demo) Milliseconds per Gantt cell.")
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_demo $ duration $ cell)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace_run $ experiment $ out $ text $ metrics $ capacity $ duration
+      $ cell)
 
 (* Build the paper's Figure 2 structure via the QoS manager and print it
    with guaranteed shares. *)

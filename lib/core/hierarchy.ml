@@ -28,6 +28,9 @@ type t = {
      every transition of an internal node's SFQ, with that node's id.
      Must not mutate the hierarchy. *)
   mutable audit_hook : (node:id -> event:string -> unit) option;
+  (* Tracepoint sink (Hsfq_obs): [attach_obs] fans it out to every
+     internal node's SFQ and emits node-lifecycle events here. *)
+  mutable obs : Hsfq_obs.Trace.sys option;
 }
 
 let root = 0
@@ -38,6 +41,11 @@ let audited t ~node ~event =
   | Some hook -> hook ~node ~event
 
 let set_audit_hook t hook = t.audit_hook <- hook
+
+let obs_emit t ~code ~a ~b ~c =
+  match t.obs with
+  | None -> ()
+  | Some s -> Hsfq_obs.Trace.emit0 s ~code ~a ~b ~c ~d:0
 
 let make_node ~nid ~comp ~parent ~weight kind =
   {
@@ -56,7 +64,7 @@ let create () =
   let nodes = Array.make 16 None in
   nodes.(root) <-
     Some (make_node ~nid:root ~comp:"" ~parent:None ~weight:1.0 Internal);
-  { nodes; next_id = 1; count = 1; audit_hook = None }
+  { nodes; next_id = 1; count = 1; audit_hook = None; obs = None }
 
 let unknown id = invalid_arg (Printf.sprintf "Hierarchy: unknown node %d" id)
 
@@ -84,6 +92,11 @@ let grow t needed =
     t.nodes <- nn
   end
 
+let rec rev_path n acc =
+  match n.parent with None -> acc | Some p -> rev_path p (n.comp :: acc)
+
+let name_of t id = Path.join (rev_path (node t id) [])
+
 let mknod t ~name ~parent ~weight kind =
   if not (Path.is_valid_component name) then
     Error (Printf.sprintf "invalid node name %S" name)
@@ -109,12 +122,38 @@ let mknod t ~name ~parent ~weight kind =
       Sfq.arrive psfq ~id:nid ~weight;
       Sfq.block psfq ~id:nid;
       audited t ~node:parent ~event:"mknod";
+      (match t.obs with
+      | None -> ()
+      | Some s ->
+        (match n.sfq with
+        | Some sf -> Sfq.set_obs sf (Some s) ~node:nid
+        | None -> ());
+        Hsfq_obs.Trace.name_lane s
+          ~lane:(Hsfq_obs.Trace.node_lane nid)
+          ~name:(name_of t nid);
+        Hsfq_obs.Trace.emit0 s ~code:Hsfq_obs.Trace.ev_mknod ~a:parent ~b:nid
+          ~c:0 ~d:0);
       Ok nid
 
-let rec rev_path n acc =
-  match n.parent with None -> acc | Some p -> rev_path p (n.comp :: acc)
-
-let name_of t id = Path.join (rev_path (node t id) [])
+(* Fan the tracepoint sink out: every internal node's SFQ emits
+   pick/tag-update events under its own node id, and every node gets a
+   named exporter lane.  Nodes created later are wired by [mknod]. *)
+let attach_obs t sys =
+  t.obs <- sys;
+  for id = 0 to t.next_id - 1 do
+    match node_opt t id with
+    | None -> ()
+    | Some n ->
+      (match n.sfq with
+      | Some sf -> Sfq.set_obs sf sys ~node:n.nid
+      | None -> ());
+      (match sys with
+      | None -> ()
+      | Some s ->
+        Hsfq_obs.Trace.name_lane s
+          ~lane:(Hsfq_obs.Trace.node_lane n.nid)
+          ~name:(if n.nid = root then "/" else name_of t n.nid))
+  done
 
 let parse t ?(hint = root) name =
   match Path.split name with
@@ -152,6 +191,7 @@ let rmnod t id =
       t.nodes.(id) <- None;
       t.count <- t.count - 1;
       audited t ~node:p.nid ~event:"rmnod";
+      obs_emit t ~code:Hsfq_obs.Trace.ev_rmnod ~a:p.nid ~b:id ~c:0;
       Ok ()
 
 let set_weight t id w =
@@ -216,6 +256,7 @@ let setrun t id =
       | Some p ->
         Sfq.arrive (sfq_of p) ~id:n.nid ~weight:n.weight;
         audited t ~node:p.nid ~event:"setrun";
+        obs_emit t ~code:Hsfq_obs.Trace.ev_node_setrun ~a:p.nid ~b:n.nid ~c:0;
         up p
     end
   in
@@ -233,6 +274,7 @@ let sleep t id =
         let psfq = sfq_of p in
         Sfq.block psfq ~id:n.nid;
         audited t ~node:p.nid ~event:"sleep";
+        obs_emit t ~code:Hsfq_obs.Trace.ev_node_sleep ~a:p.nid ~b:n.nid ~c:0;
         if Sfq.backlogged psfq = 0 then up p
     end
   in
@@ -278,6 +320,8 @@ let donate t ~blocked ~recipient =
     | Some pb, Some pr when pb.nid = pr.nid ->
       Sfq.donate (sfq_of pb) ~blocked ~recipient;
       audited t ~node:pb.nid ~event:"donate";
+      obs_emit t ~code:Hsfq_obs.Trace.ev_node_donate ~a:blocked ~b:recipient
+        ~c:pb.nid;
       Ok ()
     | _ -> Error "donate: nodes must be siblings"
 
@@ -287,4 +331,5 @@ let revoke t ~blocked =
   | None -> ()
   | Some p ->
     Sfq.revoke (sfq_of p) ~blocked;
-    audited t ~node:p.nid ~event:"revoke"
+    audited t ~node:p.nid ~event:"revoke";
+    obs_emit t ~code:Hsfq_obs.Trace.ev_node_revoke ~a:blocked ~b:(-1) ~c:p.nid

@@ -81,6 +81,14 @@ val set_audit_hook : t -> (node:id -> event:string -> unit) option -> unit
     mutate the hierarchy; it is meant for the {!Hsfq_check} invariant
     audit. *)
 
+val attach_obs : t -> Hsfq_obs.Trace.sys option -> unit
+(** Attach (or detach) a tracepoint sink ({!Hsfq_obs}): fans out to
+    every internal node's SFQ via {!Sfq.set_obs} (pick/tag-update
+    events keyed by node id), emits node-lifecycle events
+    (mknod/rmnod/setrun/sleep/donate/revoke), and names an exporter
+    lane per node.  Nodes created after the attach are wired by
+    [mknod]. *)
+
 val render_tree : t -> string
 (** Multi-line rendering of the structure: one node per line, indented by
     depth, with weight, kind, and runnable flag — e.g.

@@ -49,6 +49,17 @@ type t = {
   clock : clock;
   mutable nrun : int;
   mutable in_service : int; (* -1 = none *)
+  mutable obs : Hsfq_obs.Trace.sys option;
+      (* tracepoint sink; [None] keeps every decision at a single extra
+         match branch *)
+  mutable obs_on : bool ref;
+      (* the tracer's live enabled cell (Trace.on_cell), cached so a
+         disabled tracepoint costs one load + branch — no stage stores,
+         no cross-module call *)
+  mutable obs_node : int; (* hierarchy node id this SFQ serves, for events *)
+  mutable obs_stage : float array;
+      (* the tracer ring's float staging cells, cached so an enabled
+         emit stores payloads unboxed (same trick as kstage/klast) *)
   mutable next_gen : int;
       (* global generation counter for heap entries: per-client counters
          would restart at 0 when a departed id re-arrives, making the
@@ -78,6 +89,10 @@ let create ?rng:_ ?quantum_hint:_ () =
       clock = { vt = 0.; max_finish = 0. };
       nrun = 0;
       in_service = -1;
+      obs = None;
+      obs_on = ref false;
+      obs_node = -1;
+      obs_stage = Array.make 2 0.;
       next_gen = 0;
     }
   in
@@ -89,6 +104,15 @@ let create ?rng:_ ?quantum_hint:_ () =
       && Char.equal (Bytes.get t.statev id) st_runnable
       && t.genv.(id) = gen);
   t
+
+let set_obs t sys ~node =
+  t.obs <- sys;
+  t.obs_node <- node;
+  match sys with
+  | Some s ->
+    t.obs_stage <- Hsfq_obs.Trace.stage s;
+    t.obs_on <- Hsfq_obs.Trace.on_cell s
+  | None -> t.obs_on <- ref false
 
 let state t id =
   if id >= 0 && id < t.cap then Bytes.get t.statev id else st_absent
@@ -215,7 +239,16 @@ let select_id t =
     t.in_service <- id;
     (* Rule 2: while busy, v(t) is the start tag of the quantum in
        service. *)
-    t.clock.vt <- t.klast.(0)
+    t.clock.vt <- t.klast.(0);
+    if !(t.obs_on) then begin
+      match t.obs with
+      | None -> ()
+      | Some s ->
+        t.obs_stage.(0) <- t.clock.vt;
+        t.obs_stage.(1) <- 0.;
+        Hsfq_obs.Trace.emitf s ~code:Hsfq_obs.Trace.ev_pick ~a:t.obs_node
+          ~b:id ~c:0 ~d:0
+    end
   end;
   id
 
@@ -228,9 +261,22 @@ let charge t ~id ~service ~runnable =
     invalid_arg "Sfq.charge: client not in service";
   if service < 0. then invalid_arg "Sfq.charge: negative service";
   t.in_service <- -1;
-  let finish = t.startv.(id) +. (service /. effective_weight t id) in
+  let ew = effective_weight t id in
+  let finish = t.startv.(id) +. (service /. ew) in
   t.finishv.(id) <- finish;
   if finish > t.clock.max_finish then t.clock.max_finish <- finish;
+  (if !(t.obs_on) then
+     match t.obs with
+     | None -> ()
+     | Some s ->
+       t.obs_stage.(0) <- service;
+       t.obs_stage.(1) <- finish;
+       Hsfq_obs.Trace.emitf s ~code:Hsfq_obs.Trace.ev_tag_update ~a:t.obs_node
+         ~b:id
+         ~c:(if runnable then 1 else 0)
+         ~d:0;
+       Hsfq_obs.Metrics.charge_sample (Hsfq_obs.Trace.metrics s) ~node:id
+         ~service ~norm:(service /. ew) ~vt:t.clock.vt);
   if runnable then begin
     t.startv.(id) <- fmax t.clock.vt finish;
     enqueue t id

@@ -34,6 +34,13 @@ include Hsfq_sched.Scheduler_intf.FAIR
     [arrive] rejects negative ids and ids beyond the dense-table limit
     (2^22). *)
 
+val set_obs : t -> Hsfq_obs.Trace.sys option -> node:int -> unit
+(** Attach (or detach) a tracepoint sink. [node] is the hierarchy node
+    this SFQ serves, recorded as the parent of every pick/tag-update
+    event (use [-1] for a standalone instance). With [None] attached a
+    scheduling decision pays exactly one extra match branch; with a sink
+    attached but tracing disabled, one call testing the flag. *)
+
 val select_id : t -> int
 (** Allocation-free [select]: the selected client's id, or [-1] iff no
     client is runnable. Same contract otherwise — each successful

@@ -8,9 +8,24 @@ type sys = {
   hier : Hierarchy.t;
   k : Kernel.t;
   audit : Hsfq_check.Invariant.sink option;
+  obs : Hsfq_obs.Trace.sys option;
 }
 
-let make_sys ?config ?(audit = true) () =
+(* Ambient tracer, set by [with_obs] around an experiment run.  The key
+   is domain-local (Domain.DLS), so parallel sweeps (Par.sweep) can run
+   one traced experiment per worker domain without sharing a tracer —
+   which is also what keeps traced runs byte-identical across --jobs. *)
+let obs_key : Hsfq_obs.Trace.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let ambient_obs () = Domain.DLS.get obs_key
+
+let with_obs tr f =
+  let prev = Domain.DLS.get obs_key in
+  Domain.DLS.set obs_key (Some tr);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set obs_key prev) f
+
+let make_sys ?config ?(audit = true) ?(obs_label = "sys") () =
   let sim = Sim.create () in
   let hier = Hierarchy.create () in
   let k = Kernel.create ?config sim hier in
@@ -24,7 +39,25 @@ let make_sys ?config ?(audit = true) () =
     end
     else None
   in
-  { sim; hier; k; audit = sink }
+  (* When an ambient tracer is installed, register this system as one
+     trace process and wire the tracepoint sink through every layer. *)
+  let obs =
+    match ambient_obs () with
+    | None -> None
+    | Some tr ->
+      let s = Hsfq_obs.Trace.register_sys tr ~label:obs_label in
+      Hierarchy.attach_obs hier (Some s);
+      Kernel.set_obs k (Some s);
+      Some s
+  in
+  { sim; hier; k; audit = sink; obs }
+
+(* Leaf schedulers pick up the tracepoint decorator when the system is
+   being observed. *)
+let maybe_traced sys ~node lf =
+  match sys.obs with
+  | None -> lf
+  | Some s -> Leaf_sched.traced ~sys:s ~node lf
 
 let must where = function
   | Ok v -> v
@@ -41,7 +74,7 @@ let sfq_leaf sys ~parent ~name ~weight ?quantum () =
   let lf, h =
     Leaf_sched.Sfq_leaf.make ?quantum ?audit:sys.audit ~audit_label:name ()
   in
-  Kernel.install_leaf sys.k id lf;
+  Kernel.install_leaf sys.k id (maybe_traced sys ~node:id lf);
   (id, h)
 
 let svr4_leaf sys ~parent ~name ~weight ?table ?tick_accounting ?rt_quantum () =
@@ -49,7 +82,7 @@ let svr4_leaf sys ~parent ~name ~weight ?table ?tick_accounting ?rt_quantum () =
     must "svr4_leaf" (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Leaf)
   in
   let lf, h = Leaf_sched.Svr4_leaf.make ?table ?tick_accounting ?rt_quantum () in
-  Kernel.install_leaf sys.k id lf;
+  Kernel.install_leaf sys.k id (maybe_traced sys ~node:id lf);
   (id, h)
 
 let rm_leaf sys ~parent ~name ~weight ?quantum () =
@@ -57,7 +90,7 @@ let rm_leaf sys ~parent ~name ~weight ?quantum () =
     must "rm_leaf" (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Leaf)
   in
   let lf, h = Leaf_sched.Rm_leaf.make ?quantum () in
-  Kernel.install_leaf sys.k id lf;
+  Kernel.install_leaf sys.k id (maybe_traced sys ~node:id lf);
   (id, h)
 
 let edf_leaf sys ~parent ~name ~weight ?quantum () =
@@ -65,7 +98,7 @@ let edf_leaf sys ~parent ~name ~weight ?quantum () =
     must "edf_leaf" (Hierarchy.mknod sys.hier ~name ~parent ~weight Hierarchy.Leaf)
   in
   let lf, h = Leaf_sched.Edf_leaf.make ?quantum () in
-  Kernel.install_leaf sys.k id lf;
+  Kernel.install_leaf sys.k id (maybe_traced sys ~node:id lf);
   (id, h)
 
 let dhrystone_thread sys ~leaf ~sfq ~name ~weight ~loop_cost =

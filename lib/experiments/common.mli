@@ -15,12 +15,27 @@ type sys = {
   audit : Hsfq_check.Invariant.sink option;
       (** collects violations from the hierarchy audit and every audited
           leaf; [None] when built with [~audit:false] *)
+  obs : Hsfq_obs.Trace.sys option;
+      (** tracepoint handle, present when the system was built under
+          {!with_obs} *)
 }
 
-val make_sys : ?config:Kernel.config -> ?audit:bool -> unit -> sys
+val with_obs : Hsfq_obs.Trace.t -> (unit -> 'a) -> 'a
+(** Install [tr] as the ambient tracer while [f] runs: every system
+    {!make_sys} builds inside [f] registers itself with the tracer and
+    wires tracepoints through its hierarchy, kernel and leaf
+    schedulers.  The binding is per-domain (Domain.DLS), so traced runs
+    on [Par.sweep] workers stay independent and deterministic. *)
+
+val ambient_obs : unit -> Hsfq_obs.Trace.t option
+
+val make_sys :
+  ?config:Kernel.config -> ?audit:bool -> ?obs_label:string -> unit -> sys
 (** [audit] (default [true]) attaches {!Hsfq_check.Hierarchy_audit} to the
     scheduling structure and audits every {!sfq_leaf}, collecting
-    violations in [sys.audit] for {!audit_check} to report. *)
+    violations in [sys.audit] for {!audit_check} to report.
+    [obs_label] (default ["sys"]) names this system's trace process when
+    built under {!with_obs}. *)
 
 val internal : sys -> parent:Hierarchy.id -> name:string -> weight:float ->
   Hierarchy.id

@@ -98,6 +98,9 @@ type t = {
   mutable overhead_total : Time.span;
   wseries : Series.t;
   mutable trace : Tracelog.t option;
+  mutable obs : Hsfq_obs.Trace.sys option;
+      (* structured tracepoint sink (Hsfq_obs); independent of the
+         Gantt [trace] above *)
 }
 
 (* A runaway workload returning only zero-length/past actions would
@@ -127,6 +130,7 @@ let create ?(config = default_config) sim hier =
       overhead_total = 0;
       wseries = Series.create ~name:"kernel-work" ();
       trace = None;
+      obs = None;
     }
   in
   (* Periodic housekeeping (SVR4 starvation boosts). *)
@@ -140,6 +144,22 @@ let create ?(config = default_config) sim hier =
 let config t = t.cfg
 let sim t = t.sim
 let hierarchy t = t.hier
+
+(* Tracepoints.  [obs_stamp] pushes the simulated clock into the tracer
+   before a kernel entry point runs scheduler code (Hierarchy/Sfq emit
+   under the last stamped time); [obs_emit] stamps and records one
+   kernel event.  With no sink attached both are a single match. *)
+let obs_stamp t =
+  match t.obs with
+  | None -> ()
+  | Some s -> Hsfq_obs.Trace.sys_set_now s (Sim.now t.sim)
+
+let obs_emit t ~code ~a ~b ~c ~d =
+  match t.obs with
+  | None -> ()
+  | Some s ->
+    Hsfq_obs.Trace.sys_set_now s (Sim.now t.sim);
+    Hsfq_obs.Trace.emit0 s ~code ~a ~b ~c ~d
 
 let thread t tid =
   match Hashtbl.find_opt t.threads tid with
@@ -238,6 +258,10 @@ let spawn t ~name ~leaf workload =
     }
   in
   Hashtbl.replace t.threads tid th;
+  (match t.obs with
+  | None -> ()
+  | Some s -> Hsfq_obs.Trace.name_lane s ~lane:tid ~name);
+  obs_emit t ~code:Hsfq_obs.Trace.ev_spawn ~a:tid ~b:leaf ~c:0 ~d:0;
   tid
 
 let interrupt_active t = t.interrupt_done <> None
@@ -287,6 +311,7 @@ type disposition =
   | Die
 
 let rec end_dispatch t d now disposition =
+  obs_stamp t;
   let th = thread t d.d_tid in
   let lf = leaf_sched t d.d_leaf in
   let disposition =
@@ -321,6 +346,14 @@ let rec end_dispatch t d now disposition =
     Series.add th.cpu now (float_of_int service);
     Series.add t.wseries now (float_of_int service)
   end;
+  obs_emit t ~code:Hsfq_obs.Trace.ev_quantum_end ~a:d.d_tid ~b:d.d_leaf
+    ~c:service
+    ~d:
+      (match disposition with
+      | Requeue -> 0
+      | Block_until _ -> 1
+      | Block_external -> 2
+      | Die -> 3);
   t.current <- None;
   (match disposition with
   | Requeue -> th.state <- Runnable
@@ -513,6 +546,7 @@ and complete_slice t d () =
 and maybe_dispatch t =
   if t.current = None && not (interrupt_active t) then begin
     let now = Sim.now t.sim in
+    obs_stamp t;
     match Hierarchy.schedule t.hier with
     | None -> if t.idle_since = None then t.idle_since <- Some now
     | Some leaf ->
@@ -534,6 +568,11 @@ and maybe_dispatch t =
         let lat = Time.diff now th.last_wake in
         Stats.add th.latency (float_of_int lat);
         Series.add th.lat_series now (float_of_int lat);
+        (match t.obs with
+        | Some s when Hsfq_obs.Trace.on s ->
+          Hsfq_obs.Metrics.wait_sample (Hsfq_obs.Trace.metrics s) ~node:leaf
+            (float_of_int lat)
+        | Some _ | None -> ());
         th.awaiting_dispatch <- false
       end;
       let quantum =
@@ -563,7 +602,9 @@ and maybe_dispatch t =
       d.completion <- Some (Sim.after t.sim (overhead + seg) (complete_slice t d));
       t.current <- Some d;
       th.state <- Running;
-      th.dispatches <- th.dispatches + 1
+      th.dispatches <- th.dispatches + 1;
+      obs_emit t ~code:Hsfq_obs.Trace.ev_dispatch ~a:tid ~b:leaf ~c:quantum
+        ~d:overhead
   end
 
 and preempt_current t =
@@ -571,6 +612,11 @@ and preempt_current t =
   | None -> ()
   | Some d ->
     let now = Sim.now t.sim in
+    obs_emit t ~code:Hsfq_obs.Trace.ev_preempt ~a:d.d_tid ~b:d.d_leaf ~c:0 ~d:0;
+    (match t.obs with
+    | Some s when Hsfq_obs.Trace.on s ->
+      Hsfq_obs.Metrics.incr_preempt (Hsfq_obs.Trace.metrics s) ~node:d.d_leaf
+    | Some _ | None -> ());
     if not d.paused then pause_dispatch t d now;
     end_dispatch t d now Requeue
 
@@ -578,6 +624,7 @@ and make_runnable t th now =
   th.state <- Runnable;
   th.last_wake <- now;
   th.awaiting_dispatch <- true;
+  obs_emit t ~code:Hsfq_obs.Trace.ev_wake ~a:th.tid ~b:th.leaf ~c:0 ~d:0;
   let lf = leaf_sched t th.leaf in
   lf.enqueue ~now th.tid;
   if not (Hierarchy.is_runnable t.hier th.leaf) then Hierarchy.setrun t.hier th.leaf;
@@ -599,15 +646,19 @@ and activate t th now =
     | `Work -> make_runnable t th now
     | `Sleep at ->
       th.state <- Blocked;
+      obs_emit t ~code:Hsfq_obs.Trace.ev_sleep ~a:th.tid ~b:th.leaf ~c:0 ~d:0;
       th.wake_handle <- Some (Sim.at t.sim at (fun () -> do_wake t th.tid))
     | `Lock_wait m ->
       enqueue_mutex_waiter t th m;
-      th.state <- Blocked
+      th.state <- Blocked;
+      obs_emit t ~code:Hsfq_obs.Trace.ev_sleep ~a:th.tid ~b:th.leaf ~c:1 ~d:0
     | `Io (dev, units) ->
       submit_io t th dev units;
-      th.state <- Blocked
+      th.state <- Blocked;
+      obs_emit t ~code:Hsfq_obs.Trace.ev_sleep ~a:th.tid ~b:th.leaf ~c:2 ~d:0
     | `Exit ->
       th.state <- Exited;
+      obs_emit t ~code:Hsfq_obs.Trace.ev_kill ~a:th.tid ~b:th.leaf ~c:1 ~d:0;
       (leaf_sched t th.leaf).detach th.tid;
       release_mutex_links t th
   end
@@ -656,6 +707,7 @@ let kill t tid =
   | Blocked -> cancel_wake th
   | Created | Exited -> ());
   if th.state <> Exited then begin
+    obs_emit t ~code:Hsfq_obs.Trace.ev_kill ~a:tid ~b:th.leaf ~c:0 ~d:0;
     (* Leave wait queues / hand off held mutexes while the leaf still
        knows the thread, so the donation revoke finds its record. *)
     release_mutex_links t th;
@@ -694,6 +746,7 @@ let move t tid ~to_leaf =
   | Exited -> invalid_arg "Kernel.move: thread has exited"
   | Created | Runnable | Blocked -> ());
   if to_leaf <> th.leaf then begin
+    obs_emit t ~code:Hsfq_obs.Trace.ev_move ~a:tid ~b:th.leaf ~c:to_leaf ~d:0;
     (match th.state with
     | Running | Exited -> assert false
     | Created | Blocked ->
@@ -724,6 +777,8 @@ let move t tid ~to_leaf =
 
 let suspend t tid =
   let th = thread t tid in
+  if th.state <> Exited && not th.suspended then
+    obs_emit t ~code:Hsfq_obs.Trace.ev_suspend ~a:tid ~b:th.leaf ~c:0 ~d:0;
   match th.state with
   | Exited -> invalid_arg "Kernel.suspend: thread has exited"
   | _ when th.suspended -> ()
@@ -757,6 +812,7 @@ let resume t tid =
   let th = thread t tid in
   if th.suspended then begin
     th.suspended <- false;
+    obs_emit t ~code:Hsfq_obs.Trace.ev_resume ~a:tid ~b:th.leaf ~c:0 ~d:0;
     (* Deliver the banked wake, if any; a mutex or I/O waiter whose wake
        has not arrived stays Blocked until the grant/completion. *)
     if th.state = Blocked && th.wake_pending then begin
@@ -778,6 +834,7 @@ let rec interrupts_done t () =
       Some (Sim.at t.sim t.interrupt_until (interrupts_done t))
   else begin
     t.interrupt_done <- None;
+    obs_emit t ~code:Hsfq_obs.Trace.ev_irq_end ~a:0 ~b:0 ~c:0 ~d:0;
     match t.current with
     | Some d ->
       assert d.paused;
@@ -793,6 +850,9 @@ let interrupt t ~duration =
   else begin
     let now = Sim.now t.sim in
     t.interrupt_total <- t.interrupt_total + duration;
+    obs_emit t ~code:Hsfq_obs.Trace.ev_irq_begin
+      ~a:(if interrupt_active t then 1 else 0)
+      ~b:0 ~c:duration ~d:0;
     if interrupt_active t then t.interrupt_until <- t.interrupt_until + duration
     else begin
       close_idle t now;
@@ -827,6 +887,8 @@ let interrupt_time t = t.interrupt_total
 let overhead_time t = t.overhead_total
 let work_series t = t.wseries
 let set_trace t tr = t.trace <- tr
+let set_obs t sys = t.obs <- sys
+let obs t = t.obs
 
 let tids t =
   List.sort Int.compare (Hashtbl.fold (fun tid _ acc -> tid :: acc) t.threads [])

@@ -191,6 +191,18 @@ val set_trace : t -> Tracelog.t option -> unit
 (** When set, every executed slice is recorded as a Gantt segment on the
     thread's name lane. *)
 
+val set_obs : t -> Hsfq_obs.Trace.sys option -> unit
+(** Attach (or detach) a structured tracepoint sink ({!Hsfq_obs}): the
+    kernel stamps the simulated clock into the tracer, emits thread
+    lifecycle events (spawn/kill/move/sleep/wake/suspend/resume),
+    dispatch/quantum-end pairs, preemptions and interrupts, and feeds
+    per-leaf dispatch-wait and preemption metrics.  Scheduler-level
+    events come from {!Hierarchy.attach_obs}, which the harness wires
+    alongside this.  Threads spawned before the attach keep unnamed
+    lanes; attach first. *)
+
+val obs : t -> Hsfq_obs.Trace.sys option
+
 val render_summary : t -> string
 (** A human-readable per-thread table (state, CPU, dispatches, mean
     scheduling latency, class) plus the kernel totals — for examples and

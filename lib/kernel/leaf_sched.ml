@@ -494,3 +494,46 @@ module Reserve_leaf = struct
 
   let budget_left h ~tid = (get h tid).budget
 end
+
+(* Tracepoint decorator: wrap a leaf scheduler so its per-thread
+   operations emit leaf-level events (the hierarchy only sees whole-leaf
+   charges; these record which thread the leaf picked/charged).  The
+   wrapped closures allocate once here, at install time — the per-event
+   cost is the same enabled-flag test as every other tracepoint. *)
+let traced ~sys ~node lf =
+  let module Tr = Hsfq_obs.Trace in
+  {
+    lf with
+    enqueue =
+      (fun ~now tid ->
+        Tr.sys_set_now sys now;
+        Tr.emit0 sys ~code:Tr.ev_leaf_enqueue ~a:node ~b:tid ~c:0 ~d:0;
+        lf.enqueue ~now tid);
+    dequeue =
+      (fun ~now tid ->
+        Tr.sys_set_now sys now;
+        Tr.emit0 sys ~code:Tr.ev_leaf_dequeue ~a:node ~b:tid ~c:0 ~d:0;
+        lf.dequeue ~now tid);
+    select =
+      (fun ~now ->
+        Tr.sys_set_now sys now;
+        let r = lf.select ~now in
+        (match r with
+        | Some tid -> Tr.emit0 sys ~code:Tr.ev_leaf_pick ~a:node ~b:tid ~c:0 ~d:0
+        | None -> ());
+        r);
+    charge =
+      (fun ~now tid ~service ~runnable ->
+        Tr.sys_set_now sys now;
+        Tr.emit0 sys ~code:Tr.ev_leaf_charge ~a:node ~b:tid ~c:service
+          ~d:(if runnable then 1 else 0);
+        lf.charge ~now tid ~service ~runnable);
+    donate =
+      (fun ~blocked ~recipient ->
+        Tr.emit0 sys ~code:Tr.ev_donate ~a:blocked ~b:recipient ~c:node ~d:0;
+        lf.donate ~blocked ~recipient);
+    revoke =
+      (fun ~blocked ->
+        Tr.emit0 sys ~code:Tr.ev_revoke ~a:blocked ~b:(-1) ~c:node ~d:0;
+        lf.revoke ~blocked);
+  }

@@ -174,3 +174,11 @@ module Reserve_leaf : sig
 
   val budget_left : handle -> tid:int -> Time.span
 end
+
+val traced : sys:Hsfq_obs.Trace.sys -> node:int -> t -> t
+(** Tracepoint decorator ({!Hsfq_obs}): returns a scheduler whose
+    enqueue/dequeue/select/charge/donate/revoke additionally emit
+    leaf-level events ([leaf-enqueue], [leaf-dequeue], [leaf-pick],
+    [leaf-charge], [donate], [revoke]) under hierarchy node [node].
+    Wrapping costs one closure record at install time; per event it is
+    the usual single enabled-flag test. *)

@@ -1,0 +1,10 @@
+(** Chrome [trace_event] JSON exporter.
+
+    The returned string is a complete JSON object loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}:
+    process/thread-name metadata from the tracer's registered systems
+    and named lanes, dispatch/quantum-end pairs as "X" complete slices,
+    interrupts as duration slices on a dedicated lane, and every other
+    event as a thread-scoped instant. *)
+
+val export : Trace.t -> string

@@ -1,0 +1,52 @@
+(** Preallocated tracepoint ring buffer.
+
+    Fixed-size event records in structure-of-arrays columns: an int
+    event [code], the simulated [time] (ns), the emitting subsystem
+    [pid], four int payload words [a b c d] and two float payload words
+    [x y].  Capacity is rounded up to a power of two; once full, the
+    oldest event is overwritten ([total] keeps counting, [length] caps
+    at capacity).
+
+    The record path allocates nothing: float payloads are staged through
+    the shared 2-cell {!stage} array (caller stores, [emit] copies), so
+    an event costs a handful of array stores.  See
+    [doc/OBSERVABILITY.md]. *)
+
+type t
+
+val create : capacity:int -> t
+(** Rounded up to a power of two, minimum 16. *)
+
+val capacity : t -> int
+
+val stage : t -> float array
+(** The 2-cell float staging area: write [stage.(0)] (x) and
+    [stage.(1)] (y) immediately before {!emit}.  Cells are not cleared
+    between events — an emitter that skips the stores records the
+    previous payload. *)
+
+val emit :
+  t -> code:int -> time:int -> pid:int -> a:int -> b:int -> c:int -> d:int ->
+  unit
+(** Record one event (x/y taken from {!stage}).  Never allocates. *)
+
+val clear : t -> unit
+
+val total : t -> int
+(** Events ever emitted (monotone, survives wraparound). *)
+
+val length : t -> int
+(** Events currently held: [min total capacity]. *)
+
+(** {1 Readback} — logical index [0 .. length-1], oldest event first.
+    Out-of-range indices raise [Invalid_argument]. *)
+
+val code : t -> int -> int
+val time : t -> int -> int
+val pid : t -> int -> int
+val a : t -> int -> int
+val b : t -> int -> int
+val c : t -> int -> int
+val d : t -> int -> int
+val x : t -> int -> float
+val y : t -> int -> float

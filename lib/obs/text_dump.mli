@@ -1,0 +1,13 @@
+(** Compact deterministic text export — the golden-trace format.
+
+    Header lines (prefixed [#]) carry ring capacity/occupancy, the
+    registered systems and the named lanes; then one line per recorded
+    event: [seq time_ns pid event a b c d x y].  Byte-stable across
+    runs for a deterministic simulation, which is what
+    [test/test_obs.ml] pins with [test/golden/*.trace]. *)
+
+val dump : Trace.t -> string
+
+val metrics_report : Trace.t -> string
+(** Per-system, per-node table: service (ms), quanta, preemptions,
+    GPS lag, wait-sample count. *)

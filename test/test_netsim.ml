@@ -180,6 +180,39 @@ let test_hlink_residual_to_active_class () =
   check_float "idle class's bandwidth redistributed" 2e7
     (Hlink.delivered_bits hl ~flow:1)
 
+let test_hlink_weight_change_under_backlog () =
+  (* hsfq_setweight on a live link: two continuously backlogged classes
+     share 1:1, then /video is re-weighted to 3 mid-run — the delivery
+     ratio over the window after the change must track the new weights
+     while the totals keep the pre-change history. *)
+  let sim = Sim.create () in
+  let hl = Hlink.create ~sim ~rate_bps:(mbps 10.) ~queue_cap:200_000 () in
+  let h = Hlink.hierarchy hl in
+  let mk name w =
+    match Hsfq_core.Hierarchy.mknod h ~name ~parent:Hsfq_core.Hierarchy.root
+            ~weight:w Hsfq_core.Hierarchy.Leaf with
+    | Ok id -> id
+    | Error e -> failwith e
+  in
+  let video = mk "video" 1. and data = mk "data" 1. in
+  Hlink.attach_flow hl ~leaf:video ~flow:1 ~weight:1.;
+  Hlink.attach_flow hl ~leaf:data ~flow:2 ~weight:1.;
+  for _ = 1 to 10_000 do
+    Hlink.enqueue hl ~flow:1 ~bits:10_000;
+    Hlink.enqueue hl ~flow:2 ~bits:10_000
+  done;
+  Sim.run_until sim (Time.seconds 1);
+  let v1 = Hlink.class_delivered_bits hl video in
+  let d1 = Hlink.class_delivered_bits hl data in
+  check_bool "1:1 before the change" true (Float.abs ((v1 /. d1) -. 1.) < 0.05);
+  Hsfq_core.Hierarchy.set_weight h video 3.;
+  Sim.run_until sim (Time.seconds 2);
+  let dv = Hlink.class_delivered_bits hl video -. v1 in
+  let dd = Hlink.class_delivered_bits hl data -. d1 in
+  check_bool "3:1 after the change" true (Float.abs ((dv /. dd) -. 3.) < 0.05);
+  check_bool "still work-conserving" true
+    (dv +. dd > 0.99 *. mbps 10.)
+
 let test_hlink_errors () =
   let sim = Sim.create () in
   let hl = Hlink.create ~sim ~rate_bps:(mbps 1.) () in
@@ -309,6 +342,8 @@ let () =
             test_hlink_class_shares;
           Alcotest.test_case "residual redistribution" `Quick
             test_hlink_residual_to_active_class;
+          Alcotest.test_case "weight change under backlog" `Quick
+            test_hlink_weight_change_under_backlog;
           Alcotest.test_case "errors" `Quick test_hlink_errors;
           Alcotest.test_case "two-level tree shares" `Quick
             test_hlink_two_level_tree;

@@ -52,6 +52,31 @@ let test_rm_rta_exact () =
   check_bool "fractional capacity scales costs" false
     (Admission.rm_admissible_rta ~capacity:0.5 tasks)
 
+let test_admission_capacity_boundary () =
+  (* The admission tests are inclusive: a load that fills the capacity
+     exactly is admitted, and one epsilon beyond it is refused. *)
+  let full = [ task 1. 2.; task 1. 4. ] (* U = 0.75 *) in
+  check_bool "EDF at exact capacity" true
+    (Admission.edf_admissible ~capacity:0.75 full);
+  check_bool "EDF epsilon over" false
+    (Admission.edf_admissible ~capacity:0.75 (task 1e-9 1. :: full));
+  (* RM utilization test at exactly the Liu–Layland bound. *)
+  let b2 = Admission.rm_utilization_bound 2 in
+  check_bool "RM at exact bound" true
+    (Admission.rm_admissible_utilization ~capacity:1.
+       [ task (b2 /. 2.) 1.; task b2 2. ]);
+  check_bool "RM epsilon over bound" false
+    (Admission.rm_admissible_utilization ~capacity:1.
+       [ task ((b2 /. 2.) +. 1e-6) 1.; task b2 2. ]);
+  (* Statistical admission, zero variance: mean rate exactly at capacity. *)
+  let soft mean sigma speriod = Admission.{ mean; sigma; speriod } in
+  check_bool "statistical at exact capacity" true
+    (Admission.statistical_admissible ~capacity:0.25 ~quantile:2.33
+       [ soft 0.5 0. 2. ]);
+  check_bool "statistical epsilon over" false
+    (Admission.statistical_admissible ~capacity:0.25 ~quantile:2.33
+       [ soft (0.5 +. 1e-6) 0. 2. ])
+
 let test_statistical_admission () =
   let soft mean sigma speriod = Admission.{ mean; sigma; speriod } in
   (* Mean rate 0.3, no variance: admitted at capacity 0.3. *)
@@ -98,6 +123,22 @@ let test_manager_hard_admission () =
   check_float "released" 0. (Manager.hard_utilization m);
   check_bool "admits again after release" true
     (Result.is_ok (Manager.request_hard m ~name:"a2" ~cost:0.002 ~period:0.05))
+
+let test_manager_hard_exact_fill () =
+  (* One task consuming the hard class's entire 10% share is admitted;
+     any further request — however small — is refused until a release. *)
+  let h = Hierarchy.create () in
+  let m = Manager.create h in
+  (match Manager.request_hard m ~name:"full" ~cost:0.005 ~period:0.05 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "exact fill should admit: %s" e);
+  check_float "class exactly full" 0.1 (Manager.hard_utilization m);
+  check_bool "epsilon more refused" true
+    (Result.is_error
+       (Manager.request_hard m ~name:"eps" ~cost:1e-5 ~period:0.05));
+  Manager.release m ~name:"full";
+  check_bool "full share admissible again" true
+    (Result.is_ok (Manager.request_hard m ~name:"full2" ~cost:0.005 ~period:0.05))
 
 let test_manager_soft_admission_and_growth () =
   let h = Hierarchy.create () in
@@ -166,12 +207,16 @@ let () =
           Alcotest.test_case "RM utilization test" `Quick test_rm_utilization_test;
           Alcotest.test_case "RM response-time analysis" `Quick test_rm_rta_exact;
           Alcotest.test_case "statistical admission" `Quick test_statistical_admission;
+          Alcotest.test_case "exact capacity boundary" `Quick
+            test_admission_capacity_boundary;
         ] );
       ( "manager",
         [
           Alcotest.test_case "Figure 2 structure" `Quick test_manager_structure;
           Alcotest.test_case "hard admission lifecycle" `Quick
             test_manager_hard_admission;
+          Alcotest.test_case "hard class exact fill" `Quick
+            test_manager_hard_exact_fill;
           Alcotest.test_case "soft admission and growth" `Quick
             test_manager_soft_admission_and_growth;
           Alcotest.test_case "best effort users" `Quick test_manager_best_effort;
