@@ -10,10 +10,11 @@ build:
 test:
 	dune runtest
 
-# Custom source lint (bin/hsfq_lint) under the strict-warning build.
-# Also runs as part of `dune runtest`.
+# Source lint: the token pass (bin/hsfq_lint) plus the whole-program
+# typed analyzer (bin/hsfq_tlint, over .cmt artifacts).  Both also run
+# as part of `dune runtest`.  See doc/STATIC_ANALYSIS.md.
 lint:
-	dune build @lint
+	dune build @lint @lint-typed
 
 # Tier-1 verification: strict build + tests + lint + bench and torture
 # smoke passes.

@@ -1,411 +1,35 @@
-(* hsfq_lint: project-specific source lint for the scheduler stack.
+(* hsfq_lint — token-level lint for the scheduler stack.
 
-   Scans [.ml]/[.mli] sources under the given directories (default
-   [lib bin examples]) for patterns banned in this codebase:
+   Rules (token pass; see lib/staticlint/lexlint.ml for the lexer):
 
-   - [poly-compare]: unqualified [compare] (or [Stdlib.compare]).
-     Polymorphic compare on float-bearing scheduler state (virtual
-     times, start/finish tags) orders NaN inconsistently and walks
-     whole records; use [Int.compare] / [Float.compare] /
-     [String.compare].
-   - [stdlib-minmax]: [Stdlib.min] / [Stdlib.max] or the bare
-     polymorphic [min] / [max] — polymorphic compare in disguise; use
-     [Int.min], [Float.max], ...
-   - [nan-compare]: [=] / [<>] / [<] / [>] / [<=] / [>=] against
-     [nan] — vacuously false (or true); use [Float.is_nan].
-   - [obj-magic]: [Obj.magic] — never.
-   - [hashtbl-find-exn]: [Hashtbl.find] raises [Not_found] far from
-     the call site; use [Hashtbl.find_opt] and handle [None].
-   - [assert-validation]: [assert] on anything but [false] — asserts
-     vanish under [-noassert], so they must not guard caller input;
-     use [invalid_arg] and keep [assert] for unreachable branches.
-   - [missing-mli]: a [.ml] under [lib/] without a companion [.mli] —
-     every library module must state its interface.
-   - [hot-path-hashtbl]: any [Hashtbl] use inside a hot-path module
-     (the per-decision code: Sfq, Hierarchy, Keyed_heap, Event_queue).
-     Scheduling decisions must stay zero-hash; state keyed by
-     small dense ids belongs in flat arrays. A hashtable that is
-     genuinely cold (touched only by administrative operations) may be
-     whitelisted with a justification.
-   - [toplevel-mutable]: a module-top-level [let x = ref ...] or
-     [let x = Hashtbl.create ...] in [lib/engine/] or [lib/torture/].
-     Those libraries run on worker domains under [Par.sweep]; global
-     mutable state is a data race and breaks the byte-identical
-     determinism contract. Keep state inside instance records passed
-     explicitly (whitelist genuinely domain-safe exceptions with a
-     justification).
-   - [leaf-retarget]: assignment through a [.leaf] field
-     ([th.leaf <- ...]). Retargeting a thread's leaf without migrating
-     its adapter registration and donations corrupts the donation
-     ledger; all retargeting must go through the kernel's audited
-     helper ([Kernel.retarget_leaf]), whose single assignment site is
-     whitelisted.
+   - poly-compare        unqualified / Stdlib polymorphic [compare]
+   - stdlib-minmax       bare [min]/[max] (polymorphic compare inside)
+   - nan-compare         ordering comparisons against [nan]
+   - obj-magic           any [Obj.magic]
+   - hashtbl-find-exn    [Hashtbl.find] (raises) instead of [find_opt]
+   - assert-validation   [assert] guarding anything but [false]
+   - missing-mli         lib/ module without a companion interface
+   - hot-path-hashtbl    hashtable tokens in the hot-path modules
+   - toplevel-mutable    module-level [ref]/[Hashtbl.create] globals in
+                         domain-safe scopes (lib/engine, lib/torture)
+   - obs-alloc           allocation-prone tokens on lib/obs record paths
+   - leaf-retarget       [.leaf <- ...] outside the kernel's helper
 
-   Comments, string literals and character literals are stripped
-   before matching, so documentation may mention the banned forms
-   freely.
+   The typed analyzer (hsfq_tlint, dune alias @lint-typed) supersedes
+   the last four heuristics whole-program; this tool stays as the fast,
+   no-build-needed first line.  Shared whitelist format: lines of
+   [<rule> <path> <justification...>].  Exit codes: 0 clean, 1 findings
+   (or stale whitelist entries without --allow-stale), 2 usage/IO. *)
 
-   Findings are suppressed by a whitelist file of lines
-
-     <rule> <path> <justification...>
-
-   where <path> is the file path as reported (e.g.
-   [lib/kernel/kernel.ml]) and the justification is mandatory.  Stale
-   whitelist entries are reported on stderr but do not fail the run.
-
-   Exit codes: 0 clean (every finding whitelisted), 1 findings,
-   2 usage or I/O error. *)
-
-type finding = { rule : string; file : string; line : int; msg : string }
-
-let findings : finding list ref = ref []
-let flag rule file line msg = findings := { rule; file; line; msg } :: !findings
-
-(* ------------------------------------------------------------------ *)
-(* A tiny OCaml surface lexer: emits identifier-ish tokens (with
-   dot-qualified paths glued into one token, so [Stdlib.min] and
-   [h.audit] each arrive whole) together with the run of symbolic
-   characters seen since the previous token.  Comments (nested, with
-   embedded string literals), ["..."] strings, [{id|...|id}] quoted
-   strings and character literals are skipped. *)
-
-let is_ident_start c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || Char.equal c '_'
-
-let is_ident_char c =
-  is_ident_start c || (c >= '0' && c <= '9') || Char.equal c '\''
-
-let is_digit c = c >= '0' && c <= '9'
-
-let scan src ~f =
-  let n = String.length src in
-  let line = ref 1 in
-  let bol = ref 0 in (* index just after the last newline *)
-  let i = ref 0 in
-  let op = Buffer.create 16 in
-  let peek k = if !i + k < n then src.[!i + k] else '\000' in
-  let advance () =
-    if Char.equal src.[!i] '\n' then begin
-      incr line;
-      bol := !i + 1
-    end;
-    incr i
-  in
-  let rec skip_string () =
-    (* positioned just after the opening quote *)
-    if !i < n then
-      match src.[!i] with
-      | '"' -> advance ()
-      | '\\' ->
-        advance ();
-        if !i < n then advance ();
-        skip_string ()
-      | _ ->
-        advance ();
-        skip_string ()
-  in
-  let skip_quoted_string () =
-    (* at '{': consume a {id|...|id} literal if one starts here *)
-    let j = ref (!i + 1) in
-    while
-      !j < n && (Char.equal src.[!j] '_' || (src.[!j] >= 'a' && src.[!j] <= 'z'))
-    do
-      incr j
-    done;
-    if !j < n && Char.equal src.[!j] '|' then begin
-      let id = String.sub src (!i + 1) (!j - !i - 1) in
-      let close = "|" ^ id ^ "}" in
-      let cn = String.length close in
-      while !i <= !j do
-        advance ()
-      done;
-      let rec find () =
-        if !i >= n then ()
-        else if !i + cn <= n && String.equal (String.sub src !i cn) close then
-          for _ = 1 to cn do
-            advance ()
-          done
-        else begin
-          advance ();
-          find ()
-        end
-      in
-      find ();
-      true
-    end
-    else false
-  in
-  let rec skip_comment depth =
-    if !i >= n || depth = 0 then ()
-    else if Char.equal src.[!i] '(' && Char.equal (peek 1) '*' then begin
-      advance ();
-      advance ();
-      skip_comment (depth + 1)
-    end
-    else if Char.equal src.[!i] '*' && Char.equal (peek 1) ')' then begin
-      advance ();
-      advance ();
-      skip_comment (depth - 1)
-    end
-    else if Char.equal src.[!i] '"' then begin
-      advance ();
-      skip_string ();
-      skip_comment depth
-    end
-    else begin
-      advance ();
-      skip_comment depth
-    end
-  in
-  while !i < n do
-    let c = src.[!i] in
-    if Char.equal c '(' && Char.equal (peek 1) '*' then begin
-      advance ();
-      advance ();
-      skip_comment 1
-    end
-    else if Char.equal c '"' then begin
-      advance ();
-      skip_string ()
-    end
-    else if Char.equal c '{' && skip_quoted_string () then ()
-    else if Char.equal c '\'' then
-      if Char.equal (peek 1) '\\' then begin
-        (* escaped character literal: skip to the closing quote *)
-        advance ();
-        advance ();
-        while !i < n && not (Char.equal src.[!i] '\'') do
-          advance ()
-        done;
-        if !i < n then advance ()
-      end
-      else if Char.equal (peek 2) '\'' && not (Char.equal (peek 1) '\'') then begin
-        advance ();
-        advance ();
-        advance ()
-      end
-      else (* a type variable's quote *)
-        advance ()
-    else if is_ident_start c then begin
-      let start = !i in
-      let tline = !line in
-      let tcol = start - !bol in
-      let continue = ref true in
-      while !continue do
-        while !i < n && is_ident_char src.[!i] do
-          incr i
-        done;
-        if !i + 1 < n && Char.equal src.[!i] '.' && is_ident_start src.[!i + 1]
-        then incr i
-        else continue := false
-      done;
-      f ~line:tline ~col:tcol ~op:(Buffer.contents op)
-        (String.sub src start (!i - start));
-      Buffer.clear op
-    end
-    else if is_digit c then begin
-      let start = !i in
-      let tline = !line in
-      let tcol = start - !bol in
-      while !i < n && (is_ident_char src.[!i] || Char.equal src.[!i] '.') do
-        incr i
-      done;
-      f ~line:tline ~col:tcol ~op:(Buffer.contents op)
-        (String.sub src start (!i - start));
-      Buffer.clear op
-    end
-    else begin
-      if
-        not
-          (Char.equal c ' ' || Char.equal c '\t' || Char.equal c '\n'
-         || Char.equal c '\r')
-      then Buffer.add_char op c;
-      advance ()
-    end
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Rules over the token stream. *)
+module Lexlint = Hsfq_staticlint.Lexlint
+module Whitelist = Hsfq_staticlint.Whitelist
 
 let has_suffix s suf =
   let ls = String.length s and lf = String.length suf in
   ls >= lf && String.equal (String.sub s (ls - lf) lf) suf
 
-(* Keywords that introduce a binding: an identifier right after one is
-   being *defined*, not used, so [let compare = Int.compare] and
-   [val min : span -> span -> span] are fine. *)
-let defn_head = function
-  | "let" | "and" | "val" | "external" | "method" | "type" -> true
-  | _ -> false
-
-let comparison_op = function
-  | "=" | "<>" | "==" | "!=" | "<" | ">" | "<=" | ">=" -> true
-  | _ -> false
-
-(* Modules on the per-scheduling-decision path: no hashing allowed. *)
-let hot_path_modules =
-  [
-    "lib/core/sfq.ml";
-    "lib/core/hierarchy.ml";
-    "lib/sched/keyed_heap.ml";
-    "lib/engine/event_queue.ml";
-  ]
-
-let has_prefix s pre =
-  let ls = String.length s and lp = String.length pre in
-  ls >= lp && String.equal (String.sub s 0 lp) pre
-
-(* Libraries whose code must stay domain-safe: they run on worker
-   domains under [Par.sweep], so module-level mutable globals there are
-   data races (and break run-to-run determinism). *)
-let domain_safe_scope file =
-  has_suffix file ".ml"
-  && (has_prefix file "lib/engine/" || has_prefix file "lib/torture/")
-
-(* lib/obs record paths must stay allocation-free: a tracepoint fires on
-   every scheduling decision, so closures, lists and formatting there
-   turn "one branch when disabled" into per-event garbage.  Exporters
-   (text_dump, chrome_trace) run after the fact and are whitelisted. *)
-let obs_record_scope file =
-  has_prefix file "lib/obs/" && has_suffix file ".ml"
-
-let check_tokens file src =
-  let hot = List.exists (String.equal file) hot_path_modules in
-  let obs_path = obs_record_scope file in
-  let check_toplevel_mutable = domain_safe_scope file in
-  let prev = ref "" in
-  let prev2 = ref "" in
-  let prev_line = ref 0 in
-  let pending_assert = ref (-1) in
-  (* toplevel-mutable state machine: 0 idle / 1 just saw a column-0
-     [let]/[and] / 2 saw the bound name / 3 inside a type annotation,
-     waiting for the [=]. The token arriving with [=] in its leading
-     symbol run is the head of the right-hand side. *)
-  let tl_state = ref 0 in
-  let tl_line = ref 0 in
-  let handle ~line ~col ~op tok =
-    (match !pending_assert with
-    | -1 -> ()
-    | aline ->
-      if not (String.equal tok "false") then
-        flag "assert-validation" file aline
-          "assert guards more than an unreachable branch; use invalid_arg \
-           for input validation (asserts vanish under -noassert)";
-      pending_assert := -1);
-    (* [~min:] / [?max:] label arguments are names, not the Stdlib
-       functions. *)
-    let labeled = has_suffix op "~" || has_suffix op "?" in
-    (if String.equal !prev "nan" && comparison_op op then
-       flag "nan-compare" file line
-         "comparison against nan is vacuous; use Float.is_nan");
-    (* [th.leaf <- x]: the "<-" arrives as the symbol run before the
-       token following it, so the assigned field is [prev]. *)
-    (if
-       has_prefix op "<-"
-       && (has_suffix !prev ".leaf" || String.equal !prev "leaf")
-     then
-       flag "leaf-retarget" file !prev_line
-         "direct [.leaf <- ...] retarget bypasses donation migration; go \
-          through the kernel's audited retarget helper");
-    (if check_toplevel_mutable then begin
-       (match !tl_state with
-       | 1 -> if not (String.equal tok "rec") then tl_state := 2
-       | (2 | 3) as s ->
-         if String.contains op '=' then begin
-           (* exactly "=": a parameter list or pattern in between would
-              leave its symbols in the run ("()=", ")="), and those
-              bindings define functions, not global cells *)
-           (if
-              String.equal op "="
-              && (String.equal tok "ref"
-                 || String.equal tok "Hashtbl.create"
-                 || has_suffix tok ".Hashtbl.create")
-            then
-              flag "toplevel-mutable" file !tl_line
-                "module-top-level mutable global; this library runs on \
-                 worker domains (Par.sweep), so shared mutable state is a \
-                 data race — keep state in instance records (whitelist \
-                 only with a domain-safety justification)");
-           tl_state := 0
-         end
-         else if s = 2 then
-           if has_prefix op ":" then tl_state := 3 else tl_state := 0
-       | _ -> ());
-       if col = 0 && (String.equal tok "let" || String.equal tok "and") then begin
-         tl_state := 1;
-         tl_line := line
-       end
-     end);
-    (match tok with
-    | "assert" -> pending_assert := line
-    | "min" | "max" when not (defn_head !prev || labeled) ->
-      flag "stdlib-minmax" file line
-        (Printf.sprintf
-           "bare polymorphic [%s]; use Int.%s / Float.%s / Time.%s" tok tok tok
-           tok)
-    | "compare" when not (defn_head !prev || labeled) ->
-      flag "poly-compare" file line
-        "unqualified polymorphic [compare]; use Int.compare / Float.compare \
-         / String.compare"
-    | "Stdlib.min" | "Stdlib.max" ->
-      flag "stdlib-minmax" file line
-        (Printf.sprintf "[%s] is polymorphic compare in disguise; qualify \
-                         with the element type (Int, Float, Time)" tok)
-    | "Stdlib.compare" ->
-      flag "poly-compare" file line
-        "[Stdlib.compare] is polymorphic; use the element type's compare"
-    | "nan" when comparison_op op && not (defn_head !prev2) ->
-      flag "nan-compare" file line
-        "comparison against nan is vacuous; use Float.is_nan"
-    | _ ->
-      if String.equal tok "Obj.magic" || has_suffix tok ".Obj.magic" then
-        flag "obj-magic" file line "Obj.magic defeats the type system"
-      else if String.equal tok "Hashtbl.find" || has_suffix tok ".Hashtbl.find"
-      then
-        flag "hashtbl-find-exn" file line
-          "Hashtbl.find raises Not_found; use Hashtbl.find_opt";
-      if hot && (String.equal tok "Hashtbl" || has_prefix tok "Hashtbl.") then
-        flag "hot-path-hashtbl" file line
-          "hashtable in a hot-path module; scheduling decisions must stay \
-           zero-hash — use a dense array keyed by id (whitelist only \
-           genuinely cold tables, with a justification)";
-      if
-        obs_path
-        && (String.equal tok "fun" || String.equal tok "function"
-           || String.equal tok "List" || has_prefix tok "List."
-           || has_prefix tok "Printf" || has_prefix tok "Format"
-           || has_prefix tok "Buffer" || String.equal tok "String.concat")
-      then
-        flag "obs-alloc" file line
-          (Printf.sprintf
-             "[%s] on a tracepoint record path; lib/obs must not allocate \
-              per event — use named top-level functions, while loops and \
-              preallocated arrays (whitelist only the exporters)" tok));
-    prev2 := !prev;
-    prev := tok;
-    prev_line := line
-  in
-  scan src ~f:handle;
-  match !pending_assert with
-  | -1 -> ()
-  | aline ->
-    flag "assert-validation" file aline
-      "assert guards more than an unreachable branch; use invalid_arg for \
-       input validation (asserts vanish under -noassert)"
-
-let check_missing_mli file =
-  let in_lib =
-    String.length file >= 4 && String.equal (String.sub file 0 4) "lib/"
-  in
-  if in_lib && has_suffix file ".ml" && not (Sys.file_exists (file ^ "i")) then
-    flag "missing-mli" file 1
-      "library module without an interface; add a companion .mli"
-
-(* ------------------------------------------------------------------ *)
-(* File walking, whitelist, reporting. *)
-
 let rec walk acc path =
-  if Sys.is_directory path then
+  if Sys.is_directory path then begin
     let entries = Sys.readdir path in
     Array.sort String.compare entries;
     Array.fold_left
@@ -417,6 +41,7 @@ let rec walk acc path =
         then acc
         else walk acc (Filename.concat path e))
       acc entries
+  end
   else if has_suffix path ".ml" || has_suffix path ".mli" then path :: acc
   else acc
 
@@ -426,83 +51,50 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let usage = "hsfq_lint [--whitelist FILE] [DIR...]"
+let usage = "hsfq_lint [--whitelist FILE] [--allow-stale] [DIR...]"
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
-(* Whitelist lines: [<rule> <path> <justification...>]; '#' comments
-   and blank lines are skipped.  Returns (rule, path) -> justification,
-   with a used-flag per entry for stale reporting. *)
-let load_whitelist path =
-  let entries = Hashtbl.create 16 in
-  if not (String.equal path "") then begin
-    let src = try read_file path with Sys_error e -> die "hsfq_lint: %s" e in
-    List.iteri
-      (fun lineno raw ->
-        let l = String.trim raw in
-        if not (String.equal l "" || Char.equal l.[0] '#') then
-          match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
-          | rule :: file :: (_ :: _ as _justification) ->
-            Hashtbl.replace entries (rule, file) (lineno + 1, ref false)
-          | _ ->
-            die "hsfq_lint: %s:%d: malformed whitelist line (want: <rule> \
-                 <path> <justification...>)" path (lineno + 1))
-      (String.split_on_char '\n' src)
-  end;
-  entries
-
 let () =
   let whitelist_file = ref "" in
+  let allow_stale = ref false in
   let dirs = ref [] in
   let spec =
     [
       ( "--whitelist",
         Arg.Set_string whitelist_file,
         "FILE suppressions: lines of <rule> <path> <justification...>" );
+      ( "--allow-stale",
+        Arg.Set allow_stale,
+        " don't fail on whitelist entries that matched nothing" );
     ]
   in
   Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
   let dirs =
-    match List.rev !dirs with [] -> [ "lib"; "bin"; "examples" ] | ds -> ds
+    match List.rev !dirs with [] -> Lexlint.default_dirs | ds -> ds
   in
   List.iter
-    (fun d -> if not (Sys.file_exists d) then die "hsfq_lint: no such directory: %s" d)
+    (fun d ->
+      if not (Sys.file_exists d) then die "hsfq_lint: no such directory: %s" d)
     dirs;
   let files = List.concat_map (fun d -> List.rev (walk [] d)) dirs in
-  List.iter
-    (fun file ->
-      check_missing_mli file;
-      check_tokens file (read_file file))
-    files;
-  let whitelist = load_whitelist !whitelist_file in
-  let live, suppressed =
-    List.partition
-      (fun f ->
-        match Hashtbl.find_opt whitelist (f.rule, f.file) with
-        | Some (_, used) ->
-          used := true;
-          false
-        | None -> true)
-      (List.rev !findings)
+  let findings =
+    List.concat_map
+      (fun file ->
+        let mli =
+          match Lexlint.missing_mli ~file with Some f -> [ f ] | None -> []
+        in
+        mli @ Lexlint.check_tokens ~file (read_file file))
+      files
   in
-  let live =
-    List.sort
-      (fun a b ->
-        match String.compare a.file b.file with
-        | 0 -> Int.compare a.line b.line
-        | c -> c)
-      live
+  let wl =
+    if String.equal !whitelist_file "" then Ok Whitelist.empty
+    else Whitelist.load !whitelist_file
   in
-  List.iter
-    (fun f -> Printf.printf "%s:%d: [%s] %s\n" f.file f.line f.rule f.msg)
-    live;
-  Hashtbl.iter
-    (fun (rule, file) (lineno, used) ->
-      if not !used then
-        Printf.eprintf
-          "hsfq_lint: %s:%d: stale whitelist entry (%s %s) matched nothing\n"
-          !whitelist_file lineno rule file)
-    whitelist;
-  Printf.printf "hsfq_lint: %d file(s), %d finding(s), %d suppressed\n"
-    (List.length files) (List.length live) (List.length suppressed);
-  if live <> [] then exit 1
+  match wl with
+  | Error msg -> die "hsfq_lint: %s" msg
+  | Ok wl ->
+    exit
+      (Whitelist.report ~tool:"hsfq_lint" ~allow_stale:!allow_stale
+         ~scanned:(Printf.sprintf "%d file(s)" (List.length files))
+         wl findings)

@@ -1,0 +1,330 @@
+(* Pass 3: allocation sites on declared hot paths.
+
+   For each configured hot module we take the declared root functions
+   (the per-decision entrypoints), close over the module-local call
+   graph (minus declared cold helpers like [grow]/[compact]) and walk
+   every reachable body for constructs that allocate per call:
+
+   - closures, tuples, records, non-constant constructors, arrays,
+     lazy/pack values;
+   - partial applications (omitted-argument holes, or an application
+     whose result is still an arrow);
+   - calls into allocating stdlib families (Printf/Format/List/Buffer/
+     Hashtbl/Queue/Stack, string building, Array.make & friends, [ref]);
+   - float boxing: a float stored into a non-flat record field, or a
+     float crossing a compilation-unit boundary (dune builds with
+     -opaque semantics between units, so the callee can't be inlined
+     and floats box at the call).
+
+   Error paths ([raise]/[failwith]/[invalid_arg] arguments) are exempt:
+   allocation while dying is fine.  Everything found is a [tl-hot-alloc]
+   or [tl-float-box] finding that must be fixed or whitelisted with a
+   justification — the whitelist entries double as the repo's documented
+   allocation budget, cross-checked against BENCH_sched.json. *)
+
+type config = {
+  source : string; (* repo-relative .ml *)
+  roots : string list; (* per-decision entrypoints *)
+  cold : string list; (* out-of-line slow paths excluded from the walk *)
+}
+
+let default_configs =
+  [
+    (* [select] deliberately absent from sfq's roots: its [Some id]
+       wrapper is the measured ~2 minor words/decision; the zero-alloc
+       contract is on [select_id]/[charge]. *)
+    { source = "lib/core/sfq.ml"; roots = [ "select_id"; "charge" ]; cold = [] };
+    {
+      source = "lib/core/hierarchy.ml";
+      roots = [ "schedule"; "update"; "setrun"; "sleep" ];
+      cold = [];
+    };
+    {
+      source = "lib/sched/keyed_heap.ml";
+      roots = [ "push"; "push_staged"; "pop_valid"; "invalidate"; "last_key" ];
+      cold = [ "grow"; "compact" ];
+    };
+    {
+      source = "lib/engine/event_queue.ml";
+      roots =
+        [ "schedule"; "cancel"; "pop"; "next_time"; "is_cancelled"; "pending" ];
+      cold = [ "grow"; "compact"; "recycle" ];
+    };
+    { source = "lib/obs/ring.ml"; roots = [ "emit" ]; cold = [] };
+    {
+      source = "lib/obs/trace.ml";
+      roots =
+        [ "emitf"; "emit0"; "on"; "on_cell"; "stage"; "set_now"; "sys_set_now" ];
+      cold = [];
+    };
+    {
+      source = "lib/obs/metrics.ml";
+      roots = [ "charge_sample"; "incr_preempt"; "wait_sample"; "ensure" ];
+      cold = [ "grow" ];
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let is_float_type ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> String.equal (Path.name p) "float"
+  | _ -> false
+
+let error_path_head = function
+  | "raise" | "raise_notrace" | "invalid_arg" | "failwith" -> true
+  | _ -> false
+
+let banned_head name =
+  let pre p =
+    let lp = String.length p in
+    String.length name >= lp && String.equal (String.sub name 0 lp) p
+  in
+  if
+    pre "Printf." || pre "Format." || pre "List." || pre "Buffer."
+    || pre "Hashtbl." || pre "Queue." || pre "Stack." || pre "string_of_"
+  then true
+  else
+    match name with
+    | "Array.make" | "Array.init" | "Array.copy" | "Array.append"
+    | "Array.sub" | "Array.of_list" | "Array.to_list" | "Array.make_matrix"
+    | "Bytes.make" | "Bytes.create" | "Bytes.copy" | "Bytes.sub"
+    | "String.make" | "String.init" | "String.concat" | "String.sub"
+    | "^" | "@" | "ref" ->
+      true
+    | _ -> false
+
+(* Peel the outer lambda spine of a top-level function: those
+   [Texp_function] nodes are the definition itself (allocated once at
+   module init), not a per-call cost.  Multi-case [function] arms all
+   continue the spine. *)
+let rec bodies acc (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_function { cases; _ } ->
+    List.fold_left
+      (fun acc (c : Typedtree.value Typedtree.case) -> bodies acc c.c_rhs)
+      acc cases
+  | _ -> e :: acc
+
+(* Module-local references out of an expression, for the call graph:
+   any [Pident] whose name is one of the module's top-level bindings. *)
+let local_refs ~defined e =
+  let acc = ref [] in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+      let n = Ident.name id in
+      if Hashtbl.mem defined n then acc := n :: !acc
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  iter.expr iter e;
+  !acc
+
+let head_name (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, vd) -> Some (p, vd, Mutability.normalize (Path.name p))
+  | _ -> None
+
+let scan_body ~unit_name ~file ~fname body =
+  let findings = ref [] in
+  let flag rule (loc : Location.t) msg =
+    if not loc.loc_ghost then
+      findings :=
+        Finding.make ~rule ~file ~line:loc.loc_start.pos_lnum
+          ~msg:(Printf.sprintf "%s (in hot function [%s])" msg fname)
+        :: !findings
+  in
+  let alloc loc what = flag "tl-hot-alloc" loc ("allocates: " ^ what) in
+  let expr sub (e : Typedtree.expression) =
+    let recurse () = Tast_iterator.default_iterator.expr sub e in
+    match e.exp_desc with
+    | Texp_apply (head, args) -> (
+      match head_name head with
+      | Some (_, _, name) when error_path_head name ->
+        () (* dying is allowed to allocate: skip the whole subtree *)
+      | head_info ->
+        let prim_arity = ref None in
+        (match head_info with
+        | Some (p, vd, name) ->
+          let is_prim =
+            match vd.val_kind with
+            | Val_prim prim ->
+              prim_arity := Some prim.prim_arity;
+              true
+            | _ -> false
+          in
+          if banned_head name then
+            alloc e.exp_loc (Printf.sprintf "call to [%s]" name);
+          if not is_prim then begin
+            let cross_unit =
+              match p with
+              | Path.Pident _ -> false
+              | _ ->
+                let h = Path.head p in
+                Ident.persistent h
+                && not (String.equal (Ident.name h) unit_name)
+            in
+            if cross_unit then begin
+              let floaty =
+                is_float_type e.exp_type
+                || List.exists
+                     (fun (_, a) ->
+                       match a with
+                       | Some (a : Typedtree.expression) ->
+                         is_float_type a.exp_type
+                       | None -> false)
+                     args
+              in
+              if floaty then
+                flag "tl-float-box" e.exp_loc
+                  (Printf.sprintf
+                     "float crosses the unit boundary at [%s]; the callee \
+                      can't be inlined (-opaque), so the float boxes — \
+                      stage it in a local float record/array instead"
+                     name)
+            end
+          end
+        | None -> ());
+        let partial =
+          List.exists (fun (_, a) -> Option.is_none a) args
+          ||
+          (* An application whose result is still an arrow is a partial
+             application — except a fully-applied primitive (e.g.
+             [Array.get] fetching a stored closure), which just returns
+             the existing value. *)
+          match (Types.get_desc e.exp_type, !prim_arity) with
+          | Tarrow _, Some arity -> List.length args < arity
+          | Tarrow _, None -> true
+          | _ -> false
+        in
+        if partial then alloc e.exp_loc "partial application (closure)";
+        recurse ())
+    | Texp_function _ -> alloc e.exp_loc "closure"; recurse ()
+    | Texp_tuple _ -> alloc e.exp_loc "tuple"; recurse ()
+    | Texp_record _ -> alloc e.exp_loc "record"; recurse ()
+    | Texp_construct (lid, _, args) ->
+      if args <> [] then
+        alloc e.exp_loc
+          (Printf.sprintf "constructor [%s]"
+             (String.concat "." (Longident.flatten lid.txt)));
+      recurse ()
+    | Texp_variant (label, arg) ->
+      if Option.is_some arg then
+        alloc e.exp_loc (Printf.sprintf "polymorphic variant [`%s]" label);
+      recurse ()
+    | Texp_array els ->
+      if els <> [] then alloc e.exp_loc "array literal";
+      recurse ()
+    | Texp_lazy _ -> alloc e.exp_loc "lazy value"; recurse ()
+    | Texp_pack _ -> alloc e.exp_loc "first-class module"; recurse ()
+    | Texp_setfield (_, _, lbl, v) ->
+      (match lbl.lbl_repres with
+      | Record_float -> () (* flat float record: unboxed store *)
+      | _ ->
+        if is_float_type v.exp_type then
+          flag "tl-float-box" e.exp_loc
+            (Printf.sprintf
+               "float stored into mixed-record field [%s] boxes; make the \
+                record all-float or use a floatarray"
+               lbl.lbl_name));
+      recurse ()
+    | Texp_assert _ -> () (* compiled out under -noassert *)
+    | _ -> recurse ()
+  in
+  let iter = { Tast_iterator.default_iterator with expr } in
+  iter.expr iter body;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+
+let top_level_bindings (str : Typedtree.structure) =
+  List.concat_map
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+        List.filter_map
+          (fun (vb : Typedtree.value_binding) ->
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) -> Some (Ident.name id, vb.vb_expr)
+            | _ -> None)
+          vbs
+      | _ -> [])
+    str.str_items
+
+let scan_unit config (u : Cmt_index.unit_info) =
+  let binds = top_level_bindings u.structure in
+  let defined = Hashtbl.create 32 in
+  List.iter (fun (n, e) -> Hashtbl.replace defined n e) binds;
+  let missing_roots =
+    List.filter (fun r -> not (Hashtbl.mem defined r)) config.roots
+  in
+  let cold = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace cold c ()) config.cold;
+  (* close over the local call graph from the roots, skipping cold *)
+  let reachable = Hashtbl.create 32 in
+  let rec visit n =
+    if
+      (not (Hashtbl.mem reachable n))
+      && (not (Hashtbl.mem cold n))
+      && Hashtbl.mem defined n
+    then begin
+      Hashtbl.replace reachable n ();
+      match Hashtbl.find_opt defined n with
+      | Some e -> List.iter visit (local_refs ~defined e)
+      | None -> ()
+    end
+  in
+  List.iter visit config.roots;
+  let findings =
+    List.concat_map
+      (fun (n, e) ->
+        (* non-function bindings evaluate once at module init, not per
+           call: sentinels like event_queue's [dummy_handle] may
+           allocate there freely *)
+        let is_function =
+          match e.Typedtree.exp_desc with
+          | Texp_function _ -> true
+          | _ -> false
+        in
+        if Hashtbl.mem reachable n && is_function then
+          List.concat_map
+            (scan_body ~unit_name:u.modname ~file:u.source ~fname:n)
+            (bodies [] e)
+        else [])
+      binds
+  in
+  let missing =
+    List.map
+      (fun r ->
+        Finding.make ~rule:"tl-hot-missing" ~file:config.source ~line:1
+          ~msg:
+            (Printf.sprintf
+               "declared hot root [%s] not found at the module top level — \
+                update the hot-path config in lib/staticlint/allocpass.ml"
+               r))
+      missing_roots
+  in
+  missing @ findings
+
+let scan ?(configs = default_configs) index =
+  let by_source = Hashtbl.create 16 in
+  Cmt_index.iter index ~f:(fun u ->
+      if not (Hashtbl.mem by_source u.source) then
+        Hashtbl.replace by_source u.source u);
+  let findings =
+    List.concat_map
+      (fun config ->
+        match Hashtbl.find_opt by_source config.source with
+        | Some u -> scan_unit config u
+        | None ->
+          [
+            Finding.make ~rule:"tl-hot-missing" ~file:config.source ~line:1
+              ~msg:
+                "no .cmt loaded for this configured hot module — build with \
+                 [dune build @check] first";
+          ])
+      configs
+  in
+  Finding.sort findings

@@ -1,0 +1,17 @@
+type t = { rule : string; file : string; line : int; msg : string }
+
+let make ~rule ~file ~line ~msg = { rule; file; line; msg }
+
+let by_location a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.msg b.msg
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let sort fs = List.sort_uniq by_location fs
+let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.msg

@@ -1,0 +1,69 @@
+(* Typed successors of the token rules that guard the decision path.
+
+   tl-hot-hashtbl — in the four hot-path modules, any type expression
+   that *is* a Hashtbl.t (field types, local bindings) and any use of a
+   Hashtbl operation.  Seeing the type, not the token, is what
+   rediscovers the [donations] field in sfq.ml and [by_name] in
+   hierarchy.ml even if they were constructed through an alias.
+
+   tl-leaf-retarget — whole-program: every [Texp_setfield] whose label
+   is [leaf].  The kernel's audited [retarget_leaf] helper is the one
+   sanctioned site; anything else bypasses donation migration. *)
+
+let hot_sources =
+  [
+    "lib/core/sfq.ml";
+    "lib/core/hierarchy.ml";
+    "lib/sched/keyed_heap.ml";
+    "lib/engine/event_queue.ml";
+  ]
+
+let is_hashtbl_type ty =
+  match Types.get_desc ty with
+  | Tconstr (p, _, _) ->
+    String.equal (Mutability.normalize (Path.name p)) "Hashtbl.t"
+  | _ -> false
+
+let scan_unit (u : Cmt_index.unit_info) =
+  let findings = ref [] in
+  let flag rule (loc : Location.t) msg =
+    if not loc.loc_ghost then
+      findings :=
+        Finding.make ~rule ~file:u.source ~line:loc.loc_start.pos_lnum ~msg
+        :: !findings
+  in
+  let hot = List.exists (String.equal u.source) hot_sources in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_setfield (_, _, lbl, _) when String.equal lbl.lbl_name "leaf" ->
+      flag "tl-leaf-retarget" e.exp_loc
+        "assignment to a [leaf] field; retargeting must go through the \
+         kernel's audited helper so donation state migrates with the thread"
+    | Texp_ident (p, _, _) when hot ->
+      let name = Mutability.normalize (Path.name p) in
+      if
+        String.length name > 8
+        && String.equal (String.sub name 0 8) "Hashtbl."
+      then
+        flag "tl-hot-hashtbl" e.exp_loc
+          (Printf.sprintf
+             "[%s] in a hot-path module; decisions must stay zero-hash — \
+              use a dense array keyed by id"
+             name)
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let typ sub (ct : Typedtree.core_type) =
+    if hot && is_hashtbl_type ct.ctyp_type then
+      flag "tl-hot-hashtbl" ct.ctyp_loc
+        "Hashtbl.t in a hot-path module's type; scheduling state must live \
+         in dense arrays (whitelist only genuinely cold tables)";
+    Tast_iterator.default_iterator.typ sub ct
+  in
+  let iter = { Tast_iterator.default_iterator with expr; typ } in
+  iter.structure iter u.structure;
+  !findings
+
+let scan index =
+  Cmt_index.fold index ~init:[] ~f:(fun acc u -> scan_unit u @ acc)
+  |> Finding.sort

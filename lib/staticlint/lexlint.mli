@@ -1,0 +1,28 @@
+(** Token-level lint rules (the fast, build-free pass).
+
+    The lexer understands nested comments (including string and
+    [{id|...|id}] quoted-string literals embedded in them), character
+    literals and dot-qualified identifier paths; everything else is
+    reduced to a run of symbolic characters carried alongside the next
+    token. *)
+
+(** Feed every identifier/number token to [f] with its 1-based [line],
+    0-based [col], and the run [op] of symbolic characters seen since
+    the previous token. *)
+val scan :
+  string -> f:(line:int -> col:int -> op:string -> string -> unit) -> unit
+
+(** [tokens src] collects the [scan] stream as [(line, col, op, tok)]
+    tuples — for tests. *)
+val tokens : string -> (int * int * string * string) list
+
+(** Run every token rule over one file's source. [file] is the
+    repo-relative path (rules are scoped by directory). *)
+val check_tokens : file:string -> string -> Finding.t list
+
+(** The missing-mli rule: [Some finding] if [file] is a lib/ module
+    without a companion interface on disk. *)
+val missing_mli : file:string -> Finding.t option
+
+(** Directories scanned when the driver gets no roots. *)
+val default_dirs : string list

@@ -1,0 +1,227 @@
+(* Classifying a binding's type as shared-mutable or not, from Types
+   alone.
+
+   The interesting verdict is not just "is there a ref in here" but how
+   the mutation is protected: an [Atomic.t] or a [Domain.DLS.key] global
+   is domain-safe by construction, a record that carries both a
+   [Mutex.t] and mutable fields is presumed lock-protected, and
+   everything else mutable is an unguarded data race the moment a worker
+   domain can reach it. *)
+
+type protection =
+  | Unguarded
+  | Atomic
+  | Domain_local
+  | Lock_bearing
+
+type verdict =
+  | Immutable
+  | Mutable of protection
+
+let protection_to_string = function
+  | Unguarded -> "unguarded"
+  | Atomic -> "atomic"
+  | Domain_local -> "domain-local"
+  | Lock_bearing -> "lock-bearing"
+
+let verdict_to_string = function
+  | Immutable -> "immutable"
+  | Mutable p -> "mutable/" ^ protection_to_string p
+
+(* ------------------------------------------------------------------ *)
+(* Name tables for builtin containers, after stdlib-prefix stripping. *)
+
+let has_prefix s pre =
+  let ls = String.length s and lp = String.length pre in
+  ls >= lp && String.equal (String.sub s 0 lp) pre
+
+let drop_prefix s pre = String.sub s (String.length pre) (String.length s - String.length pre)
+
+(* "Stdlib.Hashtbl.t" and "Stdlib__Hashtbl.t" both become "Hashtbl.t";
+   predef types ("array", "bytes") come through with bare names. *)
+let normalize name =
+  if has_prefix name "Stdlib__" then drop_prefix name "Stdlib__"
+  else if has_prefix name "Stdlib." then drop_prefix name "Stdlib."
+  else name
+
+let builtin_unguarded = function
+  | "ref" | "array" | "bytes" | "floatarray" -> true
+  | "Bytes.t" | "Hashtbl.t" | "Buffer.t" | "Queue.t" | "Stack.t" | "Weak.t"
+  | "Dynarray.t" | "Ephemeron.K1.t" | "Ephemeron.K2.t" ->
+    true
+  | _ -> false
+
+let builtin_atomic = function
+  | "Atomic.t" -> true
+  | _ -> false
+
+let builtin_domain_local = function
+  | "Domain.DLS.key" -> true
+  | _ -> false
+
+let builtin_lock = function
+  | "Mutex.t" | "Condition.t" | "Semaphore.Counting.t" | "Semaphore.Binary.t"
+    ->
+    true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Project type declarations, so a named record/variant defined in one
+   unit classifies correctly when a global in another unit has that
+   type. *)
+
+type env = {
+  decls : (string, Types.type_declaration) Hashtbl.t;
+      (* "Hsfq_core__Sfq.M.t" -> declaration *)
+  aliases : (string, string) Hashtbl.t;
+      (* "Hsfq_core.Sfq" -> "Hsfq_core__Sfq" (wrapper-module aliases) *)
+}
+
+let rec register_struct env ~prefix (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_type (_, decls) ->
+        List.iter
+          (fun (d : Typedtree.type_declaration) ->
+            let key = prefix ^ "." ^ Ident.name d.typ_id in
+            if not (Hashtbl.mem env.decls key) then
+              Hashtbl.replace env.decls key d.typ_type)
+          decls
+      | Tstr_module mb -> register_module env ~prefix mb
+      | Tstr_recmodule mbs -> List.iter (register_module env ~prefix) mbs
+      | _ -> ())
+    str.str_items
+
+and register_module env ~prefix (mb : Typedtree.module_binding) =
+  match mb.mb_id with
+  | None -> ()
+  | Some id -> (
+    let sub = prefix ^ "." ^ Ident.name id in
+    let rec strip (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Tmod_constraint (inner, _, _, _) -> strip inner
+      | d -> d
+    in
+    match strip mb.mb_expr with
+    | Tmod_structure s -> register_struct env ~prefix:sub s
+    | Tmod_ident (p, _) ->
+      if not (Hashtbl.mem env.aliases sub) then
+        Hashtbl.replace env.aliases sub (Path.name p)
+    | _ -> ())
+
+let build_env index =
+  let env = { decls = Hashtbl.create 256; aliases = Hashtbl.create 64 } in
+  Cmt_index.iter index ~f:(fun u ->
+      register_struct env ~prefix:u.modname u.structure);
+  env
+
+(* Longest-prefix alias resolution, iterated to a fixpoint: the wrapper
+   alias chain is short ("Hsfq_core.Sfq" -> "Hsfq_core__Sfq") but a
+   local [module H = Hsfq_core.Sfq] adds one more hop. *)
+let resolve env name =
+  let step name =
+    let rec try_prefix cut =
+      match String.rindex_from_opt name (cut - 1) '.' with
+      | None -> None
+      | Some dot -> (
+        let pre = String.sub name 0 dot in
+        match Hashtbl.find_opt env.aliases pre with
+        | Some target ->
+          Some (target ^ String.sub name dot (String.length name - dot))
+        | None -> try_prefix dot)
+    in
+    try_prefix (String.length name)
+  in
+  let rec go name fuel =
+    if fuel = 0 then name
+    else
+      match step name with
+      | Some name' -> go name' (fuel - 1)
+      | None -> name
+  in
+  go name 10
+
+(* ------------------------------------------------------------------ *)
+(* The walk itself: accumulate protection evidence over the whole type,
+   then rank it into one verdict. *)
+
+type flags = {
+  mutable unguarded : bool;
+  mutable atomic : bool;
+  mutable dls : bool;
+  mutable lock : bool;
+}
+
+let max_depth = 12
+
+let classify ?env ~unit ty =
+  let fl = { unguarded = false; atomic = false; dls = false; lock = false } in
+  let visited = Hashtbl.create 16 in
+  let lookup_decl name =
+    match env with
+    | None -> None
+    | Some env -> (
+      let direct = resolve env name in
+      match Hashtbl.find_opt env.decls direct with
+      | Some d -> Some d
+      | None ->
+        let qualified = resolve env (unit ^ "." ^ name) in
+        Hashtbl.find_opt env.decls qualified)
+  in
+  let rec walk depth ty =
+    if depth <= max_depth then
+      match Types.get_desc ty with
+      | Ttuple tys -> List.iter (walk (depth + 1)) tys
+      | Tpoly (ty, _) -> walk depth ty
+      | Tconstr (path, args, _) -> constr depth (Path.name path) args
+      | _ -> ()
+  and constr depth raw args =
+    let name = normalize raw in
+    if builtin_domain_local name then fl.dls <- true
+      (* a DLS key's payload is per-domain by construction: don't
+         recurse into the argument *)
+    else if builtin_atomic name then begin
+      fl.atomic <- true;
+      List.iter (walk (depth + 1)) args
+    end
+    else if builtin_lock name then fl.lock <- true
+    else if builtin_unguarded name then begin
+      fl.unguarded <- true;
+      List.iter (walk (depth + 1)) args
+    end
+    else begin
+      (if not (Hashtbl.mem visited name) then begin
+         Hashtbl.replace visited name ();
+         match lookup_decl name with
+         | Some decl -> declaration (depth + 1) decl
+         | None -> ()
+       end);
+      List.iter (walk (depth + 1)) args
+    end
+  and declaration depth (decl : Types.type_declaration) =
+    (match decl.type_manifest with
+    | Some ty -> walk depth ty
+    | None -> ());
+    match decl.type_kind with
+    | Type_record (lbls, _) -> List.iter (label depth) lbls
+    | Type_variant (cstrs, _) ->
+      List.iter
+        (fun (c : Types.constructor_declaration) ->
+          match c.cd_args with
+          | Cstr_tuple tys -> List.iter (walk depth) tys
+          | Cstr_record lbls -> List.iter (label depth) lbls)
+        cstrs
+    | _ -> ()
+  and label depth (l : Types.label_declaration) =
+    (match l.ld_mutable with
+    | Mutable -> fl.unguarded <- true
+    | Immutable -> ());
+    walk depth l.ld_type
+  in
+  walk 0 ty;
+  if fl.unguarded then Mutable (if fl.lock then Lock_bearing else Unguarded)
+  else if fl.atomic then Mutable Atomic
+  else if fl.dls then Mutable Domain_local
+  else if fl.lock then Mutable Lock_bearing
+  else Immutable

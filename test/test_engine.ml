@@ -120,7 +120,7 @@ let test_prng_shuffle_permutes () =
   let a = Array.init 50 Fun.id in
   Prng.shuffle r a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted;
   check_bool "actually shuffled" true (a <> Array.init 50 Fun.id)
 
@@ -451,7 +451,7 @@ let prop_series_bucket_total =
     QCheck.(list (pair (int_bound 999) (float_range 0. 10.)))
     (fun samples ->
       let s = Series.create () in
-      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) samples in
+      let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) samples in
       List.iter (fun (t, v) -> Series.add s t v) sorted;
       let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. sorted in
       let buckets = Series.bucket_sum s ~width:100 ~until:1000 in
@@ -497,7 +497,7 @@ let prop_event_queue_total_order =
         | Some (at, _) -> drain (at :: acc)
       in
       let popped = drain [] in
-      popped = List.sort compare times)
+      popped = List.sort Int.compare times)
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in

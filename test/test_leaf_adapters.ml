@@ -47,7 +47,7 @@ let test_svr4_leaf_runs_ts_threads () =
   check_bool "fully used" true
     (Time.seconds 4 - (ca + cb) <= Time.milliseconds 200);
   check_bool "both in the same ballpark" true
-    (float_of_int (min ca cb) /. float_of_int (max ca cb) > 0.5)
+    (float_of_int (Int.min ca cb) /. float_of_int (Int.max ca cb) > 0.5)
 
 let test_svr4_leaf_rt_preempts_in_kernel () =
   let _, hier, k = base () in

@@ -292,7 +292,7 @@ let prop_link_fairness_bound =
           | Some (t, _) -> t
           | None -> 0
         in
-        let until = min (last_busy 1) (last_busy 2) in
+        let until = Int.min (last_busy 1) (last_busy 2) in
         let lag =
           Hsfq_analysis.Fairness.normalized_lag
             ~fa:(Link.delivered_series link ~flow:1) ~wa:w1
