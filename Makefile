@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench bench-smoke bench-diff torture-smoke figures examples regen-golden clean
+.PHONY: all build test lint check bench bench-smoke bench-diff sim-speed-smoke torture-smoke figures examples regen-golden clean
 
 all: build
 
@@ -16,9 +16,9 @@ test:
 lint:
 	dune build @lint @lint-typed
 
-# Tier-1 verification: strict build + tests + lint + bench and torture
-# smoke passes.
-check: build test lint bench-smoke torture-smoke
+# Tier-1 verification: strict build + tests + lint + bench, sim-speed
+# and torture smoke passes.
+check: build test lint bench-smoke sim-speed-smoke torture-smoke
 
 # Full harness: regenerate every paper figure + micro-benchmarks.
 bench:
@@ -36,6 +36,12 @@ bench-smoke:
 # change is real.
 bench-diff:
 	dune build @bench-diff
+
+# End-to-end throughput sanity: shrunk sim-speed workloads through the
+# full dispatch path, asserting events fire and the steady-state
+# minor-words/event budget holds (the zero-alloc dispatch contract).
+sim-speed-smoke:
+	dune build @sim-speed-smoke
 
 # Lifecycle torture, quick slice: 8 seeds x 2000 ops with per-op
 # audits.  The full acceptance sweep is

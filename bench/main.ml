@@ -131,11 +131,13 @@ let hierarchy_decision_micro ~depth =
     group = "hierarchy";
     name = Printf.sprintf "hierarchy/depth=%d" depth;
     fn =
+      (* The sentinel-id protocol the kernel dispatch loop actually uses
+         (schedule_id/update_ns), so the figure reflects the hot path. *)
       (fun () ->
-        match Core.Hierarchy.schedule h with
-        | Some leaf ->
-          Core.Hierarchy.update h ~leaf ~service:2e7 ~leaf_runnable:true
-        | None -> invalid_arg "bench: no runnable leaf");
+        let leaf = Core.Hierarchy.schedule_id h in
+        if leaf < 0 then invalid_arg "bench: no runnable leaf";
+        Core.Hierarchy.update_ns h ~leaf ~service_ns:20_000_000
+          ~leaf_runnable:true);
   }
 
 (* Tracepoint overhead: the hottest sfq/hierarchy decision micros with a
@@ -210,11 +212,10 @@ let svr4_decision_micro ~q =
     name = Printf.sprintf "svr4-ts/Q=%d" q;
     fn =
       (fun () ->
-        match Sched.Svr4.select t with
-        | Some id ->
-          Sched.Svr4.charge t ~id ~service:(Engine.Time.milliseconds 10)
-            ~runnable:true
-        | None -> invalid_arg "bench: empty run queue");
+        let id = Sched.Svr4.select_id t in
+        if id < 0 then invalid_arg "bench: empty run queue";
+        Sched.Svr4.charge t ~id ~service:(Engine.Time.milliseconds 10)
+          ~runnable:true);
   }
 
 (* Runnable-propagation walk (hsfq_setrun + hsfq_sleep) through a deep
@@ -293,9 +294,7 @@ let event_queue_micro ~n =
           if i mod 2 = 0 then Engine.Event_queue.cancel h
         done;
         let rec drain () =
-          match Engine.Event_queue.pop q with
-          | Some _ -> drain ()
-          | None -> ()
+          if Engine.Event_queue.take_until q ~horizon:max_int >= 0 then drain ()
         in
         drain ());
   }
@@ -337,19 +336,30 @@ type sweep_row = {
   jobs : int;
   serial_s : float;
   parallel_s : float;
+  serial_minor_gcs : int;
+  parallel_minor_gcs : int;
 }
 
+(* Wall clock plus the number of minor collections the run triggered:
+   the PR-4 parallel inversion was stop-the-world minor GC, so the
+   sweeps section records the GC pressure next to the timings. *)
 let wall f =
+  let c0 = (Gc.quick_stat ()).Gc.minor_collections in
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  (r, dt, (Gc.quick_stat ()).Gc.minor_collections - c0)
 
 (* Torture seed sweep: [seeds] independent lifecycle-stress runs. *)
 let torture_sweep_row ~jobs ~seeds ~ops =
   let seed_arr = Array.init seeds (fun i -> i + 1) in
   let cfg = T.config ~ops ~audit_period:1 1 in
-  let serial, serial_s = wall (fun () -> T.sweep ~jobs:1 cfg ~seeds:seed_arr) in
-  let par, parallel_s = wall (fun () -> T.sweep ~jobs cfg ~seeds:seed_arr) in
+  let serial, serial_s, serial_minor_gcs =
+    wall (fun () -> T.sweep ~jobs:1 cfg ~seeds:seed_arr)
+  in
+  let par, parallel_s, parallel_minor_gcs =
+    wall (fun () -> T.sweep ~jobs cfg ~seeds:seed_arr)
+  in
   let same =
     Array.for_all2
       (fun a b -> String.equal (T.outcome_summary a) (T.outcome_summary b))
@@ -362,6 +372,8 @@ let torture_sweep_row ~jobs ~seeds ~ops =
     jobs;
     serial_s;
     parallel_s;
+    serial_minor_gcs;
+    parallel_minor_gcs;
   }
 
 (* Full experiment suite: every figure computed once. *)
@@ -371,11 +383,18 @@ let experiments_sweep_row ~jobs =
     Par.sweep ~jobs:n ~tasks ~f:(fun (e : E.Registry.entry) ->
         E.Common.all_ok (e.compute ()).checks)
   in
-  let serial, serial_s = wall (fun () -> compute 1) in
-  let par, parallel_s = wall (fun () -> compute jobs) in
+  let serial, serial_s, serial_minor_gcs = wall (fun () -> compute 1) in
+  let par, parallel_s, parallel_minor_gcs = wall (fun () -> compute jobs) in
   if not (Array.for_all2 Bool.equal serial par) then
     failwith "bench: experiment check verdicts differ across jobs";
-  { sweep_name = "experiments/all"; jobs; serial_s; parallel_s }
+  {
+    sweep_name = "experiments/all";
+    jobs;
+    serial_s;
+    parallel_s;
+    serial_minor_gcs;
+    parallel_minor_gcs;
+  }
 
 let run_sweeps () =
   print_endline "\n==================================================================";
@@ -405,6 +424,206 @@ let run_sweeps () =
     rows;
   Engine.Table.print t;
   rows
+
+(* ------------------------------------------------------------------ *)
+(* Part 4: end-to-end sim-speed — events/sec through the full dispatch *)
+(* path (Kernel quantum loop -> Hierarchy -> Sfq -> Event_queue).      *)
+(* ------------------------------------------------------------------ *)
+
+module K = Hsfq_kernel.Kernel
+module LS = Hsfq_kernel.Leaf_sched
+module IS = Hsfq_kernel.Interrupt_source
+module W = Hsfq_workload
+
+type sim_speed_row = {
+  ss_name : string;
+  events : int;
+  ss_wall_s : float;
+  events_per_sec : float;
+  words_per_event : float;
+  ss_minor_gcs : int;
+}
+
+(* Steady-state allocation ceiling asserted by --sim-speed-smoke: the
+   zero-alloc dispatch contract, in minor words per fired event.  The
+   residual words are the workload thunks themselves (each fired event
+   schedules its successor), not the dispatch path. *)
+let sim_speed_words_budget = 48.
+
+let interactive_thread (sys : E.Common.sys) ~leaf ~sfq ~name ~mean_think ~burst
+    ~seed =
+  let wl, _ = W.Interactive.make ~mean_think ~burst ~seed () in
+  let tid = K.spawn sys.k ~name ~leaf wl in
+  LS.Sfq_leaf.add sfq ~tid ~weight:1.;
+  K.start sys.k tid
+
+(* Each call advances the simulation by one [slice_ms] slice and returns
+   the cumulative event count, so the harness can warm up on the first
+   slice (arrays grown, free lists filled) and time the rest. *)
+let slice_runner (sys : E.Common.sys) ~slice_ms =
+  let horizon = ref Engine.Time.zero in
+  fun () ->
+    horizon := Engine.Time.add !horizon (Engine.Time.milliseconds slice_ms);
+    K.run_until sys.k !horizon;
+    Engine.Sim.steps sys.sim
+
+(* fig1/fig4-style: MPEG decoders plus interactive foreground, two SFQ
+   leaves — the paper's video-server mix. *)
+let ss_mpeg ~slice_ms () =
+  let sys : E.Common.sys = E.Common.make_sys ~audit:false () in
+  let leaf, sfq =
+    E.Common.sfq_leaf sys ~parent:Core.Hierarchy.root ~name:"video" ~weight:3.
+      ()
+  in
+  for i = 0 to 3 do
+    ignore
+      (E.Common.mpeg_thread sys ~leaf ~sfq ~name:(Printf.sprintf "mpeg%d" i)
+         ~weight:1. ())
+  done;
+  let ileaf, isfq =
+    E.Common.sfq_leaf sys ~parent:Core.Hierarchy.root ~name:"interactive"
+      ~weight:1. ()
+  in
+  for i = 0 to 1 do
+    interactive_thread sys ~leaf:ileaf ~sfq:isfq ~name:(Printf.sprintf "x%d" i)
+      ~mean_think:(Engine.Time.milliseconds 20) ~burst:(Engine.Time.milliseconds 1)
+      ~seed:(7 + i)
+  done;
+  slice_runner sys ~slice_ms
+
+(* fig5-style: Dhrystone threads under SVR4 time-sharing with daemons
+   and interrupt load — the "unmodified kernel" workload. *)
+let ss_ts ~slice_ms () =
+  let sys : E.Common.sys = E.Common.make_sys ~audit:false () in
+  let leaf, svr4 =
+    E.Common.svr4_leaf sys ~parent:Core.Hierarchy.root ~name:"ts" ~weight:1. ()
+  in
+  for i = 0 to 4 do
+    ignore
+      (E.Common.dhrystone_ts_thread sys ~leaf ~svr4
+         ~name:(Printf.sprintf "dhry%d" i)
+         ~loop_cost:(Engine.Time.microseconds 500))
+  done;
+  ignore
+    (E.Common.background_daemons sys ~leaf ~svr4 ~n:3
+       ~mean_think:(Engine.Time.milliseconds 300)
+       ~burst:(Engine.Time.milliseconds 20) ~seed:31);
+  K.add_interrupt_source sys.k
+    (IS.Periodic
+       { period = Engine.Time.milliseconds 10; cost = Engine.Time.microseconds 100 });
+  K.add_interrupt_source sys.k
+    (IS.Poisson
+       { rate_hz = 200.; mean_cost = Engine.Time.microseconds 150; seed = 99 });
+  slice_runner sys ~slice_ms
+
+(* torture-style timer churn: many short-burst interactive threads plus
+   a 1 kHz interrupt — wake timers, quantum timers and cancellations
+   dominate, which is exactly the event-queue churn path. *)
+let ss_churn ~slice_ms () =
+  let sys : E.Common.sys = E.Common.make_sys ~audit:false () in
+  let leaf, sfq =
+    E.Common.sfq_leaf sys ~parent:Core.Hierarchy.root ~name:"churn" ~weight:1.
+      ()
+  in
+  for i = 0 to 31 do
+    interactive_thread sys ~leaf ~sfq ~name:(Printf.sprintf "i%d" i)
+      ~mean_think:(Engine.Time.milliseconds 2)
+      ~burst:(Engine.Time.microseconds 300) ~seed:(100 + i)
+  done;
+  K.add_interrupt_source sys.k
+    (IS.Periodic
+       { period = Engine.Time.milliseconds 1; cost = Engine.Time.microseconds 20 });
+  slice_runner sys ~slice_ms
+
+(* Per-scenario slice sizes chosen so ten measured slices run long
+   enough (~10^5 events each) for a stable events/sec estimate; the
+   [scale] divisor shrinks them for the smoke pass. *)
+let sim_speed_scenarios ~scale =
+  let ms base = Int.max 1 (base / scale) in
+  [
+    ("mpeg+interactive", ss_mpeg ~slice_ms:(ms 60_000));
+    ("svr4-ts+irq", ss_ts ~slice_ms:(ms 12_000));
+    ("timer-churn", ss_churn ~slice_ms:(ms 3_000));
+  ]
+
+(* Simulated event counts are deterministic (seeded workloads), so only
+   the wall clock is noisy.  The first slice warms the system (arrays
+   grown, free lists filled, workload state reached) and is excluded;
+   the measured region is [slices] further slices of simulated time. *)
+let measure_sim_speed ~slices (name, setup) =
+  let run = setup () in
+  let e0 = run () in
+  Gc.full_major ();
+  let c0 = (Gc.quick_stat ()).Gc.minor_collections in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let e1 = ref e0 in
+  for _ = 1 to slices do
+    e1 := run ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let c1 = (Gc.quick_stat ()).Gc.minor_collections in
+  let events = !e1 - e0 in
+  {
+    ss_name = name;
+    events;
+    ss_wall_s = dt;
+    events_per_sec = float_of_int events /. dt;
+    words_per_event = words /. float_of_int events;
+    ss_minor_gcs = c1 - c0;
+  }
+
+let print_sim_speed rows =
+  let t =
+    Engine.Table.create
+      [ "workload"; "events"; "wall s"; "events/sec"; "words/event"; "minor GCs" ]
+  in
+  List.iter
+    (fun r ->
+      Engine.Table.row t
+        [
+          r.ss_name;
+          string_of_int r.events;
+          Printf.sprintf "%.3f" r.ss_wall_s;
+          Printf.sprintf "%.0f" r.events_per_sec;
+          Printf.sprintf "%.2f" r.words_per_event;
+          string_of_int r.ss_minor_gcs;
+        ])
+    rows;
+  Engine.Table.print t
+
+let run_sim_speed () =
+  print_endline "\n==================================================================";
+  print_endline " Part 4: end-to-end sim-speed (events/sec, full dispatch path)";
+  print_endline "==================================================================";
+  let rows =
+    List.map (measure_sim_speed ~slices:10) (sim_speed_scenarios ~scale:1)
+  in
+  print_sim_speed rows;
+  rows
+
+(* --sim-speed-smoke: tiny workloads, hard assertions — events actually
+   fire and the dispatch path holds its steady-state allocation budget.
+   Part of `make check`, so a regression that reintroduces per-event
+   allocation fails CI rather than only drifting a number. *)
+let run_sim_speed_smoke () =
+  let rows =
+    List.map (measure_sim_speed ~slices:2) (sim_speed_scenarios ~scale:100)
+  in
+  print_sim_speed rows;
+  List.iter
+    (fun r ->
+      if r.events <= 0 || not (r.events_per_sec > 0.) then
+        failwith (Printf.sprintf "sim-speed smoke: %s fired no events" r.ss_name);
+      if r.words_per_event > sim_speed_words_budget then
+        failwith
+          (Printf.sprintf
+             "sim-speed smoke: %s allocates %.1f minor words/event, over the \
+              %.0f-word steady-state budget"
+             r.ss_name r.words_per_event sim_speed_words_budget))
+    rows;
+  print_endline "sim-speed smoke PASSED."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel run: ns/decision and minor words/decision per benchmark.   *)
@@ -487,9 +706,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~sweeps rows =
+let write_json ~path ~sweeps ~sim_speed rows =
   let n = List.length rows in
   let nsweeps = List.length sweeps in
+  let nspeed = List.length sim_speed in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -506,6 +726,21 @@ let write_json ~path ~sweeps rows =
             (if i = n - 1 then "" else ","))
         rows;
       Printf.fprintf oc "  },\n";
+      (* End-to-end throughput of the full dispatch path; field names
+         are disjoint from "benchmarks" so hsfq_bench_diff's line
+         parser can tell the sections apart without nesting state. *)
+      Printf.fprintf oc "  \"sim_speed\": {\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    \"%s\": { \"events\": %d, \"wall_s\": %.3f, \
+             \"events_per_sec\": %.0f, \"minor_words_per_event\": %.3f, \
+             \"minor_collections\": %d }%s\n"
+            (json_escape r.ss_name) r.events r.ss_wall_s r.events_per_sec
+            r.words_per_event r.ss_minor_gcs
+            (if i = nspeed - 1 then "" else ","))
+        sim_speed;
+      Printf.fprintf oc "  },\n";
       (* Wall-clock of the Par.sweep fan-outs; key names deliberately
          share no fields with "benchmarks" so hsfq_bench_diff's line
          parser never mistakes a sweep row for a micro-benchmark. *)
@@ -514,16 +749,20 @@ let write_json ~path ~sweeps rows =
         (fun i r ->
           Printf.fprintf oc
             "    \"%s\": { \"jobs\": %d, \"serial_wall_s\": %.3f, \
-             \"parallel_wall_s\": %.3f, \"speedup\": %.3f }%s\n"
+             \"parallel_wall_s\": %.3f, \"speedup\": %.3f, \
+             \"serial_minor_collections\": %d, \
+             \"parallel_minor_collections\": %d }%s\n"
             (json_escape r.sweep_name) r.jobs r.serial_s r.parallel_s
             (r.serial_s /. r.parallel_s)
+            r.serial_minor_gcs r.parallel_minor_gcs
             (if i = nsweeps - 1 then "" else ","))
         sweeps;
       Printf.fprintf oc "  }\n";
       Printf.fprintf oc "}\n");
-  Printf.printf "\nwrote %s (%d benchmarks, %d sweeps)\n" path n nsweeps
+  Printf.printf "\nwrote %s (%d benchmarks, %d sim-speed rows, %d sweeps)\n" path
+    n nspeed nsweeps
 
-let run_micro ~json_path ~sweeps =
+let run_micro ~json_path ~sweeps ~sim_speed =
   print_endline "\n==================================================================";
   print_endline " Part 2: micro-benchmarks (ns and minor words per decision)";
   print_endline "==================================================================";
@@ -556,7 +795,7 @@ let run_micro ~json_path ~sweeps =
         [ name; Printf.sprintf "%.1f" est; Printf.sprintf "%.2f" w ])
     rows;
   Engine.Table.print t;
-  write_json ~path:json_path ~sweeps rows
+  write_json ~path:json_path ~sweeps ~sim_speed rows
 
 (* --smoke: every micro closure must run without raising — one iteration,
    no Bechamel quota, so `make check` can afford it. *)
@@ -578,11 +817,19 @@ let run_smoke () =
 let () =
   let smoke = ref false in
   let micro_only = ref false in
+  let sim_speed_smoke = ref false in
+  let sim_speed_only = ref false in
   let json_path = ref "BENCH_sched.json" in
   let spec =
     [
       ("--smoke", Arg.Set smoke, " figures + 1-iteration micro sanity pass");
       ("--micro-only", Arg.Set micro_only, " skip figure regeneration");
+      ( "--sim-speed-smoke",
+        Arg.Set sim_speed_smoke,
+        " tiny end-to-end workloads with hard events/sec + allocation asserts" );
+      ( "--sim-speed-only",
+        Arg.Set sim_speed_only,
+        " run only the full-size sim-speed workloads (no JSON)" );
       ( "--json",
         Arg.Set_string json_path,
         "PATH output path for benchmark estimates (default BENCH_sched.json)" );
@@ -590,11 +837,16 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench/main.exe [--smoke] [--micro-only] [--json PATH]";
-  let ok = if !micro_only then true else regenerate_figures () in
-  if !smoke then run_smoke ()
+    "bench/main.exe [--smoke] [--sim-speed-smoke] [--micro-only] [--json PATH]";
+  if !sim_speed_smoke then run_sim_speed_smoke ()
+  else if !sim_speed_only then ignore (run_sim_speed ())
   else begin
-    let sweeps = if !micro_only then [] else run_sweeps () in
-    run_micro ~json_path:!json_path ~sweeps
-  end;
-  if not ok then exit 1
+    let ok = if !micro_only then true else regenerate_figures () in
+    if !smoke then run_smoke ()
+    else begin
+      let sweeps = if !micro_only then [] else run_sweeps () in
+      let sim_speed = run_sim_speed () in
+      run_micro ~json_path:!json_path ~sweeps ~sim_speed
+    end;
+    if not ok then exit 1
+  end

@@ -17,6 +17,10 @@ let tolerance_hi = 1.33
 
 type row = { ns : float; words : float }
 
+(* A sim_speed section row: end-to-end events/sec (higher is better,
+   unlike ns/decision) and steady-state minor words per fired event. *)
+type speed_row = { eps : float; wpe : float }
+
 (* Extract the float following [key] on [line], if present. *)
 let field line key =
   let needle = "\"" ^ key ^ "\":" in
@@ -56,19 +60,26 @@ let name_of line =
 let load path =
   let ic = open_in path in
   let rows = Hashtbl.create 32 in
+  let speeds = Hashtbl.create 8 in
   (try
      while true do
        let line = input_line ic in
-       match (field line "ns_per_decision", field line "minor_words_per_decision") with
+       (match (field line "ns_per_decision", field line "minor_words_per_decision") with
        | Some ns, Some words -> (
          match name_of line with
          | Some name -> Hashtbl.replace rows name { ns; words }
+         | None -> ())
+       | _ -> ());
+       match (field line "events_per_sec", field line "minor_words_per_event") with
+       | Some eps, Some wpe -> (
+         match name_of line with
+         | Some name -> Hashtbl.replace speeds name { eps; wpe }
          | None -> ())
        | _ -> ()
      done
    with End_of_file -> ());
   close_in ic;
-  rows
+  (rows, speeds)
 
 let classify ratio =
   if ratio < tolerance_lo then `Faster
@@ -83,8 +94,8 @@ let () =
       prerr_endline "usage: hsfq_bench_diff BASELINE.json FRESH.json";
       exit 2
   in
-  let baseline = load baseline_path in
-  let fresh = load fresh_path in
+  let baseline, baseline_speed = load baseline_path in
+  let fresh, fresh_speed = load fresh_path in
   if Hashtbl.length baseline = 0 then begin
     Printf.eprintf "no benchmark rows found in %s\n" baseline_path;
     exit 2
@@ -134,6 +145,51 @@ let () =
       if not (Hashtbl.mem baseline name) then
         Printf.printf "%-28s %12s %12s %8s  new (not in baseline)\n" name "-" "-" "-")
     fresh;
+  (* sim_speed rows: end-to-end events/sec, where a ratio {e below} the
+     band is the regression (throughput dropped). The simulated event
+     counts are deterministic, so words/event drift is again the
+     higher-signal column. *)
+  if Hashtbl.length baseline_speed > 0 || Hashtbl.length fresh_speed > 0 then begin
+    let names =
+      Hashtbl.fold (fun name _ acc -> name :: acc) baseline_speed []
+      |> List.sort String.compare
+    in
+    Printf.printf "\n%-28s %12s %12s %8s  %s\n" "sim-speed workload" "base ev/s"
+      "fresh ev/s" "ratio" "verdict";
+    List.iter
+      (fun name ->
+        match (Hashtbl.find_opt fresh_speed name, Hashtbl.find_opt baseline_speed name) with
+        | None, _ ->
+          Printf.printf "%-28s %12s %12s %8s  missing from fresh run\n" name "-"
+            "-" "-"
+        | _, None -> ()
+        | Some f, Some b ->
+          let ratio = f.eps /. b.eps in
+          let verdict =
+            match classify ratio with
+            | `Ok -> "ok"
+            | `Faster ->
+              (* events/sec: below the band = throughput regression. *)
+              incr drifted;
+              "SLOWER (throughput dropped)"
+            | `Slower ->
+              incr drifted;
+              "FASTER (update baseline?)"
+          in
+          Printf.printf "%-28s %12.0f %12.0f %8.2f  %s\n" name b.eps f.eps ratio
+            verdict;
+          if b.wpe > 0.5 && Float.abs ((f.wpe /. b.wpe) -. 1.) > 0.25 then begin
+            incr drifted;
+            Printf.printf "%-28s %12.1f %12.1f %8.2f  ALLOC DRIFT (minor words/event)\n"
+              "" b.wpe f.wpe (f.wpe /. b.wpe)
+          end)
+      names;
+    Hashtbl.iter
+      (fun name _ ->
+        if not (Hashtbl.mem baseline_speed name) then
+          Printf.printf "%-28s %12s %12s %8s  new (not in baseline)\n" name "-" "-" "-")
+      fresh_speed
+  end;
   if !drifted > 0 then
     Printf.printf
       "\n%d row(s) outside the [%.2f, %.2f] tolerance band — advisory only.\n"

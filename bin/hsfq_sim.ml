@@ -354,4 +354,44 @@ let main =
   Cmd.group (Cmd.info "hsfq_sim" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; trace_cmd; tree_cmd; csv_cmd; torture_cmd ]
 
-let () = exit (Cmd.eval main)
+(* --minor-heap WORDS: resize the minor heap (nursery) before the run.
+   With the dispatch path allocation-free, what's left on the nursery is
+   workload and bookkeeping churn; this knob makes the nursery-size vs
+   minor-GC-count tradeoff measurable from the CLI (see
+   doc/PERFORMANCE.md, "GC discipline"). Stripped from argv ahead of
+   cmdliner so it applies uniformly to every subcommand. *)
+let filtered_argv =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let keep = ref [] in
+  let set words =
+    match int_of_string_opt words with
+    | Some w when w > 0 -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = w }
+    | _ ->
+      prerr_endline "hsfq_sim: --minor-heap expects a positive size in words";
+      exit 2
+  in
+  let i = ref 0 in
+  while !i < n do
+    let a = argv.(!i) in
+    if a = "--minor-heap" then
+      if !i + 1 < n then begin
+        set argv.(!i + 1);
+        i := !i + 2
+      end
+      else begin
+        prerr_endline "hsfq_sim: --minor-heap expects a positive size in words";
+        exit 2
+      end
+    else if String.length a > 13 && String.sub a 0 13 = "--minor-heap=" then begin
+      set (String.sub a 13 (String.length a - 13));
+      incr i
+    end
+    else begin
+      keep := a :: !keep;
+      incr i
+    end
+  done;
+  Array.of_list (List.rev !keep)
+
+let () = exit (Cmd.eval ~argv:filtered_argv main)

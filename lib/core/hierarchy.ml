@@ -24,6 +24,12 @@ type t = {
   mutable nodes : node option array; (* slot = id; [None] after rmnod *)
   mutable next_id : id;
   mutable count : int;
+  fstage : float array;
+      (* 1 cell: the service being charged by [update]/[update_ns].  The
+         walk-up loop reads it per level and stores it into the parent
+         SFQ's stage cell — float-array loads/stores stay unboxed where a
+         float argument to a cross-module call would box under the dev
+         profile's [-opaque]. *)
   (* Observation point for the invariant audit (Hsfq_check): called after
      every transition of an internal node's SFQ, with that node's id.
      Must not mutate the hierarchy. *)
@@ -64,7 +70,14 @@ let create () =
   let nodes = Array.make 16 None in
   nodes.(root) <-
     Some (make_node ~nid:root ~comp:"" ~parent:None ~weight:1.0 Internal);
-  { nodes; next_id = 1; count = 1; audit_hook = None; obs = None }
+  {
+    nodes;
+    next_id = 1;
+    count = 1;
+    fstage = Array.make 1 0.;
+    audit_hook = None;
+    obs = None;
+  }
 
 let unknown id = invalid_arg (Printf.sprintf "Hierarchy: unknown node %d" id)
 
@@ -245,72 +258,93 @@ let start_tag_of t id =
   | None -> invalid_arg "Hierarchy.start_tag_of: root has no tags"
   | Some p -> Sfq.start_tag (sfq_of p) ~id
 
-(* Mark [id] runnable and walk up, stopping at the first ancestor that was
+(* The kernel entry points below run once per scheduling decision, so
+   their tree walks are top-level recursive functions — a [let rec]
+   local to the entry point would allocate a closure per call — and all
+   float traffic into [Sfq] goes through the staging cells ([_staged]
+   entry points) rather than float arguments, which box under the dev
+   profile's [-opaque]. *)
+
+(* Mark [n] runnable and walk up, stopping at the first ancestor that was
    already runnable (paper: hsfq_setrun). *)
-let setrun t id =
-  let rec up n =
-    if not n.runnable then begin
-      n.runnable <- true;
-      match n.parent with
-      | None -> ()
-      | Some p ->
-        Sfq.arrive (sfq_of p) ~id:n.nid ~weight:n.weight;
-        audited t ~node:p.nid ~event:"setrun";
-        obs_emit t ~code:Hsfq_obs.Trace.ev_node_setrun ~a:p.nid ~b:n.nid ~c:0;
-        up p
-    end
-  in
-  up (node t id)
-
-(* Mark [id] un-runnable and walk up while ancestors lose their last
-   runnable child (paper: hsfq_sleep). Only for nodes not in service. *)
-let sleep t id =
-  let rec up n =
-    if n.runnable then begin
-      n.runnable <- false;
-      match n.parent with
-      | None -> ()
-      | Some p ->
-        let psfq = sfq_of p in
-        Sfq.block psfq ~id:n.nid;
-        audited t ~node:p.nid ~event:"sleep";
-        obs_emit t ~code:Hsfq_obs.Trace.ev_node_sleep ~a:p.nid ~b:n.nid ~c:0;
-        if Sfq.backlogged psfq = 0 then up p
-    end
-  in
-  up (node t id)
-
-let schedule t =
-  let rec descend n =
-    match n.kind with
-    | Leaf -> n.nid
-    | Internal ->
-      let child = Sfq.select_id (sfq_of n) in
-      if child >= 0 then begin
-        audited t ~node:n.nid ~event:"select";
-        descend (node t child)
-      end
-      else
-        (* A runnable node with no selectable child violates the
-           runnability invariant. *)
-        assert false
-  in
-  let r = node t root in
-  if not r.runnable then None else Some (descend r)
-
-let update t ~leaf ~service ~leaf_runnable =
-  if service < 0. then invalid_arg "Hierarchy.update: negative service";
-  let rec up n runnable_child =
-    n.runnable <- runnable_child;
+let rec setrun_up t n =
+  if not n.runnable then begin
+    n.runnable <- true;
     match n.parent with
     | None -> ()
     | Some p ->
       let psfq = sfq_of p in
-      Sfq.charge psfq ~id:n.nid ~service ~runnable:runnable_child;
-      audited t ~node:p.nid ~event:"charge";
-      up p (Sfq.backlogged psfq > 0)
-  in
-  up (node t leaf) leaf_runnable
+      (Sfq.stage_cell psfq).(0) <- n.weight;
+      Sfq.arrive_staged psfq ~id:n.nid;
+      audited t ~node:p.nid ~event:"setrun";
+      obs_emit t ~code:Hsfq_obs.Trace.ev_node_setrun ~a:p.nid ~b:n.nid ~c:0;
+      setrun_up t p
+  end
+
+let setrun t id = setrun_up t (node t id)
+
+(* Mark [n] un-runnable and walk up while ancestors lose their last
+   runnable child (paper: hsfq_sleep). Only for nodes not in service. *)
+let rec sleep_up t n =
+  if n.runnable then begin
+    n.runnable <- false;
+    match n.parent with
+    | None -> ()
+    | Some p ->
+      let psfq = sfq_of p in
+      Sfq.block psfq ~id:n.nid;
+      audited t ~node:p.nid ~event:"sleep";
+      obs_emit t ~code:Hsfq_obs.Trace.ev_node_sleep ~a:p.nid ~b:n.nid ~c:0;
+      if Sfq.backlogged psfq = 0 then sleep_up t p
+  end
+
+let sleep t id = sleep_up t (node t id)
+
+let rec descend_id t n =
+  match n.kind with
+  | Leaf -> n.nid
+  | Internal ->
+    let child = Sfq.select_id (sfq_of n) in
+    if child >= 0 then begin
+      audited t ~node:n.nid ~event:"select";
+      descend_id t (node t child)
+    end
+    else
+      (* A runnable node with no selectable child violates the
+         runnability invariant. *)
+      assert false
+
+let schedule_id t =
+  let r = node t root in
+  if not r.runnable then -1 else descend_id t r
+
+let schedule t =
+  let leaf = schedule_id t in
+  if leaf < 0 then None else Some leaf
+
+(* Charge the service staged in [t.fstage] up the tree.  Reading the
+   staged value per level and storing it into the parent SFQ's staging
+   cell keeps the float unboxed end to end. *)
+let rec update_up t n runnable_child =
+  n.runnable <- runnable_child;
+  match n.parent with
+  | None -> ()
+  | Some p ->
+    let psfq = sfq_of p in
+    (Sfq.stage_cell psfq).(0) <- t.fstage.(0);
+    Sfq.charge_staged psfq ~id:n.nid ~runnable:runnable_child;
+    audited t ~node:p.nid ~event:"charge";
+    update_up t p (Sfq.backlogged psfq > 0)
+
+let update t ~leaf ~service ~leaf_runnable =
+  if service < 0. then invalid_arg "Hierarchy.update: negative service";
+  t.fstage.(0) <- service;
+  update_up t (node t leaf) leaf_runnable
+
+let update_ns t ~leaf ~service_ns ~leaf_runnable =
+  if service_ns < 0 then invalid_arg "Hierarchy.update_ns: negative service";
+  t.fstage.(0) <- float_of_int service_ns;
+  update_up t (node t leaf) leaf_runnable
 
 let donate t ~blocked ~recipient =
   if blocked = recipient then Error "donate: self-donation"

@@ -117,11 +117,24 @@ val schedule : t -> id option
     runnable. Each successful [schedule] must be followed by exactly one
     [update] for the returned leaf. *)
 
+val schedule_id : t -> id
+(** Allocation-free [schedule]: the selected leaf's id, or [-1] iff no
+    leaf is runnable. Same contract otherwise — each successful
+    [schedule_id] must be followed by exactly one update. The kernel
+    dispatch loop uses this together with {!update_ns} to keep a
+    hierarchical decision free of minor allocation. *)
+
 val update : t -> leaf:id -> service:float -> leaf_runnable:bool -> unit
 (** Charge [service] (CPU nanoseconds) for the quantum just executed by a
     thread of [leaf]: updates finish/start tags of the leaf and all its
     ancestors, and propagates un-runnability upward when
     [leaf_runnable = false]. *)
+
+val update_ns : t -> leaf:id -> service_ns:int -> leaf_runnable:bool -> unit
+(** [update] taking the service as integer nanoseconds ({!Time.span}).
+    The conversion to float happens inside, directly into a staging
+    cell, so callers holding an integer duration (the kernel) never
+    materialize a boxed float. *)
 
 (** {1 Priority-inversion support (§4)} *)
 

@@ -43,6 +43,11 @@ type t = {
   klast : float array;
       (* the queue's last-popped-key cell, read directly for the same
          reason ([last_key]'s float return would box) *)
+  fstage : float array;
+      (* this scheduler's own staging cell: the weight for
+         [arrive_staged] / the service for [charge_staged] is written
+         here by the caller (an unboxed float-array store) instead of
+         being passed as a boxing float argument *)
   donations : (int, int * float) Hashtbl.t;
       (* blocked -> (recipient, amount); cold path only (donate / revoke /
          depart), never touched by a scheduling decision *)
@@ -60,6 +65,9 @@ type t = {
   mutable obs_stage : float array;
       (* the tracer ring's float staging cells, cached so an enabled
          emit stores payloads unboxed (same trick as kstage/klast) *)
+  mutable obs_mstage : float array;
+      (* the tracer's metrics staging cells (Metrics.stage_cell), cached
+         so charge samples cross the unit boundary without boxing *)
   mutable next_gen : int;
       (* global generation counter for heap entries: per-client counters
          would restart at 0 when a departed id re-arrives, making the
@@ -85,6 +93,7 @@ let create ?rng:_ ?quantum_hint:_ () =
       queue;
       kstage = Keyed_heap.stage_cell queue;
       klast = Keyed_heap.last_key_cell queue;
+      fstage = Array.make 1 0.;
       donations = Hashtbl.create 4;
       clock = { vt = 0.; max_finish = 0. };
       nrun = 0;
@@ -93,6 +102,7 @@ let create ?rng:_ ?quantum_hint:_ () =
       obs_on = ref false;
       obs_node = -1;
       obs_stage = Array.make 2 0.;
+      obs_mstage = Array.make 3 0.;
       next_gen = 0;
     }
   in
@@ -111,8 +121,11 @@ let set_obs t sys ~node =
   match sys with
   | Some s ->
     t.obs_stage <- Hsfq_obs.Trace.stage s;
+    t.obs_mstage <- Hsfq_obs.Metrics.stage_cell (Hsfq_obs.Trace.metrics s);
     t.obs_on <- Hsfq_obs.Trace.on_cell s
   | None -> t.obs_on <- ref false
+
+let stage_cell t = t.fstage
 
 let state t id =
   if id >= 0 && id < t.cap then Bytes.get t.statev id else st_absent
@@ -165,7 +178,8 @@ let enqueue t id =
 let note_idle t =
   if t.nrun = 0 then t.clock.vt <- fmax t.clock.vt t.clock.max_finish
 
-let arrive t ~id ~weight =
+let arrive_staged t ~id =
+  let weight = t.fstage.(0) in
   if weight <= 0. then invalid_arg "Sfq.arrive: weight <= 0";
   if id < 0 then invalid_arg "Sfq.arrive: negative client id";
   if id >= max_clients then
@@ -195,6 +209,10 @@ let arrive t ~id ~weight =
     enqueue t id
   end
 (* already runnable: idempotent, the weight argument is ignored *)
+
+let arrive t ~id ~weight =
+  t.fstage.(0) <- weight;
+  arrive_staged t ~id
 
 let revoke t ~blocked =
   match Hashtbl.find_opt t.donations blocked with
@@ -256,7 +274,8 @@ let select t =
   let id = select_id t in
   if id < 0 then None else Some id
 
-let charge t ~id ~service ~runnable =
+let charge_staged t ~id ~runnable =
+  let service = t.fstage.(0) in
   if id < 0 || t.in_service <> id then
     invalid_arg "Sfq.charge: client not in service";
   if service < 0. then invalid_arg "Sfq.charge: negative service";
@@ -275,8 +294,13 @@ let charge t ~id ~service ~runnable =
          ~b:id
          ~c:(if runnable then 1 else 0)
          ~d:0;
-       Hsfq_obs.Metrics.charge_sample (Hsfq_obs.Trace.metrics s) ~node:id
-         ~service ~norm:(service /. ew) ~vt:t.clock.vt);
+       (* Charge-sample payloads go through the metrics staging cells
+          (cached in [set_obs]) — float arguments would box. *)
+       t.obs_mstage.(0) <- service;
+       t.obs_mstage.(1) <- service /. ew;
+       t.obs_mstage.(2) <- t.clock.vt;
+       Hsfq_obs.Metrics.charge_sample_staged (Hsfq_obs.Trace.metrics s)
+         ~node:id);
   if runnable then begin
     t.startv.(id) <- fmax t.clock.vt finish;
     enqueue t id
@@ -287,6 +311,10 @@ let charge t ~id ~service ~runnable =
     t.nrun <- t.nrun - 1;
     note_idle t
   end
+
+let charge t ~id ~service ~runnable =
+  t.fstage.(0) <- service;
+  charge_staged t ~id ~runnable
 
 let block t ~id =
   if known t id then begin

@@ -47,6 +47,19 @@ val select_id : t -> int
     [select_id] must be followed by exactly one [charge]. Used by
     {!Hierarchy.schedule} to keep hierarchical dispatch allocation-free. *)
 
+val stage_cell : t -> float array
+(** One-cell float staging buffer for the [_staged] entry points below.
+    Under dune's dev profile ([-opaque], no cross-module inlining) a
+    [float] argument to a cross-module call is boxed; hot callers cache
+    this array once and write the payload to [.(0)] (an unboxed
+    float-array store) instead. *)
+
+val arrive_staged : t -> id:int -> unit
+(** [arrive] with the weight read from {!stage_cell}. *)
+
+val charge_staged : t -> id:int -> runnable:bool -> unit
+(** [charge] with the service read from {!stage_cell}. *)
+
 val block : t -> id:int -> unit
 (** Remove a client from the ready set without forgetting it; its finish
     tag is retained so a later [arrive] restarts it at

@@ -10,14 +10,19 @@
    entries outnumber live ones in a non-trivially-sized heap, the next
    [schedule] compacts in place and re-heapifies.
 
-   Even the per-event handle allocation disappears in steady state for
-   churny workloads (timeouts that are usually cancelled): when a
-   cancelled entry leaves the heap — at the top in [settle], or skipped
-   by [compact] — its record goes onto a per-queue free list and the
-   next [schedule] reuses it. Only cancelled handles are recycled; a
-   fired handle may still be observed by its caller ([is_cancelled]
-   must keep answering [false] for it), whereas cancellation is the
-   caller's own declaration that it is done with the handle. *)
+   The per-event handle allocation disappears in steady state: when an
+   entry leaves the heap dead — cancelled (at the top in [settle], or
+   skipped by [compact]) or fired (in [take_until]/[pop]) — its record
+   goes onto a per-queue free list and the next [schedule] reuses it.
+   Recycling fired handles makes firing the last use of a handle, the
+   same contract cancellation always had; callers that keep a handle
+   around clear their reference from inside the fired thunk (the kernel
+   does) or never touch it again.
+
+   Each record carries a small identity ([handle_id]) assigned when the
+   record is first allocated and kept across recycling, so tests (and
+   diagnostics) can observe reuse without comparing physical
+   equality. *)
 
 (* Shared mutable counters; referenced by both the queue and every handle
    so [cancel : handle -> unit] can update them without a queue arg. *)
@@ -30,7 +35,7 @@ let pending_st = 0
 let cancelled_st = 1
 let fired_st = 2
 
-type handle = { mutable hstate : int; stats : stats }
+type handle = { mutable hstate : int; hid : int; stats : stats }
 
 type t = {
   mutable times : int array; (* Time.t is int (nanoseconds) *)
@@ -39,13 +44,15 @@ type t = {
   mutable handles : handle array;
   mutable size : int;
   mutable next_seq : int;
+  mutable next_hid : int; (* identity for the next fresh handle record *)
+  mutable taken : unit -> unit; (* thunk of the last [take_until] hit *)
   stats : stats;
-  mutable free : handle array; (* recycled cancelled handles (a stack) *)
+  mutable free : handle array; (* recycled dead handles (a stack) *)
   mutable nfree : int;
 }
 
 let dummy_stats = { live = 0; stale = 0 }
-let dummy_handle = { hstate = fired_st; stats = dummy_stats }
+let dummy_handle = { hstate = fired_st; hid = -1; stats = dummy_stats }
 let nothing () = ()
 
 let create () =
@@ -56,12 +63,15 @@ let create () =
     handles = [||];
     size = 0;
     next_seq = 0;
+    next_hid = 0;
+    taken = nothing;
     stats = { live = 0; stale = 0 };
     free = [||];
     nfree = 0;
   }
 
-(* Park a cancelled handle for reuse, once its heap slot is gone. *)
+(* Park a dead (cancelled or fired) handle for reuse, once its heap slot
+   is gone. *)
 let recycle t h =
   let cap = Array.length t.free in
   if t.nfree >= cap then begin
@@ -72,6 +82,13 @@ let recycle t h =
   t.free.(t.nfree) <- h;
   t.nfree <- t.nfree + 1
 
+(* Cold path of [alloc_handle]: a fresh record with a fresh identity.
+   Kept out of line so the hot path is the free-list pop. *)
+let new_handle t =
+  let hid = t.next_hid in
+  t.next_hid <- t.next_hid + 1;
+  { hstate = pending_st; hid; stats = t.stats }
+
 let alloc_handle t =
   if t.nfree > 0 then begin
     t.nfree <- t.nfree - 1;
@@ -80,7 +97,11 @@ let alloc_handle t =
     h.hstate <- pending_st;
     h
   end
-  else { hstate = pending_st; stats = t.stats }
+  else new_handle t
+
+let handle_id h = h.hid
+let null = dummy_handle
+let is_null h = h.hid < 0
 
 (* Strict ordering: earlier time first, FIFO (schedule order) among
    events set for the same instant. *)
@@ -88,39 +109,51 @@ let lt t i j =
   let ti = t.times.(i) and tj = t.times.(j) in
   if ti < tj then true else if tj < ti then false else t.seqs.(i) < t.seqs.(j)
 
-let swap t i j =
-  let x = t.times.(i) in
-  t.times.(i) <- t.times.(j);
-  t.times.(j) <- x;
-  let s = t.seqs.(i) in
-  t.seqs.(i) <- t.seqs.(j);
-  t.seqs.(j) <- s;
-  let f = t.thunks.(i) in
-  t.thunks.(i) <- t.thunks.(j);
-  t.thunks.(j) <- f;
-  let h = t.handles.(i) in
-  t.handles.(i) <- t.handles.(j);
-  t.handles.(j) <- h
+(* Hole-based sifting: the moving entry rides in the arguments (all
+   immediates or pointers — no allocation) and is written exactly once at
+   its final slot, so each level costs one 4-field copy instead of a
+   4-field swap. No [ref] for the running minimum either: a ref cell
+   would be a heap allocation per pop. *)
+let place t i tm sq fn hd =
+  t.times.(i) <- tm;
+  t.seqs.(i) <- sq;
+  t.thunks.(i) <- fn;
+  t.handles.(i) <- hd
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t i parent then begin
-      swap t i parent;
-      sift_up t parent
+let rec sift_up_from t i tm sq fn hd =
+  if i = 0 then place t i tm sq fn hd
+  else begin
+    let p = (i - 1) / 2 in
+    let tp = t.times.(p) in
+    if tp > tm || (tp = tm && t.seqs.(p) > sq) then begin
+      t.times.(i) <- tp;
+      t.seqs.(i) <- t.seqs.(p);
+      t.thunks.(i) <- t.thunks.(p);
+      t.handles.(i) <- t.handles.(p);
+      sift_up_from t p tm sq fn hd
     end
+    else place t i tm sq fn hd
   end
 
-(* No [ref] for the running minimum: a ref cell is a heap allocation per
-   recursion level, and this runs on every pop. *)
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let s = if l < t.size && lt t l i then l else i in
-  let s = if r < t.size && lt t r s then r else s in
-  if s <> i then begin
-    swap t i s;
-    sift_down t s
+let rec sift_down_from t i tm sq fn hd =
+  let l = (2 * i) + 1 in
+  if l >= t.size then place t i tm sq fn hd
+  else begin
+    let r = l + 1 in
+    let s = if r < t.size && lt t r l then r else l in
+    let ts = t.times.(s) in
+    if ts < tm || (ts = tm && t.seqs.(s) < sq) then begin
+      t.times.(i) <- ts;
+      t.seqs.(i) <- t.seqs.(s);
+      t.thunks.(i) <- t.thunks.(s);
+      t.handles.(i) <- t.handles.(s);
+      sift_down_from t s tm sq fn hd
+    end
+    else place t i tm sq fn hd
   end
+
+let sift_down t i =
+  sift_down_from t i t.times.(i) t.seqs.(i) t.thunks.(i) t.handles.(i)
 
 let grow t =
   let cap = Array.length t.times in
@@ -180,14 +213,11 @@ let schedule t ~at thunk =
   grow t;
   let h = alloc_handle t in
   let i = t.size in
-  t.times.(i) <- at;
-  t.seqs.(i) <- t.next_seq;
-  t.thunks.(i) <- thunk;
-  t.handles.(i) <- h;
+  let sq = t.next_seq in
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   t.stats.live <- t.stats.live + 1;
-  sift_up t i;
+  sift_up_from t i at sq thunk h;
   h
 
 let cancel h =
@@ -201,9 +231,16 @@ let is_cancelled h = h.hstate = cancelled_st
 
 let remove_top t =
   t.size <- t.size - 1;
-  if t.size > 0 then keep t ~src:t.size ~dst:0;
-  release t t.size;
-  if t.size > 0 then sift_down t 0
+  let n = t.size in
+  if n > 0 then begin
+    let tm = t.times.(n)
+    and sq = t.seqs.(n)
+    and fn = t.thunks.(n)
+    and hd = t.handles.(n) in
+    release t n;
+    sift_down_from t 0 tm sq fn hd
+  end
+  else release t n
 
 (* Drop cancelled entries sitting at the top of the heap. *)
 let rec settle t =
@@ -221,15 +258,33 @@ let next_time t =
   settle t;
   if t.size = 0 then None else Some t.times.(0)
 
+(* Fire the top entry: mark it fired, record its thunk in [t.taken],
+   drop its slot and park its record for reuse. Returns its time. *)
+let fire_top t =
+  let at = t.times.(0) and h = t.handles.(0) in
+  t.taken <- t.thunks.(0);
+  h.hstate <- fired_st;
+  t.stats.live <- t.stats.live - 1;
+  remove_top t;
+  recycle t h;
+  at
+
+let take_until t ~horizon =
+  settle t;
+  if t.size > 0 && t.times.(0) <= horizon then fire_top t
+  else begin
+    t.taken <- nothing;
+    -1
+  end
+
+let taken t = t.taken
+
 let pop t =
   settle t;
   if t.size = 0 then None
   else begin
-    let at = t.times.(0) and thunk = t.thunks.(0) and h = t.handles.(0) in
-    h.hstate <- fired_st;
-    t.stats.live <- t.stats.live - 1;
-    remove_top t;
-    Some (at, thunk)
+    let at = fire_top t in
+    Some (at, t.taken)
   end
 
 let pending t = t.stats.live

@@ -10,11 +10,13 @@ type t
 type handle
 (** Token for a scheduled event; allows cancellation.
 
-    A handle you have cancelled is dead: the queue recycles cancelled
-    handle records for later {!schedule} calls, so touching one after
-    {!cancel} returns may observe (or cancel!) an unrelated event. A
-    {e fired} handle is never recycled — calling {!cancel} on it stays
-    a no-op and {!is_cancelled} keeps answering [false]. *)
+    A handle is dead once its event is cancelled {e or fired}: the queue
+    recycles dead handle records for later {!schedule} calls, so
+    touching one afterwards may observe (or cancel!) an unrelated
+    event. Treat {!cancel} as the last use of a handle, and clear any
+    stored reference to a handle from inside its own fired thunk (the
+    thunk runs strictly after the record is parked, strictly before any
+    other event can reuse it). *)
 
 val create : unit -> t
 
@@ -30,11 +32,39 @@ val cancel : handle -> unit
 
 val is_cancelled : handle -> bool
 
+val handle_id : handle -> int
+(** Identity of the underlying handle record: assigned when the record
+    is first allocated, kept across recycling. Two live handles never
+    share an id; observing the same id again after a fire/cancel means
+    the record was reused (diagnostics and tests). *)
+
+val null : handle
+(** A permanently-dead placeholder ([handle_id] is [-1], [cancel] is a
+    no-op): lets callers keep a [handle] field without an option box,
+    using [is_null] in place of [None]. *)
+
+val is_null : handle -> bool
+
 val next_time : t -> Time.t option
 (** Time of the earliest pending (non-cancelled) event, without firing. *)
 
+val take_until : t -> horizon:Time.t -> Time.t
+(** Allocation-free pop bounded by the horizon: remove the earliest
+    pending event if its time is [<= horizon] and return that time, with
+    the thunk readable via {!taken}; [-1] (an impossible timestamp —
+    simulation time starts at zero) iff no such event exists. This is
+    the simulation driver's per-event path: one settle pass, no option,
+    no tuple, and the fired handle record is parked for reuse before the
+    thunk is exposed. *)
+
+val taken : t -> unit -> unit
+(** Thunk of the most recent successful {!take_until}. Call it exactly
+    once, before the next queue operation; after a [take_until] miss it
+    reads as a no-op. *)
+
 val pop : t -> (Time.t * (unit -> unit)) option
-(** Remove and return the earliest pending event. *)
+(** Remove and return the earliest pending event. Convenience/test
+    shape of {!take_until} (it allocates the option and pair). *)
 
 val pending : t -> int
 (** Number of live (non-cancelled, not yet fired) events. O(1). *)

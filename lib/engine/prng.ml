@@ -42,9 +42,20 @@ let int_in t lo hi =
   if hi < lo then invalid_arg "Prng.int_in: hi < lo";
   lo + int t (hi - lo + 1)
 
-(* 53 random mantissa bits, uniform in [0, 1). *)
+(* 53 random mantissa bits, uniform in [0, 1).
+
+   Monolithic on purpose: with [next_int64] called out of line, its
+   boxed [int64] return plus the extra [float] wrapper cost ~5 minor
+   words per draw; with the state step and finalizer inlined here, the
+   intermediates stay unboxed and a draw's only allocations are the
+   state store and the [float] result. Same output sequence. *)
 let unit_float t =
-  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  let s = Int64.add t.state golden in
+  t.state <- s;
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  let bits = Int64.to_int (Int64.shift_right_logical z 11) in
   float_of_int bits *. (1.0 /. 9007199254740992.0)
 
 let float t bound = unit_float t *. bound

@@ -21,33 +21,21 @@ let after t d f =
 
 let cancel = Event_queue.cancel
 
+(* The per-event loop: one [take_until] (single settle pass, no option,
+   no tuple) per event, thunk read through [taken]. Top-level so no
+   closure is allocated per call. *)
+let rec drain_until t horizon =
+  let at = Event_queue.take_until t.q ~horizon in
+  if at >= 0 then begin
+    t.clock <- Time.max t.clock at;
+    t.fired <- t.fired + 1;
+    (Event_queue.taken t.q) ();
+    drain_until t horizon
+  end
+
 let run_until t horizon =
-  let rec loop () =
-    match Event_queue.next_time t.q with
-    | Some when_ when Time.compare when_ horizon <= 0 ->
-      begin match Event_queue.pop t.q with
-      | None -> ()
-      | Some (at, thunk) ->
-        t.clock <- Time.max t.clock at;
-        t.fired <- t.fired + 1;
-        thunk ();
-        loop ()
-      end
-    | _ -> ()
-  in
-  loop ();
+  drain_until t horizon;
   t.clock <- Time.max t.clock horizon
 
-let run t =
-  let rec loop () =
-    match Event_queue.pop t.q with
-    | None -> ()
-    | Some (at, thunk) ->
-      t.clock <- Time.max t.clock at;
-      t.fired <- t.fired + 1;
-      thunk ();
-      loop ()
-  in
-  loop ()
-
+let run t = drain_until t max_int
 let steps t = t.fired

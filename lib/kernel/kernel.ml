@@ -32,7 +32,10 @@ type thread = {
   mutable state : thread_state;
   mutable work_left : Time.span; (* of the current Compute segment *)
   mutable waiting_mutex : int option; (* blocked on this mutex *)
-  mutable wake_handle : Event_queue.handle option;
+  mutable wake_handle : Event_queue.handle; (* Event_queue.null = none *)
+  (* Lazily-built [fun () -> do_wake t tid], reused for every sleep so
+     steady-state blocking allocates no closure. *)
+  mutable wake_thunk : (unit -> unit) option;
   mutable suspended : bool;
   (* A wake (timer, mutex grant, I/O completion) arrived while suspended:
      banked, delivered by [resume]. Implies [suspended]. *)
@@ -46,16 +49,22 @@ type thread = {
   lat_series : Series.t;
 }
 
+(* The dispatch record is pooled: the kernel owns a single [t.spare]
+   record that every dispatch reuses ([t.current] is [Some t.spare] while
+   a thread runs, [None] otherwise), so the quantum loop allocates no
+   per-dispatch state. Safe because at most one dispatch exists at a
+   time and [end_dispatch] never reads the record after handing the CPU
+   to [maybe_dispatch]. *)
 type dispatch = {
-  d_tid : tid;
-  d_leaf : Hierarchy.id;
-  d_quantum : Time.span; (* total work budget for this dispatch *)
+  mutable d_tid : tid;
+  mutable d_leaf : Hierarchy.id;
+  mutable d_quantum : Time.span; (* total work budget for this dispatch *)
   mutable overhead_left : Time.span;
   mutable seg_left : Time.span; (* work scheduled in the current slice *)
   mutable used : Time.span; (* work completed so far in this dispatch *)
   mutable resume_at : Time.t;
   mutable paused : bool;
-  mutable completion : Event_queue.handle option;
+  mutable completion : Event_queue.handle; (* Event_queue.null = none *)
 }
 
 (* A simulated blocking mutex. Ownership is granted FIFO; while a
@@ -84,14 +93,26 @@ type t = {
   cfg : config;
   leaves : (Hierarchy.id, Leaf_sched.t) Hashtbl.t;
   threads : (tid, thread) Hashtbl.t;
+  (* Dense mirrors of [leaves]/[threads]: node ids and tids are both
+     small counter-allocated ints, so the dispatch hot path resolves
+     them with an array read instead of a hashtable probe. The
+     hashtables remain the source of truth for iteration/removal. *)
+  mutable leaf_cache : Leaf_sched.t option array;
+  mutable thread_cache : thread option array;
   mutexes : (int, mutex) Hashtbl.t;
   mutable next_mutex : int;
   devices : (int, device) Hashtbl.t;
   mutable next_device : int;
   mutable next_tid : tid;
   mutable current : dispatch option;
+  spare : dispatch; (* the pooled dispatch record (see above) *)
+  current_some : dispatch option; (* [Some spare], preallocated *)
+  (* Lazily-built [complete_slice t t.spare], reused by every slice. *)
+  mutable complete_thunk : (unit -> unit) option;
   mutable interrupt_until : Time.t;
-  mutable interrupt_done : Event_queue.handle option;
+  mutable interrupt_done : Event_queue.handle; (* Event_queue.null = none *)
+  (* Lazily-built [interrupts_done t], reused by every interrupt. *)
+  mutable irq_thunk : (unit -> unit) option;
   mutable idle_since : Time.t option;
   mutable idle_total : Time.span;
   mutable interrupt_total : Time.span;
@@ -108,6 +129,19 @@ type t = {
 let max_consecutive_null_actions = 1_000_000
 
 let create ?(config = default_config) sim hier =
+  let spare =
+    {
+      d_tid = -1;
+      d_leaf = -1;
+      d_quantum = 0;
+      overhead_left = 0;
+      seg_left = 0;
+      used = 0;
+      resume_at = Time.zero;
+      paused = false;
+      completion = Event_queue.null;
+    }
+  in
   let t =
     {
       sim;
@@ -115,14 +149,20 @@ let create ?(config = default_config) sim hier =
       cfg = config;
       leaves = Hashtbl.create 8;
       threads = Hashtbl.create 32;
+      leaf_cache = [||];
+      thread_cache = [||];
       mutexes = Hashtbl.create 4;
       next_mutex = 1;
       devices = Hashtbl.create 4;
       next_device = 1;
       next_tid = 1;
       current = None;
+      spare;
+      current_some = Some spare;
+      complete_thunk = None;
       interrupt_until = Time.zero;
-      interrupt_done = None;
+      interrupt_done = Event_queue.null;
+      irq_thunk = None;
       (* The machine is idle until the first dispatch or interrupt. *)
       idle_since = Some Time.zero;
       idle_total = 0;
@@ -161,22 +201,45 @@ let obs_emit t ~code ~a ~b ~c ~d =
     Hsfq_obs.Trace.sys_set_now s (Sim.now t.sim);
     Hsfq_obs.Trace.emit0 s ~code ~a ~b ~c ~d
 
+let unknown_thread tid =
+  invalid_arg (Printf.sprintf "Kernel: unknown thread %d" tid)
+
 let thread t tid =
-  match Hashtbl.find_opt t.threads tid with
-  | Some th -> th
-  | None -> invalid_arg (Printf.sprintf "Kernel: unknown thread %d" tid)
+  if tid >= 0 && tid < Array.length t.thread_cache then
+    match t.thread_cache.(tid) with
+    | Some th -> th
+    | None -> unknown_thread tid
+  else unknown_thread tid
+
+let no_leaf_sched leaf =
+  invalid_arg
+    (Printf.sprintf "Kernel: no leaf scheduler installed on node %d" leaf)
 
 let leaf_sched t leaf =
-  match Hashtbl.find_opt t.leaves leaf with
-  | Some lf -> lf
-  | None ->
-    invalid_arg
-      (Printf.sprintf "Kernel: no leaf scheduler installed on node %d" leaf)
+  if leaf >= 0 && leaf < Array.length t.leaf_cache then
+    match t.leaf_cache.(leaf) with
+    | Some lf -> lf
+    | None -> no_leaf_sched leaf
+  else no_leaf_sched leaf
+
+(* Grow-and-set for the dense caches (registration-time only). *)
+let cache_set : 'a. 'a option array -> int -> 'a -> 'a option array =
+ fun cache i v ->
+  let cache =
+    if i < Array.length cache then cache
+    else begin
+      let ncap = Int.max (i + 1) (Int.max 16 (2 * Array.length cache)) in
+      let nc = Array.make ncap None in
+      Array.blit cache 0 nc 0 (Array.length cache);
+      nc
+    end
+  in
+  cache.(i) <- Some v;
+  cache
 
 let mutex t m =
-  match Hashtbl.find_opt t.mutexes m with
-  | Some mu -> mu
-  | None -> invalid_arg (Printf.sprintf "Kernel: unknown mutex %d" m)
+  try Hashtbl.find t.mutexes m
+  with Not_found -> invalid_arg (Printf.sprintf "Kernel: unknown mutex %d" m)
 
 let create_mutex t =
   let m = t.next_mutex in
@@ -230,7 +293,8 @@ let install_leaf t leaf lf =
     invalid_arg "Kernel.install_leaf: node is not a leaf");
   if Hashtbl.mem t.leaves leaf then
     invalid_arg "Kernel.install_leaf: leaf already has a scheduler";
-  Hashtbl.replace t.leaves leaf lf
+  Hashtbl.replace t.leaves leaf lf;
+  t.leaf_cache <- cache_set t.leaf_cache leaf lf
 
 let spawn t ~name ~leaf workload =
   ignore (leaf_sched t leaf);
@@ -245,7 +309,8 @@ let spawn t ~name ~leaf workload =
       state = Created;
       work_left = 0;
       waiting_mutex = None;
-      wake_handle = None;
+      wake_handle = Event_queue.null;
+      wake_thunk = None;
       suspended = false;
       wake_pending = false;
       last_wake = Time.zero;
@@ -258,13 +323,14 @@ let spawn t ~name ~leaf workload =
     }
   in
   Hashtbl.replace t.threads tid th;
+  t.thread_cache <- cache_set t.thread_cache tid th;
   (match t.obs with
   | None -> ()
   | Some s -> Hsfq_obs.Trace.name_lane s ~lane:tid ~name);
   obs_emit t ~code:Hsfq_obs.Trace.ev_spawn ~a:tid ~b:leaf ~c:0 ~d:0;
   tid
 
-let interrupt_active t = t.interrupt_done <> None
+let interrupt_active t = not (Event_queue.is_null t.interrupt_done)
 
 let close_idle t now =
   match t.idle_since with
@@ -284,11 +350,10 @@ let trace_slice t th ~start ~stop =
    scheduler overhead and thread work, and cancel its completion event. *)
 let pause_dispatch t d now =
   assert (not d.paused);
-  (match d.completion with
-  | Some h ->
-    Sim.cancel h;
-    d.completion <- None
-  | None -> ());
+  if not (Event_queue.is_null d.completion) then begin
+    Sim.cancel d.completion;
+    d.completion <- Event_queue.null
+  end;
   let elapsed = Time.diff now d.resume_at in
   if elapsed <= d.overhead_left then d.overhead_left <- d.overhead_left - elapsed
   else begin
@@ -339,8 +404,7 @@ let rec end_dispatch t d now disposition =
   lf.charge ~now d.d_tid ~service ~runnable;
   if disposition = Die then lf.detach d.d_tid;
   let leaf_runnable = lf.backlogged () > 0 in
-  Hierarchy.update t.hier ~leaf:d.d_leaf ~service:(float_of_int service)
-    ~leaf_runnable;
+  Hierarchy.update_ns t.hier ~leaf:d.d_leaf ~service_ns:service ~leaf_runnable;
   th.total_cpu <- th.total_cpu + service;
   if service > 0 then begin
     Series.add th.cpu now (float_of_int service);
@@ -359,49 +423,72 @@ let rec end_dispatch t d now disposition =
   | Requeue -> th.state <- Runnable
   | Block_until at ->
     th.state <- Blocked;
-    th.wake_handle <- Some (Sim.at t.sim at (fun () -> do_wake t th.tid))
+    th.wake_handle <- Sim.at t.sim at (wake_thunk_of t th)
   | Block_external -> th.state <- Blocked
   | Die ->
     th.state <- Exited;
     release_mutex_links t th);
   if not (interrupt_active t) then maybe_dispatch t
 
+(* The cached per-thread wake closure and the kernel-wide completion
+   closure: built on first use, then reused for the simulation's
+   lifetime, so the steady-state block/dispatch cycle closes over
+   nothing. *)
+and wake_thunk_of t th =
+  match th.wake_thunk with
+  | Some f -> f
+  | None ->
+    let tid = th.tid in
+    let f () = do_wake t tid in
+    th.wake_thunk <- Some f;
+    f
+
+and completion_thunk t =
+  match t.complete_thunk with
+  | Some f -> f
+  | None ->
+    let f = complete_slice t t.spare in
+    t.complete_thunk <- Some f;
+    f
+
 (* Fetch workload actions until one takes effect. Returns the resulting
    pseudo-action: [`Work] (work_left set), [`Sleep at], [`Lock_wait m]
    (must block on the mutex), or [`Exit]. Free-mutex acquisition and
    unlocking are zero-cost and the loop continues past them. *)
 and next_effective_action t th now =
-  let rec loop budget =
-    if budget = 0 then
-      failwith
-        (Printf.sprintf "Kernel: workload of %s yields no effective action" th.tname)
-    else
-      match th.workload ~now with
-      | Workload_intf.Compute w when w > 0 ->
-        th.work_left <- w;
-        `Work
-      | Workload_intf.Compute _ -> loop (budget - 1)
-      | Workload_intf.Sleep_for d when d > 0 -> `Sleep (Time.add now d)
-      | Workload_intf.Sleep_for _ -> loop (budget - 1)
-      | Workload_intf.Sleep_until at when Time.compare at now > 0 -> `Sleep at
-      | Workload_intf.Sleep_until _ -> loop (budget - 1)
-      | Workload_intf.Lock m ->
-        let mu = mutex t m in
-        (match mu.holder with
-        | None ->
-          mu.holder <- Some th.tid;
-          loop (budget - 1)
-        | Some h when h = th.tid ->
-          invalid_arg (Printf.sprintf "Kernel: recursive lock of mutex %d" m)
-        | Some _ -> `Lock_wait m)
-      | Workload_intf.Unlock m ->
-        unlock_mutex t th m;
-        loop (budget - 1)
-      | Workload_intf.Io (d, units) ->
-        if units <= 0 then loop (budget - 1) else `Io (d, units)
-      | Workload_intf.Exit -> `Exit
-  in
-  loop max_consecutive_null_actions
+  action_loop t th now max_consecutive_null_actions
+
+(* Top-level (not a local [let rec]): a nested recursive closure would
+   capture [t]/[th]/[now] and allocate on every action fetch. *)
+and action_loop t th now budget =
+  if budget = 0 then
+    failwith
+      (Printf.sprintf "Kernel: workload of %s yields no effective action" th.tname)
+  else
+    match th.workload ~now with
+    | Workload_intf.Compute w when w > 0 ->
+      th.work_left <- w;
+      `Work
+    | Workload_intf.Compute _ -> action_loop t th now (budget - 1)
+    | Workload_intf.Sleep_for d when d > 0 -> `Sleep (Time.add now d)
+    | Workload_intf.Sleep_for _ -> action_loop t th now (budget - 1)
+    | Workload_intf.Sleep_until at when Time.compare at now > 0 -> `Sleep at
+    | Workload_intf.Sleep_until _ -> action_loop t th now (budget - 1)
+    | Workload_intf.Lock m ->
+      let mu = mutex t m in
+      (match mu.holder with
+      | None ->
+        mu.holder <- Some th.tid;
+        action_loop t th now (budget - 1)
+      | Some h when h = th.tid ->
+        invalid_arg (Printf.sprintf "Kernel: recursive lock of mutex %d" m)
+      | Some _ -> `Lock_wait m)
+    | Workload_intf.Unlock m ->
+      unlock_mutex t th m;
+      action_loop t th now (budget - 1)
+    | Workload_intf.Io (d, units) ->
+      if units <= 0 then action_loop t th now (budget - 1) else `Io (d, units)
+    | Workload_intf.Exit -> `Exit
 
 (* Submit an I/O request: start service now if the device is idle, else
    queue FIFO. The caller blocks the thread. *)
@@ -514,7 +601,9 @@ and grant_wake t w =
 and complete_slice t d () =
   let now = Sim.now t.sim in
   let th = thread t d.d_tid in
-  d.completion <- None;
+  (* Clear before anything can recycle the fired handle (it is dead as
+     of this event; holding on to it would alias a future event). *)
+  d.completion <- Event_queue.null;
   trace_slice t th ~start:(Time.add d.resume_at d.overhead_left) ~stop:now;
   d.used <- d.used + d.seg_left;
   th.work_left <- th.work_left - d.seg_left;
@@ -530,7 +619,7 @@ and complete_slice t d () =
       if budget > 0 then begin
         d.seg_left <- Int.min budget th.work_left;
         d.resume_at <- now;
-        d.completion <- Some (Sim.after t.sim d.seg_left (complete_slice t d))
+        d.completion <- Sim.after t.sim d.seg_left (completion_thunk t)
       end
       else end_dispatch t d now Requeue
     | `Sleep at -> end_dispatch t d now (Block_until at)
@@ -547,20 +636,19 @@ and maybe_dispatch t =
   if t.current = None && not (interrupt_active t) then begin
     let now = Sim.now t.sim in
     obs_stamp t;
-    match Hierarchy.schedule t.hier with
-    | None -> if t.idle_since = None then t.idle_since <- Some now
-    | Some leaf ->
+    let leaf = Hierarchy.schedule_id t.hier in
+    if leaf < 0 then begin
+      if t.idle_since = None then t.idle_since <- Some now
+    end
+    else begin
       close_idle t now;
       let lf = leaf_sched t leaf in
-      let tid =
-        match lf.select ~now with
-        | Some tid -> tid
-        | None ->
-          failwith
-            (Printf.sprintf
-               "Kernel: leaf %s marked runnable but its scheduler is empty"
-               (Hierarchy.name_of t.hier leaf))
-      in
+      let tid = lf.select_id ~now in
+      if tid < 0 then
+        failwith
+          (Printf.sprintf
+             "Kernel: leaf %s marked runnable but its scheduler is empty"
+             (Hierarchy.name_of t.hier leaf));
       let th = thread t tid in
       assert (th.state = Runnable);
       assert (th.work_left > 0);
@@ -570,15 +658,16 @@ and maybe_dispatch t =
         Series.add th.lat_series now (float_of_int lat);
         (match t.obs with
         | Some s when Hsfq_obs.Trace.on s ->
-          Hsfq_obs.Metrics.wait_sample (Hsfq_obs.Trace.metrics s) ~node:leaf
-            (float_of_int lat)
+          let m = Hsfq_obs.Trace.metrics s in
+          (Hsfq_obs.Metrics.stage_cell m).(0) <- float_of_int lat;
+          Hsfq_obs.Metrics.wait_sample_staged m ~node:leaf
         | Some _ | None -> ());
         th.awaiting_dispatch <- false
       end;
       let quantum =
-        match lf.quantum_of tid with
-        | Some q -> Int.min q t.cfg.default_quantum
-        | None -> t.cfg.default_quantum
+        let q = lf.quantum_ns_of tid in
+        if q >= 0 then Int.min q t.cfg.default_quantum
+        else t.cfg.default_quantum
       in
       let overhead =
         t.cfg.context_switch_cost
@@ -586,25 +675,22 @@ and maybe_dispatch t =
       in
       t.overhead_total <- t.overhead_total + overhead;
       let seg = Int.min quantum th.work_left in
-      let d =
-        {
-          d_tid = tid;
-          d_leaf = leaf;
-          d_quantum = quantum;
-          overhead_left = overhead;
-          seg_left = seg;
-          used = 0;
-          resume_at = now;
-          paused = false;
-          completion = None;
-        }
-      in
-      d.completion <- Some (Sim.after t.sim (overhead + seg) (complete_slice t d));
-      t.current <- Some d;
+      let d = t.spare in
+      d.d_tid <- tid;
+      d.d_leaf <- leaf;
+      d.d_quantum <- quantum;
+      d.overhead_left <- overhead;
+      d.seg_left <- seg;
+      d.used <- 0;
+      d.resume_at <- now;
+      d.paused <- false;
+      d.completion <- Sim.after t.sim (overhead + seg) (completion_thunk t);
+      t.current <- t.current_some;
       th.state <- Running;
       th.dispatches <- th.dispatches + 1;
       obs_emit t ~code:Hsfq_obs.Trace.ev_dispatch ~a:tid ~b:leaf ~c:quantum
         ~d:overhead
+    end
   end
 
 and preempt_current t =
@@ -647,7 +733,7 @@ and activate t th now =
     | `Sleep at ->
       th.state <- Blocked;
       obs_emit t ~code:Hsfq_obs.Trace.ev_sleep ~a:th.tid ~b:th.leaf ~c:0 ~d:0;
-      th.wake_handle <- Some (Sim.at t.sim at (fun () -> do_wake t th.tid))
+      th.wake_handle <- Sim.at t.sim at (wake_thunk_of t th)
     | `Lock_wait m ->
       enqueue_mutex_waiter t th m;
       th.state <- Blocked;
@@ -665,7 +751,9 @@ and activate t th now =
 
 and do_wake t tid =
   let th = thread t tid in
-  th.wake_handle <- None;
+  (* Clear first: the fired handle is dead and may be recycled by any
+     event this wake schedules. *)
+  th.wake_handle <- Event_queue.null;
   match th.state with
   | Blocked ->
     if th.suspended then th.wake_pending <- true
@@ -684,11 +772,10 @@ let start t tid =
   else activate t th (Sim.now t.sim)
 
 let cancel_wake th =
-  match th.wake_handle with
-  | Some h ->
-    Sim.cancel h;
-    th.wake_handle <- None
-  | None -> ()
+  if not (Event_queue.is_null th.wake_handle) then begin
+    Sim.cancel th.wake_handle;
+    th.wake_handle <- Event_queue.null
+  end
 
 let detach_runnable t th =
   (* Remove a Runnable (not Running) thread from its leaf's ready set and
@@ -783,16 +870,15 @@ let suspend t tid =
   | Exited -> invalid_arg "Kernel.suspend: thread has exited"
   | _ when th.suspended -> ()
   | Created -> th.suspended <- true
-  | Blocked -> (
+  | Blocked ->
     th.suspended <- true;
     (* A sleeper's timer is cancelled and the wake banked for [resume];
        mutex grants and I/O completions bank theirs on arrival. *)
-    match th.wake_handle with
-    | Some h ->
-      Sim.cancel h;
-      th.wake_handle <- None;
+    if not (Event_queue.is_null th.wake_handle) then begin
+      Sim.cancel th.wake_handle;
+      th.wake_handle <- Event_queue.null;
       th.wake_pending <- true
-    | None -> ())
+    end
   | Runnable ->
     detach_runnable t th;
     th.state <- Blocked;
@@ -830,10 +916,9 @@ let rec interrupts_done t () =
   let now = Sim.now t.sim in
   if Time.compare now t.interrupt_until < 0 then
     (* Extended while we were queued; re-arm. *)
-    t.interrupt_done <-
-      Some (Sim.at t.sim t.interrupt_until (interrupts_done t))
+    t.interrupt_done <- Sim.at t.sim t.interrupt_until (irq_thunk_of t)
   else begin
-    t.interrupt_done <- None;
+    t.interrupt_done <- Event_queue.null;
     obs_emit t ~code:Hsfq_obs.Trace.ev_irq_end ~a:0 ~b:0 ~c:0 ~d:0;
     match t.current with
     | Some d ->
@@ -841,9 +926,17 @@ let rec interrupts_done t () =
       d.paused <- false;
       d.resume_at <- now;
       d.completion <-
-        Some (Sim.after t.sim (d.overhead_left + d.seg_left) (complete_slice t d))
+        Sim.after t.sim (d.overhead_left + d.seg_left) (completion_thunk t)
     | None -> maybe_dispatch t
   end
+
+and irq_thunk_of t =
+  match t.irq_thunk with
+  | Some f -> f
+  | None ->
+    let f = interrupts_done t in
+    t.irq_thunk <- Some f;
+    f
 
 let interrupt t ~duration =
   if duration <= 0 then ()
@@ -860,7 +953,7 @@ let interrupt t ~duration =
       | Some d when not d.paused -> pause_dispatch t d now
       | _ -> ());
       t.interrupt_until <- Time.add now duration;
-      t.interrupt_done <- Some (Sim.at t.sim t.interrupt_until (interrupts_done t))
+      t.interrupt_done <- Sim.at t.sim t.interrupt_until (irq_thunk_of t)
     end
   end
 
@@ -902,7 +995,8 @@ let uninstall_leaf t leaf =
       if th.leaf = leaf && th.state <> Exited then
         invalid_arg "Kernel.uninstall_leaf: a live thread still belongs to the leaf")
     t.threads;
-  Hashtbl.remove t.leaves leaf
+  Hashtbl.remove t.leaves leaf;
+  t.leaf_cache.(leaf) <- None
 
 let dump t =
   let module V = Hsfq_check.Kernel_audit in
@@ -923,7 +1017,7 @@ let dump t =
           leaf = th.leaf;
           state = conv th.state;
           waiting_mutex = th.waiting_mutex;
-          has_wake_handle = th.wake_handle <> None;
+          has_wake_handle = not (Event_queue.is_null th.wake_handle);
           suspended = th.suspended;
           wake_pending = th.wake_pending;
         })

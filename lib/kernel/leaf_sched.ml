@@ -5,8 +5,10 @@ type t = {
   enqueue : now:Time.t -> int -> unit;
   dequeue : now:Time.t -> int -> unit;
   select : now:Time.t -> int option;
+  select_id : now:Time.t -> int;
   charge : now:Time.t -> int -> service:Time.span -> runnable:bool -> unit;
   quantum_of : int -> Time.span option;
+  quantum_ns_of : int -> Time.span;
   preempts : waker:int -> running:int -> bool;
   backlogged : unit -> int;
   detach : int -> unit;
@@ -19,6 +21,10 @@ type t = {
 let no_donation =
   ((fun ~blocked:_ ~recipient:_ -> ()), fun ~blocked:_ -> ())
 
+(* -1 = "use the kernel default", precomputed once at [make] so
+   [quantum_ns_of] is a plain int read. *)
+let quantum_ns = function Some q -> q | None -> -1
+
 module Sfq_leaf = struct
   type handle = {
     sfq : Hsfq_core.Sfq.t;
@@ -27,10 +33,12 @@ module Sfq_leaf = struct
     audit : (Hsfq_check.Invariant.sink * string) option;
   }
 
+  (* [Hashtbl.find] rather than [find_opt]: enqueue runs once per wake
+     and the [Some] wrapper would be its only allocation. *)
   let weight_of h tid =
-    match Hashtbl.find_opt h.weights tid with
-    | Some w -> w
-    | None -> invalid_arg (Printf.sprintf "Sfq_leaf: unregistered thread %d" tid)
+    try Hashtbl.find h.weights tid
+    with Not_found ->
+      invalid_arg (Printf.sprintf "Sfq_leaf: unregistered thread %d" tid)
 
   (* Run [f] on the SFQ; when auditing, capture the pre-state and check
      the transition semantics of [ev f-result] afterwards. *)
@@ -53,6 +61,12 @@ module Sfq_leaf = struct
       }
     in
     let module R = Hsfq_check.Sfq_rules in
+    (* The audit-off paths below go through the staging cell
+       ([arrive_staged]/[charge_staged]) so a dispatch charges no boxed
+       floats; auditing snapshots the whole SFQ anyway, so its paths
+       keep the plain float calls. *)
+    let scell = Hsfq_core.Sfq.stage_cell h.sfq in
+    let audited = match h.audit with Some _ -> true | None -> false in
     let arrive tid =
       let weight = weight_of h tid in
       guarded h
@@ -62,20 +76,40 @@ module Sfq_leaf = struct
     let block tid =
       guarded h (fun () -> R.Block tid) (fun s -> Hsfq_core.Sfq.block s ~id:tid)
     in
+    let qns = quantum_ns h.quantum in
     let lf =
       {
         name = "sfq";
-        enqueue = (fun ~now:_ tid -> arrive tid);
+        enqueue =
+          (fun ~now:_ tid ->
+            if audited then arrive tid
+            else begin
+              scell.(0) <- weight_of h tid;
+              Hsfq_core.Sfq.arrive_staged h.sfq ~id:tid
+            end);
         dequeue = (fun ~now:_ tid -> block tid);
         select =
           (fun ~now:_ -> guarded h (fun r -> R.Select r) Hsfq_core.Sfq.select);
+        select_id =
+          (fun ~now:_ ->
+            if audited then
+              match guarded h (fun r -> R.Select r) Hsfq_core.Sfq.select with
+              | Some tid -> tid
+              | None -> -1
+            else Hsfq_core.Sfq.select_id h.sfq);
         charge =
           (fun ~now:_ tid ~service ~runnable ->
-            let service = float_of_int service in
-            guarded h
-              (fun () -> R.Charge { id = tid; service; runnable })
-              (fun s -> Hsfq_core.Sfq.charge s ~id:tid ~service ~runnable));
+            if audited then
+              let service = float_of_int service in
+              guarded h
+                (fun () -> R.Charge { id = tid; service; runnable })
+                (fun s -> Hsfq_core.Sfq.charge s ~id:tid ~service ~runnable)
+            else begin
+              scell.(0) <- float_of_int service;
+              Hsfq_core.Sfq.charge_staged h.sfq ~id:tid ~runnable
+            end);
         quantum_of = (fun _ -> h.quantum);
+        quantum_ns_of = (fun _ -> qns);
         preempts = (fun ~waker:_ ~running:_ -> false);
         backlogged = (fun () -> Hsfq_core.Sfq.backlogged h.sfq);
         detach =
@@ -167,16 +201,19 @@ module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) = struct
       | Some a -> A.depart a ~id:tid
       | None -> F.depart h.sched ~id:tid
     in
+    let select () =
+      match h.audited with Some a -> A.select a | None -> F.select h.sched
+    in
+    let qns = quantum_ns h.quantum in
     let lf =
       {
         name = F.algorithm_name;
         enqueue = (fun ~now:_ tid -> arrive tid ~weight:(weight_of h tid));
         dequeue = (fun ~now:_ tid -> depart tid);
-        select =
+        select = (fun ~now:_ -> select ());
+        select_id =
           (fun ~now:_ ->
-            match h.audited with
-            | Some a -> A.select a
-            | None -> F.select h.sched);
+            match select () with Some tid -> tid | None -> -1);
         charge =
           (fun ~now:_ tid ~service ~runnable ->
             let service = float_of_int service in
@@ -184,6 +221,7 @@ module Fair_leaf (F : Hsfq_sched.Scheduler_intf.FAIR) = struct
             | Some a -> A.charge a ~id:tid ~service ~runnable
             | None -> F.charge h.sched ~id:tid ~service ~runnable);
         quantum_of = (fun _ -> h.quantum);
+        quantum_ns_of = (fun _ -> qns);
         preempts = (fun ~waker:_ ~running:_ -> false);
         backlogged = (fun () -> F.backlogged h.sched);
         detach =
@@ -238,10 +276,12 @@ module Svr4_leaf = struct
             Svr4.wake ~boost h.svr4 ~id:tid);
         dequeue = (fun ~now:_ tid -> Svr4.block h.svr4 ~id:tid);
         select = (fun ~now:_ -> Svr4.select h.svr4);
+        select_id = (fun ~now:_ -> Svr4.select_id h.svr4);
         charge =
           (fun ~now:_ tid ~service ~runnable ->
             Svr4.charge h.svr4 ~id:tid ~service ~runnable);
         quantum_of = (fun tid -> Some (Svr4.quantum_of h.svr4 ~id:tid));
+        quantum_ns_of = (fun tid -> Svr4.quantum_of h.svr4 ~id:tid);
         preempts = (fun ~waker ~running -> Svr4.preempts h.svr4 ~waker ~running);
         backlogged = (fun () -> Svr4.backlogged h.svr4);
         detach =
@@ -273,16 +313,21 @@ module Rm_leaf = struct
 
   let make ?quantum () =
     let h = { rm = Rm.create (); quantum } in
+    let qns = quantum_ns quantum in
     let lf =
       {
         name = "rm";
         enqueue = (fun ~now:_ tid -> Rm.wake h.rm ~id:tid);
         dequeue = (fun ~now:_ tid -> Rm.block h.rm ~id:tid);
         select = (fun ~now:_ -> Rm.select h.rm);
+        select_id =
+          (fun ~now:_ ->
+            match Rm.select h.rm with Some tid -> tid | None -> -1);
         charge =
           (fun ~now:_ tid ~service:_ ~runnable ->
             if not runnable then Rm.block h.rm ~id:tid);
         quantum_of = (fun _ -> h.quantum);
+        quantum_ns_of = (fun _ -> qns);
         preempts =
           (fun ~waker ~running -> Rm.higher_priority h.rm waker ~than:running);
         backlogged = (fun () -> Rm.backlogged h.rm);
@@ -310,6 +355,7 @@ module Edf_leaf = struct
 
   let make ?quantum () =
     let h = { edf = Edf.create (); rel = Hashtbl.create 8; quantum } in
+    let qns = quantum_ns quantum in
     let lf =
       {
         name = "edf";
@@ -323,10 +369,14 @@ module Edf_leaf = struct
             Edf.release h.edf ~id:tid ~deadline:(float_of_int (Time.add now d)));
         dequeue = (fun ~now:_ tid -> Edf.withdraw h.edf ~id:tid);
         select = (fun ~now:_ -> Edf.select h.edf);
+        select_id =
+          (fun ~now:_ ->
+            match Edf.select h.edf with Some tid -> tid | None -> -1);
         charge =
           (fun ~now:_ tid ~service:_ ~runnable ->
             if not runnable then Edf.withdraw h.edf ~id:tid);
         quantum_of = (fun _ -> h.quantum);
+        quantum_ns_of = (fun _ -> qns);
         preempts =
           (fun ~waker ~running ->
             match (Edf.deadline_of h.edf ~id:waker, Edf.deadline_of h.edf ~id:running) with
@@ -370,6 +420,7 @@ module Gps_leaf = struct
         quantum;
       }
     in
+    let qns = quantum_ns quantum in
     let lf =
       {
         name =
@@ -380,10 +431,14 @@ module Gps_leaf = struct
           (fun ~now tid -> Gps_vt.arrive h.gps ~now ~id:tid ~weight:(weight_of h tid));
         dequeue = (fun ~now:_ tid -> Gps_vt.depart h.gps ~id:tid);
         select = (fun ~now -> Gps_vt.select h.gps ~now);
+        select_id =
+          (fun ~now ->
+            match Gps_vt.select h.gps ~now with Some tid -> tid | None -> -1);
         charge =
           (fun ~now tid ~service ~runnable ->
             Gps_vt.charge h.gps ~now ~id:tid ~service:(float_of_int service) ~runnable);
         quantum_of = (fun _ -> h.quantum);
+        quantum_ns_of = (fun _ -> qns);
         preempts = (fun ~waker:_ ~running:_ -> false);
         backlogged = (fun () -> Gps_vt.backlogged h.gps);
         detach =
@@ -440,6 +495,8 @@ module Reserve_leaf = struct
         enqueue = (fun ~now:_ tid -> (get h tid).runnable <- true);
         dequeue = (fun ~now:_ tid -> (get h tid).runnable <- false);
         select = (fun ~now:_ -> pick h);
+        select_id =
+          (fun ~now:_ -> match pick h with Some tid -> tid | None -> -1);
         charge =
           (fun ~now:_ tid ~service ~runnable ->
             let m = get h tid in
@@ -450,6 +507,10 @@ module Reserve_leaf = struct
           (fun tid ->
             let m = get h tid in
             if reserved m then Some m.budget else None);
+        quantum_ns_of =
+          (fun tid ->
+            let m = get h tid in
+            if reserved m then m.budget else -1);
         preempts =
           (fun ~waker ~running ->
             reserved (get h waker) && not (reserved (get h running)));
@@ -522,6 +583,13 @@ let traced ~sys ~node lf =
         | Some tid -> Tr.emit0 sys ~code:Tr.ev_leaf_pick ~a:node ~b:tid ~c:0 ~d:0
         | None -> ());
         r);
+    select_id =
+      (fun ~now ->
+        Tr.sys_set_now sys now;
+        let tid = lf.select_id ~now in
+        if tid >= 0 then
+          Tr.emit0 sys ~code:Tr.ev_leaf_pick ~a:node ~b:tid ~c:0 ~d:0;
+        tid);
     charge =
       (fun ~now tid ~service ~runnable ->
         Tr.sys_set_now sys now;

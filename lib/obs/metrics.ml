@@ -28,6 +28,10 @@ type t = {
   mutable vt_firstv : float array;
   mutable vt_lastv : float array;
   mutable waitv : Histogram.t option array;
+  fstage : float array;
+      (* 3 cells: service / norm / vt payloads for the [_staged] entry
+         points — float arguments to a cross-module call box under
+         dune's dev -opaque, an array store does not *)
 }
 
 let create () =
@@ -42,7 +46,10 @@ let create () =
     vt_firstv = [||];
     vt_lastv = [||];
     waitv = [||];
+    fstage = Array.make 3 0.;
   }
+
+let stage_cell t = t.fstage
 
 (* Double [a] until it holds index [n]; existing cells keep their
    values, new cells get [fill]. *)
@@ -74,8 +81,12 @@ let ensure t node =
   end;
   if node + 1 > t.len then t.len <- node + 1
 
-let charge_sample t ~node ~service ~norm ~vt =
+(* The float payloads are read from the staging cells so the caller's
+   decision path stays box-free; [charge_sample] below is the
+   float-labelled convenience wrapper. *)
+let charge_sample_staged t ~node =
   ensure t node;
+  let service = t.fstage.(0) and norm = t.fstage.(1) and vt = t.fstage.(2) in
   t.activev.(node) <- true;
   t.servicev.(node) <- t.servicev.(node) +. service;
   t.normv.(node) <- t.normv.(node) +. norm;
@@ -87,12 +98,19 @@ let charge_sample t ~node ~service ~norm ~vt =
     t.vt_lastv.(node) <- vt
   end
 
+let charge_sample t ~node ~service ~norm ~vt =
+  t.fstage.(0) <- service;
+  t.fstage.(1) <- norm;
+  t.fstage.(2) <- vt;
+  charge_sample_staged t ~node
+
 let incr_preempt t ~node =
   ensure t node;
   t.activev.(node) <- true;
   t.preemptv.(node) <- t.preemptv.(node) + 1
 
-let wait_sample t ~node wait =
+let wait_sample_staged t ~node =
+  let wait = t.fstage.(0) in
   ensure t node;
   t.activev.(node) <- true;
   (match t.waitv.(node) with
@@ -101,6 +119,10 @@ let wait_sample t ~node wait =
     let h = Histogram.create ~lo:wait_lo ~hi:wait_hi ~bins:wait_bins in
     t.waitv.(node) <- Some h;
     Histogram.add h wait)
+
+let wait_sample t ~node wait =
+  t.fstage.(0) <- wait;
+  wait_sample_staged t ~node
 
 let node_count t = t.len
 let active t ~node = node < t.len && t.activev.(node)

@@ -16,9 +16,23 @@ val charge_sample : t -> node:int -> service:float -> norm:float -> vt:float -> 
     service (service / effective weight), [vt] the scheduler's virtual
     time at the charge.  Also counts one quantum. *)
 
+val stage_cell : t -> float array
+(** 3-cell float staging buffer for the [_staged] entry points. Under
+    dune's dev profile ([-opaque]) float arguments to cross-module calls
+    box; hot callers cache this array once and store payloads into it
+    (an unboxed float-array write) instead. *)
+
+val charge_sample_staged : t -> node:int -> unit
+(** [charge_sample] with [service]/[norm]/[vt] read from cells 0/1/2 of
+    {!stage_cell}. *)
+
 val incr_preempt : t -> node:int -> unit
+
 val wait_sample : t -> node:int -> float -> unit
 (** Dispatch-wait sample in ns (histogrammed over 0–100 ms, 20 bins). *)
+
+val wait_sample_staged : t -> node:int -> unit
+(** [wait_sample] with the wait read from cell 0 of {!stage_cell}. *)
 
 (** {1 Readback} — ids beyond [node_count] read as zero/empty. *)
 

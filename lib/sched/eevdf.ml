@@ -1,9 +1,11 @@
 let algorithm_name = "eevdf"
 
+(* [ve]/[vd] live in a 2-cell float array rather than mutable float
+   fields: in a mixed record every float store allocates a fresh box,
+   and these two are re-written on every charge. *)
 type client = {
-  mutable weight : float;
-  mutable ve : float;
-  mutable vd : float;
+  mutable weight : float; (* set rarely; a boxed store there is fine *)
+  vf : float array; (* [| ve; vd |], unboxed stores *)
   mutable runnable : bool;
   mutable gen : int;
 }
@@ -16,63 +18,89 @@ type t = {
      system virtual time advances. *)
   eligible : Keyed_heap.t;
   future : Keyed_heap.t;
-  mutable vt : float;
+  (* Cached staging/readback cells of the two heaps: pushes write the
+     key here (an unboxed float-array store) and [promote] reads the
+     peeked key back the same way, so requeueing never boxes. *)
+  el_stage : float array;
+  fu_stage : float array;
+  fu_peek : float array;
+  vt : float array; (* 1-cell: virtual time, re-written every charge *)
   mutable total_weight : float;
   mutable nrun : int;
-  mutable in_service : int option;
+  mutable in_service : int; (* -1 = none *)
   q : float;
 }
 
+(* [Hashtbl.find] + exception match (not [find_opt]): the validator runs
+   for every entry the heaps inspect, and the [Some] box of a successful
+   [find_opt] would put an allocation in every pop. *)
 let valid t ~id ~gen =
-  match Hashtbl.find_opt t.clients id with
-  | None -> false
-  | Some c -> c.runnable && c.gen = gen
+  match Hashtbl.find t.clients id with
+  | c -> c.runnable && c.gen = gen
+  | exception Not_found -> false
 
 let create ?rng:_ ?(quantum_hint = 1e7) () =
+  let eligible = Keyed_heap.create () and future = Keyed_heap.create () in
   let t =
     {
       clients = Hashtbl.create 16;
-      eligible = Keyed_heap.create ();
-      future = Keyed_heap.create ();
-      vt = 0.;
+      eligible;
+      future;
+      el_stage = Keyed_heap.stage_cell eligible;
+      fu_stage = Keyed_heap.stage_cell future;
+      fu_peek = Keyed_heap.peeked_key_cell future;
+      vt = [| 0. |];
       total_weight = 0.;
       nrun = 0;
-      in_service = None;
+      in_service = -1;
       q = quantum_hint;
     }
   in
-  (* Enables compaction once stale entries dominate (see Keyed_heap). *)
+  (* Enables compaction once stale entries dominate (see Keyed_heap),
+     and backs the allocation-free [pop_valid]/[peek_valid]. *)
   Keyed_heap.set_validator t.eligible (valid t);
   Keyed_heap.set_validator t.future (valid t);
   t
 
 let get t id =
-  match Hashtbl.find_opt t.clients id with
-  | Some c -> c
-  | None -> invalid_arg (Printf.sprintf "%s: unknown client %d" algorithm_name id)
+  match Hashtbl.find t.clients id with
+  | c -> c
+  | exception Not_found ->
+    invalid_arg (Printf.sprintf "%s: unknown client %d" algorithm_name id)
 
 let enqueue t id c =
   c.gen <- c.gen + 1;
-  if c.ve <= t.vt then Keyed_heap.push t.eligible ~key:c.vd ~gen:c.gen ~id
-  else Keyed_heap.push t.future ~key:c.ve ~gen:c.gen ~id
+  if c.vf.(0) <= t.vt.(0) then begin
+    t.el_stage.(0) <- c.vf.(1);
+    Keyed_heap.push_staged t.eligible ~gen:c.gen ~id
+  end
+  else begin
+    t.fu_stage.(0) <- c.vf.(0);
+    Keyed_heap.push_staged t.future ~gen:c.gen ~id
+  end
 
 let arrive t ~id ~weight =
-  match Hashtbl.find_opt t.clients id with
-  | Some c ->
+  match Hashtbl.find t.clients id with
+  | c ->
     if not c.runnable then begin
       c.runnable <- true;
       (* A waking client resumes no earlier than the current virtual
          time: it must not reclaim service "owed" from its sleep. *)
-      c.ve <- Float.max c.ve t.vt;
-      c.vd <- c.ve +. (t.q /. c.weight);
+      c.vf.(0) <- Float.max c.vf.(0) t.vt.(0);
+      c.vf.(1) <- c.vf.(0) +. (t.q /. c.weight);
       t.total_weight <- t.total_weight +. c.weight;
       t.nrun <- t.nrun + 1;
       enqueue t id c
     end
-  | None ->
+  | exception Not_found ->
     if weight <= 0. then invalid_arg "Eevdf.arrive: weight <= 0";
     let c =
-      { weight; ve = t.vt; vd = t.vt +. (t.q /. weight); runnable = true; gen = 0 }
+      {
+        weight;
+        vf = [| t.vt.(0); t.vt.(0) +. (t.q /. weight) |];
+        runnable = true;
+        gen = 0;
+      }
     in
     Hashtbl.replace t.clients id c;
     t.total_weight <- t.total_weight +. c.weight;
@@ -80,20 +108,19 @@ let arrive t ~id ~weight =
     enqueue t id c
 
 let depart t ~id =
-  match Hashtbl.find_opt t.clients id with
-  | None -> ()
-  | Some c ->
+  match Hashtbl.find t.clients id with
+  | exception Not_found -> ()
+  | c ->
     if c.runnable then begin
       t.total_weight <- t.total_weight -. c.weight;
       t.nrun <- t.nrun - 1;
       (* The queued entry just went stale. Guessing which queue holds it
          from [ve] is only a heuristic (promotion may have moved it);
          a misattributed report merely shifts when each queue compacts. *)
-      (match t.in_service with
-      | Some s when s = id -> ()
-      | _ ->
-        if c.ve <= t.vt then Keyed_heap.invalidate t.eligible
-        else Keyed_heap.invalidate t.future)
+      if t.in_service <> id then begin
+        if c.vf.(0) <= t.vt.(0) then Keyed_heap.invalidate t.eligible
+        else Keyed_heap.invalidate t.future
+      end
     end;
     c.gen <- c.gen + 1;
     Hashtbl.remove t.clients id
@@ -105,46 +132,44 @@ let set_weight t ~id ~weight =
   c.weight <- weight
 
 (* Move every future client whose eligible time has been reached into the
-   eligible queue. *)
+   eligible queue. Allocation-free: [peek_valid]/[pop_valid] return
+   sentinel ids and the peeked key reads back through the cached cell. *)
 let rec promote t =
-  match Keyed_heap.peek t.future ~valid:(valid t) with
-  | Some (ve, id) when ve <= t.vt ->
-    ignore (Keyed_heap.pop t.future ~valid:(valid t));
+  let id = Keyed_heap.peek_valid t.future in
+  if id >= 0 && t.fu_peek.(0) <= t.vt.(0) then begin
+    ignore (Keyed_heap.pop_valid t.future);
     let c = get t id in
     c.gen <- c.gen + 1;
-    Keyed_heap.push t.eligible ~key:c.vd ~gen:c.gen ~id;
+    t.el_stage.(0) <- c.vf.(1);
+    Keyed_heap.push_staged t.eligible ~gen:c.gen ~id;
     promote t
-  | _ -> ()
+  end
 
 let select t =
-  if Option.is_some t.in_service then
+  if t.in_service >= 0 then
     invalid_arg "select: a selection is already in service";
   if t.nrun = 0 then None
   else begin
     promote t;
-    let picked =
-      match Keyed_heap.pop t.eligible ~valid:(valid t) with
-      | Some (_, id) -> Some id
-      | None ->
+    let id = Keyed_heap.pop_valid t.eligible in
+    let id =
+      if id >= 0 then id
+      else
         (* No eligible client: run the earliest-eligible one (work
            conservation); virtual time will catch up as it is charged. *)
-        (match Keyed_heap.pop t.future ~valid:(valid t) with
-        | Some (_, id) -> Some id
-        | None -> None)
+        Keyed_heap.pop_valid t.future
     in
-    t.in_service <- picked;
-    picked
+    t.in_service <- id;
+    if id >= 0 then Some id else None
   end
 
 let charge t ~id ~service ~runnable =
-  (match t.in_service with
-  | Some s when s = id -> ()
-  | _ -> invalid_arg "Eevdf.charge: client not in service");
-  t.in_service <- None;
+  if t.in_service <> id then invalid_arg "Eevdf.charge: client not in service";
+  t.in_service <- -1;
   let c = get t id in
-  if t.total_weight > 0. then t.vt <- t.vt +. (service /. t.total_weight);
-  c.ve <- c.ve +. (service /. c.weight);
-  c.vd <- c.ve +. (t.q /. c.weight);
+  if t.total_weight > 0. then t.vt.(0) <- t.vt.(0) +. (service /. t.total_weight);
+  c.vf.(0) <- c.vf.(0) +. (service /. c.weight);
+  c.vf.(1) <- c.vf.(0) +. (t.q /. c.weight);
   if runnable then enqueue t id c
   else begin
     c.runnable <- false;
@@ -153,4 +178,4 @@ let charge t ~id ~service ~runnable =
   end
 
 let backlogged t = t.nrun
-let virtual_time t = t.vt
+let virtual_time t = t.vt.(0)

@@ -25,6 +25,7 @@ type t = {
   mutable validator : (id:int -> gen:int -> bool) option;
   last : float array; (* key of the most recently popped entry *)
   stage : float array; (* key for the next [push_staged] *)
+  peeked : float array; (* key of the most recently peeked entry *)
 }
 
 let create () =
@@ -39,6 +40,7 @@ let create () =
     validator = None;
     last = [| 0. |];
     stage = [| 0. |];
+    peeked = [| 0. |];
   }
 
 let set_validator t valid = t.validator <- Some valid
@@ -54,6 +56,7 @@ let last_key t = t.last.(0)
    unboxed float-array access. *)
 let last_key_cell t = t.last
 let stage_cell t = t.stage
+let peeked_key_cell t = t.peeked
 
 let clear t =
   t.size <- 0;
@@ -223,5 +226,25 @@ let pop_valid t =
   match t.validator with
   | None -> invalid_arg "Keyed_heap.pop_valid: no validator installed"
   | Some valid -> pop_valid_loop t valid
+
+let rec peek_valid_loop t valid =
+  if t.size = 0 then -1
+  else begin
+    let gen = t.gens.(0) and id = t.ids.(0) in
+    if valid ~id ~gen then begin
+      t.peeked.(0) <- t.keys.(0);
+      id
+    end
+    else begin
+      remove_top t;
+      dropped_stale t;
+      peek_valid_loop t valid
+    end
+  end
+
+let peek_valid t =
+  match t.validator with
+  | None -> invalid_arg "Keyed_heap.peek_valid: no validator installed"
+  | Some valid -> peek_valid_loop t valid
 
 let stale_bound t = t.stale

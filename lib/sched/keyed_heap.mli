@@ -56,6 +56,13 @@ val pop_valid : t -> int
     is readable via {!last_key}. Raises [Invalid_argument] if no
     validator was installed. *)
 
+val peek_valid : t -> int
+(** Allocation-free [peek] against the installed validator: the
+    minimum-key valid entry's id without removing it (stale prefix is
+    discarded), or [-1] if none. Its key is readable via
+    {!peeked_key_cell}. Raises [Invalid_argument] if no validator was
+    installed. *)
+
 val last_key : t -> float
 (** Key of the most recently popped entry ({!pop} or {!pop_valid}). *)
 
@@ -67,6 +74,10 @@ val last_key_cell : t -> float array
 val stage_cell : t -> float array
 (** One-cell buffer read by {!push_staged}; write the key to [.(0)]
     before calling. *)
+
+val peeked_key_cell : t -> float array
+(** One-cell buffer holding the key of the most recent {!peek_valid}
+    hit; same caching discipline as {!last_key_cell}. *)
 
 val compact : t -> unit
 (** Drop every stale entry now (needs an installed validator; no-op

@@ -2,89 +2,136 @@ open Hsfq_engine
 
 let algorithm_name = "lottery"
 
-type client = { mutable weight : float; mutable runnable : bool }
+type client = {
+  mutable weight : float;
+  mutable runnable : bool;
+  mutable slot : int; (* position in the dense ready set; -1 when idle *)
+}
 
 type t = {
   clients : (int, client) Hashtbl.t;
   rng : Prng.t;
+  (* Dense ready set (SoA): runnable client ids and their weights in
+     matching slots, so a draw is one linear pass over a flat float
+     array — no hashtable iteration, no closure, no boxing. *)
+  mutable rids : int array;
+  mutable rweights : float array;
+  acc : float array; (* 1-cell ticket accumulator (unboxed stores) *)
+  mutable winner : int;
   mutable total_weight : float;
   mutable nrun : int;
-  mutable in_service : int option;
+  mutable in_service : int; (* -1 = none *)
 }
 
 let create ?rng ?quantum_hint:_ () =
   let rng = match rng with Some r -> r | None -> Prng.create 0x10773E in
-  { clients = Hashtbl.create 16; rng; total_weight = 0.; nrun = 0; in_service = None }
+  {
+    clients = Hashtbl.create 16;
+    rng;
+    rids = [||];
+    rweights = [||];
+    acc = [| 0. |];
+    winner = -1;
+    total_weight = 0.;
+    nrun = 0;
+    in_service = -1;
+  }
 
 let get t id =
-  match Hashtbl.find_opt t.clients id with
-  | Some c -> c
-  | None -> invalid_arg (Printf.sprintf "%s: unknown client %d" algorithm_name id)
+  match Hashtbl.find t.clients id with
+  | c -> c
+  | exception Not_found ->
+    invalid_arg (Printf.sprintf "%s: unknown client %d" algorithm_name id)
+
+(* Ready-set membership: append on wake, swap-with-last on block/depart;
+   [slot] tracks each runnable client's position so removal is O(1). *)
+let ready_add t id c =
+  let cap = Array.length t.rids in
+  if t.nrun >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ni = Array.make ncap 0 and nw = Array.make ncap 0. in
+    Array.blit t.rids 0 ni 0 t.nrun;
+    Array.blit t.rweights 0 nw 0 t.nrun;
+    t.rids <- ni;
+    t.rweights <- nw
+  end;
+  t.rids.(t.nrun) <- id;
+  t.rweights.(t.nrun) <- c.weight;
+  c.slot <- t.nrun;
+  t.nrun <- t.nrun + 1;
+  t.total_weight <- t.total_weight +. c.weight
+
+let ready_remove t c =
+  let s = c.slot in
+  let last = t.nrun - 1 in
+  if s < last then begin
+    let moved = t.rids.(last) in
+    t.rids.(s) <- moved;
+    t.rweights.(s) <- t.rweights.(last);
+    (get t moved).slot <- s
+  end;
+  c.slot <- -1;
+  t.nrun <- last;
+  t.total_weight <- t.total_weight -. c.weight
 
 let arrive t ~id ~weight =
-  match Hashtbl.find_opt t.clients id with
-  | Some c ->
+  match Hashtbl.find t.clients id with
+  | c ->
     if not c.runnable then begin
       c.runnable <- true;
-      t.total_weight <- t.total_weight +. c.weight;
-      t.nrun <- t.nrun + 1
+      ready_add t id c
     end
-  | None ->
+  | exception Not_found ->
     if weight <= 0. then invalid_arg "Lottery.arrive: weight <= 0";
-    Hashtbl.replace t.clients id { weight; runnable = true };
-    t.total_weight <- t.total_weight +. weight;
-    t.nrun <- t.nrun + 1
+    let c = { weight; runnable = true; slot = -1 } in
+    Hashtbl.replace t.clients id c;
+    ready_add t id c
 
 let depart t ~id =
-  match Hashtbl.find_opt t.clients id with
-  | None -> ()
-  | Some c ->
-    if c.runnable then begin
-      t.total_weight <- t.total_weight -. c.weight;
-      t.nrun <- t.nrun - 1
-    end;
+  match Hashtbl.find t.clients id with
+  | exception Not_found -> ()
+  | c ->
+    if c.runnable then ready_remove t c;
     Hashtbl.remove t.clients id
 
 let set_weight t ~id ~weight =
   if weight <= 0. then invalid_arg "Lottery.set_weight: weight <= 0";
   let c = get t id in
-  if c.runnable then t.total_weight <- t.total_weight -. c.weight +. weight;
+  if c.runnable then begin
+    t.total_weight <- t.total_weight -. c.weight +. weight;
+    t.rweights.(c.slot) <- weight
+  end;
   c.weight <- weight
 
 let select t =
-  if Option.is_some t.in_service then
+  if t.in_service >= 0 then
     invalid_arg "select: a selection is already in service";
   if t.nrun = 0 then None
   else begin
-    (* Draw a ticket in [0, total_weight) and walk the runnable clients.
-       Iteration order over the hash table is arbitrary but fixed for a
-       given table state, and the draw itself is uniform, so the winner is
-       distributed proportionally to weights regardless of order. *)
-    let ticket = Prng.float t.rng t.total_weight in
-    let acc = ref 0. and winner = ref None and fallback = ref None in
-    Hashtbl.iter
-      (fun id c ->
-        if c.runnable && !winner = None then begin
-          if !fallback = None then fallback := Some id;
-          acc := !acc +. c.weight;
-          if ticket < !acc then winner := Some id
-        end)
-      t.clients;
-    let w = match !winner with Some _ as w -> w | None -> !fallback in
-    t.in_service <- w;
-    w
+    (* Draw a ticket in [0, total_weight) and walk the dense ready set.
+       The slot order is arbitrary (swap-removal permutes it) but fixed
+       for a given state, and the draw itself is uniform, so the winner
+       is distributed proportionally to weights regardless of order.
+       The last slot is the fallback against rounding drift. *)
+    let ticket = Prng.unit_float t.rng *. t.total_weight in
+    t.winner <- -1;
+    t.acc.(0) <- 0.;
+    for i = 0 to t.nrun - 1 do
+      t.acc.(0) <- t.acc.(0) +. t.rweights.(i);
+      if t.winner < 0 && ticket < t.acc.(0) then t.winner <- t.rids.(i)
+    done;
+    let id = if t.winner >= 0 then t.winner else t.rids.(t.nrun - 1) in
+    t.in_service <- id;
+    Some id
   end
 
 let charge t ~id ~service:_ ~runnable =
-  (match t.in_service with
-  | Some s when s = id -> ()
-  | _ -> invalid_arg "Lottery.charge: client not in service");
-  t.in_service <- None;
+  if t.in_service <> id then invalid_arg "Lottery.charge: client not in service";
+  t.in_service <- -1;
   let c = get t id in
   if not runnable then begin
     c.runnable <- false;
-    t.total_weight <- t.total_weight -. c.weight;
-    t.nrun <- t.nrun - 1
+    ready_remove t c
   end
 
 let backlogged t = t.nrun

@@ -88,27 +88,61 @@ let table_to_string table =
     table;
   Buffer.contents buf
 
-(* A small functional deque: preempted threads go back to the front of
-   their level, expired and newly woken ones to the tail. *)
-module Deque = struct
-  type 'a t = { mutable front : 'a list; mutable back : 'a list }
+(* A ring-buffer deque of (id, gen) pairs held in parallel int arrays:
+   preempted threads go back to the front of their level, expired and
+   newly woken ones to the tail. Flat arrays instead of a functional
+   two-list deque keep the per-decision queue traffic allocation-free
+   (a cons cell and a tuple per enqueue otherwise). Capacity is a power
+   of two so the index wrap is a mask. *)
+module Ring = struct
+  type t = {
+    mutable ids : int array;
+    mutable gens : int array;
+    mutable head : int; (* index of the first element *)
+    mutable len : int;
+    mutable last_gen : int; (* gen of the most recently popped entry *)
+  }
 
-  let create () = { front = []; back = [] }
-  let push_front d x = d.front <- x :: d.front
-  let push_back d x = d.back <- x :: d.back
+  let create () =
+    { ids = Array.make 8 0; gens = Array.make 8 0; head = 0; len = 0; last_gen = 0 }
 
-  let rec pop_front d =
-    match d.front with
-    | x :: rest ->
-      d.front <- rest;
-      Some x
-    | [] ->
-      if d.back = [] then None
-      else begin
-        d.front <- List.rev d.back;
-        d.back <- [];
-        pop_front d
-      end
+  let grow d =
+    let cap = Array.length d.ids in
+    let ni = Array.make (cap * 2) 0 and ng = Array.make (cap * 2) 0 in
+    for i = 0 to d.len - 1 do
+      let j = (d.head + i) land (cap - 1) in
+      ni.(i) <- d.ids.(j);
+      ng.(i) <- d.gens.(j)
+    done;
+    d.ids <- ni;
+    d.gens <- ng;
+    d.head <- 0
+
+  let push_back d id gen =
+    if d.len = Array.length d.ids then grow d;
+    let i = (d.head + d.len) land (Array.length d.ids - 1) in
+    d.ids.(i) <- id;
+    d.gens.(i) <- gen;
+    d.len <- d.len + 1
+
+  let push_front d id gen =
+    if d.len = Array.length d.ids then grow d;
+    let i = (d.head - 1) land (Array.length d.ids - 1) in
+    d.ids.(i) <- id;
+    d.gens.(i) <- gen;
+    d.head <- i;
+    d.len <- d.len + 1
+
+  (* -1 when empty; the popped entry's gen is left in [last_gen]. *)
+  let pop_front d =
+    if d.len = 0 then -1
+    else begin
+      let i = d.head in
+      d.head <- (i + 1) land (Array.length d.ids - 1);
+      d.len <- d.len - 1;
+      d.last_gen <- d.gens.(i);
+      d.ids.(i)
+    end
 end
 
 type state = {
@@ -126,11 +160,11 @@ type t = {
   tick_accounting : bool;
   rt_quantum : Time.span;
   threads : (int, state) Hashtbl.t;
-  ts_queues : (int * int) Deque.t array; (* (id, gen) per TS priority *)
-  rt_queues : (int, (int * int) Deque.t) Hashtbl.t; (* per RT priority *)
+  ts_queues : Ring.t array; (* (id, gen) per TS priority *)
+  rt_queues : (int, Ring.t) Hashtbl.t; (* per RT priority *)
   mutable rt_prios : int list; (* known RT priorities, descending *)
   mutable nrun : int;
-  mutable in_service : int option;
+  mutable in_service : int; (* -1 = none *)
 }
 
 let create ?table ?(tick = Time.milliseconds 10) ?(tick_accounting = true)
@@ -143,36 +177,34 @@ let create ?table ?(tick = Time.milliseconds 10) ?(tick_accounting = true)
     tick_accounting;
     rt_quantum;
     threads = Hashtbl.create 16;
-    ts_queues = Array.init nlevels (fun _ -> Deque.create ());
+    ts_queues = Array.init nlevels (fun _ -> Ring.create ());
     rt_queues = Hashtbl.create 4;
     rt_prios = [];
     nrun = 0;
-    in_service = None;
+    in_service = -1;
   }
 
 let get t id =
-  match Hashtbl.find_opt t.threads id with
-  | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Svr4: unknown thread %d" id)
+  match Hashtbl.find t.threads id with
+  | s -> s
+  | exception Not_found ->
+    invalid_arg (Printf.sprintf "Svr4: unknown thread %d" id)
 
 let rt_queue t prio =
-  match Hashtbl.find_opt t.rt_queues prio with
-  | Some d -> d
-  | None ->
-    let d = Deque.create () in
+  match Hashtbl.find t.rt_queues prio with
+  | d -> d
+  | exception Not_found ->
+    let d = Ring.create () in
     Hashtbl.replace t.rt_queues prio d;
     t.rt_prios <- List.sort (fun a b -> Int.compare b a) (prio :: t.rt_prios);
     d
 
 let enqueue t id s ~front =
   s.gen <- s.gen + 1;
-  match s.cls with
-  | Rt prio ->
-    let d = rt_queue t prio in
-    if front then Deque.push_front d (id, s.gen) else Deque.push_back d (id, s.gen)
-  | Ts ->
-    let d = t.ts_queues.(s.prio) in
-    if front then Deque.push_front d (id, s.gen) else Deque.push_back d (id, s.gen)
+  let d =
+    match s.cls with Rt prio -> rt_queue t prio | Ts -> t.ts_queues.(s.prio)
+  in
+  if front then Ring.push_front d id s.gen else Ring.push_back d id s.gen
 
 let add t ~id ?(prio = 29) cls =
   if Hashtbl.mem t.threads id then invalid_arg "Svr4.add: duplicate id";
@@ -188,9 +220,9 @@ let add t ~id ?(prio = 29) cls =
   enqueue t id s ~front:false
 
 let remove t ~id =
-  match Hashtbl.find_opt t.threads id with
-  | None -> ()
-  | Some s ->
+  match Hashtbl.find t.threads id with
+  | exception Not_found -> ()
+  | s ->
     if s.runnable then t.nrun <- t.nrun - 1;
     s.gen <- s.gen + 1;
     Hashtbl.remove t.threads id
@@ -217,44 +249,46 @@ let block t ~id =
     t.nrun <- t.nrun - 1
   end
 
+(* Sentinel-id pop: -1 when the deque has no live entry. Stale entries
+   (blocked/departed/requeued threads, detected by gen mismatch) are
+   discarded as they surface. *)
 let rec pop_valid t d =
-  match Deque.pop_front d with
-  | None -> None
-  | Some (id, gen) ->
-    (match Hashtbl.find_opt t.threads id with
-    | Some s when s.runnable && s.gen = gen -> Some id
-    | _ -> pop_valid t d)
+  let id = Ring.pop_front d in
+  if id < 0 then -1
+  else
+    match Hashtbl.find t.threads id with
+    | s -> if s.runnable && s.gen = d.Ring.last_gen then id else pop_valid t d
+    | exception Not_found -> pop_valid t d
+
+(* Top-level scan loops (a nested [let rec] closure in [select_id] would
+   allocate per decision). *)
+let rec rt_scan t prios =
+  match prios with
+  | [] -> -1
+  | prio :: rest ->
+    let id = pop_valid t (rt_queue t prio) in
+    if id >= 0 then id else rt_scan t rest
+
+let rec ts_scan t p =
+  if p < 0 then -1
+  else
+    let id = pop_valid t t.ts_queues.(p) in
+    if id >= 0 then id else ts_scan t (p - 1)
+
+let select_id t =
+  if t.in_service >= 0 then
+    invalid_arg "select: a selection is already in service";
+  let id =
+    let id = rt_scan t t.rt_prios in
+    if id >= 0 then id else ts_scan t (nlevels - 1)
+  in
+  if id >= 0 then (get t id).waited_seconds <- 0;
+  t.in_service <- id;
+  id
 
 let select t =
-  if Option.is_some t.in_service then
-    invalid_arg "select: a selection is already in service";
-  let rec try_rt = function
-    | [] -> None
-    | prio :: rest ->
-      (match pop_valid t (rt_queue t prio) with
-      | Some id -> Some id
-      | None -> try_rt rest)
-  in
-  let picked =
-    match try_rt t.rt_prios with
-    | Some id -> Some id
-    | None ->
-      let rec try_ts p =
-        if p < 0 then None
-        else
-          match pop_valid t t.ts_queues.(p) with
-          | Some id -> Some id
-          | None -> try_ts (p - 1)
-      in
-      try_ts (nlevels - 1)
-  in
-  (match picked with
-  | Some id ->
-    let s = get t id in
-    s.waited_seconds <- 0
-  | None -> ());
-  t.in_service <- picked;
-  picked
+  let id = select_id t in
+  if id >= 0 then Some id else None
 
 let ts_quantum t s = t.table.(s.prio).quantum_ticks * t.tick
 
@@ -265,10 +299,8 @@ let account t service =
   if t.tick_accounting then (service + t.tick - 1) / t.tick * t.tick else service
 
 let charge t ~id ~service ~runnable =
-  (match t.in_service with
-  | Some s when s = id -> ()
-  | _ -> invalid_arg "Svr4.charge: thread not in service");
-  t.in_service <- None;
+  if t.in_service <> id then invalid_arg "Svr4.charge: thread not in service";
+  t.in_service <- -1;
   let s = get t id in
   s.used <- s.used + account t service;
   if not runnable then begin
@@ -324,7 +356,7 @@ let second_tick t =
             s.waited_seconds <- 0;
             (* Invalidate the old queue position and requeue at the new
                level, unless the thread is currently on the CPU. *)
-            if t.in_service <> Some id then enqueue t id s ~front:false
+            if t.in_service <> id then enqueue t id s ~front:false
           end
         end)
     ids

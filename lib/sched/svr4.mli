@@ -78,6 +78,10 @@ val select : t -> int option
     RT priority; per-level queues with preempted-thread-first for TS. The
     selected thread is "in service" until [charge]. *)
 
+val select_id : t -> int
+(** [select] without the option box: the selected thread id, or -1 when
+    the run queue is empty. The kernel dispatch loop uses this. *)
+
 val charge : t -> id:int -> service:Hsfq_engine.Time.span -> runnable:bool -> unit
 (** Account CPU use. TS threads whose quantum is exhausted are demoted to
     [tqexp] and requeued at the tail; otherwise they keep their remaining

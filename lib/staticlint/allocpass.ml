@@ -32,23 +32,70 @@ let default_configs =
   [
     (* [select] deliberately absent from sfq's roots: its [Some id]
        wrapper is the measured ~2 minor words/decision; the zero-alloc
-       contract is on [select_id]/[charge]. *)
-    { source = "lib/core/sfq.ml"; roots = [ "select_id"; "charge" ]; cold = [] };
+       contract is on [select_id]/[charge] and the staged entries. *)
+    {
+      source = "lib/core/sfq.ml";
+      roots = [ "select_id"; "charge"; "charge_staged"; "arrive_staged" ];
+      cold = [ "grow" ];
+    };
+    (* Same shape one level up: [schedule]'s Some wrapper is the
+       option-returning convenience; the kernel dispatch loop runs on
+       [schedule_id]/[update_ns], which must stay allocation-free. *)
     {
       source = "lib/core/hierarchy.ml";
-      roots = [ "schedule"; "update"; "setrun"; "sleep" ];
+      roots = [ "schedule_id"; "update"; "update_ns"; "setrun"; "sleep" ];
       cold = [];
     };
     {
       source = "lib/sched/keyed_heap.ml";
-      roots = [ "push"; "push_staged"; "pop_valid"; "invalidate"; "last_key" ];
+      roots =
+        [
+          "push";
+          "push_staged";
+          "pop_valid";
+          "peek_valid";
+          "invalidate";
+          "last_key";
+        ];
       cold = [ "grow"; "compact" ];
     };
+    (* [pop]/[next_time] deliberately absent: their option/tuple results
+       are the compat shape; the simulation driver's per-event path is
+       [take_until]/[taken]. [new_handle] is the free-list-dry slow
+       path of [alloc_handle]. *)
     {
       source = "lib/engine/event_queue.ml";
       roots =
-        [ "schedule"; "cancel"; "pop"; "next_time"; "is_cancelled"; "pending" ];
-      cold = [ "grow"; "compact"; "recycle" ];
+        [
+          "schedule";
+          "cancel";
+          "take_until";
+          "taken";
+          "is_cancelled";
+          "handle_id";
+          "pending";
+        ];
+      cold = [ "grow"; "compact"; "recycle"; "new_handle" ];
+    };
+    (* The boxed leaf disciplines ported to SoA layouts: their decision
+       paths must hold the measured words/decision in BENCH_sched.json
+       (eevdf ~2, lottery ~7, svr4-ts ~0). The [Some id] of the generic
+       FAIR [select] and the per-client Hashtbl lookups are the
+       documented residue (tlint.whitelist). *)
+    {
+      source = "lib/sched/eevdf.ml";
+      roots = [ "select"; "charge" ];
+      cold = [ "create" ];
+    };
+    {
+      source = "lib/sched/lottery.ml";
+      roots = [ "select"; "charge" ];
+      cold = [ "ready_add" ];
+    };
+    {
+      source = "lib/sched/svr4.ml";
+      roots = [ "select_id"; "charge"; "quantum_of" ];
+      cold = [ "rt_queue"; "second_tick" ];
     };
     { source = "lib/obs/ring.ml"; roots = [ "emit" ]; cold = [] };
     {
@@ -59,7 +106,15 @@ let default_configs =
     };
     {
       source = "lib/obs/metrics.ml";
-      roots = [ "charge_sample"; "incr_preempt"; "wait_sample"; "ensure" ];
+      roots =
+        [
+          "charge_sample";
+          "charge_sample_staged";
+          "incr_preempt";
+          "wait_sample";
+          "wait_sample_staged";
+          "ensure";
+        ];
       cold = [ "grow" ];
     };
   ]

@@ -49,8 +49,12 @@ let bench_budgets =
     (* name, max minor_words_per_decision consistent with the typed
        pass's findings + whitelist *)
     ("sfq/Q=512", 4.0); (* Some-wrapper in [select]: ~2 words measured *)
-    ("hierarchy/depth=16", 16.0); (* descend/up closures, whitelisted *)
+    ("hierarchy/depth=16", 2.0); (* schedule_id/update_ns: ~0 measured *)
     ("keyed-heap/push+pop n=256", 1.0); (* zero-alloc contract *)
+    ("event-queue/churn n=256", 64.0); (* fired-handle recycling keeps ~4 *)
+    ("eevdf/Q=8", 8.0); (* SoA cells: ~2 (the Some of FAIR select) *)
+    ("lottery/Q=8", 8.0); (* dense draw + monolithic unit_float: ~7 *)
+    ("svr4-ts/Q=8", 2.0); (* ring deques + select_id: ~0 measured *)
   ]
 
 let find_number src ~benchmark ~key =

@@ -275,6 +275,65 @@ let test_event_queue_handle_recycling () =
   in
   check_int "survivors fire after compaction" 40 (count 0)
 
+(* Fired handles go back on the free list just like cancelled ones, and
+   a pending handle's id is stable until its event fires or is
+   cancelled. The id-reuse observation is the documented signal that a
+   record was recycled. *)
+let test_event_queue_handle_reuse () =
+  let q = Event_queue.create () in
+  let h0 = Event_queue.schedule q ~at:5 (fun () -> ()) in
+  let id0 = Event_queue.handle_id h0 in
+  check_bool "fresh handle is live" false (Event_queue.is_null h0);
+  (* Stable while pending: other queue traffic must not renumber it. *)
+  let h1 = Event_queue.schedule q ~at:1 (fun () -> ()) in
+  Event_queue.cancel h1;
+  check_int "id stable while pending" id0 (Event_queue.handle_id h0);
+  (* Fire h0 through the driver path; its record must be parked... *)
+  check_int "event fires" 5 (Event_queue.take_until q ~horizon:10);
+  Event_queue.taken q ();
+  check_int "queue drained" 0 (Event_queue.pending q);
+  (* ...and the very next schedule reuses a recycled record (the free
+     list is LIFO, so the id comes from {h0, h1}, not a fresh one). *)
+  let h2 = Event_queue.schedule q ~at:7 (fun () -> ()) in
+  let id2 = Event_queue.handle_id h2 in
+  check_bool "fired/cancelled record reused"
+    true
+    (id2 = id0 || id2 = Event_queue.handle_id h1);
+  Event_queue.cancel h2
+
+(* The zero-allocation contract of the churn path: once the queue's
+   arrays and free list are warm, a schedule/cancel/fire cycle driven
+   through [take_until]/[taken] allocates nothing. 10k cycles would
+   show ~60k words if even one box crept back in, so the tolerance
+   below is orders of magnitude away from a real regression. *)
+let test_event_queue_steady_state_churn () =
+  let q = Event_queue.create () in
+  let nop = (fun () -> ()) in
+  (* Warm-up: grow the heap arrays and populate the handle free list. *)
+  for i = 0 to 255 do
+    ignore (Event_queue.schedule q ~at:i nop)
+  done;
+  let rec drain t = if Event_queue.take_until q ~horizon:1_000_000 >= 0 then begin
+      Event_queue.taken q (); drain t end
+  in
+  drain ();
+  let keep = ref Event_queue.null in
+  let w0 = Gc.minor_words () in
+  for i = 0 to 9_999 do
+    let h = Event_queue.schedule q ~at:i nop in
+    if i land 1 = 0 then Event_queue.cancel h
+    else begin
+      keep := h;
+      let t = Event_queue.take_until q ~horizon:max_int in
+      if t >= 0 then Event_queue.taken q ()
+    end
+  done;
+  let words = Gc.minor_words () -. w0 in
+  ignore !keep;
+  check_bool
+    (Printf.sprintf "steady-state churn allocates (%.0f minor words for 10k cycles)" words)
+    true (words < 512.)
+
 (* ----------------------------- Sim ---------------------------------- *)
 
 let test_sim_ordering_and_clock () =
@@ -538,6 +597,10 @@ let () =
             test_event_queue_live_accounting;
           Alcotest.test_case "handle recycling" `Quick
             test_event_queue_handle_recycling;
+          Alcotest.test_case "handle reuse and stable ids" `Quick
+            test_event_queue_handle_reuse;
+          Alcotest.test_case "steady-state churn is allocation-free" `Quick
+            test_event_queue_steady_state_churn;
           qc prop_event_queue_total_order;
         ] );
       ( "sim",

@@ -354,6 +354,82 @@ let prop_runnable_invariant =
           consistent ())
         ops)
 
+(* The kernel dispatch loop's sentinel-id protocol (schedule_id /
+   update_ns) must be observationally identical to the option-shaped
+   schedule/update: drive twin hierarchies through the same random
+   wake/sleep/schedule sequence, one per protocol, and require the same
+   selections, runnable flags and virtual times throughout. *)
+let prop_schedule_id_matches_schedule =
+  QCheck.Test.make ~name:"schedule_id/update_ns agree with schedule/update"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 120) (pair (int_bound 3) (int_bound 2)))
+    (fun ops ->
+      let build () =
+        let t = Hierarchy.create () in
+        let mid =
+          ok "mid"
+            (Hierarchy.mknod t ~name:"mid" ~parent:Hierarchy.root ~weight:1.
+               Hierarchy.Internal)
+        in
+        let leaves =
+          [|
+            ok "l0"
+              (Hierarchy.mknod t ~name:"l0" ~parent:Hierarchy.root ~weight:1.
+                 Hierarchy.Leaf);
+            ok "l1" (Hierarchy.mknod t ~name:"l1" ~parent:mid ~weight:2. Hierarchy.Leaf);
+            ok "l2" (Hierarchy.mknod t ~name:"l2" ~parent:mid ~weight:3. Hierarchy.Leaf);
+            ok "l3"
+              (Hierarchy.mknod t ~name:"l3" ~parent:Hierarchy.root ~weight:4.
+                 Hierarchy.Leaf);
+          |]
+        in
+        (t, leaves)
+      in
+      let a, la = build () in
+      let b, lb = build () in
+      let agree () =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun i l ->
+               Hierarchy.is_runnable a l = Hierarchy.is_runnable b lb.(i)
+               && Float.abs
+                    (Hierarchy.start_tag_of a l -. Hierarchy.start_tag_of b lb.(i))
+                  < 1e-9)
+             la)
+        && Float.abs
+             (Hierarchy.virtual_time_of a Hierarchy.root
+             -. Hierarchy.virtual_time_of b Hierarchy.root)
+           < 1e-9
+      in
+      List.for_all
+        (fun (i, action) ->
+          (match action with
+          | 0 ->
+            Hierarchy.setrun a la.(i);
+            Hierarchy.setrun b lb.(i);
+            true
+          | 1 ->
+            if Hierarchy.is_runnable a la.(i) then begin
+              Hierarchy.sleep a la.(i);
+              Hierarchy.sleep b lb.(i)
+            end;
+            true
+          | _ -> (
+            let sa = Hierarchy.schedule a in
+            let sb = Hierarchy.schedule_id b in
+            match sa with
+            | None -> sb = -1
+            | Some leaf ->
+              leaf = sb
+              &&
+              (let still = leaf <> la.(i) in
+               Hierarchy.update a ~leaf ~service:3_000_000. ~leaf_runnable:still;
+               Hierarchy.update_ns b ~leaf:sb ~service_ns:3_000_000
+                 ~leaf_runnable:still;
+               true)))
+          && agree ())
+        ops)
+
 (* Selection frequencies track weights for random 2-level trees. *)
 let prop_weighted_shares =
   QCheck.Test.make ~name:"selection shares follow weight products" ~count:60
@@ -477,6 +553,7 @@ let () =
       ( "properties",
         [
           qc prop_runnable_invariant;
+          qc prop_schedule_id_matches_schedule;
           qc prop_weighted_shares;
           qc prop_chain_equals_flat;
         ] );

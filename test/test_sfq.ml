@@ -601,6 +601,79 @@ let prop_matches_naive_reference =
       list_of_size (Gen.int_range 1 150) (pair (int_bound 5) (int_bound 6)))
     differential_agrees
 
+(* The same oracle against the allocation-free protocol: the kernel's
+   dispatch loop never calls [select]/[arrive]/[charge] — it calls
+   [select_id] (sentinel -1 for "no client") with the float payloads
+   written through [stage_cell]. Drive that exact shape against the
+   naive reference so the unboxed entry points are pinned to the same
+   specification as the boxed ones, not just assumed equivalent. *)
+let staged_differential_agrees ops =
+  let module R = Hsfq_check.Sfq_reference in
+  let s = Sfq.create () in
+  let cell = Sfq.stage_cell s in
+  let r = R.create () in
+  let feq a b = Float.abs (a -. b) < 1e-9 in
+  let agree () =
+    Sfq.backlogged s = R.backlogged r
+    && feq (Sfq.virtual_time s) (R.virtual_time r)
+    && feq (Sfq.max_finish_tag s) (R.max_finish_tag r)
+    && List.for_all
+         (fun id ->
+           Sfq.mem s ~id = R.mem r ~id
+           && (not (Sfq.mem s ~id)
+              || feq (Sfq.start_tag s ~id) (R.start_tag r ~id)
+                 && feq (Sfq.finish_tag s ~id) (R.finish_tag r ~id)
+                 && Sfq.is_runnable s ~id = R.is_runnable r ~id))
+         [ 1; 2; 3; 4; 5; 6 ]
+  in
+  List.for_all
+    (fun (id, op) ->
+      let id = id + 1 in
+      let stepped =
+        match op with
+        | 0 | 1 ->
+          let weight = float_of_int (1 + (id mod 4)) in
+          cell.(0) <- weight;
+          Sfq.arrive_staged s ~id;
+          R.arrive r ~id ~weight;
+          true
+        | 2 -> (
+          let a = Sfq.select_id s in
+          match (a, R.select r) with
+          | -1, None -> true
+          | a, Some b when a = b ->
+            let service = float_of_int (1 + id) in
+            let runnable = id mod 2 = 0 in
+            cell.(0) <- service;
+            Sfq.charge_staged s ~id:a ~runnable;
+            R.charge r ~id:b ~service ~runnable;
+            true
+          | _ -> false (* selections diverged *))
+        | 3 ->
+          if Sfq.mem s ~id then begin
+            Sfq.block s ~id;
+            R.block r ~id
+          end;
+          true
+        | _ ->
+          if Sfq.mem s ~id then begin
+            Sfq.depart s ~id;
+            R.depart r ~id
+          end;
+          true
+      in
+      stepped && agree ())
+    ops
+
+let prop_staged_matches_naive_reference =
+  QCheck.Test.make
+    ~name:
+      "sentinel-id/staged protocol agrees with the naive reference, tag for tag"
+    ~count:400
+    QCheck.(
+      list_of_size (Gen.int_range 1 150) (pair (int_bound 5) (int_bound 4)))
+    staged_differential_agrees
+
 (* The same differential driven as a seeded batch through the domain
    pool: each task's op sequence comes from its own Prng substream, so
    every verdict is a pure function of (seed, task index) — jobs=1 and
@@ -671,6 +744,7 @@ let () =
           qc prop_windowed_unfairness;
           qc prop_audited_never_trips;
           qc prop_matches_naive_reference;
+          qc prop_staged_matches_naive_reference;
           Alcotest.test_case "differential batch across domains" `Quick
             test_differential_parallel_batch;
         ] );
