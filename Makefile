@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench bench-smoke bench-diff sim-speed-smoke torture-smoke figures examples regen-golden clean
+.PHONY: all build test lint check bench bench-smoke bench-diff sim-speed-smoke torture-smoke sweep-smoke figures examples regen-golden clean
 
 all: build
 
@@ -16,9 +16,9 @@ test:
 lint:
 	dune build @lint @lint-typed
 
-# Tier-1 verification: strict build + tests + lint + bench, sim-speed
-# and torture smoke passes.
-check: build test lint bench-smoke sim-speed-smoke torture-smoke
+# Tier-1 verification: strict build + tests + lint + bench, sim-speed,
+# torture and parallel-sweep smoke passes.
+check: build test lint bench-smoke sim-speed-smoke torture-smoke sweep-smoke
 
 # Full harness: regenerate every paper figure + micro-benchmarks.
 bench:
@@ -29,11 +29,12 @@ bench:
 bench-smoke:
 	dune build @bench-smoke
 
-# Advisory perf-regression gate: fresh micro timings diffed against the
-# committed BENCH_sched.json, flagging rows outside ±25%.  Never fails
-# the build (timing noise), but read the report before merging hot-path
-# changes — and re-run `make bench` to refresh the baseline when a
-# change is real.
+# Perf-regression gate: fresh micro timings diffed against the
+# committed BENCH_sched.json.  Micro and sim-speed rows outside ±25%
+# are advisory (timing noise can't fail the build), but the "sweeps"
+# section is hard-gated: any parallel sweep at <1x over serial, or a
+# >25% speedup regression, exits non-zero.  Re-run `make bench` to
+# refresh the baseline when a change is real.
 bench-diff:
 	dune build @bench-diff
 
@@ -48,6 +49,12 @@ sim-speed-smoke:
 # `dune exec bin/hsfq_sim.exe -- torture --seeds 100 -n 50000`.
 torture-smoke:
 	dune build @torture-smoke
+
+# Parallel-sweep smoke: a tiny jobs=2 torture sweep on the domain pool
+# and on the fork-based process backend (with a worker --minor-heap),
+# so both fan-out substrates stay wired from the CLI down.
+sweep-smoke:
+	dune build @sweep-smoke
 
 # Regenerate the golden trace dumps (test/golden/*.trace) after an
 # intentional change to the event schema, the exporters or the traced

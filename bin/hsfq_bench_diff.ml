@@ -1,12 +1,16 @@
-(* hsfq_bench_diff — advisory regression gate over BENCH_sched.json.
+(* hsfq_bench_diff — regression gate over BENCH_sched.json.
 
    Usage: hsfq_bench_diff BASELINE.json FRESH.json
 
    Compares every benchmark row present in both files and flags entries
    whose fresh/baseline ratio falls outside [0.75, 1.33] (±25-ish percent,
-   symmetric in log space).  The gate is advisory: it always exits 0 so a
-   noisy CI box cannot fail the build, but the report makes drift visible
-   next to the committed numbers.
+   symmetric in log space).  The micro and sim_speed sections are
+   advisory — a noisy CI box cannot fail the build on ns-level timing —
+   but the "sweeps" section is a hard gate: a parallel sweep exists only
+   to be faster than serial, so a committed or fresh speedup below 1.0x
+   (the historical inversion, see ROADMAP item 1), a >25% regression
+   against baseline, or a sweep row that vanished from a fresh run that
+   measured sweeps at all, each fail the diff with exit 1.
 
    The parser only understands the repo's own stable format (schema
    "hsfq-bench/1", one benchmark per line inside the "benchmarks" object)
@@ -20,6 +24,10 @@ type row = { ns : float; words : float }
 (* A sim_speed section row: end-to-end events/sec (higher is better,
    unlike ns/decision) and steady-state minor words per fired event. *)
 type speed_row = { eps : float; wpe : float }
+
+(* A sweeps section row: measured wall-clock speedup of a parallel
+   sweep over its serial run (higher is better; < 1.0 is an inversion). *)
+type sweep_row = { speedup : float; jobs : float }
 
 (* Extract the float following [key] on [line], if present. *)
 let field line key =
@@ -61,6 +69,7 @@ let load path =
   let ic = open_in path in
   let rows = Hashtbl.create 32 in
   let speeds = Hashtbl.create 8 in
+  let sweeps = Hashtbl.create 8 in
   (try
      while true do
        let line = input_line ic in
@@ -70,16 +79,22 @@ let load path =
          | Some name -> Hashtbl.replace rows name { ns; words }
          | None -> ())
        | _ -> ());
-       match (field line "events_per_sec", field line "minor_words_per_event") with
+       (match (field line "events_per_sec", field line "minor_words_per_event") with
        | Some eps, Some wpe -> (
          match name_of line with
          | Some name -> Hashtbl.replace speeds name { eps; wpe }
+         | None -> ())
+       | _ -> ());
+       match (field line "speedup", field line "jobs") with
+       | Some speedup, Some jobs -> (
+         match name_of line with
+         | Some name -> Hashtbl.replace sweeps name { speedup; jobs }
          | None -> ())
        | _ -> ()
      done
    with End_of_file -> ());
   close_in ic;
-  (rows, speeds)
+  (rows, speeds, sweeps)
 
 let classify ratio =
   if ratio < tolerance_lo then `Faster
@@ -94,8 +109,8 @@ let () =
       prerr_endline "usage: hsfq_bench_diff BASELINE.json FRESH.json";
       exit 2
   in
-  let baseline, baseline_speed = load baseline_path in
-  let fresh, fresh_speed = load fresh_path in
+  let baseline, baseline_speed, baseline_sweeps = load baseline_path in
+  let fresh, fresh_speed, fresh_sweeps = load fresh_path in
   if Hashtbl.length baseline = 0 then begin
     Printf.eprintf "no benchmark rows found in %s\n" baseline_path;
     exit 2
@@ -190,8 +205,76 @@ let () =
           Printf.printf "%-28s %12s %12s %8s  new (not in baseline)\n" name "-" "-" "-")
       fresh_speed
   end;
+  (* sweeps rows: the hard gate. A sweep's whole reason to exist is a
+     wall-clock win over serial, so verdicts are inverted
+     (higher-is-better) and failures are fatal: speedup < 1.0 in either
+     file is the inversion this gate was built to keep out; a
+     fresh/baseline ratio below the band is a >25% regression; a
+     baseline sweep missing from a fresh run that measured sweeps at
+     all means coverage silently shrank. Fresh runs with no sweeps
+     section (e.g. --micro-only) skip the comparisons but still fail on
+     a committed inversion. *)
+  let failed = ref 0 in
+  if Hashtbl.length baseline_sweeps > 0 || Hashtbl.length fresh_sweeps > 0 then begin
+    let names =
+      Hashtbl.fold (fun name _ acc -> name :: acc) baseline_sweeps []
+      |> List.sort String.compare
+    in
+    Printf.printf "\n%-40s %10s %10s %8s  %s\n" "parallel sweep" "base x"
+      "fresh x" "ratio" "verdict";
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt baseline_sweeps name with
+        | None -> ()
+        | Some b ->
+        if b.speedup < 1.0 then begin
+          incr failed;
+          Printf.printf "%-40s %10.3f %10s %8s  FAIL (committed speedup < 1x)\n"
+            name b.speedup "-" "-"
+        end;
+        match Hashtbl.find_opt fresh_sweeps name with
+        | None ->
+          if Hashtbl.length fresh_sweeps > 0 then begin
+            incr failed;
+            Printf.printf "%-40s %10.3f %10s %8s  FAIL (missing from fresh sweeps)\n"
+              name b.speedup "-" "-"
+          end
+        | Some f ->
+          let ratio = f.speedup /. b.speedup in
+          let verdict =
+            if f.speedup < 1.0 then begin
+              incr failed;
+              "FAIL (speedup < 1x: parallel slower than serial)"
+            end
+            else if ratio < tolerance_lo then begin
+              incr failed;
+              "FAIL (speedup regressed > 25%)"
+            end
+            else if ratio > tolerance_hi then "FASTER (update baseline?)"
+            else "ok"
+          in
+          Printf.printf "%-40s %10.3f %10.3f %8.2f  %s (jobs=%.0f)\n" name
+            b.speedup f.speedup ratio verdict f.jobs)
+      names;
+    Hashtbl.iter
+      (fun name (f : sweep_row) ->
+        if not (Hashtbl.mem baseline_sweeps name) then begin
+          Printf.printf "%-40s %10s %10.3f %8s  new (not in baseline)\n" name "-"
+            f.speedup "-";
+          if f.speedup < 1.0 then begin
+            incr failed;
+            Printf.printf "%-40s %10s %10s %8s  FAIL (new sweep slower than serial)\n"
+              name "-" "-" "-"
+          end
+        end)
+      fresh_sweeps
+  end;
   if !drifted > 0 then
     Printf.printf
-      "\n%d row(s) outside the [%.2f, %.2f] tolerance band — advisory only.\n"
+      "\n%d micro/sim-speed row(s) outside the [%.2f, %.2f] tolerance band — advisory only.\n"
       !drifted tolerance_lo tolerance_hi
-  else Printf.printf "\nall rows within tolerance.\n"
+  else Printf.printf "\nall micro/sim-speed rows within tolerance.\n";
+  if !failed > 0 then begin
+    Printf.printf "%d sweep row(s) FAILED the higher-is-better gate.\n" !failed;
+    exit 1
+  end

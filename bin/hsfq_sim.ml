@@ -8,18 +8,76 @@ open Cmdliner
 module E = Hsfq_experiments
 module Par = Hsfq_par.Par
 
+(* --minor-heap WORDS: resize the minor heap (nursery) for the run.
+   With the dispatch path allocation-free, what's left on the nursery is
+   workload and bookkeeping churn; this knob makes the nursery-size vs
+   minor-GC-count tradeoff measurable from the CLI (see
+   doc/PERFORMANCE.md, "GC discipline"). Stripped from argv ahead of
+   cmdliner so it applies uniformly to every subcommand. The size is
+   applied twice: to the calling domain here (covering serial runs), and
+   inside every sweep worker at startup via Par.sweep's ?minor_heap — a
+   fresh domain or forked process starts from the runtime default, not
+   from this domain's setting, so the worker-side application is the one
+   that matters for parallel runs. *)
+let filtered_argv, cli_minor_heap =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let keep = ref [] in
+  let minor = ref None in
+  let set words =
+    match int_of_string_opt words with
+    | Some w when w > 0 ->
+      minor := Some w;
+      Gc.set { (Gc.get ()) with Gc.minor_heap_size = w }
+    | _ ->
+      prerr_endline "hsfq_sim: --minor-heap expects a positive size in words";
+      exit 2
+  in
+  let i = ref 0 in
+  while !i < n do
+    let a = argv.(!i) in
+    if a = "--minor-heap" then
+      if !i + 1 < n then begin
+        set argv.(!i + 1);
+        i := !i + 2
+      end
+      else begin
+        prerr_endline "hsfq_sim: --minor-heap expects a positive size in words";
+        exit 2
+      end
+    else if String.length a > 13 && String.sub a 0 13 = "--minor-heap=" then begin
+      set (String.sub a 13 (String.length a - 13));
+      incr i
+    end
+    else begin
+      keep := a :: !keep;
+      incr i
+    end
+  done;
+  (Array.of_list (List.rev !keep), !minor)
+
 (* Shared --jobs flag: parallelism of the seed/experiment sweep.
-   1 = serial (default), 0 = one job per available core. All output is
-   rendered at the join point in task order, so results and bytes are
-   identical whatever the value. *)
+   1 = serial (default), 0 = auto — Par.resolve_jobs, the one jobs
+   policy, maps it to the available core count (which is 1, i.e. plain
+   serial, on a single-core box). All output is rendered at the join
+   point in task order, so results and bytes are identical whatever the
+   value. *)
 let jobs_arg =
   let doc =
-    "Run the sweep on $(docv) domains (0 = one per core). Output and \
+    "Run the sweep on $(docv) workers (0 = one per core). Output and \
      verdicts are byte-identical for every value."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
-let resolve_jobs j = if j = 0 then Par.default_jobs () else j
+(* Shared --backend flag: execution substrate for the sweep workers. *)
+let backend_arg =
+  let doc =
+    "Parallel backend for the sweep: $(b,domains) (shared-heap OCaml 5 \
+     domain pool), $(b,processes) (fork-based worker pool, no GC \
+     synchronization) or $(b,serial). Results are byte-identical across \
+     backends; only wall-clock differs (see doc/PERFORMANCE.md)."
+  in
+  Arg.(value & opt (enum Par.all_backends) Par.Domains & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
 let list_cmd =
   let doc = "List the reproduction experiments." in
@@ -33,7 +91,7 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_experiments ids all quiet metrics jobs =
+let run_experiments ids all quiet metrics jobs backend =
   let entries =
     if all then E.Registry.all
     else
@@ -56,9 +114,9 @@ let run_experiments ids all quiet metrics jobs =
      (Domain.DLS keeps them independent) and ships back the rendered
      per-node table. *)
   let computed =
-    Par.sweep ~jobs:(resolve_jobs jobs)
+    Par.sweep ~backend ?minor_heap:cli_minor_heap ~jobs
       ~tasks:(Array.of_list entries)
-      ~f:(fun (e : E.Registry.entry) ->
+      (fun (e : E.Registry.entry) ->
         if metrics then begin
           let c, tr = E.Obs_run.capture (fun () -> e.compute ()) in
           (c, Some (Hsfq_obs.Text_dump.metrics_report tr))
@@ -99,7 +157,9 @@ let run_cmd =
              virtual-time lag, dispatch waits) after the checks.")
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids $ all $ quiet $ metrics $ jobs_arg)
+    Term.(
+      const run_experiments $ ids $ all $ quiet $ metrics $ jobs_arg
+      $ backend_arg)
 
 (* A small live demo: the Figure 2 classes with a handful of threads,
    rendered as an ASCII Gantt chart. *)
@@ -242,7 +302,7 @@ let tree_cmd =
   let doc = "Print the paper's Figure 2 scheduling structure and its shares." in
   Cmd.v (Cmd.info "tree" ~doc) Term.(const tree_demo $ const ())
 
-let csv_export ids all dir jobs =
+let csv_export ids all dir jobs backend =
   let ids = if all then E.Csv_export.exportable () else ids in
   if ids = [] then begin
     Printf.eprintf "nothing to export; give figure ids or --all\n";
@@ -252,8 +312,8 @@ let csv_export ids all dir jobs =
   (* Simulations run on the sweep; all file writes happen at the join,
      in figure order, so the CSV bytes on disk match a serial export. *)
   let exported =
-    Par.sweep ~jobs:(resolve_jobs jobs) ~tasks:(Array.of_list ids)
-      ~f:E.Csv_export.export
+    Par.sweep ~backend ?minor_heap:cli_minor_heap ~jobs
+      ~tasks:(Array.of_list ids) E.Csv_export.export
   in
   Array.iter
     (fun result ->
@@ -279,11 +339,12 @@ let csv_cmd =
   let dir =
     Arg.(value & opt string "figures" & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  Cmd.v (Cmd.info "csv" ~doc) Term.(const csv_export $ ids $ all $ dir $ jobs_arg)
+  Cmd.v (Cmd.info "csv" ~doc)
+    Term.(const csv_export $ ids $ all $ dir $ jobs_arg $ backend_arg)
 
 (* Lifecycle torture: run the seeded stress driver, report, and shrink
    failing traces to a minimal reproducer. *)
-let torture_run seed seeds ops audit_period do_shrink quiet jobs =
+let torture_run seed seeds ops audit_period do_shrink quiet jobs backend =
   let module T = Hsfq_torture.Torture in
   let failures = ref 0 in
   let last = seed + Int.max 0 (seeds - 1) in
@@ -292,7 +353,9 @@ let torture_run seed seeds ops audit_period do_shrink quiet jobs =
   (* The seeds run on the sweep; reporting (and any shrinking, which is
      itself seed-deterministic) happens at the join in seed order, so
      the transcript is byte-identical for every --jobs value. *)
-  let outcomes = T.sweep ~jobs:(resolve_jobs jobs) cfg ~seeds:seed_array in
+  let outcomes =
+    T.sweep ~jobs ~backend ?minor_heap:cli_minor_heap cfg ~seeds:seed_array
+  in
   Array.iteri
     (fun i (o : T.outcome) ->
       let s = seed_array.(i) in
@@ -344,7 +407,7 @@ let torture_cmd =
   Cmd.v (Cmd.info "torture" ~doc)
     Term.(
       const torture_run $ seed $ seeds $ ops $ audit_period $ do_shrink $ quiet
-      $ jobs_arg)
+      $ jobs_arg $ backend_arg)
 
 let main =
   let doc =
@@ -353,45 +416,5 @@ let main =
   in
   Cmd.group (Cmd.info "hsfq_sim" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; trace_cmd; tree_cmd; csv_cmd; torture_cmd ]
-
-(* --minor-heap WORDS: resize the minor heap (nursery) before the run.
-   With the dispatch path allocation-free, what's left on the nursery is
-   workload and bookkeeping churn; this knob makes the nursery-size vs
-   minor-GC-count tradeoff measurable from the CLI (see
-   doc/PERFORMANCE.md, "GC discipline"). Stripped from argv ahead of
-   cmdliner so it applies uniformly to every subcommand. *)
-let filtered_argv =
-  let argv = Sys.argv in
-  let n = Array.length argv in
-  let keep = ref [] in
-  let set words =
-    match int_of_string_opt words with
-    | Some w when w > 0 -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = w }
-    | _ ->
-      prerr_endline "hsfq_sim: --minor-heap expects a positive size in words";
-      exit 2
-  in
-  let i = ref 0 in
-  while !i < n do
-    let a = argv.(!i) in
-    if a = "--minor-heap" then
-      if !i + 1 < n then begin
-        set argv.(!i + 1);
-        i := !i + 2
-      end
-      else begin
-        prerr_endline "hsfq_sim: --minor-heap expects a positive size in words";
-        exit 2
-      end
-    else if String.length a > 13 && String.sub a 0 13 = "--minor-heap=" then begin
-      set (String.sub a 13 (String.length a - 13));
-      incr i
-    end
-    else begin
-      keep := a :: !keep;
-      incr i
-    end
-  done;
-  Array.of_list (List.rev !keep)
 
 let () = exit (Cmd.eval ~argv:filtered_argv main)

@@ -57,14 +57,21 @@ val run : config -> outcome
     the first audit failure or crash; the trace up to and including the
     offending op is in [trace]. *)
 
-val sweep : ?jobs:int -> config -> seeds:int array -> outcome array
+val sweep :
+  ?jobs:int ->
+  ?backend:Hsfq_par.Par.backend ->
+  ?minor_heap:int ->
+  config ->
+  seeds:int array ->
+  outcome array
 (** {!run} for every seed in [seeds] (each with [cfg]'s ops/audit
-    settings; [cfg.seed] is ignored), across [jobs] domains via
-    {!Hsfq_par.Par.sweep} ([jobs] defaults to 1; [0] means
-    {!Hsfq_par.Par.default_jobs}). Every run builds its own simulator,
-    kernel and invariant sink from its seed alone, so the returned
-    outcomes — verdicts, violation lists, traces — are identical
-    whatever [jobs] is. *)
+    settings; [cfg.seed] is ignored), fanned out over [jobs] workers via
+    {!Hsfq_par.Par.sweep} ([jobs] defaults to 1; values [<= 0] resolve
+    via {!Hsfq_par.Par.resolve_jobs}, the one jobs policy). [backend]
+    and [minor_heap] are passed through to {!Hsfq_par.Par.sweep}. Every
+    run builds its own simulator, kernel and invariant sink from its
+    seed alone, so the returned outcomes — verdicts, violation lists,
+    traces — are identical whatever [jobs] or [backend] is. *)
 
 val replay : config -> op list -> outcome
 (** Re-execute an explicit op list against the same seed-derived system
