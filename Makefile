@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench bench-smoke bench-diff sim-speed-smoke torture-smoke sweep-smoke figures examples regen-golden clean
+.PHONY: all build test lint check bench bench-smoke bench-diff sim-speed-smoke scale-smoke torture-smoke sweep-smoke figures examples regen-golden clean
 
 all: build
 
@@ -18,7 +18,7 @@ lint:
 
 # Tier-1 verification: strict build + tests + lint + bench, sim-speed,
 # torture and parallel-sweep smoke passes.
-check: build test lint bench-smoke sim-speed-smoke torture-smoke sweep-smoke
+check: build test lint bench-smoke sim-speed-smoke scale-smoke torture-smoke sweep-smoke
 
 # Full harness: regenerate every paper figure + micro-benchmarks.
 bench:
@@ -43,6 +43,14 @@ bench-diff:
 # minor-words/event budget holds (the zero-alloc dispatch contract).
 sim-speed-smoke:
 	dune build @sim-speed-smoke
+
+# Churn/compaction sanity: the scale mixes (steady / arrival-heavy /
+# departure-heavy) at a toy Q with hard asserts that compaction fires
+# and reclaims.  The full sweep at Q = 10^4..10^6 runs in `make bench`
+# and lands in BENCH_sched.json's "scale" section, which
+# `make bench-diff` hard-gates (log-slope + footprint drift).
+scale-smoke:
+	dune build @scale-smoke
 
 # Lifecycle torture, quick slice: 8 seeds x 2000 ops with per-op
 # audits.  The full acceptance sweep is

@@ -693,6 +693,267 @@ let run_sim_speed_smoke () =
   print_endline "sim-speed smoke PASSED."
 
 (* ------------------------------------------------------------------ *)
+(* Part 5: scale — churn scaling of the core scheduling structures at  *)
+(* Q = 10^4 / 10^5 / 10^6 live clients.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Each row drives one structure through a churn mix, then times
+   select+charge decisions at the resulting population and records the
+   deterministic footprint (array lengths + bucket counts, never GC
+   sampling — so the numbers are bit-stable across machines and the
+   diff tool can hard-gate them):
+
+     steady     build Q, then a full turnover (Q x depart+re-arrive at
+                constant population) — the free-list recycling path;
+     arrival    build Q from empty — the growth path;
+     departure  build Q, then depart down to Q/8 — the shrink path;
+                occupancy-triggered compaction must fire (live falls
+                below cap/4) and provably release the columns, the id
+                map, and the ready heap.
+
+   hsfq_bench_diff hard-gates the resulting JSON section: steady
+   ns/decision across consecutive decades must grow no faster than a
+   generous log2 bound, every mix's peak footprint must stay within 2x
+   of the steady-state footprint at the same Q, and the departure row's
+   end footprint must come in well below steady (the reclaim proof).
+   Timings are hand-rolled rather than Bechamel: one Gc.full_major and
+   a single measured loop keeps a Q=10^6 row affordable. *)
+
+type scale_row = {
+  sc_name : string;
+  sc_live : int;  (* live clients while decisions were timed *)
+  sc_ns : float;
+  sc_words : float;
+  sc_peak_words : int;  (* max footprint observed at phase boundaries *)
+  sc_end_words : int;  (* footprint after churn + decision phases *)
+}
+
+let scale_decisions = 100_000
+
+let time_decisions ~n fn =
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    fn ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  (dt *. 1e9 /. float_of_int n, words /. float_of_int n)
+
+let sfq_scale_row ~q ~decisions mix =
+  let t = Core.Sfq.create () in
+  let arrive i =
+    Core.Sfq.arrive t ~id:i ~weight:(1. +. float_of_int (i mod 4))
+  in
+  let peak = ref 0 in
+  let sample () = peak := Int.max !peak (Core.Sfq.footprint_words t) in
+  let mix_name, live =
+    match mix with
+    | `Steady ->
+      for i = 0 to q - 1 do
+        arrive i
+      done;
+      sample ();
+      for i = 0 to q - 1 do
+        Core.Sfq.depart t ~id:i;
+        arrive i
+      done;
+      sample ();
+      ("steady", q)
+    | `Arrival ->
+      let stride = Int.max 1 (q / 8) in
+      for i = 0 to q - 1 do
+        arrive i;
+        if (i + 1) mod stride = 0 then sample ()
+      done;
+      ("arrival", q)
+    | `Departure ->
+      for i = 0 to q - 1 do
+        arrive i
+      done;
+      sample ();
+      let keep = Int.max 64 (q / 8) in
+      for i = 0 to q - keep - 1 do
+        Core.Sfq.depart t ~id:i
+      done;
+      sample ();
+      ("departure", keep)
+  in
+  let ns, words =
+    time_decisions ~n:decisions (fun () ->
+        match Core.Sfq.select t with
+        | Some id -> Core.Sfq.charge t ~id ~service:2e7 ~runnable:true
+        | None -> invalid_arg "scale: empty ready set")
+  in
+  let end_words = Core.Sfq.footprint_words t in
+  sample ();
+  {
+    sc_name = Printf.sprintf "sfq-%s/Q=%d" mix_name q;
+    sc_live = live;
+    sc_ns = ns;
+    sc_words = words;
+    sc_peak_words = !peak;
+    sc_end_words = end_words;
+  }
+
+(* Hierarchy churn at N total nodes: a two-level tree (N/1024 groups,
+   leaves spread round-robin), retire-and-recreate 7/8 of the leaves —
+   each group's child SFQ and by_name table, the node array and the id
+   pool all shrink and regrow — then time full schedule+update
+   decisions through the rebuilt tree. *)
+let hierarchy_scale_row ~n ~decisions =
+  let h = Core.Hierarchy.create () in
+  let ngroups = Int.max 4 (n / 1024) in
+  let mknod ~name ~parent kind =
+    match Core.Hierarchy.mknod h ~name ~parent ~weight:1. kind with
+    | Ok id -> id
+    | Error e -> invalid_arg e
+  in
+  let groups =
+    Array.init ngroups (fun g ->
+        mknod ~name:(Printf.sprintf "g%d" g) ~parent:Core.Hierarchy.root
+          Core.Hierarchy.Internal)
+  in
+  let nleaves = n - ngroups in
+  Array.iter
+    (fun g -> Core.Hierarchy.reserve_children h g ((nleaves / ngroups) + 1))
+    groups;
+  let leaves =
+    Array.init nleaves (fun i ->
+        mknod ~name:(Printf.sprintf "l%d" i)
+          ~parent:groups.(i mod ngroups)
+          Core.Hierarchy.Leaf)
+  in
+  (* A fixed small runnable set: the decision cost under test is the
+     walk through giant internal nodes, not the size of the ready set. *)
+  for i = 0 to Int.min 63 (nleaves - 1) do
+    Core.Hierarchy.setrun h leaves.(i)
+  done;
+  let peak = ref 0 in
+  let sample () = peak := Int.max !peak (Core.Hierarchy.footprint_words h) in
+  sample ();
+  let first_gone = Int.max 64 (nleaves / 8) in
+  for i = first_gone to nleaves - 1 do
+    match Core.Hierarchy.rmnod h leaves.(i) with
+    | Ok () -> ()
+    | Error e -> invalid_arg e
+  done;
+  sample ();
+  for i = first_gone to nleaves - 1 do
+    ignore
+      (mknod ~name:(Printf.sprintf "r%d" i)
+         ~parent:groups.(i mod ngroups)
+         Core.Hierarchy.Leaf)
+  done;
+  sample ();
+  let ns, words =
+    time_decisions ~n:decisions (fun () ->
+        let leaf = Core.Hierarchy.schedule_id h in
+        if leaf < 0 then invalid_arg "scale: no runnable leaf";
+        Core.Hierarchy.update_ns h ~leaf ~service_ns:20_000_000
+          ~leaf_runnable:true)
+  in
+  let end_words = Core.Hierarchy.footprint_words h in
+  sample ();
+  {
+    sc_name = Printf.sprintf "hierarchy-churn/N=%d" n;
+    sc_live = n;
+    sc_ns = ns;
+    sc_words = words;
+    sc_peak_words = !peak;
+    sc_end_words = end_words;
+  }
+
+let scale_rows ~qs ~hierarchy_ns ~decisions () =
+  List.concat
+    [
+      List.concat_map
+        (fun q ->
+          List.map
+            (fun mix -> sfq_scale_row ~q ~decisions mix)
+            [ `Steady; `Arrival; `Departure ])
+        qs;
+      List.map (fun n -> hierarchy_scale_row ~n ~decisions) hierarchy_ns;
+    ]
+
+let print_scale rows =
+  let t =
+    Engine.Table.create
+      [ "scale row"; "live"; "ns/decision"; "words/dec"; "peak words"; "end words" ]
+  in
+  List.iter
+    (fun r ->
+      Engine.Table.row t
+        [
+          r.sc_name;
+          string_of_int r.sc_live;
+          Printf.sprintf "%.1f" r.sc_ns;
+          Printf.sprintf "%.2f" r.sc_words;
+          string_of_int r.sc_peak_words;
+          string_of_int r.sc_end_words;
+        ])
+    rows;
+  Engine.Table.print t
+
+let run_scale () =
+  print_endline "\n==================================================================";
+  print_endline " Part 5: scale — churn mixes at Q = 10^4 / 10^5 / 10^6";
+  print_endline "==================================================================";
+  let rows =
+    scale_rows
+      ~qs:[ 10_000; 100_000; 1_000_000 ]
+      ~hierarchy_ns:[ 10_000; 100_000 ] ~decisions:scale_decisions ()
+  in
+  print_scale rows;
+  rows
+
+(* --scale-smoke: the same mixes at a toy Q with hard assertions — the
+   compaction machinery must actually fire and reclaim.  Part of
+   `make check` via the @scale-smoke alias, so a change that silently
+   stops releasing memory under departure churn fails CI rather than
+   only drifting a committed number. *)
+let run_scale_smoke () =
+  let q = 4096 in
+  let rows =
+    scale_rows ~qs:[ q ] ~hierarchy_ns:[ 2048 ] ~decisions:2_000 ()
+  in
+  print_scale rows;
+  let find name =
+    match List.find_opt (fun r -> String.equal r.sc_name name) rows with
+    | Some r -> r
+    | None -> failwith (Printf.sprintf "scale smoke: missing row %s" name)
+  in
+  let steady = find (Printf.sprintf "sfq-steady/Q=%d" q) in
+  let departure = find (Printf.sprintf "sfq-departure/Q=%d" q) in
+  List.iter
+    (fun r ->
+      if not (r.sc_ns > 0.) then
+        failwith (Printf.sprintf "scale smoke: %s timed nothing" r.sc_name);
+      if r.sc_words > 16. then
+        failwith
+          (Printf.sprintf
+             "scale smoke: %s allocates %.1f minor words/decision on the \
+              steady decision path"
+             r.sc_name r.sc_words);
+      if String.length r.sc_name >= 4 && String.equal (String.sub r.sc_name 0 4) "sfq-"
+         && r.sc_peak_words > 2 * steady.sc_end_words
+      then
+        failwith
+          (Printf.sprintf
+             "scale smoke: %s peak footprint %d words exceeds 2x the \
+              steady-state %d"
+             r.sc_name r.sc_peak_words steady.sc_end_words))
+    rows;
+  if 4 * departure.sc_end_words > 3 * steady.sc_end_words then
+    failwith
+      (Printf.sprintf
+         "scale smoke: departure-heavy footprint %d words not reclaimed \
+          (steady is %d — compaction should have released the columns)"
+         departure.sc_end_words steady.sc_end_words);
+  print_endline "scale smoke PASSED."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel run: ns/decision and minor words/decision per benchmark.   *)
 (* ------------------------------------------------------------------ *)
 
@@ -773,7 +1034,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~sweeps ~sim_speed rows =
+let write_json ~path ~sweeps ~sim_speed ~scale rows =
   let n = List.length rows in
   (* The sweeps section is a hard gate in hsfq_bench_diff (speedup < 1x
      fails the diff), so only configurations that actually beat serial
@@ -822,6 +1083,25 @@ let write_json ~path ~sweeps ~sim_speed rows =
             (if i = nspeed - 1 then "" else ","))
         sim_speed;
       Printf.fprintf oc "  },\n";
+      (* Churn-scaling rows; every field carries a "scale_" prefix so
+         hsfq_bench_diff's line parser (which matches `"key":` with the
+         leading quote) can never mistake one for a micro row. The
+         footprints are deterministic, which is what lets the diff tool
+         hard-gate them. *)
+      let nscale = List.length scale in
+      Printf.fprintf oc "  \"scale\": {\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    \"%s\": { \"scale_live\": %d, \"scale_ns_per_decision\": \
+             %.3f, \"scale_minor_words_per_decision\": %.3f, \
+             \"scale_peak_footprint_words\": %d, \
+             \"scale_end_footprint_words\": %d }%s\n"
+            (json_escape r.sc_name) r.sc_live r.sc_ns r.sc_words
+            r.sc_peak_words r.sc_end_words
+            (if i = nscale - 1 then "" else ","))
+        scale;
+      Printf.fprintf oc "  },\n";
       (* Wall-clock of the Par.sweep fan-outs; key names deliberately
          share no fields with "benchmarks" so hsfq_bench_diff's line
          parser never mistakes a sweep row for a micro-benchmark. *)
@@ -840,10 +1120,11 @@ let write_json ~path ~sweeps ~sim_speed rows =
         sweeps;
       Printf.fprintf oc "  }\n";
       Printf.fprintf oc "}\n");
-  Printf.printf "\nwrote %s (%d benchmarks, %d sim-speed rows, %d sweeps)\n" path
-    n nspeed nsweeps
+  Printf.printf
+    "\nwrote %s (%d benchmarks, %d sim-speed rows, %d scale rows, %d sweeps)\n"
+    path n nspeed (List.length scale) nsweeps
 
-let run_micro ~json_path ~sweeps ~sim_speed =
+let run_micro ~json_path ~sweeps ~sim_speed ~scale =
   print_endline "\n==================================================================";
   print_endline " Part 2: micro-benchmarks (ns and minor words per decision)";
   print_endline "==================================================================";
@@ -876,7 +1157,7 @@ let run_micro ~json_path ~sweeps ~sim_speed =
         [ name; Printf.sprintf "%.1f" est; Printf.sprintf "%.2f" w ])
     rows;
   Engine.Table.print t;
-  write_json ~path:json_path ~sweeps ~sim_speed rows
+  write_json ~path:json_path ~sweeps ~sim_speed ~scale rows
 
 (* --smoke: every micro closure must run without raising — one iteration,
    no Bechamel quota, so `make check` can afford it. *)
@@ -904,6 +1185,7 @@ let () =
   let micro_only = ref false in
   let sim_speed_smoke = ref false in
   let sim_speed_only = ref false in
+  let scale_smoke = ref false in
   let json_path = ref "BENCH_sched.json" in
   let spec =
     [
@@ -915,6 +1197,9 @@ let () =
       ( "--sim-speed-only",
         Arg.Set sim_speed_only,
         " run only the full-size sim-speed workloads (no JSON)" );
+      ( "--scale-smoke",
+        Arg.Set scale_smoke,
+        " toy-Q churn mixes with hard compaction/footprint asserts" );
       ( "--json",
         Arg.Set_string json_path,
         "PATH output path for benchmark estimates (default BENCH_sched.json)" );
@@ -922,16 +1207,22 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench/main.exe [--smoke] [--sim-speed-smoke] [--micro-only] [--json PATH]";
+    "bench/main.exe [--smoke] [--sim-speed-smoke] [--scale-smoke] \
+     [--micro-only] [--json PATH]";
   if !sim_speed_smoke then run_sim_speed_smoke ()
   else if !sim_speed_only then ignore (run_sim_speed ())
+  else if !scale_smoke then run_scale_smoke ()
   else begin
     let ok = if !micro_only then true else regenerate_figures () in
     if !smoke then run_smoke ()
     else begin
       let sweeps = if !micro_only then [] else run_sweeps () in
       let sim_speed = run_sim_speed () in
-      run_micro ~json_path:!json_path ~sweeps ~sim_speed
+      (* The scale rows ride along on --micro-only too: their footprints
+         are deterministic, so the @bench-diff fresh run can hard-gate
+         them against the committed baseline. *)
+      let scale = run_scale () in
+      run_micro ~json_path:!json_path ~sweeps ~sim_speed ~scale
     end;
     if not ok then exit 1
   end

@@ -10,7 +10,12 @@
    to be faster than serial, so a committed or fresh speedup below 1.0x
    (the historical inversion, see ROADMAP item 1), a >25% regression
    against baseline, or a sweep row that vanished from a fresh run that
-   measured sweeps at all, each fail the diff with exit 1.
+   measured sweeps at all, each fail the diff with exit 1.  The "scale"
+   section is hard-gated too: steady ns/decision growing faster than a
+   log2 slope across decades of Q, a churn mix whose peak footprint
+   exceeds 2x steady state, a departure-heavy run whose end footprint
+   compaction failed to reclaim, or a deterministic footprint that
+   drifted >25% from the committed baseline, each exit 1.
 
    The parser only understands the repo's own stable format (schema
    "hsfq-bench/1", one benchmark per line inside the "benchmarks" object)
@@ -28,6 +33,11 @@ type speed_row = { eps : float; wpe : float }
 (* A sweeps section row: measured wall-clock speedup of a parallel
    sweep over its serial run (higher is better; < 1.0 is an inversion). *)
 type sweep_row = { speedup : float; jobs : float }
+
+(* A scale section row: churn-mix decision cost and the deterministic
+   structure footprint (array lengths + bucket counts, so drift is a
+   code change, never measurement noise). *)
+type scale_row = { sns : float; speak : float; send : float }
 
 (* Extract the float following [key] on [line], if present. *)
 let field line key =
@@ -70,6 +80,7 @@ let load path =
   let rows = Hashtbl.create 32 in
   let speeds = Hashtbl.create 8 in
   let sweeps = Hashtbl.create 8 in
+  let scales = Hashtbl.create 8 in
   (try
      while true do
        let line = input_line ic in
@@ -85,6 +96,16 @@ let load path =
          | Some name -> Hashtbl.replace speeds name { eps; wpe }
          | None -> ())
        | _ -> ());
+       (match
+          ( field line "scale_ns_per_decision",
+            field line "scale_peak_footprint_words",
+            field line "scale_end_footprint_words" )
+        with
+       | Some sns, Some speak, Some send -> (
+         match name_of line with
+         | Some name -> Hashtbl.replace scales name { sns; speak; send }
+         | None -> ())
+       | _ -> ());
        match (field line "speedup", field line "jobs") with
        | Some speedup, Some jobs -> (
          match name_of line with
@@ -94,7 +115,7 @@ let load path =
      done
    with End_of_file -> ());
   close_in ic;
-  (rows, speeds, sweeps)
+  (rows, speeds, sweeps, scales)
 
 let classify ratio =
   if ratio < tolerance_lo then `Faster
@@ -109,8 +130,10 @@ let () =
       prerr_endline "usage: hsfq_bench_diff BASELINE.json FRESH.json";
       exit 2
   in
-  let baseline, baseline_speed, baseline_sweeps = load baseline_path in
-  let fresh, fresh_speed, fresh_sweeps = load fresh_path in
+  let baseline, baseline_speed, baseline_sweeps, baseline_scale =
+    load baseline_path
+  in
+  let fresh, fresh_speed, fresh_sweeps, fresh_scale = load fresh_path in
   if Hashtbl.length baseline = 0 then begin
     Printf.eprintf "no benchmark rows found in %s\n" baseline_path;
     exit 2
@@ -269,12 +292,145 @@ let () =
         end)
       fresh_sweeps
   end;
+  (* scale rows: the second hard gate. The structural claims — O(log n)
+     decision cost and O(live) retained memory under churn — are not
+     timing noise, so violations are fatal:
+
+     - steady-mix ns/decision across consecutive decades of Q must grow
+       by at most [slope_bound] (log2(10^(k+1))/log2(10^k) is ~1.25 at
+       k=4; 2.5 leaves room for cache-level effects while still
+       catching anything polynomial);
+     - every mix's peak footprint must stay within 2x of the same-Q
+       steady-state footprint (departure-heavy churn must not retain);
+     - the departure mix's end footprint must come in at <= 3/4 of
+       steady (compaction provably released the columns; without the
+       shrink path this ratio sits at ~1.0);
+     - footprints are deterministic, so a fresh/baseline end-footprint
+       ratio outside the tolerance band is a real structural change and
+       fails (refresh the baseline with [make bench] if intended);
+     - a baseline scale row missing from a fresh run that measured
+       scale at all means coverage silently shrank.
+
+     Both files are checked against the structural bounds, so a
+     committed violation fails the diff even before a fresh run. *)
+  let slope_bound = 2.5 in
+  let scale_structural label (tbl : (string, scale_row) Hashtbl.t) =
+    if Hashtbl.length tbl > 0 then begin
+      List.iter
+        (fun (lo, hi) ->
+          match (Hashtbl.find_opt tbl lo, Hashtbl.find_opt tbl hi) with
+          | Some a, Some b ->
+            if b.sns > slope_bound *. a.sns then begin
+              incr failed;
+              Printf.printf
+                "%-40s FAIL (%s: %.1f -> %.1f ns/decision across one decade, \
+                 ratio %.2f > %.2f — O(log n) slope violated)\n"
+                hi label a.sns b.sns (b.sns /. a.sns) slope_bound
+            end
+          | _ -> ())
+        [
+          ("sfq-steady/Q=10000", "sfq-steady/Q=100000");
+          ("sfq-steady/Q=100000", "sfq-steady/Q=1000000");
+          ("hierarchy-churn/N=10000", "hierarchy-churn/N=100000");
+        ];
+      List.iter
+        (fun q ->
+          match
+            Hashtbl.find_opt tbl (Printf.sprintf "sfq-steady/Q=%d" q)
+          with
+          | None -> ()
+          | Some steady ->
+            List.iter
+              (fun mix ->
+                match
+                  Hashtbl.find_opt tbl (Printf.sprintf "sfq-%s/Q=%d" mix q)
+                with
+                | Some r when r.speak > 2. *. steady.send ->
+                  incr failed;
+                  Printf.printf
+                    "%-40s FAIL (%s: peak footprint %.0f words > 2x the \
+                     steady-state %.0f)\n"
+                    (Printf.sprintf "sfq-%s/Q=%d" mix q)
+                    label r.speak steady.send
+                | _ -> ())
+              [ "steady"; "arrival"; "departure" ];
+            (match
+               Hashtbl.find_opt tbl (Printf.sprintf "sfq-departure/Q=%d" q)
+             with
+            | Some d when 4. *. d.send > 3. *. steady.send ->
+              incr failed;
+              Printf.printf
+                "%-40s FAIL (%s: departure-heavy end footprint %.0f words \
+                 not reclaimed — steady is %.0f, compaction should have \
+                 released the columns)\n"
+                (Printf.sprintf "sfq-departure/Q=%d" q)
+                label d.send steady.send
+            | _ -> ()))
+        [ 10_000; 100_000; 1_000_000 ]
+    end
+  in
+  if Hashtbl.length baseline_scale > 0 || Hashtbl.length fresh_scale > 0
+  then begin
+    let names =
+      Hashtbl.fold (fun name _ acc -> name :: acc) baseline_scale []
+      |> List.sort String.compare
+    in
+    Printf.printf "\n%-40s %10s %10s %8s  %s\n" "scale row" "base ns"
+      "fresh ns" "ratio" "verdict";
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt baseline_scale name with
+        | None -> ()
+        | Some b -> (
+          match Hashtbl.find_opt fresh_scale name with
+          | None ->
+            if Hashtbl.length fresh_scale > 0 then begin
+              incr failed;
+              Printf.printf "%-40s %10.1f %10s %8s  FAIL (missing from fresh \
+                             scale rows)\n"
+                name b.sns "-" "-"
+            end
+          | Some f ->
+            let ratio = f.sns /. b.sns in
+            let verdict =
+              match classify ratio with
+              | `Ok -> "ok"
+              | `Faster ->
+                incr drifted;
+                "FASTER (update baseline?)"
+              | `Slower ->
+                incr drifted;
+                "SLOWER"
+            in
+            Printf.printf "%-40s %10.1f %10.1f %8.2f  %s\n" name b.sns f.sns
+              ratio verdict;
+            (* Footprints are array lengths, not timings: drift here is
+               a structural change and fails the gate. *)
+            let fp_ratio = f.send /. b.send in
+            if fp_ratio < tolerance_lo || fp_ratio > tolerance_hi then begin
+              incr failed;
+              Printf.printf
+                "%-40s %10.0f %10.0f %8.2f  FAIL (end footprint drifted > \
+                 25%% — structural change; refresh the baseline if \
+                 intended)\n"
+                "" b.send f.send fp_ratio
+            end))
+      names;
+    Hashtbl.iter
+      (fun name _ ->
+        if not (Hashtbl.mem baseline_scale name) then
+          Printf.printf "%-40s %10s %10s %8s  new (not in baseline)\n" name
+            "-" "-" "-")
+      fresh_scale;
+    scale_structural "baseline" baseline_scale;
+    scale_structural "fresh" fresh_scale
+  end;
   if !drifted > 0 then
     Printf.printf
       "\n%d micro/sim-speed row(s) outside the [%.2f, %.2f] tolerance band — advisory only.\n"
       !drifted tolerance_lo tolerance_hi
   else Printf.printf "\nall micro/sim-speed rows within tolerance.\n";
   if !failed > 0 then begin
-    Printf.printf "%d sweep row(s) FAILED the higher-is-better gate.\n" !failed;
+    Printf.printf "%d sweep/scale check(s) FAILED the hard gates.\n" !failed;
     exit 1
   end

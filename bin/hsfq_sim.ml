@@ -344,12 +344,15 @@ let csv_cmd =
 
 (* Lifecycle torture: run the seeded stress driver, report, and shrink
    failing traces to a minimal reproducer. *)
-let torture_run seed seeds ops audit_period do_shrink quiet jobs backend =
+let torture_run seed seeds ops audit_period max_leaves max_spawns prepopulate
+    do_shrink quiet jobs backend =
   let module T = Hsfq_torture.Torture in
   let failures = ref 0 in
   let last = seed + Int.max 0 (seeds - 1) in
   let seed_array = Array.init (last - seed + 1) (fun i -> seed + i) in
-  let cfg = T.config ~ops ~audit_period seed in
+  let cfg =
+    T.config ~ops ~audit_period ~max_leaves ~max_spawns ~prepopulate seed
+  in
   (* The seeds run on the sweep; reporting (and any shrinking, which is
      itself seed-deterministic) happens at the join in seed order, so
      the transcript is byte-identical for every --jobs value. *)
@@ -363,7 +366,9 @@ let torture_run seed seeds ops audit_period do_shrink quiet jobs backend =
         incr failures;
         Printf.printf "seed %d: FAIL — %s\n" s (T.outcome_summary o);
         if do_shrink then begin
-          let cfg = T.config ~ops ~audit_period s in
+          let cfg =
+            T.config ~ops ~audit_period ~max_leaves ~max_spawns ~prepopulate s
+          in
           let small = T.shrink cfg o.trace in
           Printf.printf "shrunk to %d op(s) (from %d):\n%s\n"
             (List.length small) (List.length o.trace)
@@ -398,6 +403,15 @@ let torture_cmd =
   let audit_period =
     Arg.(value & opt int 1 & info [ "audit-period" ] ~docv:"P" ~doc:"Audit every P ops (1 = every op).")
   in
+  let max_leaves =
+    Arg.(value & opt int 16 & info [ "max-leaves" ] ~docv:"N" ~doc:"Cap on live leaves (rmnod frees budget for later mknod).")
+  in
+  let max_spawns =
+    Arg.(value & opt int 192 & info [ "max-spawns" ] ~docv:"N" ~doc:"Cap on threads ever spawned.")
+  in
+  let prepopulate =
+    Arg.(value & opt int 0 & info [ "prepopulate" ] ~docv:"N" ~doc:"Build N leaves at init before the op stream runs; large values (100000+) exercise giant hierarchies under churn. Must be <= --max-leaves.")
+  in
   let do_shrink =
     Arg.(value & flag & info [ "shrink" ] ~doc:"Delta-debug failing traces to a minimal reproducer.")
   in
@@ -406,8 +420,8 @@ let torture_cmd =
   in
   Cmd.v (Cmd.info "torture" ~doc)
     Term.(
-      const torture_run $ seed $ seeds $ ops $ audit_period $ do_shrink $ quiet
-      $ jobs_arg $ backend_arg)
+      const torture_run $ seed $ seeds $ ops $ audit_period $ max_leaves
+      $ max_spawns $ prepopulate $ do_shrink $ quiet $ jobs_arg $ backend_arg)
 
 let main =
   let doc =

@@ -5,8 +5,14 @@ type kind = Leaf | Internal
    node owns its SFQ directly), so the kernel entry points — [schedule],
    [update], [setrun], [sleep] — walk the tree through pointers: no
    hashing, and no allocation in steady state. The id -> node map is a
-   dense array indexed by id (ids are allocated sequentially and never
-   reused), used only where the API hands us a bare id. *)
+   dense array indexed by id, used only where the API hands us a bare
+   id.
+
+   Ids of removed nodes are recycled through a min-first pool: reuse
+   concentrates live ids low, so under sustained mknod/rmnod churn the
+   id frontier ([next_id]) decays as trailing slots free up and the
+   nodes array can actually shrink — without ever renumbering a live
+   node (ids are public; the kernel and leaf schedulers hold them). *)
 
 type node = {
   nid : id;
@@ -16,13 +22,27 @@ type node = {
   mutable weight : float;
   mutable runnable : bool;
   sfq : Sfq.t option; (* child scheduler; [Some] iff internal *)
+  mutable pslot : int;
+      (* this node's slot in the parent's SFQ (-1 for the root), cached
+         so the per-decision walks ([setrun]/[sleep]/[update]) never
+         hash an id; kept fresh across SFQ compactions by the
+         [Sfq.set_on_remap] subscription installed at node creation *)
   mutable children : id list; (* reverse creation order *)
-  by_name : (string, id) Hashtbl.t; (* [parse]/[mknod] only, never hot *)
+  mutable by_name : (string, id) Hashtbl.t option;
+      (* [Some] iff internal ([parse]/[mknod] only, never hot); leaves
+         carry no table at all — at 10^5 leaf tenants the empty
+         4-bucket tables were pure dead weight. Mutable because rmnod
+         rebuilds it smaller once occupancy drops (a Hashtbl never
+         shrinks its bucket array on remove). *)
 }
+
+(* Min-first pool of freed node ids (cold: mknod/rmnod only). *)
+type pool = { mutable heap : int array; mutable n : int }
 
 type t = {
   mutable nodes : node option array; (* slot = id; [None] after rmnod *)
   mutable next_id : id;
+  pool : pool; (* freed ids below [next_id], smallest first *)
   mutable count : int;
   fstage : float array;
       (* 1 cell: the service being charged by [update]/[update_ns].  The
@@ -62,22 +82,98 @@ let make_node ~nid ~comp ~parent ~weight kind =
     weight;
     runnable = false;
     sfq = (match kind with Internal -> Some (Sfq.create ()) | Leaf -> None);
+    pslot = -1;
     children = [];
-    by_name = Hashtbl.create 4;
+    by_name =
+      (match kind with
+      | Internal -> Some (Hashtbl.create 8)
+      | Leaf -> None);
   }
+
+let pool_push p id =
+  if p.n >= Array.length p.heap then begin
+    let cap = Int.max 16 (2 * Array.length p.heap) in
+    let nh = Array.make cap 0 in
+    Array.blit p.heap 0 nh 0 p.n;
+    p.heap <- nh
+  end;
+  let i = ref p.n in
+  p.n <- p.n + 1;
+  p.heap.(!i) <- id;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if p.heap.(parent) > p.heap.(!i) then begin
+      let tmp = p.heap.(parent) in
+      p.heap.(parent) <- p.heap.(!i);
+      p.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+(* Smallest pooled id, -1 if empty. Shrinks the backing array with the
+   usual quarter-occupancy trigger so a drained pool releases memory. *)
+let pool_pop p =
+  if p.n = 0 then -1
+  else begin
+    let top = p.heap.(0) in
+    p.n <- p.n - 1;
+    p.heap.(0) <- p.heap.(p.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < p.n && p.heap.(l) < p.heap.(!s) then s := l;
+      if r < p.n && p.heap.(r) < p.heap.(!s) then s := r;
+      if !s <> !i then begin
+        let tmp = p.heap.(!s) in
+        p.heap.(!s) <- p.heap.(!i);
+        p.heap.(!i) <- tmp;
+        i := !s
+      end
+      else continue := false
+    done;
+    let cap = Array.length p.heap in
+    if cap > 64 && 4 * p.n < cap then p.heap <- Array.sub p.heap 0 (cap / 2);
+    top
+  end
+
+(* Keep each internal node's child slots fresh: the SFQ reports every
+   live client's slot after a compaction, and clients of a hierarchy SFQ
+   are exactly the child node ids. *)
+let install_remap t n =
+  match n.sfq with
+  | None -> ()
+  | Some s ->
+    Sfq.set_on_remap s
+      (Some
+         (fun ~id ~slot ->
+           match
+             if id >= 0 && id < Array.length t.nodes then t.nodes.(id)
+             else None
+           with
+           | Some c -> c.pslot <- slot
+           | None -> ()))
 
 let create () =
   let nodes = Array.make 16 None in
   nodes.(root) <-
     Some (make_node ~nid:root ~comp:"" ~parent:None ~weight:1.0 Internal);
-  {
-    nodes;
-    next_id = 1;
-    count = 1;
-    fstage = Array.make 1 0.;
-    audit_hook = None;
-    obs = None;
-  }
+  let t =
+    {
+      nodes;
+      next_id = 1;
+      pool = { heap = [||]; n = 0 };
+      count = 1;
+      fstage = Array.make 1 0.;
+      audit_hook = None;
+      obs = None;
+    }
+  in
+  (match nodes.(root) with Some r -> install_remap t r | None -> ());
+  t
 
 let unknown id = invalid_arg (Printf.sprintf "Hierarchy: unknown node %d" id)
 
@@ -94,6 +190,12 @@ let sfq_of n =
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Hierarchy: node %d is a leaf" n.nid)
 
+let names_of n =
+  match n.by_name with
+  | Some h -> h
+  | None ->
+    invalid_arg (Printf.sprintf "Hierarchy: node %d is a leaf" n.nid)
+
 let rec pow2_above c n = if c >= n then c else pow2_above (2 * c) n
 
 let grow t needed =
@@ -104,6 +206,60 @@ let grow t needed =
     Array.blit t.nodes 0 nn 0 cap;
     t.nodes <- nn
   end
+
+(* Reuse the smallest freed id below the frontier; fall back to a fresh
+   one. Pool entries can go stale two ways — trimmed past by [rmnod]'s
+   frontier decay and then re-covered by fresh frontier allocations, so
+   a popped id is used only if its slot is actually free. *)
+let rec alloc_id t =
+  let id = pool_pop t.pool in
+  if id < 0 then begin
+    let nid = t.next_id in
+    t.next_id <- t.next_id + 1;
+    grow t nid;
+    nid
+  end
+  else if
+    id < t.next_id
+    && (match t.nodes.(id) with None -> true | Some _ -> false)
+  then id
+  else alloc_id t
+
+(* After a removal at the frontier, let [next_id] decay past every
+   trailing freed slot, then release array capacity once live ids
+   occupy under a quarter of it (2x-headroom hysteresis, same policy as
+   Sfq/Keyed_heap). Stale pool entries >= next_id are discarded lazily
+   by [alloc_id]. *)
+let trim_frontier t =
+  while
+    t.next_id > 1
+    && (match t.nodes.(t.next_id - 1) with None -> true | Some _ -> false)
+  do
+    t.next_id <- t.next_id - 1
+  done;
+  let cap = Array.length t.nodes in
+  if cap > 32 && 4 * t.next_id < cap then begin
+    let ncap = pow2_above 16 (2 * t.next_id) in
+    if ncap < cap then t.nodes <- Array.sub t.nodes 0 ncap
+  end
+
+(* Rebuild an internal node's name table once removals leave its bucket
+   array under a quarter occupied: Hashtbl.remove never returns bucket
+   memory, so a parent that once held 10^5 children would otherwise pin
+   a 10^5-bucket table forever. *)
+let reclaim_names n =
+  match n.by_name with
+  | None -> ()
+  | Some h ->
+    let s = Hashtbl.stats h in
+    if
+      s.Hashtbl.num_buckets > 32
+      && 4 * s.Hashtbl.num_bindings < s.Hashtbl.num_buckets
+    then begin
+      let nh = Hashtbl.create (Int.max 8 (2 * s.Hashtbl.num_bindings)) in
+      Hashtbl.iter (fun k v -> Hashtbl.replace nh k v) h;
+      n.by_name <- Some nh
+    end
 
 let rec rev_path n acc =
   match n.parent with None -> acc | Some p -> rev_path p (n.comp :: acc)
@@ -118,22 +274,22 @@ let mknod t ~name ~parent ~weight kind =
     match node_opt t parent with
     | None -> Error (Printf.sprintf "unknown parent %d" parent)
     | Some p when p.kind = Leaf -> Error "parent is a leaf node"
-    | Some p when Hashtbl.mem p.by_name name ->
+    | Some p when Hashtbl.mem (names_of p) name ->
       Error (Printf.sprintf "duplicate node name %S" name)
     | Some p ->
-      let nid = t.next_id in
-      t.next_id <- t.next_id + 1;
-      grow t nid;
+      let nid = alloc_id t in
       let n = make_node ~nid ~comp:name ~parent:(Some p) ~weight kind in
       t.nodes.(nid) <- Some n;
       t.count <- t.count + 1;
       p.children <- nid :: p.children;
-      Hashtbl.replace p.by_name name nid;
+      Hashtbl.replace (names_of p) name nid;
+      install_remap t n;
       (* Pre-register the child in the parent's SFQ (arrive + block) so
          weight administration works before the node first runs. *)
       let psfq = sfq_of p in
       Sfq.arrive psfq ~id:nid ~weight;
       Sfq.block psfq ~id:nid;
+      n.pslot <- Sfq.slot_of_id psfq ~id:nid;
       audited t ~node:parent ~event:"mknod";
       (match t.obs with
       | None -> ()
@@ -180,7 +336,12 @@ let parse t ?(hint = root) name =
         | [] -> Ok cur
         | comp :: rest ->
           let n = node t cur in
-          (match Hashtbl.find_opt n.by_name comp with
+          let hit =
+            match n.by_name with
+            | None -> None (* leaves have no children (and no table) *)
+            | Some h -> Hashtbl.find_opt h comp
+          in
+          (match hit with
           | Some child -> walk child rest
           | None ->
             (* Report the prefix actually walked so far, not the root. *)
@@ -200,9 +361,12 @@ let rmnod t id =
       let p = match n.parent with Some p -> p | None -> assert false in
       Sfq.depart (sfq_of p) ~id;
       p.children <- List.filter (fun c -> c <> id) p.children;
-      Hashtbl.remove p.by_name n.comp;
+      Hashtbl.remove (names_of p) n.comp;
+      reclaim_names p;
       t.nodes.(id) <- None;
       t.count <- t.count - 1;
+      pool_push t.pool id;
+      trim_frontier t;
       audited t ~node:p.nid ~event:"rmnod";
       obs_emit t ~code:Hsfq_obs.Trace.ev_rmnod ~a:p.nid ~b:id ~c:0;
       Ok ()
@@ -275,7 +439,7 @@ let rec setrun_up t n =
     | Some p ->
       let psfq = sfq_of p in
       (Sfq.stage_cell psfq).(0) <- n.weight;
-      Sfq.arrive_staged psfq ~id:n.nid;
+      Sfq.arrive_slot_staged psfq ~slot:n.pslot;
       audited t ~node:p.nid ~event:"setrun";
       obs_emit t ~code:Hsfq_obs.Trace.ev_node_setrun ~a:p.nid ~b:n.nid ~c:0;
       setrun_up t p
@@ -292,7 +456,7 @@ let rec sleep_up t n =
     | None -> ()
     | Some p ->
       let psfq = sfq_of p in
-      Sfq.block psfq ~id:n.nid;
+      Sfq.block_slot psfq ~slot:n.pslot;
       audited t ~node:p.nid ~event:"sleep";
       obs_emit t ~code:Hsfq_obs.Trace.ev_node_sleep ~a:p.nid ~b:n.nid ~c:0;
       if Sfq.backlogged psfq = 0 then sleep_up t p
@@ -332,7 +496,7 @@ let rec update_up t n runnable_child =
   | Some p ->
     let psfq = sfq_of p in
     (Sfq.stage_cell psfq).(0) <- t.fstage.(0);
-    Sfq.charge_staged psfq ~id:n.nid ~runnable:runnable_child;
+    Sfq.charge_slot_staged psfq ~slot:n.pslot ~runnable:runnable_child;
     audited t ~node:p.nid ~event:"charge";
     update_up t p (Sfq.backlogged psfq > 0)
 
@@ -367,3 +531,44 @@ let revoke t ~blocked =
     Sfq.revoke (sfq_of p) ~blocked;
     audited t ~node:p.nid ~event:"revoke";
     obs_emit t ~code:Hsfq_obs.Trace.ev_node_revoke ~a:blocked ~b:(-1) ~c:p.nid
+
+(* Bulk-construction hint: pre-size an internal node's name table so a
+   10^5-child mknod storm doesn't rehash it through a dozen doublings
+   (Hashtbl grows by copy-and-rehash of every binding). *)
+let reserve_children t id expected =
+  if expected < 0 then invalid_arg "Hierarchy.reserve_children: negative";
+  let n = node t id in
+  let h = names_of n in
+  let s = Hashtbl.stats h in
+  if expected > s.Hashtbl.num_buckets then begin
+    let nh = Hashtbl.create expected in
+    Hashtbl.iter (fun k v -> Hashtbl.replace nh k v) h;
+    n.by_name <- Some nh
+  end
+
+let capacity t = Array.length t.nodes
+
+(* Deterministic retained-words accounting (array lengths, list
+   lengths, and hashtable bucket counts — not GC sampling): the nodes
+   array and id pool, plus per live node its record, children list,
+   name-table buckets/bindings, and the child SFQ. *)
+let footprint_words t =
+  let words =
+    ref (Array.length t.nodes + Array.length t.pool.heap + 8)
+  in
+  for id = 0 to t.next_id - 1 do
+    match t.nodes.(id) with
+    | None -> ()
+    | Some n ->
+      words := !words + 16 + (3 * List.length n.children);
+      (match n.by_name with
+      | None -> ()
+      | Some h ->
+        let s = Hashtbl.stats h in
+        words :=
+          !words + s.Hashtbl.num_buckets + (4 * s.Hashtbl.num_bindings));
+      (match n.sfq with
+      | None -> ()
+      | Some s -> words := !words + Sfq.footprint_words s)
+  done;
+  !words

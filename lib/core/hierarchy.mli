@@ -47,6 +47,12 @@ val set_weight : t -> id -> float -> unit
 (** Change a node's share of its parent ([hsfq_admin]). Takes effect from
     the node's next quantum. *)
 
+val reserve_children : t -> id -> int -> unit
+(** [reserve_children t id n] pre-sizes the internal node's name table
+    for [n] children, so bulk construction (config parse, giant torture
+    structures, scale benches) doesn't rehash it through a dozen
+    doublings. Never shrinks; raises [Invalid_argument] on leaves. *)
+
 val weight : t -> id -> float
 
 (** {1 Introspection} *)
@@ -64,6 +70,19 @@ val depth : t -> id -> int
 
 val node_count : t -> int
 val is_runnable : t -> id -> bool
+
+val capacity : t -> int
+(** Current node-array capacity in slots. Removed ids are recycled
+    lowest-first and the array shrinks once live ids occupy under a
+    quarter of it, so capacity tracks the live node count (to within
+    the 2x hysteresis headroom) under sustained mknod/rmnod churn. *)
+
+val footprint_words : t -> int
+(** Approximate retained heap words of the whole structure — node
+    array, id pool, per-node records, name tables, and every internal
+    node's SFQ ({!Sfq.footprint_words}). Deterministic (array lengths
+    and bucket counts, not GC sampling), for the scale benches'
+    footprint gate. *)
 
 val virtual_time_of : t -> id -> float
 (** Virtual time of an internal node's SFQ (diagnostics/tests). *)

@@ -2,23 +2,32 @@ open Hsfq_sched
 
 let algorithm_name = "sfq"
 
-(* Client state lives in a dense table of parallel arrays indexed by the
-   client id, not in a hashtable of records: a scheduling decision
-   (select + charge) then touches only flat float/int/byte arrays — no
-   hashing, and no allocation, because float-array writes store unboxed
-   (a [mutable float] field in a mixed record would box on every write).
+(* Client state lives in a dense table of parallel arrays, so a
+   scheduling decision (select + charge) touches only flat
+   float/int/byte arrays — no hashing, and no allocation, because
+   float-array writes store unboxed (a [mutable float] field in a mixed
+   record would box on every write).
 
-   Ids are expected to be small non-negative integers (thread ids and
-   hierarchy node ids are allocated densely by their owners); the table
-   grows by doubling to cover the largest id seen. *)
+   The table is indexed by *slot*, not by the caller's client id: slots
+   are allocated from a free list on arrive and recycled on depart, and
+   when live clients fall below a quarter of capacity the columns are
+   packed and halved (see [compact]). That keeps retained memory O(live
+   clients) under sustained arrive/depart churn and frees the caller to
+   use arbitrary non-negative ids (they no longer size the table). The
+   id -> slot map is a hashtable touched only by the id-keyed entry
+   points; slot-keyed twins ([arrive_slot_staged], [block_slot],
+   [charge_slot_staged]) let callers that cache their slot — the
+   hierarchy caches one per child node — keep every transition
+   hash-free. Owners that hold slots across operations subscribe to
+   compaction moves with [set_on_remap]. *)
 
 (* Per-client lifecycle, one byte per client. *)
 let st_absent = '\000'
 let st_blocked = '\001'
 let st_runnable = '\002'
 
-(* Growing to cover an id costs O(id) words, so an absurd id would be a
-   memory bomb; 2^22 clients is far beyond any simulated workload. *)
+(* Bounds *live* clients (slots), not ids: 2^22 concurrent clients is
+   far beyond any simulated workload, and ids no longer size anything. *)
 let max_clients = 1 lsl 22
 
 (* Stdlib.Float.max handles NaN and, being a cross-module call, boxes
@@ -28,14 +37,22 @@ let max_clients = 1 lsl 22
 let[@inline always] fmax (a : float) (b : float) = if a < b then b else a
 
 type t = {
-  mutable cap : int; (* length of every per-client array *)
+  mutable cap : int; (* length of every per-slot array *)
   mutable weightv : float array; (* administered weight *)
   mutable donatedv : float array; (* extra weight received via [donate] *)
   mutable startv : float array; (* start tag of the pending quantum *)
   mutable finishv : float array; (* finish tag of the last quantum *)
   mutable statev : Bytes.t; (* st_absent / st_blocked / st_runnable *)
   mutable genv : int array; (* generation of the queued heap entry *)
-  queue : Keyed_heap.t; (* runnable clients keyed by start tag *)
+  mutable idv : int array; (* slot -> client id; -1 = free slot *)
+  mutable slot_of : (int, int) Hashtbl.t;
+      (* id -> slot; rebuilt at compaction (a Hashtbl never shrinks its
+         bucket array on remove) and sized to occupancy *)
+  mutable top : int; (* slots [0, top) are allocated or on the free list *)
+  mutable freev : int array; (* stack of free slots below [top] *)
+  mutable nfree : int;
+  mutable nlive : int; (* known clients: runnable + blocked *)
+  queue : Keyed_heap.t; (* runnable slots keyed by start tag *)
   kstage : float array;
       (* the queue's staging cell: enqueue writes the key here and calls
          [push_staged] — passing the key as a float argument would box
@@ -49,11 +66,14 @@ type t = {
          here by the caller (an unboxed float-array store) instead of
          being passed as a boxing float argument *)
   donations : (int, int * float) Hashtbl.t;
-      (* blocked -> (recipient, amount); cold path only (donate / revoke /
+      (* blocked -> (recipient, amount), keyed by client *ids* so
+         compaction never touches it; cold path only (donate / revoke /
          depart), never touched by a scheduling decision *)
   clock : clock;
   mutable nrun : int;
-  mutable in_service : int; (* -1 = none *)
+  mutable in_service : int; (* slot; -1 = none *)
+  mutable on_remap : (id:int -> slot:int -> unit) option;
+      (* compaction notification for callers caching slots *)
   mutable obs : Hsfq_obs.Trace.sys option;
       (* tracepoint sink; [None] keeps every decision at a single extra
          match branch *)
@@ -69,11 +89,11 @@ type t = {
       (* the tracer's metrics staging cells (Metrics.stage_cell), cached
          so charge samples cross the unit boundary without boxing *)
   mutable next_gen : int;
-      (* global generation counter for heap entries: per-client counters
-         would restart at 0 when a departed id re-arrives, making the
-         reincarnation's entries collide with stale ones still queued
-         under the same id (select would then pop an obsolete start tag
-         and drag v(t) backwards) *)
+      (* global generation counter for heap entries: per-slot counters
+         would restart at 0 when a freed slot is reused, making the new
+         occupant's entries collide with stale ones still queued under
+         the same slot (select would then pop an obsolete start tag and
+         drag v(t) backwards) *)
 }
 
 (* All-float record: flat representation, so [vt <- ...] writes unboxed. *)
@@ -90,6 +110,12 @@ let create ?rng:_ ?quantum_hint:_ () =
       finishv = [||];
       statev = Bytes.empty;
       genv = [||];
+      idv = [||];
+      slot_of = Hashtbl.create 16;
+      top = 0;
+      freev = [||];
+      nfree = 0;
+      nlive = 0;
       queue;
       kstage = Keyed_heap.stage_cell queue;
       klast = Keyed_heap.last_key_cell queue;
@@ -98,6 +124,7 @@ let create ?rng:_ ?quantum_hint:_ () =
       clock = { vt = 0.; max_finish = 0. };
       nrun = 0;
       in_service = -1;
+      on_remap = None;
       obs = None;
       obs_on = ref false;
       obs_node = -1;
@@ -107,8 +134,11 @@ let create ?rng:_ ?quantum_hint:_ () =
     }
   in
   (* One closure for the heap's compaction/pop validity checks, built
-     once: a queued entry is live iff its client is still runnable under
-     the same generation. *)
+     once: a queued entry is live iff its slot still holds a runnable
+     client under the same generation. Compaction-remapped entries keep
+     their gen (the column moves with them); entries left pointing at a
+     freed or reused slot fail the gen check because generations are
+     globally unique. *)
   Keyed_heap.set_validator t.queue (fun ~id ~gen ->
       id < t.cap
       && Char.equal (Bytes.get t.statev id) st_runnable
@@ -125,21 +155,36 @@ let set_obs t sys ~node =
     t.obs_on <- Hsfq_obs.Trace.on_cell s
   | None -> t.obs_on <- ref false
 
+let set_on_remap t f = t.on_remap <- f
 let stage_cell t = t.fstage
 
+(* id -> slot, -1 if unknown. [Hashtbl.find] on an int key neither
+   hashes through a closure nor allocates on a hit (unlike [find_opt]'s
+   [Some] box); it is constant-time, but listed "cold" for the typed
+   lint because Hashtbl.* is a banned prefix on hot paths — the
+   slot-keyed entry points below exist precisely so per-decision callers
+   never reach it. *)
+let slot_lookup t id =
+  match Hashtbl.find t.slot_of id with s -> s | exception Not_found -> -1
+
+let slot_of_id t ~id = if id < 0 then -1 else slot_lookup t id
+let id_of_slot t ~slot = if slot >= 0 && slot < t.cap then t.idv.(slot) else -1
+
 let state t id =
-  if id >= 0 && id < t.cap then Bytes.get t.statev id else st_absent
+  let s = slot_of_id t ~id in
+  if s < 0 then st_absent else Bytes.get t.statev s
 
 let known t id = not (Char.equal (state t id) st_absent)
 
-let check_known t id =
-  if not (known t id) then
-    invalid_arg (Printf.sprintf "Sfq: unknown client %d" id)
+let slot_checked t id =
+  let s = slot_of_id t ~id in
+  if s < 0 then invalid_arg (Printf.sprintf "Sfq: unknown client %d" id);
+  s
 
 let rec pow2_above c n = if c >= n then c else pow2_above (2 * c) n
 
-let grow t id =
-  let ncap = pow2_above (Int.max 16 (2 * t.cap)) (id + 1) in
+let grow t slot =
+  let ncap = pow2_above (Int.max 16 (2 * t.cap)) (slot + 1) in
   let nw = Array.make ncap 0. in
   Array.blit t.weightv 0 nw 0 t.cap;
   t.weightv <- nw;
@@ -158,57 +203,164 @@ let grow t id =
   let ng = Array.make ncap 0 in
   Array.blit t.genv 0 ng 0 t.cap;
   t.genv <- ng;
+  let ni = Array.make ncap (-1) in
+  Array.blit t.idv 0 ni 0 t.cap;
+  t.idv <- ni;
   t.cap <- ncap
 
-let[@inline always] effective_weight t id = t.weightv.(id) +. t.donatedv.(id)
+let[@inline always] effective_weight t slot =
+  t.weightv.(slot) +. t.donatedv.(slot)
 
 let fresh_gen t =
   let g = t.next_gen in
   t.next_gen <- t.next_gen + 1;
   g
 
-let enqueue t id =
+let enqueue t slot =
   let g = fresh_gen t in
-  t.genv.(id) <- g;
-  t.kstage.(0) <- t.startv.(id);
-  Keyed_heap.push_staged t.queue ~gen:g ~id
+  t.genv.(slot) <- g;
+  t.kstage.(0) <- t.startv.(slot);
+  Keyed_heap.push_staged t.queue ~gen:g ~id:slot
 
 (* Idle transition: "when the CPU is idle, v(t) is set to the maximum of
    finish tags assigned to any thread" (§3, rule 2). *)
 let note_idle t =
   if t.nrun = 0 then t.clock.vt <- fmax t.clock.vt t.clock.max_finish
 
+let free_slot t slot =
+  if t.nfree >= Array.length t.freev then begin
+    let n = Int.max 16 (2 * Array.length t.freev) in
+    let nf = Array.make n 0 in
+    Array.blit t.freev 0 nf 0 t.nfree;
+    t.freev <- nf
+  end;
+  t.freev.(t.nfree) <- slot;
+  t.nfree <- t.nfree + 1
+
+(* Occupancy-triggered compaction, from [depart]: pack live slots to the
+   front (order-preserving), halve the columns down to 2x headroom, and
+   tell everyone holding a slot where it went — queued heap entries via
+   [Keyed_heap.remap_ids] (keys/seqs untouched, so dispatch order and
+   FIFO tie-breaks are byte-identical), the caller via [on_remap]. The
+   2x gap between the trigger (live < cap/4) and post-compaction
+   occupancy (live = ncap/2) gives the same no-thrash hysteresis as the
+   keyed heap's release. O(cap), amortized O(1) per depart. *)
+let compact t =
+  let old_top = t.top in
+  let map = Array.make (Int.max 1 old_top) (-1) in
+  let j = ref 0 in
+  for s = 0 to old_top - 1 do
+    if t.idv.(s) >= 0 then begin
+      let d = !j in
+      map.(s) <- d;
+      if d <> s then begin
+        t.weightv.(d) <- t.weightv.(s);
+        t.donatedv.(d) <- t.donatedv.(s);
+        t.startv.(d) <- t.startv.(s);
+        t.finishv.(d) <- t.finishv.(s);
+        Bytes.set t.statev d (Bytes.get t.statev s);
+        t.genv.(d) <- t.genv.(s);
+        t.idv.(d) <- t.idv.(s)
+      end;
+      incr j
+    end
+  done;
+  let live = !j in
+  for s = live to old_top - 1 do
+    t.idv.(s) <- -1;
+    Bytes.set t.statev s st_absent
+  done;
+  t.top <- live;
+  t.nfree <- 0;
+  let ncap = pow2_above 16 (2 * live) in
+  if ncap < t.cap then begin
+    t.weightv <- Array.sub t.weightv 0 ncap;
+    t.donatedv <- Array.sub t.donatedv 0 ncap;
+    t.startv <- Array.sub t.startv 0 ncap;
+    t.finishv <- Array.sub t.finishv 0 ncap;
+    t.statev <- Bytes.sub t.statev 0 ncap;
+    t.genv <- Array.sub t.genv 0 ncap;
+    t.idv <- Array.sub t.idv 0 ncap;
+    if Array.length t.freev > ncap then t.freev <- [||];
+    t.cap <- ncap
+  end;
+  let m = Hashtbl.create (Int.max 16 live) in
+  for s = 0 to live - 1 do
+    Hashtbl.replace m t.idv.(s) s
+  done;
+  t.slot_of <- m;
+  if t.in_service >= 0 then t.in_service <- map.(t.in_service);
+  Keyed_heap.remap_ids t.queue map;
+  match t.on_remap with
+  | None -> ()
+  | Some f ->
+    for s = 0 to live - 1 do
+      f ~id:t.idv.(s) ~slot:s
+    done
+
+let maybe_compact t = if t.cap > 64 && 4 * t.nlive < t.cap then compact t
+
+(* First arrival of an unknown id: allocate a slot (recycling the free
+   list before extending the high-water mark) and seed the client's
+   tags. Reads the weight from [fstage] like its caller — a float
+   argument would box under -opaque. Out-of-line: once per client
+   lifetime, keeping [arrive_staged]'s hot body hash- and alloc-free. *)
+let register t ~id =
+  if t.nlive >= max_clients then
+    invalid_arg
+      (Printf.sprintf "Sfq.arrive: %d live clients exceeds the table limit"
+         t.nlive);
+  let slot =
+    if t.nfree > 0 then begin
+      t.nfree <- t.nfree - 1;
+      t.freev.(t.nfree)
+    end
+    else begin
+      let s = t.top in
+      if s >= t.cap then grow t s;
+      t.top <- t.top + 1;
+      s
+    end
+  in
+  t.idv.(slot) <- id;
+  Hashtbl.replace t.slot_of id slot;
+  t.nlive <- t.nlive + 1;
+  t.weightv.(slot) <- t.fstage.(0);
+  t.donatedv.(slot) <- 0.;
+  (* F_0 = 0, so S_1 = max(v(t), 0) — rule 1 with j = 1. *)
+  t.startv.(slot) <- fmax t.clock.vt 0.;
+  t.finishv.(slot) <- 0.;
+  Bytes.set t.statev slot st_runnable;
+  t.nrun <- t.nrun + 1;
+  enqueue t slot
+
+(* Shared blocked -> runnable transition (rule 1: S = max(v, F)). *)
+let rewake t slot weight =
+  (* A blocked client may return with a different share (e.g. its class
+     weight was re-administered while it slept): the new weight governs
+     the quantum it is about to request. *)
+  t.weightv.(slot) <- weight;
+  t.startv.(slot) <- fmax t.clock.vt t.finishv.(slot);
+  Bytes.set t.statev slot st_runnable;
+  t.nrun <- t.nrun + 1;
+  enqueue t slot
+
 let arrive_staged t ~id =
   let weight = t.fstage.(0) in
   if weight <= 0. then invalid_arg "Sfq.arrive: weight <= 0";
   if id < 0 then invalid_arg "Sfq.arrive: negative client id";
-  if id >= max_clients then
-    invalid_arg
-      (Printf.sprintf "Sfq.arrive: client id %d exceeds the dense-table limit"
-         id);
-  if id >= t.cap then grow t id;
-  let st = Bytes.get t.statev id in
-  if Char.equal st st_absent then begin
-    t.weightv.(id) <- weight;
-    t.donatedv.(id) <- 0.;
-    (* F_0 = 0, so S_1 = max(v(t), 0) — rule 1 with j = 1. *)
-    t.startv.(id) <- fmax t.clock.vt 0.;
-    t.finishv.(id) <- 0.;
-    Bytes.set t.statev id st_runnable;
-    t.nrun <- t.nrun + 1;
-    enqueue t id
-  end
-  else if Char.equal st st_blocked then begin
-    (* A blocked client may return with a different share (e.g. its
-       class weight was re-administered while it slept): the new weight
-       governs the quantum it is about to request. *)
-    t.weightv.(id) <- weight;
-    t.startv.(id) <- fmax t.clock.vt t.finishv.(id);
-    Bytes.set t.statev id st_runnable;
-    t.nrun <- t.nrun + 1;
-    enqueue t id
-  end
+  let slot = slot_lookup t id in
+  if slot < 0 then register t ~id
+  else if Char.equal (Bytes.get t.statev slot) st_blocked then
+    rewake t slot weight
 (* already runnable: idempotent, the weight argument is ignored *)
+
+let arrive_slot_staged t ~slot =
+  if slot < 0 || slot >= t.cap || t.idv.(slot) < 0 then
+    invalid_arg "Sfq.arrive_slot_staged: no client at slot";
+  let weight = t.fstage.(0) in
+  if weight <= 0. then invalid_arg "Sfq.arrive: weight <= 0";
+  if Char.equal (Bytes.get t.statev slot) st_blocked then rewake t slot weight
 
 let arrive t ~id ~weight =
   t.fstage.(0) <- weight;
@@ -218,20 +370,21 @@ let revoke t ~blocked =
   match Hashtbl.find_opt t.donations blocked with
   | None -> ()
   | Some (recipient, amount) ->
-    if known t recipient then
-      t.donatedv.(recipient) <- t.donatedv.(recipient) -. amount;
+    let rslot = slot_of_id t ~id:recipient in
+    if rslot >= 0 then t.donatedv.(rslot) <- t.donatedv.(rslot) -. amount;
     Hashtbl.remove t.donations blocked
 
 let depart t ~id =
-  if known t id then begin
-    if t.in_service = id then invalid_arg "Sfq.depart: client in service";
-    if Char.equal (Bytes.get t.statev id) st_runnable then begin
+  let slot = slot_of_id t ~id in
+  if slot >= 0 then begin
+    if t.in_service = slot then invalid_arg "Sfq.depart: client in service";
+    if Char.equal (Bytes.get t.statev slot) st_runnable then begin
       t.nrun <- t.nrun - 1;
       (* A runnable, not-in-service client has exactly one queued heap
          entry; it just went stale. *)
       Keyed_heap.invalidate t.queue
     end;
-    t.genv.(id) <- fresh_gen t;
+    t.genv.(slot) <- fresh_gen t;
     (* Weight conservation: give back any weight this client donated, and
        drop donations aimed at it (their blockers re-donate on the next
        ownership change, see Kernel.unlock_mutex). *)
@@ -240,54 +393,60 @@ let depart t ~id =
       (fun b (r, _) acc -> if r = id then b :: acc else acc)
       t.donations []
     |> List.iter (fun b -> revoke t ~blocked:b);
-    Bytes.set t.statev id st_absent;
-    note_idle t
+    Bytes.set t.statev slot st_absent;
+    t.idv.(slot) <- -1;
+    Hashtbl.remove t.slot_of id;
+    free_slot t slot;
+    t.nlive <- t.nlive - 1;
+    note_idle t;
+    maybe_compact t
   end
 
 let set_weight t ~id ~weight =
   if weight <= 0. then invalid_arg "Sfq.set_weight: weight <= 0";
-  check_known t id;
-  t.weightv.(id) <- weight
+  let slot = slot_checked t id in
+  t.weightv.(slot) <- weight
 
 let select_id t =
   if t.in_service >= 0 then
     invalid_arg "Sfq.select: previous selection not yet charged";
-  let id = Keyed_heap.pop_valid t.queue in
-  if id >= 0 then begin
-    t.in_service <- id;
+  let slot = Keyed_heap.pop_valid t.queue in
+  if slot < 0 then -1
+  else begin
+    t.in_service <- slot;
     (* Rule 2: while busy, v(t) is the start tag of the quantum in
        service. *)
     t.clock.vt <- t.klast.(0);
-    if !(t.obs_on) then begin
-      match t.obs with
-      | None -> ()
-      | Some s ->
-        t.obs_stage.(0) <- t.clock.vt;
-        t.obs_stage.(1) <- 0.;
-        Hsfq_obs.Trace.emitf s ~code:Hsfq_obs.Trace.ev_pick ~a:t.obs_node
-          ~b:id ~c:0 ~d:0
-    end
-  end;
-  id
+    let id = t.idv.(slot) in
+    (if !(t.obs_on) then
+       match t.obs with
+       | None -> ()
+       | Some s ->
+         t.obs_stage.(0) <- t.clock.vt;
+         t.obs_stage.(1) <- 0.;
+         Hsfq_obs.Trace.emitf s ~code:Hsfq_obs.Trace.ev_pick ~a:t.obs_node
+           ~b:id ~c:0 ~d:0);
+    id
+  end
 
 let select t =
   let id = select_id t in
   if id < 0 then None else Some id
 
-let charge_staged t ~id ~runnable =
+(* Hot charge body, on the in-service slot (validated by the caller). *)
+let do_charge t ~slot ~runnable =
   let service = t.fstage.(0) in
-  if id < 0 || t.in_service <> id then
-    invalid_arg "Sfq.charge: client not in service";
   if service < 0. then invalid_arg "Sfq.charge: negative service";
   t.in_service <- -1;
-  let ew = effective_weight t id in
-  let finish = t.startv.(id) +. (service /. ew) in
-  t.finishv.(id) <- finish;
+  let ew = effective_weight t slot in
+  let finish = t.startv.(slot) +. (service /. ew) in
+  t.finishv.(slot) <- finish;
   if finish > t.clock.max_finish then t.clock.max_finish <- finish;
   (if !(t.obs_on) then
      match t.obs with
      | None -> ()
      | Some s ->
+       let id = t.idv.(slot) in
        t.obs_stage.(0) <- service;
        t.obs_stage.(1) <- finish;
        Hsfq_obs.Trace.emitf s ~code:Hsfq_obs.Trace.ev_tag_update ~a:t.obs_node
@@ -302,32 +461,47 @@ let charge_staged t ~id ~runnable =
        Hsfq_obs.Metrics.charge_sample_staged (Hsfq_obs.Trace.metrics s)
          ~node:id);
   if runnable then begin
-    t.startv.(id) <- fmax t.clock.vt finish;
-    enqueue t id
+    t.startv.(slot) <- fmax t.clock.vt finish;
+    enqueue t slot
   end
   else begin
-    Bytes.set t.statev id st_blocked;
-    t.genv.(id) <- fresh_gen t;
+    Bytes.set t.statev slot st_blocked;
+    t.genv.(slot) <- fresh_gen t;
     t.nrun <- t.nrun - 1;
     note_idle t
   end
+
+let charge_staged t ~id ~runnable =
+  let slot = t.in_service in
+  (* The in-service slot knows its id, so the id-keyed charge needs no
+     hash lookup. *)
+  if slot < 0 || id < 0 || t.idv.(slot) <> id then
+    invalid_arg "Sfq.charge: client not in service";
+  do_charge t ~slot ~runnable
+
+let charge_slot_staged t ~slot ~runnable =
+  if slot < 0 || t.in_service <> slot then
+    invalid_arg "Sfq.charge: client not in service";
+  do_charge t ~slot ~runnable
 
 let charge t ~id ~service ~runnable =
   t.fstage.(0) <- service;
   charge_staged t ~id ~runnable
 
-let block t ~id =
-  if known t id then begin
-    if t.in_service = id then
+let block_slot t ~slot =
+  if slot >= 0 && slot < t.cap && t.idv.(slot) >= 0 then begin
+    if t.in_service = slot then
       invalid_arg "Sfq.block: client in service (use charge ~runnable:false)";
-    if Char.equal (Bytes.get t.statev id) st_runnable then begin
-      Bytes.set t.statev id st_blocked;
-      t.genv.(id) <- fresh_gen t;
+    if Char.equal (Bytes.get t.statev slot) st_runnable then begin
+      Bytes.set t.statev slot st_blocked;
+      t.genv.(slot) <- fresh_gen t;
       t.nrun <- t.nrun - 1;
       Keyed_heap.invalidate t.queue;
       note_idle t
     end
   end
+
+let block t ~id = block_slot t ~slot:(slot_of_id t ~id)
 
 (* No re-key of an already-queued recipient is needed: the ready queue is
    ordered by start tags, and a start tag never depends on the weight —
@@ -338,26 +512,26 @@ let block t ~id =
    times. *)
 let donate t ~blocked ~recipient =
   if blocked = recipient then invalid_arg "Sfq.donate: self-donation";
-  check_known t blocked;
-  check_known t recipient;
+  let bslot = slot_checked t blocked in
+  let rslot = slot_checked t recipient in
   revoke t ~blocked;
-  let amount = t.weightv.(blocked) in
-  t.donatedv.(recipient) <- t.donatedv.(recipient) +. amount;
+  let amount = t.weightv.(bslot) in
+  t.donatedv.(rslot) <- t.donatedv.(rslot) +. amount;
   Hashtbl.replace t.donations blocked (recipient, amount)
 
 let mem t ~id = known t id
 
 let start_tag t ~id =
-  check_known t id;
-  t.startv.(id)
+  let slot = slot_checked t id in
+  t.startv.(slot)
 
 let finish_tag t ~id =
-  check_known t id;
-  t.finishv.(id)
+  let slot = slot_checked t id in
+  t.finishv.(slot)
 
 let is_runnable t ~id =
-  check_known t id;
-  Char.equal (Bytes.get t.statev id) st_runnable
+  let slot = slot_checked t id in
+  Char.equal (Bytes.get t.statev slot) st_runnable
 
 let backlogged t = t.nrun
 let virtual_time t = t.clock.vt
@@ -366,23 +540,38 @@ let virtual_time t = t.clock.vt
 
 let clients t =
   let acc = ref [] in
-  for id = t.cap - 1 downto 0 do
-    if known t id then acc := id :: !acc
+  for s = t.top - 1 downto 0 do
+    if t.idv.(s) >= 0 then acc := t.idv.(s) :: !acc
   done;
-  !acc
+  List.sort Int.compare !acc
 
 let weight t ~id =
-  check_known t id;
-  t.weightv.(id)
+  let slot = slot_checked t id in
+  t.weightv.(slot)
 
 let effective_weight_of t ~id =
-  check_known t id;
-  effective_weight t id
+  let slot = slot_checked t id in
+  effective_weight t slot
 
-let in_service t = if t.in_service < 0 then None else Some t.in_service
+let in_service t = if t.in_service < 0 then None else Some t.idv.(t.in_service)
 let max_finish_tag t = t.clock.max_finish
 
 let donations t =
   Hashtbl.fold
     (fun blocked (recipient, amount) acc -> (blocked, recipient, amount) :: acc)
     t.donations []
+
+let capacity t = t.cap
+let live_clients t = t.nlive
+
+(* Deterministic retained-words accounting (array lengths and bucket
+   counts, not GC sampling): 4 float + 2 int columns, the state bytes,
+   the free stack, the id map, and the ready queue. *)
+let footprint_words t =
+  let stats = Hashtbl.stats t.slot_of in
+  (6 * t.cap)
+  + ((t.cap + 7) / 8)
+  + Array.length t.freev
+  + stats.Hashtbl.num_buckets
+  + (3 * stats.Hashtbl.num_bindings)
+  + Keyed_heap.footprint_words t.queue

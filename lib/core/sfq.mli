@@ -27,12 +27,16 @@ include Hsfq_sched.Scheduler_intf.FAIR
     already-runnable client ignores the argument. [weight <= 0] is
     rejected in every case.
 
-    Client state lives in a dense flat table indexed by id, so a
-    scheduling decision performs no hashing and no allocation. Ids must
-    be small non-negative integers (they are everywhere in this
-    repository: thread ids and hierarchy node ids are allocated densely);
-    [arrive] rejects negative ids and ids beyond the dense-table limit
-    (2^22). *)
+    Client state lives in a dense flat table indexed by *slot* (ids are
+    mapped to slots on arrival), so a scheduling decision performs no
+    hashing and no allocation. Ids may be arbitrary non-negative
+    integers — they no longer size the table; the number of {e live}
+    clients is bounded at 2^22. Slots are recycled on [depart], and when
+    live clients fall below a quarter of the table capacity the columns
+    are packed and released, so retained memory stays O(live clients)
+    under sustained arrive/depart churn. Callers that cache slots (see
+    {!slot_of_id}) must subscribe to {!set_on_remap} to follow
+    compaction moves. *)
 
 val set_obs : t -> Hsfq_obs.Trace.sys option -> node:int -> unit
 (** Attach (or detach) a tracepoint sink. [node] is the hierarchy node
@@ -58,7 +62,41 @@ val arrive_staged : t -> id:int -> unit
 (** [arrive] with the weight read from {!stage_cell}. *)
 
 val charge_staged : t -> id:int -> runnable:bool -> unit
-(** [charge] with the service read from {!stage_cell}. *)
+(** [charge] with the service read from {!stage_cell}. The id-keyed
+    charge needs no hash lookup (the in-service slot knows its id). *)
+
+(** {1 Slot-keyed entry points}
+
+    [arrive]/[block]/[charge] by id pay one hashtable lookup to find the
+    client's slot (allocation-free, but a hash nonetheless). Callers on
+    a per-decision path — the hierarchy caches one slot per child node —
+    look the slot up once ({!slot_of_id}), keep it fresh across
+    compactions via {!set_on_remap}, and use these twins to make every
+    transition hash-free. *)
+
+val slot_of_id : t -> id:int -> int
+(** The client's current slot, or [-1] if unknown. Valid until the next
+    compaction (subscribe with {!set_on_remap}) or [depart]. *)
+
+val id_of_slot : t -> slot:int -> int
+(** Inverse of {!slot_of_id} ([-1] for a free or out-of-range slot). *)
+
+val set_on_remap : t -> (id:int -> slot:int -> unit) option -> unit
+(** Install a callback invoked once per live client after each
+    compaction, reporting the client's (possibly unchanged) slot. Cold
+    path — compaction is amortized O(1) per depart. *)
+
+val arrive_slot_staged : t -> slot:int -> unit
+(** {!arrive_staged} for a known client by slot (wake-from-blocked or
+    idempotent-runnable; raises if the slot is free — registration of a
+    new id must go through [arrive]). *)
+
+val block_slot : t -> slot:int -> unit
+(** {!block} by slot (no-op on a free slot or an already-blocked
+    client). *)
+
+val charge_slot_staged : t -> slot:int -> runnable:bool -> unit
+(** {!charge_staged} by slot. *)
 
 val block : t -> id:int -> unit
 (** Remove a client from the ready set without forgetting it; its finish
@@ -114,3 +152,15 @@ val max_finish_tag : t -> float
 
 val donations : t -> (int * int * float) list
 (** Outstanding donations as [(blocked, recipient, amount)] triples. *)
+
+val capacity : t -> int
+(** Current per-client table capacity in slots (shrink-under-churn
+    tests and footprint accounting). *)
+
+val live_clients : t -> int
+(** Known clients (runnable + blocked). *)
+
+val footprint_words : t -> int
+(** Approximate retained heap words of the client table, id map, and
+    ready queue — deterministic (array lengths and hashtable bucket
+    counts, not GC sampling), for the scale benches' footprint gate. *)

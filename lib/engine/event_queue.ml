@@ -70,17 +70,32 @@ let create () =
     nfree = 0;
   }
 
+(* The retained arena is capped at twice the in-heap entry count (floor
+   1024): steady-state churn still recycles every handle, but a queue
+   that once held 10^6 in-flight events stops pinning 10^6 dead records
+   once it drains — the excess goes to the GC instead of the free list.
+   The floor matches the array-shrink floor and exists for the same
+   reason: a cap of [2 * size] alone follows a draining queue all the
+   way down, so a queue that oscillates between empty and a few hundred
+   in-flight events (the churn micro-benchmark's shape) would discard
+   most of its parked records every drain and reallocate them every
+   refill. A thousand parked 4-word records is a few KB — not worth
+   reclaiming. *)
+let free_limit t = Int.max 1024 (2 * t.size)
+
 (* Park a dead (cancelled or fired) handle for reuse, once its heap slot
    is gone. *)
 let recycle t h =
-  let cap = Array.length t.free in
-  if t.nfree >= cap then begin
-    let nf = Array.make (if cap = 0 then 16 else cap * 2) dummy_handle in
-    Array.blit t.free 0 nf 0 t.nfree;
-    t.free <- nf
-  end;
-  t.free.(t.nfree) <- h;
-  t.nfree <- t.nfree + 1
+  if t.nfree < free_limit t then begin
+    let cap = Array.length t.free in
+    if t.nfree >= cap then begin
+      let nf = Array.make (if cap = 0 then 16 else cap * 2) dummy_handle in
+      Array.blit t.free 0 nf 0 t.nfree;
+      t.free <- nf
+    end;
+    t.free.(t.nfree) <- h;
+    t.nfree <- t.nfree + 1
+  end
 
 (* Cold path of [alloc_handle]: a fresh record with a fresh identity.
    Kept out of line so the hot path is the free-list pop. *)
@@ -173,6 +188,43 @@ let grow t =
     t.handles <- nh
   end
 
+let rec pow2_above c n = if c >= n then c else pow2_above (2 * c) n
+
+(* Capacity release on the drain paths, same policy as [Keyed_heap]:
+   once occupancy falls below a quarter of capacity, shrink to a power
+   of two leaving 2x headroom. The free arena is trimmed to [free_limit]
+   first, so retained memory follows the live event count down. The
+   guard is a handful of loads and compares; the O(n) copies are
+   amortized O(1) per operation by the trigger/post-shrink hysteresis
+   gap. As in [Keyed_heap], capacity under 1024 slots is never
+   released: hysteresis cannot protect a queue that oscillates between
+   empty and a few hundred in-flight events every cycle (the churn
+   micro-benchmark's shape), and arrays that small don't pin memory
+   worth reclaiming. *)
+let shrink_if_sparse t =
+  let cap = Array.length t.times in
+  if cap > 1024 && 4 * t.size < cap then begin
+    let ncap = pow2_above 16 (2 * t.size) in
+    if ncap < cap then begin
+      t.times <- Array.sub t.times 0 ncap;
+      t.seqs <- Array.sub t.seqs 0 ncap;
+      t.thunks <- Array.sub t.thunks 0 ncap;
+      t.handles <- Array.sub t.handles 0 ncap
+    end
+  end;
+  let limit = free_limit t in
+  if t.nfree > limit then begin
+    for i = limit to t.nfree - 1 do
+      t.free.(i) <- dummy_handle
+    done;
+    t.nfree <- limit
+  end;
+  let fcap = Array.length t.free in
+  if fcap > 1024 && 4 * t.nfree < fcap then begin
+    let nfcap = pow2_above 16 (2 * t.nfree) in
+    if nfcap < fcap then t.free <- Array.sub t.free 0 nfcap
+  end
+
 let keep t ~src ~dst =
   if dst <> src then begin
     t.times.(dst) <- t.times.(src);
@@ -204,7 +256,8 @@ let compact t =
   t.stats.stale <- 0;
   for i = (t.size / 2) - 1 downto 0 do
     sift_down t i
-  done
+  done;
+  shrink_if_sparse t
 
 let needs_compaction t = t.size >= 64 && 2 * t.stats.stale > t.size
 
@@ -240,7 +293,8 @@ let remove_top t =
     release t n;
     sift_down_from t 0 tm sq fn hd
   end
-  else release t n
+  else release t n;
+  shrink_if_sparse t
 
 (* Drop cancelled entries sitting at the top of the heap. *)
 let rec settle t =
@@ -288,3 +342,10 @@ let pop t =
   end
 
 let pending t = t.stats.live
+let capacity t = Array.length t.times
+let retained_handles t = t.nfree
+
+(* Deterministic retained-words accounting: four heap columns, the free
+   stack, and the parked handle records (4 words each incl. header). *)
+let footprint_words t =
+  (4 * Array.length t.times) + Array.length t.free + (4 * t.nfree) + 12

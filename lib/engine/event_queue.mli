@@ -68,3 +68,23 @@ val pop : t -> (Time.t * (unit -> unit)) option
 
 val pending : t -> int
 (** Number of live (non-cancelled, not yet fired) events. O(1). *)
+
+val capacity : t -> int
+(** Current heap-array capacity in slots. Arrays shrink on the drain
+    paths once occupancy falls below a quarter of capacity (2x-headroom
+    hysteresis; capacity under 1024 slots is kept, so small queues that
+    drain and refill every cycle never thrash), so a queue that once
+    held 10^6 in-flight events stops pinning their memory after
+    draining. *)
+
+val retained_handles : t -> int
+(** Dead handle records parked for reuse. Capped at twice the in-heap
+    entry count (floor 1024, matching the array-shrink floor): the
+    retained arena follows the live event count down instead of
+    recording its high-water mark, while small oscillating queues keep
+    recycling every handle. *)
+
+val footprint_words : t -> int
+(** Approximate retained heap words of the queue — columns, free stack,
+    and parked records. Deterministic (array lengths, not GC sampling),
+    for the scale benches' footprint accounting. *)

@@ -58,6 +58,20 @@ let unit_float t =
   let bits = Int64.to_int (Int64.shift_right_logical z 11) in
   float_of_int bits *. (1.0 /. 9007199254740992.0)
 
+(* Staged twin of [unit_float]: the draw lands in [cell.(0)] (an
+   unboxed float-array store) instead of the return value, which under
+   the dev profile's [-opaque] would box at the unit boundary. Hot
+   callers (lottery's per-decision draw) keep a 1-cell array and pay
+   zero allocation. Same state step, same output sequence. *)
+let unit_float_into t cell =
+  let s = Int64.add t.state golden in
+  t.state <- s;
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  let bits = Int64.to_int (Int64.shift_right_logical z 11) in
+  cell.(0) <- float_of_int bits *. (1.0 /. 9007199254740992.0)
+
 let float t bound = unit_float t *. bound
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L

@@ -25,7 +25,11 @@ type t = {
   fu_stage : float array;
   fu_peek : float array;
   vt : float array; (* 1-cell: virtual time, re-written every charge *)
-  mutable total_weight : float;
+  tw : float array;
+      (* 1-cell: total runnable weight. A [mutable float] field in this
+         mixed record would box on every store, and it is re-written on
+         every arrive/depart/blocking charge — the last boxed-float
+         store this module had. *)
   mutable nrun : int;
   mutable in_service : int; (* -1 = none *)
   q : float;
@@ -50,7 +54,7 @@ let create ?rng:_ ?(quantum_hint = 1e7) () =
       fu_stage = Keyed_heap.stage_cell future;
       fu_peek = Keyed_heap.peeked_key_cell future;
       vt = [| 0. |];
-      total_weight = 0.;
+      tw = [| 0. |];
       nrun = 0;
       in_service = -1;
       q = quantum_hint;
@@ -88,7 +92,7 @@ let arrive t ~id ~weight =
          time: it must not reclaim service "owed" from its sleep. *)
       c.vf.(0) <- Float.max c.vf.(0) t.vt.(0);
       c.vf.(1) <- c.vf.(0) +. (t.q /. c.weight);
-      t.total_weight <- t.total_weight +. c.weight;
+      t.tw.(0) <- t.tw.(0) +. c.weight;
       t.nrun <- t.nrun + 1;
       enqueue t id c
     end
@@ -103,7 +107,7 @@ let arrive t ~id ~weight =
       }
     in
     Hashtbl.replace t.clients id c;
-    t.total_weight <- t.total_weight +. c.weight;
+    t.tw.(0) <- t.tw.(0) +. c.weight;
     t.nrun <- t.nrun + 1;
     enqueue t id c
 
@@ -112,7 +116,7 @@ let depart t ~id =
   | exception Not_found -> ()
   | c ->
     if c.runnable then begin
-      t.total_weight <- t.total_weight -. c.weight;
+      t.tw.(0) <- t.tw.(0) -. c.weight;
       t.nrun <- t.nrun - 1;
       (* The queued entry just went stale. Guessing which queue holds it
          from [ve] is only a heuristic (promotion may have moved it);
@@ -128,7 +132,7 @@ let depart t ~id =
 let set_weight t ~id ~weight =
   if weight <= 0. then invalid_arg "Eevdf.set_weight: weight <= 0";
   let c = get t id in
-  if c.runnable then t.total_weight <- t.total_weight -. c.weight +. weight;
+  if c.runnable then t.tw.(0) <- t.tw.(0) -. c.weight +. weight;
   c.weight <- weight
 
 (* Move every future client whose eligible time has been reached into the
@@ -167,13 +171,13 @@ let charge t ~id ~service ~runnable =
   if t.in_service <> id then invalid_arg "Eevdf.charge: client not in service";
   t.in_service <- -1;
   let c = get t id in
-  if t.total_weight > 0. then t.vt.(0) <- t.vt.(0) +. (service /. t.total_weight);
+  if t.tw.(0) > 0. then t.vt.(0) <- t.vt.(0) +. (service /. t.tw.(0));
   c.vf.(0) <- c.vf.(0) +. (service /. c.weight);
   c.vf.(1) <- c.vf.(0) +. (t.q /. c.weight);
   if runnable then enqueue t id c
   else begin
     c.runnable <- false;
-    t.total_weight <- t.total_weight -. c.weight;
+    t.tw.(0) <- t.tw.(0) -. c.weight;
     t.nrun <- t.nrun - 1
   end
 

@@ -128,6 +128,39 @@ let keep t ~src ~dst =
     t.ids.(dst) <- t.ids.(src)
   end
 
+(* Capacity release: arrays only ever doubled before this existed, so a
+   heap that once held 10^6 entries pinned ~32 MB forever. Shrink to a
+   power of two that still leaves 2x headroom once occupancy drops below
+   a quarter of capacity. The 2x gap between the shrink threshold
+   (size < cap/4) and the post-shrink occupancy (size = ncap/2) gives
+   hysteresis: after a shrink, at least cap/2 pushes must happen before
+   the next grow, and after a grow at least 3/4 of the entries must pop
+   before the next shrink — no thrashing at a boundary. Hysteresis
+   cannot help a workload that oscillates between empty and full,
+   though (each swing legitimately crosses both thresholds), so
+   capacity below 1024 slots (~32 KB) is never released: small heaps
+   that drain and refill every cycle — the push+pop micro-benchmark,
+   per-quantum timer queues — keep their arrays, and the release path
+   only engages at the scales where pinned memory actually matters. *)
+let pow2_above ~floor n =
+  let c = ref floor in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let shrink_if_sparse t =
+  let cap = Array.length t.keys in
+  if cap > 1024 && 4 * t.size < cap then begin
+    let ncap = pow2_above ~floor:16 (2 * t.size) in
+    if ncap < cap then begin
+      t.keys <- Array.sub t.keys 0 ncap;
+      t.seqs <- Array.sub t.seqs 0 ncap;
+      t.gens <- Array.sub t.gens 0 ncap;
+      t.ids <- Array.sub t.ids 0 ncap
+    end
+  end
+
 let compact t =
   match t.validator with
   | None -> ()
@@ -144,7 +177,8 @@ let compact t =
     (* Floyd heapify: O(n). *)
     for i = (t.size / 2) - 1 downto 0 do
       sift_down t i
-    done
+    done;
+    shrink_if_sparse t
 
 (* Compaction pays off only once stale entries dominate and the heap is
    big enough for the O(n) rebuild to beat their log-factor drag. *)
@@ -173,7 +207,12 @@ let remove_top t =
   if t.size > 0 then begin
     keep t ~src:t.size ~dst:0;
     sift_down t 0
-  end
+  end;
+  (* Pops are the only drain path for valid entries (compaction only
+     sees stale ones), so capacity release must hook here too. The
+     guard inside is two loads and a compare; the O(n) copy itself is
+     amortized O(1) per pop by the hysteresis gap. *)
+  shrink_if_sparse t
 
 let dropped_stale t = if t.stale > 0 then t.stale <- t.stale - 1
 
@@ -248,3 +287,23 @@ let peek_valid t =
   | Some valid -> peek_valid_loop t valid
 
 let stale_bound t = t.stale
+
+let capacity t = Array.length t.keys
+
+(* Retained words across the four columns (floats are unboxed in a
+   float array: 1 word each, plus 3 int columns and headers). *)
+let footprint_words t = (4 * Array.length t.keys) + 8
+
+(* Rewrite queued entry ids through [map] (old id -> new id, negative =
+   no mapping). Used by owners that renumber their dense tables under
+   compaction: keys and seqs are untouched, so heap order — including
+   FIFO tie order — is exactly preserved. Entries whose id has no
+   mapping are left as-is; they can only be stale (the owner just
+   renumbered every live id), and the owner's validator keeps rejecting
+   them because generation numbers are globally unique. *)
+let remap_ids t map =
+  let n = Array.length map in
+  for i = 0 to t.size - 1 do
+    let s = t.ids.(i) in
+    if s >= 0 && s < n && map.(s) >= 0 then t.ids.(i) <- map.(s)
+  done

@@ -81,7 +81,23 @@ val peeked_key_cell : t -> float array
 
 val compact : t -> unit
 (** Drop every stale entry now (needs an installed validator; no-op
-    otherwise). Normally triggered automatically by {!push}. *)
+    otherwise). Normally triggered automatically by {!push}. Also
+    releases capacity: whenever live entries fall below a quarter of
+    the array capacity (and capacity exceeds 1024 — smaller arrays are
+    kept, so heaps that drain and refill every cycle never thrash),
+    the arrays shrink to the smallest power of two leaving 2x
+    headroom — pops check the same trigger, so a heap drained without
+    stale entries releases memory too. The 2x gap between trigger and
+    post-shrink occupancy makes grow/shrink cycles amortized O(1) per
+    operation. *)
+
+val remap_ids : t -> int array -> unit
+(** [remap_ids t map] rewrites every queued entry's id through [map]
+    (old id -> new id; ids outside the array or mapped to a negative
+    value are left untouched). Keys and seqs are preserved, so heap
+    order and FIFO tie-breaks are unchanged. For owners that renumber
+    their dense client tables under compaction: call this with the
+    old-slot -> new-slot map so queued entries follow the move. *)
 
 val clear : t -> unit
 
@@ -91,3 +107,11 @@ val size : t -> int
 val stale_bound : t -> int
 (** Number of reported-but-still-queued invalidations (diagnostics; an
     upper bound on how early compaction will trigger). *)
+
+val capacity : t -> int
+(** Current array capacity (diagnostics: shrink-under-churn tests and
+    footprint accounting). *)
+
+val footprint_words : t -> int
+(** Approximate retained heap words of the four columns, headers
+    included (deterministic — array lengths, not GC sampling). *)

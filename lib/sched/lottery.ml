@@ -17,8 +17,13 @@ type t = {
   mutable rids : int array;
   mutable rweights : float array;
   acc : float array; (* 1-cell ticket accumulator (unboxed stores) *)
+  draw : float array;
+      (* 1-cell landing pad for [Prng.unit_float_into]: the draw's boxed
+         cross-unit float return was the last allocation in a decision *)
   mutable winner : int;
-  mutable total_weight : float;
+  tw : float array;
+      (* 1-cell total runnable weight: a [mutable float] field in this
+         mixed record would box on every ready-set change *)
   mutable nrun : int;
   mutable in_service : int; (* -1 = none *)
 }
@@ -31,8 +36,9 @@ let create ?rng ?quantum_hint:_ () =
     rids = [||];
     rweights = [||];
     acc = [| 0. |];
+    draw = [| 0. |];
     winner = -1;
-    total_weight = 0.;
+    tw = [| 0. |];
     nrun = 0;
     in_service = -1;
   }
@@ -59,7 +65,7 @@ let ready_add t id c =
   t.rweights.(t.nrun) <- c.weight;
   c.slot <- t.nrun;
   t.nrun <- t.nrun + 1;
-  t.total_weight <- t.total_weight +. c.weight
+  t.tw.(0) <- t.tw.(0) +. c.weight
 
 let ready_remove t c =
   let s = c.slot in
@@ -72,7 +78,7 @@ let ready_remove t c =
   end;
   c.slot <- -1;
   t.nrun <- last;
-  t.total_weight <- t.total_weight -. c.weight
+  t.tw.(0) <- t.tw.(0) -. c.weight
 
 let arrive t ~id ~weight =
   match Hashtbl.find t.clients id with
@@ -98,7 +104,7 @@ let set_weight t ~id ~weight =
   if weight <= 0. then invalid_arg "Lottery.set_weight: weight <= 0";
   let c = get t id in
   if c.runnable then begin
-    t.total_weight <- t.total_weight -. c.weight +. weight;
+    t.tw.(0) <- t.tw.(0) -. c.weight +. weight;
     t.rweights.(c.slot) <- weight
   end;
   c.weight <- weight
@@ -113,7 +119,8 @@ let select t =
        for a given state, and the draw itself is uniform, so the winner
        is distributed proportionally to weights regardless of order.
        The last slot is the fallback against rounding drift. *)
-    let ticket = Prng.unit_float t.rng *. t.total_weight in
+    Prng.unit_float_into t.rng t.draw;
+    let ticket = t.draw.(0) *. t.tw.(0) in
     t.winner <- -1;
     t.acc.(0) <- 0.;
     for i = 0 to t.nrun - 1 do

@@ -33,10 +33,16 @@ let default_configs =
     (* [select] deliberately absent from sfq's roots: its [Some id]
        wrapper is the measured ~2 minor words/decision; the zero-alloc
        contract is on [select_id]/[charge] and the staged entries. *)
+    (* [slot_lookup] (the id->slot hash of the id-keyed entries) and
+       [register] (first arrival: slot allocation + table insert) are
+       once-per-transition or once-per-lifetime, not per-decision; the
+       hierarchy's walks use the slot-keyed twins and never reach
+       either. [compact]/[free_slot] are the amortized-O(1) shrink
+       machinery on the depart path. *)
     {
       source = "lib/core/sfq.ml";
       roots = [ "select_id"; "charge"; "charge_staged"; "arrive_staged" ];
-      cold = [ "grow" ];
+      cold = [ "grow"; "slot_lookup"; "register"; "compact"; "free_slot" ];
     };
     (* Same shape one level up: [schedule]'s Some wrapper is the
        option-returning convenience; the kernel dispatch loop runs on
@@ -57,7 +63,7 @@ let default_configs =
           "invalidate";
           "last_key";
         ];
-      cold = [ "grow"; "compact" ];
+      cold = [ "grow"; "compact"; "shrink_if_sparse" ];
     };
     (* [pop]/[next_time] deliberately absent: their option/tuple results
        are the compat shape; the simulation driver's per-event path is
@@ -75,7 +81,7 @@ let default_configs =
           "handle_id";
           "pending";
         ];
-      cold = [ "grow"; "compact"; "recycle"; "new_handle" ];
+      cold = [ "grow"; "compact"; "recycle"; "new_handle"; "shrink_if_sparse" ];
     };
     (* The boxed leaf disciplines ported to SoA layouts: their decision
        paths must hold the measured words/decision in BENCH_sched.json

@@ -52,8 +52,8 @@ let bench_budgets =
     ("hierarchy/depth=16", 2.0); (* schedule_id/update_ns: ~0 measured *)
     ("keyed-heap/push+pop n=256", 1.0); (* zero-alloc contract *)
     ("event-queue/churn n=256", 64.0); (* fired-handle recycling keeps ~4 *)
-    ("eevdf/Q=8", 8.0); (* SoA cells: ~2 (the Some of FAIR select) *)
-    ("lottery/Q=8", 8.0); (* dense draw + monolithic unit_float: ~7 *)
+    ("eevdf/Q=8", 4.0); (* SoA cells: ~2 (the Some of FAIR select) *)
+    ("lottery/Q=8", 6.0); (* staged draw cell: ~5 (down from ~7 boxed) *)
     ("svr4-ts/Q=8", 2.0); (* ring deques + select_id: ~0 measured *)
   ]
 

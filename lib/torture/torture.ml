@@ -8,12 +8,24 @@ module Invariant = Hsfq_check.Invariant
 module Kernel_audit = Hsfq_check.Kernel_audit
 module Hierarchy_audit = Hsfq_check.Hierarchy_audit
 
-type config = { seed : int; ops : int; audit_period : int }
+type config = {
+  seed : int;
+  ops : int;
+  audit_period : int;
+  max_leaves : int;
+  max_spawns : int;
+  prepopulate : int;
+}
 
-let config ?(ops = 10_000) ?(audit_period = 1) seed =
+let config ?(ops = 10_000) ?(audit_period = 1) ?(max_leaves = 16)
+    ?(max_spawns = 192) ?(prepopulate = 0) seed =
   if ops < 0 then invalid_arg "Torture.config: ops < 0";
   if audit_period < 1 then invalid_arg "Torture.config: audit_period < 1";
-  { seed; ops; audit_period }
+  if max_leaves < 1 then invalid_arg "Torture.config: max_leaves < 1";
+  if max_spawns < 0 then invalid_arg "Torture.config: max_spawns < 0";
+  if prepopulate < 0 || prepopulate > max_leaves then
+    invalid_arg "Torture.config: prepopulate outside [0, max_leaves]";
+  { seed; ops; audit_period; max_leaves; max_spawns; prepopulate }
 
 type op =
   | Advance of Time.span
@@ -66,8 +78,6 @@ end
 
 let n_mutexes = 4
 let n_devices = 2
-let max_leaves = 16
-let max_spawns = 192
 
 type leaf_slot = {
   node : Hierarchy.id;
@@ -90,6 +100,9 @@ type sys = {
   wl_base : Prng.t;
   mutexes : int array;
   devices : int array;
+  max_leaves : int;
+  max_spawns : int;
+  mutable n_live_leaves : int;
   mutable leaf_counter : int;
   mutable trace_rev : op list;
 }
@@ -141,8 +154,11 @@ let make_workload sys ~profile ~rng : W.t =
     | Some a -> a
     | None -> W.Compute (Time.microseconds 100)
 
+(* The cap is on *live* leaves, not leaves ever created, so a long
+   churn run keeps cycling mknod/rmnod instead of saturating after the
+   first [max_leaves] creations. Slot indices still never recycle. *)
 let add_leaf sys ~group ~weight =
-  if Vec.length sys.leaves < max_leaves then begin
+  if sys.n_live_leaves < sys.max_leaves then begin
     let name = Printf.sprintf "L%d" sys.leaf_counter in
     sys.leaf_counter <- sys.leaf_counter + 1;
     let parent = sys.groups.(group mod Array.length sys.groups) in
@@ -155,7 +171,8 @@ let add_leaf sys ~group ~weight =
     | Ok node ->
       let lf, handle = Leaf_sched.Sfq_leaf.make () in
       Kernel.install_leaf sys.k node lf;
-      Vec.push sys.leaves { node; handle; live = true }
+      Vec.push sys.leaves { node; handle; live = true };
+      sys.n_live_leaves <- sys.n_live_leaves + 1
   end
 
 let kernel_config srng =
@@ -180,8 +197,14 @@ let init cfg =
   let wl_base = Prng.stream master 2 in
   let k = Kernel.create ~config:(kernel_config srng) sim hier in
   let sink = Invariant.create () in
-  let ngroups = Prng.int_in srng 1 3 in
+  (* Group fan-out scales with the prepopulated leaf count so a giant
+     run builds a genuinely wide tree (and each group's by_name map +
+     parent Sfq grow large enough for compaction to be reachable). *)
+  let ngroups =
+    Int.max (Prng.int_in srng 1 3) (Int.min 64 (cfg.prepopulate / 2048))
+  in
   let groups = Array.make ngroups Hierarchy.root in
+  let per_group = (cfg.prepopulate + ngroups - 1) / Int.max 1 ngroups in
   for g = 0 to ngroups - 1 do
     match
       Hierarchy.mknod hier
@@ -190,7 +213,9 @@ let init cfg =
         ~weight:(float_of_int (Prng.int_in srng 1 4))
         Hierarchy.Internal
     with
-    | Ok id -> groups.(g) <- id
+    | Ok id ->
+      groups.(g) <- id;
+      if per_group > 4 then Hierarchy.reserve_children hier id per_group
     | Error e -> failwith e
   done;
   let mutexes = Array.make n_mutexes 0 in
@@ -220,11 +245,14 @@ let init cfg =
       wl_base;
       mutexes;
       devices;
+      max_leaves = cfg.max_leaves;
+      max_spawns = cfg.max_spawns;
+      n_live_leaves = 0;
       leaf_counter = 0;
       trace_rev = [];
     }
   in
-  let nleaves = Prng.int_in srng 2 4 in
+  let nleaves = Int.max (Prng.int_in srng 2 4) cfg.prepopulate in
   for _ = 1 to nleaves do
     add_leaf sys ~group:(Prng.int srng ngroups) ~weight:(Prng.int_in srng 1 8)
   done;
@@ -252,13 +280,6 @@ let leaf_slot sys i =
     if s.live then Some s else None
   end
 
-let live_leaves sys =
-  let n = ref 0 in
-  for i = 0 to Vec.length sys.leaves - 1 do
-    if (Vec.get sys.leaves i).live then incr n
-  done;
-  !n
-
 let leaf_referenced sys node =
   let found = ref false in
   for i = 0 to Vec.length sys.threads - 1 do
@@ -273,7 +294,7 @@ let apply sys op =
   match op with
   | Advance d -> if d > 0 then Kernel.run_until k (Time.add (Sim.now sys.sim) d)
   | Spawn { leaf; weight; profile } -> (
-    if Vec.length sys.threads < max_spawns then
+    if Vec.length sys.threads < sys.max_spawns then
       match leaf_slot sys leaf with
       | None -> ()
       | Some slot ->
@@ -314,11 +335,12 @@ let apply sys op =
     match leaf_slot sys i with
     | None -> ()
     | Some slot ->
-      if live_leaves sys > 1 && not (leaf_referenced sys slot.node) then begin
+      if sys.n_live_leaves > 1 && not (leaf_referenced sys slot.node) then begin
         match Hierarchy.rmnod sys.hier slot.node with
         | Ok () ->
           Kernel.uninstall_leaf sys.k slot.node;
-          slot.live <- false
+          slot.live <- false;
+          sys.n_live_leaves <- sys.n_live_leaves - 1
         | Error _ -> ()
       end)
 

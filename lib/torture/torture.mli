@@ -26,10 +26,26 @@ type config = {
   seed : int;
   ops : int;  (** operations to generate (a replay runs its whole list) *)
   audit_period : int;  (** audit every n ops; 1 = after every op *)
+  max_leaves : int;  (** cap on {e live} leaves: rmnod makes room for mknod *)
+  max_spawns : int;  (** cap on threads ever spawned *)
+  prepopulate : int;
+      (** leaves built at init, before the op stream runs. Large values
+          (10^5+) build giant randomized hierarchies whose mknod/rmnod
+          churn drives the scheduling structures through growth,
+          shrinking and compaction under the full audit stack. Must not
+          exceed [max_leaves]. *)
 }
 
-val config : ?ops:int -> ?audit_period:int -> int -> config
-(** [config seed] — defaults: [ops = 10_000], [audit_period = 1]. *)
+val config :
+  ?ops:int ->
+  ?audit_period:int ->
+  ?max_leaves:int ->
+  ?max_spawns:int ->
+  ?prepopulate:int ->
+  int ->
+  config
+(** [config seed] — defaults: [ops = 10_000], [audit_period = 1],
+    [max_leaves = 16], [max_spawns = 192], [prepopulate = 0]. *)
 
 type op =
   | Advance of Time.span  (** run the simulation forward *)

@@ -334,6 +334,43 @@ let test_event_queue_steady_state_churn () =
     (Printf.sprintf "steady-state churn allocates (%.0f minor words for 10k cycles)" words)
     true (words < 512.)
 
+(* Memory follows the load back down: after a burst of 32768 in-flight
+   events (half cancelled deep in the heap) fully drains, the heap
+   arrays must shrink from their high-water capacity and the parked
+   handle arena must fall to its floor (1024 records) instead of
+   retaining one record per burst event. The burst is sized well above
+   the shrink floors so the 4x release assertion has room: a drained
+   queue keeps at most 1024-slot arrays and 1024 parked records by
+   design. *)
+let test_event_queue_burst_releases_memory () =
+  let q = Event_queue.create () in
+  let n = 32768 in
+  let fired = ref 0 in
+  let hs =
+    Array.init n (fun i -> Event_queue.schedule q ~at:i (fun () -> incr fired))
+  in
+  Array.iteri (fun i h -> if i mod 2 = 0 then Event_queue.cancel h) hs;
+  let cap_peak = Event_queue.capacity q in
+  let fp_peak = Event_queue.footprint_words q in
+  check_bool "capacity covers the burst" true (cap_peak >= n / 2);
+  let rec drain () =
+    if Event_queue.take_until q ~horizon:max_int >= 0 then begin
+      Event_queue.taken q ();
+      drain ()
+    end
+  in
+  drain ();
+  check_int "survivors fired" (n / 2) !fired;
+  check_int "empty" 0 (Event_queue.pending q);
+  check_bool "arena capped at the floor" true
+    (Event_queue.retained_handles q <= 1024);
+  check_bool "heap arrays released" true (Event_queue.capacity q < cap_peak);
+  check_bool "footprint released" true
+    (4 * Event_queue.footprint_words q < fp_peak);
+  (* The shrunk queue still works. *)
+  ignore (Event_queue.schedule q ~at:0 (fun () -> ()));
+  check_int "usable after release" 1 (Event_queue.pending q)
+
 (* ----------------------------- Sim ---------------------------------- *)
 
 let test_sim_ordering_and_clock () =
@@ -601,6 +638,8 @@ let () =
             test_event_queue_handle_reuse;
           Alcotest.test_case "steady-state churn is allocation-free" `Quick
             test_event_queue_steady_state_churn;
+          Alcotest.test_case "burst releases memory" `Quick
+            test_event_queue_burst_releases_memory;
           qc prop_event_queue_total_order;
         ] );
       ( "sim",

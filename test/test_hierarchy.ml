@@ -509,6 +509,68 @@ let prop_chain_equals_flat =
           flat_pick = tree_pick)
         quanta)
 
+(* ---------------------- churn and reclamation -------------------------- *)
+
+(* Bulk-build a wide internal node (through reserve_children), tear most
+   of it down, and require the whole structure to shrink: node-array
+   capacity and footprint follow the survivors, the invariant audit stays
+   clean over the compacted state, the surviving runnable leaves still
+   dispatch, and freed ids are recycled instead of growing the frontier. *)
+let test_churn_reclaims_and_redispatches () =
+  let t = Hierarchy.create () in
+  let g =
+    ok "g"
+      (Hierarchy.mknod t ~name:"g" ~parent:Hierarchy.root ~weight:1.
+         Hierarchy.Internal)
+  in
+  let n = 2048 in
+  Hierarchy.reserve_children t g n;
+  let leaves =
+    Array.init n (fun i ->
+        ok "leaf"
+          (Hierarchy.mknod t
+             ~name:(Printf.sprintf "l%d" i)
+             ~parent:g
+             ~weight:(float_of_int (1 + (i mod 3)))
+             Hierarchy.Leaf))
+  in
+  check_int "node count" (2 + n) (Hierarchy.node_count t);
+  for i = 0 to 7 do
+    Hierarchy.setrun t leaves.(i)
+  done;
+  let cap_full = Hierarchy.capacity t in
+  let fp_full = Hierarchy.footprint_words t in
+  (* Remove all but the first 64 children (the runnable ones are among
+     the survivors): live occupancy falls far below a quarter of both
+     the node array and g's SFQ table. *)
+  for i = 64 to n - 1 do
+    ok "rm" (Hierarchy.rmnod t leaves.(i))
+  done;
+  let sink = Hsfq_check.Invariant.create () in
+  Hsfq_check.Hierarchy_audit.check_all sink t;
+  check_int "audit clean after the storm" 0 (Hsfq_check.Invariant.count sink);
+  check_bool "node array released" true (Hierarchy.capacity t < cap_full);
+  check_bool "footprint released" true (2 * Hierarchy.footprint_words t < fp_full);
+  (* Dispatch through the compacted parent SFQ still works and only
+     serves the runnable survivors. *)
+  for _ = 1 to 32 do
+    let leaf = Hierarchy.schedule_id t in
+    check_bool "a runnable survivor is selected" true
+      (leaf >= 0 && Array.exists (fun l -> l = leaf) (Array.sub leaves 0 8));
+    Hierarchy.update_ns t ~leaf ~service_ns:1_000_000 ~leaf_runnable:true
+  done;
+  (* Freed ids are recycled below the old frontier. *)
+  let nid =
+    ok "fresh"
+      (Hierarchy.mknod t ~name:"fresh" ~parent:g ~weight:1. Hierarchy.Leaf)
+  in
+  check_bool "id recycled, frontier trimmed" true (nid <= leaves.(64));
+  check_bool "reserve_children rejects leaves" true
+    (try
+       Hierarchy.reserve_children t nid 4;
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "hierarchy"
@@ -549,6 +611,8 @@ let () =
           Alcotest.test_case "depth-31 chain" `Quick test_deep_chain;
           Alcotest.test_case "donation sibling restriction" `Quick
             test_donate_siblings_only;
+          Alcotest.test_case "churn reclaims and redispatches" `Quick
+            test_churn_reclaims_and_redispatches;
         ] );
       ( "properties",
         [

@@ -631,6 +631,65 @@ let test_keyed_heap_compaction () =
   check_int "late pushed entry survives" 100 (Keyed_heap.pop_valid h);
   check_int "drained" (-1) (Keyed_heap.pop_valid h)
 
+(* A heap drained far below its high-water mark must release the backing
+   arrays (the same quarter-occupancy trigger as compaction, checked on
+   pops too), and the survivors must still pop in exact key order through
+   the shrunk store. *)
+let test_keyed_heap_capacity_release () =
+  let h = Keyed_heap.create () in
+  Keyed_heap.set_validator h (fun ~id:_ ~gen:_ -> true);
+  for id = 0 to 2047 do
+    Keyed_heap.push h ~key:(float_of_int id) ~gen:1 ~id
+  done;
+  let cap_full = Keyed_heap.capacity h in
+  check_bool "capacity covers the burst" true (cap_full >= 2048);
+  for expect = 0 to 2047 - 100 do
+    check_int "drain order" expect (Keyed_heap.pop_valid h)
+  done;
+  check_int "live entries" 100 (Keyed_heap.size h);
+  check_bool "capacity released" true (Keyed_heap.capacity h < cap_full);
+  check_bool "capacity covers survivors" true
+    (Keyed_heap.capacity h >= Keyed_heap.size h);
+  for expect = 2047 - 99 to 2047 do
+    check_int "survivors in key order" expect (Keyed_heap.pop_valid h)
+  done;
+  check_int "drained" (-1) (Keyed_heap.pop_valid h)
+
+(* remap_ids: rewriting queued ids through an old->new map (the owner's
+   compaction move) must preserve keys, heap order and FIFO tie-breaks
+   exactly; ids outside the map or mapped negative are untouched. *)
+let test_keyed_heap_remap_preserves_order () =
+  let pop_all h =
+    let out = ref [] in
+    let rec go () =
+      match Keyed_heap.pop h ~valid:(fun ~id:_ ~gen:_ -> true) with
+      | Some (k, id) ->
+        out := (k, id) :: !out;
+        go ()
+      | None -> List.rev !out
+    in
+    go ()
+  in
+  let keys = [| 4.; 1.; 3.; 1.; 2.; 1.; 4.; 0.5 |] in
+  let fill () =
+    let h = Keyed_heap.create () in
+    Array.iteri (fun id key -> Keyed_heap.push h ~key ~gen:0 ~id) keys;
+    h
+  in
+  let baseline = pop_all (fill ()) in
+  let remapped = fill () in
+  (* Even ids move to id + 100; odd ids are left alone (map = -1), and
+     id 7's slot is outside the map entirely. *)
+  let map = Array.init 7 (fun i -> if i mod 2 = 0 then i + 100 else -1) in
+  Keyed_heap.remap_ids remapped map;
+  let expected =
+    List.map
+      (fun (k, id) -> (k, if id < 7 && id mod 2 = 0 then id + 100 else id))
+      baseline
+  in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "same keys and order, ids rewritten" expected (pop_all remapped)
+
 (* ------------------------ interrupt sources --------------------------- *)
 
 let test_interrupt_source_math () =
@@ -737,6 +796,10 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_keyed_heap_fifo_ties;
           Alcotest.test_case "stale-majority compaction" `Quick
             test_keyed_heap_compaction;
+          Alcotest.test_case "capacity release on drain" `Quick
+            test_keyed_heap_capacity_release;
+          Alcotest.test_case "remap_ids preserves order" `Quick
+            test_keyed_heap_remap_preserves_order;
         ] );
       ( "interrupt-source",
         [

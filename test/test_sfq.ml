@@ -701,6 +701,157 @@ let test_differential_parallel_batch () =
     (run ~backend:Hsfq_par.Par.Processes 4);
   Alcotest.(check (array bool)) "jobs 1 = jobs 4" serial (run 4)
 
+(* ---------------- churn, compaction and slot remapping ----------------- *)
+
+(* Churn storm at Q = 10^4: arrive ten thousand clients in both the
+   optimized implementation and the naive reference, tear 7/8 of them
+   down in a seed-randomized order — forcing repeated occupancy
+   compactions — and require tag-for-tag agreement on every survivor
+   plus selection agreement on interleaved decisions. The reference
+   (and its backlogged-count bookkeeping) is O(n) per op, so decisions
+   are spot-checked every 256 departures rather than per-op, and the
+   per-op audit wrapper is left to the smaller differential properties
+   above. *)
+let prop_churn_storm_matches_reference =
+  QCheck.Test.make ~name:"Q=10^4 churn storm matches naive reference"
+    ~count:3
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let module R = Hsfq_check.Sfq_reference in
+      let q = 10_000 in
+      let rng = Hsfq_engine.Prng.create (0x9e37 + seed) in
+      let s = Sfq.create () in
+      let r = R.create () in
+      let feq a b = Float.abs (a -. b) < 1e-9 in
+      for id = 0 to q - 1 do
+        let w = float_of_int (1 + (id mod 7)) in
+        Sfq.arrive s ~id ~weight:w;
+        R.arrive r ~id ~weight:w
+      done;
+      let cap_full = Sfq.capacity s in
+      (* Fisher-Yates under the seeded stream: the first [departs]
+         entries of [order] are the departure sequence, the tail is the
+         survivor set. *)
+      let order = Array.init q (fun i -> i) in
+      for i = q - 1 downto 1 do
+        let j = Hsfq_engine.Prng.int_in rng 0 i in
+        let tmp = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- tmp
+      done;
+      let departs = q - (q / 8) in
+      let ok = ref true in
+      for k = 0 to departs - 1 do
+        let id = order.(k) in
+        Sfq.depart s ~id;
+        R.depart r ~id;
+        if k mod 256 = 0 then
+          match (Sfq.select s, R.select r) with
+          | Some a, Some b when a = b ->
+            Sfq.charge s ~id:a ~service:1. ~runnable:true;
+            R.charge r ~id:a ~service:1. ~runnable:true
+          | None, None -> ()
+          | _ -> ok := false
+      done;
+      ok := !ok && Sfq.backlogged s = R.backlogged r;
+      ok := !ok && feq (Sfq.virtual_time s) (R.virtual_time r);
+      for k = departs to q - 1 do
+        let id = order.(k) in
+        ok :=
+          !ok && Sfq.mem s ~id && R.mem r ~id
+          && feq (Sfq.start_tag s ~id) (R.start_tag r ~id)
+          && feq (Sfq.finish_tag s ~id) (R.finish_tag r ~id)
+      done;
+      (* The table must have compacted: capacity tracks the survivors,
+         not the high-water mark of the storm. *)
+      ok := !ok && Sfq.capacity s < cap_full;
+      (* Post-storm decisions through the compacted table still agree. *)
+      for _ = 1 to 200 do
+        match (Sfq.select s, R.select r) with
+        | Some a, Some b when a = b ->
+          Sfq.charge s ~id:a ~service:1. ~runnable:true;
+          R.charge r ~id:a ~service:1. ~runnable:true
+        | _ -> ok := false
+      done;
+      !ok)
+
+(* Capacity must follow live occupancy in both directions: grow with
+   arrivals, release on sustained departure (within the 2x hysteresis
+   headroom), never fall below the live population, and regrow cleanly
+   after a release. *)
+let test_capacity_tracks_churn () =
+  let s = Sfq.create () in
+  for id = 0 to 4095 do
+    Sfq.arrive s ~id ~weight:1.
+  done;
+  let cap_full = Sfq.capacity s in
+  let fp_full = Sfq.footprint_words s in
+  check_bool "capacity covers the population" true (cap_full >= 4096);
+  for id = 0 to 4095 - 256 do
+    Sfq.depart s ~id
+  done;
+  check_int "live after the storm" 256 (Sfq.live_clients s);
+  (* One decision lets the lazy heap discard the stale majority it still
+     queues for the departed clients (and release their arrays). *)
+  (match Sfq.select s with
+  | Some id -> Sfq.charge s ~id ~service:1. ~runnable:true
+  | None -> Alcotest.fail "expected a runnable client");
+  let cap_small = Sfq.capacity s in
+  check_bool "capacity released" true (cap_small < cap_full);
+  check_bool "capacity still covers live" true
+    (cap_small >= Sfq.live_clients s);
+  check_bool "footprint released" true (4 * Sfq.footprint_words s < fp_full);
+  for id = 10_000 to 10_000 + 4095 do
+    Sfq.arrive s ~id ~weight:1.
+  done;
+  check_bool "capacity regrows" true (Sfq.capacity s >= 4096);
+  match Sfq.select s with
+  | Some id -> Sfq.charge s ~id ~service:1. ~runnable:true
+  | None -> Alcotest.fail "expected a runnable client after regrowth"
+
+(* Slot remapping under audit: slots cached through {!Sfq.slot_of_id}
+   must be kept coherent by the on-remap callback across a compaction
+   storm, agree with the table in both directions afterwards, and the
+   survivors must still dispatch with no invariant trips. *)
+let test_remap_keeps_slots_dispatchable () =
+  let module A = Hsfq_check.Audited.Sfq in
+  let sink = Hsfq_check.Invariant.create () in
+  let s = A.create ~node:"remap" ~sink () in
+  let inner = A.inner s in
+  let cached = Hashtbl.create 64 in
+  Sfq.set_on_remap inner (Some (fun ~id ~slot -> Hashtbl.replace cached id slot));
+  for id = 0 to 1023 do
+    A.arrive s ~id ~weight:(float_of_int (1 + (id mod 4)))
+  done;
+  (* Depart everything but the multiples of 64: occupancy drops far
+     below a quarter of capacity, forcing several compactions. *)
+  for id = 0 to 1023 do
+    if id mod 64 <> 0 then A.depart s ~id
+  done;
+  check_bool "compaction fired" true (Hashtbl.length cached > 0);
+  check_bool "capacity released" true (Sfq.capacity inner < 1024);
+  Hashtbl.iter
+    (fun id slot ->
+      (* Ids that departed after an earlier compaction linger in the
+         cache; only live ones must agree. *)
+      if Sfq.mem inner ~id then begin
+        check_int (Printf.sprintf "slot_of_id %d" id) slot
+          (Sfq.slot_of_id inner ~id);
+        check_int
+          (Printf.sprintf "id_of_slot %d" slot)
+          id
+          (Sfq.id_of_slot inner ~slot)
+      end)
+    cached;
+  for _ = 1 to 200 do
+    match A.select s with
+    | Some id ->
+      check_int "selection is a survivor" 0 (id mod 64);
+      A.charge s ~id ~service:1. ~runnable:true
+    | None -> Alcotest.fail "survivors must stay schedulable"
+  done;
+  check_int "no invariant violations" 0 (Hsfq_check.Invariant.count sink)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "sfq"
@@ -737,6 +888,10 @@ let () =
             test_fifo_tie_break_deterministic;
           Alcotest.test_case "no drift over a million quanta" `Slow
             test_long_run_no_drift;
+          Alcotest.test_case "capacity tracks churn" `Quick
+            test_capacity_tracks_churn;
+          Alcotest.test_case "remapped slots stay dispatchable" `Quick
+            test_remap_keeps_slots_dispatchable;
         ] );
       ( "properties",
         [
@@ -752,5 +907,6 @@ let () =
           qc prop_staged_matches_naive_reference;
           Alcotest.test_case "differential batch across domains" `Quick
             test_differential_parallel_batch;
+          qc prop_churn_storm_matches_reference;
         ] );
     ]

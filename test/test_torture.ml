@@ -99,6 +99,33 @@ let prop_random_seeds_clean =
     QCheck.(int_range 0 10_000)
     (fun seed -> not (T.failed (T.run (T.config ~ops:800 seed))))
 
+(* Giant randomized structure: prepopulate builds tens of thousands of
+   leaves across groups (through the reserve_children bulk path) before
+   the op stream starts, and the periodic full audits must stay clean at
+   that scale. *)
+let test_giant_prepopulated_run () =
+  let cfg =
+    T.config ~ops:300 ~audit_period:100 ~max_leaves:20_000 ~max_spawns:64
+      ~prepopulate:20_000 23
+  in
+  let o = T.run cfg in
+  check_bool "clean at 20k leaves" false (T.failed o);
+  check_int "ran everything" 300 o.T.ops_run
+
+(* Departure storm through the driver: prepopulate a big structure, then
+   replay a pure-Rmnod trace retiring 7/8 of the leaves. Every group's
+   SFQ falls far below quarter occupancy, so parent-table compactions
+   (and node-array reclamation) fire repeatedly under the periodic
+   audit — this is the driver-level version of the unit compaction
+   tests. *)
+let test_departure_storm_compacts_clean () =
+  let n = 8192 in
+  let cfg = T.config ~audit_period:512 ~max_leaves:n ~prepopulate:n 41 in
+  let ops = List.init (n - (n / 8)) (fun i -> T.Rmnod i) in
+  let o = T.replay cfg ops in
+  check_bool "clean through the storm" false (T.failed o);
+  check_int "every rmnod applied" (List.length ops) o.T.ops_run
+
 let () =
   Alcotest.run "torture"
     [
@@ -113,6 +140,10 @@ let () =
           Alcotest.test_case "printers" `Quick test_op_printers_total;
           Alcotest.test_case "sparse audit period" `Quick test_audit_period;
           Alcotest.test_case "once-crashing seeds" `Quick test_regression_seeds;
+          Alcotest.test_case "giant prepopulated run" `Slow
+            test_giant_prepopulated_run;
+          Alcotest.test_case "departure storm compacts" `Quick
+            test_departure_storm_compacts_clean;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_random_seeds_clean ]);
     ]
