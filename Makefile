@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench bench-smoke bench-diff sim-speed-smoke scale-smoke torture-smoke sweep-smoke figures examples regen-golden clean
+.PHONY: all build test lint check bench bench-smoke bench-diff sim-speed-smoke scale-smoke smp-smoke torture-smoke sweep-smoke figures examples regen-golden clean
 
 all: build
 
@@ -18,7 +18,7 @@ lint:
 
 # Tier-1 verification: strict build + tests + lint + bench, sim-speed,
 # torture and parallel-sweep smoke passes.
-check: build test lint bench-smoke sim-speed-smoke scale-smoke torture-smoke sweep-smoke
+check: build test lint bench-smoke sim-speed-smoke scale-smoke smp-smoke torture-smoke sweep-smoke
 
 # Full harness: regenerate every paper figure + micro-benchmarks.
 bench:
@@ -51,6 +51,14 @@ sim-speed-smoke:
 # `make bench-diff` hard-gates (log-slope + footprint drift).
 scale-smoke:
 	dune build @scale-smoke
+
+# Multiprocessor dispatch sanity: shrunk P = 1/2/4/8 workloads with
+# hard asserts — P=1 never migrates, P>1 storms do, and per-event cost
+# stays flat in P.  The full rows live in BENCH_sched.json's "smp"
+# section, hard-gated by `make bench-diff` (deterministic event and
+# migration counts).
+smp-smoke:
+	dune build @smp-smoke
 
 # Lifecycle torture, quick slice: 8 seeds x 2000 ops with per-op
 # audits.  The full acceptance sweep is

@@ -908,6 +908,66 @@ let run_scale () =
   print_scale rows;
   rows
 
+(* Inter-group move churn at scale: a prepopulated 100k-leaf hierarchy
+   (leaves spread across all groups), a few dozen running threads, then
+   a pure [hsfq_move] storm retargeting them across thousands of
+   distinct leaves — replayed through the torture driver so the
+   periodic full audits (donation-ledger coherence, leaf membership,
+   runnable-enqueued) judge every intermediate state.  The storm must
+   end audit-clean, and the structure footprint must come back to the
+   storm-free baseline: a move is a retarget, not an allocation, so
+   churning threads across the tree may not permanently grow the
+   scheduling structures. *)
+let run_move_storm_smoke () =
+  let leaves = 100_000 in
+  let nthreads = 48 in
+  let moves = 4_000 in
+  let cfg =
+    T.config ~audit_period:1_000 ~max_leaves:leaves ~max_spawns:nthreads
+      ~prepopulate:leaves 7
+  in
+  let spawns =
+    List.concat
+      (List.init nthreads (fun i ->
+           [
+             T.Spawn
+               {
+                 leaf = i * 2099 mod leaves;
+                 weight = 1 + (i mod 4);
+                 profile = i mod 3;
+               };
+             T.Start i;
+           ]))
+  in
+  let advance = T.Advance (Engine.Time.milliseconds 5) in
+  let storm =
+    List.init moves (fun i ->
+        T.Move { th = i mod nthreads; leaf = i * 7919 mod leaves })
+  in
+  let base = T.replay cfg (spawns @ [ advance; advance ]) in
+  let stormed = T.replay cfg (spawns @ [ advance ] @ storm @ [ advance ]) in
+  if T.failed base then
+    failwith
+      (Printf.sprintf "move storm: baseline replay failed: %s"
+         (T.outcome_summary base));
+  if T.failed stormed then
+    failwith
+      (Printf.sprintf
+         "move storm: audits failed under inter-group move churn: %s"
+         (T.outcome_summary stormed));
+  if
+    stormed.T.footprint_words
+    > base.T.footprint_words + (base.T.footprint_words / 8)
+  then
+    failwith
+      (Printf.sprintf
+         "move storm: footprint grew from %d to %d words — move churn \
+          must not permanently grow the scheduling structures"
+         base.T.footprint_words stormed.T.footprint_words);
+  Printf.printf
+    "move storm ok: %d leaves, %d moves, footprint %d -> %d words\n" leaves
+    moves base.T.footprint_words stormed.T.footprint_words
+
 (* --scale-smoke: the same mixes at a toy Q with hard assertions — the
    compaction machinery must actually fire and reclaim.  Part of
    `make check` via the @scale-smoke alias, so a change that silently
@@ -951,7 +1011,146 @@ let run_scale_smoke () =
          "scale smoke: departure-heavy footprint %d words not reclaimed \
           (steady is %d — compaction should have released the columns)"
          departure.sc_end_words steady.sc_end_words);
+  run_move_storm_smoke ();
   print_endline "scale smoke PASSED."
+
+(* ------------------------------------------------------------------ *)
+(* Part 6: smp — the dispatch engine on a simulated CPU set.           *)
+(* ------------------------------------------------------------------ *)
+
+(* One deterministic dispatch-heavy workload per CPU count: P hog
+   classes keep the CPU set saturated while 4P short-burst interactive
+   classes constantly wake into it, so the idle-claim / migration path
+   runs on a large fraction of dispatches.  The simulated event and
+   migration counts are deterministic (seeded workloads, fixed
+   migration cost), which is what lets hsfq_bench_diff hard-gate them;
+   only the wall clock is machine noise. *)
+type smp_row = {
+  smp_name : string;
+  smp_cpus : int;
+  smp_events : int;  (* deterministic *)
+  smp_wall_s : float;
+  smp_ns_per_event : float;
+  smp_words_per_event : float;
+  smp_migrations : int;  (* deterministic *)
+}
+
+let smp_cpu_counts = [ 1; 2; 4; 8 ]
+
+let smp_setup ~cpus ~slice_ms () =
+  let sys : E.Common.sys = E.Common.make_sys ~audit:false ~cpus () in
+  for g = 0 to cpus - 1 do
+    let leaf, sfq =
+      E.Common.sfq_leaf sys ~parent:Core.Hierarchy.root
+        ~name:(Printf.sprintf "hog%d" g) ~weight:1. ()
+    in
+    ignore
+      (E.Common.dhrystone_thread sys ~leaf ~sfq
+         ~name:(Printf.sprintf "hog%d" g) ~weight:1.
+         ~loop_cost:(Engine.Time.microseconds 500))
+  done;
+  for g = 0 to (4 * cpus) - 1 do
+    let leaf, sfq =
+      E.Common.sfq_leaf sys ~parent:Core.Hierarchy.root
+        ~name:(Printf.sprintf "ia%d" g) ~weight:1. ()
+    in
+    interactive_thread sys ~leaf ~sfq ~name:(Printf.sprintf "ia%d" g)
+      ~mean_think:(Engine.Time.milliseconds 2)
+      ~burst:(Engine.Time.microseconds 300) ~seed:(200 + g)
+  done;
+  (sys, slice_runner sys ~slice_ms)
+
+let measure_smp ~slices ~slice_ms cpus =
+  let sys, run = smp_setup ~cpus ~slice_ms () in
+  let e0 = run () in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let e1 = ref e0 in
+  for _ = 1 to slices do
+    e1 := run ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let events = !e1 - e0 in
+  {
+    smp_name = Printf.sprintf "smp-dispatch/P=%d" cpus;
+    smp_cpus = cpus;
+    smp_events = events;
+    smp_wall_s = dt;
+    smp_ns_per_event = dt *. 1e9 /. float_of_int events;
+    smp_words_per_event = words /. float_of_int events;
+    smp_migrations = K.migrations sys.k;
+  }
+
+let print_smp rows =
+  let t =
+    Engine.Table.create
+      [ "workload"; "cpus"; "events"; "wall s"; "ns/event"; "words/event"; "migrations" ]
+  in
+  List.iter
+    (fun r ->
+      Engine.Table.row t
+        [
+          r.smp_name;
+          string_of_int r.smp_cpus;
+          string_of_int r.smp_events;
+          Printf.sprintf "%.3f" r.smp_wall_s;
+          Printf.sprintf "%.1f" r.smp_ns_per_event;
+          Printf.sprintf "%.2f" r.smp_words_per_event;
+          string_of_int r.smp_migrations;
+        ])
+    rows;
+  Engine.Table.print t
+
+let run_smp () =
+  print_endline "\n==================================================================";
+  print_endline " Part 6: smp — per-CPU dispatch over P = 1 / 2 / 4 / 8";
+  print_endline "==================================================================";
+  let rows = List.map (measure_smp ~slices:5 ~slice_ms:400) smp_cpu_counts in
+  print_smp rows;
+  rows
+
+(* --smp-smoke: the same workloads shrunk, with the structural claims
+   as hard assertions — P=1 never migrates, P>1 storms actually
+   migrate, per-event cost does not blow up with P, and the dispatch
+   path holds the allocation budget on every CPU count.  Part of
+   `make check` via the @smp-smoke dune alias. *)
+let run_smp_smoke () =
+  let rows = List.map (measure_smp ~slices:2 ~slice_ms:40) smp_cpu_counts in
+  print_smp rows;
+  let find p = List.find (fun r -> r.smp_cpus = p) rows in
+  let p1 = find 1 in
+  if p1.smp_migrations <> 0 then
+    failwith
+      (Printf.sprintf "smp smoke: P=1 recorded %d migrations (must be 0)"
+         p1.smp_migrations);
+  List.iter
+    (fun r ->
+      if r.smp_events <= 0 then
+        failwith (Printf.sprintf "smp smoke: %s fired no events" r.smp_name);
+      if r.smp_cpus > 1 && r.smp_migrations <= 0 then
+        failwith
+          (Printf.sprintf
+             "smp smoke: %s never migrated — the idle-claim path is dead"
+             r.smp_name);
+      if r.smp_words_per_event > sim_speed_words_budget then
+        failwith
+          (Printf.sprintf
+             "smp smoke: %s allocates %.1f minor words/event, over the \
+              %.0f-word budget"
+             r.smp_name r.smp_words_per_event sim_speed_words_budget);
+      (* Machine-relative: P-CPU bookkeeping may not multiply the
+         per-event dispatch cost.  3x leaves headroom for the extra
+         per-CPU accounting while catching an accidental O(P) scan. *)
+      if r.smp_ns_per_event > 3. *. p1.smp_ns_per_event then
+        failwith
+          (Printf.sprintf
+             "smp smoke: %s costs %.0f ns/event vs %.0f at P=1 — per-CPU \
+              dispatch must not blow up the per-event cost"
+             r.smp_name r.smp_ns_per_event p1.smp_ns_per_event))
+    rows;
+  print_endline "smp smoke PASSED."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel run: ns/decision and minor words/decision per benchmark.   *)
@@ -1034,7 +1233,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~sweeps ~sim_speed ~scale rows =
+let write_json ~path ~sweeps ~sim_speed ~scale ~smp rows =
   let n = List.length rows in
   (* The sweeps section is a hard gate in hsfq_bench_diff (speedup < 1x
      fails the diff), so only configurations that actually beat serial
@@ -1102,6 +1301,24 @@ let write_json ~path ~sweeps ~sim_speed ~scale rows =
             (if i = nscale - 1 then "" else ","))
         scale;
       Printf.fprintf oc "  },\n";
+      (* Multiprocessor dispatch rows; the "smp_" prefix keeps the line
+         parser honest, as with "scale_".  Event and migration counts
+         are deterministic (seeded workloads over simulated time), so
+         hsfq_bench_diff hard-gates them; ns/event is machine noise and
+         only gated relative to the same file's P=1 row. *)
+      let nsmp = List.length smp in
+      Printf.fprintf oc "  \"smp\": {\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    \"%s\": { \"smp_cpus\": %d, \"smp_events\": %d, \
+             \"smp_wall_s\": %.3f, \"smp_ns_per_event\": %.3f, \
+             \"smp_minor_words_per_event\": %.3f, \"smp_migrations\": %d }%s\n"
+            (json_escape r.smp_name) r.smp_cpus r.smp_events r.smp_wall_s
+            r.smp_ns_per_event r.smp_words_per_event r.smp_migrations
+            (if i = nsmp - 1 then "" else ","))
+        smp;
+      Printf.fprintf oc "  },\n";
       (* Wall-clock of the Par.sweep fan-outs; key names deliberately
          share no fields with "benchmarks" so hsfq_bench_diff's line
          parser never mistakes a sweep row for a micro-benchmark. *)
@@ -1121,10 +1338,11 @@ let write_json ~path ~sweeps ~sim_speed ~scale rows =
       Printf.fprintf oc "  }\n";
       Printf.fprintf oc "}\n");
   Printf.printf
-    "\nwrote %s (%d benchmarks, %d sim-speed rows, %d scale rows, %d sweeps)\n"
-    path n nspeed (List.length scale) nsweeps
+    "\nwrote %s (%d benchmarks, %d sim-speed rows, %d scale rows, %d smp rows, \
+     %d sweeps)\n"
+    path n nspeed (List.length scale) (List.length smp) nsweeps
 
-let run_micro ~json_path ~sweeps ~sim_speed ~scale =
+let run_micro ~json_path ~sweeps ~sim_speed ~scale ~smp =
   print_endline "\n==================================================================";
   print_endline " Part 2: micro-benchmarks (ns and minor words per decision)";
   print_endline "==================================================================";
@@ -1157,7 +1375,7 @@ let run_micro ~json_path ~sweeps ~sim_speed ~scale =
         [ name; Printf.sprintf "%.1f" est; Printf.sprintf "%.2f" w ])
     rows;
   Engine.Table.print t;
-  write_json ~path:json_path ~sweeps ~sim_speed ~scale rows
+  write_json ~path:json_path ~sweeps ~sim_speed ~scale ~smp rows
 
 (* --smoke: every micro closure must run without raising — one iteration,
    no Bechamel quota, so `make check` can afford it. *)
@@ -1186,6 +1404,7 @@ let () =
   let sim_speed_smoke = ref false in
   let sim_speed_only = ref false in
   let scale_smoke = ref false in
+  let smp_smoke = ref false in
   let json_path = ref "BENCH_sched.json" in
   let spec =
     [
@@ -1200,6 +1419,9 @@ let () =
       ( "--scale-smoke",
         Arg.Set scale_smoke,
         " toy-Q churn mixes with hard compaction/footprint asserts" );
+      ( "--smp-smoke",
+        Arg.Set smp_smoke,
+        " shrunk P=1..8 dispatch workloads with hard migration/cost asserts" );
       ( "--json",
         Arg.Set_string json_path,
         "PATH output path for benchmark estimates (default BENCH_sched.json)" );
@@ -1208,21 +1430,23 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "bench/main.exe [--smoke] [--sim-speed-smoke] [--scale-smoke] \
-     [--micro-only] [--json PATH]";
+     [--smp-smoke] [--micro-only] [--json PATH]";
   if !sim_speed_smoke then run_sim_speed_smoke ()
   else if !sim_speed_only then ignore (run_sim_speed ())
   else if !scale_smoke then run_scale_smoke ()
+  else if !smp_smoke then run_smp_smoke ()
   else begin
     let ok = if !micro_only then true else regenerate_figures () in
     if !smoke then run_smoke ()
     else begin
       let sweeps = if !micro_only then [] else run_sweeps () in
       let sim_speed = run_sim_speed () in
-      (* The scale rows ride along on --micro-only too: their footprints
-         are deterministic, so the @bench-diff fresh run can hard-gate
-         them against the committed baseline. *)
+      (* The scale and smp rows ride along on --micro-only too: their
+         footprints / event counts are deterministic, so the @bench-diff
+         fresh run can hard-gate them against the committed baseline. *)
       let scale = run_scale () in
-      run_micro ~json_path:!json_path ~sweeps ~sim_speed ~scale
+      let smp = run_smp () in
+      run_micro ~json_path:!json_path ~sweeps ~sim_speed ~scale ~smp
     end;
     if not ok then exit 1
   end

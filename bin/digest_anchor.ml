@@ -1,0 +1,33 @@
+(* Regenerator for test/golden/p1_equiv.digests — the single-CPU
+   behaviour anchor. The committed file was produced by the pre-
+   multiprocessor kernel; the torture/CSV digests printed here must
+   stay byte-identical at cpus = 1 (enforced by test_torture's
+   "P=1 equivalence" test). Regenerate only when a change is *meant*
+   to alter single-CPU behaviour:
+
+     dune exec bin/digest_anchor.exe > test/golden/p1_equiv.digests *)
+module T = Hsfq_torture.Torture
+
+let () =
+  List.iter
+    (fun seed ->
+      let o = T.run (T.config ~ops:2000 seed) in
+      let body = T.trace_to_string o.T.trace ^ "\n" ^ T.outcome_summary o in
+      Printf.printf "torture seed=%d ops=2000 %s\n" seed
+        (Digest.to_hex (Digest.string body)))
+    [ 1; 2; 3; 5; 8; 13 ];
+  List.iter
+    (fun id ->
+      match Hsfq_experiments.Csv_export.export id with
+      | Error e -> Printf.printf "csv %s ERROR %s\n" id e
+      | Ok files ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun (name, contents) ->
+            Buffer.add_string buf name;
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf contents)
+          files;
+        Printf.printf "csv %s %s\n" id
+          (Digest.to_hex (Digest.string (Buffer.contents buf))))
+    (Hsfq_experiments.Csv_export.exportable ())

@@ -15,7 +15,11 @@
    log2 slope across decades of Q, a churn mix whose peak footprint
    exceeds 2x steady state, a departure-heavy run whose end footprint
    compaction failed to reclaim, or a deterministic footprint that
-   drifted >25% from the committed baseline, each exit 1.
+   drifted >25% from the committed baseline, each exit 1.  The "smp"
+   section is hard-gated the same way: migrations at P=1, a dead
+   idle-claim path at P>1, per-event cost blowing past 3x the same
+   file's P=1 row, or a deterministic event/migration count drifting
+   >25% from baseline, each exit 1.
 
    The parser only understands the repo's own stable format (schema
    "hsfq-bench/1", one benchmark per line inside the "benchmarks" object)
@@ -38,6 +42,12 @@ type sweep_row = { speedup : float; jobs : float }
    structure footprint (array lengths + bucket counts, so drift is a
    code change, never measurement noise). *)
 type scale_row = { sns : float; speak : float; send : float }
+
+(* An smp section row: per-CPU dispatch over a simulated CPU set.
+   Event and migration counts are deterministic (seeded workloads over
+   simulated time); ns/event is machine noise, gated only relative to
+   the same file's P=1 row. *)
+type smp_row = { mcpus : float; mevents : float; mns : float; mmig : float }
 
 (* Extract the float following [key] on [line], if present. *)
 let field line key =
@@ -81,6 +91,7 @@ let load path =
   let speeds = Hashtbl.create 8 in
   let sweeps = Hashtbl.create 8 in
   let scales = Hashtbl.create 8 in
+  let smps = Hashtbl.create 8 in
   (try
      while true do
        let line = input_line ic in
@@ -106,6 +117,17 @@ let load path =
          | Some name -> Hashtbl.replace scales name { sns; speak; send }
          | None -> ())
        | _ -> ());
+       (match
+          ( field line "smp_cpus",
+            field line "smp_events",
+            field line "smp_ns_per_event",
+            field line "smp_migrations" )
+        with
+       | Some mcpus, Some mevents, Some mns, Some mmig -> (
+         match name_of line with
+         | Some name -> Hashtbl.replace smps name { mcpus; mevents; mns; mmig }
+         | None -> ())
+       | _ -> ());
        match (field line "speedup", field line "jobs") with
        | Some speedup, Some jobs -> (
          match name_of line with
@@ -115,7 +137,7 @@ let load path =
      done
    with End_of_file -> ());
   close_in ic;
-  (rows, speeds, sweeps, scales)
+  (rows, speeds, sweeps, scales, smps)
 
 let classify ratio =
   if ratio < tolerance_lo then `Faster
@@ -130,10 +152,12 @@ let () =
       prerr_endline "usage: hsfq_bench_diff BASELINE.json FRESH.json";
       exit 2
   in
-  let baseline, baseline_speed, baseline_sweeps, baseline_scale =
+  let baseline, baseline_speed, baseline_sweeps, baseline_scale, baseline_smp =
     load baseline_path
   in
-  let fresh, fresh_speed, fresh_sweeps, fresh_scale = load fresh_path in
+  let fresh, fresh_speed, fresh_sweeps, fresh_scale, fresh_smp =
+    load fresh_path
+  in
   if Hashtbl.length baseline = 0 then begin
     Printf.eprintf "no benchmark rows found in %s\n" baseline_path;
     exit 2
@@ -425,12 +449,126 @@ let () =
     scale_structural "baseline" baseline_scale;
     scale_structural "fresh" fresh_scale
   end;
+  (* smp rows: the third hard gate. The multiprocessor dispatch claims
+     are structural, not timing:
+
+     - the P=1 row must record exactly zero migrations (the single-CPU
+       fast path must not touch the migration machinery) and every
+       P>1 row must record some (the idle-claim path is exercised);
+     - per-event cost at P>1 must stay within [smp_cost_bound]x the
+       {e same file's} P=1 cost — machine-relative, so a slow CI box
+       cannot fail it, but an accidental O(P) scan in dispatch will;
+     - event and migration counts are deterministic (seeded workloads
+       over simulated time), so a fresh/baseline ratio outside the
+       tolerance band is a real behavioural change and fails (refresh
+       the baseline with [make bench] if intended);
+     - a baseline smp row missing from a fresh run that measured smp at
+       all means coverage silently shrank.
+
+     Both files are checked against the structural bounds. *)
+  let smp_cost_bound = 3.0 in
+  let smp_structural label (tbl : (string, smp_row) Hashtbl.t) =
+    if Hashtbl.length tbl > 0 then begin
+      let p1 =
+        Hashtbl.fold
+          (fun _ r acc -> if r.mcpus = 1. then Some r else acc)
+          tbl None
+      in
+      (match p1 with
+      | None ->
+        incr failed;
+        Printf.printf "%-40s FAIL (%s: no P=1 smp row to anchor the gates)\n"
+          "smp" label
+      | Some p1 ->
+        if p1.mmig <> 0. then begin
+          incr failed;
+          Printf.printf
+            "%-40s FAIL (%s: P=1 recorded %.0f migrations — the single-CPU \
+             path must never migrate)\n"
+            "smp-dispatch/P=1" label p1.mmig
+        end;
+        Hashtbl.iter
+          (fun name r ->
+            if r.mcpus > 1. then begin
+              if r.mmig <= 0. then begin
+                incr failed;
+                Printf.printf
+                  "%-40s FAIL (%s: no migrations at P=%.0f — the idle-claim \
+                   path is dead)\n"
+                  name label r.mcpus
+              end;
+              if r.mns > smp_cost_bound *. p1.mns then begin
+                incr failed;
+                Printf.printf
+                  "%-40s FAIL (%s: %.0f ns/event vs %.0f at P=1, over the \
+                   %.1fx bound — per-CPU dispatch must not blow up the \
+                   per-event cost)\n"
+                  name label r.mns p1.mns smp_cost_bound
+              end
+            end)
+          tbl)
+    end
+  in
+  if Hashtbl.length baseline_smp > 0 || Hashtbl.length fresh_smp > 0 then begin
+    let names =
+      Hashtbl.fold (fun name _ acc -> name :: acc) baseline_smp []
+      |> List.sort String.compare
+    in
+    Printf.printf "\n%-40s %10s %10s %8s  %s\n" "smp row" "base ev"
+      "fresh ev" "ratio" "verdict";
+    List.iter
+      (fun name ->
+        match Hashtbl.find_opt baseline_smp name with
+        | None -> ()
+        | Some b -> (
+          match Hashtbl.find_opt fresh_smp name with
+          | None ->
+            if Hashtbl.length fresh_smp > 0 then begin
+              incr failed;
+              Printf.printf
+                "%-40s %10.0f %10s %8s  FAIL (missing from fresh smp rows)\n"
+                name b.mevents "-" "-"
+            end
+          | Some f ->
+            let ratio = f.mevents /. b.mevents in
+            let verdict =
+              if ratio < tolerance_lo || ratio > tolerance_hi then begin
+                incr failed;
+                "FAIL (deterministic event count drifted > 25% — \
+                 behavioural change; refresh the baseline if intended)"
+              end
+              else "ok"
+            in
+            Printf.printf "%-40s %10.0f %10.0f %8.2f  %s\n" name b.mevents
+              f.mevents ratio verdict;
+            let mig_ratio =
+              if b.mmig = 0. then if f.mmig = 0. then 1. else infinity
+              else f.mmig /. b.mmig
+            in
+            if mig_ratio < tolerance_lo || mig_ratio > tolerance_hi then begin
+              incr failed;
+              Printf.printf
+                "%-40s %10.0f %10.0f %8.2f  FAIL (migration count drifted > \
+                 25%% — the balancing policy changed; refresh the baseline \
+                 if intended)\n"
+                "" b.mmig f.mmig mig_ratio
+            end))
+      names;
+    Hashtbl.iter
+      (fun name _ ->
+        if not (Hashtbl.mem baseline_smp name) then
+          Printf.printf "%-40s %10s %10s %8s  new (not in baseline)\n" name
+            "-" "-" "-")
+      fresh_smp;
+    smp_structural "baseline" baseline_smp;
+    smp_structural "fresh" fresh_smp
+  end;
   if !drifted > 0 then
     Printf.printf
       "\n%d micro/sim-speed row(s) outside the [%.2f, %.2f] tolerance band — advisory only.\n"
       !drifted tolerance_lo tolerance_hi
   else Printf.printf "\nall micro/sim-speed rows within tolerance.\n";
   if !failed > 0 then begin
-    Printf.printf "%d sweep/scale check(s) FAILED the hard gates.\n" !failed;
+    Printf.printf "%d sweep/scale/smp check(s) FAILED the hard gates.\n" !failed;
     exit 1
   end

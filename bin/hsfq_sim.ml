@@ -345,13 +345,13 @@ let csv_cmd =
 (* Lifecycle torture: run the seeded stress driver, report, and shrink
    failing traces to a minimal reproducer. *)
 let torture_run seed seeds ops audit_period max_leaves max_spawns prepopulate
-    do_shrink quiet jobs backend =
+    cpus do_shrink quiet jobs backend =
   let module T = Hsfq_torture.Torture in
   let failures = ref 0 in
   let last = seed + Int.max 0 (seeds - 1) in
   let seed_array = Array.init (last - seed + 1) (fun i -> seed + i) in
   let cfg =
-    T.config ~ops ~audit_period ~max_leaves ~max_spawns ~prepopulate seed
+    T.config ~ops ~audit_period ~max_leaves ~max_spawns ~prepopulate ~cpus seed
   in
   (* The seeds run on the sweep; reporting (and any shrinking, which is
      itself seed-deterministic) happens at the join in seed order, so
@@ -367,7 +367,8 @@ let torture_run seed seeds ops audit_period max_leaves max_spawns prepopulate
         Printf.printf "seed %d: FAIL — %s\n" s (T.outcome_summary o);
         if do_shrink then begin
           let cfg =
-            T.config ~ops ~audit_period ~max_leaves ~max_spawns ~prepopulate s
+            T.config ~ops ~audit_period ~max_leaves ~max_spawns ~prepopulate
+              ~cpus s
           in
           let small = T.shrink cfg o.trace in
           Printf.printf "shrunk to %d op(s) (from %d):\n%s\n"
@@ -412,6 +413,9 @@ let torture_cmd =
   let prepopulate =
     Arg.(value & opt int 0 & info [ "prepopulate" ] ~docv:"N" ~doc:"Build N leaves at init before the op stream runs; large values (100000+) exercise giant hierarchies under churn. Must be <= --max-leaves.")
   in
+  let cpus =
+    Arg.(value & opt int 1 & info [ "cpus" ] ~docv:"P" ~doc:"Simulated CPUs. P=1 (default) reproduces the historical single-CPU driver byte-for-byte; P>1 adds per-CPU interrupt storms and randomized cross-CPU interrupt targeting, racing thread migrations against the per-CPU audits.")
+  in
   let do_shrink =
     Arg.(value & flag & info [ "shrink" ] ~doc:"Delta-debug failing traces to a minimal reproducer.")
   in
@@ -421,7 +425,8 @@ let torture_cmd =
   Cmd.v (Cmd.info "torture" ~doc)
     Term.(
       const torture_run $ seed $ seeds $ ops $ audit_period $ max_leaves
-      $ max_spawns $ prepopulate $ do_shrink $ quiet $ jobs_arg $ backend_arg)
+      $ max_spawns $ prepopulate $ cpus $ do_shrink $ quiet $ jobs_arg
+      $ backend_arg)
 
 let main =
   let doc =

@@ -34,7 +34,7 @@ type view = {
   threads : thread_view list;
   mutexes : mutex_view list;
   leaves : leaf_view list;
-  running : int option;
+  running : (int * int) list; (* (cpu, tid) of each live dispatch *)
 }
 
 type ctx = { sink : Invariant.sink; last_vt : (string, float) Hashtbl.t }
@@ -59,20 +59,29 @@ let check_threads sink ~event v lookup =
         "thread %d has a banked wake but is not suspended" tv.tid;
       if tv.state = Running then
         chk "run-state"
-          (v.running = Some tv.tid)
-          "thread %d is Running but the kernel dispatch is %s" tv.tid
-          (match v.running with
-          | None -> "idle"
-          | Some r -> "thread " ^ string_of_int r))
+          (List.exists (fun (_, r) -> r = tv.tid) v.running)
+          "thread %d is Running but no CPU is dispatching it" tv.tid)
     v.threads;
-  match v.running with
-  | None -> ()
-  | Some r ->
-    Invariant.check sink ~invariant:"run-state" ~node:"kernel" ~event
-      (match lookup r with
-      | Some tv -> tv.state = Running
-      | None -> false)
-      "dispatched thread %d is not in state Running" r
+  (* Per-CPU run-state rules: every dispatch executes a Running thread,
+     no CPU holds two dispatches, and no thread runs on two CPUs. *)
+  let chk inv = Invariant.check sink ~invariant:inv ~node:"kernel" ~event in
+  let seen_cpu = Hashtbl.create 8 and seen_tid = Hashtbl.create 8 in
+  List.iter
+    (fun (cpu, r) ->
+      chk "run-state"
+        (not (Hashtbl.mem seen_cpu cpu))
+        "cpu %d holds two dispatches" cpu;
+      Hashtbl.replace seen_cpu cpu ();
+      chk "run-state"
+        (not (Hashtbl.mem seen_tid r))
+        "thread %d is dispatched on two CPUs" r;
+      Hashtbl.replace seen_tid r ();
+      chk "run-state"
+        (match lookup r with
+        | Some tv -> tv.state = Running
+        | None -> false)
+        "thread %d dispatched on cpu %d is not in state Running" r cpu)
+    v.running
 
 let check_mutexes sink ~event v lookup =
   List.iter

@@ -23,7 +23,9 @@
       the ledger is empty and every effective weight equals the
       administered weight.
     - [wake-handle], [suspend-state], [run-state]: no timer outlives or
-      bypasses its thread's lifecycle state.
+      bypasses its thread's lifecycle state; every dispatched thread is
+      Running, every Running thread is dispatched on some CPU, no CPU
+      holds two dispatches, and no thread runs on two CPUs at once.
     - [vt-monotone]: each leaf SFQ's virtual time never recedes between
       audits (tracked in the {!ctx}).
 
@@ -64,7 +66,10 @@ type view = {
   threads : thread_view list;
   mutexes : mutex_view list;
   leaves : leaf_view list;
-  running : int option;  (** tid of the current dispatch, if any *)
+  running : (int * int) list;
+      (** the live dispatches as [(cpu, tid)] pairs — at most one per
+          CPU, empty when every CPU is idle. Single-CPU kernels report
+          [[(0, tid)]] or [[]]. *)
 }
 
 type ctx

@@ -1,0 +1,161 @@
+(* Hierarchical weighted max-min fairness oracle: a pure model of what
+   the multiprocessor GPS reference allocates, plus an independent
+   criteria checker.  See the .mli for the fairness definition. *)
+
+type node =
+  | Leaf of { weight : float; demand : float; cap : float }
+  | Group of { weight : float; cap : float; children : node list }
+
+let leaf ?(cap = infinity) ~weight ~demand () =
+  if not (weight > 0.) then invalid_arg "Maxmin.leaf: weight must be > 0";
+  if demand < 0. then invalid_arg "Maxmin.leaf: demand must be >= 0";
+  if cap < 0. then invalid_arg "Maxmin.leaf: cap must be >= 0";
+  Leaf { weight; demand; cap }
+
+let group ?(cap = infinity) ~weight children =
+  if not (weight > 0.) then invalid_arg "Maxmin.group: weight must be > 0";
+  if children = [] then invalid_arg "Maxmin.group: no children";
+  if cap < 0. then invalid_arg "Maxmin.group: cap must be >= 0";
+  Group { weight; cap; children }
+
+(* Annotated tree: every node carries its effective demand — what the
+   subtree could absorb if offered unlimited rate — so the water-filling
+   pass and the checker never recompute subtree sums (O(n) total). *)
+type ann = { w : float; dmd : float; children : ann list }
+
+let rec annotate = function
+  | Leaf l -> { w = l.weight; dmd = Float.min l.demand l.cap; children = [] }
+  | Group g ->
+    let children = List.map annotate g.children in
+    let s = List.fold_left (fun acc c -> acc +. c.dmd) 0. children in
+    { w = g.weight; dmd = Float.min g.cap s; children }
+
+let rec count_leaves a =
+  match a.children with
+  | [] -> 1
+  | ch -> List.fold_left (fun acc c -> acc + count_leaves c) 0 ch
+
+(* One weighted water-filling round among sibling subtrees: find the
+   level [lambda] such that a_i = min(d_i, w_i * lambda) exhausts
+   [capacity].  Sorting the children by normalized demand d_i/w_i and
+   saturating in that order finds the level in O(k log k). *)
+let waterfill ~capacity children =
+  let arr = Array.of_list children in
+  let k = Array.length arr in
+  let alloc = Array.make k 0. in
+  let total_d = Array.fold_left (fun acc c -> acc +. c.dmd) 0. arr in
+  if total_d <= capacity then
+    Array.iteri (fun i c -> alloc.(i) <- c.dmd) arr
+  else begin
+    let order = Array.init k Fun.id in
+    Array.sort
+      (fun i j ->
+        Float.compare (arr.(i).dmd /. arr.(i).w) (arr.(j).dmd /. arr.(j).w))
+      order;
+    let rem = ref capacity in
+    let wsum = ref (Array.fold_left (fun acc c -> acc +. c.w) 0. arr) in
+    let i = ref 0 in
+    let filling = ref true in
+    while !filling && !i < k && !wsum > 0. do
+      let c = arr.(order.(!i)) in
+      let level = !rem /. !wsum in
+      if c.dmd <= c.w *. level then begin
+        (* saturates below the water line: gets its whole demand *)
+        alloc.(order.(!i)) <- c.dmd;
+        rem := !rem -. c.dmd;
+        wsum := !wsum -. c.w;
+        incr i
+      end
+      else begin
+        (* everyone still unsaturated shares the rest by weight *)
+        for j = !i to k - 1 do
+          alloc.(order.(j)) <- arr.(order.(j)).w *. level
+        done;
+        filling := false
+      end
+    done
+  end;
+  alloc
+
+let allocate ~capacity n =
+  if capacity < 0. then invalid_arg "Maxmin.allocate: capacity must be >= 0";
+  let a = annotate n in
+  let out = ref [] in
+  let rec go a offered =
+    let c = Float.min offered a.dmd in
+    match a.children with
+    | [] -> out := c :: !out
+    | ch ->
+      let alloc = waterfill ~capacity:c ch in
+      List.iteri (fun i child -> go child alloc.(i)) ch
+  in
+  go a capacity;
+  Array.of_list (List.rev !out)
+
+let total rates = Array.fold_left ( +. ) 0. rates
+
+let check ?(eps = 1e-6) ~capacity n ~rates =
+  let a = annotate n in
+  let scale = Float.max 1. capacity in
+  let tol = eps *. scale in
+  let nleaves = count_leaves a in
+  if Array.length rates <> nleaves then
+    Error
+      (Printf.sprintf "rate vector has %d entries for %d leaves"
+         (Array.length rates) nleaves)
+  else begin
+    let errors = ref [] in
+    let err fmt =
+      Printf.ksprintf (fun s -> errors := s :: !errors) fmt
+    in
+    let idx = ref 0 in
+    (* Returns the subtree's total allocation. *)
+    let rec go a path =
+      match a.children with
+      | [] ->
+        let r = rates.(!idx) in
+        incr idx;
+        if r < -.tol then err "leaf %s: negative rate %g" path r;
+        if r > a.dmd +. tol then
+          err "leaf %s: rate %g exceeds its demand/cap %g" path r a.dmd;
+        r
+      | ch ->
+        let sums =
+          List.mapi
+            (fun i c -> (c, go c (Printf.sprintf "%s/%d" path i)))
+            ch
+        in
+        let total = List.fold_left (fun acc (_, s) -> acc +. s) 0. sums in
+        if total > a.dmd +. tol then
+          err "group %s: children draw %g, over its cap/demand %g" path total
+            a.dmd;
+        (* Bottleneck condition, O(k): no sibling's normalized share may
+           exceed that of any child that is still unsaturated (could
+           absorb more).  min over unsaturated of a/w bounds max over
+           all of a/w. *)
+        let min_unsat = ref infinity and max_norm = ref neg_infinity in
+        List.iter
+          (fun (c, s) ->
+            let norm = s /. c.w in
+            if norm > !max_norm then max_norm := norm;
+            if s < c.dmd -. tol && norm < !min_unsat then min_unsat := norm)
+          sums;
+        if !max_norm > !min_unsat +. (eps *. Float.max 1. !max_norm) then
+          err
+            "group %s: normalized share %g exceeds an unsaturated \
+             sibling's %g (not max-min)"
+            path !max_norm !min_unsat;
+        total
+    in
+    let root_total = go a "root" in
+    if root_total > capacity +. tol then
+      err "root allocates %g over the capacity %g" root_total capacity;
+    (* Work conservation: capacity is left idle only when demand ran
+       out. *)
+    if root_total < Float.min capacity a.dmd -. tol then
+      err "root allocates %g but min(capacity, demand) is %g" root_total
+        (Float.min capacity a.dmd);
+    match !errors with
+    | [] -> Ok ()
+    | es -> Error (String.concat "; " (List.rev es))
+  end

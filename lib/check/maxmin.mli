@@ -1,0 +1,61 @@
+(** Hierarchical weighted max-min fairness oracle.
+
+    The multiprocessor GPS reference for an HSFQ CPU set: with [p] CPUs
+    serving one scheduling structure, the fluid-fair allocation of rate
+    among the subtrees is {e hierarchical weighted max-min} — at every
+    group, each child's rate is proportional to its weight until the
+    child {e saturates} (hits its own demand or a structural rate cap),
+    and the rate a saturated child cannot absorb is redistributed among
+    its siblings by the same rule (the water-filling characterization of
+    hierarchical max-min fairness, as in Luangsomboon & Liebeherr's
+    network-calculus treatment).  Structural caps model the dispatch
+    protocol: a subtree served by at most one CPU at a time has rate cap
+    1 regardless of its weight, which is exactly the per-root-subtree
+    claim discipline of {!Hsfq_core.Hierarchy.set_servers}.
+
+    This module is a {e pure} model — no kernel types — so it can judge
+    a real multiprocessor run (observed service shares vs the oracle's
+    rates) and be property-tested on its own: {!allocate} computes the
+    allocation in O(k log k) per node, and {!check} verifies the
+    max-min {e criteria} (feasibility, demand bounds, work conservation
+    and the bottleneck condition) without reference to how the rates
+    were produced, so the two sides keep each other honest. *)
+
+type node
+
+val leaf : ?cap:float -> weight:float -> demand:float -> unit -> node
+(** A demand source: wants [demand] units of rate, can absorb at most
+    [cap] (default unbounded).  For CPU scheduling, rate 1.0 = one full
+    CPU; a single thread has [cap = 1.], a class of [k] threads at most
+    [k.].  Raises [Invalid_argument] unless [weight > 0], [demand >= 0]
+    and [cap >= 0]. *)
+
+val group : ?cap:float -> weight:float -> node list -> node
+(** An internal scheduling node with a weight and an optional rate cap
+    ([cap = 1.] models a subtree that at most one CPU serves at a
+    time).  Raises [Invalid_argument] on an empty child list or
+    non-positive weight. *)
+
+val allocate : capacity:float -> node -> float array
+(** The hierarchical weighted max-min allocation of [capacity] rate
+    units to the tree's leaves, in depth-first (declaration) order.
+    O(k log k) per group. *)
+
+val total : float array -> float
+
+val check :
+  ?eps:float -> capacity:float -> node -> rates:float array -> (unit, string) result
+(** Judge a proposed leaf-rate vector against the max-min criteria:
+
+    - every rate is non-negative and at most the leaf's demand/cap;
+    - every group's children draw no more than the group's cap (and the
+      root no more than [capacity]);
+    - work conservation: the root's total is [min capacity demand]
+      unless demand ran out;
+    - bottleneck condition: within a group, no child's weight-normalized
+      rate exceeds that of a sibling that is still unsaturated — the
+      defining property of (weighted) max-min fairness.
+
+    [eps] is a relative tolerance (default [1e-6], scaled by
+    [capacity]).  Returns every violated criterion in the error
+    string. *)

@@ -473,6 +473,15 @@ let rec descend_id t n =
       audited t ~node:n.nid ~event:"select";
       descend_id t (node t child)
     end
+    else if n.parent = None then
+      (* Runnable root with nothing selectable: every runnable subtree
+         is claimed by a concurrent decision path (multi-server
+         dispatch, see [set_servers]) — report no work rather than
+         violate a sibling's claim. Impossible below the root: a child
+         appears in its parent's ready queue only while unclaimed, and
+         claims release bottom-up, so a descent never enters a subtree
+         whose own children are all claimed. *)
+      -1
     else
       (* A runnable node with no selectable child violates the
          runnability invariant. *)
@@ -481,6 +490,20 @@ let rec descend_id t n =
 let schedule_id t =
   let r = node t root in
   if not r.runnable then -1 else descend_id t r
+
+(* Multiprocessor dispatch: allow [p] concurrent root->leaf decision
+   paths. Claims are taken level by level as [schedule_id] descends and
+   released bottom-up by [update]'s walk, so two paths can only ever
+   contend at the root — every deeper node is reached by at most one
+   path at a time (its parent's claim on it is exclusive). Raising the
+   root scheduler's claim capacity is therefore sufficient, and leaving
+   every other node at capacity 1 keeps the single-claim protocol
+   enforced where it must hold. *)
+let set_servers t p =
+  if p < 1 then invalid_arg "Hierarchy.set_servers: capacity < 1";
+  Sfq.set_servers (sfq_of (node t root)) p
+
+let servers t = Sfq.servers (sfq_of (node t root))
 
 let schedule t =
   let leaf = schedule_id t in

@@ -138,10 +138,25 @@ val schedule : t -> id option
 
 val schedule_id : t -> id
 (** Allocation-free [schedule]: the selected leaf's id, or [-1] iff no
-    leaf is runnable. Same contract otherwise — each successful
+    leaf is runnable {e and reachable} — with several decision paths
+    outstanding (see {!set_servers}), every runnable root subtree may
+    already be claimed. Same contract otherwise — each successful
     [schedule_id] must be followed by exactly one update. The kernel
     dispatch loop uses this together with {!update_ns} to keep a
     hierarchical decision free of minor allocation. *)
+
+val set_servers : t -> int -> unit
+(** Allow up to [p] outstanding [schedule]/[update] decision pairs, for
+    multiprocessor dispatch. Only the root scheduler's claim capacity is
+    raised: claims release bottom-up, so concurrent decision paths can
+    contend only at the root, and each path owns its whole root subtree
+    until its [update]. Consequently a single root child subtree serves
+    at most one CPU at a time — multiprocessor topologies should give
+    the root at least [p] children. Raises if [p < 1] or below the
+    current number of outstanding decisions. *)
+
+val servers : t -> int
+(** Current root claim capacity (1 unless {!set_servers} raised it). *)
 
 val update : t -> leaf:id -> service:float -> leaf_runnable:bool -> unit
 (** Charge [service] (CPU nanoseconds) for the quantum just executed by a

@@ -71,7 +71,14 @@ type t = {
          depart), never touched by a scheduling decision *)
   clock : clock;
   mutable nrun : int;
-  mutable in_service : int; (* slot; -1 = none *)
+  mutable servers : int;
+      (* claim capacity: how many selections may be outstanding at once.
+         1 (the default) is the paper's single-CPU protocol; the
+         multiprocessor hierarchy raises the *root* scheduler's capacity
+         to the CPU count (claims are pop-only, so each child subtree
+         serves at most one CPU at a time — see Hierarchy.set_servers). *)
+  mutable svc : int array; (* claimed slots, [0, nsvc) *)
+  mutable nsvc : int; (* outstanding selections not yet charged *)
   mutable on_remap : (id:int -> slot:int -> unit) option;
       (* compaction notification for callers caching slots *)
   mutable obs : Hsfq_obs.Trace.sys option;
@@ -123,7 +130,9 @@ let create ?rng:_ ?quantum_hint:_ () =
       donations = Hashtbl.create 4;
       clock = { vt = 0.; max_finish = 0. };
       nrun = 0;
-      in_service = -1;
+      servers = 1;
+      svc = Array.make 1 (-1);
+      nsvc = 0;
       on_remap = None;
       obs = None;
       obs_on = ref false;
@@ -157,6 +166,30 @@ let set_obs t sys ~node =
 
 let set_on_remap t f = t.on_remap <- f
 let stage_cell t = t.fstage
+
+(* Index of [slot] in the outstanding-claim set, -1 if not claimed.
+   [nsvc] is bounded by the server count (the CPU count in the
+   multiprocessor hierarchy), so the linear scan is O(1) in practice —
+   and, like every other decision-path helper, allocation-free. *)
+let rec claim_index_from t slot i =
+  if i >= t.nsvc then -1
+  else if t.svc.(i) = slot then i
+  else claim_index_from t slot (i + 1)
+
+let claim_index t slot = claim_index_from t slot 0
+
+let set_servers t n =
+  if n < 1 then invalid_arg "Sfq.set_servers: capacity < 1";
+  if n < t.nsvc then
+    invalid_arg "Sfq.set_servers: outstanding selections exceed new capacity";
+  if n > Array.length t.svc then begin
+    let ns = Array.make n (-1) in
+    Array.blit t.svc 0 ns 0 t.nsvc;
+    t.svc <- ns
+  end;
+  t.servers <- n
+
+let servers t = t.servers
 
 (* id -> slot, -1 if unknown. [Hashtbl.find] on an int key neither
    hashes through a closure nor allocates on a hit (unlike [find_opt]'s
@@ -289,7 +322,9 @@ let compact t =
     Hashtbl.replace m t.idv.(s) s
   done;
   t.slot_of <- m;
-  if t.in_service >= 0 then t.in_service <- map.(t.in_service);
+  for i = 0 to t.nsvc - 1 do
+    t.svc.(i) <- map.(t.svc.(i))
+  done;
   Keyed_heap.remap_ids t.queue map;
   match t.on_remap with
   | None -> ()
@@ -377,7 +412,7 @@ let revoke t ~blocked =
 let depart t ~id =
   let slot = slot_of_id t ~id in
   if slot >= 0 then begin
-    if t.in_service = slot then invalid_arg "Sfq.depart: client in service";
+    if claim_index t slot >= 0 then invalid_arg "Sfq.depart: client in service";
     if Char.equal (Bytes.get t.statev slot) st_runnable then begin
       t.nrun <- t.nrun - 1;
       (* A runnable, not-in-service client has exactly one queued heap
@@ -408,15 +443,23 @@ let set_weight t ~id ~weight =
   t.weightv.(slot) <- weight
 
 let select_id t =
-  if t.in_service >= 0 then
+  if t.nsvc >= t.servers then
     invalid_arg "Sfq.select: previous selection not yet charged";
   let slot = Keyed_heap.pop_valid t.queue in
   if slot < 0 then -1
   else begin
-    t.in_service <- slot;
+    t.svc.(t.nsvc) <- slot;
+    t.nsvc <- t.nsvc + 1;
     (* Rule 2: while busy, v(t) is the start tag of the quantum in
-       service. *)
-    t.clock.vt <- t.klast.(0);
+       service.  With several claims outstanding this is the most
+       recently selected one, kept monotone explicitly: at servers > 1
+       a client pinned at its one-CPU rate cap legitimately carries
+       start tags that lag v(t) (its finish tags advance at
+       service/weight < the aggregate virtual rate), so a freshly
+       popped tag can sit below the clock.  At servers = 1 select and
+       charge strictly alternate, every enqueued tag is >= the vt it
+       was assigned under, and the fmax is inert. *)
+    t.clock.vt <- fmax t.clock.vt t.klast.(0);
     let id = t.idv.(slot) in
     (if !(t.obs_on) then
        match t.obs with
@@ -433,11 +476,15 @@ let select t =
   let id = select_id t in
   if id < 0 then None else Some id
 
-(* Hot charge body, on the in-service slot (validated by the caller). *)
-let do_charge t ~slot ~runnable =
+(* Hot charge body, on an in-service slot. [ci] is the slot's index in
+   the claim set (validated by the caller); swap-removal keeps the set
+   dense without disturbing the other outstanding claims. *)
+let do_charge t ~ci ~slot ~runnable =
   let service = t.fstage.(0) in
   if service < 0. then invalid_arg "Sfq.charge: negative service";
-  t.in_service <- -1;
+  t.nsvc <- t.nsvc - 1;
+  t.svc.(ci) <- t.svc.(t.nsvc);
+  t.svc.(t.nsvc) <- -1;
   let ew = effective_weight t slot in
   let finish = t.startv.(slot) +. (service /. ew) in
   t.finishv.(slot) <- finish;
@@ -461,7 +508,18 @@ let do_charge t ~slot ~runnable =
        Hsfq_obs.Metrics.charge_sample_staged (Hsfq_obs.Trace.metrics s)
          ~node:id);
   if runnable then begin
-    t.startv.(slot) <- fmax t.clock.vt finish;
+    (* A continuously backlogged client keeps its own tag stream:
+       start <- finish, NOT fmax vt finish.  Clamping to v(t) here
+       would erase the lag a weight-heavy client accumulates while
+       saturating its one-CPU cap at servers > 1 and collapse the
+       allocation to equal shares; the capped max-min (feasible-
+       weight) split requires the lagging tags to keep their claim to
+       the next quantum.  At servers = 1 the clamp was inert anyway:
+       v(t) equals this slot's start tag while it is in service, so
+       finish >= v(t) always.  Clients re-arriving from blocked still
+       clamp to v(t) in [arrive], which is what forgives banked
+       credit. *)
+    t.startv.(slot) <- finish;
     enqueue t slot
   end
   else begin
@@ -471,18 +529,22 @@ let do_charge t ~slot ~runnable =
     note_idle t
   end
 
+let rec claim_of_id t ~id i =
+  if i >= t.nsvc then -1
+  else if id >= 0 && t.idv.(t.svc.(i)) = id then i
+  else claim_of_id t ~id (i + 1)
+
 let charge_staged t ~id ~runnable =
-  let slot = t.in_service in
-  (* The in-service slot knows its id, so the id-keyed charge needs no
-     hash lookup. *)
-  if slot < 0 || id < 0 || t.idv.(slot) <> id then
-    invalid_arg "Sfq.charge: client not in service";
-  do_charge t ~slot ~runnable
+  (* The claimed slots know their ids, so the id-keyed charge needs no
+     hash lookup: scan the (CPU-count-bounded) claim set. *)
+  let ci = claim_of_id t ~id 0 in
+  if ci < 0 then invalid_arg "Sfq.charge: client not in service";
+  do_charge t ~ci ~slot:t.svc.(ci) ~runnable
 
 let charge_slot_staged t ~slot ~runnable =
-  if slot < 0 || t.in_service <> slot then
-    invalid_arg "Sfq.charge: client not in service";
-  do_charge t ~slot ~runnable
+  let ci = if slot < 0 then -1 else claim_index t slot in
+  if ci < 0 then invalid_arg "Sfq.charge: client not in service";
+  do_charge t ~ci ~slot ~runnable
 
 let charge t ~id ~service ~runnable =
   t.fstage.(0) <- service;
@@ -490,7 +552,7 @@ let charge t ~id ~service ~runnable =
 
 let block_slot t ~slot =
   if slot >= 0 && slot < t.cap && t.idv.(slot) >= 0 then begin
-    if t.in_service = slot then
+    if claim_index t slot >= 0 then
       invalid_arg "Sfq.block: client in service (use charge ~runnable:false)";
     if Char.equal (Bytes.get t.statev slot) st_runnable then begin
       Bytes.set t.statev slot st_blocked;
@@ -553,7 +615,15 @@ let effective_weight_of t ~id =
   let slot = slot_checked t id in
   effective_weight t slot
 
-let in_service t = if t.in_service < 0 then None else Some t.idv.(t.in_service)
+let in_service t = if t.nsvc = 0 then None else Some t.idv.(t.svc.(t.nsvc - 1))
+
+let in_service_ids t =
+  let acc = ref [] in
+  for i = t.nsvc - 1 downto 0 do
+    acc := t.idv.(t.svc.(i)) :: !acc
+  done;
+  !acc
+
 let max_finish_tag t = t.clock.max_finish
 
 let donations t =
@@ -571,6 +641,7 @@ let footprint_words t =
   let stats = Hashtbl.stats t.slot_of in
   (6 * t.cap)
   + ((t.cap + 7) / 8)
+  + Array.length t.svc
   + Array.length t.freev
   + stats.Hashtbl.num_buckets
   + (3 * stats.Hashtbl.num_bindings)

@@ -47,9 +47,25 @@ val set_obs : t -> Hsfq_obs.Trace.sys option -> node:int -> unit
 
 val select_id : t -> int
 (** Allocation-free [select]: the selected client's id, or [-1] iff no
-    client is runnable. Same contract otherwise — each successful
-    [select_id] must be followed by exactly one [charge]. Used by
-    {!Hierarchy.schedule} to keep hierarchical dispatch allocation-free. *)
+    client is runnable {e and unclaimed}. Same contract otherwise — each
+    successful [select_id] must be followed by exactly one [charge]. Used
+    by {!Hierarchy.schedule} to keep hierarchical dispatch
+    allocation-free. *)
+
+val set_servers : t -> int -> unit
+(** Raise (or lower) the claim capacity: how many [select]s may be
+    outstanding before the next one raises. The default of 1 is the
+    paper's single-CPU protocol. With capacity [p], up to [p] distinct
+    clients can be in service at once — a claimed client is out of the
+    ready queue until charged, so each client serves at most one claim
+    at a time (the multiprocessor hierarchy uses this on the root
+    scheduler only; see {!Hierarchy.set_servers}). While several claims
+    are outstanding, [v(t)] is the start tag of the most recent one —
+    the maximum, since selections pop in start-tag order. Raises if the
+    new capacity is below 1 or below the outstanding-claim count. *)
+
+val servers : t -> int
+(** Current claim capacity (1 unless {!set_servers} raised it). *)
 
 val stage_cell : t -> float array
 (** One-cell float staging buffer for the [_staged] entry points below.
@@ -144,7 +160,12 @@ val effective_weight_of : t -> id:int -> float
 (** [weight + donated] — the divisor the next [charge] will use. *)
 
 val in_service : t -> int option
-(** The client selected but not yet charged, if any. *)
+(** The client selected but not yet charged, if any — with several
+    claims outstanding (see {!set_servers}), one of them. *)
+
+val in_service_ids : t -> int list
+(** Every client selected but not yet charged (at most {!servers};
+    audit probe — allocates). *)
 
 val max_finish_tag : t -> float
 (** Largest finish tag ever assigned (the idle-transition value of

@@ -25,10 +25,10 @@ let with_obs tr f =
   Domain.DLS.set obs_key (Some tr);
   Fun.protect ~finally:(fun () -> Domain.DLS.set obs_key prev) f
 
-let make_sys ?config ?(audit = true) ?(obs_label = "sys") () =
+let make_sys ?config ?cpus ?(audit = true) ?(obs_label = "sys") () =
   let sim = Sim.create () in
   let hier = Hierarchy.create () in
-  let k = Kernel.create ?config sim hier in
+  let k = Kernel.create ?config ?cpus sim hier in
   (* Collect-policy sink: experiments run to completion and report the
      audit verdict as an ordinary check instead of dying mid-figure. *)
   let sink =

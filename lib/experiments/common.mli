@@ -30,12 +30,15 @@ val with_obs : Hsfq_obs.Trace.t -> (unit -> 'a) -> 'a
 val ambient_obs : unit -> Hsfq_obs.Trace.t option
 
 val make_sys :
-  ?config:Kernel.config -> ?audit:bool -> ?obs_label:string -> unit -> sys
+  ?config:Kernel.config -> ?cpus:int -> ?audit:bool -> ?obs_label:string ->
+  unit -> sys
 (** [audit] (default [true]) attaches {!Hsfq_check.Hierarchy_audit} to the
     scheduling structure and audits every {!sfq_leaf}, collecting
     violations in [sys.audit] for {!audit_check} to report.
-    [obs_label] (default ["sys"]) names this system's trace process when
-    built under {!with_obs}. *)
+    [cpus] (default 1) builds the kernel on a simulated CPU set
+    ({!Kernel.create}[ ~cpus]) — used by the multiprocessor experiment
+    family.  [obs_label] (default ["sys"]) names this system's trace
+    process when built under {!with_obs}. *)
 
 val internal : sys -> parent:Hierarchy.id -> name:string -> weight:float ->
   Hierarchy.id

@@ -85,6 +85,9 @@ let all =
     entry "xprotect" "protection from RT-class monopolization"
       "flat SVR4 starves TS under an RT hog; the hierarchy protects siblings"
       ~run:(fun () -> Xprotect.run ()) ~print:Xprotect.print ~checks:Xprotect.checks;
+    entry "xsmp" "multiprocessor HSFQ on a simulated CPU set"
+      "per-CPU dispatch tracks the capped max-min GPS reference for P=1..8; latency stays quantum-bounded under migration storms"
+      ~run:(fun () -> Xsmp.run ()) ~print:Xsmp.print ~checks:Xsmp.checks;
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

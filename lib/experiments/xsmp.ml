@@ -1,0 +1,260 @@
+(* X-smp: the hierarchical scheduler on a simulated CPU set.
+
+   The paper runs on one processor; this extension experiment drives the
+   same scheduling structure with [Kernel.create ~cpus:p] for
+   p = 1/2/4/8 and measures the two properties the multiprocessor
+   design must preserve:
+
+   - fairness: eight always-backlogged classes with weights 1:1:2:2:3:3:4:4
+     directly under the root.  The dispatch protocol serves each root
+     subtree with at most one CPU at a time, so the fluid reference is
+     the hierarchical weighted max-min allocation with a per-subtree
+     rate cap of 1 CPU ({!Hsfq_check.Maxmin}); observed service shares
+     must track the oracle's rates.  Note the reference is NOT plain
+     weight proportion: at p = 8, every class gets a whole CPU whatever
+     its weight, and at p = 4 the weight-4 classes saturate their 1-CPU
+     cap and the surplus falls to the lighter classes.
+
+   - delay under migration storms: 2p one-thread interactive classes
+     over p CPUs, plus p backlogged hog classes.  Every wakeup races the
+     idle-CPU claim path, so threads constantly land on different CPUs
+     (each such dispatch charges the migration cost); scheduling latency
+     must stay quantum-bounded anyway, exactly like the single-CPU
+     Figure 9 argument. *)
+
+open Hsfq_engine
+open Hsfq_kernel
+open Common
+module Hierarchy = Hsfq_core.Hierarchy
+module Maxmin = Hsfq_check.Maxmin
+module W = Hsfq_workload
+
+let cpu_counts = [ 1; 2; 4; 8 ]
+(* A function, not a top-level array: the array would be a mutable
+   global shared across Par.sweep worker domains (tl-domain-race). *)
+let weights () = [| 1.; 1.; 2.; 2.; 3.; 3.; 4.; 4. |]
+let fair_seconds = 10
+let delay_seconds = 5
+
+type frow = {
+  f_cpus : int;
+  shares : float array;  (* observed service share per class *)
+  gps : float array;  (* max-min oracle share per class *)
+  f_err : float;  (* max |share - gps| over classes, share points *)
+  f_util : float;  (* total service / (p * horizon) *)
+  f_migrations : int;
+}
+
+type drow = {
+  d_cpus : int;
+  d_migrations : int;
+  d_max_latency_ms : float;
+  d_mean_latency_ms : float;
+}
+
+type result = { fair : frow list; delay : drow list; audits : check list }
+
+(* The oracle tree for the fairness scenario: one leaf per class, each
+   capped at 1 CPU of rate and permanently backlogged (demand >= cap). *)
+let oracle_shares ~cpus =
+  let tree =
+    Maxmin.group ~weight:1.
+      (Array.to_list
+         (Array.map (fun w -> Maxmin.leaf ~cap:1. ~weight:w ~demand:1. ()) (weights ())))
+  in
+  let rates = Maxmin.allocate ~capacity:(float_of_int cpus) tree in
+  (match Maxmin.check ~capacity:(float_of_int cpus) tree ~rates with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("xsmp: oracle disagrees with itself: " ^ e));
+  let total = Maxmin.total rates in
+  Array.map (fun r -> r /. total) rates
+
+let fair_run ~cpus =
+  let sys = make_sys ~cpus () in
+  let tids =
+    Array.mapi
+      (fun g w ->
+        let leaf, sfq =
+          sfq_leaf sys ~parent:Hierarchy.root
+            ~name:(Printf.sprintf "class%d" g) ~weight:w ()
+        in
+        List.init 2 (fun i ->
+            let tid, _ =
+              dhrystone_thread sys ~leaf ~sfq
+                ~name:(Printf.sprintf "c%d.%d" g i)
+                ~weight:1.
+                ~loop_cost:(Time.microseconds 500)
+            in
+            tid))
+      (weights ())
+  in
+  Kernel.run_until sys.k (Time.seconds fair_seconds);
+  let service =
+    Array.map
+      (fun ts ->
+        List.fold_left
+          (fun acc tid -> acc +. float_of_int (Kernel.cpu_time sys.k tid))
+          0. ts)
+      tids
+  in
+  let total = Array.fold_left ( +. ) 0. service in
+  let shares = Array.map (fun s -> s /. total) service in
+  let gps = oracle_shares ~cpus in
+  let f_err =
+    Array.fold_left Float.max 0.
+      (Array.mapi (fun g s -> Float.abs (s -. gps.(g))) shares)
+  in
+  let horizon = float_of_int (Time.seconds fair_seconds) in
+  ( {
+      f_cpus = cpus;
+      shares;
+      gps;
+      f_err;
+      f_util = total /. (float_of_int cpus *. horizon);
+      f_migrations = Kernel.migrations sys.k;
+    },
+    audit_check sys )
+
+let delay_run ~cpus =
+  let sys = make_sys ~cpus () in
+  (* p hog classes keep every CPU busy... *)
+  for g = 0 to cpus - 1 do
+    let leaf, sfq =
+      sfq_leaf sys ~parent:Hierarchy.root ~name:(Printf.sprintf "hog%d" g)
+        ~weight:1. ()
+    in
+    ignore
+      (dhrystone_thread sys ~leaf ~sfq ~name:(Printf.sprintf "hog%d" g)
+         ~weight:1. ~loop_cost:(Time.microseconds 500))
+  done;
+  (* ...while 2p interactive classes wake into a fully-claimed CPU set,
+     so every dispatch is a migration candidate. *)
+  let itids =
+    List.init (2 * cpus) (fun g ->
+        let leaf, sfq =
+          sfq_leaf sys ~parent:Hierarchy.root ~name:(Printf.sprintf "ia%d" g)
+            ~weight:1. ()
+        in
+        let wl, _ =
+          W.Interactive.make
+            ~mean_think:(Time.milliseconds 5)
+            ~burst:(Time.milliseconds 2) ~seed:(400 + g) ()
+        in
+        let tid = Kernel.spawn sys.k ~name:(Printf.sprintf "ia%d" g) ~leaf wl in
+        Leaf_sched.Sfq_leaf.add sfq ~tid ~weight:1.;
+        Kernel.start sys.k tid;
+        tid)
+  in
+  Kernel.run_until sys.k (Time.seconds delay_seconds);
+  let stats = List.map (fun tid -> Kernel.latency_stats sys.k tid) itids in
+  let max_ns =
+    List.fold_left (fun acc s -> Float.max acc (Stats.max_value s)) 0. stats
+  in
+  let mean_ns =
+    let sum, n =
+      List.fold_left
+        (fun (sum, n) s -> (sum +. (Stats.mean s *. float_of_int (Stats.count s)), n + Stats.count s))
+        (0., 0) stats
+    in
+    if n = 0 then 0. else sum /. float_of_int n
+  in
+  ( {
+      d_cpus = cpus;
+      d_migrations = Kernel.migrations sys.k;
+      d_max_latency_ms = max_ns /. 1e6;
+      d_mean_latency_ms = mean_ns /. 1e6;
+    },
+    audit_check sys )
+
+let run () =
+  let fair, fair_audits =
+    List.split (List.map (fun cpus -> fair_run ~cpus) cpu_counts)
+  in
+  let delay, delay_audits =
+    List.split (List.map (fun cpus -> delay_run ~cpus) cpu_counts)
+  in
+  {
+    fair;
+    delay;
+    audits = [ merge_audits "invariant audit" (fair_audits @ delay_audits) ];
+  }
+
+let find_f r cpus = List.find (fun x -> x.f_cpus = cpus) r.fair
+let find_d r cpus = List.find (fun x -> x.d_cpus = cpus) r.delay
+
+let quantum_ms = float_of_int Kernel.default_config.default_quantum /. 1e6
+
+let checks r =
+  let p1 = find_f r 1 in
+  [
+    check "per-CPU GPS service error bounded (P=2,4,8)"
+      (List.for_all (fun p -> (find_f r p).f_err <= 0.02) [ 2; 4; 8 ])
+      "max share error %.4f / %.4f / %.4f (bound 0.02)" (find_f r 2).f_err
+      (find_f r 4).f_err (find_f r 8).f_err;
+    check "single-CPU run matches the weight proportions" (p1.f_err <= 0.02)
+      "max share error %.4f" p1.f_err;
+    check "the CPU set is actually used"
+      (List.for_all (fun p -> (find_f r p).f_util >= 0.90) cpu_counts)
+      "utilization %s"
+      (String.concat "/"
+         (List.map (fun p -> Printf.sprintf "%.2f" (find_f r p).f_util) cpu_counts));
+    check "P=1 never migrates"
+      ((find_f r 1).f_migrations = 0 && (find_d r 1).d_migrations = 0)
+      "fair %d, delay %d migrations" (find_f r 1).f_migrations
+      (find_d r 1).d_migrations;
+    check "migration storms actually storm (P>1)"
+      (List.for_all (fun p -> (find_d r p).d_migrations > 100) [ 2; 4; 8 ])
+      "migrations %s"
+      (String.concat "/"
+         (List.map (fun p -> string_of_int (find_d r p).d_migrations) [ 2; 4; 8 ]));
+    check "delay stays quantum-bounded under migration storms"
+      (List.for_all
+         (fun p -> (find_d r p).d_max_latency_ms <= 3. *. quantum_ms)
+         cpu_counts)
+      "max latency %s ms vs quantum %.0f ms"
+      (String.concat "/"
+         (List.map
+            (fun p -> Printf.sprintf "%.2f" (find_d r p).d_max_latency_ms)
+            cpu_counts))
+      quantum_ms;
+  ]
+  @ r.audits
+
+let print r =
+  print_endline
+    "X-smp | fairness vs the capped max-min GPS reference (10 s, weights 1:1:2:2:3:3:4:4, 2 threads/class)";
+  let t =
+    Table.create
+      [ "cpus"; "max share err"; "util"; "migrations"; "shares (obs|gps)" ]
+  in
+  List.iter
+    (fun f ->
+      let pair g =
+        Printf.sprintf "%.3f|%.3f" f.shares.(g) f.gps.(g)
+      in
+      Table.row t
+        [
+          string_of_int f.f_cpus;
+          Printf.sprintf "%.4f" f.f_err;
+          Printf.sprintf "%.3f" f.f_util;
+          string_of_int f.f_migrations;
+          String.concat " " (List.init (Array.length (weights ())) pair);
+        ])
+    r.fair;
+  Table.print t;
+  print_endline
+    "X-smp | scheduling latency under migration storms (5 s, 2p interactive classes over p CPUs + p hogs)";
+  let t =
+    Table.create [ "cpus"; "migrations"; "max latency ms"; "mean latency ms" ]
+  in
+  List.iter
+    (fun d ->
+      Table.row t
+        [
+          string_of_int d.d_cpus;
+          string_of_int d.d_migrations;
+          Printf.sprintf "%.3f" d.d_max_latency_ms;
+          Printf.sprintf "%.3f" d.d_mean_latency_ms;
+        ])
+    r.delay;
+  Table.print t

@@ -1,0 +1,42 @@
+(** Multiprocessor HSFQ: fairness and delay on a simulated CPU set.
+
+    Extension experiment (the paper runs on one processor).  Drives the
+    same hierarchical scheduling structure with [Kernel.create ~cpus:p]
+    for p ∈ 1/2/4/8 and checks the two properties the per-CPU dispatch
+    protocol must preserve:
+
+    - {b fairness}: eight backlogged classes, weights 1:1:2:2:3:3:4:4.
+      Because at most one CPU serves a root subtree at a time, the fluid
+      reference is hierarchical weighted max-min with a 1-CPU rate cap
+      per class ({!Hsfq_check.Maxmin}), {e not} plain weight proportion:
+      at p = 8 every class gets a full CPU; at intermediate p the heavy
+      classes saturate their cap and the surplus waterfalls down.
+      Observed service shares must track the oracle.
+
+    - {b delay under migration storms}: 2p single-thread interactive
+      classes racing p backlogged hogs for p CPUs, so wakeups constantly
+      land threads on new CPUs (charging the migration cost each time).
+      Scheduling latency must stay quantum-bounded regardless — the
+      multiprocessor version of the paper's Figure 9 argument. *)
+
+type frow = {
+  f_cpus : int;
+  shares : float array;  (** observed service share per class *)
+  gps : float array;  (** max-min oracle share per class *)
+  f_err : float;  (** max |share - gps| over classes *)
+  f_util : float;  (** total service / (p × horizon) *)
+  f_migrations : int;
+}
+
+type drow = {
+  d_cpus : int;
+  d_migrations : int;
+  d_max_latency_ms : float;
+  d_mean_latency_ms : float;
+}
+
+type result = { fair : frow list; delay : drow list; audits : Common.check list }
+
+val run : unit -> result
+val checks : result -> Common.check list
+val print : result -> unit

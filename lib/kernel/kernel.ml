@@ -11,6 +11,7 @@ type config = {
   sched_cost_per_level : Time.span;
   preemption : preemption;
   housekeeping_period : Time.span;
+  migration_cost : Time.span;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     sched_cost_per_level = Time.nanoseconds 200;
     preemption = Quantum_boundary;
     housekeeping_period = Time.seconds 1;
+    migration_cost = Time.microseconds 5;
   }
 
 type thread_state = Created | Runnable | Running | Blocked | Exited
@@ -42,6 +44,12 @@ type thread = {
   mutable wake_pending : bool;
   mutable last_wake : Time.t;
   mutable awaiting_dispatch : bool;
+  (* CPU affinity: the CPU the thread last ran on (-1 before its first
+     dispatch) and the CPU currently executing it (-1 unless Running).
+     Dispatching on a CPU other than [last_cpu] is a migration: it
+     charges [migration_cost] extra overhead. *)
+  mutable last_cpu : int;
+  mutable running_on : int;
   mutable total_cpu : Time.span;
   mutable dispatches : int;
   cpu : Series.t;
@@ -49,12 +57,12 @@ type thread = {
   lat_series : Series.t;
 }
 
-(* The dispatch record is pooled: the kernel owns a single [t.spare]
-   record that every dispatch reuses ([t.current] is [Some t.spare] while
-   a thread runs, [None] otherwise), so the quantum loop allocates no
-   per-dispatch state. Safe because at most one dispatch exists at a
-   time and [end_dispatch] never reads the record after handing the CPU
-   to [maybe_dispatch]. *)
+(* The dispatch record is pooled: each CPU owns a single [spare]
+   record that every dispatch on that CPU reuses ([current] is
+   [Some spare] while a thread runs, [None] otherwise), so the quantum
+   loop allocates no per-dispatch state. Safe because at most one
+   dispatch exists per CPU at a time and [end_dispatch] never reads the
+   record after handing the CPU back to the dispatch loop. *)
 type dispatch = {
   mutable d_tid : tid;
   mutable d_leaf : Hierarchy.id;
@@ -71,6 +79,29 @@ type dispatch = {
    thread waits, its weight is donated to the holder when both belong to
    the same weighted leaf class (the paper's §4 priority-inversion
    avoidance). *)
+(* One simulated CPU: its dispatch slot, its interrupt context, and its
+   share of the time accounting. All CPUs dispatch from the one shared
+   hierarchical structure — there are no per-CPU run queues; mutual
+   exclusion between concurrent decisions is the hierarchy's root claim
+   set (see [Hierarchy.set_servers]). *)
+type cpu_state = {
+  cid : int;
+  spare : dispatch; (* the pooled dispatch record (see above) *)
+  cur_some : dispatch option; (* [Some spare], preallocated *)
+  mutable current : dispatch option;
+  (* Lazily-built [complete_slice t c], reused by every slice. *)
+  mutable complete_thunk : (unit -> unit) option;
+  mutable interrupt_until : Time.t;
+  mutable interrupt_done : Event_queue.handle; (* Event_queue.null = none *)
+  (* Lazily-built [interrupts_done t c], reused by every interrupt. *)
+  mutable irq_thunk : (unit -> unit) option;
+  mutable idle_since : Time.t option;
+  mutable idle_total : Time.span;
+  mutable interrupt_total : Time.span;
+  mutable overhead_total : Time.span;
+  mutable migrations : int; (* dispatches that moved a thread here *)
+}
+
 type mutex = { mutable holder : tid option; waiters : tid Queue.t }
 
 type device_model =
@@ -104,19 +135,7 @@ type t = {
   devices : (int, device) Hashtbl.t;
   mutable next_device : int;
   mutable next_tid : tid;
-  mutable current : dispatch option;
-  spare : dispatch; (* the pooled dispatch record (see above) *)
-  current_some : dispatch option; (* [Some spare], preallocated *)
-  (* Lazily-built [complete_slice t t.spare], reused by every slice. *)
-  mutable complete_thunk : (unit -> unit) option;
-  mutable interrupt_until : Time.t;
-  mutable interrupt_done : Event_queue.handle; (* Event_queue.null = none *)
-  (* Lazily-built [interrupts_done t], reused by every interrupt. *)
-  mutable irq_thunk : (unit -> unit) option;
-  mutable idle_since : Time.t option;
-  mutable idle_total : Time.span;
-  mutable interrupt_total : Time.span;
-  mutable overhead_total : Time.span;
+  cpu_set : cpu_state array; (* the simulated CPUs, indexed by cid *)
   wseries : Series.t;
   mutable trace : Tracelog.t option;
   mutable obs : Hsfq_obs.Trace.sys option;
@@ -128,7 +147,7 @@ type t = {
    otherwise spin the activation loop forever. *)
 let max_consecutive_null_actions = 1_000_000
 
-let create ?(config = default_config) sim hier =
+let make_cpu cid =
   let spare =
     {
       d_tid = -1;
@@ -142,6 +161,29 @@ let create ?(config = default_config) sim hier =
       completion = Event_queue.null;
     }
   in
+  {
+    cid;
+    spare;
+    cur_some = Some spare;
+    current = None;
+    complete_thunk = None;
+    interrupt_until = Time.zero;
+    interrupt_done = Event_queue.null;
+    irq_thunk = None;
+    (* Each CPU is idle until its first dispatch or interrupt. *)
+    idle_since = Some Time.zero;
+    idle_total = 0;
+    interrupt_total = 0;
+    overhead_total = 0;
+    migrations = 0;
+  }
+
+let create ?(config = default_config) ?(cpus = 1) sim hier =
+  if cpus < 1 then invalid_arg "Kernel.create: cpus < 1";
+  (* Concurrent root->leaf decisions need one root claim per CPU; at
+     [cpus = 1] the hierarchy keeps the paper's single-server protocol
+     untouched. *)
+  if cpus > 1 then Hierarchy.set_servers hier cpus;
   let t =
     {
       sim;
@@ -156,18 +198,7 @@ let create ?(config = default_config) sim hier =
       devices = Hashtbl.create 4;
       next_device = 1;
       next_tid = 1;
-      current = None;
-      spare;
-      current_some = Some spare;
-      complete_thunk = None;
-      interrupt_until = Time.zero;
-      interrupt_done = Event_queue.null;
-      irq_thunk = None;
-      (* The machine is idle until the first dispatch or interrupt. *)
-      idle_since = Some Time.zero;
-      idle_total = 0;
-      interrupt_total = 0;
-      overhead_total = 0;
+      cpu_set = Array.init cpus make_cpu;
       wseries = Series.create ~name:"kernel-work" ();
       trace = None;
       obs = None;
@@ -184,6 +215,12 @@ let create ?(config = default_config) sim hier =
 let config t = t.cfg
 let sim t = t.sim
 let hierarchy t = t.hier
+let cpus t = Array.length t.cpu_set
+
+let nth_cpu t c =
+  if c < 0 || c >= Array.length t.cpu_set then
+    invalid_arg (Printf.sprintf "Kernel: unknown cpu %d" c);
+  t.cpu_set.(c)
 
 (* Tracepoints.  [obs_stamp] pushes the simulated clock into the tracer
    before a kernel entry point runs scheduler code (Hierarchy/Sfq emit
@@ -315,6 +352,8 @@ let spawn t ~name ~leaf workload =
       wake_pending = false;
       last_wake = Time.zero;
       awaiting_dispatch = false;
+      last_cpu = -1;
+      running_on = -1;
       total_cpu = 0;
       dispatches = 0;
       cpu = Series.create ~name ();
@@ -330,14 +369,14 @@ let spawn t ~name ~leaf workload =
   obs_emit t ~code:Hsfq_obs.Trace.ev_spawn ~a:tid ~b:leaf ~c:0 ~d:0;
   tid
 
-let interrupt_active t = not (Event_queue.is_null t.interrupt_done)
+let interrupt_active c = not (Event_queue.is_null c.interrupt_done)
 
-let close_idle t now =
-  match t.idle_since with
+let close_idle c now =
+  match c.idle_since with
   | None -> ()
   | Some t0 ->
-    t.idle_total <- t.idle_total + Time.diff now t0;
-    t.idle_since <- None
+    c.idle_total <- c.idle_total + Time.diff now t0;
+    c.idle_since <- None
 
 let trace_slice t th ~start ~stop =
   match t.trace with
@@ -375,7 +414,7 @@ type disposition =
   | Block_external (* suspended; no timer *)
   | Die
 
-let rec end_dispatch t d now disposition =
+let rec end_dispatch t c d now disposition =
   obs_stamp t;
   let th = thread t d.d_tid in
   let lf = leaf_sched t d.d_leaf in
@@ -418,7 +457,11 @@ let rec end_dispatch t d now disposition =
       | Block_until _ -> 1
       | Block_external -> 2
       | Die -> 3);
-  t.current <- None;
+  if Array.length t.cpu_set > 1 then
+    obs_emit t ~code:Hsfq_obs.Trace.ev_cpu_idle ~a:c.cid ~b:d.d_tid ~c:service
+      ~d:0;
+  c.current <- None;
+  th.running_on <- -1;
   (match disposition with
   | Requeue -> th.state <- Runnable
   | Block_until at ->
@@ -428,7 +471,10 @@ let rec end_dispatch t d now disposition =
   | Die ->
     th.state <- Exited;
     release_mutex_links t th);
-  if not (interrupt_active t) then maybe_dispatch t
+  (* Releasing this CPU's hierarchy claim can unblock a sibling CPU that
+     found every runnable subtree claimed, so offer the dispatch to every
+     idle CPU, this one first. *)
+  dispatch_idle t ~prefer:c.cid
 
 (* The cached per-thread wake closure and the kernel-wide completion
    closure: built on first use, then reused for the simulation's
@@ -443,12 +489,12 @@ and wake_thunk_of t th =
     th.wake_thunk <- Some f;
     f
 
-and completion_thunk t =
-  match t.complete_thunk with
+and completion_thunk t c =
+  match c.complete_thunk with
   | Some f -> f
   | None ->
-    let f = complete_slice t t.spare in
-    t.complete_thunk <- Some f;
+    let f = complete_slice t c in
+    c.complete_thunk <- Some f;
     f
 
 (* Fetch workload actions until one takes effect. Returns the resulting
@@ -598,7 +644,8 @@ and grant_wake t w =
 (* The completion event: the current slice's overhead+work has fully
    executed. Either the quantum is exhausted, or the workload segment
    finished and we pull the next action. *)
-and complete_slice t d () =
+and complete_slice t c () =
+  let d = c.spare in
   let now = Sim.now t.sim in
   let th = thread t d.d_tid in
   (* Clear before anything can recycle the fired handle (it is dead as
@@ -611,7 +658,7 @@ and complete_slice t d () =
   d.overhead_left <- 0;
   if th.work_left > 0 then
     (* seg was bounded by the quantum: budget exhausted. *)
-    end_dispatch t d now Requeue
+    end_dispatch t c d now Requeue
   else begin
     let budget = d.d_quantum - d.used in
     match next_effective_action t th now with
@@ -619,29 +666,29 @@ and complete_slice t d () =
       if budget > 0 then begin
         d.seg_left <- Int.min budget th.work_left;
         d.resume_at <- now;
-        d.completion <- Sim.after t.sim d.seg_left (completion_thunk t)
+        d.completion <- Sim.after t.sim d.seg_left (completion_thunk t c)
       end
-      else end_dispatch t d now Requeue
-    | `Sleep at -> end_dispatch t d now (Block_until at)
+      else end_dispatch t c d now Requeue
+    | `Sleep at -> end_dispatch t c d now (Block_until at)
     | `Lock_wait m ->
       enqueue_mutex_waiter t th m;
-      end_dispatch t d now Block_external
+      end_dispatch t c d now Block_external
     | `Io (dev, units) ->
       submit_io t th dev units;
-      end_dispatch t d now Block_external
-    | `Exit -> end_dispatch t d now Die
+      end_dispatch t c d now Block_external
+    | `Exit -> end_dispatch t c d now Die
   end
 
-and maybe_dispatch t =
-  if t.current = None && not (interrupt_active t) then begin
+and dispatch_cpu t c =
+  if c.current = None && not (interrupt_active c) then begin
     let now = Sim.now t.sim in
     obs_stamp t;
     let leaf = Hierarchy.schedule_id t.hier in
     if leaf < 0 then begin
-      if t.idle_since = None then t.idle_since <- Some now
+      if c.idle_since = None then c.idle_since <- Some now
     end
     else begin
-      close_idle t now;
+      close_idle c now;
       let lf = leaf_sched t leaf in
       let tid = lf.select_id ~now in
       if tid < 0 then
@@ -669,13 +716,26 @@ and maybe_dispatch t =
         if q >= 0 then Int.min q t.cfg.default_quantum
         else t.cfg.default_quantum
       in
+      (* A thread picked up by a CPU other than the one it last ran on
+         pays the migration cost on top of the context switch (cold
+         caches); the first dispatch of a thread is placement, not
+         migration. Never taken at cpus = 1. *)
+      let migrating = th.last_cpu >= 0 && th.last_cpu <> c.cid in
       let overhead =
         t.cfg.context_switch_cost
         + (t.cfg.sched_cost_per_level * Hierarchy.depth t.hier leaf)
+        + (if migrating then t.cfg.migration_cost else 0)
       in
-      t.overhead_total <- t.overhead_total + overhead;
+      c.overhead_total <- c.overhead_total + overhead;
+      if migrating then begin
+        c.migrations <- c.migrations + 1;
+        obs_emit t ~code:Hsfq_obs.Trace.ev_migrate ~a:tid ~b:leaf ~c:th.last_cpu
+          ~d:c.cid
+      end;
+      th.last_cpu <- c.cid;
+      th.running_on <- c.cid;
       let seg = Int.min quantum th.work_left in
-      let d = t.spare in
+      let d = c.spare in
       d.d_tid <- tid;
       d.d_leaf <- leaf;
       d.d_quantum <- quantum;
@@ -684,17 +744,34 @@ and maybe_dispatch t =
       d.used <- 0;
       d.resume_at <- now;
       d.paused <- false;
-      d.completion <- Sim.after t.sim (overhead + seg) (completion_thunk t);
-      t.current <- t.current_some;
+      d.completion <- Sim.after t.sim (overhead + seg) (completion_thunk t c);
+      c.current <- c.cur_some;
       th.state <- Running;
       th.dispatches <- th.dispatches + 1;
       obs_emit t ~code:Hsfq_obs.Trace.ev_dispatch ~a:tid ~b:leaf ~c:quantum
-        ~d:overhead
+        ~d:overhead;
+      if Array.length t.cpu_set > 1 then
+        obs_emit t ~code:Hsfq_obs.Trace.ev_cpu_run ~a:c.cid ~b:tid ~c:leaf
+          ~d:quantum
     end
   end
 
-and preempt_current t =
-  match t.current with
+(* Offer a dispatch to every idle CPU, [prefer] first (thread-affinity
+   heuristic: the waker's or just-freed CPU gets the first claim). One
+   ordered pass suffices: a successful dispatch only consumes hierarchy
+   claims, it never makes a new leaf runnable. *)
+and dispatch_idle t ~prefer =
+  let n = Array.length t.cpu_set in
+  if n = 1 then dispatch_cpu t t.cpu_set.(0)
+  else begin
+    if prefer >= 0 && prefer < n then dispatch_cpu t t.cpu_set.(prefer);
+    for i = 0 to n - 1 do
+      if i <> prefer then dispatch_cpu t t.cpu_set.(i)
+    done
+  end
+
+and preempt_cpu t c =
+  match c.current with
   | None -> ()
   | Some d ->
     let now = Sim.now t.sim in
@@ -704,7 +781,7 @@ and preempt_current t =
       Hsfq_obs.Metrics.incr_preempt (Hsfq_obs.Trace.metrics s) ~node:d.d_leaf
     | Some _ | None -> ());
     if not d.paused then pause_dispatch t d now;
-    end_dispatch t d now Requeue
+    end_dispatch t c d now Requeue
 
 and make_runnable t th now =
   th.state <- Runnable;
@@ -714,16 +791,43 @@ and make_runnable t th now =
   let lf = leaf_sched t th.leaf in
   lf.enqueue ~now th.tid;
   if not (Hierarchy.is_runnable t.hier th.leaf) then Hierarchy.setrun t.hier th.leaf;
-  (match t.current with
-  | Some d when d.d_tid <> th.tid ->
-    let cross = t.cfg.preemption = Preempt_on_wake in
-    let within =
-      (thread t d.d_tid).leaf = th.leaf
-      && lf.preempts ~waker:th.tid ~running:d.d_tid
-    in
-    if cross || within then preempt_current t
-  | _ -> ());
-  if t.current = None && not (interrupt_active t) then maybe_dispatch t
+  (* Within-leaf preemption targets the CPU serving the waker's leaf —
+     there is at most one, since a leaf is claimed by a single decision
+     path. Cross-class preemption ([Preempt_on_wake]) fires only when no
+     CPU is free to take the waker; the lowest-numbered busy CPU yields
+     (on one CPU this is the classic immediate preemption). *)
+  let ncpu = Array.length t.cpu_set in
+  let rec find_within i =
+    if i >= ncpu then -1
+    else
+      match t.cpu_set.(i).current with
+      | Some d
+        when d.d_tid <> th.tid
+             && (thread t d.d_tid).leaf = th.leaf
+             && lf.preempts ~waker:th.tid ~running:d.d_tid -> i
+      | _ -> find_within (i + 1)
+  in
+  let rec find_free i =
+    if i >= ncpu then -1
+    else if
+      t.cpu_set.(i).current = None && not (interrupt_active t.cpu_set.(i))
+    then i
+    else find_free (i + 1)
+  in
+  let rec find_busy i =
+    if i >= ncpu then -1
+    else
+      match t.cpu_set.(i).current with
+      | Some d when d.d_tid <> th.tid -> i
+      | _ -> find_busy (i + 1)
+  in
+  let within = find_within 0 in
+  if within >= 0 then preempt_cpu t t.cpu_set.(within)
+  else if t.cfg.preemption = Preempt_on_wake && find_free 0 < 0 then begin
+    let victim = find_busy 0 in
+    if victim >= 0 then preempt_cpu t t.cpu_set.(victim)
+  end;
+  dispatch_idle t ~prefer:th.last_cpu
 
 and activate t th now =
   if th.work_left > 0 then make_runnable t th now
@@ -885,13 +989,14 @@ let suspend t tid =
     th.suspended <- true;
     th.wake_pending <- true
   | Running ->
-    (match t.current with
+    let c = nth_cpu t th.running_on in
+    (match c.current with
     | Some d when d.d_tid = tid ->
       th.suspended <- true;
       th.wake_pending <- true;
       let now = Sim.now t.sim in
       if not d.paused then pause_dispatch t d now;
-      end_dispatch t d now Block_external
+      end_dispatch t c d now Block_external
     | _ -> assert false)
 
 let resume t tid =
@@ -909,57 +1014,62 @@ let resume t tid =
 
 let is_suspended t tid = (thread t tid).suspended
 
-(* Interrupts execute at the highest priority: they pause the running
-   thread (whose quantum does not advance) and extend any interrupt
-   processing already in progress. *)
-let rec interrupts_done t () =
+(* Interrupts execute at the highest priority on their target CPU: they
+   pause that CPU's running thread (whose quantum does not advance) and
+   extend any interrupt processing already in progress there. Other CPUs
+   keep dispatching. *)
+let rec interrupts_done t c () =
   let now = Sim.now t.sim in
-  if Time.compare now t.interrupt_until < 0 then
+  if Time.compare now c.interrupt_until < 0 then
     (* Extended while we were queued; re-arm. *)
-    t.interrupt_done <- Sim.at t.sim t.interrupt_until (irq_thunk_of t)
+    c.interrupt_done <- Sim.at t.sim c.interrupt_until (irq_thunk_of t c)
   else begin
-    t.interrupt_done <- Event_queue.null;
-    obs_emit t ~code:Hsfq_obs.Trace.ev_irq_end ~a:0 ~b:0 ~c:0 ~d:0;
-    match t.current with
+    c.interrupt_done <- Event_queue.null;
+    obs_emit t ~code:Hsfq_obs.Trace.ev_irq_end ~a:c.cid ~b:0 ~c:0 ~d:0;
+    match c.current with
     | Some d ->
       assert d.paused;
       d.paused <- false;
       d.resume_at <- now;
       d.completion <-
-        Sim.after t.sim (d.overhead_left + d.seg_left) (completion_thunk t)
-    | None -> maybe_dispatch t
+        Sim.after t.sim (d.overhead_left + d.seg_left) (completion_thunk t c)
+    | None -> dispatch_cpu t c
   end
 
-and irq_thunk_of t =
-  match t.irq_thunk with
+and irq_thunk_of t c =
+  match c.irq_thunk with
   | Some f -> f
   | None ->
-    let f = interrupts_done t in
-    t.irq_thunk <- Some f;
+    let f = interrupts_done t c in
+    c.irq_thunk <- Some f;
     f
 
-let interrupt t ~duration =
+let do_interrupt t c ~duration =
   if duration <= 0 then ()
   else begin
     let now = Sim.now t.sim in
-    t.interrupt_total <- t.interrupt_total + duration;
+    c.interrupt_total <- c.interrupt_total + duration;
     obs_emit t ~code:Hsfq_obs.Trace.ev_irq_begin
-      ~a:(if interrupt_active t then 1 else 0)
-      ~b:0 ~c:duration ~d:0;
-    if interrupt_active t then t.interrupt_until <- t.interrupt_until + duration
+      ~a:(if interrupt_active c then 1 else 0)
+      ~b:c.cid ~c:duration ~d:0;
+    if interrupt_active c then c.interrupt_until <- c.interrupt_until + duration
     else begin
-      close_idle t now;
-      (match t.current with
+      close_idle c now;
+      (match c.current with
       | Some d when not d.paused -> pause_dispatch t d now
       | _ -> ());
-      t.interrupt_until <- Time.add now duration;
-      t.interrupt_done <- Sim.at t.sim t.interrupt_until (irq_thunk_of t)
+      c.interrupt_until <- Time.add now duration;
+      c.interrupt_done <- Sim.at t.sim c.interrupt_until (irq_thunk_of t c)
     end
   end
 
-let add_interrupt_source t spec =
+let interrupt t ~duration = do_interrupt t t.cpu_set.(0) ~duration
+let interrupt_on t ~cpu ~duration = do_interrupt t (nth_cpu t cpu) ~duration
+
+let add_interrupt_source t ?(cpu = 0) spec =
+  let c = nth_cpu t cpu in
   Interrupt_source.start spec ~sim:t.sim ~fire:(fun ~duration ->
-      interrupt t ~duration)
+      do_interrupt t c ~duration)
 
 let run_until t horizon = Sim.run_until t.sim horizon
 
@@ -972,15 +1082,48 @@ let dispatch_count t tid = (thread t tid).dispatches
 let latency_stats t tid = (thread t tid).latency
 let latency_series t tid = (thread t tid).lat_series
 
-let idle_time t =
-  t.idle_total
-  + (match t.idle_since with Some t0 -> Time.diff (Sim.now t.sim) t0 | None -> 0)
+let cpu_idle_time t c =
+  let c = nth_cpu t c in
+  c.idle_total
+  + (match c.idle_since with Some t0 -> Time.diff (Sim.now t.sim) t0 | None -> 0)
 
-let interrupt_time t = t.interrupt_total
-let overhead_time t = t.overhead_total
+let sum_cpus t f = Array.fold_left (fun acc c -> acc + f c) 0 t.cpu_set
+let idle_time t = sum_cpus t (fun c -> 0 + cpu_idle_time t c.cid)
+let interrupt_time t = sum_cpus t (fun c -> c.interrupt_total)
+let overhead_time t = sum_cpus t (fun c -> c.overhead_total)
+let migrations t = sum_cpus t (fun c -> c.migrations)
+let cpu_migrations t c = (nth_cpu t c).migrations
+let cpu_interrupt_time t c = (nth_cpu t c).interrupt_total
+let cpu_overhead_time t c = (nth_cpu t c).overhead_total
+
+let running_on t tid =
+  let th = thread t tid in
+  if th.running_on >= 0 then Some th.running_on else None
+
+let running_tid t ~cpu =
+  match (nth_cpu t cpu).current with Some d -> Some d.d_tid | None -> None
+
+let last_cpu_of t tid =
+  let th = thread t tid in
+  if th.last_cpu >= 0 then Some th.last_cpu else None
 let work_series t = t.wseries
 let set_trace t tr = t.trace <- tr
-let set_obs t sys = t.obs <- sys
+
+let set_obs t sys =
+  t.obs <- sys;
+  match sys with
+  | Some s when Array.length t.cpu_set > 1 ->
+    (* One named lane per CPU so the Chrome exporter renders per-CPU
+       tracks ([ev_cpu_run] slices). Single-CPU traces keep the legacy
+       lane set byte-for-byte. *)
+    Array.iter
+      (fun c ->
+        Hsfq_obs.Trace.name_lane s
+          ~lane:(Hsfq_obs.Trace.cpu_lane c.cid)
+          ~name:(Printf.sprintf "cpu%d" c.cid))
+      t.cpu_set
+  | Some _ | None -> ()
+
 let obs t = t.obs
 
 let tids t =
@@ -1045,12 +1188,14 @@ let dump t =
       t.leaves []
     |> List.sort (fun (a : V.leaf_view) b -> Int.compare a.node b.node)
   in
-  {
-    V.threads;
-    mutexes;
-    leaves;
-    running = (match t.current with Some d -> Some d.d_tid | None -> None);
-  }
+  let running =
+    Array.to_list t.cpu_set
+    |> List.filter_map (fun c ->
+           match c.current with
+           | Some d -> Some (c.cid, d.d_tid)
+           | None -> None)
+  in
+  { V.threads; mutexes; leaves; running }
 
 let render_summary t =
   let tbl =
@@ -1080,5 +1225,17 @@ let render_summary t =
   Table.render tbl
   ^ Printf.sprintf "idle %s | interrupts %s | overhead %s\n"
       (Time.to_string (idle_time t))
-      (Time.to_string t.interrupt_total)
-      (Time.to_string t.overhead_total)
+      (Time.to_string (interrupt_time t))
+      (Time.to_string (overhead_time t))
+  ^
+  if Array.length t.cpu_set = 1 then ""
+  else
+    String.concat ""
+      (List.map
+         (fun c ->
+           Printf.sprintf "cpu%d: idle %s | interrupts %s | migrations %d\n"
+             c.cid
+             (Time.to_string (cpu_idle_time t c.cid))
+             (Time.to_string c.interrupt_total)
+             c.migrations)
+         (Array.to_list t.cpu_set))

@@ -37,19 +37,36 @@ type config = {
   housekeeping_period : Time.span;
       (** period of the [second_tick] housekeeping call (SVR4 starvation
           boosts); the paper's kernel runs it every second *)
+  migration_cost : Time.span;
+      (** extra overhead charged when a CPU dispatches a thread that
+          last ran on a different CPU (cold caches). Inert at
+          [cpus = 1]: a single CPU never migrates. *)
 }
 
 val default_config : config
 (** 20 ms quantum, 2 µs context switch, 200 ns per hierarchy level,
-    quantum-boundary preemption, 1 s housekeeping. *)
+    quantum-boundary preemption, 1 s housekeeping, 5 µs migration. *)
 
 type thread_state = Created | Runnable | Running | Blocked | Exited
 
-val create : ?config:config -> Sim.t -> Hsfq_core.Hierarchy.t -> t
+val create : ?config:config -> ?cpus:int -> Sim.t -> Hsfq_core.Hierarchy.t -> t
+(** [~cpus:p] (default 1) builds a CPU set of [p] simulated processors
+    dispatching from the {e shared} hierarchical structure: each CPU has
+    its own dispatch slot, interrupt context, and time accounting, while
+    threads, leaves, mutexes and devices are global. Creating with
+    [cpus > 1] raises the hierarchy's root claim capacity
+    ({!Hsfq_core.Hierarchy.set_servers}) so [p] root→leaf decisions can
+    be outstanding at once; an idle CPU always claims the runnable root
+    subtree with the smallest start tag — the most service-starved one —
+    which is the hierarchical load-balancing policy. With [cpus = 1] the
+    kernel is byte-for-byte the paper's single-CPU dispatcher. *)
 
 val config : t -> config
 val sim : t -> Sim.t
 val hierarchy : t -> Hsfq_core.Hierarchy.t
+
+val cpus : t -> int
+(** Size of the CPU set. *)
 
 (** {1 Classes and threads} *)
 
@@ -154,11 +171,16 @@ val device_queue_length : t -> int -> int
 (** {1 Interrupts} *)
 
 val interrupt : t -> duration:Time.span -> unit
-(** Process an interrupt of the given cost starting now, at the highest
-    priority (pausing any running thread). Overlapping interrupts
-    queue. *)
+(** Process an interrupt of the given cost starting now on CPU 0, at the
+    highest priority (pausing that CPU's running thread). Overlapping
+    interrupts queue. *)
 
-val add_interrupt_source : t -> Interrupt_source.spec -> unit
+val interrupt_on : t -> cpu:int -> duration:Time.span -> unit
+(** {!interrupt} targeted at a specific CPU: only that CPU's dispatch
+    pauses; the others keep running. *)
+
+val add_interrupt_source : t -> ?cpu:int -> Interrupt_source.spec -> unit
+(** Attach a periodic/random interrupt source to a CPU (default 0). *)
 
 (** {1 Running} *)
 
@@ -181,8 +203,29 @@ val latency_stats : t -> tid -> Stats.t
 val latency_series : t -> tid -> Series.t
 
 val idle_time : t -> Time.span
+(** Summed across the CPU set (equal to the per-CPU value at
+    [cpus = 1]). *)
+
 val interrupt_time : t -> Time.span
 val overhead_time : t -> Time.span
+
+val migrations : t -> int
+(** Dispatches that moved a thread across CPUs (0 at [cpus = 1]). *)
+
+val cpu_idle_time : t -> int -> Time.span
+val cpu_interrupt_time : t -> int -> Time.span
+val cpu_overhead_time : t -> int -> Time.span
+val cpu_migrations : t -> int -> int
+
+val running_on : t -> tid -> int option
+(** The CPU currently executing the thread ([None] unless Running). *)
+
+val running_tid : t -> cpu:int -> tid option
+(** The thread the CPU is executing, if any. *)
+
+val last_cpu_of : t -> tid -> int option
+(** The CPU the thread last ran on ([None] before its first
+    dispatch) — the affinity the next dispatch prefers. *)
 
 val work_series : t -> Series.t
 (** Aggregate (time, service) samples — input to FC-server estimation. *)

@@ -46,7 +46,8 @@ let lane_of ~code ~a ~b =
     || code = T.ev_leaf_pick || code = T.ev_leaf_charge
   then T.node_lane a
   else if code = T.ev_irq_begin || code = T.ev_irq_end then T.irq_lane
-  else a (* thread lifecycle events: a = tid *)
+  else if code = T.ev_cpu_run || code = T.ev_cpu_idle then T.cpu_lane a
+  else a (* thread lifecycle events: a = tid; migrate renders on a's lane *)
 
 let export t =
   let buf = Buffer.create 8192 in
@@ -75,10 +76,13 @@ let export t =
          (Trace.lane_pid t i) (Trace.lane_id t i)
          (json_escape (Trace.lane_name t i)))
   done;
-  (* Events.  Open dispatches keyed by (pid, tid). *)
+  (* Events.  Open dispatches keyed by (pid, tid); open per-CPU slices
+     (multiprocessor kernels pair cpu-run with cpu-idle) keyed by
+     (pid, cpu). *)
   let open_dispatch : (int * int, int * int * int) Hashtbl.t =
     Hashtbl.create 64
   in
+  let open_cpu : (int * int, int * int * int) Hashtbl.t = Hashtbl.create 8 in
   let r = Trace.ring t in
   for i = 0 to Ring.length r - 1 do
     let code = Ring.code r i in
@@ -109,6 +113,24 @@ let export t =
              "{\"name\":\"quantum-end\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"leaf\":%d,\"service_ns\":%d,\"disposition\":%d}}"
              (us_of_ns time) pid a b c d))
     end
+    else if code = T.ev_cpu_run then
+      Hashtbl.replace open_cpu (pid, a) (time, b, c)
+    else if code = T.ev_cpu_idle then begin
+      match Hashtbl.find_opt open_cpu (pid, a) with
+      | Some (t0, tid, leaf) ->
+        Hashtbl.remove open_cpu (pid, a);
+        item
+          (Printf.sprintf
+             "{\"name\":\"run\",\"cat\":\"cpu\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"thread\":%d,\"leaf\":%d,\"service_ns\":%d}}"
+             (us_of_ns t0)
+             (us_of_ns (time - t0))
+             pid (T.cpu_lane a) tid leaf c)
+      | None ->
+        item
+          (Printf.sprintf
+             "{\"name\":\"cpu-idle\",\"cat\":\"cpu\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"thread\":%d,\"service_ns\":%d}}"
+             (us_of_ns time) pid (T.cpu_lane a) b c)
+    end
     else if code = T.ev_irq_begin then
       item
         (Printf.sprintf
@@ -137,5 +159,17 @@ let export t =
            "{\"name\":\"run\",\"cat\":\"sched\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"leaf\":%d,\"quantum_ns\":%d}}"
            (us_of_ns t0) pid tid leaf quantum))
     leftovers;
+  let cpu_leftovers =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) open_cpu []
+    |> List.sort (fun ((p1, c1), _) ((p2, c2), _) ->
+           if p1 <> p2 then Int.compare p1 p2 else Int.compare c1 c2)
+  in
+  List.iter
+    (fun ((pid, cid), (t0, tid, leaf)) ->
+      item
+        (Printf.sprintf
+           "{\"name\":\"run\",\"cat\":\"cpu\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"thread\":%d,\"leaf\":%d}}"
+           (us_of_ns t0) pid (Trace.cpu_lane cid) tid leaf))
+    cpu_leftovers;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

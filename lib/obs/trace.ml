@@ -143,6 +143,8 @@ let lane_name t i =
 let node_lane_base = 1_000_000
 let node_lane nid = node_lane_base + nid
 let irq_lane = 999_999
+let cpu_lane_base = 2_000_000
+let cpu_lane cid = cpu_lane_base + cid
 
 (* Event codes.  Layer prefixes: scheduler decisions (sfq), kernel
    thread lifecycle, hierarchy node lifecycle, leaf-adapter ops. *)
@@ -172,6 +174,9 @@ let ev_leaf_enqueue = 23
 let ev_leaf_dequeue = 24
 let ev_leaf_pick = 25
 let ev_leaf_charge = 26
+let ev_migrate = 27
+let ev_cpu_run = 28
+let ev_cpu_idle = 29
 
 let code_name c =
   match c with
@@ -201,4 +206,7 @@ let code_name c =
   | 24 -> "leaf-dequeue"
   | 25 -> "leaf-pick"
   | 26 -> "leaf-charge"
+  | 27 -> "migrate"
+  | 28 -> "cpu-run"
+  | 29 -> "cpu-idle"
   | _ -> "unknown"

@@ -88,6 +88,12 @@ val node_lane : int -> int
 
 val irq_lane : int
 
+val cpu_lane_base : int
+
+val cpu_lane : int -> int
+(** Lane id for simulated CPU [cid] (multiprocessor kernels name one
+    lane per CPU so exporters render per-CPU tracks). *)
+
 (** {1 Event codes} *)
 
 val ev_pick : int
@@ -116,5 +122,8 @@ val ev_leaf_enqueue : int
 val ev_leaf_dequeue : int
 val ev_leaf_pick : int
 val ev_leaf_charge : int
+val ev_migrate : int
+val ev_cpu_run : int
+val ev_cpu_idle : int
 
 val code_name : int -> string

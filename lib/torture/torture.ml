@@ -15,17 +15,19 @@ type config = {
   max_leaves : int;
   max_spawns : int;
   prepopulate : int;
+  cpus : int;
 }
 
 let config ?(ops = 10_000) ?(audit_period = 1) ?(max_leaves = 16)
-    ?(max_spawns = 192) ?(prepopulate = 0) seed =
+    ?(max_spawns = 192) ?(prepopulate = 0) ?(cpus = 1) seed =
   if ops < 0 then invalid_arg "Torture.config: ops < 0";
   if audit_period < 1 then invalid_arg "Torture.config: audit_period < 1";
   if max_leaves < 1 then invalid_arg "Torture.config: max_leaves < 1";
   if max_spawns < 0 then invalid_arg "Torture.config: max_spawns < 0";
   if prepopulate < 0 || prepopulate > max_leaves then
     invalid_arg "Torture.config: prepopulate outside [0, max_leaves]";
-  { seed; ops; audit_period; max_leaves; max_spawns; prepopulate }
+  if cpus < 1 then invalid_arg "Torture.config: cpus < 1";
+  { seed; ops; audit_period; max_leaves; max_spawns; prepopulate; cpus }
 
 type op =
   | Advance of Time.span
@@ -36,6 +38,8 @@ type op =
   | Suspend of int
   | Resume of int
   | Interrupt of Time.span
+  | Interrupt_on of { cpu : int; dur : Time.span }
+      (* multiprocessor runs only: an interrupt storm targets one CPU *)
   | Mknod of { group : int; weight : int }
   | Rmnod of int
 
@@ -49,6 +53,8 @@ let op_to_string = function
   | Suspend i -> Printf.sprintf "suspend %d" i
   | Resume i -> Printf.sprintf "resume %d" i
   | Interrupt d -> Printf.sprintf "interrupt %s" (Time.to_string d)
+  | Interrupt_on { cpu; dur } ->
+    Printf.sprintf "interrupt cpu:%d %s" cpu (Time.to_string dur)
   | Mknod { group; weight } -> Printf.sprintf "mknod group:%d weight:%d" group weight
   | Rmnod i -> Printf.sprintf "rmnod %d" i
 
@@ -102,6 +108,7 @@ type sys = {
   devices : int array;
   max_leaves : int;
   max_spawns : int;
+  cpus : int;
   mutable n_live_leaves : int;
   mutable leaf_counter : int;
   mutable trace_rev : op list;
@@ -183,6 +190,10 @@ let kernel_config srng =
     preemption =
       (if Prng.bool srng then Kernel.Quantum_boundary else Kernel.Preempt_on_wake);
     housekeeping_period = Time.seconds 1;
+    (* Fixed, not drawn: keeping the srng stream identical to the
+       single-CPU driver preserves byte-for-byte P=1 replay of
+       pre-multiprocessor traces. Inert at cpus = 1 regardless. *)
+    migration_cost = Time.microseconds 3;
   }
 
 let init cfg =
@@ -195,7 +206,7 @@ let init cfg =
   let srng = Prng.stream master 0 in
   let oprng = Prng.stream master 1 in
   let wl_base = Prng.stream master 2 in
-  let k = Kernel.create ~config:(kernel_config srng) sim hier in
+  let k = Kernel.create ~config:(kernel_config srng) ~cpus:cfg.cpus sim hier in
   let sink = Invariant.create () in
   (* Group fan-out scales with the prepopulated leaf count so a giant
      run builds a genuinely wide tree (and each group's by_name map +
@@ -247,6 +258,7 @@ let init cfg =
       devices;
       max_leaves = cfg.max_leaves;
       max_spawns = cfg.max_spawns;
+      cpus = cfg.cpus;
       n_live_leaves = 0;
       leaf_counter = 0;
       trace_rev = [];
@@ -262,6 +274,17 @@ let init cfg =
          period = Time.microseconds (Prng.int_in srng 2000 8000);
          cost = Time.microseconds (Prng.int_in srng 10 60);
        });
+  (* Multiprocessor runs give every further CPU its own periodic source
+     (per-CPU interrupt pressure). Gated on [cpus > 1] so single-CPU
+     runs draw exactly the pre-multiprocessor srng stream. *)
+  for c = 1 to cfg.cpus - 1 do
+    Kernel.add_interrupt_source k ~cpu:c
+      (Interrupt_source.Periodic
+         {
+           period = Time.microseconds (Prng.int_in srng 2000 8000);
+           cost = Time.microseconds (Prng.int_in srng 10 60);
+         })
+  done;
   sys
 
 (* Ops are interpreted totally: slot operands wrap modulo the current
@@ -330,6 +353,8 @@ let apply sys op =
     | Some s -> Kernel.resume k s.tid
     | None -> ())
   | Interrupt d -> if d > 0 then Kernel.interrupt k ~duration:d
+  | Interrupt_on { cpu; dur } ->
+    if dur > 0 then Kernel.interrupt_on k ~cpu:(cpu mod sys.cpus) ~duration:dur
   | Mknod { group; weight } -> add_leaf sys ~group ~weight
   | Rmnod i -> (
     match leaf_slot sys i with
@@ -367,7 +392,17 @@ let gen_op sys =
     | r when r < 70 -> Move { th = pick (); leaf = Prng.int rng (Int.max 1 nlv) }
     | r when r < 78 -> Suspend (pick ())
     | r when r < 88 -> Resume (pick ())
-    | r when r < 92 -> Interrupt (Time.microseconds (Prng.int_in rng 10 300))
+    | r when r < 92 ->
+      (* Multiprocessor runs target a random CPU (interrupt storms per
+         CPU); the extra draw is gated so cpus = 1 consumes exactly the
+         legacy op stream. *)
+      if sys.cpus > 1 then
+        Interrupt_on
+          {
+            cpu = Prng.int rng sys.cpus;
+            dur = Time.microseconds (Prng.int_in rng 10 300);
+          }
+      else Interrupt (Time.microseconds (Prng.int_in rng 10 300))
     | r when r < 96 -> Mknod { group = Prng.int rng 8; weight = Prng.int_in rng 1 6 }
     | _ -> Rmnod (Prng.int rng (Int.max 1 nlv))
   end
@@ -381,6 +416,7 @@ type outcome = {
   trace : op list;
   violations : Invariant.violation list;
   crash : string option;
+  footprint_words : int;
 }
 
 let failed o = o.crash <> None || o.violations <> []
@@ -402,6 +438,7 @@ let exec cfg next =
       trace = List.rev sys.trace_rev;
       violations = Invariant.violations sys.sink;
       crash;
+      footprint_words = Hierarchy.footprint_words sys.hier;
     }
   in
   audit sys;

@@ -34,6 +34,14 @@ type config = {
           churn drives the scheduling structures through growth,
           shrinking and compaction under the full audit stack. Must not
           exceed [max_leaves]. *)
+  cpus : int;
+      (** simulated CPUs ([Kernel.create ~cpus]). At [1] (the default)
+          the generated op stream, PRNG draws and kernel behaviour are
+          byte-identical to the historical single-CPU driver. At [> 1]
+          every CPU beyond 0 gets its own seeded periodic interrupt
+          source and the op generator targets interrupts at random CPUs
+          ({!op.Interrupt_on}), so dispatch races cross-CPU migrations
+          against per-CPU interrupt storms. *)
 }
 
 val config :
@@ -42,10 +50,12 @@ val config :
   ?max_leaves:int ->
   ?max_spawns:int ->
   ?prepopulate:int ->
+  ?cpus:int ->
   int ->
   config
 (** [config seed] — defaults: [ops = 10_000], [audit_period = 1],
-    [max_leaves = 16], [max_spawns = 192], [prepopulate = 0]. *)
+    [max_leaves = 16], [max_spawns = 192], [prepopulate = 0],
+    [cpus = 1]. *)
 
 type op =
   | Advance of Time.span  (** run the simulation forward *)
@@ -56,6 +66,8 @@ type op =
   | Suspend of int
   | Resume of int
   | Interrupt of Time.span
+  | Interrupt_on of { cpu : int; dur : Time.span }
+      (** interrupt a specific CPU (generated only when [cpus > 1]) *)
   | Mknod of { group : int; weight : int }  (** add a leaf under a group *)
   | Rmnod of int  (** retire an (empty) leaf *)
 
@@ -64,6 +76,11 @@ type outcome = {
   trace : op list;  (** the executed ops, in order *)
   violations : Hsfq_check.Invariant.violation list;
   crash : string option;  (** exception escaping an op, if any *)
+  footprint_words : int;
+      (** {!Hsfq_core.Hierarchy.footprint_words} of the scheduling
+          structure when the run ended — deterministic (array lengths,
+          never GC sampling), so regressions can assert on it: churn
+          storms must not permanently grow the structure. *)
 }
 
 val failed : outcome -> bool

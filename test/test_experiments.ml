@@ -22,7 +22,7 @@ let registry_cases =
 let test_registry_lookup () =
   Alcotest.(check bool) "find fig5" true (Registry.find "fig5" <> None);
   Alcotest.(check bool) "unknown id" true (Registry.find "fig99" = None);
-  Alcotest.(check int) "nineteen experiments" 19 (List.length (Registry.ids ()))
+  Alcotest.(check int) "twenty experiments" 20 (List.length (Registry.ids ()))
 
 let test_csv_export () =
   Alcotest.(check (list string)) "exportable figure set"

@@ -1260,6 +1260,181 @@ let prop_mutex_serialization =
       List.for_all (fun tid -> Kernel.state k tid = Kernel.Exited) tids
       && Kernel.mutex_holder k m = None)
 
+(* --------------------------- multiprocessor -------------------------- *)
+
+(* A CPU-set system with [n] single-thread-friendly leaves directly
+   under the root.  The dispatch protocol grants at most one CPU per
+   root subtree, so parallelism across CPUs requires distinct leaves. *)
+let make_mp ?(config = zero_cost_config) ~cpus n =
+  let sim = Sim.create () in
+  let hier = Hierarchy.create () in
+  let k = Kernel.create ~config ~cpus sim hier in
+  let leaves =
+    List.init n (fun i ->
+        let name = Printf.sprintf "l%d" i in
+        let leaf =
+          match
+            Hierarchy.mknod hier ~name ~parent:Hierarchy.root ~weight:1.
+              Hierarchy.Leaf
+          with
+          | Ok id -> id
+          | Error e -> failwith e
+        in
+        let lf, sfq = Leaf_sched.Sfq_leaf.make () in
+        Kernel.install_leaf k leaf lf;
+        (leaf, sfq))
+  in
+  (k, leaves)
+
+let test_mp_accessors_and_dump () =
+  let k, leaves = make_mp ~cpus:2 2 in
+  let tids =
+    List.mapi
+      (fun i (leaf, sfq) ->
+        spawn_started k leaf sfq ~name:(Printf.sprintf "hog%d" i)
+          (W.forever_compute (Time.seconds 10)))
+      leaves
+  in
+  Kernel.run_until k (Time.milliseconds 5);
+  check_int "cpu set size" 2 (Kernel.cpus k);
+  List.iter
+    (fun tid ->
+      check_bool "hog is Running" true (Kernel.state k tid = Kernel.Running))
+    tids;
+  let cpus_in_use = List.filter_map (fun tid -> Kernel.running_on k tid) tids in
+  check_int "both hogs dispatched" 2 (List.length cpus_in_use);
+  check_bool "on distinct CPUs" true
+    (List.sort_uniq Int.compare cpus_in_use = [ 0; 1 ]);
+  (* running_tid is the inverse of running_on, and last_cpu_of tracks
+     the live dispatch while a thread is on a CPU. *)
+  List.iter
+    (fun tid ->
+      match Kernel.running_on k tid with
+      | None -> Alcotest.fail "running hog has no CPU"
+      | Some c ->
+        Alcotest.(check (option int))
+          "running_tid inverts running_on" (Some tid)
+          (Kernel.running_tid k ~cpu:c);
+        Alcotest.(check (option int))
+          "last_cpu_of matches the live dispatch" (Some c)
+          (Kernel.last_cpu_of k tid))
+    tids;
+  let view = Kernel.dump k in
+  check_int "dump lists one dispatch per CPU" 2
+    (List.length view.Hsfq_check.Kernel_audit.running);
+  check_bool "dump pairs are (cpu, tid)" true
+    (List.for_all
+       (fun (c, tid) -> Kernel.running_tid k ~cpu:c = Some tid)
+       view.Hsfq_check.Kernel_audit.running);
+  audit_clean "two hogs on two CPUs" k
+
+let test_mp_parallel_throughput () =
+  let k, leaves = make_mp ~cpus:2 2 in
+  let tids =
+    List.mapi
+      (fun i (leaf, sfq) ->
+        spawn_started k leaf sfq ~name:(Printf.sprintf "hog%d" i)
+          (W.forever_compute (Time.seconds 10)))
+      leaves
+  in
+  Kernel.run_until k (Time.seconds 1);
+  (* Two always-runnable subtrees over two CPUs: true parallelism, so
+     each hog gets the whole horizon — double the single-CPU total. *)
+  List.iter
+    (fun tid ->
+      check_int "full horizon each" (Time.seconds 1) (Kernel.cpu_time k tid))
+    tids;
+  check_int "no idle on cpu 0" 0 (Kernel.cpu_idle_time k 0);
+  check_int "no idle on cpu 1" 0 (Kernel.cpu_idle_time k 1);
+  check_int "aggregate idle is the sum" 0 (Kernel.idle_time k);
+  check_int "pinned hogs never migrate" 0 (Kernel.migrations k);
+  audit_clean "parallel throughput" k
+
+let test_mp_migration_cost_accounting () =
+  (* Zero context-switch and per-level costs but a real migration cost:
+     the only overhead the kernel can charge is migration_cost per
+     migrating dispatch, so the aggregate overhead must equal
+     migrations x migration_cost exactly. *)
+  let config =
+    { zero_cost_config with migration_cost = Time.microseconds 100 }
+  in
+  let k, leaves = make_mp ~config ~cpus:2 3 in
+  ignore
+    (List.mapi
+       (fun i (leaf, sfq) ->
+         spawn_started k leaf sfq ~name:(Printf.sprintf "hog%d" i)
+           (W.forever_compute (Time.seconds 10)))
+       leaves);
+  Kernel.run_until k (Time.seconds 1);
+  let m = Kernel.migrations k in
+  check_bool "three subtrees over two CPUs migrate" true (m > 0);
+  check_int "overhead = migrations x cost" (m * Time.microseconds 100)
+    (Kernel.overhead_time k);
+  check_int "per-CPU migrations sum to the aggregate" m
+    (Kernel.cpu_migrations k 0 + Kernel.cpu_migrations k 1);
+  check_int "per-CPU overhead sums to the aggregate"
+    (Kernel.overhead_time k)
+    (Kernel.cpu_overhead_time k 0 + Kernel.cpu_overhead_time k 1);
+  audit_clean "migration accounting" k
+
+let test_mp_cross_cpu_suspend_kill () =
+  let k, leaves = make_mp ~cpus:2 2 in
+  let tids =
+    List.mapi
+      (fun i (leaf, sfq) ->
+        spawn_started k leaf sfq ~name:(Printf.sprintf "hog%d" i)
+          (W.forever_compute (Time.seconds 10)))
+      leaves
+  in
+  Kernel.run_until k (Time.milliseconds 5);
+  (* Pick the hog running on CPU 1 and take it down from "outside":
+     suspend un-dispatches a Running thread wherever it is, after which
+     kill is legal. *)
+  let victim =
+    match Kernel.running_tid k ~cpu:1 with
+    | Some tid -> tid
+    | None -> Alcotest.fail "no thread on cpu 1"
+  in
+  let survivor = List.find (fun t -> t <> victim) tids in
+  Kernel.suspend k victim;
+  check_bool "victim un-dispatched" true (Kernel.running_on k victim = None);
+  check_bool "victim suspended" true (Kernel.is_suspended k victim);
+  audit_clean "after cross-CPU suspend" k;
+  Kernel.kill k victim;
+  check_bool "victim exited" true (Kernel.state k victim = Kernel.Exited);
+  audit_clean "after cross-CPU kill" k;
+  let before = Kernel.cpu_time k survivor in
+  (* Past the next quantum boundary, so the survivor's service has been
+     charged (cpu_time only moves at charge points). *)
+  Kernel.run_until k (Time.milliseconds 100);
+  check_bool "survivor keeps running" true (Kernel.cpu_time k survivor > before)
+
+let test_mp_interrupt_on_cpu () =
+  let k, leaves = make_mp ~cpus:2 2 in
+  let tids =
+    List.mapi
+      (fun i (leaf, sfq) ->
+        spawn_started k leaf sfq ~name:(Printf.sprintf "hog%d" i)
+          (W.forever_compute (Time.seconds 10)))
+      leaves
+  in
+  ignore
+    (Sim.at (Kernel.sim k) (Time.milliseconds 50) (fun () ->
+         Kernel.interrupt_on k ~cpu:1 ~duration:(Time.milliseconds 100)));
+  Kernel.run_until k (Time.seconds 1);
+  check_int "cpu 1 charged" (Time.milliseconds 100)
+    (Kernel.cpu_interrupt_time k 1);
+  check_int "cpu 0 untouched" 0 (Kernel.cpu_interrupt_time k 0);
+  check_int "aggregate is the sum" (Time.milliseconds 100)
+    (Kernel.interrupt_time k);
+  (* The stolen time comes out of whichever hog cpu 1 was serving. *)
+  let total =
+    List.fold_left (fun a tid -> a + Kernel.cpu_time k tid) 0 tids
+  in
+  check_int "work conservation across the set"
+    (2 * Time.seconds 1) (total + Kernel.interrupt_time k);
+  audit_clean "per-CPU interrupt" k
+
 let () =
   Alcotest.run "kernel"
     [
@@ -1372,6 +1547,19 @@ let () =
             test_suspended_io_completion_banked;
           Alcotest.test_case "lifecycle matrix" `Quick test_lifecycle_matrix;
           Alcotest.test_case "move validation" `Quick test_move_validation;
+        ] );
+      ( "multiprocessor",
+        [
+          Alcotest.test_case "accessors and dump view" `Quick
+            test_mp_accessors_and_dump;
+          Alcotest.test_case "parallel throughput" `Quick
+            test_mp_parallel_throughput;
+          Alcotest.test_case "migration cost accounting" `Quick
+            test_mp_migration_cost_accounting;
+          Alcotest.test_case "cross-CPU suspend and kill" `Quick
+            test_mp_cross_cpu_suspend_kill;
+          Alcotest.test_case "per-CPU interrupt" `Quick
+            test_mp_interrupt_on_cpu;
         ] );
       ( "properties",
         [

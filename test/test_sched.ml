@@ -717,6 +717,227 @@ let test_interrupt_source_fires () =
   check_int "ten arrivals in 100 ms" 10 !count;
   check_int "costs accumulate" (Time.milliseconds 2) !total
 
+(* ----------------------- max-min fairness oracle ---------------------- *)
+
+module MM = Hsfq_check.Maxmin
+
+let mm_ok ~capacity t rates =
+  match MM.check ~capacity t ~rates with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "max-min criteria violated: %s" e
+
+let test_maxmin_hand_examples () =
+  (* No saturation: pure weight proportion. *)
+  let t =
+    MM.group ~weight:1.
+      [ MM.leaf ~weight:1. ~demand:10. (); MM.leaf ~weight:3. ~demand:10. () ]
+  in
+  let r = MM.allocate ~capacity:4. t in
+  check_float "1:3 light" 1. r.(0);
+  check_float "1:3 heavy" 3. r.(1);
+  mm_ok ~capacity:4. t r;
+  (* A saturated sibling's surplus is redistributed. *)
+  let t =
+    MM.group ~weight:1.
+      [ MM.leaf ~weight:1. ~demand:0.5 (); MM.leaf ~weight:1. ~demand:10. () ]
+  in
+  let r = MM.allocate ~capacity:2. t in
+  check_float "saturated gets its demand" 0.5 r.(0);
+  check_float "sibling absorbs the surplus" 1.5 r.(1);
+  mm_ok ~capacity:2. t r;
+  (* The per-subtree 1-CPU cap (the root claim discipline): at capacity
+     8 every capped class gets exactly one CPU, whatever its weight. *)
+  let t =
+    MM.group ~weight:1.
+      (List.init 8 (fun i ->
+           MM.leaf ~cap:1.
+             ~weight:(float_of_int (1 + (i mod 4)))
+             ~demand:1. ()))
+  in
+  let r = MM.allocate ~capacity:8. t in
+  Array.iter (fun x -> check_float "cap binds" 1. x) r;
+  mm_ok ~capacity:8. t r;
+  (* Hierarchical: a cap on the group, not its leaves. *)
+  let t =
+    MM.group ~weight:1.
+      [
+        MM.group ~cap:1. ~weight:4.
+          [ MM.leaf ~weight:1. ~demand:2. (); MM.leaf ~weight:1. ~demand:2. () ];
+        MM.leaf ~weight:1. ~demand:4. ();
+      ]
+  in
+  let r = MM.allocate ~capacity:3. t in
+  check_float "capped group leaf a" 0.5 r.(0);
+  check_float "capped group leaf b" 0.5 r.(1);
+  check_float "uncapped sibling takes the rest" 2. r.(2);
+  mm_ok ~capacity:3. t r
+
+(* The checker is independent of the allocator: it must reject vectors
+   that merely sum correctly but violate the bottleneck condition or
+   work conservation. *)
+let test_maxmin_check_rejects () =
+  let t =
+    MM.group ~weight:1.
+      [ MM.leaf ~weight:1. ~demand:10. (); MM.leaf ~weight:1. ~demand:10. () ]
+  in
+  (match MM.check ~capacity:2. t ~rates:[| 1.5; 0.5 |] with
+  | Ok () -> Alcotest.fail "unbalanced vector accepted"
+  | Error _ -> ());
+  (match MM.check ~capacity:2. t ~rates:[| 0.5; 0.5 |] with
+  | Ok () -> Alcotest.fail "non-work-conserving vector accepted"
+  | Error _ -> ());
+  (match MM.check ~capacity:2. t ~rates:[| 1. |] with
+  | Ok () -> Alcotest.fail "short vector accepted"
+  | Error _ -> ());
+  mm_ok ~capacity:2. t [| 1.; 1. |]
+
+(* 10^5 leaves: the O(k log k) water-filling pass and the O(n) checker
+   must agree at the million-client scale the structures target. *)
+let test_maxmin_large_tree () =
+  let groups = 100 and per = 1000 in
+  let t =
+    MM.group ~weight:1.
+      (List.init groups (fun g ->
+           MM.group
+             ~weight:(float_of_int (1 + (g mod 7)))
+             (List.init per (fun i ->
+                  MM.leaf
+                    ~weight:(float_of_int (1 + (i mod 5)))
+                    ~demand:(float_of_int (i mod 3) /. 2.)
+                    ()))))
+  in
+  let r = MM.allocate ~capacity:64. t in
+  check_int "one rate per leaf" (groups * per) (Array.length r);
+  check_bool "within capacity" true (MM.total r <= 64. +. 1e-6);
+  mm_ok ~capacity:64. t r
+
+let maxmin_tree_gen =
+  let open QCheck.Gen in
+  let weight = map (fun i -> float_of_int i /. 4.) (int_range 1 40) in
+  let demand = map (fun i -> float_of_int i /. 8.) (int_range 0 80) in
+  let cap =
+    frequency
+      [
+        (3, return infinity);
+        (1, map (fun i -> float_of_int i /. 4.) (int_range 1 20));
+      ]
+  in
+  let leaf_g =
+    map3 (fun w d c -> MM.leaf ~cap:c ~weight:w ~demand:d ()) weight demand cap
+  in
+  let rec node depth =
+    if depth = 0 then leaf_g
+    else
+      frequency
+        [
+          (1, leaf_g);
+          ( 2,
+            int_range 1 6 >>= fun n ->
+            list_repeat n (node (depth - 1)) >>= fun ch ->
+            map2 (fun w c -> MM.group ~cap:c ~weight:w ch) weight cap );
+        ]
+  in
+  node 3
+
+let prop_maxmin_allocate_passes_check =
+  QCheck.Test.make ~name:"maxmin: allocate satisfies the max-min criteria"
+    ~count:200
+    QCheck.(make Gen.(pair maxmin_tree_gen (int_range 0 64)))
+    (fun (tree, cap4) ->
+      let capacity = float_of_int cap4 /. 4. in
+      let r = MM.allocate ~capacity tree in
+      match MM.check ~capacity tree ~rates:r with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "capacity %g: %s" capacity e)
+
+(* Wide two-level trees at Q = 10^4 leaves, seeded deterministically. *)
+let prop_maxmin_wide_trees =
+  QCheck.Test.make ~name:"maxmin: 10^4-leaf wide trees pass" ~count:5
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let t =
+        MM.group ~weight:1.
+          (List.init 100 (fun g ->
+               MM.group
+                 ~weight:(float_of_int (1 + ((g + seed) mod 9)))
+                 (List.init 100 (fun i ->
+                      MM.leaf
+                        ~weight:(float_of_int (1 + ((i * 7) + seed) mod 6))
+                        ~demand:(float_of_int (((i + (g * 3) + seed) mod 16)) /. 4.)
+                        ()))))
+      in
+      let capacity = float_of_int (1 + (seed mod 128)) in
+      match MM.check ~capacity t ~rates:(MM.allocate ~capacity t) with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "seed %d: %s" seed e)
+
+(* The oracle against the real thing: singleton backlogged classes under
+   the root on a P-CPU kernel; observed service shares must track the
+   hierarchical max-min allocation with the per-subtree 1-CPU cap. *)
+let smp_observed_shares ~cpus ~weights ~seconds =
+  let open Hsfq_engine in
+  let open Hsfq_kernel in
+  let sim = Sim.create () in
+  let hier = Hsfq_core.Hierarchy.create () in
+  let k = Kernel.create ~cpus sim hier in
+  let tids =
+    List.mapi
+      (fun i w ->
+        let leaf =
+          match
+            Hsfq_core.Hierarchy.mknod hier
+              ~name:(Printf.sprintf "c%d" i)
+              ~parent:Hsfq_core.Hierarchy.root ~weight:w Hsfq_core.Hierarchy.Leaf
+          with
+          | Ok id -> id
+          | Error e -> failwith e
+        in
+        let lf, sfq = Leaf_sched.Sfq_leaf.make () in
+        Kernel.install_leaf k leaf lf;
+        let tid =
+          Kernel.spawn k
+            ~name:(Printf.sprintf "t%d" i)
+            ~leaf
+            (Workload_intf.forever_compute (Time.seconds 10))
+        in
+        Leaf_sched.Sfq_leaf.add sfq ~tid ~weight:1.;
+        Kernel.start k tid;
+        tid)
+      weights
+  in
+  Kernel.run_until k (Time.seconds seconds);
+  let service = List.map (fun tid -> float_of_int (Kernel.cpu_time k tid)) tids in
+  let total = List.fold_left ( +. ) 0. service in
+  List.map (fun s -> s /. total) service
+
+let prop_maxmin_matches_smp_dispatch =
+  QCheck.Test.make ~name:"maxmin: P>1 dispatch tracks the capped oracle"
+    ~count:6
+    QCheck.(
+      pair (oneofl [ 2; 4 ]) (list_of_size Gen.(int_range 4 6) (int_range 1 4)))
+    (fun (cpus, ws) ->
+      (* The shrinker walks weights toward 0 and the list toward empty;
+         both leave the scenario's domain. *)
+      QCheck.assume (List.length ws >= cpus && List.for_all (fun w -> w > 0) ws);
+      let weights = List.map float_of_int ws in
+      let shares = smp_observed_shares ~cpus ~weights ~seconds:2 in
+      let tree =
+        MM.group ~weight:1.
+          (List.map (fun w -> MM.leaf ~cap:1. ~weight:w ~demand:1. ()) weights)
+      in
+      let rates = MM.allocate ~capacity:(float_of_int cpus) tree in
+      let total = MM.total rates in
+      List.for_all2
+        (fun s r ->
+          let expect = r /. total in
+          if Float.abs (s -. expect) < 0.05 then true
+          else
+            QCheck.Test.fail_reportf
+              "cpus=%d weights=[%s]: share %.3f vs oracle %.3f" cpus
+              (String.concat ";" (List.map string_of_int ws))
+              s expect)
+        shares (Array.to_list rates))
+
 (* ----------------------------- runner -------------------------------- *)
 
 let () =
@@ -806,6 +1027,16 @@ let () =
           Alcotest.test_case "utilization and burstiness" `Quick
             test_interrupt_source_math;
           Alcotest.test_case "periodic generation" `Quick test_interrupt_source_fires;
+        ] );
+      ( "maxmin oracle",
+        [
+          Alcotest.test_case "hand examples" `Quick test_maxmin_hand_examples;
+          Alcotest.test_case "checker rejects wrong vectors" `Quick
+            test_maxmin_check_rejects;
+          Alcotest.test_case "10^5-leaf tree" `Quick test_maxmin_large_tree;
+          QCheck_alcotest.to_alcotest prop_maxmin_allocate_passes_check;
+          QCheck_alcotest.to_alcotest prop_maxmin_wide_trees;
+          QCheck_alcotest.to_alcotest prop_maxmin_matches_smp_dispatch;
         ] );
       ( "svr4",
         [

@@ -112,6 +112,88 @@ let test_giant_prepopulated_run () =
   check_bool "clean at 20k leaves" false (T.failed o);
   check_int "ran everything" 300 o.T.ops_run
 
+(* ------------------------------------------------------------------ *)
+(* Multiprocessor runs: the same generate-and-audit loop at cpus > 1.  *)
+(* Every op stream now races cross-CPU migrations, per-CPU interrupt   *)
+(* storms and targeted Interrupt_on ops against the per-CPU audit      *)
+(* rules (one dispatch per CPU, no thread on two CPUs, donation        *)
+(* ledger coherence).                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_multicpu_seeds () =
+  List.iter
+    (fun (cpus, seed) ->
+      let o = T.run (T.config ~ops:1200 ~cpus seed) in
+      if T.failed o then
+        Alcotest.failf "cpus=%d seed %d failed: %s" cpus seed
+          (T.outcome_summary o))
+    [ (2, 1); (2, 17); (4, 5); (4, 42); (8, 3) ]
+
+let test_multicpu_deterministic () =
+  let cfg = T.config ~ops:1000 ~cpus:4 29 in
+  let a = T.run cfg in
+  let b = T.run cfg in
+  check_bool "multi-CPU runs are reproducible" true (a.T.trace = b.T.trace);
+  let r = T.replay cfg a.T.trace in
+  check_bool "multi-CPU replay clean" false (T.failed r)
+
+let prop_multicpu_random_seeds_clean =
+  QCheck.Test.make ~name:"torture: multi-CPU random seeds run clean" ~count:8
+    QCheck.(pair (int_range 2 4) (int_range 0 10_000))
+    (fun (cpus, seed) -> not (T.failed (T.run (T.config ~ops:600 ~cpus seed))))
+
+(* ------------------------------------------------------------------ *)
+(* P=1 equivalence: the multiprocessor kernel must be invisible at     *)
+(* cpus = 1.  golden/p1_equiv.digests was generated by the kernel      *)
+(* BEFORE the CPU-set refactor (bin/digest_anchor.ml is the            *)
+(* regenerator); every torture trace and figure CSV recomputed here    *)
+(* with an explicit ~cpus:1 must hash to the same bytes.  Obs trace    *)
+(* bytes are anchored the same way by test_obs's golden/*.trace        *)
+(* comparisons.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_p1_equivalence () =
+  let golden =
+    let ic = open_in "golden/p1_equiv.digests" in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let torture_lines =
+    List.map
+      (fun seed ->
+        let o = T.run (T.config ~ops:2000 ~cpus:1 seed) in
+        let body = T.trace_to_string o.T.trace ^ "\n" ^ T.outcome_summary o in
+        Printf.sprintf "torture seed=%d ops=2000 %s" seed
+          (Digest.to_hex (Digest.string body)))
+      [ 1; 2; 3; 5; 8; 13 ]
+  in
+  let csv_lines =
+    List.map
+      (fun id ->
+        match Hsfq_experiments.Csv_export.export id with
+        | Error e -> Printf.sprintf "csv %s ERROR %s" id e
+        | Ok files ->
+          let buf = Buffer.create 4096 in
+          List.iter
+            (fun (name, contents) ->
+              Buffer.add_string buf name;
+              Buffer.add_char buf '\n';
+              Buffer.add_string buf contents)
+            files;
+          Printf.sprintf "csv %s %s" id
+            (Digest.to_hex (Digest.string (Buffer.contents buf))))
+      (Hsfq_experiments.Csv_export.exportable ())
+  in
+  Alcotest.(check (list string))
+    "cpus=1 digests match the pre-refactor anchor" golden
+    (torture_lines @ csv_lines)
+
 (* Departure storm through the driver: prepopulate a big structure, then
    replay a pure-Rmnod trace retiring 7/8 of the leaves. Every group's
    SFQ falls far below quarter occupancy, so parent-table compactions
@@ -145,5 +227,18 @@ let () =
           Alcotest.test_case "departure storm compacts" `Quick
             test_departure_storm_compacts_clean;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_random_seeds_clean ]);
+      ( "multiprocessor",
+        [
+          Alcotest.test_case "multi-CPU seeds run clean" `Quick
+            test_multicpu_seeds;
+          Alcotest.test_case "multi-CPU deterministic + replayable" `Quick
+            test_multicpu_deterministic;
+          Alcotest.test_case "P=1 equivalence (pre-refactor digests)" `Quick
+            test_p1_equivalence;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_seeds_clean;
+          QCheck_alcotest.to_alcotest prop_multicpu_random_seeds_clean;
+        ] );
     ]
